@@ -1,0 +1,47 @@
+//! Collective-communication benchmarks: ring vs naive all-reduce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgd_dist::{launch, Comm};
+use std::time::Duration;
+
+fn bench_dist(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("dist");
+    grp.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(300));
+
+    for &n in &[10_000usize, 100_000] {
+        grp.bench_function(format!("ring_allreduce_p4_{n}"), |b| {
+            b.iter(|| {
+                launch(4, |comm| {
+                    let mut buf = vec![comm.rank() as f64 + 1.0; n];
+                    comm.allreduce_sum(&mut buf);
+                    std::hint::black_box(buf[0])
+                })
+            })
+        });
+        // Ablation: the naive gather-to-root baseline the ring replaces.
+        grp.bench_function(format!("naive_allreduce_p4_{n}"), |b| {
+            b.iter(|| {
+                launch(4, |comm| {
+                    let mut buf = vec![comm.rank() as f64 + 1.0; n];
+                    comm.allreduce_sum_naive(&mut buf);
+                    std::hint::black_box(buf[0])
+                })
+            })
+        });
+    }
+
+    grp.bench_function("barrier_x100_p4", |b| {
+        b.iter(|| {
+            launch(4, |comm| {
+                for _ in 0..100 {
+                    comm.barrier();
+                }
+            })
+        })
+    });
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

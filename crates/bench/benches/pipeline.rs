@@ -1,0 +1,59 @@
+//! End-to-end training-step benchmarks (the measured half of Figure 2) and
+//! the field-generation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgd_dist::LocalComm;
+use mgd_field::{transfer, Dataset, DiffusivityModel, InputEncoding, Sobol};
+use mgd_nn::{Adam, UNet, UNetConfig};
+use mgdiffnet::{TrainConfig, Trainer};
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("pipeline");
+    grp.sample_size(10).measurement_time(Duration::from_millis(1500)).warm_up_time(Duration::from_millis(300));
+
+    // One full training epoch (4 samples, batch 4) at two 2D resolutions:
+    // the time ratio is the Figure 2 growth measurement in miniature.
+    for &res in &[16usize, 32] {
+        grp.bench_function(format!("train_epoch_2d_{res}"), |b| {
+            let data = Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu);
+            let mut net =
+                UNet::new(UNetConfig { two_d: true, depth: 2, base_filters: 4, ..Default::default() });
+            let mut opt = Adam::new(1e-3);
+            let comm = LocalComm::new();
+            let cfg = TrainConfig { batch_size: 4, ..Default::default() };
+            let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![res, res], cfg);
+            b.iter(|| std::hint::black_box(tr.train_epoch()))
+        });
+    }
+
+    // Sobol generation throughput.
+    grp.bench_function("sobol_4d_1024pts", |b| {
+        b.iter(|| {
+            let mut s = Sobol::new(4);
+            std::hint::black_box(s.take(1024))
+        })
+    });
+
+    // Coefficient-field rasterization (the per-level data cost of the
+    // multigrid hierarchy).
+    let model = DiffusivityModel::paper();
+    let om = [0.5, -1.0, 2.0, 0.3];
+    grp.bench_function("rasterize_nu_128sq", |b| {
+        b.iter(|| std::hint::black_box(model.rasterize_log(&om, &[128, 128])))
+    });
+    grp.bench_function("rasterize_nu_32cube", |b| {
+        b.iter(|| std::hint::black_box(model.rasterize_log(&om, &[32, 32, 32])))
+    });
+
+    // Grid transfer.
+    let f = model.rasterize_log(&om, &[64, 64]);
+    grp.bench_function("resample_64_to_32", |b| {
+        b.iter(|| std::hint::black_box(transfer::resample(&f, &[32, 32])))
+    });
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

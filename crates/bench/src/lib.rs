@@ -1,0 +1,22 @@
+//! Shared utilities for the experiment harnesses.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` (see
+//! DESIGN.md §4 for the experiment index). Binaries print paper-style rows
+//! to stdout and write CSV/JSON under `results/`. The default configuration
+//! is scaled down to finish in minutes on a laptop; pass `--full` for
+//! paper-scale parameters (hours to days — documented per binary).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ExperimentScale, HarnessArgs};
+pub use report::{write_csv, Table};
+
+/// Directory for experiment outputs (created on demand).
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(
+        std::env::var("MGD_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    );
+    std::fs::create_dir_all(&dir).expect("cannot create results dir");
+    dir
+}

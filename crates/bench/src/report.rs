@@ -1,0 +1,127 @@
+//! Console tables and CSV output.
+
+use std::fmt::Display;
+use std::path::Path;
+
+/// A simple aligned console table that mimics the paper's table layout.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<S: Display, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let r: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(r.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV.
+    pub fn to_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut s = self.headers.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        std::fs::write(path, s)
+    }
+}
+
+/// Writes rows of `(label, values...)` as a CSV file.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut s = headers.join(",");
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    std::fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    bbbb"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]);
+        let dir = std::env::temp_dir().join("mgd_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        t.to_csv(&p).unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "x,y\n1,2\n");
+        std::fs::remove_file(&p).ok();
+    }
+}

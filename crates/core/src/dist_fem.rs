@@ -1,0 +1,381 @@
+//! Domain-decomposed distributed FEM solve (the paper's §5 outlook).
+//!
+//! The paper lists "scaling beyond megavoxels to gigavoxels" and
+//! "model-parallel distributed deep learning" as future work. The enabling
+//! substrate for both is spatial domain decomposition: fields partitioned
+//! into slabs across ranks with halo exchange at the cuts. This module
+//! implements that substrate for the FEM side — a distributed matrix-free
+//! stiffness apply and conjugate-gradient solve over z(y)-slab partitions —
+//! so coefficient/solution fields larger than one worker's memory can still
+//! be solved and used as training references.
+//!
+//! Decomposition: the slowest axis (z) is split into `p` contiguous slabs
+//! of *element layers*; rank `r` owns node planes `starts[r]..starts[r+1]`
+//! (the last rank also owns the closing plane). A rank stores its owned
+//! planes plus one halo plane per side; [`DistPoisson::halo_exchange`]
+//! refreshes halos, and the operator uses **overlap computation** — the
+//! local element sweep includes one neighbour layer per side, making every
+//! owned plane's accumulation complete without partial-sum reconciliation.
+//! Reductions (dot products) sum owned planes only and all-reduce.
+
+use mgd_dist::Comm;
+use mgd_fem::{apply_stiffness_serial, Dirichlet, ElementBasis, Grid};
+
+/// A z-slab partition of a structured grid.
+#[derive(Clone, Debug)]
+pub struct SlabPartition {
+    /// Total nodes along the split (slowest) axis.
+    pub n_split: usize,
+    /// First owned node plane per rank (len p+1; rank r owns planes
+    /// `starts[r]..starts[r+1]`, exclusive).
+    pub starts: Vec<usize>,
+}
+
+impl SlabPartition {
+    /// Splits `n_split` node planes (with `n_split - 1` element layers)
+    /// across `p` ranks as evenly as possible, by element layers.
+    pub fn new(n_split: usize, p: usize) -> Self {
+        assert!(n_split >= 2);
+        assert!(p >= 1 && p < n_split, "need at least one element layer per rank");
+        let layers = n_split - 1;
+        let mut starts = Vec::with_capacity(p + 1);
+        for r in 0..=p {
+            starts.push(r * layers / p);
+        }
+        // Convert element-layer boundaries to node planes: rank r owns node
+        // planes [starts[r], starts[r+1]) and additionally the closing
+        // plane on the last rank.
+        SlabPartition { n_split, starts }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Owned node-plane range of `rank` (the last rank also owns the final
+    /// plane).
+    pub fn owned_planes(&self, rank: usize) -> std::ops::Range<usize> {
+        let lo = self.starts[rank];
+        let hi = if rank + 1 == self.num_ranks() { self.n_split } else { self.starts[rank + 1] };
+        lo..hi
+    }
+
+    /// Element layers assigned to `rank`.
+    pub fn owned_layers(&self, rank: usize) -> std::ops::Range<usize> {
+        self.starts[rank]..self.starts[rank + 1].min(self.n_split - 1).max(self.starts[rank])
+    }
+}
+
+/// Distributed 3D Poisson solver over z-slabs.
+///
+/// Every rank holds the *global-size metadata* but only its slab (plus one
+/// halo plane per side) of node data. For validation workflows the full
+/// fields fit on one machine, so constructors take global fields and carve
+/// slabs; in a true out-of-core deployment each rank would rasterize its
+/// own slab directly (the `mgd-field` generators are pointwise, so that is
+/// only an indexing change).
+pub struct DistPoisson<'a, C: Comm> {
+    comm: &'a C,
+    grid: Grid<3>,
+    basis: ElementBasis<3>,
+    part: SlabPartition,
+    /// Local ν on the extended slab (owned planes + halos).
+    nu_ext: Vec<f64>,
+    /// Extended slab geometry.
+    ext_lo: usize,
+    ext_hi: usize,
+    /// Global Dirichlet data restricted to the extended slab.
+    bc_ext: Dirichlet,
+    plane: usize,
+}
+
+impl<'a, C: Comm> DistPoisson<'a, C> {
+    /// Builds the local part from global ν and BC data.
+    pub fn new(comm: &'a C, grid: Grid<3>, nu_global: &[f64], bc: &Dirichlet) -> Self {
+        assert_eq!(nu_global.len(), grid.num_nodes());
+        let p = comm.size();
+        let part = SlabPartition::new(grid.n[0], p);
+        let rank = comm.rank();
+        let owned = part.owned_planes(rank);
+        // Extended slab: one element layer of context on each side.
+        let ext_lo = owned.start.saturating_sub(1);
+        let ext_hi = (owned.end + 1).min(grid.n[0]);
+        let plane = grid.n[1] * grid.n[2];
+        let nu_ext = nu_global[ext_lo * plane..ext_hi * plane].to_vec();
+        let bc_ext = Dirichlet {
+            fixed: bc.fixed[ext_lo * plane..ext_hi * plane].to_vec(),
+            values: bc.values[ext_lo * plane..ext_hi * plane].to_vec(),
+        };
+        DistPoisson { comm, grid, basis: ElementBasis::new(&grid), part, nu_ext, ext_lo, ext_hi, bc_ext, plane }
+    }
+
+    /// Nodes in the extended (halo-included) slab.
+    fn ext_nodes(&self) -> usize {
+        (self.ext_hi - self.ext_lo) * self.plane
+    }
+
+    /// The extended slab as a sub-grid (same spacing as the global grid —
+    /// only node counts differ along the split axis).
+    fn ext_grid(&self) -> Grid<3> {
+        let mut g = self.grid;
+        g.n[0] = self.ext_hi - self.ext_lo;
+        g
+    }
+
+    /// Refreshes the halo planes of a local extended field from the owning
+    /// neighbours.
+    pub fn halo_exchange(&self, u_ext: &mut [f64], tag: u64) {
+        let rank = self.comm.rank();
+        let p = self.comm.size();
+        let owned = self.part.owned_planes(rank);
+        let plane = self.plane;
+        // Send first owned plane down, last owned plane up; receive into
+        // the halo slots. Unbounded channels make the symmetric order safe.
+        if rank > 0 {
+            let off = (owned.start - self.ext_lo) * plane;
+            self.comm.send(rank - 1, tag, u_ext[off..off + plane].to_vec());
+        }
+        if rank + 1 < p {
+            let last_owned = self.part.owned_planes(rank).end - 1;
+            // The plane `starts[rank+1]` is shared: we own up to end-1 and
+            // the neighbour owns from starts[rank+1]. Send the highest
+            // plane the neighbour needs as halo context.
+            let off = (last_owned - self.ext_lo) * plane;
+            self.comm.send(rank + 1, tag + 1, u_ext[off..off + plane].to_vec());
+        }
+        if rank + 1 < p {
+            let from_above = self.comm.recv(rank + 1, tag);
+            let off = (self.ext_hi - 1 - self.ext_lo) * plane;
+            u_ext[off..off + plane].copy_from_slice(&from_above);
+        }
+        if rank > 0 {
+            let from_below = self.comm.recv(rank - 1, tag + 1);
+            u_ext[0..plane].copy_from_slice(&from_below);
+        }
+    }
+
+    /// Distributed `v = mask(K u)` over the extended slab via **overlap
+    /// computation**: the extended sweep includes one neighbour element
+    /// layer on each side, so every *owned* plane's accumulation is
+    /// complete locally (given fresh `u` halos) and no partial-sum
+    /// reconciliation traffic is needed — communication happens only in
+    /// [`Self::halo_exchange`]. Halo-plane entries of the result are
+    /// incomplete and must not be read.
+    fn apply_masked(&self, u_ext: &[f64], out_ext: &mut [f64]) {
+        let g = self.ext_grid();
+        out_ext.iter_mut().for_each(|x| *x = 0.0);
+        apply_stiffness_serial(&g, &self.basis, &self.nu_ext, u_ext, out_ext);
+        // Mask Dirichlet nodes.
+        self.bc_ext.zero_fixed(out_ext);
+    }
+
+    /// Global dot product over *owned* planes.
+    fn dot(&self, a_ext: &[f64], b_ext: &[f64]) -> f64 {
+        let rank = self.comm.rank();
+        let owned = self.part.owned_planes(rank);
+        let lo = (owned.start - self.ext_lo) * self.plane;
+        let hi = (owned.end - self.ext_lo) * self.plane;
+        let mut local: f64 = a_ext[lo..hi].iter().zip(&b_ext[lo..hi]).map(|(x, y)| x * y).sum();
+        let mut buf = vec![local];
+        self.comm.allreduce_sum(&mut buf);
+        local = buf[0];
+        local
+    }
+
+    /// Distributed Jacobi-preconditioned CG for `K u = 0` with the given
+    /// Dirichlet data. Returns the *owned* slab of the solution and the
+    /// iteration count; `tol` is the relative residual target.
+    pub fn solve_cg(&self, tol: f64, max_iter: usize) -> (Vec<f64>, usize, bool) {
+        let n_ext = self.ext_nodes();
+        let mut u = vec![0.0; n_ext];
+        self.bc_ext.apply(&mut u);
+        self.halo_exchange(&mut u, 10_000);
+
+        // Residual r = mask(-K u).
+        let mut r = vec![0.0; n_ext];
+        self.apply_masked(&u, &mut r);
+        r.iter_mut().for_each(|x| *x = -*x);
+        // Preconditioner: diagonal of K — complete on owned planes by the
+        // same overlap-computation argument as the operator itself.
+        let mut diag = vec![0.0; n_ext];
+        {
+            let g = self.ext_grid();
+            mgd_fem::stiffness_diag(&g, &self.basis, &self.nu_ext, &mut diag);
+        }
+        let minv: Vec<f64> = diag
+            .iter()
+            .zip(&self.bc_ext.fixed)
+            .map(|(&d, &fx)| if fx || d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
+            .collect();
+
+        let r0 = self.dot(&r, &r).sqrt();
+        if r0 == 0.0 {
+            return (self.extract_owned(&u), 0, true);
+        }
+        let mut z: Vec<f64> = r.iter().zip(&minv).map(|(&ri, &mi)| ri * mi).collect();
+        let mut p_dir = z.clone();
+        let mut rz = self.dot(&r, &z);
+        let mut ap = vec![0.0; n_ext];
+        let mut iters = 0;
+        let mut converged = false;
+        for it in 0..max_iter {
+            // p needs fresh halos before the operator application.
+            self.halo_exchange(&mut p_dir, 40_000 + 8 * it as u64);
+            self.apply_masked(&p_dir, &mut ap);
+            let pap = self.dot(&p_dir, &ap);
+            if pap <= 0.0 {
+                break;
+            }
+            let alpha = rz / pap;
+            for i in 0..n_ext {
+                u[i] += alpha * p_dir[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rn = self.dot(&r, &r).sqrt();
+            iters = it + 1;
+            if rn <= tol * r0 {
+                converged = true;
+                break;
+            }
+            for i in 0..n_ext {
+                z[i] = r[i] * minv[i];
+            }
+            let rz_new = self.dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n_ext {
+                p_dir[i] = z[i] + beta * p_dir[i];
+            }
+        }
+        self.halo_exchange(&mut u, 90_000);
+        (self.extract_owned(&u), iters, converged)
+    }
+
+    fn extract_owned(&self, u_ext: &[f64]) -> Vec<f64> {
+        let owned = self.part.owned_planes(self.comm.rank());
+        let lo = (owned.start - self.ext_lo) * self.plane;
+        let hi = (owned.end - self.ext_lo) * self.plane;
+        u_ext[lo..hi].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgd_dist::{launch, LocalComm};
+    use mgd_fem::{solve_cg, CgOptions};
+
+    #[test]
+    fn partition_covers_all_planes() {
+        for n in [5usize, 9, 16] {
+            for p in 1..=4.min(n - 1) {
+                let part = SlabPartition::new(n, p);
+                let mut covered = vec![0usize; n];
+                for r in 0..p {
+                    for pl in part.owned_planes(r) {
+                        covered[pl] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "n={n} p={p}: {covered:?}");
+            }
+        }
+    }
+
+    fn nu_field(grid: &Grid<3>) -> Vec<f64> {
+        (0..grid.num_nodes())
+            .map(|i| {
+                let c = grid.node_coords(i);
+                (0.6 * (3.0 * c[0]).sin() * (2.0 * c[1]).cos() * (1.5 * c[2]).cos()).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_rank_matches_serial_cg() {
+        let grid: Grid<3> = Grid::cube(9);
+        let nu = nu_field(&grid);
+        let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
+        let comm = LocalComm::new();
+        let dist = DistPoisson::new(&comm, grid, &nu, &bc);
+        let (u_dist, _, conv) = dist.solve_cg(1e-10, 5000);
+        assert!(conv);
+        let basis = ElementBasis::new(&grid);
+        let (u_ser, stats) =
+            solve_cg(&grid, &basis, &nu, &bc, None, None, CgOptions { tol: 1e-10, ..Default::default() });
+        assert!(stats.converged);
+        assert_eq!(u_dist.len(), u_ser.len());
+        let err: f64 =
+            u_dist.iter().zip(&u_ser).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(err < 1e-7, "err {err}");
+    }
+
+    #[test]
+    fn multi_rank_solution_matches_serial() {
+        let grid: Grid<3> = Grid::cube(9);
+        let nu = nu_field(&grid);
+        let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
+        let basis = ElementBasis::new(&grid);
+        let (u_ser, stats) =
+            solve_cg(&grid, &basis, &nu, &bc, None, None, CgOptions { tol: 1e-10, ..Default::default() });
+        assert!(stats.converged);
+        for p in [2usize, 3] {
+            let nu_c = nu.clone();
+            let bc_c = bc.clone();
+            let slabs = launch(p, move |comm| {
+                let dist = DistPoisson::new(&comm, grid, &nu_c, &bc_c);
+                let (owned, iters, conv) = dist.solve_cg(1e-10, 5000);
+                (comm.rank(), owned, iters, conv)
+            });
+            // Stitch owned slabs in rank order and compare with serial.
+            let mut full = Vec::new();
+            for (_, owned, _, conv) in slabs {
+                assert!(conv, "p={p} did not converge");
+                full.extend(owned);
+            }
+            assert_eq!(full.len(), grid.num_nodes(), "p={p}");
+            let err: f64 =
+                full.iter().zip(&u_ser).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let norm: f64 = u_ser.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(err / norm < 1e-7, "p={p}: rel err {}", err / norm);
+        }
+    }
+
+    #[test]
+    fn halo_exchange_propagates_neighbour_planes() {
+        let grid: Grid<3> = Grid::cube(5);
+        let nn = grid.num_nodes();
+        let nu = vec![1.0; nn];
+        let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
+        let results = launch(2, move |comm| {
+            let dist = DistPoisson::new(&comm, grid, &nu, &bc);
+            let n_ext = dist.ext_nodes();
+            // Fill owned planes with the rank id, halos with a sentinel.
+            let mut u = vec![comm.rank() as f64; n_ext];
+            let owned = dist.part.owned_planes(comm.rank());
+            if comm.rank() == 0 {
+                // Upper halo exists.
+                let off = (dist.ext_hi - 1 - dist.ext_lo) * dist.plane;
+                for i in 0..dist.plane {
+                    u[off + i] = -9.0;
+                }
+            } else {
+                for i in 0..dist.plane {
+                    u[i] = -9.0;
+                }
+            }
+            dist.halo_exchange(&mut u, 7000);
+            let _ = owned;
+            (comm.rank(), u, dist.plane, dist.ext_lo, dist.ext_hi)
+        });
+        // Rank 0's upper halo must now hold rank 1's values and vice versa.
+        for (rank, u, plane, _lo, _hi) in results {
+            if rank == 0 {
+                let off = u.len() - plane;
+                assert!(u[off..].iter().all(|&v| v == 1.0), "rank0 halo: {:?}", &u[off..off + 3]);
+            } else {
+                assert!(u[..plane].iter().all(|&v| v == 0.0), "rank1 halo: {:?}", &u[..3]);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! MGDiffNet — distributed multigrid neural PDE solver.
+//!
+//! This crate assembles the paper's contribution from the substrate crates:
+//!
+//! - [`loss::FemLoss`] — the variational (Ritz energy) training loss of
+//!   §3.1.1 with *exact* Dirichlet imposition (Algorithm 1, line 8:
+//!   `U = U_int·χ_int + U_bc·χ_b`), evaluated with the finite elements of
+//!   `mgd-fem` on the same grid the network predicts;
+//! - [`trainer::Trainer`] — Algorithm 1: sample mini-batch → forward →
+//!   impose BC → energy loss → backprop → (all-reduce) → Adam step, generic
+//!   over the `mgd_dist::Comm` communicator so serial and data-parallel
+//!   training share one code path;
+//! - [`cycle`] — the V / W / F / Half-V multigrid *training* schedules of
+//!   §3.1.2 (restriction visits train a fixed number of epochs;
+//!   prolongation visits and the coarsest level train to convergence);
+//! - [`mg_trainer::MultigridTrainer`] — executes a schedule over a
+//!   resolution hierarchy with one resolution-agnostic network, optionally
+//!   deepening it on each prolongation (§4.1.2 architectural adaptation);
+//! - [`compare`] — network-vs-FEM field comparisons and the §4.3
+//!   inference-vs-solve timing.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mgdiffnet::prelude::*;
+//!
+//! // 64x64 2D Poisson surrogate over the paper's diffusivity family.
+//! let data = Dataset::sobol(64, DiffusivityModel::paper(), InputEncoding::LogNu);
+//! let mut net = UNet::new(UNetConfig { two_d: true, ..Default::default() });
+//! let mut opt = Adam::new(1e-3);
+//! let comm = LocalComm::new();
+//! let cfg = TrainConfig { batch_size: 8, ..Default::default() };
+//! let mg = MgConfig { cycle: CycleKind::HalfV, levels: 3, ..Default::default() };
+//! let log = MultigridTrainer::new(mg, cfg, vec![64, 64])
+//!     .run(&mut net, &mut opt, &data, &comm);
+//! println!("final loss {:.4} in {:.1}s", log.final_loss, log.total_seconds);
+//! ```
+
+pub mod compare;
+pub mod dist_fem;
+pub mod cycle;
+pub mod loss;
+pub mod mg_trainer;
+pub mod stopper;
+pub mod trainer;
+
+pub use compare::{compare_with_fem, predict_field, FieldComparison};
+pub use dist_fem::{DistPoisson, SlabPartition};
+pub use cycle::{level_sequence, schedule, Budget, CycleKind, Phase};
+pub use loss::FemLoss;
+pub use mg_trainer::{MgConfig, MgRunLog, MultigridTrainer, PhaseLog};
+pub use stopper::EarlyStopping;
+pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};
+
+/// One-stop imports for examples and harnesses.
+pub mod prelude {
+    pub use crate::{
+        compare_with_fem, predict_field, schedule, Budget, CycleKind, EarlyStopping, EpochStats,
+        FemLoss, FieldComparison, MgConfig, MgRunLog, MultigridTrainer, Phase, PhaseLog,
+        TrainConfig, TrainLog, Trainer,
+    };
+    pub use mgd_dist::{launch, Comm, LocalComm, ThreadComm};
+    pub use mgd_field::{Dataset, DiffusivityModel, InputEncoding, Sobol};
+    pub use mgd_nn::{Adam, Layer, Sgd, UNet, UNetConfig};
+    pub use mgd_tensor::Tensor;
+}

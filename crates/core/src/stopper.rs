@@ -1,0 +1,90 @@
+//! Early stopping (the paper's convergence criterion for prolongation
+//! phases and the coarsest level, §3.1.2).
+
+/// Plateau-based early stopping on the epoch training loss.
+#[derive(Clone, Debug)]
+pub struct EarlyStopping {
+    /// Epochs without sufficient improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum relative improvement that resets the patience counter.
+    pub min_delta: f64,
+    best: f64,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a stopper.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        EarlyStopping { patience, min_delta, best: f64::INFINITY, stale: 0 }
+    }
+
+    /// Feeds one epoch loss; returns `true` when training should stop.
+    ///
+    /// The energy loss can be negative (it is an energy *difference* from
+    /// zero), so improvement is measured against `|best|`-scaled tolerance.
+    pub fn update(&mut self, loss: f64) -> bool {
+        let threshold = self.best - self.min_delta * self.best.abs().max(1e-12);
+        if loss < threshold || self.best.is_infinite() {
+            self.best = loss;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale >= self.patience
+    }
+
+    /// Best loss seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Resets for a fresh phase.
+    pub fn reset(&mut self) {
+        self.best = f64::INFINITY;
+        self.stale = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_after_patience_epochs_without_improvement() {
+        let mut s = EarlyStopping::new(3, 1e-3);
+        assert!(!s.update(1.0));
+        assert!(!s.update(0.5)); // improvement
+        assert!(!s.update(0.5)); // stale 1
+        assert!(!s.update(0.4999)); // below min_delta: stale 2
+        assert!(s.update(0.5)); // stale 3 -> stop
+    }
+
+    #[test]
+    fn improvement_resets_counter() {
+        let mut s = EarlyStopping::new(2, 1e-6);
+        assert!(!s.update(1.0));
+        assert!(!s.update(1.0)); // stale 1
+        assert!(!s.update(0.5)); // reset
+        assert!(!s.update(0.5)); // stale 1
+        assert!(s.update(0.5)); // stale 2 -> stop
+    }
+
+    #[test]
+    fn handles_negative_losses() {
+        // Energy losses can be negative; improvement must still register.
+        let mut s = EarlyStopping::new(2, 1e-3);
+        assert!(!s.update(-1.0));
+        assert!(!s.update(-1.5));
+        assert!(!s.update(-1.5001)); // within tolerance: stale
+        assert!(s.best() <= -1.5);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = EarlyStopping::new(1, 0.0);
+        let _ = s.update(1.0);
+        let _ = s.update(2.0);
+        s.reset();
+        assert!(!s.update(10.0), "fresh best after reset");
+    }
+}

@@ -1,0 +1,307 @@
+//! Algorithm 1: data-(parallel) training of the neural solver.
+//!
+//! Per mini-batch: rasterize the coefficient fields, forward the network,
+//! impose the boundary values exactly, evaluate the FEM energy loss,
+//! backpropagate its gradient, all-reduce-average gradients across workers,
+//! and step Adam. Serial training is the `p = 1` special case via
+//! [`mgd_dist::LocalComm`].
+
+use crate::loss::FemLoss;
+use crate::stopper::EarlyStopping;
+use mgd_dist::{average_gradients, broadcast_params, global_minibatches, local_minibatch, Comm};
+use mgd_field::Dataset;
+use mgd_nn::param::{flatten_grads, flatten_params, unflatten_grads, unflatten_params};
+use mgd_nn::{Adam, Layer, UNet};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Trainer hyper-parameters (paper §4.1: Adam, lr 1e-5, global batch 64 for
+/// the 2D studies — our scaled defaults use a larger lr and smaller batch
+/// so the scaled-down experiments converge in CI-friendly time).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Global mini-batch size (split evenly across workers).
+    pub batch_size: usize,
+    /// Shuffling seed (shared by all workers — required for Eq. 15).
+    pub seed: u64,
+    /// Hard cap on epochs for `Budget::Converge` phases.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs).
+    pub patience: usize,
+    /// Early-stopping minimum relative improvement.
+    pub min_delta: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { batch_size: 8, seed: 0, max_epochs: 200, patience: 8, min_delta: 1e-3 }
+    }
+}
+
+/// Per-epoch record.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (within the phase).
+    pub epoch: u64,
+    /// Mean energy loss over the epoch's mini-batches (globally averaged).
+    pub loss: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Seconds inside collectives.
+    pub comm_seconds: f64,
+}
+
+/// A phase/run record.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainLog {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// Final epoch loss.
+    pub final_loss: f64,
+}
+
+/// Binds network, optimizer, dataset and communicator for one resolution.
+pub struct Trainer<'a, C: Comm> {
+    /// The resolution-agnostic network.
+    pub net: &'a mut UNet,
+    /// The optimizer (moments persist across resolutions until the
+    /// parameter structure changes).
+    pub opt: &'a mut Adam,
+    /// Training data (ω samples; fields rasterized on demand).
+    pub data: &'a Dataset,
+    /// Communicator (LocalComm for serial runs).
+    pub comm: &'a C,
+    /// Spatial dims trained at (`[ny, nx]` or `[nz, ny, nx]`).
+    pub dims: Vec<usize>,
+    /// Hyper-parameters.
+    pub cfg: TrainConfig,
+    loss: FemLoss,
+    /// Monotonic epoch counter across phases (keeps shuffles fresh).
+    pub global_epoch: u64,
+}
+
+impl<'a, C: Comm> Trainer<'a, C> {
+    /// Creates a trainer for one resolution.
+    pub fn new(
+        net: &'a mut UNet,
+        opt: &'a mut Adam,
+        data: &'a Dataset,
+        comm: &'a C,
+        dims: Vec<usize>,
+        cfg: TrainConfig,
+    ) -> Self {
+        assert!(
+            cfg.batch_size % comm.size() == 0,
+            "global batch {} must divide across {} workers",
+            cfg.batch_size,
+            comm.size()
+        );
+        let loss = FemLoss::new(&dims);
+        Trainer { net, opt, data, comm, dims, cfg, loss, global_epoch: 0 }
+    }
+
+    /// Synchronizes replicas from rank 0 (call once before distributed
+    /// training; harmless for p = 1).
+    pub fn sync_initial_params(&mut self) {
+        if self.comm.size() > 1 {
+            let mut params = self.net.params();
+            let mut flat = Vec::new();
+            flatten_params(&params, &mut flat);
+            broadcast_params(self.comm, &mut flat);
+            unflatten_params(&mut params, &flat);
+        }
+    }
+
+    /// Runs one epoch (Algorithm 1's inner loop) and returns its stats.
+    pub fn train_epoch(&mut self) -> EpochStats {
+        let start = Instant::now();
+        let p = self.comm.size();
+        let mut perm = self.data.epoch_permutation(self.cfg.seed, self.global_epoch);
+        // Wrap-pad so every global mini-batch is full and divides across
+        // workers (the paper's dataset-augmentation step).
+        mgd_dist::pad_indices(&mut perm, self.cfg.batch_size);
+        let mbs = global_minibatches(&perm, self.cfg.batch_size);
+        let mut loss_sum = 0.0;
+        let mut comm_seconds = 0.0;
+        for mb in &mbs {
+            let local = local_minibatch(mb, self.comm.rank(), p);
+            let x = self.data.batch_inputs(local, &self.dims);
+            let mut u = self.net.forward(&x, true);
+            self.loss.apply_bc_batch(&mut u);
+            let nu = self.data.batch_nu(local, &self.dims);
+            let (j, grad_u) = self.loss.energy_grad_batch(&nu, &u);
+            assert!(
+                j.is_finite() && !grad_u.has_non_finite(),
+                "non-finite loss/gradient at epoch {} (loss {j}); lower the \
+                 learning rate or check the input fields",
+                self.global_epoch
+            );
+            // Through the masking, ∂J/∂y = ∂J/∂u · χ_int (grad_u is already
+            // masked), so it backpropagates directly.
+            let _ = self.net.backward(&grad_u);
+            // Average gradients and the reported loss across workers.
+            let mut params = self.net.params();
+            if p > 1 {
+                let mut flat = Vec::new();
+                flatten_grads(&params, &mut flat);
+                flat.push(j); // piggyback the scalar loss on the same ring
+                comm_seconds += average_gradients(self.comm, &mut flat);
+                let j_avg = flat.pop().expect("loss scalar");
+                unflatten_grads(&mut params, &flat);
+                loss_sum += j_avg;
+            } else {
+                loss_sum += j;
+            }
+            self.opt.step(&mut params);
+            mgd_nn::optim::zero_grads(&mut params);
+        }
+        self.global_epoch += 1;
+        EpochStats {
+            epoch: self.global_epoch - 1,
+            loss: loss_sum / mbs.len() as f64,
+            seconds: start.elapsed().as_secs_f64(),
+            comm_seconds,
+        }
+    }
+
+    /// Trains for a fixed number of epochs.
+    pub fn train_fixed(&mut self, epochs: usize) -> TrainLog {
+        let mut log = TrainLog::default();
+        for _ in 0..epochs {
+            let s = self.train_epoch();
+            log.total_seconds += s.seconds;
+            log.final_loss = s.loss;
+            log.epochs.push(s);
+        }
+        log
+    }
+
+    /// Trains until early stopping (or the `max_epochs` cap) fires.
+    pub fn train_to_convergence(&mut self) -> TrainLog {
+        let mut stopper = EarlyStopping::new(self.cfg.patience, self.cfg.min_delta);
+        let mut log = TrainLog::default();
+        for _ in 0..self.cfg.max_epochs {
+            let s = self.train_epoch();
+            log.total_seconds += s.seconds;
+            log.final_loss = s.loss;
+            log.epochs.push(s);
+            if stopper.update(s.loss) {
+                break;
+            }
+        }
+        log
+    }
+
+    /// Evaluation loss over an explicit sample set (no parameter updates).
+    pub fn eval_loss(&mut self, samples: &[usize]) -> f64 {
+        let x = self.data.batch_inputs(samples, &self.dims);
+        let mut u = self.net.forward(&x, false);
+        self.loss.apply_bc_batch(&mut u);
+        let nu = self.data.batch_nu(samples, &self.dims);
+        self.loss.energy_batch(&nu, &u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgd_dist::LocalComm;
+    use mgd_field::{DiffusivityModel, InputEncoding};
+    use mgd_nn::UNetConfig;
+
+    fn tiny_setup() -> (UNet, Adam, Dataset) {
+        let net = UNet::new(UNetConfig {
+            depth: 2,
+            base_filters: 4,
+            two_d: true,
+            seed: 1,
+            ..Default::default()
+        });
+        let opt = Adam::new(3e-3);
+        let data = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu);
+        (net, opt, data)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (mut net, mut opt, data) = tiny_setup();
+        let comm = LocalComm::new();
+        let cfg = TrainConfig { batch_size: 4, max_epochs: 30, ..Default::default() };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        let log = tr.train_fixed(30);
+        let first = log.epochs.first().unwrap().loss;
+        let last = log.final_loss;
+        assert!(
+            last < first,
+            "training must reduce the energy: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn training_approaches_fem_energy() {
+        // The FEM solution is the energy minimizer over this grid; a
+        // converged network's energy must close most of the gap from the
+        // initial prediction.
+        let (mut net, mut opt, data) = tiny_setup();
+        let comm = LocalComm::new();
+        let cfg =
+            TrainConfig { batch_size: 4, max_epochs: 120, patience: 15, ..Default::default() };
+        let dims = vec![16, 16];
+        let loss_fns = FemLoss::new(&dims);
+        // FEM reference energy averaged over the dataset.
+        let mut fem_energy = 0.0;
+        for s in 0..data.len() {
+            let nu = data.nu_field(s, &dims);
+            let (u, stats) = loss_fns.fem_solve(nu.as_slice(), None, 1e-10);
+            assert!(stats.converged);
+            let ub = mgd_tensor::Tensor::from_vec([1, 1, 1, 16, 16], u);
+            fem_energy += loss_fns.energy_batch(&[nu], &ub) / data.len() as f64;
+        }
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, dims.clone(), cfg);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let initial = tr.eval_loss(&all);
+        let _ = tr.train_to_convergence();
+        let trained = tr.eval_loss(&all);
+        let gap0 = initial - fem_energy;
+        let gap1 = trained - fem_energy;
+        assert!(gap1 >= -1e-6, "cannot beat the FEM minimizer");
+        assert!(
+            gap1 < 0.5 * gap0,
+            "network should close >=50% of the energy gap: {gap0} -> {gap1} (fem {fem_energy})"
+        );
+    }
+
+    #[test]
+    fn eval_does_not_change_params() {
+        let (mut net, mut opt, data) = tiny_setup();
+        let comm = LocalComm::new();
+        let cfg = TrainConfig { batch_size: 4, ..Default::default() };
+        let before: Vec<f64> = {
+            let mut flat = Vec::new();
+            flatten_params(&net.params(), &mut flat);
+            flat
+        };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        let _ = tr.eval_loss(&[0, 1]);
+        let after: Vec<f64> = {
+            let mut flat = Vec::new();
+            flatten_params(&tr.net.params(), &mut flat);
+            flat
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn batch_size_must_divide_workers() {
+        // Simulated: LocalComm has size 1, so use a ThreadComm of size 2 via
+        // launch to check the assertion path.
+        mgd_dist::launch(2, |comm| {
+            let (mut net, mut opt, data) = tiny_setup();
+            let cfg = TrainConfig { batch_size: 3, ..Default::default() };
+            let _ = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Multilinear element basis tables with 2-point Gauss quadrature.
+//!
+//! Values and *physical* gradients of the `2^D` multilinear shape functions
+//! are precomputed at the `2^D` Gauss points of the reference element
+//! `[-1,1]^D` and mapped with the (diagonal) Jacobian of a uniform grid.
+//! 2-point Gauss integrates the bilinear/trilinear stiffness integrand with
+//! variable (interpolated) ν exactly enough for the h² convergence checked
+//! in the tests.
+
+use crate::grid::Grid;
+
+/// 1D Gauss point |g| = 1/√3 for 2-point quadrature on [-1, 1].
+const GP: f64 = 0.577_350_269_189_625_8;
+
+/// Precomputed shape-function tables for one element shape.
+#[derive(Clone, Debug)]
+pub struct ElementBasis<const D: usize> {
+    /// Number of quadrature points (2^D).
+    pub nq: usize,
+    /// Number of local nodes (2^D).
+    pub nl: usize,
+    /// Quadrature weight × reference-to-physical volume scale, per point.
+    pub w_detj: f64,
+    /// `val[q * nl + l]` — shape value of local node `l` at point `q`.
+    pub val: Vec<f64>,
+    /// `grad[(q * nl + l) * D + c]` — physical derivative along coordinate
+    /// `c` (`c = 0` is `x`, matching [`Grid::node_coords`] ordering).
+    pub grad: Vec<f64>,
+}
+
+#[inline]
+fn shape1(bit: usize, g: f64) -> f64 {
+    if bit == 1 {
+        0.5 * (1.0 + g)
+    } else {
+        0.5 * (1.0 - g)
+    }
+}
+
+#[inline]
+fn dshape1(bit: usize) -> f64 {
+    if bit == 1 {
+        0.5
+    } else {
+        -0.5
+    }
+}
+
+impl<const D: usize> ElementBasis<D> {
+    /// Builds the tables for the element shape of `grid`.
+    ///
+    /// Local node `l`: bit `b` of `l` steps along coordinate `b`
+    /// (`b = 0` is `x`). Quadrature point `q` uses the same bit layout for
+    /// its `±1/√3` corner pattern.
+    pub fn new(grid: &Grid<D>) -> Self {
+        let nl = 1usize << D;
+        let nq = 1usize << D;
+        // Physical spacing along *coordinate* c (x first): h[D-1-c].
+        let mut hc = [0.0; D];
+        for c in 0..D {
+            hc[c] = grid.h[D - 1 - c];
+        }
+        let mut detj = 1.0;
+        for c in 0..D {
+            detj *= hc[c] * 0.5;
+        }
+        let mut val = vec![0.0; nq * nl];
+        let mut grad = vec![0.0; nq * nl * D];
+        for q in 0..nq {
+            let mut g = [0.0; D];
+            for c in 0..D {
+                g[c] = if (q >> c) & 1 == 1 { GP } else { -GP };
+            }
+            for l in 0..nl {
+                let mut v = 1.0;
+                for c in 0..D {
+                    v *= shape1((l >> c) & 1, g[c]);
+                }
+                val[q * nl + l] = v;
+                for cg in 0..D {
+                    let mut dv = dshape1((l >> cg) & 1) * (2.0 / hc[cg]);
+                    for c in 0..D {
+                        if c != cg {
+                            dv *= shape1((l >> c) & 1, g[c]);
+                        }
+                    }
+                    grad[(q * nl + l) * D + cg] = dv;
+                }
+            }
+        }
+        ElementBasis { nq, nl, w_detj: detj, val, grad }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_unity() {
+        let g: Grid<3> = Grid::cube(5);
+        let b = ElementBasis::new(&g);
+        for q in 0..b.nq {
+            let s: f64 = (0..b.nl).map(|l| b.val[q * b.nl + l]).sum();
+            assert!((s - 1.0).abs() < 1e-14, "q={q}: {s}");
+            for c in 0..3 {
+                let gs: f64 = (0..b.nl).map(|l| b.grad[(q * b.nl + l) * 3 + c]).sum();
+                assert!(gs.abs() < 1e-13, "grad sum q={q} c={c}: {gs}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_volume_is_element_volume() {
+        let g: Grid<2> = Grid::new([5, 9]);
+        let b = ElementBasis::new(&g);
+        // Integrating the constant 1 over the element: Σ_q w·detJ · 1.
+        let vol: f64 = (0..b.nq).map(|_| b.w_detj).sum();
+        assert!((vol - g.h[0] * g.h[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gradients_exact_for_linear_function() {
+        // u(x, y) = 3x - 2y on one element: interpolated gradient must be
+        // (3, -2) at every quadrature point.
+        let g: Grid<2> = Grid::cube(5);
+        let b = ElementBasis::new(&g);
+        let h = g.h[0];
+        // Local nodal values: bit 0 = x step, bit 1 = y step.
+        let u: Vec<f64> = (0..4)
+            .map(|l| {
+                let x = ((l >> 0) & 1) as f64 * h;
+                let y = ((l >> 1) & 1) as f64 * h;
+                3.0 * x - 2.0 * y
+            })
+            .collect();
+        for q in 0..b.nq {
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for l in 0..b.nl {
+                gx += b.grad[(q * b.nl + l) * 2 + 0] * u[l];
+                gy += b.grad[(q * b.nl + l) * 2 + 1] * u[l];
+            }
+            assert!((gx - 3.0).abs() < 1e-12);
+            assert!((gy + 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn anisotropic_spacing_scales_gradients() {
+        let g: Grid<2> = Grid::new([3, 5]); // hy = 1/2, hx = 1/4
+        let b = ElementBasis::new(&g);
+        // d/dx of the shape rising along x must be steeper than d/dy of the
+        // shape rising along y by the spacing ratio.
+        let q = 0;
+        let dx = b.grad[(q * b.nl + 0b01) * 2 + 0].abs();
+        let dy = b.grad[(q * b.nl + 0b10) * 2 + 1].abs();
+        assert!((dx / dy - 2.0).abs() < 1e-12, "dx={dx} dy={dy}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Dirichlet boundary conditions via masking.
+//!
+//! The paper imposes boundary conditions *exactly* by overwriting boundary
+//! nodes (Algorithm 1, line 8: `U = U_int·χ_int + U_bc·χ_b`) rather than by
+//! penalty terms. [`Dirichlet`] carries the fixed-node mask `χ_b` and the
+//! prescribed values; solvers and the training loss use it to (a) apply
+//! values and (b) zero residual/gradient entries on fixed nodes.
+
+use crate::grid::Grid;
+
+/// A set of Dirichlet-constrained nodes with prescribed values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dirichlet {
+    /// `fixed[i]` — node `i` is Dirichlet-constrained (χ_b).
+    pub fixed: Vec<bool>,
+    /// Prescribed value per node (meaningful only where `fixed`).
+    pub values: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// No constraints (pure Neumann; the Poisson operator is then singular,
+    /// used only in operator-level tests).
+    pub fn none<const D: usize>(grid: &Grid<D>) -> Self {
+        let n = grid.num_nodes();
+        Dirichlet { fixed: vec![false; n], values: vec![0.0; n] }
+    }
+
+    /// The paper's BC (Eq. 7–9): `u = left` on the `x = 0` face, `u = right`
+    /// on the `x = 1` face, homogeneous Neumann elsewhere.
+    pub fn x_faces<const D: usize>(grid: &Grid<D>, left: f64, right: f64) -> Self {
+        let n = grid.num_nodes();
+        let mut fixed = vec![false; n];
+        let mut values = vec![0.0; n];
+        let nx = grid.n[D - 1];
+        for i in 0..n {
+            let ix = i % nx;
+            if ix == 0 {
+                fixed[i] = true;
+                values[i] = left;
+            } else if ix == nx - 1 {
+                fixed[i] = true;
+                values[i] = right;
+            }
+        }
+        Dirichlet { fixed, values }
+    }
+
+    /// Dirichlet on *every* boundary node with values from `f(coords)`
+    /// (coords ordered x-first). Used by manufactured-solution tests.
+    pub fn all_faces<const D: usize, F: Fn(&[f64; D]) -> f64>(grid: &Grid<D>, f: F) -> Self {
+        let n = grid.num_nodes();
+        let mut fixed = vec![false; n];
+        let mut values = vec![0.0; n];
+        for i in 0..n {
+            let idx = grid.node_multi(i);
+            let on_boundary = (0..D).any(|d| idx[d] == 0 || idx[d] == grid.n[d] - 1);
+            if on_boundary {
+                fixed[i] = true;
+                values[i] = f(&grid.node_coords(i));
+            }
+        }
+        Dirichlet { fixed, values }
+    }
+
+    /// Number of constrained nodes.
+    pub fn num_fixed(&self) -> usize {
+        self.fixed.iter().filter(|&&b| b).count()
+    }
+
+    /// Overwrites constrained entries of `u` with the prescribed values
+    /// (the exact-BC imposition of Algorithm 1).
+    pub fn apply(&self, u: &mut [f64]) {
+        assert_eq!(u.len(), self.fixed.len());
+        for i in 0..u.len() {
+            if self.fixed[i] {
+                u[i] = self.values[i];
+            }
+        }
+    }
+
+    /// Zeroes constrained entries (masks a gradient or residual to the
+    /// interior — multiplication by χ_int).
+    pub fn zero_fixed(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.fixed.len());
+        for i in 0..v.len() {
+            if self.fixed[i] {
+                v[i] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_faces_marks_left_and_right_columns_2d() {
+        let g: Grid<2> = Grid::new([3, 4]);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        assert_eq!(bc.num_fixed(), 6); // 3 rows x 2 faces
+        for j in 0..3 {
+            assert!(bc.fixed[g.node([j, 0])]);
+            assert_eq!(bc.values[g.node([j, 0])], 1.0);
+            assert!(bc.fixed[g.node([j, 3])]);
+            assert_eq!(bc.values[g.node([j, 3])], 0.0);
+            assert!(!bc.fixed[g.node([j, 1])]);
+        }
+    }
+
+    #[test]
+    fn x_faces_3d_counts() {
+        let g: Grid<3> = Grid::cube(4);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        assert_eq!(bc.num_fixed(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn apply_and_mask() {
+        let g: Grid<2> = Grid::new([2, 3]);
+        let bc = Dirichlet::x_faces(&g, 5.0, -1.0);
+        let mut u = vec![9.0; 6];
+        bc.apply(&mut u);
+        assert_eq!(u, vec![5.0, 9.0, -1.0, 5.0, 9.0, -1.0]);
+        let mut v = vec![1.0; 6];
+        bc.zero_fixed(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn all_faces_uses_coordinates() {
+        let g: Grid<2> = Grid::cube(3);
+        let bc = Dirichlet::all_faces(&g, |c| c[0] + 10.0 * c[1]);
+        // Center node is interior.
+        assert!(!bc.fixed[g.node([1, 1])]);
+        // Corner (x=1, y=1).
+        assert_eq!(bc.values[g.node([2, 2])], 11.0);
+        assert_eq!(bc.num_fixed(), 8);
+    }
+}

@@ -1,0 +1,186 @@
+//! Uniform structured grids over `[0,1]^D`.
+
+/// A uniform nodal grid over the unit hypercube.
+///
+/// `n[d]` nodes along axis `d`; axis `D-1` is `x` (fastest-varying in the
+/// row-major node ordering), axis `D-2` is `y`, axis `D-3` is `z`. Node `i`
+/// of an axis with `n` nodes sits at `i / (n-1)`. Elements are the
+/// `Π (n[d]-1)` multilinear cells between adjacent nodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid<const D: usize> {
+    /// Nodes per axis (slowest → fastest).
+    pub n: [usize; D],
+    /// Grid spacing per axis, `h[d] = 1/(n[d]-1)`.
+    pub h: [f64; D],
+}
+
+impl<const D: usize> Grid<D> {
+    /// Uniform grid with `n[d]` nodes per axis (each ≥ 2).
+    pub fn new(n: [usize; D]) -> Self {
+        assert!(D == 2 || D == 3, "Grid supports D = 2 or 3");
+        let mut h = [0.0; D];
+        for d in 0..D {
+            assert!(n[d] >= 2, "need at least 2 nodes per axis, got {}", n[d]);
+            h[d] = 1.0 / (n[d] - 1) as f64;
+        }
+        Grid { n, h }
+    }
+
+    /// Cubic grid with `m` nodes along every axis.
+    pub fn cube(m: usize) -> Self {
+        Grid::new([m; D])
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.n.iter().product()
+    }
+
+    /// Total element count.
+    pub fn num_elements(&self) -> usize {
+        self.n.iter().map(|&m| m - 1).product()
+    }
+
+    /// Elements per axis.
+    pub fn elements(&self) -> [usize; D] {
+        let mut e = [0usize; D];
+        for d in 0..D {
+            e[d] = self.n[d] - 1;
+        }
+        e
+    }
+
+    /// Row-major node strides.
+    pub fn strides(&self) -> [usize; D] {
+        let mut s = [1usize; D];
+        for d in (0..D - 1).rev() {
+            s[d] = s[d + 1] * self.n[d + 1];
+        }
+        s
+    }
+
+    /// Linear node index of a multi-index.
+    #[inline]
+    pub fn node(&self, idx: [usize; D]) -> usize {
+        let mut off = 0;
+        for d in 0..D {
+            debug_assert!(idx[d] < self.n[d]);
+            off = off * self.n[d] + idx[d];
+        }
+        off
+    }
+
+    /// Multi-index of a linear node index.
+    #[inline]
+    pub fn node_multi(&self, mut lin: usize) -> [usize; D] {
+        let mut idx = [0usize; D];
+        for d in (0..D).rev() {
+            idx[d] = lin % self.n[d];
+            lin /= self.n[d];
+        }
+        idx
+    }
+
+    /// Physical coordinates of a node, ordered `(x, y[, z])` — i.e. the
+    /// *reverse* of the axis order, so `coords[0]` is always `x`.
+    pub fn node_coords(&self, lin: usize) -> [f64; D] {
+        let idx = self.node_multi(lin);
+        let mut c = [0.0; D];
+        for d in 0..D {
+            c[d] = idx[D - 1 - d] as f64 * self.h[D - 1 - d];
+        }
+        c
+    }
+
+    /// Multi-index of a linear element index.
+    #[inline]
+    pub fn element_multi(&self, mut lin: usize) -> [usize; D] {
+        let mut idx = [0usize; D];
+        for d in (0..D).rev() {
+            idx[d] = lin % (self.n[d] - 1);
+            lin /= self.n[d] - 1;
+        }
+        idx
+    }
+
+    /// Linear node index of an element's origin corner.
+    #[inline]
+    pub fn element_base(&self, el: [usize; D]) -> usize {
+        self.node(el)
+    }
+
+    /// Offset from an element's base node to its local node `l`
+    /// (bit `0` of `l` steps along `x`, bit `1` along `y`, bit `2` along `z`).
+    #[inline]
+    pub fn local_offset(&self, strides: &[usize; D], l: usize) -> usize {
+        let mut off = 0usize;
+        for b in 0..D {
+            if (l >> b) & 1 == 1 {
+                off += strides[D - 1 - b];
+            }
+        }
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_strides_2d() {
+        let g: Grid<2> = Grid::new([3, 5]); // 3 rows (y), 5 cols (x)
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_elements(), 8);
+        assert_eq!(g.strides(), [5, 1]);
+        assert_eq!(g.node([2, 4]), 14);
+        assert_eq!(g.node_multi(14), [2, 4]);
+    }
+
+    #[test]
+    fn counts_and_strides_3d() {
+        let g: Grid<3> = Grid::new([2, 3, 4]);
+        assert_eq!(g.num_nodes(), 24);
+        assert_eq!(g.num_elements(), 1 * 2 * 3);
+        assert_eq!(g.strides(), [12, 4, 1]);
+        assert_eq!(g.node([1, 2, 3]), 23);
+        assert_eq!(g.node_multi(23), [1, 2, 3]);
+    }
+
+    #[test]
+    fn node_coords_x_first() {
+        let g: Grid<2> = Grid::cube(5);
+        let c = g.node_coords(g.node([1, 3])); // y-index 1, x-index 3
+        assert!((c[0] - 0.75).abs() < 1e-15, "x");
+        assert!((c[1] - 0.25).abs() < 1e-15, "y");
+    }
+
+    #[test]
+    fn local_offsets_follow_bit_convention() {
+        let g: Grid<3> = Grid::new([4, 4, 4]);
+        let s = g.strides();
+        assert_eq!(g.local_offset(&s, 0b001), 1); // +x
+        assert_eq!(g.local_offset(&s, 0b010), 4); // +y
+        assert_eq!(g.local_offset(&s, 0b100), 16); // +z
+        assert_eq!(g.local_offset(&s, 0b111), 21);
+    }
+
+    #[test]
+    fn element_multi_roundtrip() {
+        let g: Grid<3> = Grid::new([3, 4, 5]);
+        for e in 0..g.num_elements() {
+            let m = g.element_multi(e);
+            let mut lin = 0usize;
+            for d in 0..3 {
+                lin = lin * (g.n[d] - 1) + m[d];
+            }
+            assert_eq!(lin, e);
+        }
+    }
+
+    #[test]
+    fn spacing() {
+        let g: Grid<2> = Grid::cube(5);
+        assert!((g.h[0] - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,37 @@
+//! Structured-grid finite elements for the MGDiffNet reproduction.
+//!
+//! Implements the numerical backbone of the paper:
+//! - the **Ritz energy functional** `J(u) = ½ B(u,u) − L(u)` (paper Eq. 14)
+//!   and its gradient with respect to nodal values — this *is* the training
+//!   loss of Algorithm 1;
+//! - **matrix-free stiffness application** `v = K(ν) u` for multilinear
+//!   (bilinear quad / trilinear hex) elements with 2-point Gauss quadrature,
+//!   parallelized with **element coloring** (2^D colors; same-color elements
+//!   share no nodes, so scatter writes are race-free);
+//! - **Jacobi-preconditioned conjugate gradients** and a classical
+//!   **geometric multigrid V-cycle** (damped-Jacobi smoother, full-weighting
+//!   restriction, multilinear prolongation) — the traditional solvers the
+//!   paper compares against in §4.3;
+//! - exact **Dirichlet boundary handling** via masking, matching the
+//!   network-side BC imposition `U = U_int·χ_int + U_bc·χ_b`.
+//!
+//! Everything is generic over the spatial dimension `const D: usize`
+//! (2 and 3 are exercised); grids are uniform over `[0,1]^D` with `x` on the
+//! fastest axis, matching the tensor layout used by `mgd-nn`.
+
+pub mod basis;
+pub mod bc;
+pub mod cg;
+pub mod color;
+pub mod gmg;
+pub mod grid;
+pub mod operator;
+pub mod solver;
+
+pub use basis::ElementBasis;
+pub use bc::Dirichlet;
+pub use cg::{solve_cg, CgOptions, CgStats};
+pub use gmg::{GmgOptions, GmgSolver, GmgStats};
+pub use grid::Grid;
+pub use operator::{apply_stiffness, apply_stiffness_serial, energy, energy_grad, load_vector, stiffness_diag};
+pub use solver::{solve_poisson, Method, SolveReport};

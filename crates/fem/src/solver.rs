@@ -1,0 +1,140 @@
+//! High-level Poisson solve entry point.
+//!
+//! Picks between the geometric multigrid solver (when the grid nests,
+//! `n = 2^j + 1` per axis) and Jacobi-preconditioned CG (any grid — in
+//! particular the `2^k`-node grids that match network outputs), and reports
+//! wall-clock timing for the §4.3 FEM-vs-inference comparison.
+
+use crate::basis::ElementBasis;
+use crate::bc::Dirichlet;
+use crate::cg::{solve_cg, CgOptions};
+use crate::gmg::{coarsenable, GmgOptions, GmgSolver};
+use crate::grid::Grid;
+use std::time::Instant;
+
+/// Solver selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Choose GMG when the grid supports it, else CG.
+    Auto,
+    /// Force conjugate gradients.
+    Cg,
+    /// Force geometric multigrid (panics if the grid cannot coarsen).
+    Gmg,
+}
+
+/// Outcome of a [`solve_poisson`] call.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The nodal solution field.
+    pub u: Vec<f64>,
+    /// Which method actually ran.
+    pub method: Method,
+    /// Iterations (CG iterations or V-cycles).
+    pub iterations: usize,
+    /// Whether the solver met its tolerance.
+    pub converged: bool,
+    /// Wall-clock solve time in seconds.
+    pub seconds: f64,
+}
+
+/// Solves `−∇·(ν∇u) = f` with the given Dirichlet data.
+pub fn solve_poisson<const D: usize>(
+    grid: &Grid<D>,
+    nu: &[f64],
+    bc: &Dirichlet,
+    f: Option<&[f64]>,
+    method: Method,
+    tol: f64,
+) -> SolveReport {
+    let gmg_ok = grid.n.iter().all(|&m| coarsenable(m));
+    let chosen = match method {
+        Method::Auto => {
+            if gmg_ok {
+                Method::Gmg
+            } else {
+                Method::Cg
+            }
+        }
+        Method::Gmg => {
+            assert!(gmg_ok, "grid {:?} does not support vertex-centered coarsening", grid.n);
+            Method::Gmg
+        }
+        Method::Cg => Method::Cg,
+    };
+    let start = Instant::now();
+    match chosen {
+        Method::Gmg => {
+            let solver = GmgSolver::new(*grid, nu, bc.clone(), GmgOptions { tol, ..Default::default() });
+            let (u, stats) = solver.solve(f, None);
+            SolveReport {
+                u,
+                method: Method::Gmg,
+                iterations: stats.cycles,
+                converged: stats.converged,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+        _ => {
+            let basis = ElementBasis::new(grid);
+            let (u, stats) =
+                solve_cg(grid, &basis, nu, bc, f, None, CgOptions { tol, max_iter: 50_000, ..Default::default() });
+            SolveReport {
+                u,
+                method: Method::Cg,
+                iterations: stats.iterations,
+                converged: stats.converged,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_picks_gmg_on_nested_grid() {
+        let g: Grid<2> = Grid::cube(17);
+        let nn = g.num_nodes();
+        let r = solve_poisson(&g, &vec![1.0; nn], &Dirichlet::x_faces(&g, 1.0, 0.0), None, Method::Auto, 1e-9);
+        assert_eq!(r.method, Method::Gmg);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn auto_falls_back_to_cg_on_pow2_grid() {
+        let g: Grid<2> = Grid::cube(16); // network-style 2^k grid
+        let nn = g.num_nodes();
+        let r = solve_poisson(&g, &vec![1.0; nn], &Dirichlet::x_faces(&g, 1.0, 0.0), None, Method::Auto, 1e-9);
+        assert_eq!(r.method, Method::Cg);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn gmg_and_cg_agree() {
+        let g: Grid<2> = Grid::cube(33);
+        let nn = g.num_nodes();
+        let nu: Vec<f64> = (0..nn)
+            .map(|i| {
+                let c = g.node_coords(i);
+                1.0 + 0.8 * (c[0] * 5.0).sin().abs()
+            })
+            .collect();
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let a = solve_poisson(&g, &nu, &bc, None, Method::Gmg, 1e-11);
+        let b = solve_poisson(&g, &nu, &bc, None, Method::Cg, 1e-11);
+        assert!(a.converged && b.converged);
+        let err: f64 = a.u.iter().zip(&b.u).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "coarsening")]
+    fn forcing_gmg_on_bad_grid_panics() {
+        let g: Grid<2> = Grid::cube(16);
+        let nn = g.num_nodes();
+        let _ = solve_poisson(&g, &vec![1.0; nn], &Dirichlet::x_faces(&g, 1.0, 0.0), None, Method::Gmg, 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the FEM operators.
+
+use mgd_fem::{
+    apply_stiffness, apply_stiffness_serial, energy, Dirichlet, ElementBasis, Grid,
+};
+use proptest::prelude::*;
+
+fn field(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed.wrapping_mul(0xD1B54A32D192ED03));
+            lo + (hi - lo) * ((h >> 11) as f64 / (1u64 << 53) as f64)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The no-forcing energy ½uᵀKu is non-negative for positive ν.
+    #[test]
+    fn energy_nonnegative(m in 3usize..10, seed in 0u64..1000) {
+        let g: Grid<2> = Grid::cube(m);
+        let b = ElementBasis::new(&g);
+        let nn = g.num_nodes();
+        let nu = field(nn, seed, 0.1, 5.0);
+        let u = field(nn, seed.wrapping_add(1), -2.0, 2.0);
+        prop_assert!(energy(&g, &b, &nu, &u, None) >= -1e-12);
+    }
+
+    /// Energy is 1-homogeneous in ν: J(cν, u) = c·J(ν, u).
+    #[test]
+    fn energy_linear_in_nu(m in 3usize..8, seed in 0u64..1000, c in 0.1..10.0f64) {
+        let g: Grid<2> = Grid::cube(m);
+        let b = ElementBasis::new(&g);
+        let nn = g.num_nodes();
+        let nu = field(nn, seed, 0.1, 5.0);
+        let nu_c: Vec<f64> = nu.iter().map(|&v| c * v).collect();
+        let u = field(nn, seed.wrapping_add(2), -1.0, 1.0);
+        let j1 = energy(&g, &b, &nu, &u, None);
+        let j2 = energy(&g, &b, &nu_c, &u, None);
+        prop_assert!((j2 - c * j1).abs() < 1e-9 * (1.0 + j1.abs()));
+    }
+
+    /// Energy is 2-homogeneous in u: J(ν, cu) = c²·J(ν, u).
+    #[test]
+    fn energy_quadratic_in_u(m in 3usize..8, seed in 0u64..1000, c in -3.0..3.0f64) {
+        let g: Grid<2> = Grid::cube(m);
+        let b = ElementBasis::new(&g);
+        let nn = g.num_nodes();
+        let nu = field(nn, seed, 0.1, 5.0);
+        let u = field(nn, seed.wrapping_add(3), -1.0, 1.0);
+        let uc: Vec<f64> = u.iter().map(|&v| c * v).collect();
+        let j1 = energy(&g, &b, &nu, &u, None);
+        let j2 = energy(&g, &b, &nu, &uc, None);
+        prop_assert!((j2 - c * c * j1).abs() < 1e-9 * (1.0 + j1.abs()));
+    }
+
+    /// Parallel (colored) and serial stiffness application agree bitwise-ish.
+    #[test]
+    fn colored_equals_serial_apply(my in 3usize..9, mx in 3usize..9, seed in 0u64..1000) {
+        let g: Grid<2> = Grid::new([my, mx]);
+        let b = ElementBasis::new(&g);
+        let nn = g.num_nodes();
+        let nu = field(nn, seed, 0.1, 5.0);
+        let u = field(nn, seed.wrapping_add(4), -1.0, 1.0);
+        let mut a = vec![0.0; nn];
+        let mut s = vec![0.0; nn];
+        apply_stiffness(&g, &b, &nu, &u, &mut a);
+        apply_stiffness_serial(&g, &b, &nu, &u, &mut s);
+        for i in 0..nn {
+            prop_assert!((a[i] - s[i]).abs() < 1e-10, "node {}: {} vs {}", i, a[i], s[i]);
+        }
+    }
+
+    /// K annihilates constants for any ν (pure Neumann compatibility).
+    #[test]
+    fn stiffness_kernel_contains_constants(m in 3usize..10, seed in 0u64..1000, c in -5.0..5.0f64) {
+        let g: Grid<2> = Grid::cube(m);
+        let b = ElementBasis::new(&g);
+        let nn = g.num_nodes();
+        let nu = field(nn, seed, 0.1, 5.0);
+        let u = vec![c; nn];
+        let mut ku = vec![0.0; nn];
+        apply_stiffness(&g, &b, &nu, &u, &mut ku);
+        prop_assert!(ku.iter().all(|&x| x.abs() < 1e-10));
+    }
+
+    /// Dirichlet mask operations are idempotent and complementary.
+    #[test]
+    fn mask_idempotent(m in 3usize..10, seed in 0u64..1000) {
+        let g: Grid<2> = Grid::cube(m);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let mut u = field(g.num_nodes(), seed, -1.0, 1.0);
+        bc.apply(&mut u);
+        let once = u.clone();
+        bc.apply(&mut u);
+        prop_assert_eq!(&u, &once);
+        let mut v = once.clone();
+        bc.zero_fixed(&mut v);
+        // Fixed entries zeroed, interior untouched.
+        for i in 0..v.len() {
+            if bc.fixed[i] {
+                prop_assert_eq!(v[i], 0.0);
+            } else {
+                prop_assert_eq!(v[i], once[i]);
+            }
+        }
+    }
+
+    /// 3D grids: node/multi-index roundtrip for arbitrary shapes.
+    #[test]
+    fn grid_roundtrip_3d(nz in 2usize..6, ny in 2usize..6, nx in 2usize..6) {
+        let g: Grid<3> = Grid::new([nz, ny, nx]);
+        for i in 0..g.num_nodes() {
+            prop_assert_eq!(g.node(g.node_multi(i)), i);
+        }
+    }
+}

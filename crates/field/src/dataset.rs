@@ -1,0 +1,207 @@
+//! ω-indexed datasets of parametric diffusivity maps.
+//!
+//! The training data of the paper is not stored fields but *parameters*: a
+//! Sobol sample of ω ∈ [−3,3]⁴ (65,536 points for the 2D studies, 1,024 for
+//! 256³). Fields are rasterized on demand at whatever multigrid level is
+//! being trained, which is what makes the multigrid hierarchy cheap.
+
+use crate::diffusivity::DiffusivityModel;
+use crate::sobol::Sobol;
+use crate::OMEGA_RANGE;
+use mgd_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// What the network sees as its input channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputEncoding {
+    /// `log ν` — the bounded KL-expansion field (default; see DESIGN.md §7).
+    LogNu,
+    /// Raw ν = exp(log ν); spans orders of magnitude.
+    RawNu,
+}
+
+/// A set of PDE-parameter samples with on-demand rasterization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The parameter vectors ω.
+    pub omegas: Vec<Vec<f64>>,
+    /// The diffusivity model shared by all samples.
+    pub model: DiffusivityModel,
+    /// Input encoding for network consumption.
+    pub encoding: InputEncoding,
+}
+
+impl Dataset {
+    /// Sobol-samples `n` parameter vectors in the paper's box [−3,3]^m.
+    pub fn sobol(n: usize, model: DiffusivityModel, encoding: InputEncoding) -> Self {
+        let mut sobol = Sobol::new(model.num_modes());
+        let omegas = sobol.take_in_box(n, OMEGA_RANGE.0, OMEGA_RANGE.1);
+        Dataset { omegas, model, encoding }
+    }
+
+    /// Dataset from explicit ω vectors (e.g. the paper's anecdotal values).
+    pub fn from_omegas(omegas: Vec<Vec<f64>>, model: DiffusivityModel, encoding: InputEncoding) -> Self {
+        for om in &omegas {
+            assert_eq!(om.len(), model.num_modes(), "omega dimension mismatch");
+        }
+        Dataset { omegas, model, encoding }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.omegas.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.omegas.is_empty()
+    }
+
+    /// Pads the dataset by wrapping so `len` is divisible by `p`
+    /// (paper §3.2: "augmenting the dataset to make the total number of
+    /// training samples Ns divisible by the number of workers p").
+    pub fn pad_to_multiple(&mut self, p: usize) {
+        assert!(p > 0);
+        let rem = self.omegas.len() % p;
+        if rem != 0 {
+            for i in 0..(p - rem) {
+                let om = self.omegas[i % self.omegas.len().max(1)].clone();
+                self.omegas.push(om);
+            }
+        }
+    }
+
+    /// Deterministic epoch shuffle: every worker derives the identical
+    /// permutation from `(seed, epoch)`, which the Eq. 15 sharding invariant
+    /// relies on.
+    pub fn epoch_permutation(&self, seed: u64, epoch: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.omegas.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        idx.shuffle(&mut rng);
+        idx
+    }
+
+    /// Rasterizes the input field for one sample on nodal `dims`
+    /// (`[ny, nx]` or `[nz, ny, nx]`).
+    pub fn input_field(&self, sample: usize, dims: &[usize]) -> Tensor {
+        let om = &self.omegas[sample];
+        match self.encoding {
+            InputEncoding::LogNu => self.model.rasterize_log(om, dims),
+            InputEncoding::RawNu => self.model.rasterize(om, dims),
+        }
+    }
+
+    /// Rasterizes the *coefficient* field ν (always raw) used by the FEM
+    /// energy loss, independent of the network input encoding.
+    pub fn nu_field(&self, sample: usize, dims: &[usize]) -> Tensor {
+        self.model.rasterize(&self.omegas[sample], dims)
+    }
+
+    /// Rasterizes a batch of samples into an NCDHW tensor `[B, 1, (nz,) ny, nx]`.
+    ///
+    /// 2D grids get a unit depth axis so 2D and 3D share the conv kernels.
+    pub fn batch_inputs(&self, samples: &[usize], dims: &[usize]) -> Tensor {
+        let vol: usize = dims.iter().product();
+        let b = samples.len();
+        let mut out = match dims.len() {
+            2 => Tensor::zeros([b, 1, 1, dims[0], dims[1]]),
+            3 => Tensor::zeros([b, 1, dims[0], dims[1], dims[2]]),
+            r => panic!("batch_inputs expects 2 or 3 spatial dims, got {r}"),
+        };
+        let fields = mgd_tensor::par::maybe_par_map_collect(b, vol, |i| {
+            self.input_field(samples[i], dims)
+        });
+        for (i, f) in fields.into_iter().enumerate() {
+            out.as_mut_slice()[i * vol..(i + 1) * vol].copy_from_slice(f.as_slice());
+        }
+        out
+    }
+
+    /// Rasterizes the ν fields for a batch, shaped `[B, spatial...]`.
+    pub fn batch_nu(&self, samples: &[usize], dims: &[usize]) -> Vec<Tensor> {
+        let vol: usize = dims.iter().product();
+        mgd_tensor::par::maybe_par_map_collect(samples.len(), vol, |i| {
+            self.nu_field(samples[i], dims)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusivity::DiffusivityModel;
+
+    fn ds(n: usize) -> Dataset {
+        Dataset::sobol(n, DiffusivityModel::paper(), InputEncoding::LogNu)
+    }
+
+    #[test]
+    fn sobol_dataset_in_box() {
+        let d = ds(64);
+        assert_eq!(d.len(), 64);
+        for om in &d.omegas {
+            assert_eq!(om.len(), 4);
+            assert!(om.iter().all(|&w| (-3.0..3.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn pad_to_multiple_wraps() {
+        let mut d = ds(10);
+        d.pad_to_multiple(4);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.omegas[10], d.omegas[0]);
+        assert_eq!(d.omegas[11], d.omegas[1]);
+        // Already divisible: no-op.
+        d.pad_to_multiple(4);
+        assert_eq!(d.len(), 12);
+    }
+
+    #[test]
+    fn permutation_is_deterministic_and_epoch_dependent() {
+        let d = ds(32);
+        let p1 = d.epoch_permutation(7, 0);
+        let p2 = d.epoch_permutation(7, 0);
+        let p3 = d.epoch_permutation(7, 1);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_inputs_shape_2d_and_3d() {
+        let d = ds(4);
+        let b2 = d.batch_inputs(&[0, 1, 2], &[8, 8]);
+        assert_eq!(b2.dims(), &[3, 1, 1, 8, 8]);
+        let b3 = d.batch_inputs(&[0, 1], &[4, 8, 8]);
+        assert_eq!(b3.dims(), &[2, 1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn batch_inputs_matches_single_rasterization() {
+        let d = ds(3);
+        let b = d.batch_inputs(&[2, 0], &[8, 8]);
+        let f2 = d.input_field(2, &[8, 8]);
+        let f0 = d.input_field(0, &[8, 8]);
+        assert_eq!(&b.as_slice()[0..64], f2.as_slice());
+        assert_eq!(&b.as_slice()[64..128], f0.as_slice());
+    }
+
+    #[test]
+    fn encoding_changes_input_not_nu() {
+        let mut d = ds(2);
+        let log_in = d.input_field(0, &[8, 8]);
+        d.encoding = InputEncoding::RawNu;
+        let raw_in = d.input_field(0, &[8, 8]);
+        for i in 0..log_in.len() {
+            assert!((raw_in[i] - log_in[i].exp()).abs() < 1e-12);
+        }
+        let nu = d.nu_field(0, &[8, 8]);
+        assert_eq!(nu.as_slice(), raw_in.as_slice());
+    }
+}

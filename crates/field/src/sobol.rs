@@ -1,0 +1,202 @@
+//! Sobol quasi-random sequence (gray-code construction).
+//!
+//! Built from scratch: direction numbers follow the Joe–Kuo "new-joe-kuo-6"
+//! table for the first 16 dimensions, which comfortably covers the paper's
+//! 4-dimensional parameter space ω ∈ [−3, 3]⁴ (§2.2.1, §4.1).
+//!
+//! The gray-code variant updates point `n` from point `n−1` by XOR-ing a
+//! single direction integer, making generation O(d) per point.
+
+/// Number of bits of precision in the generated points.
+const BITS: u32 = 32;
+
+/// Joe–Kuo direction-number seeds: `(s, a, m[0..s])` for dimensions 2..=16.
+/// Dimension 1 is the van der Corput sequence (all m = 1).
+const JOE_KUO: &[(u32, u32, &[u32])] = &[
+    (1, 0, &[1]),
+    (2, 1, &[1, 3]),
+    (3, 1, &[1, 3, 1]),
+    (3, 2, &[1, 1, 1]),
+    (4, 1, &[1, 1, 3, 3]),
+    (4, 4, &[1, 3, 5, 13]),
+    (5, 2, &[1, 1, 5, 5, 17]),
+    (5, 4, &[1, 1, 5, 5, 5]),
+    (5, 7, &[1, 1, 7, 11, 19]),
+    (5, 11, &[1, 1, 5, 1, 1]),
+    (5, 13, &[1, 1, 1, 3, 11]),
+    (5, 14, &[1, 3, 5, 5, 31]),
+    (6, 1, &[1, 3, 3, 9, 7, 49]),
+    (6, 13, &[1, 1, 1, 15, 21, 21]),
+    (6, 16, &[1, 3, 1, 13, 27, 49]),
+];
+
+/// Maximum supported dimensionality.
+pub const MAX_DIM: usize = JOE_KUO.len() + 1;
+
+/// A Sobol sequence generator over `[0, 1)^d`.
+///
+/// The point with index 0 (the all-zeros corner) is skipped by default, as
+/// is conventional when the sequence parameterizes physical fields: index
+/// `i` of [`Sobol::next_point`] therefore corresponds to Sobol index `i+1`.
+#[derive(Clone, Debug)]
+pub struct Sobol {
+    dim: usize,
+    /// Direction integers, `v[j][k]` for dimension j, bit k.
+    v: Vec<[u32; BITS as usize]>,
+    /// Current gray-code state per dimension.
+    x: Vec<u32>,
+    /// Index of the next point to emit (Sobol index, 1-based after skip).
+    count: u64,
+}
+
+impl Sobol {
+    /// Creates a generator for `dim` dimensions (`1 ..= MAX_DIM`).
+    pub fn new(dim: usize) -> Self {
+        assert!((1..=MAX_DIM).contains(&dim), "Sobol supports 1..={MAX_DIM} dims, got {dim}");
+        let mut v = Vec::with_capacity(dim);
+        // Dimension 1: van der Corput, v_k = 2^(31-k).
+        let mut v1 = [0u32; BITS as usize];
+        for (k, vk) in v1.iter_mut().enumerate() {
+            *vk = 1u32 << (BITS - 1 - k as u32);
+        }
+        v.push(v1);
+        for d in 1..dim {
+            let (s, a, m) = JOE_KUO[d - 1];
+            let s = s as usize;
+            let mut vd = [0u32; BITS as usize];
+            for k in 0..s.min(BITS as usize) {
+                debug_assert!(m[k] % 2 == 1, "direction seeds must be odd");
+                vd[k] = m[k] << (BITS - 1 - k as u32);
+            }
+            for k in s..BITS as usize {
+                // Recurrence: v_k = v_{k-s} ^ (v_{k-s} >> s) ^ sum of taps.
+                let mut val = vd[k - s] ^ (vd[k - s] >> s);
+                for i in 1..s {
+                    if (a >> (s - 1 - i)) & 1 == 1 {
+                        val ^= vd[k - i];
+                    }
+                }
+                vd[k] = val;
+            }
+            v.push(vd);
+        }
+        Sobol { dim, v, x: vec![0; dim], count: 0 }
+    }
+
+    /// Dimensionality of the generated points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Generates the next point in `[0, 1)^d`.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        // Advance state: XOR the direction integer selected by the index of
+        // the lowest zero bit of `count` (gray-code update). The first call
+        // moves from Sobol index 0 to index 1, skipping the zero point.
+        let c = self.count.trailing_ones() as usize;
+        debug_assert!(c < BITS as usize, "sequence exhausted 2^32 points");
+        for j in 0..self.dim {
+            self.x[j] ^= self.v[j][c];
+        }
+        self.count += 1;
+        let scale = 1.0 / (1u64 << BITS) as f64;
+        self.x.iter().map(|&xi| xi as f64 * scale).collect()
+    }
+
+    /// Generates `n` points as a flat row-major `n x dim` buffer.
+    pub fn take(&mut self, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+
+    /// Generates `n` points affinely mapped into the box `[lo, hi)^d`.
+    pub fn take_in_box(&mut self, n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+        let w = hi - lo;
+        (0..n)
+            .map(|_| self.next_point().into_iter().map(|u| lo + w * u).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim1_is_van_der_corput() {
+        let mut s = Sobol::new(1);
+        let pts: Vec<f64> = (0..7).map(|_| s.next_point()[0]).collect();
+        // Gray-code ordering of the van der Corput sequence.
+        assert_eq!(pts, vec![0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]);
+    }
+
+    #[test]
+    fn first_point_is_half_in_all_dims() {
+        let mut s = Sobol::new(8);
+        let p = s.next_point();
+        assert!(p.iter().all(|&x| (x - 0.5).abs() < 1e-12), "{p:?}");
+    }
+
+    #[test]
+    fn points_in_unit_box() {
+        let mut s = Sobol::new(MAX_DIM);
+        for _ in 0..1000 {
+            let p = s.next_point();
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn one_d_stratification() {
+        // The first 2^k points (after the skipped zero) of each dimension,
+        // together with 0, hit every dyadic interval of width 2^-k once.
+        for d in 0..4usize {
+            let mut s = Sobol::new(d + 1);
+            let k = 4usize;
+            let n = (1 << k) - 1; // plus the implicit zero point = 2^k values
+            let mut bins = vec![0usize; 1 << k];
+            bins[0] += 1; // the skipped zero point
+            for _ in 0..n {
+                let p = s.next_point();
+                bins[(p[d] * (1 << k) as f64) as usize] += 1;
+            }
+            assert!(bins.iter().all(|&b| b == 1), "dim {d}: {bins:?}");
+        }
+    }
+
+    #[test]
+    fn two_d_low_discrepancy_beats_grid_corner() {
+        // Crude discrepancy check: counts in the 4 quadrants of [0,1)^2
+        // should be balanced within 2 for 64 points.
+        let mut s = Sobol::new(2);
+        let mut quad = [0usize; 4];
+        for _ in 0..64 {
+            let p = s.next_point();
+            let q = (p[0] >= 0.5) as usize * 2 + (p[1] >= 0.5) as usize;
+            quad[q] += 1;
+        }
+        for &q in &quad {
+            assert!((14..=18).contains(&q), "{quad:?}");
+        }
+    }
+
+    #[test]
+    fn take_in_box_maps_range() {
+        let mut s = Sobol::new(4);
+        for p in s.take_in_box(100, -3.0, 3.0) {
+            assert!(p.iter().all(|&x| (-3.0..3.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn too_many_dims_panics() {
+        let _ = Sobol::new(MAX_DIM + 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = Sobol::new(4).take(10);
+        let b: Vec<_> = Sobol::new(4).take(10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Legacy-VTK structured-points output.
+//!
+//! The paper's software stack writes `.vtu` files for visualization (see
+//! its appendix dependency list). For uniform grids the much simpler legacy
+//! "STRUCTURED_POINTS" format carries the same information and is readable
+//! by ParaView/VisIt; this writer emits ASCII scalars for 2D and 3D nodal
+//! fields so predicted/FEM solution fields and coefficient maps can be
+//! inspected with standard tools.
+
+use mgd_tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes one or more nodal scalar fields over the unit square/cube.
+///
+/// All fields must share the same rank-2 `(ny, nx)` or rank-3
+/// `(nz, ny, nx)` shape; `names` supplies the VTK array names.
+pub fn write_structured_points(
+    path: &Path,
+    fields: &[(&str, &Tensor)],
+) -> std::io::Result<()> {
+    assert!(!fields.is_empty(), "need at least one field");
+    let dims = fields[0].1.dims().to_vec();
+    for (name, f) in fields {
+        assert_eq!(f.dims(), &dims[..], "field {name} has mismatched shape");
+        assert!(
+            matches!(f.dims().len(), 2 | 3),
+            "VTK writer expects rank-2/3 fields, got {name} with rank {}",
+            f.dims().len()
+        );
+    }
+    let (nz, ny, nx) = match dims[..] {
+        [ny, nx] => (1usize, ny, nx),
+        [nz, ny, nx] => (nz, ny, nx),
+        _ => unreachable!(),
+    };
+    let spacing = |n: usize| if n > 1 { 1.0 / (n - 1) as f64 } else { 1.0 };
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    out.push_str("MGDiffNet field dump\nASCII\nDATASET STRUCTURED_POINTS\n");
+    // VTK dimension order is x y z (fastest first).
+    out.push_str(&format!("DIMENSIONS {nx} {ny} {nz}\n"));
+    out.push_str("ORIGIN 0 0 0\n");
+    out.push_str(&format!("SPACING {} {} {}\n", spacing(nx), spacing(ny), spacing(nz)));
+    out.push_str(&format!("POINT_DATA {}\n", nx * ny * nz));
+    for (name, f) in fields {
+        out.push_str(&format!("SCALARS {name} double 1\nLOOKUP_TABLE default\n"));
+        // Our row-major (z, y, x) layout already matches VTK's
+        // x-fastest traversal order.
+        for v in f.as_slice() {
+            out.push_str(&format!("{v:.9e}\n"));
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mgd_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn header_and_counts_2d() {
+        let f = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let p = tmp("f2.vtk");
+        write_structured_points(&p, &[("u", &f)]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("DIMENSIONS 3 2 1"));
+        assert!(s.contains("POINT_DATA 6"));
+        assert!(s.contains("SCALARS u double 1"));
+        // 6 values follow the lookup table line.
+        let values: Vec<&str> =
+            s.lines().skip_while(|l| !l.starts_with("LOOKUP_TABLE")).skip(1).collect();
+        assert_eq!(values.len(), 6);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn multiple_fields_3d() {
+        let a = Tensor::full([2, 2, 2], 1.5);
+        let b = Tensor::full([2, 2, 2], -0.5);
+        let p = tmp("f3.vtk");
+        write_structured_points(&p, &[("nu", &a), ("u", &b)]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("DIMENSIONS 2 2 2"));
+        assert!(s.contains("SCALARS nu double 1"));
+        assert!(s.contains("SCALARS u double 1"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched shape")]
+    fn mismatched_shapes_rejected() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([3, 3]);
+        let _ = write_structured_points(&tmp("bad.vtk"), &[("a", &a), ("b", &b)]);
+    }
+
+    #[test]
+    fn spacing_covers_unit_domain() {
+        let f = Tensor::zeros([5, 9]);
+        let p = tmp("sp.vtk");
+        write_structured_points(&p, &[("u", &f)]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("SPACING 0.125 0.25 1"));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,127 @@
+//! Pointwise activation layers.
+
+use crate::layer::Layer;
+use mgd_tensor::Tensor;
+
+/// LeakyReLU: `y = x` for `x > 0`, `y = αx` otherwise (paper §4.1 uses
+/// LeakyReLU on all intermediate layers).
+#[derive(Clone, Debug)]
+pub struct LeakyReLU {
+    /// Negative-side slope α.
+    pub alpha: f64,
+    cache_x: Option<Tensor>,
+}
+
+impl LeakyReLU {
+    /// Creates the activation with slope `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        LeakyReLU { alpha, cache_x: None }
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        let a = self.alpha;
+        x.map(|v| if v > 0.0 { v } else { a * v })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        assert_eq!(x.shape(), grad_out.shape());
+        let mut gx = grad_out.clone();
+        let a = self.alpha;
+        let xs = x.as_slice();
+        let g = gx.as_mut_slice();
+        for i in 0..g.len() {
+            if xs[i] <= 0.0 {
+                g[i] *= a;
+            }
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        format!("LeakyReLU(α={})", self.alpha)
+    }
+}
+
+/// Logistic sigmoid, used by the network head so the predicted field lies in
+/// `(0, 1)` — matching the Dirichlet data `u ∈ {0, 1}` and the maximum
+/// principle for this PDE.
+#[derive(Clone, Debug, Default)]
+pub struct Sigmoid {
+    cache_y: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Sigmoid { cache_y: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        if train {
+            self.cache_y = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cache_y.as_ref().expect("backward before forward");
+        assert_eq!(y.shape(), grad_out.shape());
+        let mut gx = grad_out.clone();
+        let ys = y.as_slice();
+        let g = gx.as_mut_slice();
+        for i in 0..g.len() {
+            g[i] *= ys[i] * (1.0 - ys[i]);
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        "Sigmoid".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradient;
+
+    #[test]
+    fn leaky_relu_values() {
+        let mut l = LeakyReLU::new(0.1);
+        let x = Tensor::from_vec([1, 1, 1, 1, 4], vec![-2.0, -0.5, 0.0, 3.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.as_slice(), &[-0.2, -0.05, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_values() {
+        let mut l = Sigmoid::new();
+        let x = Tensor::from_vec([1, 1, 1, 1, 3], vec![0.0, 100.0, -100.0]);
+        let y = l.forward(&x, true);
+        assert!((y[0] - 0.5).abs() < 1e-15);
+        assert!(y[1] > 0.999_999);
+        assert!(y[2] < 1e-6);
+    }
+
+    #[test]
+    fn leaky_relu_gradcheck() {
+        let l = LeakyReLU::new(0.07);
+        // Offset inputs away from the kink for clean finite differences.
+        check_layer_gradient(Box::new(l), &[2, 3, 1, 4, 4], 0.35, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let l = Sigmoid::new();
+        check_layer_gradient(Box::new(l), &[2, 2, 2, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+}

@@ -1,0 +1,380 @@
+//! Direct 3D convolution with hand-written backprop.
+
+use crate::layer::{Dims5, Layer, Triple};
+use crate::param::Param;
+use crate::util::{tap_range, SendPtr};
+use mgd_tensor::par::maybe_par_for;
+use mgd_tensor::Tensor;
+use rand::Rng;
+
+/// A 3D convolution `y = W ⊛ x + b` over NCDHW tensors.
+///
+/// Weight layout `[out_c, in_c, kd, kh, kw]`. 2D networks use kernels with
+/// unit depth (`(1, k, k)`), so a single implementation serves both the 2D
+/// and 3D experiments of the paper.
+#[derive(Clone, Debug)]
+pub struct Conv3d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel extents (kd, kh, kw).
+    pub kernel: Triple,
+    /// Strides (sd, sh, sw).
+    pub stride: Triple,
+    /// Zero-padding (pd, ph, pw).
+    pub padding: Triple,
+    /// Filter weights.
+    pub weight: Param,
+    /// Per-output-channel bias.
+    pub bias: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv3d {
+    /// Fully configured constructor with Kaiming initialization.
+    pub fn new<R: Rng>(
+        in_c: usize,
+        out_c: usize,
+        kernel: Triple,
+        stride: Triple,
+        padding: Triple,
+        rng: &mut R,
+    ) -> Self {
+        let (kd, kh, kw) = kernel;
+        let fan_in = in_c * kd * kh * kw;
+        Conv3d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            weight: Param::kaiming([out_c, in_c, kd, kh, kw], fan_in, rng),
+            bias: Param::zeros([out_c]),
+            cache_x: None,
+        }
+    }
+
+    /// Stride-1 "same" convolution (odd kernels only).
+    pub fn same<R: Rng>(in_c: usize, out_c: usize, kernel: Triple, rng: &mut R) -> Self {
+        let (kd, kh, kw) = kernel;
+        assert!(kd % 2 == 1 && kh % 2 == 1 && kw % 2 == 1, "same-padding needs odd kernels");
+        Conv3d::new(in_c, out_c, kernel, (1, 1, 1), ((kd - 1) / 2, (kh - 1) / 2, (kw - 1) / 2), rng)
+    }
+
+    /// Output spatial dims for the given input dims.
+    pub fn out_dims(&self, din: &Dims5) -> Dims5 {
+        let o = |i: usize, k: usize, s: usize, p: usize| {
+            assert!(i + 2 * p >= k, "input {i} too small for kernel {k} pad {p}");
+            (i + 2 * p - k) / s + 1
+        };
+        Dims5 {
+            n: din.n,
+            c: self.out_c,
+            d: o(din.d, self.kernel.0, self.stride.0, self.padding.0),
+            h: o(din.h, self.kernel.1, self.stride.1, self.padding.1),
+            w: o(din.w, self.kernel.2, self.stride.2, self.padding.2),
+        }
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let (kd, kh, kw) = self.kernel;
+        let (sd, sh, sw) = self.stride;
+        let (pd, ph, pw) = self.padding;
+        let xs = x.as_slice();
+        let ws = self.weight.data.as_slice();
+        let bs = self.bias.data.as_slice();
+        let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
+        let out_block = dout.vol();
+        maybe_par_for(dout.n * dout.c, out_block * self.in_c * kd * kh * kw, |nc| {
+            let n = nc / dout.c;
+            let oc = nc % dout.c;
+            // SAFETY: each (n, oc) task owns a disjoint output block.
+            let yblock = unsafe {
+                std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
+            };
+            let b = bs[oc];
+            let mut oi = 0usize;
+            for od in 0..dout.d {
+                let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
+                for oh in 0..dout.h {
+                    let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
+                    for ow in 0..dout.w {
+                        let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
+                        let mut acc = b;
+                        for ic in 0..self.in_c {
+                            let xbase = (n * self.in_c + ic) * din.vol();
+                            let wbase = (oc * self.in_c + ic) * kd * kh * kw;
+                            for kdi in kd_lo..kd_hi {
+                                let id = od * sd + kdi - pd;
+                                for khi in kh_lo..kh_hi {
+                                    let ih = oh * sh + khi - ph;
+                                    let xrow = xbase + (id * din.h + ih) * din.w + (ow * sw + kw_lo - pw);
+                                    let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
+                                    for t in 0..(kw_hi - kw_lo) {
+                                        acc += xs[xrow + t] * ws[wrow + t];
+                                    }
+                                }
+                            }
+                        }
+                        yblock[oi] = acc;
+                        oi += 1;
+                    }
+                }
+            }
+        });
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward").clone();
+        let din = Dims5::of(&x);
+        let dout = self.out_dims(&din);
+        assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let (kd, kh, kw) = self.kernel;
+        let (sd, sh, sw) = self.stride;
+        let (pd, ph, pw) = self.padding;
+        let g = grad_out.as_slice();
+        let xs = x.as_slice();
+
+        // Bias gradient: Σ over batch and spatial positions per channel.
+        {
+            let gb = self.bias.grad.as_mut_slice();
+            for n in 0..dout.n {
+                for oc in 0..dout.c {
+                    let base = (n * dout.c + oc) * dout.vol();
+                    let mut s = 0.0;
+                    for oi in 0..dout.vol() {
+                        s += g[base + oi];
+                    }
+                    gb[oc] += s;
+                }
+            }
+        }
+
+        // Weight gradient: each oc owns its grad_w slice (parallel over oc).
+        {
+            let kvol = self.in_c * kd * kh * kw;
+            let ptr = SendPtr(self.weight.grad.as_mut_slice().as_mut_ptr());
+            maybe_par_for(dout.c, dout.n * dout.vol() * kvol, |oc| {
+                // SAFETY: each oc task owns a disjoint weight-grad block.
+                let gw =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(oc * kvol), kvol) };
+                for n in 0..dout.n {
+                    let gbase = (n * dout.c + oc) * dout.vol();
+                    let mut oi = 0usize;
+                    for od in 0..dout.d {
+                        let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
+                        for oh in 0..dout.h {
+                            let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
+                            for ow in 0..dout.w {
+                                let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
+                                let gv = g[gbase + oi];
+                                oi += 1;
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                for ic in 0..self.in_c {
+                                    let xbase = (n * self.in_c + ic) * din.vol();
+                                    let wbase = ic * kd * kh * kw;
+                                    for kdi in kd_lo..kd_hi {
+                                        let id = od * sd + kdi - pd;
+                                        for khi in kh_lo..kh_hi {
+                                            let ih = oh * sh + khi - ph;
+                                            let xrow = xbase + (id * din.h + ih) * din.w + (ow * sw + kw_lo - pw);
+                                            let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
+                                            for t in 0..(kw_hi - kw_lo) {
+                                                gw[wrow + t] += gv * xs[xrow + t];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Input gradient: scatter form, parallel over (n, ic)… but each
+        // (n, ·) task needs all oc; parallelize over n and write the full
+        // per-sample block.
+        let mut gx = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
+        {
+            let ws = self.weight.data.as_slice();
+            let sample_block = din.c * din.vol();
+            let ptr = SendPtr(gx.as_mut_slice().as_mut_ptr());
+            maybe_par_for(din.n, dout.c * dout.vol() * self.in_c * kd * kh * kw, |n| {
+                // SAFETY: each n task owns a disjoint input-grad block.
+                let gxb = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(n * sample_block), sample_block)
+                };
+                for oc in 0..dout.c {
+                    let gbase = (n * dout.c + oc) * dout.vol();
+                    let mut oi = 0usize;
+                    for od in 0..dout.d {
+                        let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
+                        for oh in 0..dout.h {
+                            let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
+                            for ow in 0..dout.w {
+                                let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
+                                let gv = g[gbase + oi];
+                                oi += 1;
+                                if gv == 0.0 {
+                                    continue;
+                                }
+                                for ic in 0..self.in_c {
+                                    let xbase = ic * din.vol();
+                                    let wbase = (oc * self.in_c + ic) * kd * kh * kw;
+                                    for kdi in kd_lo..kd_hi {
+                                        let id = od * sd + kdi - pd;
+                                        for khi in kh_lo..kh_hi {
+                                            let ih = oh * sh + khi - ph;
+                                            let xrow = xbase + (id * din.h + ih) * din.w + (ow * sw + kw_lo - pw);
+                                            let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
+                                            for t in 0..(kw_hi - kw_lo) {
+                                                gxb[xrow + t] += gv * ws[wrow + t];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv3d({}→{}, k{:?}, s{:?}, p{:?})",
+            self.in_c, self.out_c, self.kernel, self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        let mut c = Conv3d::new(1, 1, (1, 1, 1), (1, 1, 1), (0, 0, 0), &mut rng());
+        c.weight.data = Tensor::from_vec([1, 1, 1, 1, 1], vec![1.0]);
+        c.bias.data = Tensor::from_vec([1], vec![0.0]);
+        let x = Tensor::from_vec([1, 1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_1d_convolution() {
+        // Width-3 kernel [1, 2, 3] over [1, 1, 1, 1, 4] input, same padding.
+        let mut c = Conv3d::same(1, 1, (1, 1, 3), &mut rng());
+        c.weight.data = Tensor::from_vec([1, 1, 1, 1, 3], vec![1.0, 2.0, 3.0]);
+        c.bias.data = Tensor::from_vec([1], vec![0.5]);
+        let x = Tensor::from_vec([1, 1, 1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x, false);
+        // y[i] = 0.5 + 1*x[i-1] + 2*x[i] + 3*x[i+1] (zero-padded)
+        assert_eq!(y.as_slice(), &[0.5 + 2.0 + 6.0, 0.5 + 1.0 + 4.0 + 9.0, 0.5 + 2.0 + 6.0 + 12.0, 0.5 + 3.0 + 8.0]);
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_dims() {
+        let mut c = Conv3d::same(2, 5, (3, 3, 3), &mut rng());
+        let y = c.forward(&Tensor::zeros([2, 2, 4, 6, 8]), false);
+        assert_eq!(y.dims(), &[2, 5, 4, 6, 8]);
+    }
+
+    #[test]
+    fn stride_two_halves_dims() {
+        let mut c = Conv3d::new(1, 3, (2, 2, 2), (2, 2, 2), (0, 0, 0), &mut rng());
+        let y = c.forward(&Tensor::zeros([1, 1, 4, 8, 8]), false);
+        assert_eq!(y.dims(), &[1, 3, 2, 4, 4]);
+    }
+
+    #[test]
+    fn resolution_agnostic_weights() {
+        // The same filter applied at two resolutions of a constant input
+        // produces the same interior value — the property multigrid training
+        // relies on (paper §3.1.2).
+        let mut c = Conv3d::same(1, 1, (1, 3, 3), &mut rng());
+        let y1 = c.forward(&Tensor::ones([1, 1, 1, 8, 8]), false);
+        let y2 = c.forward(&Tensor::ones([1, 1, 1, 16, 16]), false);
+        let mid1 = y1.at(&[0, 0, 0, 4, 4]);
+        let mid2 = y2.at(&[0, 0, 0, 8, 8]);
+        assert!((mid1 - mid2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearity_in_input() {
+        let mut c = Conv3d::same(2, 3, (1, 3, 3), &mut rng());
+        let mut r = rng();
+        let a = Tensor::rand_uniform([1, 2, 1, 5, 5], -1.0, 1.0, &mut r);
+        let b = Tensor::rand_uniform([1, 2, 1, 5, 5], -1.0, 1.0, &mut r);
+        let ya = c.forward(&a, false);
+        let yb = c.forward(&b, false);
+        let yab = c.forward(&a.add(&b), false);
+        // Conv(a + b) = Conv(a) + Conv(b) - bias (bias counted twice).
+        let mut expect = ya.add(&yb);
+        for oc in 0..3 {
+            let bias = c.bias.data[oc];
+            for n in 0..1 {
+                for d in 0..1 {
+                    for h in 0..5 {
+                        for w in 0..5 {
+                            *expect.at_mut(&[n, oc, d, h, w]) -= bias;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(yab.rel_l2_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn gradcheck_same_2d_kernel() {
+        let c = Conv3d::same(2, 3, (1, 3, 3), &mut rng());
+        check_layer_gradient(Box::new(c), &[2, 2, 1, 5, 5], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_3d_kernel() {
+        let c = Conv3d::same(1, 2, (3, 3, 3), &mut rng());
+        check_layer_gradient(Box::new(c), &[1, 1, 4, 4, 4], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_strided() {
+        let c = Conv3d::new(2, 2, (1, 3, 3), (1, 2, 2), (0, 1, 1), &mut rng());
+        check_layer_gradient(Box::new(c), &[1, 2, 1, 6, 6], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_1x1() {
+        let c = Conv3d::new(3, 2, (1, 1, 1), (1, 1, 1), (0, 0, 0), &mut rng());
+        check_layer_gradient(Box::new(c), &[2, 3, 1, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+}

@@ -1,0 +1,380 @@
+//! Transpose (fractionally-strided) 3D convolution.
+
+use crate::layer::{Dims5, Layer, Triple};
+use crate::param::Param;
+use crate::util::SendPtr;
+use mgd_tensor::par::maybe_par_for;
+use mgd_tensor::Tensor;
+use rand::Rng;
+
+/// A 3D transpose convolution — the upsampling path of the U-Net decoder.
+///
+/// Weight layout `[in_c, out_c, kd, kh, kw]` (PyTorch convention). The
+/// standard factor-2 upsampler of the paper's decoder uses `k = s = 2`,
+/// `p = 0`, which exactly doubles each (pooled) axis.
+#[derive(Clone, Debug)]
+pub struct ConvTranspose3d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel extents (kd, kh, kw).
+    pub kernel: Triple,
+    /// Strides (sd, sh, sw).
+    pub stride: Triple,
+    /// Padding (pd, ph, pw) — reduces the output extent like conv padding
+    /// grows it.
+    pub padding: Triple,
+    /// Filter weights.
+    pub weight: Param,
+    /// Per-output-channel bias.
+    pub bias: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl ConvTranspose3d {
+    /// Fully configured constructor with Kaiming initialization.
+    pub fn new<R: Rng>(
+        in_c: usize,
+        out_c: usize,
+        kernel: Triple,
+        stride: Triple,
+        padding: Triple,
+        rng: &mut R,
+    ) -> Self {
+        let (kd, kh, kw) = kernel;
+        let fan_in = in_c * kd * kh * kw;
+        ConvTranspose3d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            weight: Param::kaiming([in_c, out_c, kd, kh, kw], fan_in, rng),
+            bias: Param::zeros([out_c]),
+            cache_x: None,
+        }
+    }
+
+    /// The factor-2 upsampler (`k = s = 2`); `two_d` keeps depth unscaled.
+    pub fn up2<R: Rng>(in_c: usize, out_c: usize, two_d: bool, rng: &mut R) -> Self {
+        let (k, s) = if two_d { ((1, 2, 2), (1, 2, 2)) } else { ((2, 2, 2), (2, 2, 2)) };
+        ConvTranspose3d::new(in_c, out_c, k, s, (0, 0, 0), rng)
+    }
+
+    /// Output spatial dims: `o = (i-1)*s - 2p + k`.
+    pub fn out_dims(&self, din: &Dims5) -> Dims5 {
+        let o = |i: usize, k: usize, s: usize, p: usize| {
+            let full = (i - 1) * s + k;
+            assert!(full >= 2 * p, "padding too large");
+            full - 2 * p
+        };
+        Dims5 {
+            n: din.n,
+            c: self.out_c,
+            d: o(din.d, self.kernel.0, self.stride.0, self.padding.0),
+            h: o(din.h, self.kernel.1, self.stride.1, self.padding.1),
+            w: o(din.w, self.kernel.2, self.stride.2, self.padding.2),
+        }
+    }
+}
+
+/// Iterates the (input-pos, tap) pairs contributing to output position `o`:
+/// `i*s + k - p == o` with `0 ≤ i < in_extent`, `0 ≤ k < ksize`.
+#[inline]
+fn contributions(o: usize, s: usize, p: usize, ksize: usize, in_extent: usize, mut f: impl FnMut(usize, usize)) {
+    let target = o + p;
+    // k = target - i*s; need 0 <= k < ksize.
+    let i_min = (target + 1).saturating_sub(ksize).div_ceil(s);
+    let i_max = (target / s).min(in_extent.saturating_sub(1));
+    let mut i = i_min;
+    while i <= i_max {
+        let k = target - i * s;
+        if k < ksize {
+            f(i, k);
+        }
+        i += 1;
+    }
+}
+
+impl Layer for ConvTranspose3d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let (kd, kh, kw) = self.kernel;
+        let (sd, sh, sw) = self.stride;
+        let (pd, ph, pw) = self.padding;
+        let xs = x.as_slice();
+        let ws = self.weight.data.as_slice();
+        let bs = self.bias.data.as_slice();
+        let out_block = dout.vol();
+        let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
+        maybe_par_for(dout.n * dout.c, out_block * self.in_c * kd * kh * kw, |nc| {
+            let n = nc / dout.c;
+            let oc = nc % dout.c;
+            // SAFETY: each (n, oc) task owns a disjoint output block.
+            let yblock = unsafe {
+                std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
+            };
+            let b = bs[oc];
+            let mut oi = 0usize;
+            for od in 0..dout.d {
+                for oh in 0..dout.h {
+                    for ow in 0..dout.w {
+                        let mut acc = b;
+                        contributions(od, sd, pd, kd, din.d, |id, kdi| {
+                            contributions(oh, sh, ph, kh, din.h, |ih, khi| {
+                                contributions(ow, sw, pw, kw, din.w, |iw, kwi| {
+                                    for ic in 0..self.in_c {
+                                        let xv = xs
+                                            [(n * self.in_c + ic) * din.vol()
+                                                + (id * din.h + ih) * din.w
+                                                + iw];
+                                        let wv = ws[((ic * self.out_c + oc) * kd + kdi) * kh * kw
+                                            + khi * kw
+                                            + kwi];
+                                        acc += xv * wv;
+                                    }
+                                });
+                            });
+                        });
+                        yblock[oi] = acc;
+                        oi += 1;
+                    }
+                }
+            }
+        });
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward").clone();
+        let din = Dims5::of(&x);
+        let dout = self.out_dims(&din);
+        assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let (kd, kh, kw) = self.kernel;
+        let (sd, sh, sw) = self.stride;
+        let (pd, ph, pw) = self.padding;
+        let g = grad_out.as_slice();
+        let xs = x.as_slice();
+
+        // Bias gradient.
+        {
+            let gb = self.bias.grad.as_mut_slice();
+            for n in 0..dout.n {
+                for oc in 0..dout.c {
+                    let base = (n * dout.c + oc) * dout.vol();
+                    let mut s = 0.0;
+                    for oi in 0..dout.vol() {
+                        s += g[base + oi];
+                    }
+                    gb[oc] += s;
+                }
+            }
+        }
+
+        // Input gradient: gx[n,ic,i] = Σ_{oc,k} g[n,oc,i*s+k-p] w[ic,oc,k]
+        // — a *forward-conv* access pattern, parallel over (n, ic).
+        let mut gx = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
+        {
+            let ws = self.weight.data.as_slice();
+            let in_block = din.vol();
+            let ptr = SendPtr(gx.as_mut_slice().as_mut_ptr());
+            maybe_par_for(din.n * din.c, in_block * self.out_c * kd * kh * kw, |nc| {
+                let n = nc / din.c;
+                let ic = nc % din.c;
+                // SAFETY: each (n, ic) task owns a disjoint block.
+                let gxb = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(nc * in_block), in_block)
+                };
+                let mut ii = 0usize;
+                for id in 0..din.d {
+                    for ih in 0..din.h {
+                        for iw in 0..din.w {
+                            let mut acc = 0.0;
+                            for kdi in 0..kd {
+                                let od = id * sd + kdi;
+                                if od < pd || od - pd >= dout.d {
+                                    continue;
+                                }
+                                for khi in 0..kh {
+                                    let oh = ih * sh + khi;
+                                    if oh < ph || oh - ph >= dout.h {
+                                        continue;
+                                    }
+                                    for kwi in 0..kw {
+                                        let ow = iw * sw + kwi;
+                                        if ow < pw || ow - pw >= dout.w {
+                                            continue;
+                                        }
+                                        for oc in 0..self.out_c {
+                                            let gv = g[(n * dout.c + oc) * dout.vol()
+                                                + ((od - pd) * dout.h + (oh - ph)) * dout.w
+                                                + (ow - pw)];
+                                            let wv = ws[((ic * self.out_c + oc) * kd + kdi)
+                                                * kh
+                                                * kw
+                                                + khi * kw
+                                                + kwi];
+                                            acc += gv * wv;
+                                        }
+                                    }
+                                }
+                            }
+                            gxb[ii] = acc;
+                            ii += 1;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Weight gradient: gw[ic,oc,k] = Σ_{n,i} x[n,ic,i] g[n,oc,i*s+k-p];
+        // parallel over ic (each owns a disjoint gw block).
+        {
+            let kvol = self.out_c * kd * kh * kw;
+            let ptr = SendPtr(self.weight.grad.as_mut_slice().as_mut_ptr());
+            maybe_par_for(self.in_c, din.n * din.vol() * kvol, |ic| {
+                // SAFETY: each ic task owns a disjoint weight-grad block.
+                let gw =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(ic * kvol), kvol) };
+                for n in 0..din.n {
+                    let xbase = (n * self.in_c + ic) * din.vol();
+                    let mut ii = 0usize;
+                    for id in 0..din.d {
+                        for ih in 0..din.h {
+                            for iw in 0..din.w {
+                                let xv = xs[xbase + ii];
+                                ii += 1;
+                                if xv == 0.0 {
+                                    continue;
+                                }
+                                for kdi in 0..kd {
+                                    let od = id * sd + kdi;
+                                    if od < pd || od - pd >= dout.d {
+                                        continue;
+                                    }
+                                    for khi in 0..kh {
+                                        let oh = ih * sh + khi;
+                                        if oh < ph || oh - ph >= dout.h {
+                                            continue;
+                                        }
+                                        for kwi in 0..kw {
+                                            let ow = iw * sw + kwi;
+                                            if ow < pw || ow - pw >= dout.w {
+                                                continue;
+                                            }
+                                            for oc in 0..self.out_c {
+                                                let gv = g[(n * dout.c + oc) * dout.vol()
+                                                    + ((od - pd) * dout.h + (oh - ph)) * dout.w
+                                                    + (ow - pw)];
+                                                gw[(oc * kd + kdi) * kh * kw + khi * kw + kwi] +=
+                                                    xv * gv;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "ConvTranspose3d({}→{}, k{:?}, s{:?}, p{:?})",
+            self.in_c, self.out_c, self.kernel, self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn up2_doubles_spatial_dims() {
+        let mut t = ConvTranspose3d::up2(4, 2, false, &mut rng());
+        let y = t.forward(&Tensor::zeros([1, 4, 2, 3, 5]), false);
+        assert_eq!(y.dims(), &[1, 2, 4, 6, 10]);
+    }
+
+    #[test]
+    fn up2_2d_keeps_depth() {
+        let mut t = ConvTranspose3d::up2(2, 1, true, &mut rng());
+        let y = t.forward(&Tensor::zeros([1, 2, 1, 4, 4]), false);
+        assert_eq!(y.dims(), &[1, 1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn known_upsample_values() {
+        // 1 input channel, k=s=2 along width only: each input pixel expands
+        // to [x*w0, x*w1].
+        let mut t = ConvTranspose3d::new(1, 1, (1, 1, 2), (1, 1, 2), (0, 0, 0), &mut rng());
+        t.weight.data = Tensor::from_vec([1, 1, 1, 1, 2], vec![2.0, 3.0]);
+        t.bias.data = Tensor::from_vec([1], vec![0.0]);
+        let x = Tensor::from_vec([1, 1, 1, 1, 2], vec![1.0, 10.0]);
+        let y = t.forward(&x, false);
+        assert_eq!(y.as_slice(), &[2.0, 3.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn transpose_is_adjoint_of_conv() {
+        // For zero bias and matching configs, <ConvT(x), y> == <x, Conv(y)>
+        // where Conv uses the flipped weight layout. We verify the adjoint
+        // property numerically via gradients instead: Conv3d.backward's
+        // input-grad is ConvT's forward with shared weights (up to layout),
+        // so a direct inner-product check keeps the invariant honest.
+        let mut t = ConvTranspose3d::new(2, 3, (1, 2, 2), (1, 2, 2), (0, 0, 0), &mut rng());
+        for b in t.bias.data.as_mut_slice() {
+            *b = 0.0;
+        }
+        let mut r = rng();
+        let x = Tensor::rand_uniform([1, 2, 1, 3, 3], -1.0, 1.0, &mut r);
+        let y = t.forward(&x, true);
+        // Probe: <y, w> gradient w.r.t. x must equal ConvT^T applied to w.
+        let w = Tensor::rand_uniform(y.dims().to_vec(), -1.0, 1.0, &mut r);
+        let gx = t.backward(&w);
+        // Inner-product identity: <ConvT(x), w> == <x, ConvT^T(w)> (+ bias=0)
+        let lhs = y.dot(&w);
+        let rhs = x.dot(&gx);
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gradcheck_up2() {
+        let t = ConvTranspose3d::up2(2, 2, true, &mut rng());
+        check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_3d_k3_s1() {
+        let t = ConvTranspose3d::new(1, 2, (3, 3, 3), (1, 1, 1), (1, 1, 1), &mut rng());
+        check_layer_gradient(Box::new(t), &[1, 1, 3, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_strided_padded() {
+        let t = ConvTranspose3d::new(2, 1, (1, 3, 3), (1, 2, 2), (0, 1, 1), &mut rng());
+        check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+//! Weight checkpointing.
+//!
+//! Parameters are serialized in `Layer::params()` order together with the
+//! network's [`UNetConfig`], so a checkpoint is self-describing enough to
+//! rebuild the exact architecture (including adapted depths) and reload.
+
+use crate::layer::Layer;
+use crate::unet::{UNet, UNetConfig};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A self-describing U-Net checkpoint.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Architecture descriptor.
+    pub config: UNetConfig,
+    /// Flat parameter tensors in `params()` order (shape, data).
+    pub tensors: Vec<(Vec<usize>, Vec<f64>)>,
+    /// Persistent buffers in `buffers()` order (batch-norm running stats).
+    #[serde(default)]
+    pub buffers: Vec<Vec<f64>>,
+}
+
+impl Checkpoint {
+    /// Captures the weights of a network.
+    pub fn from_net(net: &mut UNet) -> Self {
+        let config = net.cfg;
+        let tensors = net
+            .params()
+            .iter()
+            .map(|p| (p.data.dims().to_vec(), p.data.as_slice().to_vec()))
+            .collect();
+        let buffers = net.buffers().iter().map(|b| b.to_vec()).collect();
+        Checkpoint { config, tensors, buffers }
+    }
+
+    /// Rebuilds the network and loads the weights.
+    pub fn into_net(self) -> UNet {
+        let mut net = UNet::new(self.config);
+        {
+            let mut params = net.params();
+            assert_eq!(params.len(), self.tensors.len(), "checkpoint/param count mismatch");
+            for (p, (shape, data)) in params.iter_mut().zip(self.tensors.iter()) {
+                assert_eq!(p.data.dims(), &shape[..], "checkpoint shape mismatch");
+                p.data.as_mut_slice().copy_from_slice(data);
+            }
+        }
+        {
+            let mut bufs = net.buffers();
+            assert_eq!(bufs.len(), self.buffers.len(), "checkpoint/buffer count mismatch");
+            for (dst, src) in bufs.iter_mut().zip(self.buffers.iter()) {
+                assert_eq!(dst.len(), src.len(), "checkpoint buffer length mismatch");
+                dst.copy_from_slice(src);
+            }
+        }
+        net
+    }
+
+    /// Serializes to a JSON file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        let s = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        f.write_all(s.as_bytes())
+    }
+
+    /// Deserializes from a JSON file.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let mut s = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut s)?;
+        serde_json::from_str(&s).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgd_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_outputs() {
+        let cfg = UNetConfig { depth: 2, base_filters: 2, two_d: true, seed: 17, ..Default::default() };
+        let mut net = UNet::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform([1, 1, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y0 = net.predict(&x);
+        let ckpt = Checkpoint::from_net(&mut net);
+        let dir = std::env::temp_dir().join("mgd_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        ckpt.save(&path).unwrap();
+        let mut net2 = Checkpoint::load(&path).unwrap().into_net();
+        let y1 = net2.predict(&x);
+        assert!(y0.rel_l2_error(&y1) < 1e-15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_preserves_adapted_depth() {
+        let cfg = UNetConfig { depth: 1, base_filters: 2, two_d: true, seed: 2, ..Default::default() };
+        let net = UNet::new(cfg);
+        let mut deeper = net.deepened();
+        let ckpt = Checkpoint::from_net(&mut deeper);
+        assert_eq!(ckpt.config.depth, 2);
+        let mut restored = ckpt.into_net();
+        assert_eq!(restored.cfg.depth, 2);
+        let y = restored.predict(&Tensor::zeros([1, 1, 1, 8, 8]));
+        assert_eq!(y.dims(), &[1, 1, 1, 8, 8]);
+    }
+}

@@ -1,0 +1,49 @@
+//! From-scratch CNN framework for MGDiffNet.
+//!
+//! The paper trains a fully convolutional U-Net (§3.1.2, §4.1: depth 3,
+//! 16 base filters doubling with depth, batch normalization, LeakyReLU,
+//! Sigmoid head, Adam) whose weights are resolution-agnostic — the property
+//! the whole multigrid training scheme rests on. This crate implements that
+//! network and everything under it with hand-written, finite-difference-
+//! checked backpropagation:
+//!
+//! - [`conv::Conv3d`] / [`convt::ConvTranspose3d`] — direct (im2col-free)
+//!   convolutions with arbitrary per-axis kernel/stride/padding; 2D problems
+//!   use a unit depth axis and `(1, k, k)` kernels so both dimensionalities
+//!   share one code path;
+//! - [`norm::BatchNorm`], [`pool::MaxPool3d`], [`act::LeakyReLU`],
+//!   [`act::Sigmoid`];
+//! - [`unet::UNet`] — the MGDiffNet architecture, including
+//!   [`unet::UNet::deepened`] for the paper's architectural-adaptation study
+//!   (§4.1.2);
+//! - [`optim::Adam`] / [`optim::Sgd`] and flat parameter/gradient views for
+//!   the distributed all-reduce;
+//! - [`gradcheck`] — the finite-difference harness every layer is verified
+//!   against;
+//! - [`io`] — serde-based weight checkpointing.
+//!
+//! All activations are NCDHW `(batch, channel, depth, height, width)`
+//! [`mgd_tensor::Tensor`]s in `f64`.
+
+pub mod act;
+pub mod conv;
+pub mod convt;
+pub mod gradcheck;
+pub mod io;
+pub mod layer;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod unet;
+mod util;
+
+pub use act::{LeakyReLU, Sigmoid};
+pub use conv::Conv3d;
+pub use convt::ConvTranspose3d;
+pub use layer::Layer;
+pub use norm::BatchNorm;
+pub use optim::{Adam, Sgd};
+pub use param::Param;
+pub use pool::MaxPool3d;
+pub use unet::{UNet, UNetConfig};

@@ -1,0 +1,251 @@
+//! Batch normalization over NCDHW activations.
+
+use crate::layer::{Dims5, Layer};
+use crate::param::Param;
+use mgd_tensor::Tensor;
+
+/// Per-channel batch normalization (statistics over batch × spatial dims),
+/// as used after every convolution block in the paper's U-Net (§4.1).
+#[derive(Clone, Debug)]
+pub struct BatchNorm {
+    /// Channel count.
+    pub c: usize,
+    /// Scale γ.
+    pub gamma: Param,
+    /// Shift β.
+    pub beta: Param,
+    /// Running mean (inference).
+    pub running_mean: Vec<f64>,
+    /// Running variance (inference).
+    pub running_var: Vec<f64>,
+    /// Numerical floor inside the square root.
+    pub eps: f64,
+    /// Running-statistics update rate.
+    pub momentum: f64,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f64>,
+    dims: Dims5,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `c` channels.
+    pub fn new(c: usize) -> Self {
+        BatchNorm {
+            c,
+            gamma: Param::new(Tensor::ones([c])),
+            beta: Param::zeros([c]),
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = Dims5::of(x);
+        assert_eq!(dims.c, self.c, "channel mismatch");
+        let m = (dims.n * dims.vol()) as f64;
+        let xs = x.as_slice();
+        let mut y = Tensor::zeros(x.shape().clone());
+        let gamma = self.gamma.data.as_slice();
+        let beta = self.beta.data.as_slice();
+
+        let (mean, var): (Vec<f64>, Vec<f64>) = if train {
+            let mut mean = vec![0.0; self.c];
+            let mut var = vec![0.0; self.c];
+            for c in 0..self.c {
+                let mut s = 0.0;
+                for n in 0..dims.n {
+                    let base = (n * self.c + c) * dims.vol();
+                    for i in 0..dims.vol() {
+                        s += xs[base + i];
+                    }
+                }
+                mean[c] = s / m;
+                let mut v = 0.0;
+                for n in 0..dims.n {
+                    let base = (n * self.c + c) * dims.vol();
+                    for i in 0..dims.vol() {
+                        let d = xs[base + i] - mean[c];
+                        v += d * d;
+                    }
+                }
+                var[c] = v / m;
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = Tensor::zeros(x.shape().clone());
+        {
+            let xh = xhat.as_mut_slice();
+            let ys = y.as_mut_slice();
+            for n in 0..dims.n {
+                for c in 0..self.c {
+                    let base = (n * self.c + c) * dims.vol();
+                    for i in 0..dims.vol() {
+                        let h = (xs[base + i] - mean[c]) * inv_std[c];
+                        xh[base + i] = h;
+                        ys[base + i] = gamma[c] * h + beta[c];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache { xhat, inv_std, dims });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let dims = cache.dims;
+        assert_eq!(grad_out.dims(), &[dims.n, dims.c, dims.d, dims.h, dims.w]);
+        let m = (dims.n * dims.vol()) as f64;
+        let g = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        let gamma = self.gamma.data.as_slice();
+        let mut gx = Tensor::zeros(grad_out.shape().clone());
+
+        // Standard batch-norm backward:
+        // dβ_c = Σ g, dγ_c = Σ g·x̂,
+        // dx = γ·inv_std/m · (m·g − Σg − x̂·Σ(g·x̂))
+        let mut sum_g = vec![0.0; self.c];
+        let mut sum_gx = vec![0.0; self.c];
+        for n in 0..dims.n {
+            for c in 0..self.c {
+                let base = (n * self.c + c) * dims.vol();
+                let mut sg = 0.0;
+                let mut sgx = 0.0;
+                for i in 0..dims.vol() {
+                    sg += g[base + i];
+                    sgx += g[base + i] * xh[base + i];
+                }
+                sum_g[c] += sg;
+                sum_gx[c] += sgx;
+            }
+        }
+        {
+            let gb = self.beta.grad.as_mut_slice();
+            let gg = self.gamma.grad.as_mut_slice();
+            for c in 0..self.c {
+                gb[c] += sum_g[c];
+                gg[c] += sum_gx[c];
+            }
+        }
+        {
+            let gxs = gx.as_mut_slice();
+            for n in 0..dims.n {
+                for c in 0..self.c {
+                    let base = (n * self.c + c) * dims.vol();
+                    let k = gamma[c] * cache.inv_std[c] / m;
+                    for i in 0..dims.vol() {
+                        gxs[base + i] =
+                            k * (m * g[base + i] - sum_g[c] - xh[base + i] * sum_gx[c]);
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers(&mut self) -> Vec<&mut Vec<f64>> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm({})", self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut bn = BatchNorm::new(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::rand_uniform([4, 2, 1, 8, 8], -3.0, 7.0, &mut rng);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let dims = Dims5::of(&y);
+        for c in 0..2 {
+            let mut s = 0.0;
+            let mut s2 = 0.0;
+            let mut cnt = 0.0;
+            for n in 0..dims.n {
+                for i in 0..dims.vol() {
+                    let v = y.as_slice()[(n * 2 + c) * dims.vol() + i];
+                    s += v;
+                    s2 += v * v;
+                    cnt += 1.0;
+                }
+            }
+            let mean = s / cnt;
+            let var = s2 / cnt - mean * mean;
+            assert!(mean.abs() < 1e-10, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Train a few batches to accumulate running stats around mean 4.
+        for _ in 0..50 {
+            let x = Tensor::rand_uniform([8, 1, 1, 4, 4], 3.0, 5.0, &mut rng);
+            let _ = bn.forward(&x, true);
+        }
+        // Eval on a constant input equal to the accumulated mean: output ≈ 0.
+        let x = Tensor::full([1, 1, 1, 4, 4], bn.running_mean[0]);
+        let y = bn.forward(&x, false);
+        assert!(y.norm_inf() < 1e-6, "{}", y.norm_inf());
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma.data = Tensor::from_vec([1], vec![2.0]);
+        bn.beta.data = Tensor::from_vec([1], vec![1.0]);
+        let x = Tensor::from_vec([2, 1, 1, 1, 1], vec![0.0, 2.0]);
+        let y = bn.forward(&x, true);
+        // x̂ = [-1, 1] (up to eps), y = 2x̂ + 1 = [-1, 3].
+        assert!((y[0] + 1.0).abs() < 1e-2);
+        assert!((y[1] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let bn = BatchNorm::new(3);
+        check_layer_gradient(Box::new(bn), &[4, 3, 1, 3, 3], 0.5, 1e-6, 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_3d() {
+        let bn = BatchNorm::new(2);
+        check_layer_gradient(Box::new(bn), &[2, 2, 2, 3, 3], -0.2, 1e-6, 1e-5);
+    }
+}

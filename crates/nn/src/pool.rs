@@ -1,0 +1,156 @@
+//! Max-pooling with cached argmax indices.
+
+use crate::layer::{Dims5, Layer, Triple};
+use mgd_tensor::Tensor;
+
+/// Max pooling with window == stride (the factor-of-two downsampling of the
+/// paper's fully convolutional constraint §3.1.2; 2D problems pool with a
+/// unit depth window `(1, 2, 2)`).
+#[derive(Clone, Debug)]
+pub struct MaxPool3d {
+    /// Pool window per axis (also the stride).
+    pub window: Triple,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Clone, Debug)]
+struct PoolCache {
+    in_dims: Dims5,
+    /// Flat input index of each output's max element.
+    argmax: Vec<usize>,
+    out_dims: Dims5,
+}
+
+impl MaxPool3d {
+    /// Creates a pool layer with the given window.
+    pub fn new(window: Triple) -> Self {
+        assert!(window.0 >= 1 && window.1 >= 1 && window.2 >= 1);
+        MaxPool3d { window, cache: None }
+    }
+
+    /// The standard factor-2 spatial pool; `two_d` keeps depth unpooled.
+    pub fn down2(two_d: bool) -> Self {
+        MaxPool3d::new(if two_d { (1, 2, 2) } else { (2, 2, 2) })
+    }
+}
+
+impl Layer for MaxPool3d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let din = Dims5::of(x);
+        let (wd, wh, ww) = self.window;
+        assert!(
+            din.d % wd == 0 && din.h % wh == 0 && din.w % ww == 0,
+            "input {:?} not divisible by pool window {:?}",
+            x.dims(),
+            self.window
+        );
+        let dout = Dims5 { n: din.n, c: din.c, d: din.d / wd, h: din.h / wh, w: din.w / ww };
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let mut argmax = vec![0usize; y.len()];
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        let mut oi = 0usize;
+        for n in 0..dout.n {
+            for c in 0..dout.c {
+                for od in 0..dout.d {
+                    for oh in 0..dout.h {
+                        for ow in 0..dout.w {
+                            let mut best = f64::NEG_INFINITY;
+                            let mut best_i = 0usize;
+                            for kd in 0..wd {
+                                for kh in 0..wh {
+                                    for kw in 0..ww {
+                                        let ii = din.at(n, c, od * wd + kd, oh * wh + kh, ow * ww + kw);
+                                        if xs[ii] > best {
+                                            best = xs[ii];
+                                            best_i = ii;
+                                        }
+                                    }
+                                }
+                            }
+                            ys[oi] = best;
+                            argmax[oi] = best_i;
+                            oi += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(PoolCache { in_dims: din, argmax, out_dims: dout });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let dout = cache.out_dims;
+        assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let din = cache.in_dims;
+        let mut gx = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
+        let g = grad_out.as_slice();
+        let gxs = gx.as_mut_slice();
+        for (oi, &ii) in cache.argmax.iter().enumerate() {
+            gxs[ii] += g[oi];
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool3d{:?}", self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradient;
+
+    #[test]
+    fn forward_picks_maxima() {
+        let mut p = MaxPool3d::new((1, 2, 2));
+        let x = Tensor::from_vec(
+            [1, 1, 1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 7.0, 4.0],
+        );
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 1, 1, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool3d::new((1, 2, 2));
+        let x = Tensor::from_vec(
+            [1, 1, 1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 7.0, 4.0],
+        );
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec([1, 1, 1, 1, 2], vec![10.0, 20.0]);
+        let gx = p.backward(&g);
+        assert_eq!(gx.as_slice(), &[0.0, 10.0, 0.0, 0.0, 0.0, 0.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_3d_window() {
+        let mut p = MaxPool3d::down2(false);
+        let x = Tensor::from_vec([1, 1, 2, 2, 2], (0..8).map(|i| i as f64).collect());
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 1, 1, 1]);
+        assert_eq!(y.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_input_panics() {
+        let mut p = MaxPool3d::new((2, 2, 2));
+        let _ = p.forward(&Tensor::zeros([1, 1, 3, 4, 4]), true);
+    }
+
+    #[test]
+    fn gradcheck() {
+        // Random inputs rarely tie, so max-pool is differentiable a.e.
+        let p = MaxPool3d::new((1, 2, 2));
+        check_layer_gradient(Box::new(p), &[2, 2, 1, 4, 4], 0.0, 1e-7, 1e-5);
+    }
+}

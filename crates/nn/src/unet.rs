@@ -1,0 +1,460 @@
+//! The MGDiffNet U-Net (paper §3.1.2 and §4.1).
+//!
+//! Fully convolutional: convolutions, factor-2 max-pool downsampling,
+//! factor-2 transpose-convolution upsampling, skip connections by channel
+//! concatenation, batch norm + LeakyReLU in every block, Sigmoid head.
+//! Because no layer depends on the input resolution, one set of weights
+//! serves every multigrid level — the property the whole training scheme is
+//! built on. `depth` down/up stages with `base_filters · 2^i` channels
+//! reproduce the paper's "starting filter size 16, doubled with depth".
+
+use crate::act::{LeakyReLU, Sigmoid};
+use crate::conv::Conv3d;
+use crate::convt::ConvTranspose3d;
+use crate::layer::{Dims5, Layer};
+use crate::norm::BatchNorm;
+use crate::param::Param;
+use crate::pool::MaxPool3d;
+use mgd_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct UNetConfig {
+    /// Input channels (1: the coefficient field).
+    pub in_channels: usize,
+    /// Output channels (1: the solution field).
+    pub out_channels: usize,
+    /// Number of pool/upsample stages (paper: 3).
+    pub depth: usize,
+    /// Channels of the first encoder block (paper: 16).
+    pub base_filters: usize,
+    /// 2D mode: unit depth axis, `(1,k,k)` kernels, `(1,2,2)` pools.
+    pub two_d: bool,
+    /// LeakyReLU negative slope.
+    pub leaky_slope: f64,
+    /// Enable batch normalization (paper: yes).
+    pub batch_norm: bool,
+    /// Sigmoid on the head (paper: yes — predictions live in (0,1)).
+    pub final_sigmoid: bool,
+    /// Weight-init RNG seed (replicated across data-parallel workers so all
+    /// replicas start identical).
+    pub seed: u64,
+}
+
+impl Default for UNetConfig {
+    fn default() -> Self {
+        UNetConfig {
+            in_channels: 1,
+            out_channels: 1,
+            depth: 3,
+            base_filters: 16,
+            two_d: false,
+            leaky_slope: 0.01,
+            batch_norm: true,
+            final_sigmoid: true,
+            seed: 0,
+        }
+    }
+}
+
+impl UNetConfig {
+    /// The paper's 2D configuration.
+    pub fn paper_2d() -> Self {
+        UNetConfig { two_d: true, ..Default::default() }
+    }
+
+    /// The paper's 3D configuration.
+    pub fn paper_3d() -> Self {
+        UNetConfig::default()
+    }
+
+    /// Channel count of encoder level `i`.
+    pub fn channels(&self, i: usize) -> usize {
+        self.base_filters << i
+    }
+}
+
+/// Conv → (BatchNorm) → LeakyReLU.
+#[derive(Clone, Debug)]
+pub struct ConvBlock {
+    conv: Conv3d,
+    bn: Option<BatchNorm>,
+    act: LeakyReLU,
+}
+
+impl ConvBlock {
+    fn new(in_c: usize, out_c: usize, cfg: &UNetConfig, rng: &mut StdRng) -> Self {
+        let k = if cfg.two_d { (1, 3, 3) } else { (3, 3, 3) };
+        ConvBlock {
+            conv: Conv3d::same(in_c, out_c, k, rng),
+            bn: if cfg.batch_norm { Some(BatchNorm::new(out_c)) } else { None },
+            act: LeakyReLU::new(cfg.leaky_slope),
+        }
+    }
+}
+
+impl Layer for ConvBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = self.conv.forward(x, train);
+        if let Some(bn) = &mut self.bn {
+            h = bn.forward(&h, train);
+        }
+        self.act.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = self.act.backward(grad_out);
+        if let Some(bn) = &mut self.bn {
+            g = bn.backward(&g);
+        }
+        self.conv.backward(&g)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut p = self.conv.params();
+        if let Some(bn) = &mut self.bn {
+            p.extend(bn.params());
+        }
+        p
+    }
+
+    fn buffers(&mut self) -> Vec<&mut Vec<f64>> {
+        match &mut self.bn {
+            Some(bn) => bn.buffers(),
+            None => Vec::new(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ConvBlock[{}]", self.conv.name())
+    }
+}
+
+/// Concatenates two NCDHW tensors along the channel axis.
+pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+    let da = Dims5::of(a);
+    let db = Dims5::of(b);
+    assert_eq!((da.n, da.d, da.h, da.w), (db.n, db.d, db.h, db.w), "spatial/batch mismatch");
+    let mut out = Tensor::zeros([da.n, da.c + db.c, da.d, da.h, da.w]);
+    let vol = da.vol();
+    let (asl, bsl, osl) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for n in 0..da.n {
+        let o_base = n * (da.c + db.c) * vol;
+        osl[o_base..o_base + da.c * vol]
+            .copy_from_slice(&asl[n * da.c * vol..(n + 1) * da.c * vol]);
+        osl[o_base + da.c * vol..o_base + (da.c + db.c) * vol]
+            .copy_from_slice(&bsl[n * db.c * vol..(n + 1) * db.c * vol]);
+    }
+    out
+}
+
+/// Splits a channel-concatenated gradient back into its two halves.
+pub fn split_channels(g: &Tensor, c_first: usize) -> (Tensor, Tensor) {
+    let d = Dims5::of(g);
+    assert!(c_first < d.c);
+    let c_second = d.c - c_first;
+    let vol = d.vol();
+    let mut a = Tensor::zeros([d.n, c_first, d.d, d.h, d.w]);
+    let mut b = Tensor::zeros([d.n, c_second, d.d, d.h, d.w]);
+    let gs = g.as_slice();
+    for n in 0..d.n {
+        let g_base = n * d.c * vol;
+        a.as_mut_slice()[n * c_first * vol..(n + 1) * c_first * vol]
+            .copy_from_slice(&gs[g_base..g_base + c_first * vol]);
+        b.as_mut_slice()[n * c_second * vol..(n + 1) * c_second * vol]
+            .copy_from_slice(&gs[g_base + c_first * vol..g_base + d.c * vol]);
+    }
+    (a, b)
+}
+
+/// The MGDiffNet U-Net.
+pub struct UNet {
+    /// Architecture parameters.
+    pub cfg: UNetConfig,
+    enc: Vec<ConvBlock>,
+    pools: Vec<MaxPool3d>,
+    bottleneck: ConvBlock,
+    /// `ups[i]` upsamples from level `i+1` channels to level `i`.
+    ups: Vec<ConvTranspose3d>,
+    /// `merges[i]` fuses `[up_out ‖ skip]` (2·c_i channels) down to c_i.
+    merges: Vec<ConvBlock>,
+    head: Conv3d,
+    sigmoid: Option<Sigmoid>,
+}
+
+impl UNet {
+    /// Builds the network with deterministic Kaiming initialization.
+    pub fn new(cfg: UNetConfig) -> Self {
+        assert!(cfg.depth >= 1, "depth must be >= 1");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut enc = Vec::new();
+        let mut pools = Vec::new();
+        for i in 0..cfg.depth {
+            let in_c = if i == 0 { cfg.in_channels } else { cfg.channels(i - 1) };
+            enc.push(ConvBlock::new(in_c, cfg.channels(i), &cfg, &mut rng));
+            pools.push(MaxPool3d::down2(cfg.two_d));
+        }
+        let bottleneck =
+            ConvBlock::new(cfg.channels(cfg.depth - 1), cfg.channels(cfg.depth), &cfg, &mut rng);
+        let mut ups = Vec::new();
+        let mut merges = Vec::new();
+        for i in 0..cfg.depth {
+            ups.push(ConvTranspose3d::up2(cfg.channels(i + 1), cfg.channels(i), cfg.two_d, &mut rng));
+            merges.push(ConvBlock::new(2 * cfg.channels(i), cfg.channels(i), &cfg, &mut rng));
+        }
+        let head = Conv3d::new(cfg.channels(0), cfg.out_channels, (1, 1, 1), (1, 1, 1), (0, 0, 0), &mut rng);
+        let sigmoid = if cfg.final_sigmoid { Some(Sigmoid::new()) } else { None };
+        UNet { cfg, enc, pools, bottleneck, ups, merges, head, sigmoid }
+    }
+
+    /// Validates that an input resolution survives `depth` poolings.
+    pub fn check_input_dims(&self, dims: &Dims5) {
+        let div = 1usize << self.cfg.depth;
+        if !self.cfg.two_d {
+            assert!(dims.d % div == 0, "depth {} not divisible by {div}", dims.d);
+        } else {
+            assert!(dims.d == 1, "2D network expects unit depth axis");
+        }
+        assert!(dims.h % div == 0, "height {} not divisible by {div}", dims.h);
+        assert!(dims.w % div == 0, "width {} not divisible by {div}", dims.w);
+    }
+
+    /// Inference convenience (no caching).
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, false)
+    }
+
+    /// Builds the depth+1 network of the paper's architectural-adaptation
+    /// study (§4.1.2): the old bottleneck becomes the new deepest encoder
+    /// block (its learned weights are kept); a fresh bottleneck, upsampler
+    /// and merge block are inserted at the new deepest level with random
+    /// weights ("one convolutional layer and two transpose convolutional
+    /// layers ... initialized with random weights"); everything else is
+    /// copied.
+    pub fn deepened(&self) -> UNet {
+        let mut cfg = self.cfg;
+        cfg.depth += 1;
+        cfg.seed = self.cfg.seed.wrapping_add(0x5EED);
+        let mut new = UNet::new(cfg);
+        for i in 0..self.cfg.depth {
+            new.enc[i] = self.enc[i].clone();
+            new.ups[i] = self.ups[i].clone();
+            new.merges[i] = self.merges[i].clone();
+        }
+        // Old bottleneck: channels(depth-1) -> channels(depth) — exactly the
+        // shape of the new deepest encoder block.
+        new.enc[self.cfg.depth] = self.bottleneck.clone();
+        new.head = self.head.clone();
+        new
+    }
+
+    /// Total learnable scalar count.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+impl Layer for UNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.check_input_dims(&Dims5::of(x));
+        let depth = self.cfg.depth;
+        let mut skips: Vec<Tensor> = Vec::with_capacity(depth);
+        let mut h = x.clone();
+        for i in 0..depth {
+            h = self.enc[i].forward(&h, train);
+            skips.push(h.clone());
+            h = self.pools[i].forward(&h, train);
+        }
+        h = self.bottleneck.forward(&h, train);
+        for i in (0..depth).rev() {
+            h = self.ups[i].forward(&h, train);
+            h = concat_channels(&h, &skips[i]);
+            h = self.merges[i].forward(&h, train);
+        }
+        h = self.head.forward(&h, train);
+        if let Some(s) = &mut self.sigmoid {
+            h = s.forward(&h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let depth = self.cfg.depth;
+        let mut g = grad_out.clone();
+        if let Some(s) = &mut self.sigmoid {
+            g = s.backward(&g);
+        }
+        g = self.head.backward(&g);
+        let mut skip_grads: Vec<Option<Tensor>> = vec![None; depth];
+        for i in 0..depth {
+            g = self.merges[i].backward(&g);
+            let (g_up, g_skip) = split_channels(&g, self.cfg.channels(i));
+            skip_grads[i] = Some(g_skip);
+            g = self.ups[i].backward(&g_up);
+        }
+        g = self.bottleneck.backward(&g);
+        for i in (0..depth).rev() {
+            g = self.pools[i].backward(&g);
+            g.add_assign(skip_grads[i].as_ref().expect("skip grad missing"));
+            g = self.enc[i].backward(&g);
+        }
+        g
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for b in &mut self.enc {
+            out.extend(b.params());
+        }
+        out.extend(self.bottleneck.params());
+        for u in &mut self.ups {
+            out.extend(u.params());
+        }
+        for m in &mut self.merges {
+            out.extend(m.params());
+        }
+        out.extend(self.head.params());
+        out
+    }
+
+    fn buffers(&mut self) -> Vec<&mut Vec<f64>> {
+        let mut out = Vec::new();
+        for b in &mut self.enc {
+            out.extend(b.buffers());
+        }
+        out.extend(self.bottleneck.buffers());
+        for m in &mut self.merges {
+            out.extend(m.buffers());
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "UNet(depth={}, base={}, {})",
+            self.cfg.depth,
+            self.cfg.base_filters,
+            if self.cfg.two_d { "2D" } else { "3D" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradient;
+
+    fn small_cfg() -> UNetConfig {
+        UNetConfig { depth: 2, base_filters: 2, two_d: true, seed: 9, ..Default::default() }
+    }
+
+    #[test]
+    fn forward_shape_matches_input() {
+        let mut net = UNet::new(small_cfg());
+        let y = net.forward(&Tensor::zeros([2, 1, 1, 8, 8]), false);
+        assert_eq!(y.dims(), &[2, 1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn output_in_unit_interval_with_sigmoid() {
+        let mut net = UNet::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform([1, 1, 1, 8, 8], -2.0, 2.0, &mut rng);
+        let y = net.forward(&x, false);
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn resolution_agnostic_forward() {
+        // The same weights accept multiple resolutions (multigrid property).
+        let mut net = UNet::new(small_cfg());
+        for m in [8usize, 16, 32] {
+            let y = net.forward(&Tensor::zeros([1, 1, 1, m, m]), false);
+            assert_eq!(y.dims(), &[1, 1, 1, m, m]);
+        }
+    }
+
+    #[test]
+    fn three_d_forward_shape() {
+        let cfg = UNetConfig { depth: 2, base_filters: 2, two_d: false, seed: 3, ..Default::default() };
+        let mut net = UNet::new(cfg);
+        let y = net.forward(&Tensor::zeros([1, 1, 4, 8, 8]), false);
+        assert_eq!(y.dims(), &[1, 1, 4, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_input_rejected() {
+        let mut net = UNet::new(small_cfg());
+        let _ = net.forward(&Tensor::zeros([1, 1, 1, 6, 8]), false);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mut a = UNet::new(small_cfg());
+        let mut b = UNet::new(small_cfg());
+        let pa = a.params().iter().map(|p| p.data.clone()).collect::<Vec<_>>();
+        let pb = b.params().iter().map(|p| p.data.clone()).collect::<Vec<_>>();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn parameter_count_reasonable() {
+        // Paper-scale 3D network: depth 3, base 16 -> a few hundred k params.
+        let mut net = UNet::new(UNetConfig::paper_3d());
+        let n = net.num_parameters();
+        assert!(n > 100_000 && n < 5_000_000, "{n}");
+    }
+
+    #[test]
+    fn deepened_keeps_learned_weights() {
+        let mut old = UNet::new(small_cfg());
+        let enc0_w = old.enc[0].conv.weight.data.clone();
+        let bott_w = old.bottleneck.conv.weight.data.clone();
+        let mut new = old.deepened();
+        assert_eq!(new.cfg.depth, 3);
+        assert_eq!(new.enc[0].conv.weight.data, enc0_w);
+        assert_eq!(new.enc[2].conv.weight.data, bott_w, "old bottleneck becomes deepest encoder");
+        // And it still runs at a resolution divisible by 2^3.
+        let y = new.forward(&Tensor::zeros([1, 1, 1, 16, 16]), false);
+        assert_eq!(y.dims(), &[1, 1, 1, 16, 16]);
+        let _ = old.forward(&Tensor::zeros([1, 1, 1, 8, 8]), false);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::rand_uniform([2, 3, 1, 4, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([2, 2, 1, 4, 4], -1.0, 1.0, &mut rng);
+        let cat = concat_channels(&a, &b);
+        assert_eq!(cat.dims(), &[2, 5, 1, 4, 4]);
+        let (a2, b2) = split_channels(&cat, 3);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn unet_end_to_end_gradcheck() {
+        // Small end-to-end check: validates the full skip/concat wiring.
+        let cfg = UNetConfig {
+            depth: 2,
+            base_filters: 2,
+            two_d: true,
+            batch_norm: false, // keep fd noise low for the composite check
+            seed: 4,
+            ..Default::default()
+        };
+        let net = UNet::new(cfg);
+        check_layer_gradient(Box::new(net), &[1, 1, 1, 8, 8], 0.0, 1e-5, 1e-4);
+    }
+
+    #[test]
+    fn unet_with_bn_gradcheck() {
+        let cfg = UNetConfig { depth: 1, base_filters: 2, two_d: true, seed: 5, ..Default::default() };
+        let net = UNet::new(cfg);
+        check_layer_gradient(Box::new(net), &[2, 1, 1, 4, 4], 0.0, 1e-5, 1e-4);
+    }
+}

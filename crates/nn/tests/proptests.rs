@@ -1,0 +1,111 @@
+//! Property-based tests for the CNN framework.
+
+use mgd_nn::unet::{concat_channels, split_channels};
+use mgd_nn::{Adam, Conv3d, Layer, MaxPool3d, Param, Sigmoid, UNet, UNetConfig};
+use mgd_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Same-padding convolutions preserve spatial dims for any channel
+    /// combination and input size.
+    #[test]
+    fn conv_same_preserves_dims(
+        cin in 1usize..4, cout in 1usize..4,
+        h in 3usize..10, w in 3usize..10, seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv3d::same(cin, cout, (1, 3, 3), &mut rng);
+        let x = Tensor::rand_uniform([1, cin, 1, h, w], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        prop_assert_eq!(y.dims(), &[1, cout, 1, h, w]);
+    }
+
+    /// Max-pool backward conserves the total gradient mass.
+    #[test]
+    fn pool_backward_conserves_gradient(h in 1usize..5, w in 1usize..5, seed in 0u64..100) {
+        let (h, w) = (h * 2, w * 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = MaxPool3d::new((1, 2, 2));
+        let x = Tensor::rand_uniform([1, 1, 1, h, w], -1.0, 1.0, &mut rng);
+        let y = pool.forward(&x, true);
+        let g = Tensor::rand_uniform(y.dims().to_vec(), -1.0, 1.0, &mut rng);
+        let gx = pool.backward(&g);
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-10);
+    }
+
+    /// Sigmoid output is strictly inside (0, 1) for inputs where f64 can
+    /// represent that (|x| ≲ 36; beyond, it rounds to exactly 0/1), and is
+    /// monotone.
+    #[test]
+    fn sigmoid_range_and_monotonicity(a in -30.0..30.0f64, b in -30.0..30.0f64) {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec([1, 1, 1, 1, 2], vec![a, b]);
+        let y = s.forward(&x, false);
+        prop_assert!(y[0] > 0.0 && y[0] < 1.0);
+        prop_assert!(y[1] > 0.0 && y[1] < 1.0);
+        if a < b {
+            prop_assert!(y[0] <= y[1]);
+        }
+    }
+
+    /// concat/split roundtrip for arbitrary channel splits.
+    #[test]
+    fn concat_split_roundtrip(ca in 1usize..5, cb in 1usize..5, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform([2, ca, 1, 3, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([2, cb, 1, 3, 3], -1.0, 1.0, &mut rng);
+        let cat = concat_channels(&a, &b);
+        let (a2, b2) = split_channels(&cat, ca);
+        prop_assert_eq!(a2.as_slice(), a.as_slice());
+        prop_assert_eq!(b2.as_slice(), b.as_slice());
+    }
+
+    /// Adam converges on any 1D positive quadratic.
+    #[test]
+    fn adam_minimizes_quadratic(target in -5.0..5.0f64, curvature in 0.5..4.0f64) {
+        let mut p = Param::new(Tensor::from_vec([1], vec![0.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..800 {
+            let g = 2.0 * curvature * (p.data[0] - target);
+            p.grad = Tensor::from_vec([1], vec![g]);
+            opt.step(&mut [&mut p]);
+        }
+        prop_assert!((p.data[0] - target).abs() < 1e-2, "{} vs {}", p.data[0], target);
+    }
+
+    /// The U-Net accepts every resolution divisible by 2^depth and
+    /// produces outputs in (0, 1) with the sigmoid head.
+    #[test]
+    fn unet_resolution_sweep(k in 1usize..4, seed in 0u64..20) {
+        let cfg = UNetConfig { two_d: true, depth: 2, base_filters: 2, seed, ..Default::default() };
+        let mut net = UNet::new(cfg);
+        let m = 4 << k; // 8, 16, 32
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform([1, 1, 1, m, m], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, false);
+        prop_assert_eq!(y.dims(), &[1, 1, 1, m, m]);
+        prop_assert!(y.as_slice().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    /// Gradient accumulation: two backward passes double the parameter
+    /// gradient (callers rely on accumulate-then-zero semantics).
+    #[test]
+    fn gradients_accumulate(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv3d::same(1, 1, (1, 3, 3), &mut rng);
+        let x = Tensor::rand_uniform([1, 1, 1, 4, 4], -1.0, 1.0, &mut rng);
+        let g = Tensor::rand_uniform([1, 1, 1, 4, 4], -1.0, 1.0, &mut rng);
+        let _ = conv.forward(&x, true);
+        let _ = conv.backward(&g);
+        let once = conv.weight.grad.clone();
+        let _ = conv.forward(&x, true);
+        let _ = conv.backward(&g);
+        for i in 0..once.len() {
+            prop_assert!((conv.weight.grad[i] - 2.0 * once[i]).abs() < 1e-9);
+        }
+    }
+}

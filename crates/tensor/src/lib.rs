@@ -1,0 +1,30 @@
+//! Dense, row-major, `f64` N-dimensional tensors.
+//!
+//! This crate is the storage/compute substrate shared by the neural-network
+//! framework (`mgd-nn`), the finite-element kernels (`mgd-fem`) and the
+//! field generators (`mgd-field`) of the MGDiffNet reproduction.
+//!
+//! Design points:
+//! - **Owned, contiguous, row-major** storage only. Layers and FEM kernels
+//!   index raw slices for speed; `Tensor` mainly carries a shape and a
+//!   `Vec<f64>`.
+//! - **NCDHW layout convention** for network activations: `(batch, channel,
+//!   depth, height, width)`. 2D problems use `depth == 1`.
+//! - **Parallelism with a sequential fallback**: elementwise kernels switch
+//!   to rayon above [`PAR_THRESHOLD`] elements so tiny tensors (unit tests,
+//!   coarse multigrid levels) do not pay fork-join overhead.
+
+mod ops;
+pub mod par;
+mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Number of elements above which elementwise kernels use rayon.
+///
+/// Chosen so a 16x16 2D feature map stays sequential while any realistic
+/// 3D activation goes parallel; the trade-off is benchmarked in `mgd-bench`
+/// (ablation `par_threshold`).
+pub const PAR_THRESHOLD: usize = 16 * 1024;

@@ -1,0 +1,163 @@
+//! Elementwise and reduction operations on [`Tensor`].
+
+use crate::par::{maybe_par_dot, maybe_par_sum, maybe_par_zip_inplace, maybe_par_zip_map};
+use crate::Tensor;
+
+impl Tensor {
+    /// `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x + y);
+    }
+
+    /// `self -= other` (same shape).
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
+        maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x - y);
+    }
+
+    /// Hadamard product in place.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "mul_assign shape mismatch");
+        maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x * y);
+    }
+
+    /// `self *= s`.
+    pub fn scale(&mut self, s: f64) {
+        self.map_inplace(|x| x * s);
+    }
+
+    /// `self += alpha * other` (BLAS axpy).
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x + alpha * y);
+    }
+
+    /// Elementwise sum into a fresh tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let mut out = Tensor::zeros(self.shape().clone());
+        maybe_par_zip_map(self.as_slice(), other.as_slice(), out.as_mut_slice(), &|x, y| x + y);
+        out
+    }
+
+    /// Elementwise difference into a fresh tensor.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let mut out = Tensor::zeros(self.shape().clone());
+        maybe_par_zip_map(self.as_slice(), other.as_slice(), out.as_mut_slice(), &|x, y| x - y);
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        maybe_par_sum(self.as_slice())
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f64
+        }
+    }
+
+    /// Maximum element (NaN-propagating max of an empty tensor is -inf).
+    pub fn max(&self) -> f64 {
+        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f64 {
+        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Euclidean inner product.
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        maybe_par_dot(self.as_slice(), other.as_slice())
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Max-norm.
+    pub fn norm_inf(&self) -> f64 {
+        self.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Relative L2 error `|self - other| / |other|` (or absolute when
+    /// `other` is numerically zero).
+    pub fn rel_l2_error(&self, other: &Tensor) -> f64 {
+        let diff = self.sub(other).norm2();
+        let denom = other.norm2();
+        if denom > 1e-300 {
+            diff / denom
+        } else {
+            diff
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f64]) -> Tensor {
+        Tensor::from_vec([v.len()], v.to_vec())
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[5.0, 7.0, 9.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+        a.mul_assign(&b);
+        assert_eq!(a.as_slice(), &[4.0, 10.0, 18.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = t(&[1.0, 1.0]);
+        let b = t(&[2.0, 3.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[3.0, -1.0, 2.0]);
+        assert_eq!(a.sum(), 4.0);
+        assert!((a.mean() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.norm_inf(), 3.0);
+        assert!((a.norm2() - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_rel_error() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 4.0]);
+        assert_eq!(a.dot(&b), 11.0);
+        assert!(a.rel_l2_error(&a) < 1e-15);
+        let e = a.rel_l2_error(&b);
+        assert!((e - (8.0f64).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut a = t(&[1.0]);
+        let b = t(&[1.0, 2.0]);
+        a.add_assign(&b);
+    }
+}

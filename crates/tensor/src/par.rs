@@ -1,0 +1,133 @@
+//! Size-gated parallel helpers.
+//!
+//! Every kernel here has a sequential fast path below
+//! [`crate::PAR_THRESHOLD`] elements: coarse multigrid levels and unit tests
+//! operate on tensors where rayon's fork-join overhead would dominate.
+
+use crate::PAR_THRESHOLD;
+use rayon::prelude::*;
+
+/// In-place elementwise map, parallel for large slices.
+pub fn maybe_par_map_inplace<F: Fn(f64) -> f64 + Sync>(data: &mut [f64], f: &F) {
+    if data.len() >= PAR_THRESHOLD {
+        data.par_iter_mut().for_each(|x| *x = f(*x));
+    } else {
+        data.iter_mut().for_each(|x| *x = f(*x));
+    }
+}
+
+/// Elementwise binary op `out[i] = f(a[i], b[i])`, parallel for large slices.
+pub fn maybe_par_zip_map<F: Fn(f64, f64) -> f64 + Sync>(a: &[f64], b: &[f64], out: &mut [f64], f: &F) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    if a.len() >= PAR_THRESHOLD {
+        out.par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(o, (&x, &y))| *o = f(x, y));
+    } else {
+        for i in 0..a.len() {
+            out[i] = f(a[i], b[i]);
+        }
+    }
+}
+
+/// In-place binary op `a[i] = f(a[i], b[i])`, parallel for large slices.
+pub fn maybe_par_zip_inplace<F: Fn(f64, f64) -> f64 + Sync>(a: &mut [f64], b: &[f64], f: &F) {
+    assert_eq!(a.len(), b.len());
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = f(*x, y));
+    } else {
+        for i in 0..a.len() {
+            a[i] = f(a[i], b[i]);
+        }
+    }
+}
+
+/// Parallel sum with a deterministic sequential fallback.
+pub fn maybe_par_sum(data: &[f64]) -> f64 {
+    if data.len() >= PAR_THRESHOLD {
+        data.par_iter().sum()
+    } else {
+        data.iter().sum()
+    }
+}
+
+/// Parallel dot product with a sequential fallback.
+pub fn maybe_par_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum()
+    } else {
+        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n`, in parallel when `n * work_hint` is
+/// large. `work_hint` approximates the per-iteration element count so loops
+/// over few-but-heavy items (e.g. batch samples) still parallelize.
+pub fn maybe_par_for<F: Fn(usize) + Sync + Send>(n: usize, work_hint: usize, f: F) {
+    if n.saturating_mul(work_hint.max(1)) >= PAR_THRESHOLD && n > 1 {
+        (0..n).into_par_iter().for_each(&f);
+    } else {
+        for i in 0..n {
+            f(i);
+        }
+    }
+}
+
+/// Maps `0..n` to values, in parallel when the product with `work_hint` is
+/// large, preserving index order in the output.
+pub fn maybe_par_map_collect<T: Send, F: Fn(usize) -> T + Sync + Send>(n: usize, work_hint: usize, f: F) -> Vec<T> {
+    if n.saturating_mul(work_hint.max(1)) >= PAR_THRESHOLD && n > 1 {
+        (0..n).into_par_iter().map(f).collect()
+    } else {
+        (0..n).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zip_map_small_and_large() {
+        for n in [8usize, PAR_THRESHOLD + 1] {
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.0 * i as f64).collect();
+            let mut out = vec![0.0; n];
+            maybe_par_zip_map(&a, &b, &mut out, &|x, y| x + y);
+            for i in 0..n {
+                assert_eq!(out[i], 3.0 * i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_and_dot_agree_with_serial() {
+        let n = PAR_THRESHOLD + 13;
+        let a: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let serial: f64 = a.iter().sum();
+        assert!((maybe_par_sum(&a) - serial).abs() < 1e-9);
+        let dot_serial: f64 = a.iter().map(|x| x * x).sum();
+        assert!((maybe_par_dot(&a, &a) - dot_serial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_for_covers_all_indices() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 1000;
+        let count = AtomicUsize::new(0);
+        maybe_par_for(n, PAR_THRESHOLD, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = maybe_par_map_collect(100, PAR_THRESHOLD, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+}

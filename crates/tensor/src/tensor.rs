@@ -1,0 +1,221 @@
+//! The owned dense tensor type.
+
+use crate::par::maybe_par_map_inplace;
+use crate::Shape;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, contiguous, row-major `f64` tensor.
+///
+/// Network activations use the NCDHW convention `(batch, channel, depth,
+/// height, width)`; scalar fields on structured grids use `(depth, height,
+/// width)` (3D) or `(height, width)` (2D) with `x` on the fastest axis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor of the given shape.
+    pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Tensor filled with `v`.
+    pub fn full<S: Into<Shape>>(shape: S, v: f64) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor { shape, data: vec![v; n] }
+    }
+
+    /// Tensor of ones.
+    pub fn ones<S: Into<Shape>>(shape: S) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Builds a tensor from raw data; `data.len()` must equal the shape volume.
+    pub fn from_vec<S: Into<Shape>>(shape: S, data: Vec<f64>) -> Self {
+        let shape = shape.into();
+        assert_eq!(shape.len(), data.len(), "shape {shape} does not match data length {}", data.len());
+        Tensor { shape, data }
+    }
+
+    /// Tensor with entries drawn uniformly from `[lo, hi)`.
+    pub fn rand_uniform<S: Into<Shape>, R: Rng>(shape: S, lo: f64, hi: f64, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Tensor with standard-normal entries (Box–Muller; avoids a rand_distr dep).
+    pub fn randn<S: Into<Shape>, R: Rng>(shape: S, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+            data.push(r * c);
+            if data.len() < n {
+                data.push(r * s);
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Shape accessor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.shape.0
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable data slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the storage under a new shape of equal volume.
+    pub fn reshape<S: Into<Shape>>(mut self, shape: S) -> Self {
+        let shape = shape.into();
+        assert_eq!(shape.len(), self.data.len(), "reshape to {shape} changes volume");
+        self.shape = shape;
+        self
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Applies `f` elementwise in place (parallel above the size threshold).
+    pub fn map_inplace<F: Fn(f64) -> f64 + Sync>(&mut self, f: F) {
+        maybe_par_map_inplace(&mut self.data, &f);
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map<F: Fn(f64) -> f64 + Sync>(&self, f: F) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl std::ops::Index<usize> for Tensor {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros([2, 3]);
+        *t.at_mut(&[1, 2]) = 7.0;
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.as_slice().iter().sum::<f64>(), 7.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at(&[0, 1]), 2.0);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec([2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|i| i as f64).collect());
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.at(&[2, 1]), 5.0);
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn([10_000], &mut rng);
+        let mean = t.as_slice().iter().sum::<f64>() / t.len() as f64;
+        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn map_matches_sequential() {
+        let t = Tensor::from_vec([4], vec![1.0, -2.0, 3.0, -4.0]);
+        let m = t.map(|x| x.abs());
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros([3]);
+        assert!(!t.has_non_finite());
+        t[1] = f64::NAN;
+        assert!(t.has_non_finite());
+    }
+}

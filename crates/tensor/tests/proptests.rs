@@ -1,0 +1,99 @@
+//! Property-based tests for tensor algebra.
+
+use mgd_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor of 1..=64 elements with bounded entries.
+fn tensor_strategy() -> impl Strategy<Value = Tensor> {
+    (1usize..64)
+        .prop_flat_map(|n| proptest::collection::vec(-100.0..100.0f64, n))
+        .prop_map(|v| {
+            let n = v.len();
+            Tensor::from_vec([n], v)
+        })
+}
+
+/// Two tensors of identical shape.
+fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..64).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-100.0..100.0f64, n),
+            proptest::collection::vec(-100.0..100.0f64, n),
+        )
+            .prop_map(move |(a, b)| (Tensor::from_vec([n], a), Tensor::from_vec([n], b)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn add_commutes((a, b) in tensor_pair()) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn add_sub_roundtrip((a, b) in tensor_pair()) {
+        let r = a.add(&b).sub(&b);
+        prop_assert!(r.rel_l2_error(&a) < 1e-12 || a.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_matches_formula((a, b) in tensor_pair(), alpha in -10.0..10.0f64) {
+        let mut c = a.clone();
+        c.axpy(alpha, &b);
+        for i in 0..a.len() {
+            prop_assert!((c[i] - (a[i] + alpha * b[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dot_satisfies_cauchy_schwarz((a, b) in tensor_pair()) {
+        let lhs = a.dot(&b).abs();
+        let rhs = a.norm2() * b.norm2();
+        prop_assert!(lhs <= rhs * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality((a, b) in tensor_pair()) {
+        prop_assert!(a.add(&b).norm2() <= a.norm2() + b.norm2() + 1e-9);
+    }
+
+    #[test]
+    fn scale_scales_norm(a in tensor_strategy(), s in -10.0..10.0f64) {
+        let mut c = a.clone();
+        c.scale(s);
+        prop_assert!((c.norm2() - s.abs() * a.norm2()).abs() < 1e-7 * (1.0 + a.norm2()));
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in tensor_strategy()) {
+        let n = a.len();
+        if n % 2 == 0 {
+            let sum0 = a.sum();
+            let r = a.reshape([2, n / 2]);
+            prop_assert!((r.sum() - sum0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn map_then_inverse_is_identity(a in tensor_strategy()) {
+        let m = a.map(|x| x + 3.5).map(|x| x - 3.5);
+        prop_assert!(m.rel_l2_error(&a) < 1e-12 || a.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_bound_all_entries(a in tensor_strategy()) {
+        let (lo, hi) = (a.min(), a.max());
+        prop_assert!(a.as_slice().iter().all(|&x| x >= lo && x <= hi));
+        prop_assert!(a.norm_inf() >= lo.abs().max(hi.abs()) - 1e-12);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(a in tensor_strategy()) {
+        let m = a.mean();
+        prop_assert!(m >= a.min() - 1e-12 && m <= a.max() + 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Data-parallel training on in-process ranks (paper §3.2).
+//!
+//! Demonstrates the worker-count-independence guarantee (Eq. 15): training
+//! with 2 workers follows the single-worker loss trajectory to rounding,
+//! because the union of local mini-batches equals the global mini-batch and
+//! gradients are exactly averaged via ring all-reduce.
+//!
+//! `cargo run --release -p mgd-examples --bin distributed_training`
+
+use mgdiffnet::prelude::*;
+
+fn run_training(p: usize) -> (Vec<f64>, f64, f64) {
+    let results = launch(p, move |comm| {
+        let data = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu);
+        let mut net = UNet::new(UNetConfig {
+            two_d: true,
+            depth: 2,
+            base_filters: 4,
+            seed: 123,         // identical initialization on every rank
+            batch_norm: false, // BN uses local-batch statistics, which would
+                               // break bitwise worker-count independence
+            ..Default::default()
+        });
+        let mut opt = Adam::new(1e-3);
+        let cfg = TrainConfig { batch_size: 4, max_epochs: 10, ..Default::default() };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![32, 32], cfg);
+        tr.sync_initial_params();
+        let log = tr.train_fixed(10);
+        let losses: Vec<f64> = log.epochs.iter().map(|e| e.loss).collect();
+        let comm_s: f64 = log.epochs.iter().map(|e| e.comm_seconds).sum();
+        (losses, log.total_seconds, comm_s)
+    });
+    // All ranks report identical (averaged) losses; take rank 0.
+    results.into_iter().next().unwrap()
+}
+
+fn main() {
+    println!("data-parallel MGDiffNet training: worker-count independence\n");
+    let (l1, t1, _) = run_training(1);
+    let (l2, t2, c2) = run_training(2);
+    let (l4, t4, c4) = run_training(4);
+
+    println!("epoch |   p=1 loss |   p=2 loss |   p=4 loss");
+    for e in 0..l1.len() {
+        println!("{:>5} | {:>10.6} | {:>10.6} | {:>10.6}", e, l1[e], l2[e], l4[e]);
+    }
+    let max_diff_12 = l1
+        .iter()
+        .zip(&l2)
+        .map(|(a, b)| (a - b).abs() / a.abs().max(1e-12))
+        .fold(0.0f64, f64::max);
+    let max_diff_14 = l1
+        .iter()
+        .zip(&l4)
+        .map(|(a, b)| (a - b).abs() / a.abs().max(1e-12))
+        .fold(0.0f64, f64::max);
+    println!("\nmax relative trajectory deviation: p=2 {max_diff_12:.2e}, p=4 {max_diff_14:.2e}");
+    println!("(nonzero only through floating-point reduction order — Eq. 15 in action)");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("\nwall-clock: p=1 {t1:.1}s, p=2 {t2:.1}s (comm {c2:.2}s), p=4 {t4:.1}s (comm {c4:.2}s)");
+    println!("({cores} physical cores available; ranks beyond that timeshare)");
+    assert!(max_diff_12 < 1e-6, "distributed trajectory diverged");
+}

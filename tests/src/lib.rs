@@ -1,0 +1,29 @@
+//! Cross-crate integration tests for the MGDiffNet workspace.
+//!
+//! The actual tests live in `tests/tests/`:
+//! - `end_to_end.rs` — full training pipelines reach the FEM energy;
+//! - `distributed.rs` — worker-count independence of training;
+//! - `consistency.rs` — cross-crate invariants (e.g. the cluster model's
+//!   parameter count matches the real network);
+//! - `properties.rs` — proptest invariants spanning crates.
+
+/// Builds a tiny 2D setup shared by several integration tests.
+pub fn tiny_2d_setup(
+    samples: usize,
+    seed: u64,
+) -> (mgd_nn::UNet, mgd_nn::Adam, mgd_field::Dataset) {
+    let net = mgd_nn::UNet::new(mgd_nn::UNetConfig {
+        two_d: true,
+        depth: 2,
+        base_filters: 4,
+        seed,
+        ..Default::default()
+    });
+    let opt = mgd_nn::Adam::new(3e-3);
+    let data = mgd_field::Dataset::sobol(
+        samples,
+        mgd_field::DiffusivityModel::paper(),
+        mgd_field::InputEncoding::LogNu,
+    );
+    (net, opt, data)
+}

@@ -1,0 +1,111 @@
+//! Distributed-training invariants (paper §3.2).
+
+use mgd_dist::{launch, Comm};
+use mgdiffnet::prelude::*;
+
+fn train_losses(p: usize, epochs: usize) -> Vec<f64> {
+    let results = launch(p, move |comm| {
+        let data = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu);
+        // batch_norm off: BN statistics are computed over the *local*
+        // batch (standard data-parallel semantics), which breaks bitwise
+        // worker-count independence; the Eq. 15 guarantee applies to the
+        // stat-free network.
+        let mut net = UNet::new(UNetConfig {
+            two_d: true,
+            depth: 2,
+            base_filters: 4,
+            seed: 55,
+            batch_norm: false,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(1e-3);
+        let cfg = TrainConfig { batch_size: 4, max_epochs: epochs, ..Default::default() };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        tr.sync_initial_params();
+        tr.train_fixed(epochs).epochs.iter().map(|e| e.loss).collect::<Vec<f64>>()
+    });
+    results.into_iter().next().unwrap()
+}
+
+#[test]
+fn worker_count_independence() {
+    // Eq. 15 + exact gradient averaging: p = 1, 2, 4 follow the same
+    // trajectory up to floating-point reduction order.
+    let l1 = train_losses(1, 6);
+    let l2 = train_losses(2, 6);
+    let l4 = train_losses(4, 6);
+    for e in 0..l1.len() {
+        let d2 = (l1[e] - l2[e]).abs() / l1[e].abs().max(1e-12);
+        let d4 = (l1[e] - l4[e]).abs() / l1[e].abs().max(1e-12);
+        assert!(d2 < 1e-8, "epoch {e}: p2 deviation {d2}");
+        assert!(d4 < 1e-8, "epoch {e}: p4 deviation {d4}");
+    }
+}
+
+#[test]
+fn ring_allreduce_handles_network_sized_gradients() {
+    // A realistic parameter-count buffer (hundreds of k) through the ring.
+    let n = mgd_nn::UNet::new(UNetConfig {
+        two_d: true,
+        depth: 2,
+        base_filters: 8,
+        ..Default::default()
+    })
+    .num_parameters();
+    let results = launch(4, move |comm| {
+        let mut buf: Vec<f64> = (0..n).map(|i| (comm.rank() + 1) as f64 + i as f64 * 1e-9).collect();
+        comm.allreduce_sum(&mut buf);
+        buf
+    });
+    let expect0: f64 = (1..=4).map(|r| r as f64).sum();
+    for buf in &results {
+        assert!((buf[0] - expect0).abs() < 1e-9);
+        assert_eq!(buf.len(), n);
+    }
+}
+
+#[test]
+fn replicas_stay_in_sync_across_epochs() {
+    // After several distributed epochs all ranks hold bitwise-identical
+    // parameters (the §3.2 "in sync with every other worker" claim).
+    let hashes = launch(2, |comm| {
+        let data = Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu);
+        let mut net = UNet::new(UNetConfig {
+            two_d: true,
+            depth: 1,
+            base_filters: 2,
+            seed: 9,
+            batch_norm: false,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(1e-3);
+        let cfg = TrainConfig { batch_size: 4, max_epochs: 4, ..Default::default() };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        tr.sync_initial_params();
+        let _ = tr.train_fixed(4);
+        // Cheap structural hash of the final parameters.
+        let mut flat = Vec::new();
+        mgd_nn::param::flatten_params(&tr.net.params(), &mut flat);
+        flat.iter().enumerate().map(|(i, x)| x * (i as f64 + 1.0)).sum::<f64>()
+    });
+    assert!(
+        (hashes[0] - hashes[1]).abs() <= 1e-9 * hashes[0].abs().max(1.0),
+        "replicas diverged: {hashes:?}"
+    );
+}
+
+#[test]
+fn padded_dataset_divides_cleanly() {
+    let mut data = Dataset::sobol(10, DiffusivityModel::paper(), InputEncoding::LogNu);
+    data.pad_to_multiple(4);
+    assert_eq!(data.len() % 4, 0);
+    // And sharding a permutation of it satisfies Eq. 15.
+    let perm = data.epoch_permutation(1, 0);
+    for mb in mgd_dist::global_minibatches(&perm, 4) {
+        let mut union = Vec::new();
+        for r in 0..4 {
+            union.extend_from_slice(mgd_dist::local_minibatch(&mb, r, 4));
+        }
+        assert_eq!(union, mb);
+    }
+}
