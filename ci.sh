@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate — the same checks .github/workflows/ci.yml runs.
+#
+#   ./ci.sh          # fmt, clippy -D warnings, release build, tests, bench compile
+#   ./ci.sh bench    # additionally run the serving benchmark
+#                    # (predict_batch vs looped predict throughput)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() { echo "==> $*"; "$@"; }
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo bench --no-run --workspace
+
+if [[ "${1:-}" == "bench" ]]; then
+    run cargo bench -p mgd-bench --bench serving
+fi
+
+echo "ci: all green"

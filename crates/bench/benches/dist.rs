@@ -6,7 +6,9 @@ use std::time::Duration;
 
 fn bench_dist(c: &mut Criterion) {
     let mut grp = c.benchmark_group("dist");
-    grp.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(300));
+    grp.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
 
     for &n in &[10_000usize, 100_000] {
         grp.bench_function(format!("ring_allreduce_p4_{n}"), |b| {

@@ -19,7 +19,9 @@ fn nu_field(g: &Grid<2>) -> Vec<f64> {
 
 fn bench_fem(c: &mut Criterion) {
     let mut grp = c.benchmark_group("fem");
-    grp.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(300));
+    grp.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
 
     let g: Grid<2> = Grid::cube(65);
     let basis = ElementBasis::new(&g);
@@ -51,7 +53,15 @@ fn bench_fem(c: &mut Criterion) {
     let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
     grp.bench_function("solve_gmg_65sq", |b| {
         b.iter(|| {
-            let s = GmgSolver::new(g, &nu, bc.clone(), GmgOptions { tol: 1e-8, ..Default::default() });
+            let s = GmgSolver::new(
+                g,
+                &nu,
+                bc.clone(),
+                GmgOptions {
+                    tol: 1e-8,
+                    ..Default::default()
+                },
+            );
             let (u, stats) = s.solve(None, None);
             assert!(stats.converged);
             std::hint::black_box(u)
@@ -66,7 +76,10 @@ fn bench_fem(c: &mut Criterion) {
                 &bc,
                 None,
                 None,
-                CgOptions { tol: 1e-8, ..Default::default() },
+                CgOptions {
+                    tol: 1e-8,
+                    ..Default::default()
+                },
             );
             assert!(stats.converged);
             std::hint::black_box(u)

@@ -10,12 +10,16 @@ use std::time::Duration;
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut g = c.benchmark_group("kernels");
-    g.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
 
     // 3D conv at a realistic interior size.
     let x3 = Tensor::rand_uniform([1, 8, 16, 16, 16], -1.0, 1.0, &mut rng);
     let mut conv = Conv3d::same(8, 8, (3, 3, 3), &mut rng);
-    g.bench_function("conv3d_fwd_16c8", |b| b.iter(|| conv.forward(std::hint::black_box(&x3), false)));
+    g.bench_function("conv3d_fwd_16c8", |b| {
+        b.iter(|| conv.forward(std::hint::black_box(&x3), false))
+    });
     let y = conv.forward(&x3, true);
     g.bench_function("conv3d_bwd_16c8", |b| {
         b.iter(|| {
@@ -27,18 +31,26 @@ fn bench_kernels(c: &mut Criterion) {
     // 2D-style conv (unit depth) — the Figure 2 workhorse.
     let x2 = Tensor::rand_uniform([1, 8, 1, 64, 64], -1.0, 1.0, &mut rng);
     let mut conv2 = Conv3d::same(8, 8, (1, 3, 3), &mut rng);
-    g.bench_function("conv2d_fwd_64c8", |b| b.iter(|| conv2.forward(std::hint::black_box(&x2), false)));
+    g.bench_function("conv2d_fwd_64c8", |b| {
+        b.iter(|| conv2.forward(std::hint::black_box(&x2), false))
+    });
 
     // Transpose conv upsampling.
     let xs = Tensor::rand_uniform([1, 16, 8, 8, 8], -1.0, 1.0, &mut rng);
     let mut up = ConvTranspose3d::up2(16, 8, false, &mut rng);
-    g.bench_function("convT_up2_8to16", |b| b.iter(|| up.forward(std::hint::black_box(&xs), false)));
+    g.bench_function("convT_up2_8to16", |b| {
+        b.iter(|| up.forward(std::hint::black_box(&xs), false))
+    });
 
     // BatchNorm + pooling.
     let mut bn = BatchNorm::new(8);
-    g.bench_function("batchnorm_16c8", |b| b.iter(|| bn.forward(std::hint::black_box(&x3), true)));
+    g.bench_function("batchnorm_16c8", |b| {
+        b.iter(|| bn.forward(std::hint::black_box(&x3), true))
+    });
     let mut pool = MaxPool3d::down2(false);
-    g.bench_function("maxpool_16c8", |b| b.iter(|| pool.forward(std::hint::black_box(&x3), true)));
+    g.bench_function("maxpool_16c8", |b| {
+        b.iter(|| pool.forward(std::hint::black_box(&x3), true))
+    });
 
     g.finish();
 }

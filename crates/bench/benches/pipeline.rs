@@ -10,20 +10,30 @@ use std::time::Duration;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut grp = c.benchmark_group("pipeline");
-    grp.sample_size(10).measurement_time(Duration::from_millis(1500)).warm_up_time(Duration::from_millis(300));
+    grp.sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300));
 
     // One full training epoch (4 samples, batch 4) at two 2D resolutions:
     // the time ratio is the Figure 2 growth measurement in miniature.
     for &res in &[16usize, 32] {
         grp.bench_function(format!("train_epoch_2d_{res}"), |b| {
             let data = Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu);
-            let mut net =
-                UNet::new(UNetConfig { two_d: true, depth: 2, base_filters: 4, ..Default::default() });
+            let mut net = UNet::new(UNetConfig {
+                two_d: true,
+                depth: 2,
+                base_filters: 4,
+                ..Default::default()
+            });
             let mut opt = Adam::new(1e-3);
             let comm = LocalComm::new();
-            let cfg = TrainConfig { batch_size: 4, ..Default::default() };
-            let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![res, res], cfg);
-            b.iter(|| std::hint::black_box(tr.train_epoch()))
+            let cfg = TrainConfig {
+                batch_size: 4,
+                ..Default::default()
+            };
+            let mut tr =
+                Trainer::new(&mut net, &mut opt, &data, &comm, vec![res, res], cfg).unwrap();
+            b.iter(|| std::hint::black_box(tr.train_epoch().unwrap()))
         });
     }
 

@@ -1,0 +1,64 @@
+//! Serving-path benchmarks: batched `predict_batch` vs looped `predict`,
+//! and the cache-hit fast path.
+//!
+//! `cargo bench -p mgd-bench --bench serving`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mgdiffnet::prelude::*;
+
+const BATCH: usize = 16;
+
+fn engine(cache: usize) -> SolverEngine {
+    SolverEngine::builder()
+        .resolution([32, 32])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .levels(2)
+        .samples(BATCH)
+        .batch_size(8)
+        .cache_capacity(cache)
+        .seed(7)
+        .build()
+        .expect("bench engine")
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_32x32");
+
+    let mut eng = engine(0);
+    let fields: Vec<Tensor> = (0..BATCH)
+        .map(|s| eng.dataset().nu_field(s, &[32, 32]))
+        .collect();
+
+    group.bench_function(format!("predict_batch_{BATCH}"), |b| {
+        b.iter(|| {
+            let out = eng.predict_batch(black_box(&fields)).expect("serve");
+            black_box(out.len())
+        })
+    });
+
+    let mut eng_loop = engine(0);
+    group.bench_function(format!("looped_predict_{BATCH}"), |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for f in &fields {
+                let u = eng_loop.predict(black_box(f)).expect("serve");
+                n += u.len();
+            }
+            black_box(n)
+        })
+    });
+
+    let mut eng_cached = engine(BATCH);
+    let _ = eng_cached.predict_batch(&fields).expect("warm the cache");
+    group.bench_function(format!("cached_predict_batch_{BATCH}"), |b| {
+        b.iter(|| {
+            let out = eng_cached.predict_batch(black_box(&fields)).expect("serve");
+            black_box(out.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -26,7 +26,12 @@ fn time_2d(res: usize, data: &Dataset, net: &mut UNet) -> (f64, f64, usize, Stri
     let t = Instant::now();
     let _ = net.forward(&x, false);
     let infer = t.elapsed().as_secs_f64();
-    (rep.seconds, infer, rep.iterations, format!("{:?}", rep.method))
+    (
+        rep.seconds,
+        infer,
+        rep.iterations,
+        format!("{:?}", rep.method),
+    )
 }
 
 fn time_3d(res: usize, data: &Dataset, net: &mut UNet) -> (f64, f64, usize, String) {
@@ -40,7 +45,12 @@ fn time_3d(res: usize, data: &Dataset, net: &mut UNet) -> (f64, f64, usize, Stri
     let t = Instant::now();
     let _ = net.forward(&x, false);
     let infer = t.elapsed().as_secs_f64();
-    (rep.seconds, infer, rep.iterations, format!("{:?}", rep.method))
+    (
+        rep.seconds,
+        infer,
+        rep.iterations,
+        format!("{:?}", rep.method),
+    )
 }
 
 fn main() {
@@ -49,14 +59,26 @@ fn main() {
     println!("paper anchor (their testbed): FEM ~5 min vs inference <30 s at 128^3\n");
     let data = Dataset::sobol(1, DiffusivityModel::paper(), InputEncoding::LogNu);
 
-    let mut table = Table::new(["grid", "fem_method", "fem_iters", "fem_s", "inference_s", "fem/inference"]);
+    let mut table = Table::new([
+        "grid",
+        "fem_method",
+        "fem_iters",
+        "fem_s",
+        "inference_s",
+        "fem/inference",
+    ]);
     let mut rows = Vec::new();
 
     let res_2d: Vec<usize> = match args.scale {
         ExperimentScale::Quick => vec![64, 128, 256],
         ExperimentScale::Full => vec![64, 128, 256, 512],
     };
-    let mut net2 = UNet::new(UNetConfig { two_d: true, depth: 3, base_filters: 16, ..Default::default() });
+    let mut net2 = UNet::new(UNetConfig {
+        two_d: true,
+        depth: 3,
+        base_filters: 16,
+        ..Default::default()
+    });
     for r in res_2d {
         let (fem_s, infer_s, iters, method) = time_2d(r, &data, &mut net2);
         table.row([
@@ -67,14 +89,24 @@ fn main() {
             format!("{infer_s:.3}"),
             format!("{:.2}", fem_s / infer_s),
         ]);
-        rows.push(vec![format!("2d_{r}"), method, format!("{fem_s:.5}"), format!("{infer_s:.5}")]);
+        rows.push(vec![
+            format!("2d_{r}"),
+            method,
+            format!("{fem_s:.5}"),
+            format!("{infer_s:.5}"),
+        ]);
     }
 
     let res_3d: Vec<usize> = match args.scale {
         ExperimentScale::Quick => vec![16, 32],
         ExperimentScale::Full => vec![16, 32, 64, 128],
     };
-    let mut net3 = UNet::new(UNetConfig { two_d: false, depth: 3, base_filters: 16, ..Default::default() });
+    let mut net3 = UNet::new(UNetConfig {
+        two_d: false,
+        depth: 3,
+        base_filters: 16,
+        ..Default::default()
+    });
     for r in res_3d {
         let (fem_s, infer_s, iters, method) = time_3d(r, &data, &mut net3);
         table.row([
@@ -85,7 +117,12 @@ fn main() {
             format!("{infer_s:.3}"),
             format!("{:.2}", fem_s / infer_s),
         ]);
-        rows.push(vec![format!("3d_{r}"), method, format!("{fem_s:.5}"), format!("{infer_s:.5}")]);
+        rows.push(vec![
+            format!("3d_{r}"),
+            method,
+            format!("{fem_s:.5}"),
+            format!("{infer_s:.5}"),
+        ]);
     }
     table.print();
     println!("\nnote: on CPU in f64 our un-optimized inference is not GPU-fast; the paper's");

@@ -23,7 +23,9 @@ fn main() {
 
     // Measured: hybrid paradigm — each rank is one "process", rayon threads
     // inside it are the OpenMP analogue.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("-- measured (in-process ranks; {cores} cores) --");
     let (res, samples, batch) = match args.scale {
         ExperimentScale::Quick => (16usize, 8usize, 4usize),
@@ -37,14 +39,19 @@ fn main() {
         let dims_c = dims.clone();
         let stats = launch(p, move |comm| {
             let data = Dataset::sobol(samples, DiffusivityModel::paper(), InputEncoding::LogNu);
-            let mut net =
-                UNet::new(UNetConfig { depth: 2, base_filters: 4, seed, ..Default::default() });
+            let mut net = UNet::new(UNetConfig {
+                depth: 2,
+                base_filters: 4,
+                seed,
+                ..Default::default()
+            });
             let mut opt = Adam::new(1e-3);
             let cfg = train_cfg(batch, 4, seed);
-            let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, dims_c.clone(), cfg);
+            let mut tr =
+                Trainer::new(&mut net, &mut opt, &data, &comm, dims_c.clone(), cfg).unwrap();
             tr.sync_initial_params();
-            let _ = tr.train_epoch();
-            tr.train_epoch()
+            let _ = tr.train_epoch().unwrap();
+            tr.train_epoch().unwrap()
         });
         let epoch_s = stats.iter().map(|s| s.seconds).fold(0.0f64, f64::max);
         let comm_s = stats.iter().map(|s| s.comm_seconds).fold(0.0f64, f64::max);
@@ -77,7 +84,14 @@ fn main() {
     };
     let counts = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let curve = strong_scaling(&cfg, &counts);
-    let mut table = Table::new(["nodes", "epoch", "compute_s", "comm_s", "speedup", "efficiency"]);
+    let mut table = Table::new([
+        "nodes",
+        "epoch",
+        "compute_s",
+        "comm_s",
+        "speedup",
+        "efficiency",
+    ]);
     let mut rows = Vec::new();
     for pt in &curve {
         let human = if pt.epoch.total_s >= 3600.0 {
@@ -121,6 +135,11 @@ fn main() {
         2.0 * per_sample_gb
     );
     let out = results_dir().join("fig10_modeled.csv");
-    mgd_bench::write_csv(&out, &["nodes", "epoch_s", "compute_s", "comm_s", "speedup"], &rows).unwrap();
+    mgd_bench::write_csv(
+        &out,
+        &["nodes", "epoch_s", "compute_s", "comm_s", "speedup"],
+        &rows,
+    )
+    .unwrap();
     println!("wrote {}", out.display());
 }

@@ -28,14 +28,21 @@ fn main() {
         let (mut net, mut opt, data) = setup_2d(samples, 8, 2, args.seed);
         let comm = LocalComm::new();
         let cfg = train_cfg(batch, 4, args.seed);
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![r, r], cfg);
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![r, r], cfg).unwrap();
         // Warm once (allocator, rayon pool), then time the best of two.
-        let _ = tr.train_epoch();
-        let t1 = tr.train_epoch().seconds;
-        let t2 = tr.train_epoch().seconds;
+        let _ = tr.train_epoch().unwrap();
+        let t1 = tr.train_epoch().unwrap().seconds;
+        let t2 = tr.train_epoch().unwrap().seconds;
         let t = t1.min(t2);
-        let ratio = prev.map(|p| format!("{:.2}x", t / p)).unwrap_or_else(|| "-".into());
-        table.row([format!("{r}x{r}"), format!("{}", r * r), format!("{t:.3}"), ratio]);
+        let ratio = prev
+            .map(|p| format!("{:.2}x", t / p))
+            .unwrap_or_else(|| "-".into());
+        table.row([
+            format!("{r}x{r}"),
+            format!("{}", r * r),
+            format!("{t:.3}"),
+            ratio,
+        ]);
         rows.push(vec![r.to_string(), (r * r).to_string(), format!("{t:.6}")]);
         prev = Some(t);
     }
@@ -48,7 +55,10 @@ fn main() {
         let n = rows.len();
         let t_hi: f64 = rows[n - 1][2].parse().unwrap();
         let t_lo: f64 = rows[n - 2][2].parse().unwrap();
-        println!("\nlargest-step time ratio: {:.2}x (paper's asymptote: ~4x per doubling)", t_hi / t_lo);
+        println!(
+            "\nlargest-step time ratio: {:.2}x (paper's asymptote: ~4x per doubling)",
+            t_hi / t_lo
+        );
     }
     let out = results_dir().join("fig2_epoch_scaling.csv");
     mgd_bench::write_csv(&out, &["resolution", "dof", "epoch_seconds"], &rows).unwrap();

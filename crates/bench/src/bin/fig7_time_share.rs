@@ -44,10 +44,18 @@ fn main() {
         let levels = 3usize;
         for kind in CycleKind::ALL {
             let (mut net, mut opt, data) = setup_2d(8, 8, 2, args.seed);
-            let mg = MgConfig { cycle: kind, levels, fixed_epochs: 2, adapt: false, cycles: 1 };
+            let mg = MgConfig {
+                cycle: kind,
+                levels,
+                fixed_epochs: 2,
+                adapt: false,
+                cycles: 1,
+            };
             let cfg = train_cfg(4, 20, args.seed);
             let log = MultigridTrainer::new(mg, cfg, vec![64, 64])
-                .run(&mut net, &mut opt, &data, &comm);
+                .unwrap()
+                .run(&mut net, &mut opt, &data, &comm)
+                .unwrap();
             rows.push((kind.name().to_string(), log.seconds_per_level(levels)));
         }
     }
@@ -74,7 +82,13 @@ fn main() {
     table.print();
     let out = results_dir().join("fig7_time_share.csv");
     let hdrs: Vec<String> = (0..=max_levels)
-        .map(|i| if i == 0 { "strategy".into() } else { format!("L{i}_pct") })
+        .map(|i| {
+            if i == 0 {
+                "strategy".into()
+            } else {
+                format!("L{i}_pct")
+            }
+        })
         .collect();
     let hdr_refs: Vec<&str> = hdrs.iter().map(|s| s.as_str()).collect();
     mgd_bench::write_csv(&out, &hdr_refs, &csv_rows).unwrap();

@@ -17,7 +17,11 @@ fn series(log: &MgRunLog) -> Vec<(f64, f64, usize)> {
     let mut out = Vec::new();
     let mut t = 0.0;
     for ph in &log.phases {
-        let per_epoch = if ph.epochs > 0 { ph.seconds / ph.epochs as f64 } else { 0.0 };
+        let per_epoch = if ph.epochs > 0 {
+            ph.seconds / ph.epochs as f64
+        } else {
+            0.0
+        };
         for (i, &loss) in ph.losses.iter().enumerate() {
             t += per_epoch;
             let _ = i;
@@ -43,19 +47,35 @@ fn main() {
 
     let (mut net_b, mut opt_b, data) = setup_3d(samples, 4, 2, args.seed);
     let base = MultigridTrainer::new(
-        MgConfig { cycle: CycleKind::Base, levels: 1, fixed_epochs: 0, adapt: false, cycles: 1 },
+        MgConfig {
+            cycle: CycleKind::Base,
+            levels: 1,
+            fixed_epochs: 0,
+            adapt: false,
+            cycles: 1,
+        },
         cfg,
         dims.clone(),
     )
-    .run(&mut net_b, &mut opt_b, &data, &comm);
+    .unwrap()
+    .run(&mut net_b, &mut opt_b, &data, &comm)
+    .unwrap();
 
     let (mut net_m, mut opt_m, _) = setup_3d(samples, 4, 2, args.seed);
     let mg = MultigridTrainer::new(
-        MgConfig { cycle: CycleKind::HalfV, levels, fixed_epochs: 2, adapt: false, cycles: 1 },
+        MgConfig {
+            cycle: CycleKind::HalfV,
+            levels,
+            fixed_epochs: 2,
+            adapt: false,
+            cycles: 1,
+        },
         cfg,
         dims.clone(),
     )
-    .run(&mut net_m, &mut opt_m, &data, &comm);
+    .unwrap()
+    .run(&mut net_m, &mut opt_m, &data, &comm)
+    .unwrap();
 
     println!(
         "Base:   {:.1}s to loss {:.5}\nHalf-V: {:.1}s to loss {:.5}  (speedup {:.2}x)",
@@ -68,10 +88,20 @@ fn main() {
 
     let mut rows = Vec::new();
     for (t, loss, level) in series(&base) {
-        rows.push(vec!["base".into(), format!("{t:.4}"), format!("{loss:.6}"), level.to_string()]);
+        rows.push(vec![
+            "base".into(),
+            format!("{t:.4}"),
+            format!("{loss:.6}"),
+            level.to_string(),
+        ]);
     }
     for (t, loss, level) in series(&mg) {
-        rows.push(vec!["half_v".into(), format!("{t:.4}"), format!("{loss:.6}"), level.to_string()]);
+        rows.push(vec![
+            "half_v".into(),
+            format!("{t:.4}"),
+            format!("{loss:.6}"),
+            level.to_string(),
+        ]);
     }
     let out = results_dir().join("fig8_loss_curves.csv");
     mgd_bench::write_csv(&out, &["run", "seconds", "loss", "level"], &rows).unwrap();
@@ -80,7 +110,8 @@ fn main() {
     // Time-to-target comparison: when does each run first reach the Base
     // final loss (the Figure 8 crossover)?
     let target = base.final_loss;
-    let first_reach = |s: &[(f64, f64, usize)]| s.iter().find(|(_, l, _)| *l <= target).map(|(t, _, _)| *t);
+    let first_reach =
+        |s: &[(f64, f64, usize)]| s.iter().find(|(_, l, _)| *l <= target).map(|(t, _, _)| *t);
     let tb = first_reach(&series(&base));
     let tm = first_reach(&series(&mg));
     match (tb, tm) {

@@ -22,15 +22,16 @@ use mgd_nn::{Adam, UNet, UNetConfig};
 use mgdiffnet::Trainer;
 
 fn measured_part(args: &HarnessArgs) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("-- measured (in-process ranks; {cores} cores available) --");
     let (res, samples, batch) = match args.scale {
         ExperimentScale::Quick => (16usize, 8usize, 4usize),
         ExperimentScale::Full => (32, 32, 8),
     };
     let dims = vec![res, res, res];
-    let mut table =
-        Table::new(["workers", "epoch_s", "comm_s", "speedup", "note"]);
+    let mut table = Table::new(["workers", "epoch_s", "comm_s", "speedup", "note"]);
     let mut t1 = None;
     let mut rows = Vec::new();
     for p in [1usize, 2, 4] {
@@ -41,13 +42,19 @@ fn measured_part(args: &HarnessArgs) {
         let dims_c = dims.clone();
         let stats = launch(p, move |comm| {
             let data = Dataset::sobol(samples, DiffusivityModel::paper(), InputEncoding::LogNu);
-            let mut net = UNet::new(UNetConfig { depth: 2, base_filters: 4, seed, ..Default::default() });
+            let mut net = UNet::new(UNetConfig {
+                depth: 2,
+                base_filters: 4,
+                seed,
+                ..Default::default()
+            });
             let mut opt = Adam::new(1e-3);
             let cfg = train_cfg(batch, 4, seed);
-            let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, dims_c.clone(), cfg);
+            let mut tr =
+                Trainer::new(&mut net, &mut opt, &data, &comm, dims_c.clone(), cfg).unwrap();
             tr.sync_initial_params();
-            let _ = tr.train_epoch(); // warm-up
-            tr.train_epoch()
+            let _ = tr.train_epoch().unwrap(); // warm-up
+            tr.train_epoch().unwrap()
         });
         let epoch_s = stats.iter().map(|s| s.seconds).fold(0.0f64, f64::max);
         let comm_s = stats.iter().map(|s| s.comm_seconds).fold(0.0f64, f64::max);
@@ -63,7 +70,12 @@ fn measured_part(args: &HarnessArgs) {
             format!("{speedup:.2}x"),
             note.to_string(),
         ]);
-        rows.push(vec![p.to_string(), format!("{epoch_s:.5}"), format!("{comm_s:.6}"), format!("{speedup:.3}")]);
+        rows.push(vec![
+            p.to_string(),
+            format!("{epoch_s:.5}"),
+            format!("{comm_s:.6}"),
+            format!("{speedup:.3}"),
+        ]);
     }
     table.print();
     let out = results_dir().join("fig9_measured.csv");
@@ -75,7 +87,12 @@ fn modeled_part() {
     let spec = azure_ndv2();
     println!(
         "{}: {} x {} {}GB per node, {} {} Gb/s",
-        spec.name, spec.gpus_per_node, spec.gpu, spec.gpu_memory_gb, spec.interconnect, spec.bandwidth_gbps
+        spec.name,
+        spec.gpus_per_node,
+        spec.gpu,
+        spec.gpu_memory_gb,
+        spec.interconnect,
+        spec.bandwidth_gbps
     );
     let cfg = RunConfig {
         spec,
@@ -87,7 +104,15 @@ fn modeled_part() {
     };
     let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
     let curve = strong_scaling(&cfg, &counts);
-    let mut table = Table::new(["GPUs", "nodes", "epoch", "compute_s", "comm_s", "speedup", "efficiency"]);
+    let mut table = Table::new([
+        "GPUs",
+        "nodes",
+        "epoch",
+        "compute_s",
+        "comm_s",
+        "speedup",
+        "efficiency",
+    ]);
     let mut rows = Vec::new();
     for pt in &curve {
         let human = if pt.epoch.total_s >= 60.0 {
@@ -121,8 +146,12 @@ fn modeled_part() {
         one, full.epoch.total_s, full.speedup
     );
     let out = results_dir().join("fig9_modeled.csv");
-    mgd_bench::write_csv(&out, &["gpus", "nodes", "epoch_s", "compute_s", "comm_s", "speedup"], &rows)
-        .unwrap();
+    mgd_bench::write_csv(
+        &out,
+        &["gpus", "nodes", "epoch_s", "compute_s", "comm_s", "speedup"],
+        &rows,
+    )
+    .unwrap();
     println!("wrote {}", out.display());
 }
 

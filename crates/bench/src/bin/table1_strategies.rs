@@ -40,30 +40,47 @@ fn run_case(case: &Case, seed: u64) -> (Table, Vec<(String, usize, MgRunLog)>) {
         vec![case.resolution, case.resolution, case.resolution]
     };
     let dim_label = if case.two_d { "2D" } else { "3D" };
-    let res_label = dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+    let res_label = dims
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x");
     println!("\n-- {dim_label} {res_label} --");
     let comm = LocalComm::new();
     let cfg = train_cfg(case.batch, case.max_epochs, seed);
 
     // Base: direct training at the finest resolution.
-    let base_mg = MgConfig { cycle: CycleKind::Base, levels: 1, fixed_epochs: 0, adapt: false, cycles: 1 };
+    let base_mg = MgConfig {
+        cycle: CycleKind::Base,
+        levels: 1,
+        fixed_epochs: 0,
+        adapt: false,
+        cycles: 1,
+    };
     let (mut net, mut opt, data) = if case.two_d {
         setup_2d(case.samples, 8, 2, seed)
     } else {
         setup_3d(case.samples, 4, 2, seed)
     };
     let base_log = MultigridTrainer::new(base_mg, cfg, dims.clone())
-        .run(&mut net, &mut opt, &data, &comm);
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     println!(
         "Base: {:.1}s, loss {:.5} ({} epochs)",
-        base_log.total_seconds,
-        base_log.final_loss,
-        base_log.phases[0].epochs
+        base_log.total_seconds, base_log.final_loss, base_log.phases[0].epochs
     );
 
     let mut table = Table::new([
-        "Dimension", "Resolution", "Strategy", "Levels", "Base Time (s)", "MG Time (s)",
-        "Base Loss", "MG Loss", "Speedup",
+        "Dimension",
+        "Resolution",
+        "Strategy",
+        "Levels",
+        "Base Time (s)",
+        "MG Time (s)",
+        "Base Loss",
+        "MG Loss",
+        "Speedup",
     ]);
     let mut logs = Vec::new();
     for kind in CycleKind::ALL {
@@ -73,9 +90,17 @@ fn run_case(case: &Case, seed: u64) -> (Table, Vec<(String, usize, MgRunLog)>) {
             } else {
                 setup_3d(case.samples, 4, 2, seed)
             };
-            let mg = MgConfig { cycle: kind, levels, fixed_epochs: case.fixed_epochs, adapt: false, cycles: 1 };
+            let mg = MgConfig {
+                cycle: kind,
+                levels,
+                fixed_epochs: case.fixed_epochs,
+                adapt: false,
+                cycles: 1,
+            };
             let log = MultigridTrainer::new(mg, cfg, dims.clone())
-                .run(&mut net, &mut opt, &data, &comm);
+                .unwrap()
+                .run(&mut net, &mut opt, &data, &comm)
+                .unwrap();
             // Time-to-target: when did the MG run first match Base's loss?
             let (mg_time, reached) = match log.time_to_loss(base_log.final_loss) {
                 Some(t) => (t, true),
@@ -91,9 +116,16 @@ fn run_case(case: &Case, seed: u64) -> (Table, Vec<(String, usize, MgRunLog)>) {
                 format!("{:.1}{}", mg_time, if reached { "" } else { "*" }),
                 format!("{:.5}", base_log.final_loss),
                 format!("{:.5}", log.final_loss),
-                format!("{speedup:.2}x{}", if reached { "" } else { " (not reached)" }),
+                format!(
+                    "{speedup:.2}x{}",
+                    if reached { "" } else { " (not reached)" }
+                ),
             ]);
-            logs.push((format!("{dim_label}-{res_label}-{}", kind.name()), levels, log));
+            logs.push((
+                format!("{dim_label}-{res_label}-{}", kind.name()),
+                levels,
+                log,
+            ));
         }
     }
     (table, logs)
@@ -107,15 +139,71 @@ fn main() {
 
     let cases: Vec<Case> = match args.scale {
         ExperimentScale::Quick => vec![
-            Case { two_d: true, resolution: 32, levels: vec![2], samples: 8, batch: 4, max_epochs: 25, fixed_epochs: 2 },
-            Case { two_d: true, resolution: 64, levels: vec![2, 3], samples: 8, batch: 4, max_epochs: 25, fixed_epochs: 2 },
-            Case { two_d: false, resolution: 16, levels: vec![2], samples: 4, batch: 2, max_epochs: 15, fixed_epochs: 2 },
+            Case {
+                two_d: true,
+                resolution: 32,
+                levels: vec![2],
+                samples: 8,
+                batch: 4,
+                max_epochs: 25,
+                fixed_epochs: 2,
+            },
+            Case {
+                two_d: true,
+                resolution: 64,
+                levels: vec![2, 3],
+                samples: 8,
+                batch: 4,
+                max_epochs: 25,
+                fixed_epochs: 2,
+            },
+            Case {
+                two_d: false,
+                resolution: 16,
+                levels: vec![2],
+                samples: 4,
+                batch: 2,
+                max_epochs: 15,
+                fixed_epochs: 2,
+            },
         ],
         ExperimentScale::Full => vec![
-            Case { two_d: true, resolution: 128, levels: vec![3, 4], samples: 1024, batch: 16, max_epochs: 400, fixed_epochs: 5 },
-            Case { two_d: true, resolution: 256, levels: vec![3, 4], samples: 1024, batch: 16, max_epochs: 400, fixed_epochs: 5 },
-            Case { two_d: true, resolution: 512, levels: vec![4], samples: 1024, batch: 8, max_epochs: 400, fixed_epochs: 5 },
-            Case { two_d: false, resolution: 128, levels: vec![3], samples: 128, batch: 2, max_epochs: 200, fixed_epochs: 5 },
+            Case {
+                two_d: true,
+                resolution: 128,
+                levels: vec![3, 4],
+                samples: 1024,
+                batch: 16,
+                max_epochs: 400,
+                fixed_epochs: 5,
+            },
+            Case {
+                two_d: true,
+                resolution: 256,
+                levels: vec![3, 4],
+                samples: 1024,
+                batch: 16,
+                max_epochs: 400,
+                fixed_epochs: 5,
+            },
+            Case {
+                two_d: true,
+                resolution: 512,
+                levels: vec![4],
+                samples: 1024,
+                batch: 8,
+                max_epochs: 400,
+                fixed_epochs: 5,
+            },
+            Case {
+                two_d: false,
+                resolution: 128,
+                levels: vec![3],
+                samples: 128,
+                batch: 2,
+                max_epochs: 200,
+                fixed_epochs: 5,
+            },
         ],
     };
 

@@ -32,30 +32,61 @@ fn main() {
     let data = Dataset::sobol(samples, DiffusivityModel::paper(), InputEncoding::LogNu);
 
     let mk_net = |depth: usize, seed: u64| {
-        UNet::new(UNetConfig { two_d: true, depth, base_filters, seed, ..Default::default() })
+        UNet::new(UNetConfig {
+            two_d: true,
+            depth,
+            base_filters,
+            seed,
+            ..Default::default()
+        })
     };
     let base_run = |depth: usize| {
         let mut net = mk_net(depth, args.seed);
         let mut opt = Adam::new(3e-3);
-        let mg = MgConfig { cycle: CycleKind::Base, levels: 1, fixed_epochs: 0, adapt: false, cycles: 1 };
-        MultigridTrainer::new(mg, cfg, dims.clone()).run(&mut net, &mut opt, &data, &comm)
+        let mg = MgConfig {
+            cycle: CycleKind::Base,
+            levels: 1,
+            fixed_epochs: 0,
+            adapt: false,
+            cycles: 1,
+        };
+        MultigridTrainer::new(mg, cfg, dims.clone())
+            .unwrap()
+            .run(&mut net, &mut opt, &data, &comm)
+            .unwrap()
     };
 
     // Variant A: Half-V without adaptation (fixed depth0 network).
     let mut net_a = mk_net(depth0, args.seed);
     let mut opt_a = Adam::new(3e-3);
-    let mg_a = MgConfig { cycle: CycleKind::HalfV, levels, fixed_epochs: 2, adapt: false, cycles: 1 };
+    let mg_a = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
     let log_a = MultigridTrainer::new(mg_a, cfg, dims.clone())
-        .run(&mut net_a, &mut opt_a, &data, &comm);
+        .unwrap()
+        .run(&mut net_a, &mut opt_a, &data, &comm)
+        .unwrap();
     let base_a = base_run(depth0);
 
     // Variant B: Half-V with adaptation — starts at depth0 and deepens on
     // each refinement, ending at depth0 + (levels-1).
     let mut net_b = mk_net(depth0, args.seed);
     let mut opt_b = Adam::new(3e-3);
-    let mg_b = MgConfig { cycle: CycleKind::HalfV, levels, fixed_epochs: 2, adapt: true, cycles: 1 };
+    let mg_b = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels,
+        fixed_epochs: 2,
+        adapt: true,
+        cycles: 1,
+    };
     let log_b = MultigridTrainer::new(mg_b, cfg, dims.clone())
-        .run(&mut net_b, &mut opt_b, &data, &comm);
+        .unwrap()
+        .run(&mut net_b, &mut opt_b, &data, &comm)
+        .unwrap();
     let final_depth = net_b.cfg.depth;
     // Its Base: full training of the *final* (deep) architecture.
     let base_b = base_run(final_depth);
@@ -71,7 +102,12 @@ fn main() {
         .map(|t| (t, true))
         .unwrap_or((log_b.total_seconds, false));
     let mut table = Table::new([
-        "Strategy", "Base Time (s)", "MG Time (s)", "Base Loss", "MG Loss", "Speedup",
+        "Strategy",
+        "Base Time (s)",
+        "MG Time (s)",
+        "Base Loss",
+        "MG Loss",
+        "Speedup",
     ]);
     table.row([
         format!("Half-V (no network adaptation, depth {depth0})"),

@@ -46,15 +46,26 @@ fn main() {
     );
 
     // Table 3: one trained network per strategy, evaluated on ω₀.
-    println!("-- Table 3 analogue: per-strategy error on ω = {:?} --", PAPER_OMEGAS[0]);
+    println!(
+        "-- Table 3 analogue: per-strategy error on ω = {:?} --",
+        PAPER_OMEGAS[0]
+    );
     let mut t3 = Table::new(["Strategy", "rel_L2", "L_inf", "energy_nn", "energy_fem"]);
     let mut best: Option<(f64, &'static str)> = None;
     for kind in CycleKind::ALL {
         let (mut net, mut opt, train_data) = setup_2d(samples, 8, 2, args.seed);
-        let mg = MgConfig { cycle: kind, levels, fixed_epochs: 2, adapt: false, cycles: 1 };
+        let mg = MgConfig {
+            cycle: kind,
+            levels,
+            fixed_epochs: 2,
+            adapt: false,
+            cycles: 1,
+        };
         let _ = MultigridTrainer::new(mg, cfg, dims.clone())
-            .run(&mut net, &mut opt, &train_data, &comm);
-        let c = compare_with_fem(&mut net, &eval, 0, &dims);
+            .unwrap()
+            .run(&mut net, &mut opt, &train_data, &comm)
+            .unwrap();
+        let c = compare_with_fem(&mut net, &eval, 0, &dims).unwrap();
         t3.row([
             kind.name().to_string(),
             format!("{:.4}", c.rel_l2),
@@ -67,7 +78,7 @@ fn main() {
         }
         // Dump the Half-V fields for plotting (the paper's visualization).
         if kind == CycleKind::HalfV {
-            let pred = predict_field(&mut net, &eval, 0, &dims);
+            let pred = predict_field(&mut net, &eval, 0, &dims).unwrap();
             dump_field_csv(&pred, &results_dir().join("table3_halfv_prediction.csv")).unwrap();
             let nu = eval.nu_field(0, &dims);
             dump_field_csv(&nu, &results_dir().join("table3_nu.csv")).unwrap();
@@ -81,13 +92,28 @@ fn main() {
     // Tables 4/5/7 analogue: one Half-V network across all paper ω values.
     println!("-- Tables 4/5/7 analogue: Half-V network across anecdotal ω --");
     let (mut net, mut opt, train_data) = setup_2d(samples, 8, 2, args.seed);
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels, fixed_epochs: 2, adapt: false, cycles: 1 };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
     let _ = MultigridTrainer::new(mg, cfg, dims.clone())
-        .run(&mut net, &mut opt, &train_data, &comm);
-    let mut t47 = Table::new(["omega", "nu_range", "rel_L2", "L_inf", "fem_iters", "warm_start_iters"]);
+        .unwrap()
+        .run(&mut net, &mut opt, &train_data, &comm)
+        .unwrap();
+    let mut t47 = Table::new([
+        "omega",
+        "nu_range",
+        "rel_L2",
+        "L_inf",
+        "fem_iters",
+        "warm_start_iters",
+    ]);
     let mut rows = Vec::new();
     for s in 0..eval.len() {
-        let c = compare_with_fem(&mut net, &eval, s, &dims);
+        let c = compare_with_fem(&mut net, &eval, s, &dims).unwrap();
         let nu = eval.nu_field(s, &dims);
         t47.row([
             format!("{:?}", eval.omegas[s]),
@@ -104,13 +130,18 @@ fn main() {
             c.fem_iterations.to_string(),
             c.warm_start_iterations.to_string(),
         ]);
-        let pred = predict_field(&mut net, &eval, s, &dims);
+        let pred = predict_field(&mut net, &eval, s, &dims).unwrap();
         dump_field_csv(&pred, &results_dir().join(format!("table47_pred_{s}.csv"))).unwrap();
     }
     t47.print();
     println!("\nwarm-start column: CG iterations when initialized from the prediction —");
     println!("the paper's §3.1.2 'excellent starting point' claim (lower is better).");
     let out = results_dir().join("table47_errors.csv");
-    mgd_bench::write_csv(&out, &["omega", "rel_l2", "linf", "fem_iters", "warm_iters"], &rows).unwrap();
+    mgd_bench::write_csv(
+        &out,
+        &["omega", "rel_l2", "linf", "fem_iters", "warm_iters"],
+        &rows,
+    )
+    .unwrap();
     println!("wrote {} and field CSVs", out.display());
 }

@@ -54,7 +54,12 @@ impl HarnessArgs {
 }
 
 /// Standard 2D training setup for the harnesses.
-pub fn setup_2d(samples: usize, base_filters: usize, depth: usize, seed: u64) -> (UNet, Adam, Dataset) {
+pub fn setup_2d(
+    samples: usize,
+    base_filters: usize,
+    depth: usize,
+    seed: u64,
+) -> (UNet, Adam, Dataset) {
     let net = UNet::new(UNetConfig {
         two_d: true,
         depth,
@@ -68,7 +73,12 @@ pub fn setup_2d(samples: usize, base_filters: usize, depth: usize, seed: u64) ->
 }
 
 /// Standard 3D training setup for the harnesses.
-pub fn setup_3d(samples: usize, base_filters: usize, depth: usize, seed: u64) -> (UNet, Adam, Dataset) {
+pub fn setup_3d(
+    samples: usize,
+    base_filters: usize,
+    depth: usize,
+    seed: u64,
+) -> (UNet, Adam, Dataset) {
     let net = UNet::new(UNetConfig {
         two_d: false,
         depth,
@@ -83,7 +93,13 @@ pub fn setup_3d(samples: usize, base_filters: usize, depth: usize, seed: u64) ->
 
 /// Harness-default trainer configuration.
 pub fn train_cfg(batch: usize, max_epochs: usize, seed: u64) -> TrainConfig {
-    TrainConfig { batch_size: batch, seed, max_epochs, patience: 6, min_delta: 1e-3 }
+    TrainConfig {
+        batch_size: batch,
+        seed,
+        max_epochs,
+        patience: 6,
+        min_delta: 1e-3,
+    }
 }
 
 #[cfg(test)]

@@ -21,5 +21,8 @@
 pub mod model;
 pub mod specs;
 
-pub use model::{strong_scaling, unet_flops_per_sample, unet_params, weak_scaling, ArchModel, EpochTime, RunConfig, ScalingPoint};
+pub use model::{
+    strong_scaling, unet_flops_per_sample, unet_params, weak_scaling, ArchModel, EpochTime,
+    RunConfig, ScalingPoint,
+};
 pub use specs::{azure_ndv2, bridges2, MachineSpec};

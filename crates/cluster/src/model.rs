@@ -21,7 +21,13 @@ pub struct ArchModel {
 
 impl Default for ArchModel {
     fn default() -> Self {
-        ArchModel { in_channels: 1, out_channels: 1, depth: 3, base_filters: 16, two_d: false }
+        ArchModel {
+            in_channels: 1,
+            out_channels: 1,
+            depth: 3,
+            base_filters: 16,
+            two_d: false,
+        }
     }
 }
 
@@ -64,7 +70,11 @@ pub fn unet_params(arch: &ArchModel) -> usize {
     let mut total = 0usize;
     let conv = |cin: usize, cout: usize, k: usize| cin * cout * k + cout /* bias */ + 2 * cout /* bn */;
     for i in 0..arch.depth {
-        let cin = if i == 0 { arch.in_channels } else { arch.channels(i - 1) };
+        let cin = if i == 0 {
+            arch.in_channels
+        } else {
+            arch.channels(i - 1)
+        };
         total += conv(cin, arch.channels(i), kv);
     }
     total += conv(arch.channels(arch.depth - 1), arch.channels(arch.depth), kv);
@@ -90,11 +100,20 @@ pub fn unet_flops_per_sample(arch: &ArchModel, dims: (usize, usize, usize)) -> f
     let mut flops = 0.0;
     for i in 0..arch.depth {
         let vox = vox0 / lf.powi(i as i32);
-        let cin = if i == 0 { arch.in_channels } else { arch.channels(i - 1) };
+        let cin = if i == 0 {
+            arch.in_channels
+        } else {
+            arch.channels(i - 1)
+        };
         flops += conv(vox, cin, arch.channels(i), kv);
     }
     let vox_b = vox0 / lf.powi(arch.depth as i32);
-    flops += conv(vox_b, arch.channels(arch.depth - 1), arch.channels(arch.depth), kv);
+    flops += conv(
+        vox_b,
+        arch.channels(arch.depth - 1),
+        arch.channels(arch.depth),
+        kv,
+    );
     for i in 0..arch.depth {
         let vox = vox0 / lf.powi(i as i32);
         flops += conv(vox, arch.channels(i + 1), arch.channels(i), ukv / lf) * lf; // convT scatter
@@ -168,7 +187,12 @@ pub fn epoch_time(cfg: &RunConfig, workers: usize) -> EpochTime {
         2.0 * (p - 1.0) / p * bytes / bw + 2.0 * (p - 1.0) * spec.latency_s
     };
     let comm_s = comm_per_step * steps as f64;
-    EpochTime { compute_s, comm_s, total_s: compute_s + comm_s, steps }
+    EpochTime {
+        compute_s,
+        comm_s,
+        total_s: compute_s + comm_s,
+        steps,
+    }
 }
 
 /// One row of a strong-scaling curve.
@@ -321,7 +345,11 @@ mod tests {
         };
         let curve = strong_scaling(&cfg, &[1, 2, 4, 8, 16, 32, 64, 128]);
         let last = curve.last().unwrap();
-        assert!(last.efficiency > 0.8, "128-node efficiency {}", last.efficiency);
+        assert!(
+            last.efficiency > 0.8,
+            "128-node efficiency {}",
+            last.efficiency
+        );
     }
 
     #[test]
@@ -350,14 +378,20 @@ mod tests {
         let f64c = unet_flops_per_sample(&arch, (64, 64, 64));
         let f128 = unet_flops_per_sample(&arch, (128, 128, 128));
         let ratio = f128 / f64c;
-        assert!((ratio - 8.0).abs() < 0.5, "8x voxels -> ~8x FLOPs, got {ratio}");
+        assert!(
+            (ratio - 8.0).abs() < 0.5,
+            "8x voxels -> ~8x FLOPs, got {ratio}"
+        );
     }
 
     #[test]
     fn two_d_flops_quadratic_in_resolution() {
         // The Figure 2 observation: per-epoch time grows ~4x per 2D
         // resolution doubling at high resolution.
-        let arch = ArchModel { two_d: true, ..Default::default() };
+        let arch = ArchModel {
+            two_d: true,
+            ..Default::default()
+        };
         let a = unet_flops_per_sample(&arch, (1, 256, 256));
         let b = unet_flops_per_sample(&arch, (1, 512, 512));
         let ratio = b / a;

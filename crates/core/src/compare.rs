@@ -1,8 +1,9 @@
 //! Network-vs-FEM comparisons (paper §4.3, Tables 3–5 and 7).
 
+use crate::error::MgdResult;
 use crate::loss::FemLoss;
 use mgd_field::Dataset;
-use mgd_nn::{Layer, UNet};
+use mgd_nn::Model;
 use mgd_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -33,23 +34,28 @@ pub struct FieldComparison {
 
 /// Runs the network on one sample and imposes the exact BCs, returning the
 /// spatial field.
-pub fn predict_field(net: &mut UNet, data: &Dataset, sample: usize, dims: &[usize]) -> Tensor {
-    let x = data.batch_inputs(&[sample], dims);
-    let mut u = net.forward(&x, false);
-    let loss = FemLoss::new(dims);
-    loss.apply_bc_batch(&mut u);
-    Tensor::from_vec(dims.to_vec(), u.into_vec())
-}
-
-/// Full §4.3-style comparison for one sample.
-pub fn compare_with_fem(
-    net: &mut UNet,
+pub fn predict_field<M: Model + ?Sized>(
+    net: &mut M,
     data: &Dataset,
     sample: usize,
     dims: &[usize],
-) -> FieldComparison {
-    let loss = FemLoss::new(dims);
-    let x = data.batch_inputs(&[sample], dims);
+) -> MgdResult<Tensor> {
+    let x = data.try_batch_inputs(&[sample], dims)?;
+    let mut u = net.forward(&x, false);
+    let loss = FemLoss::new(dims)?;
+    loss.apply_bc_batch(&mut u);
+    Ok(Tensor::from_vec(dims.to_vec(), u.into_vec()))
+}
+
+/// Full §4.3-style comparison for one sample.
+pub fn compare_with_fem<M: Model + ?Sized>(
+    net: &mut M,
+    data: &Dataset,
+    sample: usize,
+    dims: &[usize],
+) -> MgdResult<FieldComparison> {
+    let loss = FemLoss::new(dims)?;
+    let x = data.try_batch_inputs(&[sample], dims)?;
 
     let t0 = Instant::now();
     let mut u_nn_b = net.forward(&x, false);
@@ -69,7 +75,11 @@ pub fn compare_with_fem(
     let (_, warm_stats) = loss.fem_solve_with(
         nu.as_slice(),
         Some(u_nn.as_slice()),
-        mgd_fem::CgOptions { tol: 0.0, abs_tol: stats.residual.max(1e-300), max_iter: 50_000 },
+        mgd_fem::CgOptions {
+            tol: 0.0,
+            abs_tol: stats.residual.max(1e-300),
+            max_iter: 50_000,
+        },
     );
 
     let energy_nn = loss.energy_batch(std::slice::from_ref(&nu), &u_nn_b);
@@ -78,7 +88,7 @@ pub fn compare_with_fem(
         &Tensor::from_vec(u_nn_b.shape().clone(), u_fem.as_slice().to_vec()),
     );
 
-    FieldComparison {
+    Ok(FieldComparison {
         omega: data.omegas[sample].clone(),
         rel_l2: u_nn.rel_l2_error(&u_fem),
         linf: u_nn.sub(&u_fem).norm_inf(),
@@ -88,7 +98,7 @@ pub fn compare_with_fem(
         fem_seconds,
         fem_iterations: stats.iterations,
         warm_start_iterations: warm_stats.iterations,
-    }
+    })
 }
 
 /// Writes a spatial field (2D, or one z-slice of 3D) as CSV for external
@@ -103,8 +113,9 @@ pub fn dump_field_csv(field: &Tensor, path: &std::path::Path) -> std::io::Result
     let mut f = std::fs::File::create(path)?;
     let data = field.as_slice();
     for j in 0..ny {
-        let row: Vec<String> =
-            (0..nx).map(|i| format!("{:.6e}", data[slice_off + j * nx + i])).collect();
+        let row: Vec<String> = (0..nx)
+            .map(|i| format!("{:.6e}", data[slice_off + j * nx + i]))
+            .collect();
         writeln!(f, "{}", row.join(","))?;
     }
     Ok(())
@@ -114,7 +125,7 @@ pub fn dump_field_csv(field: &Tensor, path: &std::path::Path) -> std::io::Result
 mod tests {
     use super::*;
     use mgd_field::{DiffusivityModel, InputEncoding};
-    use mgd_nn::UNetConfig;
+    use mgd_nn::{UNet, UNetConfig};
 
     fn setup() -> (UNet, Dataset) {
         let net = UNet::new(UNetConfig {
@@ -124,13 +135,16 @@ mod tests {
             seed: 8,
             ..Default::default()
         });
-        (net, Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu))
+        (
+            net,
+            Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu),
+        )
     }
 
     #[test]
     fn predict_field_has_exact_bcs() {
         let (mut net, data) = setup();
-        let f = predict_field(&mut net, &data, 0, &[16, 16]);
+        let f = predict_field(&mut net, &data, 0, &[16, 16]).unwrap();
         for j in 0..16 {
             assert_eq!(f.at(&[j, 0]), 1.0);
             assert_eq!(f.at(&[j, 15]), 0.0);
@@ -140,7 +154,7 @@ mod tests {
     #[test]
     fn comparison_fields_are_consistent() {
         let (mut net, data) = setup();
-        let c = compare_with_fem(&mut net, &data, 1, &[16, 16]);
+        let c = compare_with_fem(&mut net, &data, 1, &[16, 16]).unwrap();
         // Untrained network: finite but nonzero error; FEM energy is the
         // minimum so energy_nn >= energy_fem.
         assert!(c.rel_l2.is_finite() && c.rel_l2 > 0.0);

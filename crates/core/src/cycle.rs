@@ -135,8 +135,11 @@ pub fn schedule(kind: CycleKind, levels: usize, fixed_epochs: usize) -> Vec<Phas
         .enumerate()
         .map(|(i, &level)| {
             let descending = i + 1 < n && seq[i + 1] > level;
-            let budget =
-                if descending { Budget::Fixed(fixed_epochs) } else { Budget::Converge };
+            let budget = if descending {
+                Budget::Fixed(fixed_epochs)
+            } else {
+                Budget::Converge
+            };
             Phase { level, budget }
         })
         .collect()
@@ -233,7 +236,13 @@ mod tests {
     #[test]
     fn base_is_single_finest_phase() {
         let s = schedule(CycleKind::Base, 4, 5);
-        assert_eq!(s, vec![Phase { level: 0, budget: Budget::Converge }]);
+        assert_eq!(
+            s,
+            vec![Phase {
+                level: 0,
+                budget: Budget::Converge
+            }]
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl SlabPartition {
     /// across `p` ranks as evenly as possible, by element layers.
     pub fn new(n_split: usize, p: usize) -> Self {
         assert!(n_split >= 2);
-        assert!(p >= 1 && p < n_split, "need at least one element layer per rank");
+        assert!(
+            p >= 1 && p < n_split,
+            "need at least one element layer per rank"
+        );
         let layers = n_split - 1;
         let mut starts = Vec::with_capacity(p + 1);
         for r in 0..=p {
@@ -57,13 +60,20 @@ impl SlabPartition {
     /// plane).
     pub fn owned_planes(&self, rank: usize) -> std::ops::Range<usize> {
         let lo = self.starts[rank];
-        let hi = if rank + 1 == self.num_ranks() { self.n_split } else { self.starts[rank + 1] };
+        let hi = if rank + 1 == self.num_ranks() {
+            self.n_split
+        } else {
+            self.starts[rank + 1]
+        };
         lo..hi
     }
 
     /// Element layers assigned to `rank`.
     pub fn owned_layers(&self, rank: usize) -> std::ops::Range<usize> {
-        self.starts[rank]..self.starts[rank + 1].min(self.n_split - 1).max(self.starts[rank])
+        self.starts[rank]
+            ..self.starts[rank + 1]
+                .min(self.n_split - 1)
+                .max(self.starts[rank])
     }
 }
 
@@ -107,7 +117,17 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
             fixed: bc.fixed[ext_lo * plane..ext_hi * plane].to_vec(),
             values: bc.values[ext_lo * plane..ext_hi * plane].to_vec(),
         };
-        DistPoisson { comm, grid, basis: ElementBasis::new(&grid), part, nu_ext, ext_lo, ext_hi, bc_ext, plane }
+        DistPoisson {
+            comm,
+            grid,
+            basis: ElementBasis::new(&grid),
+            part,
+            nu_ext,
+            ext_lo,
+            ext_hi,
+            bc_ext,
+            plane,
+        }
     }
 
     /// Nodes in the extended (halo-included) slab.
@@ -134,7 +154,8 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
         // the halo slots. Unbounded channels make the symmetric order safe.
         if rank > 0 {
             let off = (owned.start - self.ext_lo) * plane;
-            self.comm.send(rank - 1, tag, u_ext[off..off + plane].to_vec());
+            self.comm
+                .send(rank - 1, tag, u_ext[off..off + plane].to_vec());
         }
         if rank + 1 < p {
             let last_owned = self.part.owned_planes(rank).end - 1;
@@ -142,7 +163,8 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
             // the neighbour owns from starts[rank+1]. Send the highest
             // plane the neighbour needs as halo context.
             let off = (last_owned - self.ext_lo) * plane;
-            self.comm.send(rank + 1, tag + 1, u_ext[off..off + plane].to_vec());
+            self.comm
+                .send(rank + 1, tag + 1, u_ext[off..off + plane].to_vec());
         }
         if rank + 1 < p {
             let from_above = self.comm.recv(rank + 1, tag);
@@ -176,7 +198,11 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
         let owned = self.part.owned_planes(rank);
         let lo = (owned.start - self.ext_lo) * self.plane;
         let hi = (owned.end - self.ext_lo) * self.plane;
-        let mut local: f64 = a_ext[lo..hi].iter().zip(&b_ext[lo..hi]).map(|(x, y)| x * y).sum();
+        let mut local: f64 = a_ext[lo..hi]
+            .iter()
+            .zip(&b_ext[lo..hi])
+            .map(|(x, y)| x * y)
+            .sum();
         let mut buf = vec![local];
         self.comm.allreduce_sum(&mut buf);
         local = buf[0];
@@ -301,12 +327,26 @@ mod tests {
         let (u_dist, _, conv) = dist.solve_cg(1e-10, 5000);
         assert!(conv);
         let basis = ElementBasis::new(&grid);
-        let (u_ser, stats) =
-            solve_cg(&grid, &basis, &nu, &bc, None, None, CgOptions { tol: 1e-10, ..Default::default() });
+        let (u_ser, stats) = solve_cg(
+            &grid,
+            &basis,
+            &nu,
+            &bc,
+            None,
+            None,
+            CgOptions {
+                tol: 1e-10,
+                ..Default::default()
+            },
+        );
         assert!(stats.converged);
         assert_eq!(u_dist.len(), u_ser.len());
-        let err: f64 =
-            u_dist.iter().zip(&u_ser).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let err: f64 = u_dist
+            .iter()
+            .zip(&u_ser)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-7, "err {err}");
     }
 
@@ -316,8 +356,18 @@ mod tests {
         let nu = nu_field(&grid);
         let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
         let basis = ElementBasis::new(&grid);
-        let (u_ser, stats) =
-            solve_cg(&grid, &basis, &nu, &bc, None, None, CgOptions { tol: 1e-10, ..Default::default() });
+        let (u_ser, stats) = solve_cg(
+            &grid,
+            &basis,
+            &nu,
+            &bc,
+            None,
+            None,
+            CgOptions {
+                tol: 1e-10,
+                ..Default::default()
+            },
+        );
         assert!(stats.converged);
         for p in [2usize, 3] {
             let nu_c = nu.clone();
@@ -334,8 +384,12 @@ mod tests {
                 full.extend(owned);
             }
             assert_eq!(full.len(), grid.num_nodes(), "p={p}");
-            let err: f64 =
-                full.iter().zip(&u_ser).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let err: f64 = full
+                .iter()
+                .zip(&u_ser)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
             let norm: f64 = u_ser.iter().map(|x| x * x).sum::<f64>().sqrt();
             assert!(err / norm < 1e-7, "p={p}: rel err {}", err / norm);
         }
@@ -372,9 +426,17 @@ mod tests {
         for (rank, u, plane, _lo, _hi) in results {
             if rank == 0 {
                 let off = u.len() - plane;
-                assert!(u[off..].iter().all(|&v| v == 1.0), "rank0 halo: {:?}", &u[off..off + 3]);
+                assert!(
+                    u[off..].iter().all(|&v| v == 1.0),
+                    "rank0 halo: {:?}",
+                    &u[off..off + 3]
+                );
             } else {
-                assert!(u[..plane].iter().all(|&v| v == 0.0), "rank1 halo: {:?}", &u[..3]);
+                assert!(
+                    u[..plane].iter().all(|&v| v == 0.0),
+                    "rank1 halo: {:?}",
+                    &u[..3]
+                );
             }
         }
     }

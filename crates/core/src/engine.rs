@@ -1,0 +1,850 @@
+//! The [`SolverEngine`] facade: one validated front door for training and
+//! serving neural PDE surrogates.
+//!
+//! The engine bundles everything the scattered seed API made callers wire
+//! by hand — dataset, network, optimizer, multigrid schedule, energy loss —
+//! behind a builder with typed validation, and adds the serving surface the
+//! ROADMAP's traffic goals need:
+//!
+//! - [`SolverEngine::train`] — runs the configured multigrid schedule;
+//! - [`SolverEngine::predict`] — one coefficient field in, one solution
+//!   field (with exact Dirichlet values) out;
+//! - [`SolverEngine::predict_batch`] — N requests rasterized into a single
+//!   NCDHW tensor and answered in **one** forward pass, fronted by an LRU
+//!   cache keyed by quantized coefficient fields so repeated queries never
+//!   touch the network;
+//! - [`SolverEngine::save_weights`] / [`SolverEngine::load_weights`] —
+//!   checkpointing through the [`Model`] trait.
+//!
+//! ```no_run
+//! use mgdiffnet::prelude::*;
+//!
+//! let mut engine = SolverEngine::builder()
+//!     .resolution([64, 64])
+//!     .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+//!     .cycle(CycleKind::HalfV)
+//!     .levels(3)
+//!     .samples(64)
+//!     .batch_size(8)
+//!     .build()?;
+//! engine.train()?;
+//! let nu = engine.dataset().nu_field(0, engine.resolution());
+//! let u = engine.predict(&nu)?;
+//! # Ok::<(), MgdError>(())
+//! ```
+
+use crate::compare::{compare_with_fem, FieldComparison};
+use crate::cycle::CycleKind;
+use crate::error::{MgdError, MgdResult};
+use crate::loss::FemLoss;
+use crate::mg_trainer::{MgConfig, MgRunLog, MultigridTrainer};
+use crate::trainer::TrainConfig;
+use mgd_dist::LocalComm;
+use mgd_field::{stack_fields, Dataset, DiffusivityModel, InputEncoding};
+use mgd_nn::{Adam, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
+use mgd_tensor::Tensor;
+use std::collections::HashMap;
+
+/// The PDE family an engine solves.
+#[derive(Clone, Debug)]
+pub enum Problem {
+    /// 2D generalized Poisson with the paper's parametric diffusivity.
+    Poisson2d(DiffusivityModel),
+    /// 3D generalized Poisson.
+    Poisson3d(DiffusivityModel),
+}
+
+impl Problem {
+    /// 2D Poisson problem over the given diffusivity family.
+    pub fn poisson_2d(model: DiffusivityModel) -> Self {
+        Problem::Poisson2d(model)
+    }
+
+    /// 3D Poisson problem over the given diffusivity family.
+    pub fn poisson_3d(model: DiffusivityModel) -> Self {
+        Problem::Poisson3d(model)
+    }
+
+    /// Spatial rank of the problem (2 or 3).
+    pub fn rank(&self) -> usize {
+        match self {
+            Problem::Poisson2d(_) => 2,
+            Problem::Poisson3d(_) => 3,
+        }
+    }
+
+    /// The diffusivity family.
+    pub fn diffusivity(&self) -> &DiffusivityModel {
+        match self {
+            Problem::Poisson2d(m) | Problem::Poisson3d(m) => m,
+        }
+    }
+}
+
+/// Serving statistics of a [`SolverEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Batched forward passes executed (a `predict_batch` call contributes
+    /// at most one, regardless of batch size).
+    pub forward_passes: u64,
+    /// Individual fields answered from the network.
+    pub predicted_fields: u64,
+    /// Individual fields answered from the cache.
+    pub cache_hits: u64,
+}
+
+/// A small LRU cache keyed by quantized coefficient fields.
+///
+/// Keys quantize every ν value to ~9 significant decimal digits, so bitwise
+/// jitter below solver precision still hits; the full quantized field is the
+/// key (no hash-collision false positives).
+struct PredictionCache {
+    capacity: usize,
+    entries: HashMap<Vec<i64>, (Tensor, u64)>,
+    clock: u64,
+}
+
+impl PredictionCache {
+    fn new(capacity: usize) -> Self {
+        PredictionCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn key(field: &Tensor) -> Vec<i64> {
+        field
+            .as_slice()
+            .iter()
+            .map(|&v| (v * 1e9).round() as i64)
+            .collect()
+    }
+
+    fn get(&mut self, key: &[i64]) -> Option<Tensor> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(t, stamp)| {
+            *stamp = clock;
+            t.clone()
+        })
+    }
+
+    fn insert(&mut self, key: Vec<i64>, value: Tensor) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the least recently used entry.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(key, (value, self.clock));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Builder for [`SolverEngine`]; see the module docs for the shape of the
+/// fluent API. Every setter is infallible — all validation happens in
+/// [`SolverEngineBuilder::build`], which reports the *first* violated
+/// constraint as a typed [`MgdError::InvalidConfig`].
+pub struct SolverEngineBuilder {
+    resolution: Option<Vec<usize>>,
+    problem: Option<Problem>,
+    cycle: CycleKind,
+    levels: usize,
+    fixed_epochs: usize,
+    adapt: bool,
+    cycles: usize,
+    train: TrainConfig,
+    learning_rate: f64,
+    samples: usize,
+    encoding: InputEncoding,
+    net_depth: usize,
+    base_filters: usize,
+    seed: u64,
+    cache_capacity: usize,
+    model: Option<Box<dyn Model>>,
+    optimizer: Option<Box<dyn Optimizer>>,
+    dataset: Option<Dataset>,
+}
+
+impl Default for SolverEngineBuilder {
+    fn default() -> Self {
+        SolverEngineBuilder {
+            resolution: None,
+            problem: None,
+            cycle: CycleKind::HalfV,
+            levels: 2,
+            fixed_epochs: 3,
+            adapt: false,
+            cycles: 1,
+            train: TrainConfig::default(),
+            learning_rate: 3e-3,
+            samples: 16,
+            encoding: InputEncoding::LogNu,
+            net_depth: 2,
+            base_filters: 8,
+            seed: 0,
+            cache_capacity: 64,
+            model: None,
+            optimizer: None,
+            dataset: None,
+        }
+    }
+}
+
+impl SolverEngineBuilder {
+    /// Finest spatial resolution (`[ny, nx]` or `[nz, ny, nx]`).
+    pub fn resolution(mut self, dims: impl Into<Vec<usize>>) -> Self {
+        self.resolution = Some(dims.into());
+        self
+    }
+
+    /// The PDE family to solve (required).
+    pub fn problem(mut self, problem: Problem) -> Self {
+        self.problem = Some(problem);
+        self
+    }
+
+    /// Multigrid training cycle (default Half-V, the paper's winner).
+    pub fn cycle(mut self, cycle: CycleKind) -> Self {
+        self.cycle = cycle;
+        self
+    }
+
+    /// Hierarchy levels (default 2).
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Epochs per restriction visit (default 3).
+    pub fn fixed_epochs(mut self, epochs: usize) -> Self {
+        self.fixed_epochs = epochs;
+        self
+    }
+
+    /// Enables §4.1.2 architectural adaptation.
+    pub fn adapt(mut self, adapt: bool) -> Self {
+        self.adapt = adapt;
+        self
+    }
+
+    /// Consecutive cycle repetitions (default 1).
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Global mini-batch size (default 8).
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.train.batch_size = batch;
+        self
+    }
+
+    /// Epoch cap for convergence phases (default 200).
+    pub fn max_epochs(mut self, epochs: usize) -> Self {
+        self.train.max_epochs = epochs;
+        self
+    }
+
+    /// Early-stopping patience in epochs (default 8).
+    pub fn patience(mut self, patience: usize) -> Self {
+        self.train.patience = patience;
+        self
+    }
+
+    /// Early-stopping minimum relative improvement (default 1e-3).
+    pub fn min_delta(mut self, min_delta: f64) -> Self {
+        self.train.min_delta = min_delta;
+        self
+    }
+
+    /// Learning rate of the default Adam optimizer (default 3e-3).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sobol sample count for the default dataset (default 16).
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Network input encoding (default `LogNu`).
+    pub fn encoding(mut self, encoding: InputEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Depth of the default U-Net (default 2).
+    pub fn net_depth(mut self, depth: usize) -> Self {
+        self.net_depth = depth;
+        self
+    }
+
+    /// Base filter count of the default U-Net (default 8).
+    pub fn base_filters(mut self, filters: usize) -> Self {
+        self.base_filters = filters;
+        self
+    }
+
+    /// Seed for weight init and epoch shuffles (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Capacity of the serving-side prediction cache; 0 disables caching
+    /// (default 64 entries).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Injects a custom model instead of the default U-Net. The model must
+    /// accept NCDHW inputs at every hierarchy resolution.
+    pub fn model(mut self, model: Box<dyn Model>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Injects a custom optimizer instead of the default Adam.
+    pub fn optimizer(mut self, optimizer: Box<dyn Optimizer>) -> Self {
+        self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// Injects an explicit dataset instead of Sobol-sampling one (its
+    /// diffusivity model must match the problem's).
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Validates the configuration and assembles the engine.
+    pub fn build(self) -> MgdResult<SolverEngine> {
+        let resolution = self
+            .resolution
+            .ok_or_else(|| MgdError::InvalidConfig("resolution is required".into()))?;
+        let problem = self
+            .problem
+            .ok_or_else(|| MgdError::InvalidConfig("problem is required".into()))?;
+        if resolution.len() != problem.rank() {
+            return Err(MgdError::InvalidConfig(format!(
+                "resolution {resolution:?} is rank {}, problem needs rank {}",
+                resolution.len(),
+                problem.rank()
+            )));
+        }
+        if self.levels == 0 {
+            return Err(MgdError::InvalidConfig(
+                "levels must be >= 1 (got 0)".into(),
+            ));
+        }
+        if self.cycles == 0 {
+            return Err(MgdError::InvalidConfig(
+                "cycles must be >= 1 (got 0)".into(),
+            ));
+        }
+        let depth = if self.model.is_some() {
+            // A custom model's pooling depth is opaque; only the hierarchy
+            // halvings constrain the resolution then.
+            0
+        } else {
+            self.net_depth
+        };
+        let div = 1usize << (depth + self.levels - 1);
+        for &d in &resolution {
+            if d % 2 != 0 {
+                return Err(MgdError::InvalidConfig(format!(
+                    "resolution {resolution:?}: dim {d} is odd; the U-Net's \
+                     pool/upsample stages need even dims at every level"
+                )));
+            }
+            if d % div != 0 || d / div < 2 {
+                return Err(MgdError::InvalidConfig(format!(
+                    "resolution {resolution:?}: dim {d} must be a multiple of \
+                     2^(net_depth + levels - 1) = {div} and keep >= 2 nodes \
+                     at the coarsest level"
+                )));
+            }
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(MgdError::InvalidConfig(format!(
+                "learning_rate must be positive and finite (got {})",
+                self.learning_rate
+            )));
+        }
+        let data = match self.dataset {
+            Some(d) => {
+                if d.is_empty() {
+                    return Err(MgdError::InvalidConfig("dataset is empty".into()));
+                }
+                if d.model.num_modes() != problem.diffusivity().num_modes() {
+                    return Err(MgdError::InvalidConfig(format!(
+                        "dataset diffusivity has {} modes, problem has {}",
+                        d.model.num_modes(),
+                        problem.diffusivity().num_modes()
+                    )));
+                }
+                d
+            }
+            None => {
+                if self.samples == 0 {
+                    return Err(MgdError::InvalidConfig(
+                        "samples must be >= 1 (got 0)".into(),
+                    ));
+                }
+                Dataset::sobol(self.samples, problem.diffusivity().clone(), self.encoding)
+            }
+        };
+        if self.train.batch_size > data.len() {
+            return Err(MgdError::InvalidConfig(format!(
+                "batch_size {} exceeds the dataset's {} samples",
+                self.train.batch_size,
+                data.len()
+            )));
+        }
+        let mut train = self.train;
+        train.seed = self.seed;
+        train.validate(1)?;
+        let mg = MgConfig {
+            cycle: self.cycle,
+            levels: self.levels,
+            fixed_epochs: self.fixed_epochs,
+            adapt: self.adapt,
+            cycles: self.cycles,
+        };
+        let schedule = MultigridTrainer::new(mg, train, resolution.clone())?;
+        let model = match self.model {
+            Some(m) => m,
+            None => Box::new(UNet::new(UNetConfig {
+                two_d: problem.rank() == 2,
+                depth: self.net_depth,
+                base_filters: self.base_filters,
+                seed: self.seed,
+                ..Default::default()
+            })) as Box<dyn Model>,
+        };
+        let optimizer = match self.optimizer {
+            Some(o) => o,
+            None => Box::new(Adam::new(self.learning_rate)) as Box<dyn Optimizer>,
+        };
+        let loss = FemLoss::new(&resolution)?;
+        Ok(SolverEngine {
+            model,
+            optimizer,
+            data,
+            resolution,
+            problem,
+            encoding: self.encoding,
+            schedule,
+            loss,
+            comm: LocalComm::new(),
+            cache: PredictionCache::new(self.cache_capacity),
+            stats: ServeStats::default(),
+            last_run: None,
+        })
+    }
+}
+
+/// A trained (or trainable) neural PDE solver with a serving surface.
+pub struct SolverEngine {
+    model: Box<dyn Model>,
+    optimizer: Box<dyn Optimizer>,
+    data: Dataset,
+    resolution: Vec<usize>,
+    problem: Problem,
+    encoding: InputEncoding,
+    schedule: MultigridTrainer,
+    loss: FemLoss,
+    comm: LocalComm,
+    cache: PredictionCache,
+    stats: ServeStats,
+    last_run: Option<MgRunLog>,
+}
+
+impl std::fmt::Debug for SolverEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverEngine")
+            .field("problem", &self.problem)
+            .field("resolution", &self.resolution)
+            .field("encoding", &self.encoding)
+            .field("samples", &self.data.len())
+            .field("cache_len", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolverEngine {
+    /// Starts a builder with the scaled-down defaults.
+    pub fn builder() -> SolverEngineBuilder {
+        SolverEngineBuilder::default()
+    }
+
+    /// Runs the configured multigrid training schedule. Invalidates the
+    /// prediction cache (the weights changed).
+    pub fn train(&mut self) -> MgdResult<MgRunLog> {
+        let log =
+            self.schedule
+                .run(&mut self.model, &mut self.optimizer, &self.data, &self.comm)?;
+        self.cache.clear();
+        self.last_run = Some(log.clone());
+        Ok(log)
+    }
+
+    /// Predicts the solution field for one raw coefficient field ν shaped
+    /// like [`Self::resolution`]. Boundary values are imposed exactly.
+    pub fn predict(&mut self, coeff: &Tensor) -> MgdResult<Tensor> {
+        Ok(self
+            .predict_batch(std::slice::from_ref(coeff))?
+            .pop()
+            .expect("one output"))
+    }
+
+    /// Predicts solution fields for N coefficient fields in **one** network
+    /// forward pass (cache hits excluded). This is the serving hot path:
+    /// requests are answered from the LRU cache when an identical (up to
+    /// quantization) field was already solved, and all remaining requests
+    /// are stacked into a single NCDHW batch.
+    pub fn predict_batch(&mut self, coeffs: &[Tensor]) -> MgdResult<Vec<Tensor>> {
+        if coeffs.is_empty() {
+            return Err(MgdError::Field(mgd_field::FieldError::Empty));
+        }
+        for c in coeffs {
+            if c.dims() != &self.resolution[..] {
+                return Err(MgdError::ShapeMismatch {
+                    expected: self.resolution.clone(),
+                    got: c.dims().to_vec(),
+                });
+            }
+        }
+        let keys: Vec<Vec<i64>> = coeffs.iter().map(PredictionCache::key).collect();
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(coeffs.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match self.cache.get(key) {
+                Some(hit) => {
+                    self.stats.cache_hits += 1;
+                    outputs.push(Some(hit));
+                }
+                None => {
+                    outputs.push(None);
+                    miss_idx.push(i);
+                }
+            }
+        }
+        if !miss_idx.is_empty() {
+            // Deduplicate identical fields inside the batch: solve each
+            // distinct coefficient field once.
+            let mut unique: Vec<usize> = Vec::new();
+            for &i in &miss_idx {
+                if !unique.iter().any(|&u| keys[u] == keys[i]) {
+                    unique.push(i);
+                }
+            }
+            let encoded: Vec<Tensor> = unique
+                .iter()
+                .map(|&i| self.encoding.encode(&coeffs[i]))
+                .collect();
+            let x = stack_fields(&encoded).map_err(MgdError::Field)?;
+            let mut u = self.model.predict(&x);
+            self.loss.apply_bc_batch(&mut u);
+            self.stats.forward_passes += 1;
+            self.stats.predicted_fields += unique.len() as u64;
+            let vol: usize = self.resolution.iter().product();
+            let solved: Vec<Tensor> = unique
+                .iter()
+                .enumerate()
+                .map(|(slot, _)| {
+                    Tensor::from_vec(
+                        self.resolution.clone(),
+                        u.as_slice()[slot * vol..(slot + 1) * vol].to_vec(),
+                    )
+                })
+                .collect();
+            for (field, &i) in solved.iter().zip(&unique) {
+                self.cache.insert(keys[i].clone(), field.clone());
+            }
+            // Fill every miss (including intra-batch duplicates) from the
+            // solved set, not the cache — caching may be disabled.
+            for &i in &miss_idx {
+                let slot = unique
+                    .iter()
+                    .position(|&u| keys[u] == keys[i])
+                    .expect("every miss has a unique representative");
+                outputs[i] = Some(solved[slot].clone());
+            }
+        }
+        Ok(outputs
+            .into_iter()
+            .map(|o| o.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Predicts the solution for one ω parameter vector by rasterizing the
+    /// coefficient field at the engine's resolution first.
+    pub fn predict_omega(&mut self, omega: &[f64]) -> MgdResult<Tensor> {
+        let nu = self
+            .problem
+            .diffusivity()
+            .rasterize(omega, &self.resolution);
+        self.predict(&nu)
+    }
+
+    /// §4.3-style comparison of the engine's prediction against a fresh FEM
+    /// solve for dataset sample `sample`.
+    pub fn compare_sample(&mut self, sample: usize) -> MgdResult<FieldComparison> {
+        compare_with_fem(
+            &mut self.model,
+            &self.data,
+            sample,
+            &self.resolution.clone(),
+        )
+    }
+
+    /// Saves the model weights (via the [`Model`] trait) to a JSON file.
+    pub fn save_weights<P: AsRef<std::path::Path>>(&mut self, path: P) -> MgdResult<()> {
+        WeightSnapshot::capture(&mut self.model).save(path)?;
+        Ok(())
+    }
+
+    /// Loads weights saved by [`Self::save_weights`] into the engine's
+    /// model (which must be structurally identical). Invalidates the cache.
+    pub fn load_weights<P: AsRef<std::path::Path>>(&mut self, path: P) -> MgdResult<()> {
+        let snap = WeightSnapshot::load(path)?;
+        snap.restore(&mut self.model)
+            .map_err(MgdError::Checkpoint)?;
+        self.cache.clear();
+        Ok(())
+    }
+
+    /// The engine's finest spatial resolution.
+    pub fn resolution(&self) -> &[usize] {
+        &self.resolution
+    }
+
+    /// The problem this engine was built for.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The training dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Entries currently held by the prediction cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The log of the last completed [`Self::train`] call.
+    pub fn last_run(&self) -> Option<&MgRunLog> {
+        self.last_run.as_ref()
+    }
+
+    /// Mutable access to the underlying model (escape hatch for research
+    /// code; mutating weights invalidates the cache).
+    pub fn model_mut(&mut self) -> &mut dyn Model {
+        self.cache.clear();
+        &mut *self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_builder() -> SolverEngineBuilder {
+        SolverEngine::builder()
+            .resolution([16, 16])
+            .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+            .levels(2)
+            .samples(8)
+            .batch_size(4)
+            .max_epochs(4)
+            .fixed_epochs(1)
+            .seed(3)
+    }
+
+    #[test]
+    fn builder_requires_resolution_and_problem() {
+        let e = SolverEngine::builder().build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(m)) if m.contains("resolution")));
+        let e = SolverEngine::builder().resolution([16, 16]).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(m)) if m.contains("problem")));
+    }
+
+    #[test]
+    fn builder_rejects_zero_levels() {
+        let e = small_builder().levels(0).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(m)) if m.contains("levels")));
+    }
+
+    #[test]
+    fn builder_rejects_odd_resolution() {
+        let e = small_builder().resolution([15, 16]).build();
+        assert!(
+            matches!(e, Err(MgdError::InvalidConfig(m)) if m.contains("odd") || m.contains("multiple"))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_batch_larger_than_dataset() {
+        let e = small_builder().samples(4).batch_size(8).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(m)) if m.contains("batch_size")));
+    }
+
+    #[test]
+    fn builder_rejects_rank_mismatch() {
+        let e = small_builder().resolution([8, 16, 16]).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(m)) if m.contains("rank")));
+    }
+
+    #[test]
+    fn predict_imposes_bcs_and_caches() {
+        let mut engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let u = engine.predict(&nu).unwrap();
+        assert_eq!(u.dims(), &[16, 16]);
+        for j in 0..16 {
+            assert_eq!(u.at(&[j, 0]), 1.0);
+            assert_eq!(u.at(&[j, 15]), 0.0);
+        }
+        assert_eq!(engine.stats().forward_passes, 1);
+        // Second identical query: cache hit, no new forward pass.
+        let u2 = engine.predict(&nu).unwrap();
+        assert_eq!(u, u2);
+        assert_eq!(engine.stats().forward_passes, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn predict_batch_is_one_forward_pass() {
+        let mut engine = small_builder().build().unwrap();
+        let fields: Vec<Tensor> = (0..6)
+            .map(|s| engine.dataset().nu_field(s, &[16, 16]))
+            .collect();
+        let out = engine.predict_batch(&fields).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(engine.stats().forward_passes, 1);
+        assert_eq!(engine.stats().predicted_fields, 6);
+    }
+
+    #[test]
+    fn predict_batch_deduplicates_identical_requests() {
+        let mut engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let out = engine.predict_batch(&[nu.clone(), nu.clone(), nu]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        // One unique field -> one predicted field.
+        assert_eq!(engine.stats().predicted_fields, 1);
+    }
+
+    #[test]
+    fn predict_rejects_wrong_shape() {
+        let mut engine = small_builder().build().unwrap();
+        let bad = Tensor::ones([8, 8]);
+        assert!(matches!(
+            engine.predict(&bad),
+            Err(MgdError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_disabled_still_correct() {
+        let mut engine = small_builder().cache_capacity(0).build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let a = engine.predict(&nu).unwrap();
+        let b = engine.predict(&nu).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(engine.stats().forward_passes, 2, "no caching when disabled");
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut engine = small_builder().cache_capacity(2).build().unwrap();
+        let f: Vec<Tensor> = (0..3)
+            .map(|s| engine.dataset().nu_field(s, &[16, 16]))
+            .collect();
+        let _ = engine.predict(&f[0]).unwrap();
+        let _ = engine.predict(&f[1]).unwrap();
+        let _ = engine.predict(&f[0]).unwrap(); // refresh 0
+        let _ = engine.predict(&f[2]).unwrap(); // evicts 1
+        assert_eq!(engine.cache_len(), 2);
+        let hits_before = engine.stats().cache_hits;
+        let _ = engine.predict(&f[1]).unwrap(); // miss
+        assert_eq!(engine.stats().cache_hits, hits_before);
+        let _ = engine.predict(&f[0]).unwrap(); // 0 was refreshed: may or may not survive the second insert
+    }
+
+    #[test]
+    fn train_invalidates_cache() {
+        let mut engine = small_builder().max_epochs(1).build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let before = engine.predict(&nu).unwrap();
+        assert_eq!(engine.cache_len(), 1);
+        let log = engine.train().unwrap();
+        assert!(log.final_loss.is_finite());
+        assert_eq!(engine.cache_len(), 0, "training must clear the cache");
+        let after = engine.predict(&nu).unwrap();
+        assert!(before.rel_l2_error(&after) > 0.0, "weights changed");
+    }
+
+    #[test]
+    fn predict_omega_matches_manual_rasterization() {
+        let mut engine = small_builder().build().unwrap();
+        let omega = engine.dataset().omegas[0].clone();
+        let via_omega = engine.predict_omega(&omega).unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let via_field = engine.predict(&nu).unwrap();
+        assert_eq!(via_omega, via_field);
+    }
+
+    #[test]
+    fn weights_roundtrip_through_files() {
+        let mut engine = small_builder().build().unwrap();
+        // Sample 1, not 0: Sobol sample 0 is ω = 0, whose log-ν input is
+        // identically zero — every zero-bias net answers 0.5 there.
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        let y0 = engine.predict(&nu).unwrap();
+        let dir = std::env::temp_dir().join("mgd_engine_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.json");
+        engine.save_weights(&path).unwrap();
+        // A differently-seeded engine predicts differently, then matches
+        // after loading the saved weights.
+        let mut other = small_builder().seed(7).build().unwrap();
+        assert!(other.predict(&nu).unwrap().rel_l2_error(&y0) > 1e-9);
+        other.load_weights(&path).unwrap();
+        assert!(other.predict(&nu).unwrap().rel_l2_error(&y0) < 1e-15);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -2,14 +2,18 @@
 //!
 //! This crate assembles the paper's contribution from the substrate crates:
 //!
+//! - [`engine::SolverEngine`] — **the front door**: a validated builder
+//!   over problem/resolution/schedule, typed [`error::MgdError`] failures,
+//!   and a serving surface (`predict`, cached single-pass `predict_batch`);
 //! - [`loss::FemLoss`] — the variational (Ritz energy) training loss of
 //!   §3.1.1 with *exact* Dirichlet imposition (Algorithm 1, line 8:
 //!   `U = U_int·χ_int + U_bc·χ_b`), evaluated with the finite elements of
 //!   `mgd-fem` on the same grid the network predicts;
 //! - [`trainer::Trainer`] — Algorithm 1: sample mini-batch → forward →
-//!   impose BC → energy loss → backprop → (all-reduce) → Adam step, generic
-//!   over the `mgd_dist::Comm` communicator so serial and data-parallel
-//!   training share one code path;
+//!   impose BC → energy loss → backprop → (all-reduce) → optimizer step,
+//!   generic over the `mgd_nn::Model` / `mgd_nn::Optimizer` traits and the
+//!   `mgd_dist::Comm` communicator so serial and data-parallel training of
+//!   any architecture share one code path;
 //! - [`cycle`] — the V / W / F / Half-V multigrid *training* schedules of
 //!   §3.1.2 (restriction visits train a fixed number of epochs;
 //!   prolongation visits and the coarsest level train to convergence);
@@ -21,46 +25,90 @@
 //!
 //! ## Quickstart
 //!
+//! Configure everything through the builder; every constraint violation is
+//! a typed error, not a panic:
+//!
 //! ```no_run
 //! use mgdiffnet::prelude::*;
 //!
-//! // 64x64 2D Poisson surrogate over the paper's diffusivity family.
-//! let data = Dataset::sobol(64, DiffusivityModel::paper(), InputEncoding::LogNu);
-//! let mut net = UNet::new(UNetConfig { two_d: true, ..Default::default() });
-//! let mut opt = Adam::new(1e-3);
-//! let comm = LocalComm::new();
-//! let cfg = TrainConfig { batch_size: 8, ..Default::default() };
-//! let mg = MgConfig { cycle: CycleKind::HalfV, levels: 3, ..Default::default() };
-//! let log = MultigridTrainer::new(mg, cfg, vec![64, 64])
-//!     .run(&mut net, &mut opt, &data, &comm);
+//! // 64x64 2D Poisson surrogate over the paper's diffusivity family,
+//! // trained with the Half-V cycle over a 3-level hierarchy.
+//! let mut engine = SolverEngine::builder()
+//!     .resolution([64, 64])
+//!     .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+//!     .cycle(CycleKind::HalfV)
+//!     .levels(3)
+//!     .samples(64)
+//!     .batch_size(8)
+//!     .build()?;
+//! let log = engine.train()?;
 //! println!("final loss {:.4} in {:.1}s", log.final_loss, log.total_seconds);
+//!
+//! // Serve: N coefficient fields -> N solution fields in ONE forward pass,
+//! // with an LRU cache absorbing repeated queries.
+//! let requests: Vec<_> =
+//!     (0..8).map(|s| engine.dataset().nu_field(s, engine.resolution())).collect();
+//! let solutions = engine.predict_batch(&requests)?;
+//! assert_eq!(solutions.len(), 8);
+//! # Ok::<(), MgdError>(())
 //! ```
+//!
+//! ## Migrating from the pre-engine API
+//!
+//! The concrete-type entry points of the seed release map onto the engine
+//! as follows (the old types remain available for research code that needs
+//! distributed communicators or custom loops, but are now generic over
+//! `Model`/`Optimizer` and return `Result`):
+//!
+//! | old (seed) | new |
+//! |---|---|
+//! | `Dataset::sobol(n, model, enc)` + hand-wiring | `SolverEngine::builder().samples(n).problem(...)` |
+//! | `UNet::new(UNetConfig { .. })` | `.net_depth(d).base_filters(f)` (or `.model(Box::new(custom))`) |
+//! | `Adam::new(lr)` | `.learning_rate(lr)` (or `.optimizer(Box::new(custom))`) |
+//! | `MgConfig { cycle, levels, .. }` | `.cycle(..).levels(..).fixed_epochs(..).adapt(..)` |
+//! | `TrainConfig { batch_size, .. }` | `.batch_size(..).max_epochs(..).patience(..)` |
+//! | `MultigridTrainer::new(mg, cfg, dims).run(&mut net, &mut opt, &data, &comm)` | `engine.train()?` |
+//! | `predict_field(&mut net, &data, s, &dims)` | `engine.predict(&nu)?` / `engine.predict_omega(&omega)?` |
+//! | N × `predict_field` | `engine.predict_batch(&fields)?` (one forward pass + cache) |
+//! | `Checkpoint::from_net(&mut net).save(p)` | `engine.save_weights(p)?` / `engine.load_weights(p)?` |
 
 pub mod compare;
-pub mod dist_fem;
 pub mod cycle;
+pub mod dist_fem;
+pub mod engine;
+pub mod error;
 pub mod loss;
 pub mod mg_trainer;
 pub mod stopper;
 pub mod trainer;
 
 pub use compare::{compare_with_fem, predict_field, FieldComparison};
-pub use dist_fem::{DistPoisson, SlabPartition};
 pub use cycle::{level_sequence, schedule, Budget, CycleKind, Phase};
+pub use dist_fem::{DistPoisson, SlabPartition};
+pub use engine::{Problem, ServeStats, SolverEngine, SolverEngineBuilder};
+pub use error::{MgdError, MgdResult};
 pub use loss::FemLoss;
 pub use mg_trainer::{MgConfig, MgRunLog, MultigridTrainer, PhaseLog};
 pub use stopper::EarlyStopping;
 pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};
 
 /// One-stop imports for examples and harnesses.
+///
+/// The engine facade ([`SolverEngine`], [`Problem`], [`MgdError`]) is the
+/// supported entry point; the generic building blocks ([`Trainer`],
+/// [`MultigridTrainer`], [`FemLoss`], the `Model`/`Optimizer` traits) stay
+/// exported for distributed runs and research loops.
 pub mod prelude {
     pub use crate::{
         compare_with_fem, predict_field, schedule, Budget, CycleKind, EarlyStopping, EpochStats,
-        FemLoss, FieldComparison, MgConfig, MgRunLog, MultigridTrainer, Phase, PhaseLog,
-        TrainConfig, TrainLog, Trainer,
+        FemLoss, FieldComparison, MgConfig, MgRunLog, MgdError, MgdResult, MultigridTrainer, Phase,
+        PhaseLog, Problem, ServeStats, SolverEngine, SolverEngineBuilder, TrainConfig, TrainLog,
+        Trainer,
     };
     pub use mgd_dist::{launch, Comm, LocalComm, ThreadComm};
-    pub use mgd_field::{Dataset, DiffusivityModel, InputEncoding, Sobol};
-    pub use mgd_nn::{Adam, Layer, Sgd, UNet, UNetConfig};
+    pub use mgd_field::{
+        stack_fields, Dataset, DiffusivityModel, FieldError, InputEncoding, Sobol,
+    };
+    pub use mgd_nn::{Adam, Layer, Model, Optimizer, Sgd, UNet, UNetConfig, WeightSnapshot};
     pub use mgd_tensor::Tensor;
 }

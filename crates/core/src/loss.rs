@@ -7,6 +7,7 @@
 //! boundary penalty weight exists to tune — one of the paper's stated
 //! advantages over penalty-based PINNs.
 
+use crate::error::{MgdError, MgdResult};
 use mgd_fem::{energy_grad, solve_cg, CgOptions, CgStats, Dirichlet, ElementBasis, Grid};
 use mgd_tensor::par::maybe_par_map_collect;
 use mgd_tensor::Tensor;
@@ -36,21 +37,31 @@ pub enum FemLoss {
 impl FemLoss {
     /// Builds the loss for spatial `dims` (`[ny, nx]` or `[nz, ny, nx]`)
     /// with the paper's boundary data `u(x=0) = 1`, `u(x=1) = 0`.
-    pub fn new(dims: &[usize]) -> Self {
+    ///
+    /// Returns [`MgdError::InvalidConfig`] for a rank other than 2/3 or any
+    /// dimension below the 2-node minimum a grid needs.
+    pub fn new(dims: &[usize]) -> MgdResult<Self> {
+        if let Some(&d) = dims.iter().find(|&&d| d < 2) {
+            return Err(MgdError::InvalidConfig(format!(
+                "grid dims {dims:?}: every dimension needs >= 2 nodes (got {d})"
+            )));
+        }
         match dims {
             [ny, nx] => {
                 let grid: Grid<2> = Grid::new([*ny, *nx]);
                 let basis = ElementBasis::new(&grid);
                 let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-                FemLoss::D2 { grid, basis, bc }
+                Ok(FemLoss::D2 { grid, basis, bc })
             }
             [nz, ny, nx] => {
                 let grid: Grid<3> = Grid::new([*nz, *ny, *nx]);
                 let basis = ElementBasis::new(&grid);
                 let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-                FemLoss::D3 { grid, basis, bc }
+                Ok(FemLoss::D3 { grid, basis, bc })
             }
-            _ => panic!("FemLoss expects 2 or 3 spatial dims, got {dims:?}"),
+            _ => Err(MgdError::InvalidConfig(format!(
+                "FemLoss expects 2 or 3 spatial dims, got {dims:?}"
+            ))),
         }
     }
 
@@ -72,10 +83,13 @@ impl FemLoss {
 
     /// Imposes the boundary values on every sample of an NCDHW batch
     /// (Algorithm 1: `U = U_int·χ_int + U_bc·χ_b`).
+    ///
+    /// Shape agreement is the caller's contract (the trainer/engine
+    /// validate dims once up front), so this hot path only debug-asserts.
     pub fn apply_bc_batch(&self, u: &mut Tensor) {
         let vol = self.num_nodes();
         let b = u.dims()[0];
-        assert_eq!(u.len(), b * vol, "batch tensor volume mismatch");
+        debug_assert_eq!(u.len(), b * vol, "batch tensor volume mismatch");
         let bc = self.bc();
         for s in 0..b {
             bc.apply(&mut u.as_mut_slice()[s * vol..(s + 1) * vol]);
@@ -109,14 +123,15 @@ impl FemLoss {
     pub fn energy_grad_batch(&self, nu: &[Tensor], u: &Tensor) -> (f64, Tensor) {
         let vol = self.num_nodes();
         let b = u.dims()[0];
-        assert_eq!(nu.len(), b, "need one ν field per sample");
-        assert_eq!(u.len(), b * vol, "batch tensor volume mismatch");
+        debug_assert_eq!(nu.len(), b, "need one ν field per sample");
+        debug_assert_eq!(u.len(), b * vol, "batch tensor volume mismatch");
         let us = u.as_slice();
         // Per-sample results computed independently (parallel over samples),
         // then assembled; keeps the hot FEM loops free of shared writes.
         let per: Vec<(f64, Vec<f64>)> = maybe_par_map_collect(b, vol * 8, |s| {
             let mut grad = vec![0.0; vol];
-            let j = self.energy_grad_single(nu[s].as_slice(), &us[s * vol..(s + 1) * vol], &mut grad);
+            let j =
+                self.energy_grad_single(nu[s].as_slice(), &us[s * vol..(s + 1) * vol], &mut grad);
             (j, grad)
         });
         let mut grad_out = Tensor::zeros(u.shape().clone());
@@ -138,12 +153,20 @@ impl FemLoss {
         let b = u.dims()[0];
         let us = u.as_slice();
         let js: Vec<f64> = maybe_par_map_collect(b, vol * 8, |s| match self {
-            FemLoss::D2 { grid, basis, .. } => {
-                mgd_fem::energy(grid, basis, nu[s].as_slice(), &us[s * vol..(s + 1) * vol], None)
-            }
-            FemLoss::D3 { grid, basis, .. } => {
-                mgd_fem::energy(grid, basis, nu[s].as_slice(), &us[s * vol..(s + 1) * vol], None)
-            }
+            FemLoss::D2 { grid, basis, .. } => mgd_fem::energy(
+                grid,
+                basis,
+                nu[s].as_slice(),
+                &us[s * vol..(s + 1) * vol],
+                None,
+            ),
+            FemLoss::D3 { grid, basis, .. } => mgd_fem::energy(
+                grid,
+                basis,
+                nu[s].as_slice(),
+                &us[s * vol..(s + 1) * vol],
+                None,
+            ),
         });
         js.iter().sum::<f64>() / b as f64
     }
@@ -151,7 +174,15 @@ impl FemLoss {
     /// Reference FEM solution for one ν field on this grid (CG; optional
     /// warm start, e.g. the network prediction per §3.1.2).
     pub fn fem_solve(&self, nu: &[f64], warm: Option<&[f64]>, tol: f64) -> (Vec<f64>, CgStats) {
-        self.fem_solve_with(nu, warm, CgOptions { tol, max_iter: 50_000, ..Default::default() })
+        self.fem_solve_with(
+            nu,
+            warm,
+            CgOptions {
+                tol,
+                max_iter: 50_000,
+                ..Default::default()
+            },
+        )
     }
 
     /// [`Self::fem_solve`] with explicit solver options — used by the
@@ -177,7 +208,7 @@ mod tests {
 
     #[test]
     fn bc_batch_sets_faces() {
-        let loss = FemLoss::new(&[4, 4]);
+        let loss = FemLoss::new(&[4, 4]).unwrap();
         let mut u = Tensor::full([2, 1, 1, 4, 4], 0.5);
         loss.apply_bc_batch(&mut u);
         for s in 0..2 {
@@ -194,7 +225,7 @@ mod tests {
         // For ν = 1 the minimizer is u = 1 - x with J = 1/2; any
         // BC-respecting perturbation has larger energy.
         let dims = [8usize, 8];
-        let loss = FemLoss::new(&dims);
+        let loss = FemLoss::new(&dims).unwrap();
         let nu = vec![Tensor::ones([8, 8])];
         let mut u = Tensor::zeros([1, 1, 1, 8, 8]);
         for j in 0..8 {
@@ -214,7 +245,7 @@ mod tests {
 
     #[test]
     fn gradient_zero_on_boundary_nodes() {
-        let loss = FemLoss::new(&[4, 8]);
+        let loss = FemLoss::new(&[4, 8]).unwrap();
         let nu = vec![Tensor::ones([4, 8])];
         let mut u = Tensor::rand_uniform(
             [1, 1, 1, 4, 8],
@@ -232,7 +263,7 @@ mod tests {
 
     #[test]
     fn batch_energy_is_mean_of_singles() {
-        let loss = FemLoss::new(&[4, 4]);
+        let loss = FemLoss::new(&[4, 4]).unwrap();
         let nu1 = Tensor::ones([4, 4]);
         let nu2 = Tensor::full([4, 4], 2.0);
         let mut u = Tensor::rand_uniform(
@@ -258,13 +289,13 @@ mod tests {
 
     #[test]
     fn fem_solve_unit_nu_2d_and_3d() {
-        let loss2 = FemLoss::new(&[8, 8]);
+        let loss2 = FemLoss::new(&[8, 8]).unwrap();
         let (u, stats) = loss2.fem_solve(&vec![1.0; 64], None, 1e-10);
         assert!(stats.converged);
         // u(x) = 1 - x.
         assert!((u[8 + 3] - (1.0 - 3.0 / 7.0)).abs() < 1e-8);
 
-        let loss3 = FemLoss::new(&[4, 4, 4]);
+        let loss3 = FemLoss::new(&[4, 4, 4]).unwrap();
         let (u3, stats3) = loss3.fem_solve(&vec![1.0; 64], None, 1e-10);
         assert!(stats3.converged);
         assert!((u3[1] - (1.0 - 1.0 / 3.0)).abs() < 1e-8);
@@ -272,7 +303,7 @@ mod tests {
 
     #[test]
     fn three_d_loss_shape_handling() {
-        let loss = FemLoss::new(&[4, 4, 8]);
+        let loss = FemLoss::new(&[4, 4, 8]).unwrap();
         let nu = vec![Tensor::ones([4, 4, 8]); 3];
         let mut u = Tensor::full([3, 1, 4, 4, 8], 0.3);
         loss.apply_bc_batch(&mut u);

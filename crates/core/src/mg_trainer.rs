@@ -7,10 +7,11 @@
 //! (§4.1.2 architectural adaptation).
 
 use crate::cycle::{schedule, Budget, CycleKind, Phase};
+use crate::error::{MgdError, MgdResult};
 use crate::trainer::{TrainConfig, Trainer};
 use mgd_dist::Comm;
 use mgd_field::Dataset;
-use mgd_nn::{Adam, UNet};
+use mgd_nn::{Model, Optimizer};
 use serde::{Deserialize, Serialize};
 
 /// Multigrid schedule configuration.
@@ -32,7 +33,13 @@ pub struct MgConfig {
 
 impl Default for MgConfig {
     fn default() -> Self {
-        MgConfig { cycle: CycleKind::HalfV, levels: 3, fixed_epochs: 3, adapt: false, cycles: 1 }
+        MgConfig {
+            cycle: CycleKind::HalfV,
+            levels: 3,
+            fixed_epochs: 3,
+            adapt: false,
+            cycles: 1,
+        }
     }
 }
 
@@ -88,7 +95,11 @@ impl MgRunLog {
     pub fn time_to_loss(&self, target: f64) -> Option<f64> {
         let mut t = 0.0;
         for ph in &self.phases {
-            let per_epoch = if ph.epochs > 0 { ph.seconds / ph.epochs as f64 } else { 0.0 };
+            let per_epoch = if ph.epochs > 0 {
+                ph.seconds / ph.epochs as f64
+            } else {
+                0.0
+            };
             for &loss in &ph.losses {
                 t += per_epoch;
                 if loss <= target {
@@ -111,11 +122,39 @@ pub struct MultigridTrainer {
 }
 
 impl MultigridTrainer {
-    /// Creates a runner; `finest_dims` must stay divisible by `2^(depth +
-    /// levels - 1)` so every level still feeds the U-Net.
-    pub fn new(mg: MgConfig, train: TrainConfig, finest_dims: Vec<usize>) -> Self {
-        assert!(mg.levels >= 1);
-        MultigridTrainer { mg, train, finest_dims }
+    /// Creates a runner; `finest_dims` must survive halving `levels - 1`
+    /// times so every level still feeds the network. Violations are typed
+    /// [`MgdError::InvalidConfig`]s.
+    pub fn new(mg: MgConfig, train: TrainConfig, finest_dims: Vec<usize>) -> MgdResult<Self> {
+        if mg.levels == 0 {
+            return Err(MgdError::InvalidConfig(
+                "levels must be >= 1 (got 0)".into(),
+            ));
+        }
+        if finest_dims.len() != 2 && finest_dims.len() != 3 {
+            return Err(MgdError::InvalidConfig(format!(
+                "finest_dims must be rank 2 or 3, got {finest_dims:?}"
+            )));
+        }
+        for &d in &finest_dims {
+            if d >> (mg.levels - 1) < 2 {
+                return Err(MgdError::InvalidConfig(format!(
+                    "dim {d} collapses below 2 nodes at level {} of the hierarchy",
+                    mg.levels - 1
+                )));
+            }
+            if mg.levels > 1 && d % (1 << (mg.levels - 1)) != 0 {
+                return Err(MgdError::InvalidConfig(format!(
+                    "dim {d} is not divisible by 2^(levels-1) = {}",
+                    1 << (mg.levels - 1)
+                )));
+            }
+        }
+        Ok(MultigridTrainer {
+            mg,
+            train,
+            finest_dims,
+        })
     }
 
     /// Spatial dims at a hierarchy level.
@@ -124,7 +163,7 @@ impl MultigridTrainer {
             .iter()
             .map(|&d| {
                 let c = d >> level;
-                assert!(c >= 2, "level {level} collapses dim {d}");
+                debug_assert!(c >= 2, "level {level} collapses dim {d}");
                 c
             })
             .collect()
@@ -141,15 +180,15 @@ impl MultigridTrainer {
         out
     }
 
-    /// Executes the schedule, mutating `net` (and replacing it with a
-    /// deepened clone on adaptation steps).
-    pub fn run<C: Comm>(
+    /// Executes the schedule, mutating `net` (deepening it in place on
+    /// adaptation steps via [`Model::deepen`]).
+    pub fn run<M: Model, O: Optimizer, C: Comm>(
         &self,
-        net: &mut UNet,
-        opt: &mut Adam,
+        net: &mut M,
+        opt: &mut O,
         data: &Dataset,
         comm: &C,
-    ) -> MgRunLog {
+    ) -> MgdResult<MgRunLog> {
         let phases = self.phases();
         let mut log = MgRunLog {
             cycle: self.mg.cycle,
@@ -165,17 +204,16 @@ impl MultigridTrainer {
             // at each coarse resolution and moving to the finer
             // resolution").
             if self.mg.adapt && finest_seen != usize::MAX && ph.level < finest_seen {
-                *net = net.deepened();
+                net.deepen();
             }
             finest_seen = finest_seen.min(ph.level);
             let dims = self.dims_at_level(ph.level);
-            let mut trainer =
-                Trainer::new(net, opt, data, comm, dims.clone(), self.train);
+            let mut trainer = Trainer::new(net, opt, data, comm, dims.clone(), self.train)?;
             trainer.global_epoch = global_epoch;
             trainer.sync_initial_params();
             let tl = match ph.budget {
-                Budget::Fixed(n) => trainer.train_fixed(n),
-                Budget::Converge => trainer.train_to_convergence(),
+                Budget::Fixed(n) => trainer.train_fixed(n)?,
+                Budget::Converge => trainer.train_to_convergence()?,
             };
             global_epoch = trainer.global_epoch;
             log.total_seconds += tl.total_seconds;
@@ -190,7 +228,7 @@ impl MultigridTrainer {
                 losses: tl.epochs.iter().map(|e| e.loss).collect(),
             });
         }
-        log
+        Ok(log)
     }
 }
 
@@ -199,7 +237,7 @@ mod tests {
     use super::*;
     use mgd_dist::LocalComm;
     use mgd_field::{DiffusivityModel, InputEncoding};
-    use mgd_nn::UNetConfig;
+    use mgd_nn::{Adam, UNet, UNetConfig};
 
     fn setup() -> (UNet, Adam, Dataset) {
         let net = UNet::new(UNetConfig {
@@ -209,16 +247,27 @@ mod tests {
             seed: 2,
             ..Default::default()
         });
-        (net, Adam::new(3e-3), Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu))
+        (
+            net,
+            Adam::new(3e-3),
+            Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu),
+        )
     }
 
     fn quick_cfg() -> TrainConfig {
-        TrainConfig { batch_size: 4, max_epochs: 12, patience: 3, min_delta: 1e-3, seed: 7 }
+        TrainConfig {
+            batch_size: 4,
+            max_epochs: 12,
+            patience: 3,
+            min_delta: 1e-3,
+            seed: 7,
+        }
     }
 
     #[test]
     fn dims_at_level_halves() {
-        let t = MultigridTrainer::new(MgConfig::default(), TrainConfig::default(), vec![64, 64]);
+        let t = MultigridTrainer::new(MgConfig::default(), TrainConfig::default(), vec![64, 64])
+            .unwrap();
         assert_eq!(t.dims_at_level(0), vec![64, 64]);
         assert_eq!(t.dims_at_level(2), vec![16, 16]);
     }
@@ -227,9 +276,15 @@ mod tests {
     fn half_v_runs_coarse_to_fine() {
         let (mut net, mut opt, data) = setup();
         let comm = LocalComm::new();
-        let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
-        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]);
-        let log = t.run(&mut net, &mut opt, &data, &comm);
+        let mg = MgConfig {
+            cycle: CycleKind::HalfV,
+            levels: 2,
+            fixed_epochs: 2,
+            adapt: false,
+            cycles: 1,
+        };
+        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]).unwrap();
+        let log = t.run(&mut net, &mut opt, &data, &comm).unwrap();
         assert_eq!(log.phases.len(), 2);
         assert_eq!(log.phases[0].dims, vec![16, 16]);
         assert_eq!(log.phases[1].dims, vec![32, 32]);
@@ -241,9 +296,15 @@ mod tests {
     fn v_cycle_budgets_respected() {
         let (mut net, mut opt, data) = setup();
         let comm = LocalComm::new();
-        let mg = MgConfig { cycle: CycleKind::V, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
-        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]);
-        let log = t.run(&mut net, &mut opt, &data, &comm);
+        let mg = MgConfig {
+            cycle: CycleKind::V,
+            levels: 2,
+            fixed_epochs: 2,
+            adapt: false,
+            cycles: 1,
+        };
+        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]).unwrap();
+        let log = t.run(&mut net, &mut opt, &data, &comm).unwrap();
         // V over 2 levels: [0 Fixed(2), 1 Converge, 0 Converge].
         assert_eq!(log.phases.len(), 3);
         assert_eq!(log.phases[0].epochs, 2);
@@ -255,17 +316,29 @@ mod tests {
         let (mut net, mut opt, data) = setup();
         assert_eq!(net.cfg.depth, 2);
         let comm = LocalComm::new();
-        let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 1, adapt: true, cycles: 1 };
-        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]);
-        let _ = t.run(&mut net, &mut opt, &data, &comm);
+        let mg = MgConfig {
+            cycle: CycleKind::HalfV,
+            levels: 2,
+            fixed_epochs: 1,
+            adapt: true,
+            cycles: 1,
+        };
+        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]).unwrap();
+        let _ = t.run(&mut net, &mut opt, &data, &comm).unwrap();
         // One refinement step (level 1 -> 0) => depth 2 -> 3.
         assert_eq!(net.cfg.depth, 3);
     }
 
     #[test]
     fn multiple_cycles_repeat_schedule() {
-        let mg = MgConfig { cycle: CycleKind::V, levels: 2, fixed_epochs: 1, adapt: false, cycles: 3 };
-        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]);
+        let mg = MgConfig {
+            cycle: CycleKind::V,
+            levels: 2,
+            fixed_epochs: 1,
+            adapt: false,
+            cycles: 3,
+        };
+        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]).unwrap();
         let phases = t.phases();
         // One V cycle over 2 levels = 3 phases; repeated 3x.
         assert_eq!(phases.len(), 9);
@@ -273,7 +346,7 @@ mod tests {
         // And it actually trains through all of them.
         let (mut net, mut opt, data) = setup();
         let comm = LocalComm::new();
-        let log = t.run(&mut net, &mut opt, &data, &comm);
+        let log = t.run(&mut net, &mut opt, &data, &comm).unwrap();
         assert_eq!(log.phases.len(), 9);
     }
 
@@ -281,9 +354,15 @@ mod tests {
     fn seconds_per_level_partitions_total() {
         let (mut net, mut opt, data) = setup();
         let comm = LocalComm::new();
-        let mg = MgConfig { cycle: CycleKind::V, levels: 2, fixed_epochs: 1, adapt: false, cycles: 1 };
-        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]);
-        let log = t.run(&mut net, &mut opt, &data, &comm);
+        let mg = MgConfig {
+            cycle: CycleKind::V,
+            levels: 2,
+            fixed_epochs: 1,
+            adapt: false,
+            cycles: 1,
+        };
+        let t = MultigridTrainer::new(mg, quick_cfg(), vec![32, 32]).unwrap();
+        let log = t.run(&mut net, &mut opt, &data, &comm).unwrap();
         let per = log.seconds_per_level(2);
         assert!((per.iter().sum::<f64>() - log.total_seconds).abs() < 1e-9);
         assert!(per.iter().all(|&s| s > 0.0));

@@ -15,7 +15,12 @@ pub struct EarlyStopping {
 impl EarlyStopping {
     /// Creates a stopper.
     pub fn new(patience: usize, min_delta: f64) -> Self {
-        EarlyStopping { patience, min_delta, best: f64::INFINITY, stale: 0 }
+        EarlyStopping {
+            patience,
+            min_delta,
+            best: f64::INFINITY,
+            stale: 0,
+        }
     }
 
     /// Feeds one epoch loss; returns `true` when training should stop.

@@ -3,15 +3,21 @@
 //! Per mini-batch: rasterize the coefficient fields, forward the network,
 //! impose the boundary values exactly, evaluate the FEM energy loss,
 //! backpropagate its gradient, all-reduce-average gradients across workers,
-//! and step Adam. Serial training is the `p = 1` special case via
+//! and step the optimizer. Serial training is the `p = 1` special case via
 //! [`mgd_dist::LocalComm`].
+//!
+//! The trainer is generic over [`Model`] and [`Optimizer`] (any
+//! architecture/update rule the `mgd_nn` traits admit) and returns typed
+//! [`MgdError`]s instead of panicking on bad configurations or numerical
+//! blow-ups.
 
+use crate::error::{MgdError, MgdResult};
 use crate::loss::FemLoss;
 use crate::stopper::EarlyStopping;
 use mgd_dist::{average_gradients, broadcast_params, global_minibatches, local_minibatch, Comm};
 use mgd_field::Dataset;
 use mgd_nn::param::{flatten_grads, flatten_params, unflatten_grads, unflatten_params};
-use mgd_nn::{Adam, Layer, UNet};
+use mgd_nn::{Model, Optimizer};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -34,7 +40,32 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { batch_size: 8, seed: 0, max_epochs: 200, patience: 8, min_delta: 1e-3 }
+        TrainConfig {
+            batch_size: 8,
+            seed: 0,
+            max_epochs: 200,
+            patience: 8,
+            min_delta: 1e-3,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validates the hyper-parameters against a worker count.
+    pub fn validate(&self, workers: usize) -> MgdResult<()> {
+        if self.batch_size == 0 {
+            return Err(MgdError::InvalidConfig("batch_size must be >= 1".into()));
+        }
+        if !self.batch_size.is_multiple_of(workers) {
+            return Err(MgdError::InvalidConfig(format!(
+                "global batch {} must divide across {} workers",
+                self.batch_size, workers
+            )));
+        }
+        if self.max_epochs == 0 {
+            return Err(MgdError::InvalidConfig("max_epochs must be >= 1".into()));
+        }
+        Ok(())
     }
 }
 
@@ -63,12 +94,12 @@ pub struct TrainLog {
 }
 
 /// Binds network, optimizer, dataset and communicator for one resolution.
-pub struct Trainer<'a, C: Comm> {
+pub struct Trainer<'a, M: Model, O: Optimizer, C: Comm> {
     /// The resolution-agnostic network.
-    pub net: &'a mut UNet,
+    pub net: &'a mut M,
     /// The optimizer (moments persist across resolutions until the
     /// parameter structure changes).
-    pub opt: &'a mut Adam,
+    pub opt: &'a mut O,
     /// Training data (ω samples; fields rasterized on demand).
     pub data: &'a Dataset,
     /// Communicator (LocalComm for serial runs).
@@ -82,24 +113,35 @@ pub struct Trainer<'a, C: Comm> {
     pub global_epoch: u64,
 }
 
-impl<'a, C: Comm> Trainer<'a, C> {
+impl<'a, M: Model, O: Optimizer, C: Comm> Trainer<'a, M, O, C> {
     /// Creates a trainer for one resolution.
+    ///
+    /// Fails with [`MgdError::InvalidConfig`] when the batch size does not
+    /// divide across the communicator's workers or the grid dims are
+    /// unusable.
     pub fn new(
-        net: &'a mut UNet,
-        opt: &'a mut Adam,
+        net: &'a mut M,
+        opt: &'a mut O,
         data: &'a Dataset,
         comm: &'a C,
         dims: Vec<usize>,
         cfg: TrainConfig,
-    ) -> Self {
-        assert!(
-            cfg.batch_size % comm.size() == 0,
-            "global batch {} must divide across {} workers",
-            cfg.batch_size,
-            comm.size()
-        );
-        let loss = FemLoss::new(&dims);
-        Trainer { net, opt, data, comm, dims, cfg, loss, global_epoch: 0 }
+    ) -> MgdResult<Self> {
+        cfg.validate(comm.size())?;
+        if data.is_empty() {
+            return Err(MgdError::Field(mgd_field::FieldError::Empty));
+        }
+        let loss = FemLoss::new(&dims)?;
+        Ok(Trainer {
+            net,
+            opt,
+            data,
+            comm,
+            dims,
+            cfg,
+            loss,
+            global_epoch: 0,
+        })
     }
 
     /// Synchronizes replicas from rank 0 (call once before distributed
@@ -115,10 +157,16 @@ impl<'a, C: Comm> Trainer<'a, C> {
     }
 
     /// Runs one epoch (Algorithm 1's inner loop) and returns its stats.
-    pub fn train_epoch(&mut self) -> EpochStats {
+    ///
+    /// A non-finite loss or gradient aborts with [`MgdError::NonFinite`]
+    /// instead of panicking, so callers can lower the learning rate and
+    /// retry from a checkpoint.
+    pub fn train_epoch(&mut self) -> MgdResult<EpochStats> {
         let start = Instant::now();
         let p = self.comm.size();
-        let mut perm = self.data.epoch_permutation(self.cfg.seed, self.global_epoch);
+        let mut perm = self
+            .data
+            .epoch_permutation(self.cfg.seed, self.global_epoch);
         // Wrap-pad so every global mini-batch is full and divides across
         // workers (the paper's dataset-augmentation step).
         mgd_dist::pad_indices(&mut perm, self.cfg.batch_size);
@@ -127,17 +175,17 @@ impl<'a, C: Comm> Trainer<'a, C> {
         let mut comm_seconds = 0.0;
         for mb in &mbs {
             let local = local_minibatch(mb, self.comm.rank(), p);
-            let x = self.data.batch_inputs(local, &self.dims);
+            let x = self.data.try_batch_inputs(local, &self.dims)?;
             let mut u = self.net.forward(&x, true);
             self.loss.apply_bc_batch(&mut u);
-            let nu = self.data.batch_nu(local, &self.dims);
+            let nu = self.data.try_batch_nu(local, &self.dims)?;
             let (j, grad_u) = self.loss.energy_grad_batch(&nu, &u);
-            assert!(
-                j.is_finite() && !grad_u.has_non_finite(),
-                "non-finite loss/gradient at epoch {} (loss {j}); lower the \
-                 learning rate or check the input fields",
-                self.global_epoch
-            );
+            if !j.is_finite() || grad_u.has_non_finite() {
+                return Err(MgdError::NonFinite {
+                    epoch: self.global_epoch,
+                    loss: j,
+                });
+            }
             // Through the masking, ∂J/∂y = ∂J/∂u · χ_int (grad_u is already
             // masked), so it backpropagates directly.
             let _ = self.net.backward(&grad_u);
@@ -158,32 +206,32 @@ impl<'a, C: Comm> Trainer<'a, C> {
             mgd_nn::optim::zero_grads(&mut params);
         }
         self.global_epoch += 1;
-        EpochStats {
+        Ok(EpochStats {
             epoch: self.global_epoch - 1,
             loss: loss_sum / mbs.len() as f64,
             seconds: start.elapsed().as_secs_f64(),
             comm_seconds,
-        }
+        })
     }
 
     /// Trains for a fixed number of epochs.
-    pub fn train_fixed(&mut self, epochs: usize) -> TrainLog {
+    pub fn train_fixed(&mut self, epochs: usize) -> MgdResult<TrainLog> {
         let mut log = TrainLog::default();
         for _ in 0..epochs {
-            let s = self.train_epoch();
+            let s = self.train_epoch()?;
             log.total_seconds += s.seconds;
             log.final_loss = s.loss;
             log.epochs.push(s);
         }
-        log
+        Ok(log)
     }
 
     /// Trains until early stopping (or the `max_epochs` cap) fires.
-    pub fn train_to_convergence(&mut self) -> TrainLog {
+    pub fn train_to_convergence(&mut self) -> MgdResult<TrainLog> {
         let mut stopper = EarlyStopping::new(self.cfg.patience, self.cfg.min_delta);
         let mut log = TrainLog::default();
         for _ in 0..self.cfg.max_epochs {
-            let s = self.train_epoch();
+            let s = self.train_epoch()?;
             log.total_seconds += s.seconds;
             log.final_loss = s.loss;
             log.epochs.push(s);
@@ -191,16 +239,16 @@ impl<'a, C: Comm> Trainer<'a, C> {
                 break;
             }
         }
-        log
+        Ok(log)
     }
 
     /// Evaluation loss over an explicit sample set (no parameter updates).
-    pub fn eval_loss(&mut self, samples: &[usize]) -> f64 {
-        let x = self.data.batch_inputs(samples, &self.dims);
+    pub fn eval_loss(&mut self, samples: &[usize]) -> MgdResult<f64> {
+        let x = self.data.try_batch_inputs(samples, &self.dims)?;
         let mut u = self.net.forward(&x, false);
         self.loss.apply_bc_batch(&mut u);
-        let nu = self.data.batch_nu(samples, &self.dims);
-        self.loss.energy_batch(&nu, &u)
+        let nu = self.data.try_batch_nu(samples, &self.dims)?;
+        Ok(self.loss.energy_batch(&nu, &u))
     }
 }
 
@@ -209,7 +257,7 @@ mod tests {
     use super::*;
     use mgd_dist::LocalComm;
     use mgd_field::{DiffusivityModel, InputEncoding};
-    use mgd_nn::UNetConfig;
+    use mgd_nn::{Adam, Layer, UNet, UNetConfig};
 
     fn tiny_setup() -> (UNet, Adam, Dataset) {
         let net = UNet::new(UNetConfig {
@@ -228,9 +276,13 @@ mod tests {
     fn loss_decreases_over_training() {
         let (mut net, mut opt, data) = tiny_setup();
         let comm = LocalComm::new();
-        let cfg = TrainConfig { batch_size: 4, max_epochs: 30, ..Default::default() };
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
-        let log = tr.train_fixed(30);
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: 30,
+            ..Default::default()
+        };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg).unwrap();
+        let log = tr.train_fixed(30).unwrap();
         let first = log.epochs.first().unwrap().loss;
         let last = log.final_loss;
         assert!(
@@ -246,10 +298,14 @@ mod tests {
         // initial prediction.
         let (mut net, mut opt, data) = tiny_setup();
         let comm = LocalComm::new();
-        let cfg =
-            TrainConfig { batch_size: 4, max_epochs: 120, patience: 15, ..Default::default() };
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: 120,
+            patience: 15,
+            ..Default::default()
+        };
         let dims = vec![16, 16];
-        let loss_fns = FemLoss::new(&dims);
+        let loss_fns = FemLoss::new(&dims).unwrap();
         // FEM reference energy averaged over the dataset.
         let mut fem_energy = 0.0;
         for s in 0..data.len() {
@@ -259,11 +315,11 @@ mod tests {
             let ub = mgd_tensor::Tensor::from_vec([1, 1, 1, 16, 16], u);
             fem_energy += loss_fns.energy_batch(&[nu], &ub) / data.len() as f64;
         }
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, dims.clone(), cfg);
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, dims.clone(), cfg).unwrap();
         let all: Vec<usize> = (0..data.len()).collect();
-        let initial = tr.eval_loss(&all);
-        let _ = tr.train_to_convergence();
-        let trained = tr.eval_loss(&all);
+        let initial = tr.eval_loss(&all).unwrap();
+        let _ = tr.train_to_convergence().unwrap();
+        let trained = tr.eval_loss(&all).unwrap();
         let gap0 = initial - fem_energy;
         let gap1 = trained - fem_energy;
         assert!(gap1 >= -1e-6, "cannot beat the FEM minimizer");
@@ -277,14 +333,17 @@ mod tests {
     fn eval_does_not_change_params() {
         let (mut net, mut opt, data) = tiny_setup();
         let comm = LocalComm::new();
-        let cfg = TrainConfig { batch_size: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            batch_size: 4,
+            ..Default::default()
+        };
         let before: Vec<f64> = {
             let mut flat = Vec::new();
             flatten_params(&net.params(), &mut flat);
             flat
         };
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
-        let _ = tr.eval_loss(&[0, 1]);
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg).unwrap();
+        let _ = tr.eval_loss(&[0, 1]).unwrap();
         let after: Vec<f64> = {
             let mut flat = Vec::new();
             flatten_params(&tr.net.params(), &mut flat);
@@ -294,14 +353,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank panicked")]
     fn batch_size_must_divide_workers() {
-        // Simulated: LocalComm has size 1, so use a ThreadComm of size 2 via
-        // launch to check the assertion path.
-        mgd_dist::launch(2, |comm| {
+        // The old API panicked here; the redesign reports a typed error on
+        // every rank instead.
+        let results = mgd_dist::launch(2, |comm| {
             let (mut net, mut opt, data) = tiny_setup();
-            let cfg = TrainConfig { batch_size: 3, ..Default::default() };
-            let _ = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+            let cfg = TrainConfig {
+                batch_size: 3,
+                ..Default::default()
+            };
+            matches!(
+                Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg),
+                Err(MgdError::InvalidConfig(_))
+            )
         });
+        assert!(results.into_iter().all(|rejected| rejected));
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let (mut net, mut opt, _) = tiny_setup();
+        let data = Dataset::from_omegas(vec![], DiffusivityModel::paper(), InputEncoding::LogNu);
+        let comm = LocalComm::new();
+        let cfg = TrainConfig::default();
+        assert!(matches!(
+            Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg),
+            Err(MgdError::Field(mgd_field::FieldError::Empty))
+        ));
     }
 }

@@ -1,0 +1,118 @@
+//! The communicator trait and the serial (size-1) implementation.
+
+/// Collective and point-to-point communication between `p` ranks.
+///
+/// The interface mirrors the slice of MPI the paper's training loop and
+/// slab-decomposed FEM solver need. Collectives must be called by every
+/// rank in the same program order (MPI semantics); point-to-point messages
+/// between a `(from, to, tag)` triple are delivered in FIFO order.
+///
+/// All collectives are **rank-order deterministic**: the reduction order of
+/// `allreduce_sum` is the left-fold `((v₀ + v₁) + v₂) + …`, so results are
+/// bitwise identical on every rank and reproducible across runs — the
+/// property behind the paper's Eq. 15 worker-count-independence guarantee
+/// (up to the reduction-order difference against serial summation of a
+/// differently-sharded batch).
+pub trait Comm {
+    /// This rank's index in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Element-wise sum of `buf` across all ranks, in place on every rank.
+    fn allreduce_sum(&self, buf: &mut [f64]);
+
+    /// Element-wise maximum of `buf` across all ranks, in place.
+    fn allreduce_max(&self, buf: &mut [f64]);
+
+    /// Gather-to-root baseline for the ring all-reduce (kept for the
+    /// `mgd-bench` collective ablation; same result, worse scaling).
+    fn allreduce_sum_naive(&self, buf: &mut [f64]) {
+        self.allreduce_sum(buf);
+    }
+
+    /// Replaces `buf` on every rank with `root`'s contents.
+    fn broadcast(&self, root: usize, buf: &mut [f64]);
+
+    /// Blocks until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// Sends `data` to rank `to` under `tag` (non-blocking, unbounded).
+    fn send(&self, to: usize, tag: u64, data: Vec<f64>);
+
+    /// Receives the next message from rank `from` under `tag` (blocking).
+    fn recv(&self, from: usize, tag: u64) -> Vec<f64>;
+}
+
+/// The serial communicator: one rank, every collective a no-op.
+///
+/// Serial training and solving are the `p = 1` special case of the
+/// distributed code path, so they use this type rather than a separate
+/// implementation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalComm;
+
+impl LocalComm {
+    /// Creates the size-1 communicator.
+    pub fn new() -> Self {
+        LocalComm
+    }
+}
+
+impl Comm for LocalComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn allreduce_sum(&self, _buf: &mut [f64]) {}
+
+    fn allreduce_max(&self, _buf: &mut [f64]) {}
+
+    fn broadcast(&self, root: usize, _buf: &mut [f64]) {
+        assert_eq!(root, 0, "LocalComm has a single rank");
+    }
+
+    fn barrier(&self) {}
+
+    fn send(&self, to: usize, _tag: u64, _data: Vec<f64>) {
+        panic!("LocalComm cannot send (to rank {to}): there are no peers");
+    }
+
+    fn recv(&self, from: usize, _tag: u64) -> Vec<f64> {
+        panic!("LocalComm cannot recv (from rank {from}): there are no peers");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_comm_is_serial_identity() {
+        let c = LocalComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        let mut buf = vec![1.0, -2.0, 3.5];
+        let orig = buf.clone();
+        c.allreduce_sum(&mut buf);
+        assert_eq!(buf, orig);
+        c.allreduce_max(&mut buf);
+        assert_eq!(buf, orig);
+        c.allreduce_sum_naive(&mut buf);
+        assert_eq!(buf, orig);
+        c.broadcast(0, &mut buf);
+        assert_eq!(buf, orig);
+        c.barrier();
+    }
+
+    #[test]
+    #[should_panic(expected = "no peers")]
+    fn local_comm_send_panics() {
+        LocalComm::new().send(1, 0, vec![1.0]);
+    }
+}

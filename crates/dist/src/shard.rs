@@ -1,0 +1,119 @@
+//! Mini-batch sharding rules (paper §3.2).
+//!
+//! The paper pads the dataset so the sample count `Ns` divides evenly
+//! among the `p` workers, shuffles with a seed shared by every rank, and
+//! gives each rank a contiguous shard of every global mini-batch. Because
+//! the union of the shards is exactly the global batch, averaged gradients
+//! equal the serial full-batch gradient (Eq. 15).
+
+/// Wrap-pads a permutation in place so `idx.len()` is a multiple of
+/// `batch`, repeating entries from the front (the paper's dataset
+/// augmentation: reused samples, never fabricated ones).
+pub fn pad_indices(idx: &mut Vec<usize>, batch: usize) {
+    if batch == 0 || idx.is_empty() {
+        return;
+    }
+    let orig = idx.len();
+    let mut k = 0;
+    while !idx.len().is_multiple_of(batch) {
+        idx.push(idx[k % orig]);
+        k += 1;
+    }
+}
+
+/// Splits a (padded) permutation into global mini-batches of size `batch`
+/// (a trailing partial batch is kept — pad first with [`pad_indices`] for
+/// equal-size batches).
+pub fn global_minibatches(perm: &[usize], batch: usize) -> Vec<Vec<usize>> {
+    assert!(batch > 0, "batch size must be positive");
+    perm.chunks(batch).map(<[usize]>::to_vec).collect()
+}
+
+/// Rank `rank`'s contiguous shard of one global mini-batch.
+///
+/// The global batch must divide evenly (`mb.len() % p == 0`); the shards
+/// of ranks `0..p` partition `mb` in order, so
+/// `∪_r local_minibatch(mb, r, p) == mb`.
+pub fn local_minibatch(mb: &[usize], rank: usize, p: usize) -> &[usize] {
+    assert!(
+        p > 0 && rank < p,
+        "rank {rank} out of range for {p} workers"
+    );
+    assert_eq!(
+        mb.len() % p,
+        0,
+        "global mini-batch of {} does not divide across {p} workers",
+        mb.len()
+    );
+    let k = mb.len() / p;
+    &mb[rank * k..(rank + 1) * k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_makes_length_divisible_reusing_front_samples() {
+        for n in 1usize..40 {
+            for batch in 1usize..9 {
+                let mut idx: Vec<usize> = (0..n).map(|i| i * 10).collect();
+                pad_indices(&mut idx, batch);
+                assert_eq!(idx.len() % batch, 0, "n={n} batch={batch}");
+                assert!(idx.len() < n + batch, "pads at most batch-1 entries");
+                // Padded entries replicate the permutation's own prefix.
+                for (j, &v) in idx[n..].iter().enumerate() {
+                    assert_eq!(v, idx[j % n]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pad_handles_degenerate_inputs() {
+        let mut empty: Vec<usize> = Vec::new();
+        pad_indices(&mut empty, 4);
+        assert!(empty.is_empty());
+        let mut idx = vec![1, 2, 3];
+        pad_indices(&mut idx, 0);
+        assert_eq!(idx, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn every_rank_shard_is_equal_length_and_partitions_the_batch() {
+        for n in [8usize, 12, 24] {
+            for p in [1usize, 2, 3, 4] {
+                // Global batch: a multiple of p, as Trainer::new asserts.
+                let batch = 2 * p;
+                let mut perm: Vec<usize> = (0..n).rev().collect();
+                pad_indices(&mut perm, batch);
+                for mb in global_minibatches(&perm, batch) {
+                    let shard_len = mb.len() / p;
+                    let mut union = Vec::new();
+                    for r in 0..p {
+                        let shard = local_minibatch(&mb, r, p);
+                        assert_eq!(shard.len(), shard_len, "n={n} p={p} r={r}");
+                        union.extend_from_slice(shard);
+                    }
+                    assert_eq!(union, mb, "shards must partition the global batch in order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_minibatches_cover_the_permutation_in_order() {
+        let perm: Vec<usize> = vec![5, 3, 1, 4, 2, 0];
+        let mbs = global_minibatches(&perm, 2);
+        assert_eq!(mbs.len(), 3);
+        let flat: Vec<usize> = mbs.into_iter().flatten().collect();
+        assert_eq!(flat, perm);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn local_minibatch_rejects_uneven_split() {
+        let mb = vec![1, 2, 3];
+        let _ = local_minibatch(&mb, 0, 2);
+    }
+}

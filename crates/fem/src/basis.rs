@@ -88,7 +88,13 @@ impl<const D: usize> ElementBasis<D> {
                 }
             }
         }
-        ElementBasis { nq, nl, w_detj: detj, val, grad }
+        ElementBasis {
+            nq,
+            nl,
+            w_detj: detj,
+            val,
+            grad,
+        }
     }
 }
 
@@ -129,7 +135,7 @@ mod tests {
         // Local nodal values: bit 0 = x step, bit 1 = y step.
         let u: Vec<f64> = (0..4)
             .map(|l| {
-                let x = ((l >> 0) & 1) as f64 * h;
+                let x = (l & 1) as f64 * h;
                 let y = ((l >> 1) & 1) as f64 * h;
                 3.0 * x - 2.0 * y
             })
@@ -138,7 +144,7 @@ mod tests {
             let mut gx = 0.0;
             let mut gy = 0.0;
             for l in 0..b.nl {
-                gx += b.grad[(q * b.nl + l) * 2 + 0] * u[l];
+                gx += b.grad[(q * b.nl + l) * 2] * u[l];
                 gy += b.grad[(q * b.nl + l) * 2 + 1] * u[l];
             }
             assert!((gx - 3.0).abs() < 1e-12);
@@ -153,7 +159,7 @@ mod tests {
         // d/dx of the shape rising along x must be steeper than d/dy of the
         // shape rising along y by the spacing ratio.
         let q = 0;
-        let dx = b.grad[(q * b.nl + 0b01) * 2 + 0].abs();
+        let dx = b.grad[(q * b.nl + 0b01) * 2].abs();
         let dy = b.grad[(q * b.nl + 0b10) * 2 + 1].abs();
         assert!((dx / dy - 2.0).abs() < 1e-12, "dx={dx} dy={dy}");
     }

@@ -22,7 +22,10 @@ impl Dirichlet {
     /// used only in operator-level tests).
     pub fn none<const D: usize>(grid: &Grid<D>) -> Self {
         let n = grid.num_nodes();
-        Dirichlet { fixed: vec![false; n], values: vec![0.0; n] }
+        Dirichlet {
+            fixed: vec![false; n],
+            values: vec![0.0; n],
+        }
     }
 
     /// The paper's BC (Eq. 7–9): `u = left` on the `x = 0` face, `u = right`

@@ -24,7 +24,11 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { tol: 1e-10, abs_tol: 1e-12, max_iter: 10_000 }
+        CgOptions {
+            tol: 1e-10,
+            abs_tol: 1e-12,
+            max_iter: 10_000,
+        }
     }
 }
 
@@ -100,13 +104,19 @@ pub fn solve_cg_rhs<const D: usize>(
     // Jacobi preconditioner from the stiffness diagonal.
     let mut diag = vec![0.0; nn];
     stiffness_diag(grid, basis, nu, &mut diag);
-    let minv: Vec<f64> =
-        diag.iter().map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 }).collect();
+    let minv: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
+        .collect();
 
     let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
     let r0 = norm(&r);
-    let mut stats =
-        CgStats { iterations: 0, residual: r0, initial_residual: r0, converged: r0 <= opts.abs_tol };
+    let mut stats = CgStats {
+        iterations: 0,
+        residual: r0,
+        initial_residual: r0,
+        converged: r0 <= opts.abs_tol,
+    };
     if stats.converged {
         return (u, stats);
     }
@@ -185,7 +195,9 @@ mod tests {
         let g: Grid<2> = Grid::cube(9);
         let b = ElementBasis::new(&g);
         let nn = g.num_nodes();
-        let nu: Vec<f64> = (0..nn).map(|i| 1.0 + 0.5 * ((i % 7) as f64) / 7.0).collect();
+        let nu: Vec<f64> = (0..nn)
+            .map(|i| 1.0 + 0.5 * ((i % 7) as f64) / 7.0)
+            .collect();
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
         let (u, stats) = solve_cg(&g, &b, &nu, &bc, None, None, CgOptions::default());
         assert!(stats.converged);
@@ -211,7 +223,11 @@ mod tests {
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
         let (u, _) = solve_cg(&g, &b, &nu, &bc, None, None, CgOptions::default());
         let (_, stats2) = solve_cg(&g, &b, &nu, &bc, None, Some(&u), CgOptions::default());
-        assert!(stats2.iterations <= 2, "warm start took {} iters", stats2.iterations);
+        assert!(
+            stats2.iterations <= 2,
+            "warm start took {} iters",
+            stats2.iterations
+        );
     }
 
     #[test]
@@ -247,8 +263,18 @@ mod tests {
                 })
                 .collect();
             let bc = Dirichlet::all_faces(&g, |c| exact(c));
-            let (u, stats) =
-                solve_cg(&g, &b, &nu, &bc, Some(&f), None, CgOptions { tol: 1e-12, ..Default::default() });
+            let (u, stats) = solve_cg(
+                &g,
+                &b,
+                &nu,
+                &bc,
+                Some(&f),
+                None,
+                CgOptions {
+                    tol: 1e-12,
+                    ..Default::default()
+                },
+            );
             assert!(stats.converged);
             let mut err2 = 0.0;
             for i in 0..nn {

@@ -26,7 +26,11 @@ unsafe impl Sync for SyncSlice<'_> {}
 impl<'a> SyncSlice<'a> {
     /// Wraps a mutable slice.
     pub fn new(data: &'a mut [f64]) -> Self {
-        SyncSlice { ptr: data.as_mut_ptr(), len: data.len(), _marker: std::marker::PhantomData }
+        SyncSlice {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Adds `v` at index `i`.

@@ -92,7 +92,7 @@ pub struct GmgSolver<const D: usize> {
 
 /// True when `n` nodes per axis admits vertex-centered coarsening.
 pub fn coarsenable(n: usize) -> bool {
-    n >= 3 && (n - 1) % 2 == 0
+    n >= 3 && (n - 1).is_multiple_of(2)
 }
 
 impl<const D: usize> GmgSolver<D> {
@@ -114,9 +114,17 @@ impl<const D: usize> GmgSolver<D> {
                 .zip(&fixed_l)
                 .map(|(&d, &fx)| if fx || d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
                 .collect();
-            let coarser = g.n.iter().all(|&m| coarsenable(m) && (m - 1) / 2 + 1 >= opts.coarse_n.min(3));
+            let coarser =
+                g.n.iter()
+                    .all(|&m| coarsenable(m) && (m - 1) / 2 + 1 >= opts.coarse_n.min(3));
             let stop = g.n.iter().any(|&m| m <= opts.coarse_n) || !coarser;
-            levels.push(Level { grid: g, basis, nu: nu_l.clone(), diag_inv, fixed: fixed_l.clone() });
+            levels.push(Level {
+                grid: g,
+                basis,
+                nu: nu_l.clone(),
+                diag_inv,
+                fixed: fixed_l.clone(),
+            });
             if stop {
                 break;
             }
@@ -249,7 +257,7 @@ impl<const D: usize> GmgSolver<D> {
                 let mut cm = [0usize; D];
                 let mut bit = 0;
                 for d in 0..D {
-                    if fm[d] % 2 == 0 {
+                    if fm[d].is_multiple_of(2) {
                         cm[d] = fm[d] / 2;
                     } else {
                         cm[d] = fm[d] / 2 + ((c >> bit) & 1);
@@ -267,7 +275,10 @@ impl<const D: usize> GmgSolver<D> {
         let lv = &self.levels[l];
         if l + 1 == self.levels.len() {
             // Coarsest level: tight CG solve with homogeneous mask.
-            let fixed = Dirichlet { fixed: lv.fixed.clone(), values: vec![0.0; lv.fixed.len()] };
+            let fixed = Dirichlet {
+                fixed: lv.fixed.clone(),
+                values: vec![0.0; lv.fixed.len()],
+            };
             let (sol, _) = solve_cg_rhs(
                 &lv.grid,
                 &lv.basis,
@@ -275,7 +286,10 @@ impl<const D: usize> GmgSolver<D> {
                 &fixed,
                 b,
                 u,
-                CgOptions { tol: 1e-12, ..Default::default() },
+                CgOptions {
+                    tol: 1e-12,
+                    ..Default::default()
+                },
             );
             u.copy_from_slice(&sol);
             return;
@@ -327,7 +341,11 @@ impl<const D: usize> GmgSolver<D> {
         };
         let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
         let r0 = norm(&residual(&u));
-        let mut stats = GmgStats { cycles: 0, residual_history: vec![r0], converged: r0 == 0.0 };
+        let mut stats = GmgStats {
+            cycles: 0,
+            residual_history: vec![r0],
+            converged: r0 == 0.0,
+        };
         if r0 == 0.0 {
             return (u, stats);
         }
@@ -368,7 +386,12 @@ mod tests {
     fn hierarchy_depth() {
         let g: Grid<2> = Grid::cube(33);
         let nn = g.num_nodes();
-        let s = GmgSolver::new(g, &vec![1.0; nn], Dirichlet::x_faces(&g, 1.0, 0.0), GmgOptions::default());
+        let s = GmgSolver::new(
+            g,
+            &vec![1.0; nn],
+            Dirichlet::x_faces(&g, 1.0, 0.0),
+            GmgOptions::default(),
+        );
         // 33 -> 17 -> 9 -> 5 = 4 levels
         assert_eq!(s.num_levels(), 4);
     }
@@ -397,9 +420,25 @@ mod tests {
         let s = GmgSolver::new(g, &nu, bc.clone(), GmgOptions::default());
         let (u_mg, st) = s.solve(None, None);
         assert!(st.converged);
-        let (u_cg, st2) = solve_cg(&g, &b, &nu, &bc, None, None, CgOptions { tol: 1e-12, ..Default::default() });
+        let (u_cg, st2) = solve_cg(
+            &g,
+            &b,
+            &nu,
+            &bc,
+            None,
+            None,
+            CgOptions {
+                tol: 1e-12,
+                ..Default::default()
+            },
+        );
         assert!(st2.converged);
-        let err: f64 = u_mg.iter().zip(&u_cg).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let err: f64 = u_mg
+            .iter()
+            .zip(&u_cg)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let norm: f64 = u_cg.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(err / norm < 1e-7, "rel err {}", err / norm);
     }
@@ -410,7 +449,15 @@ mod tests {
             let g: Grid<2> = Grid::cube(m);
             let nu = nu_var(&g);
             let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
-            let s = GmgSolver::new(g, &nu, bc, GmgOptions { tol: 1e-8, ..Default::default() });
+            let s = GmgSolver::new(
+                g,
+                &nu,
+                bc,
+                GmgOptions {
+                    tol: 1e-8,
+                    ..Default::default()
+                },
+            );
             let (_, stats) = s.solve(None, None);
             assert!(stats.converged, "m={m}");
             stats.cycles
@@ -447,7 +494,11 @@ mod tests {
                 g,
                 &nu,
                 bc.clone(),
-                GmgOptions { gamma, tol: 1e-9, ..Default::default() },
+                GmgOptions {
+                    gamma,
+                    tol: 1e-9,
+                    ..Default::default()
+                },
             );
             let (u, stats) = s.solve(None, None);
             assert!(stats.converged, "gamma={gamma}");
@@ -456,7 +507,12 @@ mod tests {
         let (u_v, c_v) = run(1);
         let (u_w, c_w) = run(2);
         assert!(c_w <= c_v, "W took {c_w} vs V {c_v}");
-        let err: f64 = u_v.iter().zip(&u_w).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let err: f64 = u_v
+            .iter()
+            .zip(&u_w)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-6);
     }
 
@@ -475,8 +531,24 @@ mod tests {
         let (u_mg, st) = s.solve(None, None);
         assert!(st.converged, "{:?}", st.residual_history);
         let b = ElementBasis::new(&g);
-        let (u_cg, _) = solve_cg(&g, &b, &nu, &bc, None, None, CgOptions { tol: 1e-11, ..Default::default() });
-        let err: f64 = u_mg.iter().zip(&u_cg).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let (u_cg, _) = solve_cg(
+            &g,
+            &b,
+            &nu,
+            &bc,
+            None,
+            None,
+            CgOptions {
+                tol: 1e-11,
+                ..Default::default()
+            },
+        );
+        let err: f64 = u_mg
+            .iter()
+            .zip(&u_cg)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let norm: f64 = u_cg.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(err / norm < 1e-6);
     }

@@ -141,7 +141,7 @@ mod tests {
     fn counts_and_strides_3d() {
         let g: Grid<3> = Grid::new([2, 3, 4]);
         assert_eq!(g.num_nodes(), 24);
-        assert_eq!(g.num_elements(), 1 * 2 * 3);
+        assert_eq!(g.num_elements(), 2 * 3);
         assert_eq!(g.strides(), [12, 4, 1]);
         assert_eq!(g.node([1, 2, 3]), 23);
         assert_eq!(g.node_multi(23), [1, 2, 3]);

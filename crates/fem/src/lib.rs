@@ -33,5 +33,7 @@ pub use bc::Dirichlet;
 pub use cg::{solve_cg, CgOptions, CgStats};
 pub use gmg::{GmgOptions, GmgSolver, GmgStats};
 pub use grid::Grid;
-pub use operator::{apply_stiffness, apply_stiffness_serial, energy, energy_grad, load_vector, stiffness_diag};
+pub use operator::{
+    apply_stiffness, apply_stiffness_serial, energy, energy_grad, load_vector, stiffness_diag,
+};
 pub use solver::{solve_poisson, Method, SolveReport};

@@ -347,8 +347,12 @@ mod tests {
         let (g, b) = grid2(5);
         let nn = g.num_nodes();
         // Deterministic pseudo-random nu > 0 and u.
-        let nu: Vec<f64> = (0..nn).map(|i| 0.5 + ((i * 37 % 11) as f64) / 11.0).collect();
-        let u: Vec<f64> = (0..nn).map(|i| ((i * 17 % 13) as f64) / 13.0 - 0.5).collect();
+        let nu: Vec<f64> = (0..nn)
+            .map(|i| 0.5 + ((i * 37 % 11) as f64) / 11.0)
+            .collect();
+        let u: Vec<f64> = (0..nn)
+            .map(|i| ((i * 17 % 13) as f64) / 13.0 - 0.5)
+            .collect();
         let f: Vec<f64> = (0..nn).map(|i| ((i * 29 % 7) as f64) / 7.0).collect();
         let mut grad = vec![0.0; nn];
         energy_grad(&g, &b, &nu, &u, Some(&f), &mut grad);
@@ -360,7 +364,12 @@ mod tests {
             um[i] -= eps;
             let fd = (energy(&g, &b, &nu, &up, Some(&f)) - energy(&g, &b, &nu, &um, Some(&f)))
                 / (2.0 * eps);
-            assert!((grad[i] - fd).abs() < 1e-7, "node {i}: {} vs {}", grad[i], fd);
+            assert!(
+                (grad[i] - fd).abs() < 1e-7,
+                "node {i}: {} vs {}",
+                grad[i],
+                fd
+            );
         }
     }
 
@@ -398,8 +407,9 @@ mod tests {
         let nn = g.num_nodes();
         let nu = vec![1.5; nn];
         for seed in 0..5u64 {
-            let u: Vec<f64> =
-                (0..nn).map(|i| (((i as u64 * 2654435761 + seed * 97) % 1000) as f64) / 500.0 - 1.0).collect();
+            let u: Vec<f64> = (0..nn)
+                .map(|i| (((i as u64 * 2654435761 + seed * 97) % 1000) as f64) / 500.0 - 1.0)
+                .collect();
             let mut ku = vec![0.0; nn];
             apply_stiffness(&g, &b, &nu, &u, &mut ku);
             let quad: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum();
@@ -483,7 +493,8 @@ mod tests {
             up[i] += eps;
             let mut um = u.clone();
             um[i] -= eps;
-            let fd = (energy(&g, &b, &nu, &up, None) - energy(&g, &b, &nu, &um, None)) / (2.0 * eps);
+            let fd =
+                (energy(&g, &b, &nu, &up, None) - energy(&g, &b, &nu, &um, None)) / (2.0 * eps);
             assert!((grad[i] - fd).abs() < 1e-7, "node {i}");
         }
     }

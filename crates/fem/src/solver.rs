@@ -57,7 +57,11 @@ pub fn solve_poisson<const D: usize>(
             }
         }
         Method::Gmg => {
-            assert!(gmg_ok, "grid {:?} does not support vertex-centered coarsening", grid.n);
+            assert!(
+                gmg_ok,
+                "grid {:?} does not support vertex-centered coarsening",
+                grid.n
+            );
             Method::Gmg
         }
         Method::Cg => Method::Cg,
@@ -65,7 +69,15 @@ pub fn solve_poisson<const D: usize>(
     let start = Instant::now();
     match chosen {
         Method::Gmg => {
-            let solver = GmgSolver::new(*grid, nu, bc.clone(), GmgOptions { tol, ..Default::default() });
+            let solver = GmgSolver::new(
+                *grid,
+                nu,
+                bc.clone(),
+                GmgOptions {
+                    tol,
+                    ..Default::default()
+                },
+            );
             let (u, stats) = solver.solve(f, None);
             SolveReport {
                 u,
@@ -77,8 +89,19 @@ pub fn solve_poisson<const D: usize>(
         }
         _ => {
             let basis = ElementBasis::new(grid);
-            let (u, stats) =
-                solve_cg(grid, &basis, nu, bc, f, None, CgOptions { tol, max_iter: 50_000, ..Default::default() });
+            let (u, stats) = solve_cg(
+                grid,
+                &basis,
+                nu,
+                bc,
+                f,
+                None,
+                CgOptions {
+                    tol,
+                    max_iter: 50_000,
+                    ..Default::default()
+                },
+            );
             SolveReport {
                 u,
                 method: Method::Cg,
@@ -98,7 +121,14 @@ mod tests {
     fn auto_picks_gmg_on_nested_grid() {
         let g: Grid<2> = Grid::cube(17);
         let nn = g.num_nodes();
-        let r = solve_poisson(&g, &vec![1.0; nn], &Dirichlet::x_faces(&g, 1.0, 0.0), None, Method::Auto, 1e-9);
+        let r = solve_poisson(
+            &g,
+            &vec![1.0; nn],
+            &Dirichlet::x_faces(&g, 1.0, 0.0),
+            None,
+            Method::Auto,
+            1e-9,
+        );
         assert_eq!(r.method, Method::Gmg);
         assert!(r.converged);
     }
@@ -107,7 +137,14 @@ mod tests {
     fn auto_falls_back_to_cg_on_pow2_grid() {
         let g: Grid<2> = Grid::cube(16); // network-style 2^k grid
         let nn = g.num_nodes();
-        let r = solve_poisson(&g, &vec![1.0; nn], &Dirichlet::x_faces(&g, 1.0, 0.0), None, Method::Auto, 1e-9);
+        let r = solve_poisson(
+            &g,
+            &vec![1.0; nn],
+            &Dirichlet::x_faces(&g, 1.0, 0.0),
+            None,
+            Method::Auto,
+            1e-9,
+        );
         assert_eq!(r.method, Method::Cg);
         assert!(r.converged);
     }
@@ -126,7 +163,12 @@ mod tests {
         let a = solve_poisson(&g, &nu, &bc, None, Method::Gmg, 1e-11);
         let b = solve_poisson(&g, &nu, &bc, None, Method::Cg, 1e-11);
         assert!(a.converged && b.converged);
-        let err: f64 = a.u.iter().zip(&b.u).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let err: f64 =
+            a.u.iter()
+                .zip(&b.u)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
         assert!(err < 1e-6, "err {err}");
     }
 
@@ -135,6 +177,13 @@ mod tests {
     fn forcing_gmg_on_bad_grid_panics() {
         let g: Grid<2> = Grid::cube(16);
         let nn = g.num_nodes();
-        let _ = solve_poisson(&g, &vec![1.0; nn], &Dirichlet::x_faces(&g, 1.0, 0.0), None, Method::Gmg, 1e-9);
+        let _ = solve_poisson(
+            &g,
+            &vec![1.0; nn],
+            &Dirichlet::x_faces(&g, 1.0, 0.0),
+            None,
+            Method::Gmg,
+            1e-9,
+        );
     }
 }

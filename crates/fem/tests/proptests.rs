@@ -1,14 +1,14 @@
 //! Property-based tests for the FEM operators.
 
-use mgd_fem::{
-    apply_stiffness, apply_stiffness_serial, energy, Dirichlet, ElementBasis, Grid,
-};
+use mgd_fem::{apply_stiffness, apply_stiffness_serial, energy, Dirichlet, ElementBasis, Grid};
 use proptest::prelude::*;
 
 fn field(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed.wrapping_mul(0xD1B54A32D192ED03));
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed.wrapping_mul(0xD1B54A32D192ED03));
             lo + (hi - lo) * ((h >> 11) as f64 / (1u64 << 53) as f64)
         })
         .collect()

@@ -14,6 +14,91 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+/// Typed failures of the data layer (rasterization, batching, sampling).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldError {
+    /// Spatial dims must be rank 2 (`[ny, nx]`) or 3 (`[nz, ny, nx]`).
+    BadRank {
+        /// Rank received.
+        got: usize,
+    },
+    /// A sample index exceeded the dataset size.
+    SampleOutOfRange {
+        /// Offending index.
+        sample: usize,
+        /// Dataset length.
+        len: usize,
+    },
+    /// An ω vector's dimension disagreed with the diffusivity model.
+    OmegaDimMismatch {
+        /// Dimension received.
+        got: usize,
+        /// Dimension the model expects.
+        expected: usize,
+    },
+    /// A batch entry's spatial shape disagreed with the others.
+    ShapeMismatch {
+        /// Shape of the offending entry.
+        got: Vec<usize>,
+        /// Shape required.
+        expected: Vec<usize>,
+    },
+    /// An empty batch or dataset where at least one element is required.
+    Empty,
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::BadRank { got } => {
+                write!(f, "expected 2 or 3 spatial dims, got rank {got}")
+            }
+            FieldError::SampleOutOfRange { sample, len } => {
+                write!(f, "sample index {sample} out of range for dataset of {len}")
+            }
+            FieldError::OmegaDimMismatch { got, expected } => {
+                write!(
+                    f,
+                    "omega has {got} modes, diffusivity model expects {expected}"
+                )
+            }
+            FieldError::ShapeMismatch { got, expected } => {
+                write!(
+                    f,
+                    "field shape {got:?} does not match expected {expected:?}"
+                )
+            }
+            FieldError::Empty => write!(f, "empty batch/dataset"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// Stacks per-sample spatial fields (`[ny, nx]` or `[nz, ny, nx]`, all
+/// identical shapes) into one NCDHW batch tensor `[B, 1, (nz,) ny, nx]` —
+/// the batched-inference entry point: N requests become one tensor pass.
+pub fn stack_fields(fields: &[Tensor]) -> Result<Tensor, FieldError> {
+    let first = fields.first().ok_or(FieldError::Empty)?;
+    let dims = first.dims().to_vec();
+    let mut out = match dims[..] {
+        [ny, nx] => Tensor::zeros([fields.len(), 1, 1, ny, nx]),
+        [nz, ny, nx] => Tensor::zeros([fields.len(), 1, nz, ny, nx]),
+        _ => return Err(FieldError::BadRank { got: dims.len() }),
+    };
+    let vol: usize = dims.iter().product();
+    for (i, fld) in fields.iter().enumerate() {
+        if fld.dims() != &dims[..] {
+            return Err(FieldError::ShapeMismatch {
+                got: fld.dims().to_vec(),
+                expected: dims,
+            });
+        }
+        out.as_mut_slice()[i * vol..(i + 1) * vol].copy_from_slice(fld.as_slice());
+    }
+    Ok(out)
+}
+
 /// What the network sees as its input channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InputEncoding {
@@ -21,6 +106,25 @@ pub enum InputEncoding {
     LogNu,
     /// Raw ν = exp(log ν); spans orders of magnitude.
     RawNu,
+}
+
+impl InputEncoding {
+    /// Encodes a raw coefficient field ν into the network's input channel
+    /// (identity for [`InputEncoding::RawNu`], elementwise `ln` for
+    /// [`InputEncoding::LogNu`]). Used by serving paths that receive ν
+    /// fields directly rather than ω parameters.
+    pub fn encode(&self, nu: &Tensor) -> Tensor {
+        match self {
+            InputEncoding::RawNu => nu.clone(),
+            InputEncoding::LogNu => {
+                let mut out = nu.clone();
+                for v in out.as_mut_slice() {
+                    *v = v.ln();
+                }
+                out
+            }
+        }
+    }
 }
 
 /// A set of PDE-parameter samples with on-demand rasterization.
@@ -39,15 +143,27 @@ impl Dataset {
     pub fn sobol(n: usize, model: DiffusivityModel, encoding: InputEncoding) -> Self {
         let mut sobol = Sobol::new(model.num_modes());
         let omegas = sobol.take_in_box(n, OMEGA_RANGE.0, OMEGA_RANGE.1);
-        Dataset { omegas, model, encoding }
+        Dataset {
+            omegas,
+            model,
+            encoding,
+        }
     }
 
     /// Dataset from explicit ω vectors (e.g. the paper's anecdotal values).
-    pub fn from_omegas(omegas: Vec<Vec<f64>>, model: DiffusivityModel, encoding: InputEncoding) -> Self {
+    pub fn from_omegas(
+        omegas: Vec<Vec<f64>>,
+        model: DiffusivityModel,
+        encoding: InputEncoding,
+    ) -> Self {
         for om in &omegas {
             assert_eq!(om.len(), model.num_modes(), "omega dimension mismatch");
         }
-        Dataset { omegas, model, encoding }
+        Dataset {
+            omegas,
+            model,
+            encoding,
+        }
     }
 
     /// Number of samples.
@@ -103,29 +219,104 @@ impl Dataset {
     /// Rasterizes a batch of samples into an NCDHW tensor `[B, 1, (nz,) ny, nx]`.
     ///
     /// 2D grids get a unit depth axis so 2D and 3D share the conv kernels.
+    /// Panicking convenience wrapper over [`Self::try_batch_inputs`] for
+    /// call sites that validated `dims`/`samples` upstream.
     pub fn batch_inputs(&self, samples: &[usize], dims: &[usize]) -> Tensor {
+        self.try_batch_inputs(samples, dims)
+            .expect("batch rasterization")
+    }
+
+    /// Fallible batch rasterization (the trainer/serving hot path).
+    pub fn try_batch_inputs(
+        &self,
+        samples: &[usize],
+        dims: &[usize],
+    ) -> Result<Tensor, FieldError> {
+        self.check_samples(samples)?;
         let vol: usize = dims.iter().product();
         let b = samples.len();
         let mut out = match dims.len() {
             2 => Tensor::zeros([b, 1, 1, dims[0], dims[1]]),
             3 => Tensor::zeros([b, 1, dims[0], dims[1], dims[2]]),
-            r => panic!("batch_inputs expects 2 or 3 spatial dims, got {r}"),
+            r => return Err(FieldError::BadRank { got: r }),
         };
-        let fields = mgd_tensor::par::maybe_par_map_collect(b, vol, |i| {
-            self.input_field(samples[i], dims)
-        });
+        let fields =
+            mgd_tensor::par::maybe_par_map_collect(b, vol, |i| self.input_field(samples[i], dims));
         for (i, f) in fields.into_iter().enumerate() {
             out.as_mut_slice()[i * vol..(i + 1) * vol].copy_from_slice(f.as_slice());
         }
-        out
+        Ok(out)
     }
 
     /// Rasterizes the ν fields for a batch, shaped `[B, spatial...]`.
+    /// Panicking convenience wrapper over [`Self::try_batch_nu`].
     pub fn batch_nu(&self, samples: &[usize], dims: &[usize]) -> Vec<Tensor> {
+        self.try_batch_nu(samples, dims)
+            .expect("batch rasterization")
+    }
+
+    /// Fallible ν-field batch rasterization (the energy-loss hot path).
+    pub fn try_batch_nu(
+        &self,
+        samples: &[usize],
+        dims: &[usize],
+    ) -> Result<Vec<Tensor>, FieldError> {
+        self.check_samples(samples)?;
+        if dims.len() != 2 && dims.len() != 3 {
+            return Err(FieldError::BadRank { got: dims.len() });
+        }
         let vol: usize = dims.iter().product();
-        mgd_tensor::par::maybe_par_map_collect(samples.len(), vol, |i| {
-            self.nu_field(samples[i], dims)
-        })
+        Ok(mgd_tensor::par::maybe_par_map_collect(
+            samples.len(),
+            vol,
+            |i| self.nu_field(samples[i], dims),
+        ))
+    }
+
+    /// Rasterizes arbitrary ω vectors (not dataset members) straight into an
+    /// NCDHW input batch — the serving-side entry point for requests that
+    /// arrive as PDE parameters rather than coefficient fields.
+    pub fn rasterize_batch(
+        &self,
+        omegas: &[Vec<f64>],
+        dims: &[usize],
+    ) -> Result<Tensor, FieldError> {
+        if omegas.is_empty() {
+            return Err(FieldError::Empty);
+        }
+        for om in omegas {
+            if om.len() != self.model.num_modes() {
+                return Err(FieldError::OmegaDimMismatch {
+                    got: om.len(),
+                    expected: self.model.num_modes(),
+                });
+            }
+        }
+        if dims.len() != 2 && dims.len() != 3 {
+            return Err(FieldError::BadRank { got: dims.len() });
+        }
+        let vol: usize = dims.iter().product();
+        let fields =
+            mgd_tensor::par::maybe_par_map_collect(omegas.len(), vol, |i| match self.encoding {
+                InputEncoding::LogNu => self.model.rasterize_log(&omegas[i], dims),
+                InputEncoding::RawNu => self.model.rasterize(&omegas[i], dims),
+            });
+        stack_fields(&fields)
+    }
+
+    fn check_samples(&self, samples: &[usize]) -> Result<(), FieldError> {
+        if samples.is_empty() {
+            return Err(FieldError::Empty);
+        }
+        for &s in samples {
+            if s >= self.omegas.len() {
+                return Err(FieldError::SampleOutOfRange {
+                    sample: s,
+                    len: self.omegas.len(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -190,6 +381,69 @@ mod tests {
         let f0 = d.input_field(0, &[8, 8]);
         assert_eq!(&b.as_slice()[0..64], f2.as_slice());
         assert_eq!(&b.as_slice()[64..128], f0.as_slice());
+    }
+
+    #[test]
+    fn stack_fields_matches_batch_inputs() {
+        let d = ds(3);
+        let fields: Vec<Tensor> = (0..3).map(|s| d.input_field(s, &[8, 8])).collect();
+        let stacked = stack_fields(&fields).unwrap();
+        assert_eq!(stacked, d.batch_inputs(&[0, 1, 2], &[8, 8]));
+    }
+
+    #[test]
+    fn stack_fields_rejects_bad_input() {
+        assert_eq!(stack_fields(&[]), Err(FieldError::Empty));
+        let a = Tensor::ones([4, 4]);
+        let b = Tensor::ones([8, 8]);
+        assert!(matches!(
+            stack_fields(&[a.clone(), b]),
+            Err(FieldError::ShapeMismatch { .. })
+        ));
+        let r1 = Tensor::ones([4]);
+        assert_eq!(stack_fields(&[r1]), Err(FieldError::BadRank { got: 1 }));
+        let _ = a;
+    }
+
+    #[test]
+    fn rasterize_batch_matches_dataset_rasterization() {
+        let d = ds(2);
+        let batch = d.rasterize_batch(&d.omegas.clone(), &[8, 8]).unwrap();
+        assert_eq!(batch, d.batch_inputs(&[0, 1], &[8, 8]));
+        // Wrong omega dimension is a typed error.
+        assert!(matches!(
+            d.rasterize_batch(&[vec![0.0; 3]], &[8, 8]),
+            Err(FieldError::OmegaDimMismatch {
+                got: 3,
+                expected: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn try_batch_inputs_reports_typed_errors() {
+        let d = ds(2);
+        assert!(matches!(
+            d.try_batch_inputs(&[5], &[8, 8]),
+            Err(FieldError::SampleOutOfRange { sample: 5, len: 2 })
+        ));
+        assert!(matches!(
+            d.try_batch_inputs(&[0], &[8]),
+            Err(FieldError::BadRank { got: 1 })
+        ));
+        assert!(d.try_batch_inputs(&[0, 1], &[8, 8]).is_ok());
+    }
+
+    #[test]
+    fn encode_maps_nu_to_network_input() {
+        let d = ds(1);
+        let nu = d.nu_field(0, &[8, 8]);
+        let enc = InputEncoding::LogNu.encode(&nu);
+        let direct = d.input_field(0, &[8, 8]);
+        for i in 0..enc.len() {
+            assert!((enc[i] - direct[i]).abs() < 1e-12);
+        }
+        assert_eq!(InputEncoding::RawNu.encode(&nu).as_slice(), nu.as_slice());
     }
 
     #[test]

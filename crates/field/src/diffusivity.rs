@@ -55,12 +55,19 @@ impl DiffusivityModel {
     pub fn paper() -> Self {
         let a = PAPER_MODES.to_vec();
         let lambda = a.iter().map(|ai| 1.0 / (1.0 + 0.25 * ai * ai)).collect();
-        DiffusivityModel { a, lambda, mode3d: ThreeDMode::Separable }
+        DiffusivityModel {
+            a,
+            lambda,
+            mode3d: ThreeDMode::Separable,
+        }
     }
 
     /// Same model with the extruded 3D reading.
     pub fn paper_extruded() -> Self {
-        DiffusivityModel { mode3d: ThreeDMode::Extrude, ..Self::paper() }
+        DiffusivityModel {
+            mode3d: ThreeDMode::Extrude,
+            ..Self::paper()
+        }
     }
 
     /// Number of modes m (the dimensionality of ω).

@@ -20,6 +20,6 @@ pub mod sobol;
 pub mod transfer;
 pub mod vtk;
 
-pub use dataset::{Dataset, InputEncoding};
+pub use dataset::{stack_fields, Dataset, FieldError, InputEncoding};
 pub use diffusivity::{DiffusivityModel, ThreeDMode, OMEGA_RANGE, PAPER_MODES};
 pub use sobol::Sobol;

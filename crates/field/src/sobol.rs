@@ -52,7 +52,10 @@ pub struct Sobol {
 impl Sobol {
     /// Creates a generator for `dim` dimensions (`1 ..= MAX_DIM`).
     pub fn new(dim: usize) -> Self {
-        assert!((1..=MAX_DIM).contains(&dim), "Sobol supports 1..={MAX_DIM} dims, got {dim}");
+        assert!(
+            (1..=MAX_DIM).contains(&dim),
+            "Sobol supports 1..={MAX_DIM} dims, got {dim}"
+        );
         let mut v = Vec::with_capacity(dim);
         // Dimension 1: van der Corput, v_k = 2^(31-k).
         let mut v1 = [0u32; BITS as usize];
@@ -80,7 +83,12 @@ impl Sobol {
             }
             v.push(vd);
         }
-        Sobol { dim, v, x: vec![0; dim], count: 0 }
+        Sobol {
+            dim,
+            v,
+            x: vec![0; dim],
+            count: 0,
+        }
     }
 
     /// Dimensionality of the generated points.

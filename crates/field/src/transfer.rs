@@ -79,7 +79,10 @@ pub fn coarsen_average(field: &Tensor) -> Tensor {
             out
         }
         &[nz, ny, nx] => {
-            assert!(nz % 2 == 0 && ny % 2 == 0 && nx % 2 == 0, "extents must be even");
+            assert!(
+                nz % 2 == 0 && ny % 2 == 0 && nx % 2 == 0,
+                "extents must be even"
+            );
             let (cz, cy, cx) = (nz / 2, ny / 2, nx / 2);
             let mut out = Tensor::zeros([cz, cy, cx]);
             let src = field.as_slice();

@@ -15,10 +15,7 @@ use std::path::Path;
 ///
 /// All fields must share the same rank-2 `(ny, nx)` or rank-3
 /// `(nz, ny, nx)` shape; `names` supplies the VTK array names.
-pub fn write_structured_points(
-    path: &Path,
-    fields: &[(&str, &Tensor)],
-) -> std::io::Result<()> {
+pub fn write_structured_points(path: &Path, fields: &[(&str, &Tensor)]) -> std::io::Result<()> {
     assert!(!fields.is_empty(), "need at least one field");
     let dims = fields[0].1.dims().to_vec();
     for (name, f) in fields {
@@ -41,7 +38,12 @@ pub fn write_structured_points(
     // VTK dimension order is x y z (fastest first).
     out.push_str(&format!("DIMENSIONS {nx} {ny} {nz}\n"));
     out.push_str("ORIGIN 0 0 0\n");
-    out.push_str(&format!("SPACING {} {} {}\n", spacing(nx), spacing(ny), spacing(nz)));
+    out.push_str(&format!(
+        "SPACING {} {} {}\n",
+        spacing(nx),
+        spacing(ny),
+        spacing(nz)
+    ));
     out.push_str(&format!("POINT_DATA {}\n", nx * ny * nz));
     for (name, f) in fields {
         out.push_str(&format!("SCALARS {name} double 1\nLOOKUP_TABLE default\n"));
@@ -75,8 +77,11 @@ mod tests {
         assert!(s.contains("POINT_DATA 6"));
         assert!(s.contains("SCALARS u double 1"));
         // 6 values follow the lookup table line.
-        let values: Vec<&str> =
-            s.lines().skip_while(|l| !l.starts_with("LOOKUP_TABLE")).skip(1).collect();
+        let values: Vec<&str> = s
+            .lines()
+            .skip_while(|l| !l.starts_with("LOOKUP_TABLE"))
+            .skip(1)
+            .collect();
         assert_eq!(values.len(), 6);
         std::fs::remove_file(&p).ok();
     }

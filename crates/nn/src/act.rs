@@ -15,7 +15,10 @@ pub struct LeakyReLU {
 impl LeakyReLU {
     /// Creates the activation with slope `alpha`.
     pub fn new(alpha: f64) -> Self {
-        LeakyReLU { alpha, cache_x: None }
+        LeakyReLU {
+            alpha,
+            cache_x: None,
+        }
     }
 }
 

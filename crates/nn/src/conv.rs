@@ -58,8 +58,18 @@ impl Conv3d {
     /// Stride-1 "same" convolution (odd kernels only).
     pub fn same<R: Rng>(in_c: usize, out_c: usize, kernel: Triple, rng: &mut R) -> Self {
         let (kd, kh, kw) = kernel;
-        assert!(kd % 2 == 1 && kh % 2 == 1 && kw % 2 == 1, "same-padding needs odd kernels");
-        Conv3d::new(in_c, out_c, kernel, (1, 1, 1), ((kd - 1) / 2, (kh - 1) / 2, (kw - 1) / 2), rng)
+        assert!(
+            kd % 2 == 1 && kh % 2 == 1 && kw % 2 == 1,
+            "same-padding needs odd kernels"
+        );
+        Conv3d::new(
+            in_c,
+            out_c,
+            kernel,
+            (1, 1, 1),
+            ((kd - 1) / 2, (kh - 1) / 2, (kw - 1) / 2),
+            rng,
+        )
     }
 
     /// Output spatial dims for the given input dims.
@@ -92,43 +102,49 @@ impl Layer for Conv3d {
         let bs = self.bias.data.as_slice();
         let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
         let out_block = dout.vol();
-        maybe_par_for(dout.n * dout.c, out_block * self.in_c * kd * kh * kw, |nc| {
-            let n = nc / dout.c;
-            let oc = nc % dout.c;
-            // SAFETY: each (n, oc) task owns a disjoint output block.
-            let yblock = unsafe {
-                std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
-            };
-            let b = bs[oc];
-            let mut oi = 0usize;
-            for od in 0..dout.d {
-                let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
-                for oh in 0..dout.h {
-                    let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
-                    for ow in 0..dout.w {
-                        let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
-                        let mut acc = b;
-                        for ic in 0..self.in_c {
-                            let xbase = (n * self.in_c + ic) * din.vol();
-                            let wbase = (oc * self.in_c + ic) * kd * kh * kw;
-                            for kdi in kd_lo..kd_hi {
-                                let id = od * sd + kdi - pd;
-                                for khi in kh_lo..kh_hi {
-                                    let ih = oh * sh + khi - ph;
-                                    let xrow = xbase + (id * din.h + ih) * din.w + (ow * sw + kw_lo - pw);
-                                    let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
-                                    for t in 0..(kw_hi - kw_lo) {
-                                        acc += xs[xrow + t] * ws[wrow + t];
+        maybe_par_for(
+            dout.n * dout.c,
+            out_block * self.in_c * kd * kh * kw,
+            |nc| {
+                let n = nc / dout.c;
+                let oc = nc % dout.c;
+                // SAFETY: each (n, oc) task owns a disjoint output block.
+                let yblock = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
+                };
+                let b = bs[oc];
+                let mut oi = 0usize;
+                for od in 0..dout.d {
+                    let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
+                    for oh in 0..dout.h {
+                        let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
+                        for ow in 0..dout.w {
+                            let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
+                            let mut acc = b;
+                            for ic in 0..self.in_c {
+                                let xbase = (n * self.in_c + ic) * din.vol();
+                                let wbase = (oc * self.in_c + ic) * kd * kh * kw;
+                                for kdi in kd_lo..kd_hi {
+                                    let id = od * sd + kdi - pd;
+                                    for khi in kh_lo..kh_hi {
+                                        let ih = oh * sh + khi - ph;
+                                        let xrow = xbase
+                                            + (id * din.h + ih) * din.w
+                                            + (ow * sw + kw_lo - pw);
+                                        let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
+                                        for t in 0..(kw_hi - kw_lo) {
+                                            acc += xs[xrow + t] * ws[wrow + t];
+                                        }
                                     }
                                 }
                             }
+                            yblock[oi] = acc;
+                            oi += 1;
                         }
-                        yblock[oi] = acc;
-                        oi += 1;
                     }
                 }
-            }
-        });
+            },
+        );
         if train {
             self.cache_x = Some(x.clone());
         }
@@ -136,7 +152,11 @@ impl Layer for Conv3d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.as_ref().expect("backward before forward").clone();
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
         let din = Dims5::of(&x);
         let dout = self.out_dims(&din);
         assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
@@ -167,8 +187,7 @@ impl Layer for Conv3d {
             let ptr = SendPtr(self.weight.grad.as_mut_slice().as_mut_ptr());
             maybe_par_for(dout.c, dout.n * dout.vol() * kvol, |oc| {
                 // SAFETY: each oc task owns a disjoint weight-grad block.
-                let gw =
-                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(oc * kvol), kvol) };
+                let gw = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(oc * kvol), kvol) };
                 for n in 0..dout.n {
                     let gbase = (n * dout.c + oc) * dout.vol();
                     let mut oi = 0usize;
@@ -190,7 +209,9 @@ impl Layer for Conv3d {
                                         let id = od * sd + kdi - pd;
                                         for khi in kh_lo..kh_hi {
                                             let ih = oh * sh + khi - ph;
-                                            let xrow = xbase + (id * din.h + ih) * din.w + (ow * sw + kw_lo - pw);
+                                            let xrow = xbase
+                                                + (id * din.h + ih) * din.w
+                                                + (ow * sw + kw_lo - pw);
                                             let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
                                             for t in 0..(kw_hi - kw_lo) {
                                                 gw[wrow + t] += gv * xs[xrow + t];
@@ -239,7 +260,9 @@ impl Layer for Conv3d {
                                         let id = od * sd + kdi - pd;
                                         for khi in kh_lo..kh_hi {
                                             let ih = oh * sh + khi - ph;
-                                            let xrow = xbase + (id * din.h + ih) * din.w + (ow * sw + kw_lo - pw);
+                                            let xrow = xbase
+                                                + (id * din.h + ih) * din.w
+                                                + (ow * sw + kw_lo - pw);
                                             let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
                                             for t in 0..(kw_hi - kw_lo) {
                                                 gxb[xrow + t] += gv * ws[wrow + t];
@@ -298,7 +321,15 @@ mod tests {
         let x = Tensor::from_vec([1, 1, 1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
         let y = c.forward(&x, false);
         // y[i] = 0.5 + 1*x[i-1] + 2*x[i] + 3*x[i+1] (zero-padded)
-        assert_eq!(y.as_slice(), &[0.5 + 2.0 + 6.0, 0.5 + 1.0 + 4.0 + 9.0, 0.5 + 2.0 + 6.0 + 12.0, 0.5 + 3.0 + 8.0]);
+        assert_eq!(
+            y.as_slice(),
+            &[
+                0.5 + 2.0 + 6.0,
+                0.5 + 1.0 + 4.0 + 9.0,
+                0.5 + 2.0 + 6.0 + 12.0,
+                0.5 + 3.0 + 8.0
+            ]
+        );
     }
 
     #[test]

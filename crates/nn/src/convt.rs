@@ -58,7 +58,11 @@ impl ConvTranspose3d {
 
     /// The factor-2 upsampler (`k = s = 2`); `two_d` keeps depth unscaled.
     pub fn up2<R: Rng>(in_c: usize, out_c: usize, two_d: bool, rng: &mut R) -> Self {
-        let (k, s) = if two_d { ((1, 2, 2), (1, 2, 2)) } else { ((2, 2, 2), (2, 2, 2)) };
+        let (k, s) = if two_d {
+            ((1, 2, 2), (1, 2, 2))
+        } else {
+            ((2, 2, 2), (2, 2, 2))
+        };
         ConvTranspose3d::new(in_c, out_c, k, s, (0, 0, 0), rng)
     }
 
@@ -82,7 +86,14 @@ impl ConvTranspose3d {
 /// Iterates the (input-pos, tap) pairs contributing to output position `o`:
 /// `i*s + k - p == o` with `0 ≤ i < in_extent`, `0 ≤ k < ksize`.
 #[inline]
-fn contributions(o: usize, s: usize, p: usize, ksize: usize, in_extent: usize, mut f: impl FnMut(usize, usize)) {
+fn contributions(
+    o: usize,
+    s: usize,
+    p: usize,
+    ksize: usize,
+    in_extent: usize,
+    mut f: impl FnMut(usize, usize),
+) {
     let target = o + p;
     // k = target - i*s; need 0 <= k < ksize.
     let i_min = (target + 1).saturating_sub(ksize).div_ceil(s);
@@ -111,41 +122,45 @@ impl Layer for ConvTranspose3d {
         let bs = self.bias.data.as_slice();
         let out_block = dout.vol();
         let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
-        maybe_par_for(dout.n * dout.c, out_block * self.in_c * kd * kh * kw, |nc| {
-            let n = nc / dout.c;
-            let oc = nc % dout.c;
-            // SAFETY: each (n, oc) task owns a disjoint output block.
-            let yblock = unsafe {
-                std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
-            };
-            let b = bs[oc];
-            let mut oi = 0usize;
-            for od in 0..dout.d {
-                for oh in 0..dout.h {
-                    for ow in 0..dout.w {
-                        let mut acc = b;
-                        contributions(od, sd, pd, kd, din.d, |id, kdi| {
-                            contributions(oh, sh, ph, kh, din.h, |ih, khi| {
-                                contributions(ow, sw, pw, kw, din.w, |iw, kwi| {
-                                    for ic in 0..self.in_c {
-                                        let xv = xs
-                                            [(n * self.in_c + ic) * din.vol()
+        maybe_par_for(
+            dout.n * dout.c,
+            out_block * self.in_c * kd * kh * kw,
+            |nc| {
+                let n = nc / dout.c;
+                let oc = nc % dout.c;
+                // SAFETY: each (n, oc) task owns a disjoint output block.
+                let yblock = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
+                };
+                let b = bs[oc];
+                let mut oi = 0usize;
+                for od in 0..dout.d {
+                    for oh in 0..dout.h {
+                        for ow in 0..dout.w {
+                            let mut acc = b;
+                            contributions(od, sd, pd, kd, din.d, |id, kdi| {
+                                contributions(oh, sh, ph, kh, din.h, |ih, khi| {
+                                    contributions(ow, sw, pw, kw, din.w, |iw, kwi| {
+                                        for ic in 0..self.in_c {
+                                            let xv = xs[(n * self.in_c + ic) * din.vol()
                                                 + (id * din.h + ih) * din.w
                                                 + iw];
-                                        let wv = ws[((ic * self.out_c + oc) * kd + kdi) * kh * kw
-                                            + khi * kw
-                                            + kwi];
-                                        acc += xv * wv;
-                                    }
+                                            let wv =
+                                                ws[((ic * self.out_c + oc) * kd + kdi) * kh * kw
+                                                    + khi * kw
+                                                    + kwi];
+                                            acc += xv * wv;
+                                        }
+                                    });
                                 });
                             });
-                        });
-                        yblock[oi] = acc;
-                        oi += 1;
+                            yblock[oi] = acc;
+                            oi += 1;
+                        }
                     }
                 }
-            }
-        });
+            },
+        );
         if train {
             self.cache_x = Some(x.clone());
         }
@@ -153,7 +168,11 @@ impl Layer for ConvTranspose3d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.as_ref().expect("backward before forward").clone();
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
         let din = Dims5::of(&x);
         let dout = self.out_dims(&din);
         assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
@@ -216,11 +235,10 @@ impl Layer for ConvTranspose3d {
                                             let gv = g[(n * dout.c + oc) * dout.vol()
                                                 + ((od - pd) * dout.h + (oh - ph)) * dout.w
                                                 + (ow - pw)];
-                                            let wv = ws[((ic * self.out_c + oc) * kd + kdi)
-                                                * kh
-                                                * kw
-                                                + khi * kw
-                                                + kwi];
+                                            let wv =
+                                                ws[((ic * self.out_c + oc) * kd + kdi) * kh * kw
+                                                    + khi * kw
+                                                    + kwi];
                                             acc += gv * wv;
                                         }
                                     }
@@ -241,8 +259,7 @@ impl Layer for ConvTranspose3d {
             let ptr = SendPtr(self.weight.grad.as_mut_slice().as_mut_ptr());
             maybe_par_for(self.in_c, din.n * din.vol() * kvol, |ic| {
                 // SAFETY: each ic task owns a disjoint weight-grad block.
-                let gw =
-                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(ic * kvol), kvol) };
+                let gw = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(ic * kvol), kvol) };
                 for n in 0..din.n {
                     let xbase = (n * self.in_c + ic) * din.vol();
                     let mut ii = 0usize;

@@ -16,6 +16,10 @@
 //! - [`unet::UNet`] — the MGDiffNet architecture, including
 //!   [`unet::UNet::deepened`] for the paper's architectural-adaptation study
 //!   (§4.1.2);
+//! - [`model::Model`] / [`optim::Optimizer`] — the traits the MGDiffNet
+//!   trainers and the `SolverEngine` facade are generic over, so
+//!   architectures and update rules are swappable (`Box<dyn Model>` /
+//!   `Box<dyn Optimizer>` are themselves implementations);
 //! - [`optim::Adam`] / [`optim::Sgd`] and flat parameter/gradient views for
 //!   the distributed all-reduce;
 //! - [`gradcheck`] — the finite-difference harness every layer is verified
@@ -31,6 +35,7 @@ pub mod convt;
 pub mod gradcheck;
 pub mod io;
 pub mod layer;
+pub mod model;
 pub mod norm;
 pub mod optim;
 pub mod param;
@@ -41,9 +46,11 @@ mod util;
 pub use act::{LeakyReLU, Sigmoid};
 pub use conv::Conv3d;
 pub use convt::ConvTranspose3d;
+pub use io::{Checkpoint, WeightSnapshot};
 pub use layer::Layer;
+pub use model::Model;
 pub use norm::BatchNorm;
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::MaxPool3d;
 pub use unet::{UNet, UNetConfig};

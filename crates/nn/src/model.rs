@@ -1,0 +1,119 @@
+//! The [`Model`] abstraction: what a trainable solver network must provide.
+//!
+//! The trainers and the `SolverEngine` facade in `mgdiffnet` are generic
+//! over this trait instead of the concrete [`UNet`], so alternative
+//! architectures (different backbones, learned multigrid operators per
+//! *Neural Multigrid Architectures*, quantized inference networks) plug in
+//! without touching the training loops. A `Box<dyn Model>` is itself a
+//! `Model`, which is what lets the engine hold an architecture chosen at
+//! runtime while the trainers stay statically generic.
+
+use crate::layer::Layer;
+use crate::unet::UNet;
+use mgd_tensor::Tensor;
+
+/// A trainable network usable by the MGDiffNet trainers.
+///
+/// Everything gradient-related comes from [`Layer`] (forward/backward,
+/// parameter and buffer access); `Model` adds the solver-level contract:
+/// inference without training-time side effects and optional capacity
+/// growth on multigrid refinement (§4.1.2 architectural adaptation).
+pub trait Model: Layer {
+    /// Inference forward pass (no batch-statistic updates, no activation
+    /// caching beyond what the layer keeps anyway).
+    fn predict(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, false)
+    }
+
+    /// Grows the model's capacity when multigrid training first moves to a
+    /// finer level (the paper's architectural adaptation). Returns whether
+    /// anything changed; the default is a fixed architecture.
+    fn deepen(&mut self) -> bool {
+        false
+    }
+}
+
+impl Model for UNet {
+    fn deepen(&mut self) -> bool {
+        *self = self.deepened();
+        true
+    }
+}
+
+impl Layer for Box<dyn Model> {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        (**self).forward(x, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        (**self).backward(grad_out)
+    }
+
+    fn params(&mut self) -> Vec<&mut crate::param::Param> {
+        (**self).params()
+    }
+
+    fn buffers(&mut self) -> Vec<&mut Vec<f64>> {
+        (**self).buffers()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl Model for Box<dyn Model> {
+    fn predict(&mut self, x: &Tensor) -> Tensor {
+        (**self).predict(x)
+    }
+
+    fn deepen(&mut self) -> bool {
+        (**self).deepen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unet::UNetConfig;
+
+    fn tiny() -> UNet {
+        UNet::new(UNetConfig {
+            depth: 1,
+            base_filters: 2,
+            two_d: true,
+            seed: 11,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn unet_is_a_model() {
+        fn takes_model<M: Model>(m: &mut M) -> Tensor {
+            m.predict(&Tensor::zeros([1, 1, 1, 4, 4]))
+        }
+        let mut net = tiny();
+        let y = takes_model(&mut net);
+        assert_eq!(y.dims(), &[1, 1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn boxed_model_delegates() {
+        let mut boxed: Box<dyn Model> = Box::new(tiny());
+        let y = boxed.predict(&Tensor::zeros([1, 1, 1, 4, 4]));
+        assert_eq!(y.dims(), &[1, 1, 1, 4, 4]);
+        assert!(boxed.name().starts_with("UNet"));
+        assert!(boxed.deepen(), "UNet adaptation grows the net");
+        // Depth 2 now: needs resolutions divisible by 4.
+        let y = boxed.predict(&Tensor::zeros([1, 1, 1, 8, 8]));
+        assert_eq!(y.dims(), &[1, 1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn deepen_matches_deepened() {
+        let mut a = tiny();
+        let b = a.deepened();
+        assert!(Model::deepen(&mut a));
+        assert_eq!(a.cfg, b.cfg);
+    }
+}

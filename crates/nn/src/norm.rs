@@ -106,7 +106,11 @@ impl Layer for BatchNorm {
             }
         }
         if train {
-            self.cache = Some(BnCache { xhat, inv_std, dims });
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std,
+                dims,
+            });
         }
         y
     }
@@ -154,8 +158,7 @@ impl Layer for BatchNorm {
                     let base = (n * self.c + c) * dims.vol();
                     let k = gamma[c] * cache.inv_std[c] / m;
                     for i in 0..dims.vol() {
-                        gxs[base + i] =
-                            k * (m * g[base + i] - sum_g[c] - xh[base + i] * sum_gx[c]);
+                        gxs[base + i] = k * (m * g[base + i] - sum_g[c] - xh[base + i] * sum_gx[c]);
                     }
                 }
             }

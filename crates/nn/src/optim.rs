@@ -10,6 +10,44 @@ pub fn zero_grads(params: &mut [&mut Param]) {
     }
 }
 
+/// A first-order stochastic optimizer over [`Param`] lists.
+///
+/// The trainers are generic over this trait, so schedules and the
+/// `SolverEngine` facade work with any update rule — Adam, SGD, or a future
+/// sharded/compressed optimizer — and a `Box<dyn Optimizer>` is itself an
+/// `Optimizer` for runtime-chosen configurations.
+pub trait Optimizer: Send {
+    /// Applies one update using the gradients currently stored in `params`.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (warm-up / decay schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Human-readable identifier for logs and checkpoints.
+    fn name(&self) -> &'static str;
+}
+
+impl Optimizer for Box<dyn Optimizer> {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        (**self).step(params)
+    }
+
+    fn learning_rate(&self) -> f64 {
+        (**self).learning_rate()
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        (**self).set_learning_rate(lr)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Adam (Kingma & Ba), the optimizer used throughout the paper
 /// (lr 1e-5 for the 2D studies, 1e-4 for the 3D scaling runs).
 #[derive(Clone, Debug)]
@@ -30,25 +68,45 @@ pub struct Adam {
 impl Adam {
     /// Adam with the conventional β = (0.9, 0.999), ε = 1e-8.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Steps count so far.
     pub fn steps(&self) -> u64 {
         self.t
     }
+}
 
+impl Optimizer for Adam {
     /// Applies one update using the gradients currently stored in `params`.
     ///
     /// Moment buffers are created lazily on first use and re-created if the
     /// parameter structure changes (e.g. after architectural adaptation —
     /// the paper re-initializes new layers, so fresh moments are correct).
-    pub fn step(&mut self, params: &mut [&mut Param]) {
+    fn step(&mut self, params: &mut [&mut Param]) {
         let shapes_match = self.m.len() == params.len()
-            && self.m.iter().zip(params.iter()).all(|(m, p)| m.shape() == p.data.shape());
+            && self
+                .m
+                .iter()
+                .zip(params.iter())
+                .all(|(m, p)| m.shape() == p.data.shape());
         if !shapes_match {
-            self.m = params.iter().map(|p| Tensor::zeros(p.data.shape().clone())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.data.shape().clone())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data.shape().clone()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data.shape().clone()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
@@ -68,6 +126,18 @@ impl Adam {
             }
         }
     }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "Adam"
+    }
 }
 
 /// Plain SGD with optional momentum (baseline optimizer).
@@ -83,15 +153,28 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD.
     pub fn new(lr: f64, momentum: f64) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
+}
 
+impl Optimizer for Sgd {
     /// Applies one update.
-    pub fn step(&mut self, params: &mut [&mut Param]) {
+    fn step(&mut self, params: &mut [&mut Param]) {
         let shapes_match = self.velocity.len() == params.len()
-            && self.velocity.iter().zip(params.iter()).all(|(v, p)| v.shape() == p.data.shape());
+            && self
+                .velocity
+                .iter()
+                .zip(params.iter())
+                .all(|(v, p)| v.shape() == p.data.shape());
         if !shapes_match {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.data.shape().clone())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.data.shape().clone()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             let g = p.grad.as_slice();
@@ -102,6 +185,18 @@ impl Sgd {
                 w[j] -= self.lr * v[j];
             }
         }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "SGD"
     }
 }
 
@@ -176,6 +271,18 @@ mod tests {
             momo.step(&mut [&mut b]);
         }
         assert!(b.data[0] < a.data[0], "momentum should have moved farther");
+    }
+
+    #[test]
+    fn optimizer_trait_objects_step() {
+        let mut p = param(&[0.0]);
+        let mut opt: Box<dyn Optimizer> = Box::new(Sgd::new(0.5, 0.0));
+        assert_eq!(opt.name(), "SGD");
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.1);
+        p.grad = Tensor::from_vec([1], vec![1.0]);
+        opt.step(&mut [&mut p]);
+        assert!((p.data[0] + 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct Param {
 impl Param {
     /// Zero-initialized parameter.
     pub fn zeros<S: Into<Shape> + Clone>(shape: S) -> Self {
-        Param { data: Tensor::zeros(shape.clone()), grad: Tensor::zeros(shape) }
+        Param {
+            data: Tensor::zeros(shape.clone()),
+            grad: Tensor::zeros(shape),
+        }
     }
 
     /// Parameter with the given value and a zero gradient.

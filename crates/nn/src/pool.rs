@@ -25,7 +25,10 @@ impl MaxPool3d {
     /// Creates a pool layer with the given window.
     pub fn new(window: Triple) -> Self {
         assert!(window.0 >= 1 && window.1 >= 1 && window.2 >= 1);
-        MaxPool3d { window, cache: None }
+        MaxPool3d {
+            window,
+            cache: None,
+        }
     }
 
     /// The standard factor-2 spatial pool; `two_d` keeps depth unpooled.
@@ -39,12 +42,18 @@ impl Layer for MaxPool3d {
         let din = Dims5::of(x);
         let (wd, wh, ww) = self.window;
         assert!(
-            din.d % wd == 0 && din.h % wh == 0 && din.w % ww == 0,
+            din.d.is_multiple_of(wd) && din.h.is_multiple_of(wh) && din.w.is_multiple_of(ww),
             "input {:?} not divisible by pool window {:?}",
             x.dims(),
             self.window
         );
-        let dout = Dims5 { n: din.n, c: din.c, d: din.d / wd, h: din.h / wh, w: din.w / ww };
+        let dout = Dims5 {
+            n: din.n,
+            c: din.c,
+            d: din.d / wd,
+            h: din.h / wh,
+            w: din.w / ww,
+        };
         let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
         let mut argmax = vec![0usize; y.len()];
         let xs = x.as_slice();
@@ -60,7 +69,8 @@ impl Layer for MaxPool3d {
                             for kd in 0..wd {
                                 for kh in 0..wh {
                                     for kw in 0..ww {
-                                        let ii = din.at(n, c, od * wd + kd, oh * wh + kh, ow * ww + kw);
+                                        let ii =
+                                            din.at(n, c, od * wd + kd, oh * wh + kh, ow * ww + kw);
                                         if xs[ii] > best {
                                             best = xs[ii];
                                             best_i = ii;
@@ -77,7 +87,11 @@ impl Layer for MaxPool3d {
             }
         }
         if train {
-            self.cache = Some(PoolCache { in_dims: din, argmax, out_dims: dout });
+            self.cache = Some(PoolCache {
+                in_dims: din,
+                argmax,
+                out_dims: dout,
+            });
         }
         y
     }

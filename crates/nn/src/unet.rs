@@ -63,7 +63,10 @@ impl Default for UNetConfig {
 impl UNetConfig {
     /// The paper's 2D configuration.
     pub fn paper_2d() -> Self {
-        UNetConfig { two_d: true, ..Default::default() }
+        UNetConfig {
+            two_d: true,
+            ..Default::default()
+        }
     }
 
     /// The paper's 3D configuration.
@@ -90,7 +93,11 @@ impl ConvBlock {
         let k = if cfg.two_d { (1, 3, 3) } else { (3, 3, 3) };
         ConvBlock {
             conv: Conv3d::same(in_c, out_c, k, rng),
-            bn: if cfg.batch_norm { Some(BatchNorm::new(out_c)) } else { None },
+            bn: if cfg.batch_norm {
+                Some(BatchNorm::new(out_c))
+            } else {
+                None
+            },
             act: LeakyReLU::new(cfg.leaky_slope),
         }
     }
@@ -137,7 +144,11 @@ impl Layer for ConvBlock {
 pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
     let da = Dims5::of(a);
     let db = Dims5::of(b);
-    assert_eq!((da.n, da.d, da.h, da.w), (db.n, db.d, db.h, db.w), "spatial/batch mismatch");
+    assert_eq!(
+        (da.n, da.d, da.h, da.w),
+        (db.n, db.d, db.h, db.w),
+        "spatial/batch mismatch"
+    );
     let mut out = Tensor::zeros([da.n, da.c + db.c, da.d, da.h, da.w]);
     let vol = da.vol();
     let (asl, bsl, osl) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
@@ -193,33 +204,83 @@ impl UNet {
         let mut enc = Vec::new();
         let mut pools = Vec::new();
         for i in 0..cfg.depth {
-            let in_c = if i == 0 { cfg.in_channels } else { cfg.channels(i - 1) };
+            let in_c = if i == 0 {
+                cfg.in_channels
+            } else {
+                cfg.channels(i - 1)
+            };
             enc.push(ConvBlock::new(in_c, cfg.channels(i), &cfg, &mut rng));
             pools.push(MaxPool3d::down2(cfg.two_d));
         }
-        let bottleneck =
-            ConvBlock::new(cfg.channels(cfg.depth - 1), cfg.channels(cfg.depth), &cfg, &mut rng);
+        let bottleneck = ConvBlock::new(
+            cfg.channels(cfg.depth - 1),
+            cfg.channels(cfg.depth),
+            &cfg,
+            &mut rng,
+        );
         let mut ups = Vec::new();
         let mut merges = Vec::new();
         for i in 0..cfg.depth {
-            ups.push(ConvTranspose3d::up2(cfg.channels(i + 1), cfg.channels(i), cfg.two_d, &mut rng));
-            merges.push(ConvBlock::new(2 * cfg.channels(i), cfg.channels(i), &cfg, &mut rng));
+            ups.push(ConvTranspose3d::up2(
+                cfg.channels(i + 1),
+                cfg.channels(i),
+                cfg.two_d,
+                &mut rng,
+            ));
+            merges.push(ConvBlock::new(
+                2 * cfg.channels(i),
+                cfg.channels(i),
+                &cfg,
+                &mut rng,
+            ));
         }
-        let head = Conv3d::new(cfg.channels(0), cfg.out_channels, (1, 1, 1), (1, 1, 1), (0, 0, 0), &mut rng);
-        let sigmoid = if cfg.final_sigmoid { Some(Sigmoid::new()) } else { None };
-        UNet { cfg, enc, pools, bottleneck, ups, merges, head, sigmoid }
+        let head = Conv3d::new(
+            cfg.channels(0),
+            cfg.out_channels,
+            (1, 1, 1),
+            (1, 1, 1),
+            (0, 0, 0),
+            &mut rng,
+        );
+        let sigmoid = if cfg.final_sigmoid {
+            Some(Sigmoid::new())
+        } else {
+            None
+        };
+        UNet {
+            cfg,
+            enc,
+            pools,
+            bottleneck,
+            ups,
+            merges,
+            head,
+            sigmoid,
+        }
     }
 
     /// Validates that an input resolution survives `depth` poolings.
     pub fn check_input_dims(&self, dims: &Dims5) {
         let div = 1usize << self.cfg.depth;
         if !self.cfg.two_d {
-            assert!(dims.d % div == 0, "depth {} not divisible by {div}", dims.d);
+            assert!(
+                dims.d.is_multiple_of(div),
+                "depth {} not divisible by {div}",
+                dims.d
+            );
         } else {
             assert!(dims.d == 1, "2D network expects unit depth axis");
         }
-        assert!(dims.h % div == 0, "height {} not divisible by {div}", dims.h);
-        assert!(dims.w % div == 0, "width {} not divisible by {div}", dims.w);
+        assert!(
+            dims.h.is_multiple_of(div),
+            "height {} not divisible by {div}",
+            dims.h
+        );
+        assert!(
+            dims.w.is_multiple_of(div),
+            "width {} not divisible by {div}",
+            dims.w
+        );
     }
 
     /// Inference convenience (no caching).
@@ -348,7 +409,13 @@ mod tests {
     use crate::gradcheck::check_layer_gradient;
 
     fn small_cfg() -> UNetConfig {
-        UNetConfig { depth: 2, base_filters: 2, two_d: true, seed: 9, ..Default::default() }
+        UNetConfig {
+            depth: 2,
+            base_filters: 2,
+            two_d: true,
+            seed: 9,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -379,7 +446,13 @@ mod tests {
 
     #[test]
     fn three_d_forward_shape() {
-        let cfg = UNetConfig { depth: 2, base_filters: 2, two_d: false, seed: 3, ..Default::default() };
+        let cfg = UNetConfig {
+            depth: 2,
+            base_filters: 2,
+            two_d: false,
+            seed: 3,
+            ..Default::default()
+        };
         let mut net = UNet::new(cfg);
         let y = net.forward(&Tensor::zeros([1, 1, 4, 8, 8]), false);
         assert_eq!(y.dims(), &[1, 1, 4, 8, 8]);
@@ -396,8 +469,16 @@ mod tests {
     fn deterministic_init() {
         let mut a = UNet::new(small_cfg());
         let mut b = UNet::new(small_cfg());
-        let pa = a.params().iter().map(|p| p.data.clone()).collect::<Vec<_>>();
-        let pb = b.params().iter().map(|p| p.data.clone()).collect::<Vec<_>>();
+        let pa = a
+            .params()
+            .iter()
+            .map(|p| p.data.clone())
+            .collect::<Vec<_>>();
+        let pb = b
+            .params()
+            .iter()
+            .map(|p| p.data.clone())
+            .collect::<Vec<_>>();
         assert_eq!(pa, pb);
     }
 
@@ -417,7 +498,10 @@ mod tests {
         let mut new = old.deepened();
         assert_eq!(new.cfg.depth, 3);
         assert_eq!(new.enc[0].conv.weight.data, enc0_w);
-        assert_eq!(new.enc[2].conv.weight.data, bott_w, "old bottleneck becomes deepest encoder");
+        assert_eq!(
+            new.enc[2].conv.weight.data, bott_w,
+            "old bottleneck becomes deepest encoder"
+        );
         // And it still runs at a resolution divisible by 2^3.
         let y = new.forward(&Tensor::zeros([1, 1, 1, 16, 16]), false);
         assert_eq!(y.dims(), &[1, 1, 1, 16, 16]);
@@ -453,7 +537,13 @@ mod tests {
 
     #[test]
     fn unet_with_bn_gradcheck() {
-        let cfg = UNetConfig { depth: 1, base_filters: 2, two_d: true, seed: 5, ..Default::default() };
+        let cfg = UNetConfig {
+            depth: 1,
+            base_filters: 2,
+            two_d: true,
+            seed: 5,
+            ..Default::default()
+        };
         let net = UNet::new(cfg);
         check_layer_gradient(Box::new(net), &[2, 1, 1, 4, 4], 0.0, 1e-5, 1e-4);
     }

@@ -23,7 +23,13 @@ unsafe impl Sync for SendPtr {}
 /// Valid kernel-tap range `[lo, hi)` for output position `o`: taps `k` with
 /// `0 <= o*stride + k - pad < extent`.
 #[inline]
-pub(crate) fn tap_range(o: usize, stride: usize, pad: usize, ksize: usize, extent: usize) -> (usize, usize) {
+pub(crate) fn tap_range(
+    o: usize,
+    stride: usize,
+    pad: usize,
+    ksize: usize,
+    extent: usize,
+) -> (usize, usize) {
     let base = o * stride;
     let lo = pad.saturating_sub(base).min(ksize);
     let hi = (extent + pad - base).min(ksize);

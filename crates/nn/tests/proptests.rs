@@ -1,7 +1,7 @@
 //! Property-based tests for the CNN framework.
 
 use mgd_nn::unet::{concat_channels, split_channels};
-use mgd_nn::{Adam, Conv3d, Layer, MaxPool3d, Param, Sigmoid, UNet, UNetConfig};
+use mgd_nn::{Adam, Conv3d, Layer, MaxPool3d, Optimizer, Param, Sigmoid, UNet, UNetConfig};
 use mgd_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -37,7 +37,12 @@ impl Tensor {
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
         let mut out = Tensor::zeros(self.shape().clone());
-        maybe_par_zip_map(self.as_slice(), other.as_slice(), out.as_mut_slice(), &|x, y| x + y);
+        maybe_par_zip_map(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            &|x, y| x + y,
+        );
         out
     }
 
@@ -45,7 +50,12 @@ impl Tensor {
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
         let mut out = Tensor::zeros(self.shape().clone());
-        maybe_par_zip_map(self.as_slice(), other.as_slice(), out.as_mut_slice(), &|x, y| x - y);
+        maybe_par_zip_map(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            &|x, y| x - y,
+        );
         out
     }
 
@@ -65,12 +75,18 @@ impl Tensor {
 
     /// Maximum element (NaN-propagating max of an empty tensor is -inf).
     pub fn max(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum element.
     pub fn min(&self) -> f64 {
-        self.as_slice().iter().copied().fold(f64::INFINITY, f64::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Euclidean inner product.

@@ -17,7 +17,12 @@ pub fn maybe_par_map_inplace<F: Fn(f64) -> f64 + Sync>(data: &mut [f64], f: &F) 
 }
 
 /// Elementwise binary op `out[i] = f(a[i], b[i])`, parallel for large slices.
-pub fn maybe_par_zip_map<F: Fn(f64, f64) -> f64 + Sync>(a: &[f64], b: &[f64], out: &mut [f64], f: &F) {
+pub fn maybe_par_zip_map<F: Fn(f64, f64) -> f64 + Sync>(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    f: &F,
+) {
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), out.len());
     if a.len() >= PAR_THRESHOLD {
@@ -35,7 +40,9 @@ pub fn maybe_par_zip_map<F: Fn(f64, f64) -> f64 + Sync>(a: &[f64], b: &[f64], ou
 pub fn maybe_par_zip_inplace<F: Fn(f64, f64) -> f64 + Sync>(a: &mut [f64], b: &[f64], f: &F) {
     assert_eq!(a.len(), b.len());
     if a.len() >= PAR_THRESHOLD {
-        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = f(*x, y));
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x = f(*x, y));
     } else {
         for i in 0..a.len() {
             a[i] = f(a[i], b[i]);
@@ -77,7 +84,11 @@ pub fn maybe_par_for<F: Fn(usize) + Sync + Send>(n: usize, work_hint: usize, f: 
 
 /// Maps `0..n` to values, in parallel when the product with `work_hint` is
 /// large, preserving index order in the output.
-pub fn maybe_par_map_collect<T: Send, F: Fn(usize) -> T + Sync + Send>(n: usize, work_hint: usize, f: F) -> Vec<T> {
+pub fn maybe_par_map_collect<T: Send, F: Fn(usize) -> T + Sync + Send>(
+    n: usize,
+    work_hint: usize,
+    f: F,
+) -> Vec<T> {
     if n.saturating_mul(work_hint.max(1)) >= PAR_THRESHOLD && n > 1 {
         (0..n).into_par_iter().map(f).collect()
     } else {

@@ -21,14 +21,20 @@ impl Tensor {
     pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
         let shape = shape.into();
         let n = shape.len();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor filled with `v`.
     pub fn full<S: Into<Shape>>(shape: S, v: f64) -> Self {
         let shape = shape.into();
         let n = shape.len();
-        Tensor { shape, data: vec![v; n] }
+        Tensor {
+            shape,
+            data: vec![v; n],
+        }
     }
 
     /// Tensor of ones.
@@ -39,7 +45,12 @@ impl Tensor {
     /// Builds a tensor from raw data; `data.len()` must equal the shape volume.
     pub fn from_vec<S: Into<Shape>>(shape: S, data: Vec<f64>) -> Self {
         let shape = shape.into();
-        assert_eq!(shape.len(), data.len(), "shape {shape} does not match data length {}", data.len());
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "shape {shape} does not match data length {}",
+            data.len()
+        );
         Tensor { shape, data }
     }
 
@@ -118,7 +129,11 @@ impl Tensor {
     /// Reinterprets the storage under a new shape of equal volume.
     pub fn reshape<S: Into<Shape>>(mut self, shape: S) -> Self {
         let shape = shape.into();
-        assert_eq!(shape.len(), self.data.len(), "reshape to {shape} changes volume");
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "reshape to {shape} changes volume"
+        );
         self.shape = shape;
         self
     }
@@ -199,7 +214,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn([10_000], &mut rng);
         let mean = t.as_slice().iter().sum::<f64>() / t.len() as f64;
-        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t.len() as f64;
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn reshape_preserves_sum(a in tensor_strategy()) {
         let n = a.len();
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             let sum0 = a.sum();
             let r = a.reshape([2, n / 2]);
             prop_assert!((r.sum() - sum0).abs() < 1e-9);

@@ -18,14 +18,18 @@ fn run_training(p: usize) -> (Vec<f64>, f64, f64) {
             base_filters: 4,
             seed: 123,         // identical initialization on every rank
             batch_norm: false, // BN uses local-batch statistics, which would
-                               // break bitwise worker-count independence
+            // break bitwise worker-count independence
             ..Default::default()
         });
         let mut opt = Adam::new(1e-3);
-        let cfg = TrainConfig { batch_size: 4, max_epochs: 10, ..Default::default() };
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![32, 32], cfg);
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: 10,
+            ..Default::default()
+        };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![32, 32], cfg).unwrap();
         tr.sync_initial_params();
-        let log = tr.train_fixed(10);
+        let log = tr.train_fixed(10).unwrap();
         let losses: Vec<f64> = log.epochs.iter().map(|e| e.loss).collect();
         let comm_s: f64 = log.epochs.iter().map(|e| e.comm_seconds).sum();
         (losses, log.total_seconds, comm_s)
@@ -42,7 +46,10 @@ fn main() {
 
     println!("epoch |   p=1 loss |   p=2 loss |   p=4 loss");
     for e in 0..l1.len() {
-        println!("{:>5} | {:>10.6} | {:>10.6} | {:>10.6}", e, l1[e], l2[e], l4[e]);
+        println!(
+            "{:>5} | {:>10.6} | {:>10.6} | {:>10.6}",
+            e, l1[e], l2[e], l4[e]
+        );
     }
     let max_diff_12 = l1
         .iter()
@@ -56,8 +63,12 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\nmax relative trajectory deviation: p=2 {max_diff_12:.2e}, p=4 {max_diff_14:.2e}");
     println!("(nonzero only through floating-point reduction order — Eq. 15 in action)");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("\nwall-clock: p=1 {t1:.1}s, p=2 {t2:.1}s (comm {c2:.2}s), p=4 {t4:.1}s (comm {c4:.2}s)");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nwall-clock: p=1 {t1:.1}s, p=2 {t2:.1}s (comm {c2:.2}s), p=4 {t4:.1}s (comm {c4:.2}s)"
+    );
     println!("({cores} physical cores available; ranks beyond that timeshare)");
     assert!(max_diff_12 < 1e-6, "distributed trajectory diverged");
 }

@@ -20,7 +20,10 @@ fn main() {
     let omega = [0.3105, 1.5386, 0.0932, -1.2442];
     let nu = model.rasterize(&omega, &[m, m, m]);
     let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-    println!("domain-decomposed Poisson solve at {m}^3 = {} nodes\n", grid.num_nodes());
+    println!(
+        "domain-decomposed Poisson solve at {m}^3 = {} nodes\n",
+        grid.num_nodes()
+    );
 
     // Serial reference.
     let serial = solve_poisson(&grid, nu.as_slice(), &bc, None, Method::Cg, 1e-10);

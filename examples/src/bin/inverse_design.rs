@@ -14,7 +14,7 @@ use mgdiffnet::prelude::*;
 
 fn predict(net: &mut UNet, model: &DiffusivityModel, omega: &[f64], dims: &[usize]) -> Tensor {
     let data = Dataset::from_omegas(vec![omega.to_vec()], model.clone(), InputEncoding::LogNu);
-    predict_field(net, &data, 0, dims)
+    predict_field(net, &data, 0, dims).unwrap()
 }
 
 fn main() {
@@ -33,15 +33,32 @@ fn main() {
     });
     let mut opt = Adam::new(3e-3);
     let comm = LocalComm::new();
-    let train = TrainConfig { batch_size: 8, max_epochs: 60, patience: 8, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
+    let train = TrainConfig {
+        batch_size: 8,
+        max_epochs: 60,
+        patience: 8,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
     println!("training surrogate ...");
-    let log = MultigridTrainer::new(mg, train, dims.clone()).run(&mut net, &mut opt, &data, &comm);
-    println!("  done in {:.1}s, loss {:.5}\n", log.total_seconds, log.final_loss);
+    let log = MultigridTrainer::new(mg, train, dims.clone())
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
+    println!(
+        "  done in {:.1}s, loss {:.5}\n",
+        log.total_seconds, log.final_loss
+    );
 
     // 2. Hidden truth: the FEM field for ω* (we only get the field, not ω*).
     let omega_true = vec![1.1, -0.7, 0.4, -1.9];
-    let loss_fns = FemLoss::new(&dims);
+    let loss_fns = FemLoss::new(&dims).unwrap();
     let nu_true = model.rasterize(&omega_true, &dims);
     let (u_target_v, stats) = loss_fns.fem_solve(nu_true.as_slice(), None, 1e-10);
     assert!(stats.converged);
@@ -74,8 +91,14 @@ fn main() {
         simplex = ordered;
         fvals = fordered;
         if it % 20 == 0 {
-            println!("  iter {it:>3}: best mismatch {:.5}, omega {:?}", fvals[0],
-                simplex[0].iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+            println!(
+                "  iter {it:>3}: best mismatch {:.5}, omega {:?}",
+                fvals[0],
+                simplex[0]
+                    .iter()
+                    .map(|x| (x * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            );
         }
         // Centroid of all but worst.
         let n = simplex.len() - 1;
@@ -86,11 +109,14 @@ fn main() {
             }
         }
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> = (0..4).map(|d| centroid[d] + (centroid[d] - worst[d])).collect();
+        let reflect: Vec<f64> = (0..4)
+            .map(|d| centroid[d] + (centroid[d] - worst[d]))
+            .collect();
         let fr = objective(&reflect);
         if fr < fvals[0] {
-            let expand: Vec<f64> =
-                (0..4).map(|d| centroid[d] + 2.0 * (centroid[d] - worst[d])).collect();
+            let expand: Vec<f64> = (0..4)
+                .map(|d| centroid[d] + 2.0 * (centroid[d] - worst[d]))
+                .collect();
             let fe = objective(&expand);
             if fe < fr {
                 simplex[n] = expand;
@@ -103,8 +129,9 @@ fn main() {
             simplex[n] = reflect;
             fvals[n] = fr;
         } else {
-            let contract: Vec<f64> =
-                (0..4).map(|d| centroid[d] + 0.5 * (worst[d] - centroid[d])).collect();
+            let contract: Vec<f64> = (0..4)
+                .map(|d| centroid[d] + 0.5 * (worst[d] - centroid[d]))
+                .collect();
             let fc = objective(&contract);
             if fc < fvals[n] {
                 simplex[n] = contract;
@@ -125,7 +152,12 @@ fn main() {
     }
     let best = &simplex[0];
     println!("\ntrue   omega: {omega_true:?}");
-    println!("found  omega: {:?}", best.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "found  omega: {:?}",
+        best.iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("surrogate evaluations: {evals} (zero FEM solves in the loop)");
     // Validate with one FEM solve at the recovered ω.
     let nu_found = model.rasterize(best, &dims);

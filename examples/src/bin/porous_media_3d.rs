@@ -25,9 +25,23 @@ fn main() {
     });
     let mut opt = Adam::new(3e-3);
     let comm = LocalComm::new();
-    let train = TrainConfig { batch_size: 4, max_epochs: 25, patience: 5, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
-    let log = MultigridTrainer::new(mg, train, dims.clone()).run(&mut net, &mut opt, &data, &comm);
+    let train = TrainConfig {
+        batch_size: 4,
+        max_epochs: 25,
+        patience: 5,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
+    let log = MultigridTrainer::new(mg, train, dims.clone())
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     println!(
         "trained in {:.1}s across {} phases; final energy loss {:.5}",
         log.total_seconds,
@@ -36,12 +50,18 @@ fn main() {
     );
 
     // Predict and compare for one permeability realization.
-    let cmp = compare_with_fem(&mut net, &data, 0, &dims);
+    let cmp = compare_with_fem(&mut net, &data, 0, &dims).unwrap();
     println!("\nsample 0 (ω = {:?}):", data.omegas[0]);
-    println!("  rel L2 vs FEM: {:.4}   max err: {:.4}", cmp.rel_l2, cmp.linf);
-    println!("  Darcy energy (nn/fem): {:.5} / {:.5}", cmp.energy_nn, cmp.energy_fem);
+    println!(
+        "  rel L2 vs FEM: {:.4}   max err: {:.4}",
+        cmp.rel_l2, cmp.linf
+    );
+    println!(
+        "  Darcy energy (nn/fem): {:.5} / {:.5}",
+        cmp.energy_nn, cmp.energy_fem
+    );
 
-    let field = predict_field(&mut net, &data, 0, &dims);
+    let field = predict_field(&mut net, &data, 0, &dims).unwrap();
     // Mid-depth slice of the 3D pressure field.
     let mid = res / 2;
     let slice_data: Vec<f64> = (0..res * res)

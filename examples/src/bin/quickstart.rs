@@ -1,61 +1,65 @@
-//! Quickstart: train a 2D generalized-Poisson surrogate and compare it to
-//! the finite-element reference — the smallest end-to-end tour of the API.
+//! Quickstart: train a 2D generalized-Poisson surrogate through the
+//! `SolverEngine` facade and compare it to the finite-element reference —
+//! the smallest end-to-end tour of the API.
 //!
 //! `cargo run --release -p mgd-examples --bin quickstart`
 
 use mgd_examples::ascii_heatmap;
 use mgdiffnet::prelude::*;
 
-fn main() {
-    // 1. Data: Sobol-sample the paper's 4-parameter diffusivity family
-    //    (Eq. 10) — fields are rasterized lazily at whatever resolution the
-    //    multigrid schedule asks for.
-    let data = Dataset::sobol(16, DiffusivityModel::paper(), InputEncoding::LogNu);
+fn main() -> Result<(), MgdError> {
+    // One validated builder call sets up data (Sobol-sampled from the
+    // paper's 4-parameter diffusivity family, Eq. 10), the fully
+    // convolutional U-Net, Adam, and the Half-V multigrid schedule.
+    let mut engine = SolverEngine::builder()
+        .resolution([32, 32])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .cycle(CycleKind::HalfV)
+        .levels(2)
+        .fixed_epochs(2)
+        .samples(16)
+        .batch_size(8)
+        .max_epochs(60)
+        .patience(8)
+        .seed(42)
+        .build()?;
 
-    // 2. Model: the paper's fully convolutional U-Net (scaled down).
-    let mut net = UNet::new(UNetConfig {
-        two_d: true,
-        depth: 2,
-        base_filters: 8,
-        seed: 42,
-        ..Default::default()
-    });
-    let mut opt = Adam::new(3e-3);
-
-    // 3. Train with the Half-V multigrid cycle: coarse 16² first, then 32².
-    let comm = LocalComm::new();
-    let train = TrainConfig { batch_size: 8, max_epochs: 60, patience: 8, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
     println!("training Half-V over levels [16x16 -> 32x32] ...");
-    let log = MultigridTrainer::new(mg, train, vec![32, 32]).run(&mut net, &mut opt, &data, &comm);
+    let log = engine.train()?;
     for ph in &log.phases {
         println!(
             "  level {} ({:?}): {} epochs, {:.1}s, loss {:.5}",
-            ph.level,
-            ph.dims,
-            ph.epochs,
-            ph.seconds,
-            ph.final_loss
+            ph.level, ph.dims, ph.epochs, ph.seconds, ph.final_loss
         );
     }
 
-    // 4. Compare against the FEM solution on a held-out ω.
+    // Serve a held-out ω (paper Table 3's anecdotal value) and compare the
+    // prediction against a fresh FEM solve.
+    let omega = vec![0.3105, 1.5386, 0.0932, -1.2442];
     let eval = Dataset::from_omegas(
-        vec![vec![0.3105, 1.5386, 0.0932, -1.2442]], // paper Table 3's ω
+        vec![omega.clone()],
         DiffusivityModel::paper(),
         InputEncoding::LogNu,
     );
-    let cmp = compare_with_fem(&mut net, &eval, 0, &[32, 32]);
+    let cmp = compare_with_fem(engine.model_mut(), &eval, 0, &[32, 32])?;
     println!("\nMGDiffNet vs FEM on the paper's Table-3 ω:");
     println!("  relative L2 error : {:.4}", cmp.rel_l2);
     println!("  max error         : {:.4}", cmp.linf);
-    println!("  energy (nn / fem) : {:.5} / {:.5}", cmp.energy_nn, cmp.energy_fem);
-    println!("  inference         : {:.3}s vs FEM solve {:.3}s ({} iters)",
-        cmp.inference_seconds, cmp.fem_seconds, cmp.fem_iterations);
-    println!("  warm-started FEM  : {} iters (prediction as initial guess)",
-        cmp.warm_start_iterations);
+    println!(
+        "  energy (nn / fem) : {:.5} / {:.5}",
+        cmp.energy_nn, cmp.energy_fem
+    );
+    println!(
+        "  inference         : {:.3}s vs FEM solve {:.3}s ({} iters)",
+        cmp.inference_seconds, cmp.fem_seconds, cmp.fem_iterations
+    );
+    println!(
+        "  warm-started FEM  : {} iters (prediction as initial guess)",
+        cmp.warm_start_iterations
+    );
 
-    let field = predict_field(&mut net, &eval, 0, &[32, 32]);
+    let field = engine.predict_omega(&omega)?;
     println!("\npredicted solution field (u=1 at left face, u=0 at right):\n");
     println!("{}", ascii_heatmap(&field, 32));
+    Ok(())
 }

@@ -20,13 +20,22 @@ use rand::{Rng, SeedableRng};
 fn composite_field(res: usize, n_inclusions: usize, kappa_inc: f64, rng: &mut StdRng) -> Tensor {
     let mut nu = Tensor::ones([res, res]);
     let centers: Vec<(f64, f64, f64)> = (0..n_inclusions)
-        .map(|_| (rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), rng.gen_range(0.05..0.15)))
+        .map(|_| {
+            (
+                rng.gen_range(0.1..0.9),
+                rng.gen_range(0.1..0.9),
+                rng.gen_range(0.05..0.15),
+            )
+        })
         .collect();
     for j in 0..res {
         for i in 0..res {
             let x = i as f64 / (res - 1) as f64;
             let y = j as f64 / (res - 1) as f64;
-            if centers.iter().any(|&(cx, cy, r)| (x - cx).powi(2) + (y - cy).powi(2) < r * r) {
+            if centers
+                .iter()
+                .any(|&(cx, cy, r)| (x - cx).powi(2) + (y - cy).powi(2) < r * r)
+            {
                 *nu.at_mut(&[j, i]) = kappa_inc;
             }
         }
@@ -42,7 +51,9 @@ fn main() {
 
     // Generate a training set of microstructures.
     let mut rng = StdRng::seed_from_u64(11);
-    let fields: Vec<Tensor> = (0..12).map(|_| composite_field(res, 4, 10.0, &mut rng)).collect();
+    let fields: Vec<Tensor> = (0..12)
+        .map(|_| composite_field(res, 4, 10.0, &mut rng))
+        .collect();
 
     let mut net = UNet::new(UNetConfig {
         two_d: true,
@@ -52,7 +63,7 @@ fn main() {
         ..Default::default()
     });
     let mut opt = Adam::new(3e-3);
-    let loss = FemLoss::new(&dims);
+    let loss = FemLoss::new(&dims).unwrap();
     let batch = 4usize;
     let vol = res * res;
 
@@ -81,7 +92,10 @@ fn main() {
             steps += 1;
         }
         if epoch % 10 == 0 || epoch == 39 {
-            println!("  epoch {epoch:>3}: energy loss {:.5}", epoch_loss / steps as f64);
+            println!(
+                "  epoch {epoch:>3}: energy loss {:.5}",
+                epoch_loss / steps as f64
+            );
         }
     }
 
@@ -97,7 +111,16 @@ fn main() {
     assert!(stats.converged);
     let pred = Tensor::from_vec([res, res], u.as_slice().to_vec());
     let fem = Tensor::from_vec([res, res], u_fem);
-    println!("\nunseen microstructure: rel L2 vs FEM = {:.4}", pred.rel_l2_error(&fem));
-    println!("\nconductivity map (inclusions dark):\n{}", ascii_heatmap(&test.map(|v| -v), res));
-    println!("predicted temperature field:\n{}", ascii_heatmap(&pred, res));
+    println!(
+        "\nunseen microstructure: rel L2 vs FEM = {:.4}",
+        pred.rel_l2_error(&fem)
+    );
+    println!(
+        "\nconductivity map (inclusions dark):\n{}",
+        ascii_heatmap(&test.map(|v| -v), res)
+    );
+    println!(
+        "predicted temperature field:\n{}",
+        ascii_heatmap(&pred, res)
+    );
 }

@@ -20,7 +20,11 @@ pub fn ascii_heatmap(field: &mgd_tensor::Tensor, width: usize) -> String {
     let ramp: &[u8] = b" .:-=+*#%@";
     let lo = field.min();
     let hi = field.max();
-    let scale = if hi > lo { (ramp.len() - 1) as f64 / (hi - lo) } else { 0.0 };
+    let scale = if hi > lo {
+        (ramp.len() - 1) as f64 / (hi - lo)
+    } else {
+        0.0
+    };
     let step = (nx / width.max(1)).max(1);
     let mut out = String::new();
     let data = field.as_slice();

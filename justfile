@@ -1,0 +1,30 @@
+# Developer task runner (https://github.com/casey/just).
+# `./ci.sh` is the no-dependency equivalent of `just ci`.
+
+# Run the full CI gate.
+ci:
+    ./ci.sh
+
+# Format the workspace.
+fmt:
+    cargo fmt --all
+
+# Lint at CI strictness.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Release build.
+build:
+    cargo build --release --workspace
+
+# Full test suite.
+test:
+    cargo test -q --workspace
+
+# Serving throughput: batched predict_batch vs looped predict.
+bench-serving:
+    cargo bench -p mgd-bench --bench serving
+
+# All benchmarks.
+bench:
+    cargo bench --workspace

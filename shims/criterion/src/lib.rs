@@ -1,0 +1,262 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the harness API the workspace's benches use (benchmark groups,
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`
+//! with `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros) with a plain mean/min/max timing loop — no outlier analysis,
+//! HTML reports, or statistical regression tests. Benches run under
+//! `cargo bench`, compile under `cargo bench --no-run`, and exit fast in
+//! `cargo test`'s `--test` mode, matching the real crate's behavior.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// True when invoked by `cargo test` (smoke mode: one iteration).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            cfg: MeasureConfig::default(),
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = MeasureConfig::default();
+        run_benchmark(&name.into(), &cfg, self.test_mode, f);
+        self
+    }
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    cfg: MeasureConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Warm-up running time before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Declares one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, &self.cfg, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Ends the group (formatting parity with the real crate).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+enum BenchMode {
+    /// Determine iterations per sample from a calibration run.
+    Measure { cfg: MeasureConfig },
+    /// `cargo test` smoke run: execute once, record nothing.
+    Smoke,
+}
+
+impl Bencher {
+    /// Measures a routine; its return value is black-boxed so the optimizer
+    /// cannot delete the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match &self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+            }
+            BenchMode::Measure { cfg } => {
+                let cfg = *cfg;
+                // Warm-up and calibration: count how many iterations fit.
+                let warm_start = Instant::now();
+                let mut calibration_iters: u64 = 0;
+                while warm_start.elapsed() < cfg.warm_up_time || calibration_iters == 0 {
+                    black_box(routine());
+                    calibration_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / calibration_iters as f64;
+                let budget = cfg.measurement_time.as_secs_f64() / cfg.sample_size as f64;
+                self.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+                self.samples.clear();
+                for _ in 0..cfg.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples
+                        .push(t.elapsed() / self.iters_per_sample as u32);
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    cfg: &MeasureConfig,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        mode: if test_mode {
+            BenchMode::Smoke
+        } else {
+            BenchMode::Measure { cfg: *cfg }
+        },
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok (smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples — closure never called iter)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name:<40} time: [{} {} {}] ({} samples x {} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(5))
+                .warm_up_time(Duration::from_millis(1));
+            g.bench_function("inc", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0, "routine must execute at least once");
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let cfg = MeasureConfig {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(6),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut b = Bencher {
+            mode: BenchMode::Measure { cfg },
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        assert_eq!(b.samples.len(), 3);
+    }
+}

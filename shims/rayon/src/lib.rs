@@ -1,0 +1,463 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! Implements the subset of rayon's parallel-iterator API that the MGDiffNet
+//! workspace uses — `par_iter` / `par_iter_mut` on slices, `into_par_iter` on
+//! ranges and vectors, and the `map` / `zip` / `for_each` / `sum` / `collect`
+//! combinators — on top of `std::thread::scope`. Work is split into one
+//! contiguous chunk per thread (fork-join without work stealing), which is
+//! the right shape for the uniform elementwise/element-sweep kernels this
+//! workspace runs. Inputs below [`MIN_PAR_LEN`] items run sequentially so
+//! tiny tensors do not pay thread-spawn overhead.
+//!
+//! The real crate drops in by replacing the `path` dependency in the root
+//! `[workspace.dependencies]` with a registry version.
+
+use std::sync::Arc;
+
+/// Below this many items a "parallel" iterator just runs sequentially:
+/// per-call thread spawning (~tens of µs) would dominate. Callers in this
+/// workspace additionally gate by `mgd_tensor::PAR_THRESHOLD`.
+pub const MIN_PAR_LEN: usize = 512;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A splittable, exact-length parallel iterator over `Send` items.
+///
+/// `pi_len`/`pi_split_at` expose balanced splitting; `into_seq` converts a
+/// chunk into a sequential iterator that drains it. All terminal operations
+/// split into one chunk per thread and drain chunks concurrently.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Sequential drain of one chunk.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Remaining number of items.
+    fn pi_len(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+    /// Converts this chunk into a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Maps every item through `f` (applied on the worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pairs this iterator with another parallel iterator, lockstep.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Consumes every item with `f`, in parallel above [`MIN_PAR_LEN`].
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let chunks = split_chunks(self);
+        if chunks.len() == 1 {
+            for c in chunks {
+                c.into_seq().for_each(&f);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for c in chunks {
+                let f = &f;
+                s.spawn(move || c.into_seq().for_each(f));
+            }
+        });
+    }
+
+    /// Sums the items (chunk partials combined in chunk order, so results
+    /// are deterministic for a fixed thread count and input length).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let chunks = split_chunks(self);
+        if chunks.len() == 1 {
+            return chunks.into_iter().map(|c| c.into_seq().sum::<S>()).sum();
+        }
+        let mut partials: Vec<Option<S>> = Vec::new();
+        partials.resize_with(chunks.len(), || None);
+        std::thread::scope(|s| {
+            for (slot, c) in partials.iter_mut().zip(chunks) {
+                s.spawn(move || *slot = Some(c.into_seq().sum::<S>()));
+            }
+        });
+        partials
+            .into_iter()
+            .map(|p| p.expect("worker thread completed"))
+            .sum()
+    }
+
+    /// Collects into a container, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let chunks = split_chunks(self);
+        if chunks.len() == 1 {
+            return chunks.into_iter().flat_map(|c| c.into_seq()).collect();
+        }
+        let mut parts: Vec<Vec<Self::Item>> = Vec::new();
+        parts.resize_with(chunks.len(), Vec::new);
+        std::thread::scope(|s| {
+            for (slot, c) in parts.iter_mut().zip(chunks) {
+                s.spawn(move || *slot = c.into_seq().collect());
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Splits `iter` into at most `num_threads` near-equal chunks (a single
+/// chunk when the input is small or the machine has one core).
+fn split_chunks<I: ParallelIterator>(iter: I) -> Vec<I> {
+    let n = iter.pi_len();
+    let threads = num_threads();
+    if n < MIN_PAR_LEN || threads <= 1 {
+        return vec![iter];
+    }
+    let k = threads.min(n);
+    let mut out = Vec::with_capacity(k);
+    let mut rest = iter;
+    let mut remaining = n;
+    for i in 0..k - 1 {
+        let take = remaining / (k - i);
+        let (head, tail) = rest.pi_split_at(take);
+        out.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    out.push(rest);
+    out
+}
+
+/// Conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter` on `&self` (shared references).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a shared reference).
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `par_iter_mut` on `&mut self` (exclusive references).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (an exclusive reference).
+    type Item: Send + 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(index);
+        (SliceIter(a), SliceIter(b))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T: Send>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(index);
+        (SliceIterMut(a), SliceIterMut(b))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceIter(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceIterMut(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceIter(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceIterMut(self)
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter(std::ops::Range<usize>);
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+
+    fn pi_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.0.start + index;
+        (RangeIter(self.0.start..mid), RangeIter(mid..self.0.end))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter(self)
+    }
+}
+
+/// Owning parallel iterator over `Vec<T>`.
+pub struct VecIter<T: Send>(Vec<T>);
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn pi_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn pi_split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.0.split_off(index);
+        (self, VecIter(tail))
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.0.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter(self)
+    }
+}
+
+// --------------------------------------------------------------- adapters
+
+/// `map` adapter; the closure is shared across worker threads via `Arc`.
+pub struct Map<I, F: ?Sized> {
+    base: I,
+    f: Arc<F>,
+}
+
+/// Sequential drain of a [`Map`] chunk.
+pub struct MapSeq<S, F: ?Sized> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, R, F> Iterator for MapSeq<S, F>
+where
+    S: Iterator,
+    F: Fn(S::Item) -> R + ?Sized,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    type Seq = MapSeq<I::Seq, F>;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Map {
+                base: a,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        MapSeq {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// `zip` adapter (lockstep pairing; length is the shorter side).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.pi_split_at(index);
+        let (b0, b1) = self.b.pi_split_at(index);
+        (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_sum_matches_serial() {
+        let n = 100_000usize;
+        let par: u64 = (0..n).into_par_iter().map(|i| (i % 7) as u64).sum();
+        let ser: u64 = (0..n).map(|i| (i % 7) as u64).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn slice_zip_for_each_writes_every_slot() {
+        let n = 50_000;
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| 2.0 * i as f64).collect();
+        let mut out = vec![0.0f64; n];
+        out.par_iter_mut()
+            .zip(a.par_iter().zip(b.par_iter()))
+            .for_each(|(o, (&x, &y))| *o = x + y);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes_items() {
+        let rows: Vec<(usize, String)> = (0..1000).map(|i| (i, format!("r{i}"))).collect();
+        let total: usize = rows.into_par_iter().map(|(i, s)| i + s.len()).sum();
+        let expect: usize = (0..1000).map(|i| i + format!("r{i}").len()).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential_and_correct() {
+        let mut v = vec![1.0f64; 8];
+        v.par_iter_mut().for_each(|x| *x += 1.0);
+        assert!(v.iter().all(|&x| x == 2.0));
+        let s: f64 = v.par_iter().sum();
+        assert_eq!(s, 16.0);
+    }
+}

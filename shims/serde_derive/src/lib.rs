@@ -1,0 +1,479 @@
+//! Offline stand-in for [serde_derive](https://crates.io/crates/serde_derive).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the MGDiffNet workspace actually declares — non-generic structs
+//! with named fields, tuple structs, and enums whose variants are unit or
+//! tuple — generating impls of the tree-model traits in the sibling `serde`
+//! shim. The `#[serde(default)]` field attribute is honored. Parsing is
+//! done directly on `proc_macro::TokenStream` (no `syn`/`quote`, which this
+//! offline container cannot fetch); unsupported shapes fail the build with
+//! an explicit message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: identifier plus whether `#[serde(default)]` is set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// One enum variant: identifier plus tuple-payload arity (0 = unit).
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+/// The parsed derive input.
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility to the `struct`/`enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let k = id.to_string();
+                i += 1;
+                break k;
+            }
+            Some(other) => {
+                panic!("serde_derive shim: unexpected token `{other}` before item keyword")
+            }
+            None => panic!("serde_derive shim: no struct/enum found in derive input"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Input::TupleStruct {
+                name,
+                arity: count_top_level_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Input::TupleStruct { name, arity: 0 }
+        }
+        other => panic!("serde_derive shim: unsupported {kind} body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `name: Type` fields, tracking `#[serde(default)]`.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let text = g.to_string().replace(' ', "");
+                if text.contains("serde(") && text.contains("default") {
+                    default = true;
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts comma-separated fields at the top level of a tuple-struct body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variants (unit or tuple payloads).
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_fields(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct-like variant `{name}` is not supported");
+            }
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => {
+                panic!("serde_derive shim: expected `,` after variant `{name}`, got {other:?}")
+            }
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::serialize_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+                n => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{items}])")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{name}::{0} => ::serde::Value::Str(::std::string::String::from(\"{0}\")),",
+                        v.name
+                    ),
+                    1 => format!(
+                        "{name}::{0}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::serialize_value(__f0))]),",
+                        v.name
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{0}({1}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{0}\"), \
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            v.name,
+                            binders.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"missing field `{}` in {name}\"))",
+                            f.name
+                        )
+                    };
+                    format!(
+                        "{0}: match __v.get(\"{0}\") {{\n\
+                             ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::deserialize_value(__x)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Map(_) => \
+                                 ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected object for {name}, got {{}}\", \
+                                 __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("::std::result::Result::Ok({name})"),
+                1 => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(__v)?))"
+                ),
+                n => {
+                    let items: String = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::deserialize_value(&__items[{i}])?,")
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}({items})),\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected {n}-element array for {name}, \
+                                 got {{}}\", __other.kind()))),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    if v.arity == 1 {
+                        format!(
+                            "\"{0}\" => ::std::result::Result::Ok({name}::{0}(\
+                             ::serde::Deserialize::deserialize_value(__val)?)),",
+                            v.name
+                        )
+                    } else {
+                        let n = v.arity;
+                        let items: String = (0..n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&__items[{i}])?,")
+                            })
+                            .collect();
+                        format!(
+                            "\"{0}\" => match __val {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{0}({items})),\n\
+                                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                     \"malformed payload for variant `{0}` of {name}\")),\n\
+                             }},",
+                            v.name
+                        )
+                    }
+                })
+                .collect();
+            let str_arm = format!(
+                "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\n\
+                     __u => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{__u}}` of {name}\"))),\n\
+                 }},"
+            );
+            let map_arm = format!(
+                "::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__key, __val) = &__entries[0];\n\
+                     match __key.as_str() {{\n\
+                         {payload_arms}\n\
+                         __u => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{__u}}` of {name}\"))),\n\
+                     }}\n\
+                 }},"
+            );
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             {str_arm}\n\
+                             {map_arm}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected variant of {name}, got {{}}\", \
+                                 __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -10,7 +10,12 @@ use mgdiffnet::prelude::*;
 fn cluster_model_param_count_matches_real_network() {
     // The performance model (Figure 9/10 substitution) must describe the
     // actual architecture: its parameter count has to match `mgd-nn`.
-    for (depth, base, two_d) in [(3usize, 16usize, false), (2, 8, true), (3, 16, true), (4, 8, false)] {
+    for (depth, base, two_d) in [
+        (3usize, 16usize, false),
+        (2, 8, true),
+        (3, 16, true),
+        (4, 8, false),
+    ] {
         let mut net = UNet::new(UNetConfig {
             depth,
             base_filters: base,
@@ -39,11 +44,25 @@ fn trained_prediction_warm_starts_fem() {
     // iterations than the cold solve.
     let (mut net, mut opt, data) = tiny_2d_setup(8, 21);
     let comm = LocalComm::new();
-    let cfg = TrainConfig { batch_size: 4, max_epochs: 80, patience: 10, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
+    let cfg = TrainConfig {
+        batch_size: 4,
+        max_epochs: 80,
+        patience: 10,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
     let dims = vec![32usize, 32];
-    let _ = MultigridTrainer::new(mg, cfg, dims.clone()).run(&mut net, &mut opt, &data, &comm);
-    let cmp = compare_with_fem(&mut net, &data, 1, &dims);
+    let _ = MultigridTrainer::new(mg, cfg, dims.clone())
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
+    let cmp = compare_with_fem(&mut net, &data, 1, &dims).unwrap();
     assert!(
         cmp.warm_start_iterations < cmp.fem_iterations,
         "warm start ({}) should beat cold start ({})",
@@ -58,11 +77,25 @@ fn resolution_agnostic_inference_across_multigrid_levels() {
     // the property that makes multigrid training possible at all.
     let (mut net, mut opt, data) = tiny_2d_setup(4, 31);
     let comm = LocalComm::new();
-    let cfg = TrainConfig { batch_size: 4, max_epochs: 20, patience: 5, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
-    let _ = MultigridTrainer::new(mg, cfg, vec![32, 32]).run(&mut net, &mut opt, &data, &comm);
+    let cfg = TrainConfig {
+        batch_size: 4,
+        max_epochs: 20,
+        patience: 5,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
+    let _ = MultigridTrainer::new(mg, cfg, vec![32, 32])
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     for dims in [[16usize, 16], [32, 32], [64, 64]] {
-        let f = predict_field(&mut net, &data, 0, &dims);
+        let f = predict_field(&mut net, &data, 0, &dims).unwrap();
         assert_eq!(f.dims(), &dims);
         // Boundary exactness at every resolution.
         for j in 0..dims[0] {
@@ -104,7 +137,7 @@ fn energy_loss_matches_fem_stiffness_quadratic_form() {
     // ties the training loss to the solver operator.
     use mgd_fem::{apply_stiffness, ElementBasis, Grid};
     let dims = [8usize, 8];
-    let loss = FemLoss::new(&dims);
+    let loss = FemLoss::new(&dims).unwrap();
     let model = DiffusivityModel::paper();
     let nu = model.rasterize(&[0.5, -1.0, 0.7, 0.2], &dims);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
@@ -115,5 +148,9 @@ fn energy_loss_matches_fem_stiffness_quadratic_form() {
     let mut ku = vec![0.0; grid.num_nodes()];
     apply_stiffness(&grid, &basis, nu.as_slice(), u.as_slice(), &mut ku);
     let quad: f64 = u.as_slice().iter().zip(&ku).map(|(a, b)| a * b).sum();
-    assert!((j - 0.5 * quad).abs() < 1e-10, "J = {j}, ½uᵀKu = {}", 0.5 * quad);
+    assert!(
+        (j - 0.5 * quad).abs() < 1e-10,
+        "J = {j}, ½uᵀKu = {}",
+        0.5 * quad
+    );
 }

@@ -19,10 +19,19 @@ fn train_losses(p: usize, epochs: usize) -> Vec<f64> {
             ..Default::default()
         });
         let mut opt = Adam::new(1e-3);
-        let cfg = TrainConfig { batch_size: 4, max_epochs: epochs, ..Default::default() };
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: epochs,
+            ..Default::default()
+        };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg).unwrap();
         tr.sync_initial_params();
-        tr.train_fixed(epochs).epochs.iter().map(|e| e.loss).collect::<Vec<f64>>()
+        tr.train_fixed(epochs)
+            .unwrap()
+            .epochs
+            .iter()
+            .map(|e| e.loss)
+            .collect::<Vec<f64>>()
     });
     results.into_iter().next().unwrap()
 }
@@ -53,7 +62,9 @@ fn ring_allreduce_handles_network_sized_gradients() {
     })
     .num_parameters();
     let results = launch(4, move |comm| {
-        let mut buf: Vec<f64> = (0..n).map(|i| (comm.rank() + 1) as f64 + i as f64 * 1e-9).collect();
+        let mut buf: Vec<f64> = (0..n)
+            .map(|i| (comm.rank() + 1) as f64 + i as f64 * 1e-9)
+            .collect();
         comm.allreduce_sum(&mut buf);
         buf
     });
@@ -79,14 +90,21 @@ fn replicas_stay_in_sync_across_epochs() {
             ..Default::default()
         });
         let mut opt = Adam::new(1e-3);
-        let cfg = TrainConfig { batch_size: 4, max_epochs: 4, ..Default::default() };
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg);
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: 4,
+            ..Default::default()
+        };
+        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg).unwrap();
         tr.sync_initial_params();
-        let _ = tr.train_fixed(4);
+        let _ = tr.train_fixed(4).unwrap();
         // Cheap structural hash of the final parameters.
         let mut flat = Vec::new();
         mgd_nn::param::flatten_params(&tr.net.params(), &mut flat);
-        flat.iter().enumerate().map(|(i, x)| x * (i as f64 + 1.0)).sum::<f64>()
+        flat.iter()
+            .enumerate()
+            .map(|(i, x)| x * (i as f64 + 1.0))
+            .sum::<f64>()
     });
     assert!(
         (hashes[0] - hashes[1]).abs() <= 1e-9 * hashes[0].abs().max(1.0),

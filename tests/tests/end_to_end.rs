@@ -9,16 +9,31 @@ use mgdiffnet::prelude::*;
 fn half_v_training_approaches_fem_solution_2d() {
     let (mut net, mut opt, data) = tiny_2d_setup(8, 1);
     let comm = LocalComm::new();
-    let cfg = TrainConfig { batch_size: 4, max_epochs: 200, patience: 20, min_delta: 1e-4, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
+    let cfg = TrainConfig {
+        batch_size: 4,
+        max_epochs: 200,
+        patience: 20,
+        min_delta: 1e-4,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 2,
+        adapt: false,
+        cycles: 1,
+    };
     let dims = vec![32usize, 32];
-    let log = MultigridTrainer::new(mg, cfg, dims.clone()).run(&mut net, &mut opt, &data, &comm);
+    let log = MultigridTrainer::new(mg, cfg, dims.clone())
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     assert!(log.final_loss.is_finite());
     // Compare against FEM on a training sample: the trained surrogate must
     // beat the untrained baseline error by a wide margin.
-    let cmp = compare_with_fem(&mut net, &data, 0, &dims);
+    let cmp = compare_with_fem(&mut net, &data, 0, &dims).unwrap();
     let (mut fresh, _, _) = tiny_2d_setup(8, 99);
-    let cmp0 = compare_with_fem(&mut fresh, &data, 0, &dims);
+    let cmp0 = compare_with_fem(&mut fresh, &data, 0, &dims).unwrap();
     assert!(
         cmp.rel_l2 < 0.5 * cmp0.rel_l2,
         "training must at least halve the field error: {} -> {}",
@@ -38,9 +53,23 @@ fn all_cycles_run_and_converge_to_similar_losses_2d() {
     let mut finals = Vec::new();
     for kind in CycleKind::ALL {
         let (mut net, mut opt, data) = tiny_2d_setup(4, 3);
-        let cfg = TrainConfig { batch_size: 4, max_epochs: 40, patience: 6, ..Default::default() };
-        let mg = MgConfig { cycle: kind, levels: 2, fixed_epochs: 2, adapt: false, cycles: 1 };
-        let log = MultigridTrainer::new(mg, cfg, dims.clone()).run(&mut net, &mut opt, &data, &comm);
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: 40,
+            patience: 6,
+            ..Default::default()
+        };
+        let mg = MgConfig {
+            cycle: kind,
+            levels: 2,
+            fixed_epochs: 2,
+            adapt: false,
+            cycles: 1,
+        };
+        let log = MultigridTrainer::new(mg, cfg, dims.clone())
+            .unwrap()
+            .run(&mut net, &mut opt, &data, &comm)
+            .unwrap();
         finals.push((kind.name(), log.final_loss));
     }
     let losses: Vec<f64> = finals.iter().map(|(_, l)| *l).collect();
@@ -61,16 +90,35 @@ fn three_d_pipeline_runs() {
         mgd_field::DiffusivityModel::paper(),
         mgd_field::InputEncoding::LogNu,
     );
-    let mut net = UNet::new(UNetConfig { depth: 2, base_filters: 2, seed: 4, ..Default::default() });
+    let mut net = UNet::new(UNetConfig {
+        depth: 2,
+        base_filters: 2,
+        seed: 4,
+        ..Default::default()
+    });
     let mut opt = Adam::new(3e-3);
-    let cfg = TrainConfig { batch_size: 2, max_epochs: 6, patience: 3, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 1, adapt: false, cycles: 1 };
+    let cfg = TrainConfig {
+        batch_size: 2,
+        max_epochs: 6,
+        patience: 3,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 1,
+        adapt: false,
+        cycles: 1,
+    };
     let dims = vec![16usize, 16, 16];
-    let log = MultigridTrainer::new(mg, cfg, dims.clone()).run(&mut net, &mut opt, &data, &comm);
+    let log = MultigridTrainer::new(mg, cfg, dims.clone())
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     assert_eq!(log.phases.len(), 2);
     assert_eq!(log.phases[0].dims, vec![8, 8, 8]);
     assert!(log.final_loss.is_finite());
-    let cmp = compare_with_fem(&mut net, &data, 0, &dims);
+    let cmp = compare_with_fem(&mut net, &data, 0, &dims).unwrap();
     assert!(cmp.rel_l2.is_finite());
 }
 
@@ -81,9 +129,23 @@ fn architectural_adaptation_pipeline() {
     let (mut net, mut opt, data) = tiny_2d_setup(4, 6);
     let depth0 = net.cfg.depth;
     let comm = LocalComm::new();
-    let cfg = TrainConfig { batch_size: 4, max_epochs: 20, patience: 4, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::HalfV, levels: 2, fixed_epochs: 2, adapt: true, cycles: 1 };
-    let log = MultigridTrainer::new(mg, cfg, vec![32, 32]).run(&mut net, &mut opt, &data, &comm);
+    let cfg = TrainConfig {
+        batch_size: 4,
+        max_epochs: 20,
+        patience: 4,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::HalfV,
+        levels: 2,
+        fixed_epochs: 2,
+        adapt: true,
+        cycles: 1,
+    };
+    let log = MultigridTrainer::new(mg, cfg, vec![32, 32])
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     assert_eq!(net.cfg.depth, depth0 + 1);
     // Paper §4.1.2: "within 20-30 mini-batches of update, the loss ...
     // drops down" — by the end of the post-adaptation phase the loss must
@@ -97,17 +159,30 @@ fn architectural_adaptation_pipeline() {
 fn checkpoint_roundtrip_through_training() {
     let (mut net, mut opt, data) = tiny_2d_setup(4, 8);
     let comm = LocalComm::new();
-    let cfg = TrainConfig { batch_size: 4, max_epochs: 5, ..Default::default() };
-    let mg = MgConfig { cycle: CycleKind::Base, levels: 1, fixed_epochs: 0, adapt: false, cycles: 1 };
-    let _ = MultigridTrainer::new(mg, cfg, vec![16, 16]).run(&mut net, &mut opt, &data, &comm);
+    let cfg = TrainConfig {
+        batch_size: 4,
+        max_epochs: 5,
+        ..Default::default()
+    };
+    let mg = MgConfig {
+        cycle: CycleKind::Base,
+        levels: 1,
+        fixed_epochs: 0,
+        adapt: false,
+        cycles: 1,
+    };
+    let _ = MultigridTrainer::new(mg, cfg, vec![16, 16])
+        .unwrap()
+        .run(&mut net, &mut opt, &data, &comm)
+        .unwrap();
     let ckpt = mgd_nn::io::Checkpoint::from_net(&mut net);
     let dir = std::env::temp_dir().join("mgd_integration");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("trained.json");
     ckpt.save(&path).unwrap();
     let mut restored = mgd_nn::io::Checkpoint::load(&path).unwrap().into_net();
-    let a = predict_field(&mut net, &data, 0, &[16, 16]);
-    let b = predict_field(&mut restored, &data, 0, &[16, 16]);
+    let a = predict_field(&mut net, &data, 0, &[16, 16]).unwrap();
+    let b = predict_field(&mut restored, &data, 0, &[16, 16]).unwrap();
     assert!(a.rel_l2_error(&b) < 1e-14);
     std::fs::remove_file(&path).ok();
 }

@@ -133,7 +133,7 @@ fn prediction_energy_bounded_below_by_fem() {
     use mgdiffnet::FemLoss;
     let data = Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu);
     let dims = [16usize, 16];
-    let loss = FemLoss::new(&dims);
+    let loss = FemLoss::new(&dims).unwrap();
     let mut net = UNet::new(UNetConfig {
         two_d: true,
         depth: 2,
@@ -142,7 +142,7 @@ fn prediction_energy_bounded_below_by_fem() {
         ..Default::default()
     });
     for s in 0..data.len() {
-        let f = mgdiffnet::predict_field(&mut net, &data, s, &dims);
+        let f = mgdiffnet::predict_field(&mut net, &data, s, &dims).unwrap();
         let nu = data.nu_field(s, &dims);
         let (u_fem, stats) = loss.fem_solve(nu.as_slice(), None, 1e-10);
         assert!(stats.converged);
@@ -150,10 +150,7 @@ fn prediction_energy_bounded_below_by_fem() {
             std::slice::from_ref(&nu),
             &Tensor::from_vec([1, 1, 1, 16, 16], f.as_slice().to_vec()),
         );
-        let j_fem = loss.energy_batch(
-            &[nu],
-            &Tensor::from_vec([1, 1, 1, 16, 16], u_fem),
-        );
+        let j_fem = loss.energy_batch(&[nu], &Tensor::from_vec([1, 1, 1, 16, 16], u_fem));
         assert!(j_nn >= j_fem - 1e-10, "sample {s}: {j_nn} < {j_fem}");
     }
 }
