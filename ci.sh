@@ -13,6 +13,10 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release --workspace
 run cargo test -q --workspace
+# Distributed smoke: exercise the replicate/shard/all-reduce path end to
+# end with 2 and 4 in-process ranks on every push.
+run cargo run --release -p mgd-examples --bin distributed_training -- --threads 2
+run cargo run --release -p mgd-examples --bin distributed_training -- --threads 4
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then

@@ -1,0 +1,44 @@
+//! Engine-level training throughput: `Serial` vs `Threads(p)` data-parallel.
+//!
+//! Complements `benches/dist.rs` (bare collectives) by timing the whole
+//! training loop through the `SolverEngine` facade — replica cloning,
+//! shared-seed sharding, forward/backward, ring all-reduce, optimizer step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgd_bench::experiments::engine_2d_with;
+use mgd_field::{Dataset, DiffusivityModel, InputEncoding};
+use mgdiffnet::Parallelism;
+use std::time::Duration;
+
+fn bench_train_scaling(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("train_scaling");
+    grp.sample_size(10)
+        .measurement_time(Duration::from_millis(2000))
+        .warm_up_time(Duration::from_millis(300));
+
+    // Sobol generation is hoisted out of the measured region so every
+    // sample times training (replication, sharding, all-reduce, steps)
+    // and nothing else.
+    let data = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu);
+
+    // One fixed unit of work (2 epochs at 32x32, global batch 4) under
+    // increasing worker counts; patience == max_epochs inside the helper
+    // pins the epoch count, so timings are directly comparable.
+    for (label, parallelism) in [
+        ("serial", Parallelism::Serial),
+        ("threads_2", Parallelism::Threads(2)),
+        ("threads_4", Parallelism::Threads(4)),
+    ] {
+        grp.bench_function(format!("train_32x32_{label}"), |b| {
+            b.iter(|| {
+                let mut engine = engine_2d_with(data.clone(), 32, 4, 2, 0, parallelism);
+                std::hint::black_box(engine.train().unwrap().final_loss)
+            })
+        });
+    }
+
+    grp.finish();
+}
+
+criterion_group!(benches, bench_train_scaling);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Thread-count scaling of engine training (companion to Figures 2/10).
+//!
+//! Where `fig2_epoch_scaling` sweeps resolution at one worker and
+//! `fig10_cpu_scaling` drives bare `Trainer`s over in-process ranks, this
+//! harness sweeps the worker count through the **public engine API** —
+//! `SolverEngine::builder().parallelism(Parallelism::Threads(p))` — timing
+//! the full multigrid schedule and checking the Eq. 15 loss-equivalence
+//! guarantee against the serial run as it goes.
+//!
+//! Run: `cargo run --release -p mgd-bench --bin threads_scaling [--full]`
+
+use mgd_bench::experiments::{engine_2d, ExperimentScale, HarnessArgs};
+use mgd_bench::{results_dir, Table};
+use mgdiffnet::{MgRunLog, Parallelism};
+
+fn trajectory(log: &MgRunLog) -> Vec<f64> {
+    log.phases.iter().flat_map(|p| p.losses.clone()).collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (resolution, samples, epochs, counts): (usize, usize, usize, Vec<usize>) = match args.scale
+    {
+        ExperimentScale::Quick => (32, 8, 4, vec![1, 2, 4]),
+        ExperimentScale::Full => (64, 32, 8, vec![1, 2, 4, 8]),
+    };
+    let batch = counts.iter().fold(1usize, |acc, &p| acc.max(p)); // divides every p
+    println!("== Thread scaling: SolverEngine data-parallel training ==");
+    println!(
+        "{resolution}x{resolution}, {samples} samples, global batch {batch}, \
+         {epochs} epochs; Eq. 15: every p follows the serial trajectory\n"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(["workers", "train_s", "speedup", "max_rel_dev_vs_serial"]);
+    let mut rows = Vec::new();
+    let mut serial: Option<(f64, Vec<f64>)> = None;
+    for &p in &counts {
+        let parallelism = if p == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(p)
+        };
+        let mut engine = engine_2d(resolution, samples, batch, epochs, args.seed, parallelism);
+        let log = engine.train().expect("harness training converges");
+        let losses = trajectory(&log);
+        let (t1, base) = serial.get_or_insert_with(|| (log.total_seconds, losses.clone()));
+        let dev = base
+            .iter()
+            .zip(&losses)
+            .map(|(a, b)| (a - b).abs() / a.abs().max(1e-12))
+            .fold(0.0f64, f64::max);
+        assert!(
+            dev < 1e-6,
+            "p={p} diverged from the serial trajectory (rel {dev:.2e})"
+        );
+        table.row([
+            p.to_string(),
+            format!("{:.3}", log.total_seconds),
+            format!("{:.2}x", *t1 / log.total_seconds),
+            format!("{dev:.2e}"),
+        ]);
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.6}", log.total_seconds),
+            format!("{dev:.3e}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n({cores} cores available; in-process ranks beyond that timeshare, so \
+         speedups flatten exactly where the paper's Figure 10 model predicts)"
+    );
+    let out = results_dir().join("threads_scaling.csv");
+    mgd_bench::write_csv(&out, &["workers", "train_seconds", "max_rel_dev"], &rows).unwrap();
+    println!("wrote {}", out.display());
+}

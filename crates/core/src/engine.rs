@@ -39,11 +39,42 @@ use crate::error::{MgdError, MgdResult};
 use crate::loss::FemLoss;
 use crate::mg_trainer::{MgConfig, MgRunLog, MultigridTrainer};
 use crate::trainer::TrainConfig;
-use mgd_dist::LocalComm;
+use mgd_dist::{launch_with, LocalComm};
 use mgd_field::{stack_fields, Dataset, DiffusivityModel, InputEncoding};
 use mgd_nn::{Adam, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::Tensor;
 use std::collections::HashMap;
+
+/// How [`SolverEngine::train`] distributes the data-parallel training loop
+/// (paper §3.2).
+///
+/// Under `Threads(p)` the engine replicates its model and optimizer onto
+/// `p` in-process ranks ([`mgd_dist::ThreadComm`]), shards every global
+/// mini-batch across them, and averages gradients with the deterministic
+/// ring all-reduce after each backward pass. Because every rank shuffles
+/// with the same seed and the shard union equals the global batch (Eq. 15),
+/// the epoch-loss trajectory matches [`Parallelism::Serial`] at the same
+/// global batch size up to floating-point reduction order — for stat-free
+/// networks (see [`SolverEngineBuilder::batch_norm`]) — and is bitwise
+/// reproducible across runs at a fixed `p` either way.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-rank training through [`LocalComm`] (the default).
+    #[default]
+    Serial,
+    /// Data-parallel training over `p` in-process worker threads.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Number of data-parallel workers this mode trains with.
+    pub fn workers(&self) -> usize {
+        match *self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(p) => p,
+        }
+    }
+}
 
 /// The PDE family an engine solves.
 #[derive(Clone, Debug)]
@@ -95,12 +126,12 @@ pub struct ServeStats {
 
 /// A small LRU cache keyed by quantized coefficient fields.
 ///
-/// Keys quantize every ν value to ~9 significant decimal digits, so bitwise
+/// Keys quantize every ν value to ~1e-9 absolute resolution, so bitwise
 /// jitter below solver precision still hits; the full quantized field is the
 /// key (no hash-collision false positives).
 struct PredictionCache {
     capacity: usize,
-    entries: HashMap<Vec<i64>, (Tensor, u64)>,
+    entries: HashMap<Vec<u128>, (Tensor, u64)>,
     clock: u64,
 }
 
@@ -113,15 +144,33 @@ impl PredictionCache {
         }
     }
 
-    fn key(field: &Tensor) -> Vec<i64> {
+    /// Quantizes a (finite — callers reject NaN/∞ first) field into a key.
+    ///
+    /// The quantization stays in the float domain: `round(v·1e9)` is an
+    /// exact integer-valued f64 whose bit pattern is the key element.
+    /// An earlier `as i64` cast saturated everything ≥ ~9.2e9 to `i64::MAX`
+    /// (distinct huge coefficients collided onto one entry) and collapsed
+    /// NaN to 0 (a NaN field cache-hit an all-zero field). Adding `0.0`
+    /// normalizes `-0.0` to `+0.0` so sub-resolution jitter around zero
+    /// still maps to one key. When `v·1e9` itself overflows f64
+    /// (|v| ≳ 1.8e299) the raw bit pattern is used instead, tagged into a
+    /// disjoint keyspace so it can never alias a quantized value.
+    fn key(field: &Tensor) -> Vec<u128> {
         field
             .as_slice()
             .iter()
-            .map(|&v| (v * 1e9).round() as i64)
+            .map(|&v| {
+                let q = (v * 1e9).round() + 0.0;
+                if q.is_finite() {
+                    u128::from(q.to_bits())
+                } else {
+                    (1u128 << 64) | u128::from(v.to_bits())
+                }
+            })
             .collect()
     }
 
-    fn get(&mut self, key: &[i64]) -> Option<Tensor> {
+    fn get(&mut self, key: &[u128]) -> Option<Tensor> {
         self.clock += 1;
         let clock = self.clock;
         self.entries.get_mut(key).map(|(t, stamp)| {
@@ -130,7 +179,7 @@ impl PredictionCache {
         })
     }
 
-    fn insert(&mut self, key: Vec<i64>, value: Tensor) {
+    fn insert(&mut self, key: Vec<u128>, value: Tensor) {
         if self.capacity == 0 {
             return;
         }
@@ -176,8 +225,10 @@ pub struct SolverEngineBuilder {
     encoding: InputEncoding,
     net_depth: usize,
     base_filters: usize,
+    batch_norm: bool,
     seed: u64,
     cache_capacity: usize,
+    parallelism: Parallelism,
     model: Option<Box<dyn Model>>,
     optimizer: Option<Box<dyn Optimizer>>,
     dataset: Option<Dataset>,
@@ -199,8 +250,10 @@ impl Default for SolverEngineBuilder {
             encoding: InputEncoding::LogNu,
             net_depth: 2,
             base_filters: 8,
+            batch_norm: true,
             seed: 0,
             cache_capacity: 64,
+            parallelism: Parallelism::Serial,
             model: None,
             optimizer: None,
             dataset: None,
@@ -305,6 +358,19 @@ impl SolverEngineBuilder {
         self
     }
 
+    /// Toggles batch normalization in the default U-Net (default on).
+    ///
+    /// Batch-norm statistics are computed over each worker's *local* batch
+    /// (standard data-parallel semantics), so the Eq. 15 worker-count
+    /// independence guarantee — `Threads(p)` matching `Serial`
+    /// epoch-for-epoch — only holds bitwise/within reduction tolerance for
+    /// stat-free networks. Disable it when you need that equivalence;
+    /// run-to-run determinism at a *fixed* worker count holds either way.
+    pub fn batch_norm(mut self, batch_norm: bool) -> Self {
+        self.batch_norm = batch_norm;
+        self
+    }
+
     /// Seed for weight init and epoch shuffles (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -315,6 +381,21 @@ impl SolverEngineBuilder {
     /// (default 64 entries).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// How training distributes across workers (default
+    /// [`Parallelism::Serial`]).
+    ///
+    /// [`Parallelism::Threads(p)`](Parallelism::Threads) runs the full
+    /// multigrid schedule data-parallel over `p` in-process ranks: every
+    /// rank shuffles with the shared seed, trains its shard of each global
+    /// mini-batch, and exchanges gradients through the deterministic ring
+    /// all-reduce, so the resulting model and loss trajectory match a
+    /// serial run at the same global batch size up to f64 reduction order.
+    /// The global `batch_size` must divide evenly by `p`.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -422,9 +503,14 @@ impl SolverEngineBuilder {
                 data.len()
             )));
         }
+        if let Parallelism::Threads(0) = self.parallelism {
+            return Err(MgdError::InvalidConfig(
+                "Parallelism::Threads needs >= 1 worker (got 0)".into(),
+            ));
+        }
         let mut train = self.train;
         train.seed = self.seed;
-        train.validate(1)?;
+        train.validate(self.parallelism.workers())?;
         let mg = MgConfig {
             cycle: self.cycle,
             levels: self.levels,
@@ -439,6 +525,7 @@ impl SolverEngineBuilder {
                 two_d: problem.rank() == 2,
                 depth: self.net_depth,
                 base_filters: self.base_filters,
+                batch_norm: self.batch_norm,
                 seed: self.seed,
                 ..Default::default()
             })) as Box<dyn Model>,
@@ -457,7 +544,7 @@ impl SolverEngineBuilder {
             encoding: self.encoding,
             schedule,
             loss,
-            comm: LocalComm::new(),
+            parallelism: self.parallelism,
             cache: PredictionCache::new(self.cache_capacity),
             stats: ServeStats::default(),
             last_run: None,
@@ -475,7 +562,7 @@ pub struct SolverEngine {
     encoding: InputEncoding,
     schedule: MultigridTrainer,
     loss: FemLoss,
-    comm: LocalComm,
+    parallelism: Parallelism,
     cache: PredictionCache,
     stats: ServeStats,
     last_run: Option<MgRunLog>,
@@ -486,6 +573,7 @@ impl std::fmt::Debug for SolverEngine {
         f.debug_struct("SolverEngine")
             .field("problem", &self.problem)
             .field("resolution", &self.resolution)
+            .field("parallelism", &self.parallelism)
             .field("encoding", &self.encoding)
             .field("samples", &self.data.len())
             .field("cache_len", &self.cache.len())
@@ -500,13 +588,55 @@ impl SolverEngine {
         SolverEngineBuilder::default()
     }
 
-    /// Runs the configured multigrid training schedule. Invalidates the
-    /// prediction cache (the weights changed).
+    /// Runs the configured multigrid training schedule under the engine's
+    /// [`Parallelism`] mode. Invalidates the prediction cache (the weights
+    /// changed).
+    ///
+    /// Under [`Parallelism::Threads(p)`](Parallelism::Threads) the engine
+    /// replicates its model/optimizer onto `p` in-process ranks, trains
+    /// data-parallel (shared-seed shuffles, per-rank shards, ring
+    /// all-reduce after every backward pass, rank-0 broadcast before every
+    /// phase), and keeps rank 0's model, optimizer state and run log — all
+    /// ranks hold bitwise-identical replicas when the schedule finishes.
     pub fn train(&mut self) -> MgdResult<MgRunLog> {
-        let log =
-            self.schedule
-                .run(&mut self.model, &mut self.optimizer, &self.data, &self.comm)?;
+        // Invalidate up front, not after: a run that errors out mid-schedule
+        // has still stepped the (serial-mode, in-place) weights, and stale
+        // entries from the pre-training model must not survive it.
         self.cache.clear();
+        let log = match self.parallelism {
+            Parallelism::Serial => {
+                let comm = LocalComm::new();
+                self.schedule
+                    .run(&mut self.model, &mut self.optimizer, &self.data, &comm)?
+            }
+            Parallelism::Threads(p) => {
+                let replicas: Vec<(Box<dyn Model>, Box<dyn Optimizer>)> = (0..p)
+                    .map(|_| (self.model.clone_model(), self.optimizer.clone_optimizer()))
+                    .collect();
+                let schedule = &self.schedule;
+                let data = &self.data;
+                let results = launch_with(replicas, move |comm, (mut model, mut opt)| {
+                    // Errors are returned (not unwrapped) so a failing rank
+                    // unwinds cleanly; the post-all-reduce blow-up check in
+                    // the trainer guarantees numerical failures strike all
+                    // ranks in the same mini-batch, never leaving a peer
+                    // blocked in a collective.
+                    let log = schedule.run(&mut model, &mut opt, data, &comm)?;
+                    Ok::<_, MgdError>((model, opt, log))
+                });
+                let mut rank0 = None;
+                for (rank, res) in results.into_iter().enumerate() {
+                    let out = res?;
+                    if rank == 0 {
+                        rank0 = Some(out);
+                    }
+                }
+                let (model, opt, log) = rank0.expect("launch_with returns one result per rank");
+                self.model = model;
+                self.optimizer = opt;
+                log
+            }
+        };
         self.last_run = Some(log.clone());
         Ok(log)
     }
@@ -536,8 +666,24 @@ impl SolverEngine {
                     got: c.dims().to_vec(),
                 });
             }
+            // Reject NaN/∞ *before* keying: quantization cannot represent
+            // them faithfully (a NaN coefficient must never alias a valid
+            // field's cache entry), and the network would only propagate
+            // the poison anyway.
+            if c.has_non_finite() {
+                let bad = c
+                    .as_slice()
+                    .iter()
+                    .copied()
+                    .find(|v| !v.is_finite())
+                    .unwrap_or(f64::NAN);
+                return Err(MgdError::NonFinite {
+                    epoch: 0,
+                    loss: bad,
+                });
+            }
         }
-        let keys: Vec<Vec<i64>> = coeffs.iter().map(PredictionCache::key).collect();
+        let keys: Vec<Vec<u128>> = coeffs.iter().map(PredictionCache::key).collect();
         let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(coeffs.len());
         let mut miss_idx: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
@@ -645,6 +791,11 @@ impl SolverEngine {
     /// The problem this engine was built for.
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// The parallelism mode [`Self::train`] runs under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The training dataset.
@@ -803,6 +954,100 @@ mod tests {
         let _ = engine.predict(&f[1]).unwrap(); // miss
         assert_eq!(engine.stats().cache_hits, hits_before);
         let _ = engine.predict(&f[0]).unwrap(); // 0 was refreshed: may or may not survive the second insert
+    }
+
+    #[test]
+    fn predict_rejects_non_finite_inputs() {
+        let mut engine = small_builder().build().unwrap();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut bad = engine.dataset().nu_field(0, &[16, 16]);
+            *bad.at_mut(&[7, 7]) = poison;
+            assert!(
+                matches!(engine.predict(&bad), Err(MgdError::NonFinite { .. })),
+                "poison {poison} must be rejected"
+            );
+        }
+        assert_eq!(engine.cache_len(), 0, "rejected inputs never get cached");
+        assert_eq!(engine.stats().forward_passes, 0);
+        // Crucially: a NaN field must not cache-hit the all-zero field the
+        // old `as i64` cast collapsed it onto.
+        let zeros = Tensor::zeros([16, 16]);
+        let _ = engine.predict(&zeros).unwrap();
+        let mut nan_field = Tensor::zeros([16, 16]);
+        *nan_field.at_mut(&[0, 0]) = f64::NAN;
+        assert!(matches!(
+            engine.predict(&nan_field),
+            Err(MgdError::NonFinite { .. })
+        ));
+        assert_eq!(
+            engine.stats().cache_hits,
+            0,
+            "NaN field must not alias the zero field's entry"
+        );
+    }
+
+    #[test]
+    fn cache_key_does_not_saturate_on_huge_values() {
+        // The old `(v * 1e9).round() as i64` saturated every value beyond
+        // ~9.2e9 to i64::MAX, so distinct huge coefficient fields collided
+        // onto one cache entry. The float-domain key keeps them apart.
+        let a = Tensor::from_vec([2, 2], vec![1.0e10, 1.0, 1.0, 1.0]);
+        let b = Tensor::from_vec([2, 2], vec![2.0e10, 1.0, 1.0, 1.0]);
+        assert_ne!(
+            PredictionCache::key(&a),
+            PredictionCache::key(&b),
+            "values past the old i64 saturation point must keep distinct keys"
+        );
+        // Sub-resolution jitter still lands on the same key (the cache's
+        // reason to exist), including across the ±0.0 boundary.
+        let c = Tensor::from_vec([2, 2], vec![1.0e10, 1.0 + 1e-12, 1.0, 1.0]);
+        assert_eq!(PredictionCache::key(&a), PredictionCache::key(&c));
+        let z_pos = Tensor::from_vec([1, 2], vec![0.0, 1.0]);
+        let z_neg = Tensor::from_vec([1, 2], vec![-1e-12, 1.0]);
+        assert_eq!(PredictionCache::key(&z_pos), PredictionCache::key(&z_neg));
+        // Even past f64's own v*1e9 overflow point (~1.8e299) distinct
+        // values keep distinct keys, and the tagged fallback keyspace
+        // cannot alias a quantized value with the same bit pattern.
+        let h1 = Tensor::from_vec([1, 2], vec![1.0e300, 1.0]);
+        let h2 = Tensor::from_vec([1, 2], vec![2.0e300, 1.0]);
+        assert_ne!(PredictionCache::key(&h1), PredictionCache::key(&h2));
+        let overflow = Tensor::from_vec([1, 1], vec![1.0e300]);
+        let quantized_twin = Tensor::from_vec([1, 1], vec![1.0e300 / 1e9]);
+        assert_ne!(
+            PredictionCache::key(&overflow),
+            PredictionCache::key(&quantized_twin),
+            "tagged fallback must not alias round(v*1e9) of a smaller value"
+        );
+    }
+
+    #[test]
+    fn threads_training_runs_and_keeps_rank0_model() {
+        let mut engine = small_builder()
+            .parallelism(Parallelism::Threads(2))
+            .build()
+            .unwrap();
+        assert_eq!(engine.parallelism(), Parallelism::Threads(2));
+        let log = engine.train().unwrap();
+        assert!(log.final_loss.is_finite());
+        // The trained model serves immediately.
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        let u = engine.predict(&nu).unwrap();
+        assert!(u.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads_and_indivisible_batch() {
+        let e = small_builder().parallelism(Parallelism::Threads(0)).build();
+        assert!(
+            matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("Threads")),
+            "{e:?}"
+        );
+        // Global batch 4 cannot shard across 3 workers.
+        let e = small_builder().parallelism(Parallelism::Threads(3)).build();
+        assert!(
+            matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("divide")),
+            "{e:?}"
+        );
     }
 
     #[test]

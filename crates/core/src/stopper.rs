@@ -27,7 +27,16 @@ impl EarlyStopping {
     ///
     /// The energy loss can be negative (it is an energy *difference* from
     /// zero), so improvement is measured against `|best|`-scaled tolerance.
+    ///
+    /// A non-finite loss (NaN or ±∞ — the optimization has diverged) is an
+    /// immediate stop signal and is never recorded as `best`; without this
+    /// guard a NaN would satisfy the first-epoch acceptance, after which
+    /// every comparison against it is false and patience silently burns
+    /// down while [`Self::best`] reports NaN.
     pub fn update(&mut self, loss: f64) -> bool {
+        if !loss.is_finite() {
+            return true;
+        }
         let threshold = self.best - self.min_delta * self.best.abs().max(1e-12);
         if loss < threshold || self.best.is_infinite() {
             self.best = loss;
@@ -82,6 +91,33 @@ mod tests {
         assert!(!s.update(-1.5));
         assert!(!s.update(-1.5001)); // within tolerance: stale
         assert!(s.best() <= -1.5);
+    }
+
+    #[test]
+    fn non_finite_loss_stops_immediately_and_is_never_best() {
+        let mut s = EarlyStopping::new(5, 1e-3);
+        assert!(!s.update(1.0));
+        assert!(s.update(f64::NAN), "NaN must stop immediately");
+        assert_eq!(s.best(), 1.0, "NaN never recorded as best");
+        assert!(s.update(f64::INFINITY), "+inf must stop immediately");
+        assert!(s.update(f64::NEG_INFINITY), "-inf must stop immediately");
+        assert_eq!(s.best(), 1.0);
+        // A later finite improvement still registers normally.
+        assert!(!s.update(0.5));
+        assert_eq!(s.best(), 0.5);
+    }
+
+    #[test]
+    fn nan_on_first_epoch_stops_without_poisoning_best() {
+        let mut s = EarlyStopping::new(3, 1e-3);
+        assert!(s.update(f64::NAN));
+        assert!(
+            s.best().is_infinite(),
+            "best stays at the +inf sentinel, not NaN"
+        );
+        // The stopper remains usable: a finite loss is accepted as best.
+        assert!(!s.update(2.0));
+        assert_eq!(s.best(), 2.0);
     }
 
     #[test]

@@ -180,7 +180,7 @@ impl<'a, M: Model, O: Optimizer, C: Comm> Trainer<'a, M, O, C> {
             self.loss.apply_bc_batch(&mut u);
             let nu = self.data.try_batch_nu(local, &self.dims)?;
             let (j, grad_u) = self.loss.energy_grad_batch(&nu, &u);
-            if !j.is_finite() || grad_u.has_non_finite() {
+            if p == 1 && (!j.is_finite() || grad_u.has_non_finite()) {
                 return Err(MgdError::NonFinite {
                     epoch: self.global_epoch,
                     loss: j,
@@ -194,9 +194,25 @@ impl<'a, M: Model, O: Optimizer, C: Comm> Trainer<'a, M, O, C> {
             if p > 1 {
                 let mut flat = Vec::new();
                 flatten_grads(&params, &mut flat);
+                let grads_len = flat.len();
                 flat.push(j); // piggyback the scalar loss on the same ring
                 comm_seconds += average_gradients(self.comm, &mut flat);
-                let j_avg = flat.pop().expect("loss scalar");
+                let j_avg = flat.pop().ok_or(MgdError::ShapeMismatch {
+                    expected: vec![grads_len + 1],
+                    got: vec![0],
+                })?;
+                // Distributed blow-up detection happens *after* the
+                // all-reduce on purpose: a NaN/Inf on any one rank
+                // propagates through the sum, so every rank observes the
+                // identical non-finite average and aborts in the same
+                // mini-batch — a pre-reduce local check would leave the
+                // healthy ranks deadlocked in the next collective.
+                if !j_avg.is_finite() || flat.iter().any(|g| !g.is_finite()) {
+                    return Err(MgdError::NonFinite {
+                        epoch: self.global_epoch,
+                        loss: j_avg,
+                    });
+                }
                 unflatten_grads(&mut params, &flat);
                 loss_sum += j_avg;
             } else {

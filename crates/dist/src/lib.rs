@@ -21,6 +21,8 @@
 //!   to the left-fold serial sum;
 //! - [`launch`] — runs one closure per rank and collects rank-ordered
 //!   results (panics on any rank surface as `rank panicked` in the caller);
+//!   [`launch_with`] additionally moves an owned payload into each rank
+//!   (how the engine ships one model/optimizer replica per worker);
 //! - [`average_gradients`] / [`broadcast_params`] — the two collectives of
 //!   Algorithm 1, over flat parameter views;
 //! - [`global_minibatches`] / [`local_minibatch`] / [`pad_indices`] — the
@@ -33,7 +35,7 @@ mod thread_comm;
 
 pub use comm::{Comm, LocalComm};
 pub use shard::{global_minibatches, local_minibatch, pad_indices};
-pub use thread_comm::{launch, ThreadComm};
+pub use thread_comm::{launch, launch_with, ThreadComm};
 
 use std::time::Instant;
 

@@ -301,17 +301,36 @@ where
     R: Send,
     F: Fn(ThreadComm) -> R + Send + Sync,
 {
-    let comms = ThreadComm::ranks(p);
+    launch_with((0..p).map(|_| ()).collect(), |comm, ()| f(comm))
+}
+
+/// Like [`launch`], but moves one owned payload into each rank's closure.
+///
+/// `payloads.len()` determines the rank count; `payloads[r]` is handed to
+/// rank `r` by value. This is how callers that own per-rank state (e.g. a
+/// model replica and its optimizer for data-parallel training) ship it
+/// across the thread boundary and get it back through the rank's return
+/// value — a plain [`launch`] closure is `Fn` and can only borrow. Panic
+/// semantics match [`launch`]: any rank panicking poisons the communicator
+/// and surfaces as a `rank panicked` panic in the caller.
+pub fn launch_with<T, R, F>(payloads: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(ThreadComm, T) -> R + Send + Sync,
+{
+    let comms = ThreadComm::ranks(payloads.len());
     let shared = Arc::clone(&comms[0].shared);
     std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|comm| {
+            .zip(payloads)
+            .map(|(comm, payload)| {
                 let guard_shared = Arc::clone(&shared);
                 s.spawn(move || {
                     let _guard = PanicGuard(guard_shared);
-                    f(comm)
+                    f(comm, payload)
                 })
             })
             .collect();
@@ -418,6 +437,22 @@ mod tests {
     fn results_come_back_in_rank_order() {
         let results = launch(4, |comm| comm.rank() * 100);
         assert_eq!(results, vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn launch_with_moves_one_payload_per_rank() {
+        // Owned (non-Clone-requiring) payloads go in; each rank gets its
+        // own by value, collectives still work, and payloads come back
+        // through the rank-ordered results.
+        let payloads: Vec<Vec<f64>> = (0..3).map(|r| vec![r as f64; 4]).collect();
+        let results = launch_with(payloads, |comm, mut own| {
+            comm.allreduce_sum(&mut own);
+            (comm.rank(), own)
+        });
+        for (r, (rank, buf)) in results.iter().enumerate() {
+            assert_eq!(*rank, r);
+            assert!(buf.iter().all(|&x| x == 3.0), "{buf:?}");
+        }
     }
 
     #[test]

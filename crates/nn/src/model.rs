@@ -31,12 +31,25 @@ pub trait Model: Layer {
     fn deepen(&mut self) -> bool {
         false
     }
+
+    /// Deep copy of this model as a fresh boxed trait object.
+    ///
+    /// Data-parallel training replicates the model once per rank through
+    /// this hook (each in-process worker owns its replica; a broadcast from
+    /// rank 0 then makes the weights bitwise identical). For a `Clone`
+    /// architecture the implementation is one line:
+    /// `Box::new(self.clone())`.
+    fn clone_model(&self) -> Box<dyn Model>;
 }
 
 impl Model for UNet {
     fn deepen(&mut self) -> bool {
         *self = self.deepened();
         true
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
     }
 }
 
@@ -69,6 +82,10 @@ impl Model for Box<dyn Model> {
 
     fn deepen(&mut self) -> bool {
         (**self).deepen()
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        (**self).clone_model()
     }
 }
 

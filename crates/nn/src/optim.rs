@@ -28,6 +28,14 @@ pub trait Optimizer: Send {
 
     /// Human-readable identifier for logs and checkpoints.
     fn name(&self) -> &'static str;
+
+    /// Deep copy (including moment/velocity state) as a boxed trait object.
+    ///
+    /// Data-parallel training replicates the optimizer once per rank; since
+    /// all ranks see identical averaged gradients, the replicated state
+    /// stays identical across ranks. For a `Clone` optimizer this is
+    /// `Box::new(self.clone())`.
+    fn clone_optimizer(&self) -> Box<dyn Optimizer>;
 }
 
 impl Optimizer for Box<dyn Optimizer> {
@@ -45,6 +53,10 @@ impl Optimizer for Box<dyn Optimizer> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn clone_optimizer(&self) -> Box<dyn Optimizer> {
+        (**self).clone_optimizer()
     }
 }
 
@@ -138,6 +150,10 @@ impl Optimizer for Adam {
     fn name(&self) -> &'static str {
         "Adam"
     }
+
+    fn clone_optimizer(&self) -> Box<dyn Optimizer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Plain SGD with optional momentum (baseline optimizer).
@@ -197,6 +213,10 @@ impl Optimizer for Sgd {
 
     fn name(&self) -> &'static str {
         "SGD"
+    }
+
+    fn clone_optimizer(&self) -> Box<dyn Optimizer> {
+        Box::new(self.clone())
     }
 }
 

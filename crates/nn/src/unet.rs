@@ -182,6 +182,7 @@ pub fn split_channels(g: &Tensor, c_first: usize) -> (Tensor, Tensor) {
 }
 
 /// The MGDiffNet U-Net.
+#[derive(Clone, Debug)]
 pub struct UNet {
     /// Architecture parameters.
     pub cfg: UNetConfig,

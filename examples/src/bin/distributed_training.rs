@@ -1,48 +1,70 @@
-//! Data-parallel training on in-process ranks (paper §3.2).
+//! Data-parallel training through the `SolverEngine` facade (paper §3.2).
 //!
-//! Demonstrates the worker-count-independence guarantee (Eq. 15): training
-//! with 2 workers follows the single-worker loss trajectory to rounding,
-//! because the union of local mini-batches equals the global mini-batch and
-//! gradients are exactly averaged via ring all-reduce.
+//! One builder knob — `.parallelism(Parallelism::Threads(p))` — runs the
+//! full multigrid schedule over `p` in-process ranks: shared-seed shuffles,
+//! per-rank shards of every global mini-batch, ring all-reduce after each
+//! backward pass, and a rank-0 broadcast before every phase. The demo
+//! verifies the worker-count-independence guarantee (Eq. 15): 2- and
+//! 4-worker runs follow the single-worker loss trajectory to rounding.
 //!
 //! `cargo run --release -p mgd-examples --bin distributed_training`
+//! `... --threads N` trains one configuration only (the CI smoke mode).
 
 use mgdiffnet::prelude::*;
 
-fn run_training(p: usize) -> (Vec<f64>, f64, f64) {
-    let results = launch(p, move |comm| {
-        let data = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu);
-        let mut net = UNet::new(UNetConfig {
-            two_d: true,
-            depth: 2,
-            base_filters: 4,
-            seed: 123,         // identical initialization on every rank
-            batch_norm: false, // BN uses local-batch statistics, which would
-            // break bitwise worker-count independence
-            ..Default::default()
-        });
-        let mut opt = Adam::new(1e-3);
-        let cfg = TrainConfig {
-            batch_size: 4,
-            max_epochs: 10,
-            ..Default::default()
-        };
-        let mut tr = Trainer::new(&mut net, &mut opt, &data, &comm, vec![32, 32], cfg).unwrap();
-        tr.sync_initial_params();
-        let log = tr.train_fixed(10).unwrap();
-        let losses: Vec<f64> = log.epochs.iter().map(|e| e.loss).collect();
-        let comm_s: f64 = log.epochs.iter().map(|e| e.comm_seconds).sum();
-        (losses, log.total_seconds, comm_s)
-    });
-    // All ranks report identical (averaged) losses; take rank 0.
-    results.into_iter().next().unwrap()
+fn build(parallelism: Parallelism) -> SolverEngine {
+    SolverEngine::builder()
+        .resolution([32, 32])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .cycle(CycleKind::HalfV)
+        .levels(2)
+        .fixed_epochs(2)
+        .samples(8)
+        .batch_size(4)
+        .max_epochs(8)
+        // Batch-norm statistics are local to each worker's shard, which
+        // would break bitwise worker-count independence; Eq. 15 applies to
+        // the stat-free network.
+        .batch_norm(false)
+        .seed(123)
+        .parallelism(parallelism)
+        .build()
+        .expect("demo configuration is valid")
+}
+
+fn trajectory(log: &MgRunLog) -> Vec<f64> {
+    log.phases.iter().flat_map(|p| p.losses.clone()).collect()
+}
+
+fn run(parallelism: Parallelism) -> (Vec<f64>, f64) {
+    let mut engine = build(parallelism);
+    let log = engine.train().expect("training succeeds");
+    (trajectory(&log), log.total_seconds)
 }
 
 fn main() {
-    println!("data-parallel MGDiffNet training: worker-count independence\n");
-    let (l1, t1, _) = run_training(1);
-    let (l2, t2, c2) = run_training(2);
-    let (l4, t4, c4) = run_training(4);
+    // `--threads N`: train one configuration and exit (CI smoke test that
+    // exercises the replicate/shard/all-reduce path end to end).
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let p: usize = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--threads needs a positive integer");
+        let (losses, secs) = run(Parallelism::Threads(p));
+        let last = losses.last().copied().unwrap_or(f64::NAN);
+        assert!(last.is_finite(), "distributed training diverged");
+        println!(
+            "threads={p}: {} epochs in {secs:.2}s, final loss {last:.6}",
+            losses.len()
+        );
+        return;
+    }
+
+    println!("data-parallel MGDiffNet training through SolverEngine\n");
+    let (l1, t1) = run(Parallelism::Serial);
+    let (l2, t2) = run(Parallelism::Threads(2));
+    let (l4, t4) = run(Parallelism::Threads(4));
 
     println!("epoch |   p=1 loss |   p=2 loss |   p=4 loss");
     for e in 0..l1.len() {
@@ -51,24 +73,21 @@ fn main() {
             e, l1[e], l2[e], l4[e]
         );
     }
-    let max_diff_12 = l1
-        .iter()
-        .zip(&l2)
-        .map(|(a, b)| (a - b).abs() / a.abs().max(1e-12))
-        .fold(0.0f64, f64::max);
-    let max_diff_14 = l1
-        .iter()
-        .zip(&l4)
-        .map(|(a, b)| (a - b).abs() / a.abs().max(1e-12))
-        .fold(0.0f64, f64::max);
-    println!("\nmax relative trajectory deviation: p=2 {max_diff_12:.2e}, p=4 {max_diff_14:.2e}");
+    let rel_dev = |a: &[f64], b: &[f64]| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs() / x.abs().max(1e-12))
+            .fold(0.0f64, f64::max)
+    };
+    let d2 = rel_dev(&l1, &l2);
+    let d4 = rel_dev(&l1, &l4);
+    println!("\nmax relative trajectory deviation: p=2 {d2:.2e}, p=4 {d4:.2e}");
     println!("(nonzero only through floating-point reduction order — Eq. 15 in action)");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!(
-        "\nwall-clock: p=1 {t1:.1}s, p=2 {t2:.1}s (comm {c2:.2}s), p=4 {t4:.1}s (comm {c4:.2}s)"
-    );
+    println!("\nwall-clock: p=1 {t1:.1}s, p=2 {t2:.1}s, p=4 {t4:.1}s");
     println!("({cores} physical cores available; ranks beyond that timeshare)");
-    assert!(max_diff_12 < 1e-6, "distributed trajectory diverged");
+    assert!(d2 < 1e-6, "distributed trajectory diverged (p=2)");
+    assert!(d4 < 1e-6, "distributed trajectory diverged (p=4)");
 }

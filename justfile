@@ -21,6 +21,15 @@ build:
 test:
     cargo test -q --workspace
 
+# Distributed-training demo: Eq. 15 worker-count independence through
+# the SolverEngine `Parallelism` knob (serial vs 2 vs 4 workers).
+train-dist:
+    cargo run --release -p mgd-examples --bin distributed_training
+
+# Thread-count scaling harness through the engine API.
+bench-threads:
+    cargo run --release -p mgd-bench --bin threads_scaling
+
 # Serving throughput: batched predict_batch vs looped predict.
 bench-serving:
     cargo bench -p mgd-bench --bench serving

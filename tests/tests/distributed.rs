@@ -112,6 +112,91 @@ fn replicas_stay_in_sync_across_epochs() {
     );
 }
 
+/// One tiny engine per call: stat-free net (batch norm computes local-batch
+/// statistics, which breaks Eq. 15's worker-count independence), fixed seed,
+/// global batch 4 so p ∈ {1, 2, 4} all shard it evenly.
+fn tiny_engine(parallelism: Parallelism) -> SolverEngine {
+    SolverEngine::builder()
+        .resolution([16, 16])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .levels(2)
+        .fixed_epochs(2)
+        .samples(8)
+        .batch_size(4)
+        .max_epochs(4)
+        .batch_norm(false)
+        .seed(11)
+        .parallelism(parallelism)
+        .build()
+        .unwrap()
+}
+
+/// Flattened per-epoch loss trajectory over every phase of the run.
+fn trajectory(log: &mgdiffnet::MgRunLog) -> Vec<f64> {
+    log.phases.iter().flat_map(|p| p.losses.clone()).collect()
+}
+
+#[test]
+fn engine_threads_trajectory_matches_serial() {
+    // The acceptance bar: Threads(p) for p ∈ {2, 4} follows the Serial
+    // epoch-loss trajectory at the same global batch size within f32
+    // reduction tolerance, through the full multigrid schedule.
+    let serial = trajectory(&tiny_engine(Parallelism::Serial).train().unwrap());
+    assert!(!serial.is_empty());
+    for p in [2usize, 4] {
+        let dist = trajectory(&tiny_engine(Parallelism::Threads(p)).train().unwrap());
+        assert_eq!(serial.len(), dist.len(), "p={p}: same schedule length");
+        for (e, (a, b)) in serial.iter().zip(&dist).enumerate() {
+            let rel = (a - b).abs() / a.abs().max(1e-12);
+            assert!(
+                rel < 1e-6,
+                "p={p} epoch {e}: serial {a} vs threads {b} (rel {rel:.2e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_threads_predictions_match_serial() {
+    // Beyond the loss trajectory: the *models* that come out agree — rank
+    // 0's replica is the engine's result, and its predictions sit on top of
+    // the serial model's up to reduction-order noise.
+    let mut serial = tiny_engine(Parallelism::Serial);
+    let mut dist = tiny_engine(Parallelism::Threads(2));
+    serial.train().unwrap();
+    dist.train().unwrap();
+    let nu = serial.dataset().nu_field(1, &[16, 16]);
+    let a = serial.predict(&nu).unwrap();
+    let b = dist.predict(&nu).unwrap();
+    assert!(
+        a.rel_l2_error(&b) < 1e-7,
+        "serial and 2-thread models diverged: {}",
+        a.rel_l2_error(&b)
+    );
+}
+
+#[test]
+fn engine_threads_training_is_bitwise_deterministic() {
+    // At a fixed rank count, repeated runs must be *bitwise* identical:
+    // the ring all-reduce folds in rank order, shuffles share the seed,
+    // and there is no scheduling-dependent reduction anywhere.
+    for p in [2usize, 4] {
+        let run1 = tiny_engine(Parallelism::Threads(p)).train().unwrap();
+        let run2 = tiny_engine(Parallelism::Threads(p)).train().unwrap();
+        let t1 = trajectory(&run1);
+        let t2 = trajectory(&run2);
+        assert_eq!(t1.len(), t2.len());
+        for (e, (a, b)) in t1.iter().zip(&t2).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "p={p} epoch {e}: {a} != {b} across repeated runs"
+            );
+        }
+        assert_eq!(run1.final_loss.to_bits(), run2.final_loss.to_bits());
+    }
+}
+
 #[test]
 fn padded_dataset_divides_cleanly() {
     let mut data = Dataset::sobol(10, DiffusivityModel::paper(), InputEncoding::LogNu);

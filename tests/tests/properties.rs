@@ -84,6 +84,61 @@ proptest! {
         prop_assert!(j_pert >= j_star - 1e-10);
     }
 
+    /// Wrap-padding makes any permutation's length divisible by the batch
+    /// size, adds fewer than `batch` entries, replicates only the prefix,
+    /// and is a no-op when the length already divides.
+    #[test]
+    fn pad_indices_invariants(n in 1usize..64, batch in 1usize..12) {
+        let orig: Vec<usize> = (0..n).map(|i| i.wrapping_mul(7) % n).collect();
+        let mut idx = orig.clone();
+        mgd_dist::pad_indices(&mut idx, batch);
+        prop_assert_eq!(idx.len() % batch, 0);
+        prop_assert!(idx.len() < n + batch, "pads at most batch-1 entries");
+        prop_assert_eq!(&idx[..n], &orig[..], "existing entries untouched");
+        for (j, &v) in idx[n..].iter().enumerate() {
+            prop_assert_eq!(v, orig[j % n], "padding replicates the prefix in order");
+        }
+        if n % batch == 0 {
+            prop_assert_eq!(idx.len(), n, "already-divisible input is unchanged");
+        }
+    }
+
+    /// Global mini-batches cover a padded permutation exactly, in order,
+    /// all full-size.
+    #[test]
+    fn global_minibatches_partition_in_order(n in 1usize..64, batch in 1usize..12) {
+        let mut perm: Vec<usize> = (0..n).rev().collect();
+        mgd_dist::pad_indices(&mut perm, batch);
+        let mbs = mgd_dist::global_minibatches(&perm, batch);
+        prop_assert_eq!(mbs.len(), perm.len() / batch);
+        for mb in &mbs {
+            prop_assert_eq!(mb.len(), batch, "padded batches are all full");
+        }
+        let flat: Vec<usize> = mbs.into_iter().flatten().collect();
+        prop_assert_eq!(flat, perm, "concatenated batches equal the permutation");
+    }
+
+    /// Rank shards are equal-length, contiguous, and their in-order union
+    /// reconstructs the global mini-batch — the Eq. 15 precondition.
+    #[test]
+    fn local_minibatch_shards_partition_global(
+        n in 1usize..48, p in 1usize..6, per_rank in 1usize..5,
+    ) {
+        let batch = p * per_rank; // Trainer::new enforces batch % p == 0.
+        let mut perm: Vec<usize> = (0..n).map(|i| (i * 13) % n).collect();
+        mgd_dist::pad_indices(&mut perm, batch);
+        for mb in mgd_dist::global_minibatches(&perm, batch) {
+            let mut union = Vec::new();
+            for r in 0..p {
+                let shard = mgd_dist::local_minibatch(&mb, r, p);
+                prop_assert_eq!(shard.len(), per_rank, "equal shards");
+                prop_assert_eq!(shard, &mb[r * per_rank..(r + 1) * per_rank], "contiguous");
+                union.extend_from_slice(shard);
+            }
+            prop_assert_eq!(union, mb, "union of shards == global batch");
+        }
+    }
+
     /// Ring all-reduce equals the serial sum for arbitrary data and any
     /// worker count.
     #[test]
