@@ -17,10 +17,16 @@ run cargo test -q --workspace
 # end with 2 and 4 in-process ranks on every push.
 run cargo run --release -p mgd-examples --bin distributed_training -- --threads 2
 run cargo run --release -p mgd-examples --bin distributed_training -- --threads 4
+# Kernel smoke: build the direct-vs-GEMM conv report bin and run its quick
+# mode (small sizes; asserts both backends and the determinism check work).
+run cargo build --release -p mgd-bench --bin kernel_report
+run cargo run --release -p mgd-bench --bin kernel_report -- --quick /tmp/BENCH_kernels_ci.json
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then
     run cargo bench -p mgd-bench --bench serving
+    # Full kernel comparison, checked in as results/BENCH_kernels.json.
+    run cargo run --release -p mgd-bench --bin kernel_report
 fi
 
 echo "ci: all green"

@@ -1,48 +1,97 @@
 //! Micro-benchmarks of the NN compute kernels.
+//!
+//! The convolution groups are parameterized over [`ConvBackend`] so
+//! criterion tracks the direct sliding-window kernels and the blocked-GEMM
+//! lowering side by side at 32³ and 64³ (the `kernel_report` bin emits the
+//! same comparison as machine-readable JSON).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mgd_nn::{BatchNorm, Conv3d, ConvTranspose3d, Layer, MaxPool3d};
+use mgd_nn::{BatchNorm, Conv3d, ConvBackend, ConvTranspose3d, Layer, MaxPool3d};
 use mgd_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-fn bench_kernels(c: &mut Criterion) {
+const BACKENDS: [(ConvBackend, &str); 2] =
+    [(ConvBackend::Direct, "direct"), (ConvBackend::Gemm, "gemm")];
+
+/// Conv3d forward and forward+backward at 32³ and 64³ (batch 1, 16→16
+/// channels, 3³ kernels — the paper's encoder block shape), per backend.
+fn bench_conv_backends(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
+    for (size, samples, ms) in [(32usize, 10usize, 1500u64), (64, 3, 2000)] {
+        let mut g = c.benchmark_group(format!("conv3d_{size}"));
+        g.sample_size(samples)
+            .measurement_time(Duration::from_millis(ms))
+            .warm_up_time(Duration::from_millis(200));
+        let x = Tensor::rand_uniform([1, 16, size, size, size], -1.0, 1.0, &mut rng);
+        let mut proto = Conv3d::same(16, 16, (3, 3, 3), &mut rng);
+        for (backend, name) in BACKENDS {
+            proto.backend = backend;
+            let mut conv = proto.clone();
+            g.bench_function(format!("fwd_{name}"), |b| {
+                b.iter(|| conv.forward(std::hint::black_box(&x), false))
+            });
+            let y = conv.forward(&x, true);
+            // Backward consumes the cached activation, so the training-step
+            // benchmark times forward(train) + backward together.
+            g.bench_function(format!("fwdbwd_{name}"), |b| {
+                b.iter(|| {
+                    let _ = conv.forward(std::hint::black_box(&x), true);
+                    std::hint::black_box(conv.backward(&y))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Transpose-conv upsampling (the decoder hot path), per backend.
+fn bench_convt_backends(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("convT_up2");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
+    let xs = Tensor::rand_uniform([1, 16, 16, 16, 16], -1.0, 1.0, &mut rng);
+    let mut proto = ConvTranspose3d::up2(16, 8, false, &mut rng);
+    for (backend, name) in BACKENDS {
+        proto.backend = backend;
+        let mut up = proto.clone();
+        g.bench_function(format!("fwd_{name}"), |b| {
+            b.iter(|| up.forward(std::hint::black_box(&xs), false))
+        });
+    }
+    g.finish();
+}
+
+/// 2D-style conv (unit depth) — the Figure 2 workhorse — per backend.
+fn bench_conv2d_backends(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut g = c.benchmark_group("conv2d_64");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
+    let x2 = Tensor::rand_uniform([1, 8, 1, 64, 64], -1.0, 1.0, &mut rng);
+    let mut proto = Conv3d::same(8, 8, (1, 3, 3), &mut rng);
+    for (backend, name) in BACKENDS {
+        proto.backend = backend;
+        let mut conv = proto.clone();
+        g.bench_function(format!("fwd_{name}"), |b| {
+            b.iter(|| conv.forward(std::hint::black_box(&x2), false))
+        });
+    }
+    g.finish();
+}
+
+/// BatchNorm + pooling (unchanged by the conv backend, kept as context).
+fn bench_other_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
     let mut g = c.benchmark_group("kernels");
     g.sample_size(10)
         .measurement_time(Duration::from_millis(1200))
         .warm_up_time(Duration::from_millis(300));
-
-    // 3D conv at a realistic interior size.
     let x3 = Tensor::rand_uniform([1, 8, 16, 16, 16], -1.0, 1.0, &mut rng);
-    let mut conv = Conv3d::same(8, 8, (3, 3, 3), &mut rng);
-    g.bench_function("conv3d_fwd_16c8", |b| {
-        b.iter(|| conv.forward(std::hint::black_box(&x3), false))
-    });
-    let y = conv.forward(&x3, true);
-    g.bench_function("conv3d_bwd_16c8", |b| {
-        b.iter(|| {
-            let gx = conv.backward(std::hint::black_box(&y));
-            std::hint::black_box(gx)
-        })
-    });
-
-    // 2D-style conv (unit depth) — the Figure 2 workhorse.
-    let x2 = Tensor::rand_uniform([1, 8, 1, 64, 64], -1.0, 1.0, &mut rng);
-    let mut conv2 = Conv3d::same(8, 8, (1, 3, 3), &mut rng);
-    g.bench_function("conv2d_fwd_64c8", |b| {
-        b.iter(|| conv2.forward(std::hint::black_box(&x2), false))
-    });
-
-    // Transpose conv upsampling.
-    let xs = Tensor::rand_uniform([1, 16, 8, 8, 8], -1.0, 1.0, &mut rng);
-    let mut up = ConvTranspose3d::up2(16, 8, false, &mut rng);
-    g.bench_function("convT_up2_8to16", |b| {
-        b.iter(|| up.forward(std::hint::black_box(&xs), false))
-    });
-
-    // BatchNorm + pooling.
     let mut bn = BatchNorm::new(8);
     g.bench_function("batchnorm_16c8", |b| {
         b.iter(|| bn.forward(std::hint::black_box(&x3), true))
@@ -51,9 +100,14 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("maxpool_16c8", |b| {
         b.iter(|| pool.forward(std::hint::black_box(&x3), true))
     });
-
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+criterion_group!(
+    benches,
+    bench_conv_backends,
+    bench_convt_backends,
+    bench_conv2d_backends,
+    bench_other_kernels
+);
 criterion_main!(benches);

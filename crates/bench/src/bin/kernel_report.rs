@@ -1,0 +1,218 @@
+//! Machine-readable convolution-kernel benchmark: direct vs GEMM backend.
+//!
+//! Times Conv3d / ConvTranspose3d forward and backward on 2D and 3D sizes
+//! for both [`ConvBackend`]s, checks numerical equivalence and bitwise
+//! run-to-run determinism, and writes the results as JSON so the perf
+//! trajectory is trackable across commits:
+//!
+//! ```text
+//! cargo run --release -p mgd-bench --bin kernel_report              # full
+//! cargo run --release -p mgd-bench --bin kernel_report -- --quick  # CI smoke
+//! cargo run --release -p mgd-bench --bin kernel_report -- out.json
+//! ```
+//!
+//! Default output path: `results/BENCH_kernels.json`.
+
+use mgd_nn::{Conv3d, ConvBackend, ConvTranspose3d, Layer};
+use mgd_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Times `f` adaptively: repeats until ~`budget_s` seconds or `max_reps`,
+/// returns the minimum wall time in milliseconds (min is the stablest
+/// statistic for a dedicated machine).
+fn time_ms<F: FnMut()>(mut f: F, budget_s: f64, max_reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut reps = 0;
+    while reps < max_reps && (reps < 2 || start.elapsed().as_secs_f64() < budget_s) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        reps += 1;
+    }
+    best
+}
+
+struct CaseSpec {
+    name: &'static str,
+    /// NCDHW input dims.
+    dims: [usize; 5],
+    out_c: usize,
+    kernel: (usize, usize, usize),
+}
+
+/// Per-backend timings of one conv case.
+struct BackendTiming {
+    fwd_ms: f64,
+    fwdbwd_ms: f64,
+    output: Tensor,
+    deterministic: bool,
+}
+
+fn run_backend(proto: &Conv3d, backend: ConvBackend, x: &Tensor, budget_s: f64) -> BackendTiming {
+    let mut conv = proto.clone().with_backend(backend);
+    let fwd_ms = time_ms(
+        || {
+            let _ = conv.forward(x, false);
+        },
+        budget_s,
+        12,
+    );
+    let y = conv.forward(x, true);
+    let g = y.clone();
+    let fwdbwd_ms = time_ms(
+        || {
+            let _ = conv.forward(x, true);
+            let _ = conv.backward(&g);
+        },
+        budget_s,
+        8,
+    );
+    // Bitwise determinism: the same call twice must agree exactly.
+    let y1 = conv.forward(x, false);
+    let y2 = conv.forward(x, false);
+    let deterministic = y1
+        .as_slice()
+        .iter()
+        .zip(y2.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    BackendTiming {
+        fwd_ms,
+        fwdbwd_ms,
+        output: y1,
+        deterministic,
+    }
+}
+
+fn conv_case(spec: &CaseSpec, budget_s: f64) -> Value {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = Tensor::rand_uniform(spec.dims.to_vec(), -1.0, 1.0, &mut rng);
+    let proto = Conv3d::same(spec.dims[1], spec.out_c, spec.kernel, &mut rng);
+    let direct = run_backend(&proto, ConvBackend::Direct, &x, budget_s);
+    let gemm = run_backend(&proto, ConvBackend::Gemm, &x, budget_s);
+    json!({
+        "name": spec.name,
+        "input": spec.dims,
+        "out_channels": spec.out_c,
+        "kernel": [spec.kernel.0, spec.kernel.1, spec.kernel.2],
+        "forward_ms": json!({"direct": direct.fwd_ms, "gemm": gemm.fwd_ms}),
+        "forward_backward_ms": json!({"direct": direct.fwdbwd_ms, "gemm": gemm.fwdbwd_ms}),
+        "forward_speedup": direct.fwd_ms / gemm.fwd_ms,
+        "forward_backward_speedup": direct.fwdbwd_ms / gemm.fwdbwd_ms,
+        "gemm_vs_direct_rel_l2": direct.output.rel_l2_error(&gemm.output),
+        "bitwise_deterministic": direct.deterministic && gemm.deterministic,
+    })
+}
+
+fn convt_case(budget_s: f64) -> Value {
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = Tensor::rand_uniform([1, 16, 16, 16, 16], -1.0, 1.0, &mut rng);
+    let proto = ConvTranspose3d::up2(16, 8, false, &mut rng);
+    let mut times = [0.0f64; 2];
+    let mut outputs: Vec<Tensor> = Vec::new();
+    for (i, backend) in [ConvBackend::Direct, ConvBackend::Gemm]
+        .into_iter()
+        .enumerate()
+    {
+        let mut up = proto.clone().with_backend(backend);
+        times[i] = time_ms(
+            || {
+                let _ = up.forward(&x, false);
+            },
+            budget_s,
+            12,
+        );
+        outputs.push(up.forward(&x, false));
+    }
+    json!({
+        "name": "convT_up2_16to32",
+        "input": [1, 16, 16, 16, 16],
+        "out_channels": 8,
+        "kernel": [2, 2, 2],
+        "forward_ms": json!({"direct": times[0], "gemm": times[1]}),
+        "forward_speedup": times[0] / times[1],
+        "gemm_vs_direct_rel_l2": outputs[0].rel_l2_error(&outputs[1]),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_kernels.json".into());
+
+    let mut specs = vec![
+        CaseSpec {
+            name: "conv2d_fwd_64c8",
+            dims: [1, 8, 1, 64, 64],
+            out_c: 8,
+            kernel: (1, 3, 3),
+        },
+        CaseSpec {
+            name: "conv3d_32c16",
+            dims: [1, 16, 32, 32, 32],
+            out_c: 16,
+            kernel: (3, 3, 3),
+        },
+    ];
+    if !quick {
+        // The ISSUE-4 acceptance case: 64³, batch 1, 16→16 ch, 3³ kernel.
+        specs.push(CaseSpec {
+            name: "conv3d_64c16",
+            dims: [1, 16, 64, 64, 64],
+            out_c: 16,
+            kernel: (3, 3, 3),
+        });
+    }
+    let budget = if quick { 0.2 } else { 2.0 };
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut cases: Vec<Value> = Vec::new();
+    for spec in &specs {
+        eprintln!("timing {} ...", spec.name);
+        cases.push(conv_case(spec, budget));
+    }
+    eprintln!("timing convT_up2_16to32 ...");
+    cases.push(convt_case(budget));
+
+    let report = json!({
+        "bench": "kernels",
+        "mode": if quick { "quick" } else { "full" },
+        "threads": threads,
+        "default_backend": "gemm",
+        "cases": cases,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out_path, &rendered).expect("write report");
+    println!("{rendered}");
+    eprintln!("wrote {out_path}");
+
+    // Gate: the report doubles as a smoke test — the backends must agree
+    // numerically and the kernels must be bitwise reproducible.
+    for case in report["cases"].as_array().expect("cases array") {
+        let name = case["name"].as_str().unwrap_or("?");
+        let err = case["gemm_vs_direct_rel_l2"].as_f64().unwrap_or(f64::NAN);
+        assert!(
+            err < 1e-10,
+            "{name}: gemm/direct rel L2 {err} exceeds 1e-10"
+        );
+        if let Some(det) = case.get("bitwise_deterministic") {
+            assert!(
+                matches!(det, Value::Bool(true)),
+                "{name}: nondeterministic kernel"
+            );
+        }
+    }
+    eprintln!("equivalence + determinism checks passed");
+}

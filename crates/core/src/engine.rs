@@ -41,7 +41,7 @@ use crate::mg_trainer::{MgConfig, MgRunLog, MultigridTrainer};
 use crate::trainer::TrainConfig;
 use mgd_dist::{launch_with, LocalComm};
 use mgd_field::{stack_fields, Dataset, DiffusivityModel, InputEncoding};
-use mgd_nn::{Adam, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
+use mgd_nn::{Adam, ConvBackend, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -226,6 +226,7 @@ pub struct SolverEngineBuilder {
     net_depth: usize,
     base_filters: usize,
     batch_norm: bool,
+    conv_backend: ConvBackend,
     seed: u64,
     cache_capacity: usize,
     parallelism: Parallelism,
@@ -251,6 +252,7 @@ impl Default for SolverEngineBuilder {
             net_depth: 2,
             base_filters: 8,
             batch_norm: true,
+            conv_backend: ConvBackend::default(),
             seed: 0,
             cache_capacity: 64,
             parallelism: Parallelism::Serial,
@@ -368,6 +370,19 @@ impl SolverEngineBuilder {
     /// run-to-run determinism at a *fixed* worker count holds either way.
     pub fn batch_norm(mut self, batch_norm: bool) -> Self {
         self.batch_norm = batch_norm;
+        self
+    }
+
+    /// Convolution kernel implementation of the default U-Net (default
+    /// [`ConvBackend::Gemm`], the blocked-matmul lowering).
+    ///
+    /// [`ConvBackend::Direct`] selects the reference sliding-window
+    /// kernels — numerically equivalent to f64 round-off, several times
+    /// slower on fine grids; useful for A/B validation and for bisecting
+    /// kernel regressions. Ignored when a custom
+    /// [`model`](Self::model) is injected.
+    pub fn conv_backend(mut self, backend: ConvBackend) -> Self {
+        self.conv_backend = backend;
         self
     }
 
@@ -526,6 +541,7 @@ impl SolverEngineBuilder {
                 depth: self.net_depth,
                 base_filters: self.base_filters,
                 batch_norm: self.batch_norm,
+                conv_backend: self.conv_backend,
                 seed: self.seed,
                 ..Default::default()
             })) as Box<dyn Model>,
@@ -1018,6 +1034,27 @@ mod tests {
             PredictionCache::key(&quantized_twin),
             "tagged fallback must not alias round(v*1e9) of a smaller value"
         );
+    }
+
+    #[test]
+    fn conv_backend_knob_is_equivalent_and_serves() {
+        // Same seed, different kernels: predictions must agree to f64
+        // round-off, and the Direct engine must train/serve end to end.
+        let mut gemm_engine = small_builder().build().unwrap();
+        let mut direct_engine = small_builder()
+            .conv_backend(ConvBackend::Direct)
+            .build()
+            .unwrap();
+        let nu = gemm_engine.dataset().nu_field(1, &[16, 16]);
+        let ug = gemm_engine.predict(&nu).unwrap();
+        let ud = direct_engine.predict(&nu).unwrap();
+        assert!(
+            ug.rel_l2_error(&ud) < 1e-12,
+            "backends diverge: {}",
+            ug.rel_l2_error(&ud)
+        );
+        let log = direct_engine.train().unwrap();
+        assert!(log.final_loss.is_finite());
     }
 
     #[test]

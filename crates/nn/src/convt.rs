@@ -1,8 +1,12 @@
 //! Transpose (fractionally-strided) 3D convolution.
 
 use crate::layer::{Dims5, Layer, Triple};
+use crate::lowering::{
+    anchor_chunks, bias_grad, col2im_range_accumulate, im2col_range, ConvBackend, ConvGeom, Scratch,
+};
 use crate::param::Param;
 use crate::util::SendPtr;
+use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
 use mgd_tensor::par::maybe_par_for;
 use mgd_tensor::Tensor;
 use rand::Rng;
@@ -12,6 +16,13 @@ use rand::Rng;
 /// Weight layout `[in_c, out_c, kd, kh, kw]` (PyTorch convention). The
 /// standard factor-2 upsampler of the paper's decoder uses `k = s = 2`,
 /// `p = 0`, which exactly doubles each (pooled) axis.
+///
+/// A transpose convolution is the adjoint of a convolution with the same
+/// kernel/stride/padding, so under [`ConvBackend::Gemm`] (the default) all
+/// passes lower onto the *same* im2col/col2im + GEMM machinery as
+/// [`crate::conv::Conv3d`], with the patch geometry living on this layer's
+/// **output** grid: `Y = col2im(Vᵀ·X) + b`, `dX = V·im2col(dY)`,
+/// `dV += X·im2col(dY)ᵀ`.
 #[derive(Clone, Debug)]
 pub struct ConvTranspose3d {
     /// Input channels.
@@ -29,7 +40,10 @@ pub struct ConvTranspose3d {
     pub weight: Param,
     /// Per-output-channel bias.
     pub bias: Param,
+    /// Kernel implementation to run.
+    pub backend: ConvBackend,
     cache_x: Option<Tensor>,
+    scratch: Scratch,
 }
 
 impl ConvTranspose3d {
@@ -52,8 +66,16 @@ impl ConvTranspose3d {
             padding,
             weight: Param::kaiming([in_c, out_c, kd, kh, kw], fan_in, rng),
             bias: Param::zeros([out_c]),
+            backend: ConvBackend::default(),
             cache_x: None,
+            scratch: Scratch::default(),
         }
+    }
+
+    /// Selects the kernel implementation (builder-style).
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The factor-2 upsampler (`k = s = 2`); `two_d` keeps depth unscaled.
@@ -108,11 +130,122 @@ fn contributions(
     }
 }
 
-impl Layer for ConvTranspose3d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let din = Dims5::of(x);
-        assert_eq!(din.c, self.in_c, "channel mismatch");
-        let dout = self.out_dims(&din);
+impl ConvTranspose3d {
+    /// Lowering geometry over the *output* grid of one sample (the adjoint
+    /// of a convolution gathering from that grid, anchored at this layer's
+    /// input positions).
+    fn geom(&self, din: &Dims5, dout: &Dims5) -> ConvGeom {
+        ConvGeom {
+            c: self.out_c,
+            dims: (dout.d, dout.h, dout.w),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            out: (din.d, din.h, din.w),
+        }
+    }
+
+    /// GEMM forward: per sample, `Y_n = col2im(Vᵀ · X_n) + b`, sharing the
+    /// packed `Vᵀ` panels across the batch and streaming cache-resident
+    /// patch chunks at megavoxel grids.
+    fn forward_gemm(&mut self, x: &Tensor, din: &Dims5, dout: &Dims5) -> Tensor {
+        let geom = self.geom(din, dout);
+        let (kdim, p) = (geom.rows(), geom.cols());
+        let ow = din.w;
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        // The [in_c, out_c, kd, kh, kw] weight is the in_c × kdim matrix
+        // row-major; its transpose is the kdim × in_c left operand.
+        let pa = pack_a(self.weight.data.as_slice(), kdim, self.in_c, true);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let outvol = geom.vol();
+        let ys = y.as_mut_slice();
+        let Scratch { col, tmp, .. } = &mut self.scratch;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * p..][..self.in_c * p];
+            let yslab = &mut ys[ni * self.out_c * outvol..][..self.out_c * outvol];
+            for (oc, row) in yslab.chunks_exact_mut(outvol).enumerate() {
+                row.fill(bs[oc]);
+            }
+            for (ar0, ar1) in anchor_chunks(&geom) {
+                let cc = (ar1 - ar0) * ow;
+                // Contiguous copy of this chunk's input columns (rows of
+                // X_n are strided by the full position count).
+                tmp.resize(self.in_c * cc, 0.0);
+                for ic in 0..self.in_c {
+                    tmp[ic * cc..(ic + 1) * cc]
+                        .copy_from_slice(&xslab[ic * p + ar0 * ow..ic * p + ar1 * ow]);
+                }
+                col.resize(kdim * cc, 0.0);
+                gemm_prepacked(&pa, tmp, false, col, cc, false);
+                col2im_range_accumulate(&geom, col, yslab, ar0, ar1);
+            }
+        }
+        y
+    }
+
+    /// GEMM backward: `dX_n = V · im2col(dY_n)` and
+    /// `dV += X_n · im2col(dY_n)ᵀ`, reusing each chunk's gathered
+    /// gradient-patch matrix for both products.
+    fn backward_gemm(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        din: &Dims5,
+        dout: &Dims5,
+    ) -> Tensor {
+        let geom = self.geom(din, dout);
+        let (kdim, p) = (geom.rows(), geom.cols());
+        let ow = din.w;
+        let g = grad_out.as_slice();
+        let xs = x.as_slice();
+        let outvol = geom.vol();
+        let pa = pack_a(self.weight.data.as_slice(), self.in_c, kdim, false);
+        let gw = self.weight.grad.as_mut_slice();
+        let mut gx = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
+        let gxs = gx.as_mut_slice();
+        let Scratch { col, tmp, ctmp, .. } = &mut self.scratch;
+        for ni in 0..din.n {
+            let gslab = &g[ni * self.out_c * outvol..][..self.out_c * outvol];
+            let xslab = &xs[ni * self.in_c * p..][..self.in_c * p];
+            let gxslab = &mut gxs[ni * self.in_c * p..][..self.in_c * p];
+            for (ar0, ar1) in anchor_chunks(&geom) {
+                let cc = (ar1 - ar0) * ow;
+                col.resize(kdim * cc, 0.0);
+                im2col_range(&geom, gslab, col, ar0, ar1);
+                // Data gradient chunk, scattered back into the strided rows
+                // of dX_n.
+                ctmp.resize(self.in_c * cc, 0.0);
+                gemm_prepacked(&pa, col, false, ctmp, cc, false);
+                for ic in 0..self.in_c {
+                    gxslab[ic * p + ar0 * ow..ic * p + ar1 * ow]
+                        .copy_from_slice(&ctmp[ic * cc..(ic + 1) * cc]);
+                }
+                // Weight gradient over this chunk's input columns.
+                tmp.resize(self.in_c * cc, 0.0);
+                for ic in 0..self.in_c {
+                    tmp[ic * cc..(ic + 1) * cc]
+                        .copy_from_slice(&xslab[ic * p + ar0 * ow..ic * p + ar1 * ow]);
+                }
+                gemm(self.in_c, kdim, cc, tmp, false, col, true, gw, true);
+            }
+        }
+        gx
+    }
+
+    /// Accumulates the per-channel bias gradient (shared lowering helper).
+    fn bias_grad(&mut self, grad_out: &Tensor, dout: &Dims5) {
+        bias_grad(
+            grad_out.as_slice(),
+            dout.n,
+            dout.c,
+            dout.vol(),
+            self.bias.grad.as_mut_slice(),
+        );
+    }
+
+    /// Direct (scatter-loop) forward — the reference kernel.
+    fn forward_direct(&self, x: &Tensor, din: &Dims5, dout: &Dims5) -> Tensor {
         let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
         let (kd, kh, kw) = self.kernel;
         let (sd, sh, sw) = self.stride;
@@ -161,41 +294,23 @@ impl Layer for ConvTranspose3d {
                 }
             },
         );
-        if train {
-            self.cache_x = Some(x.clone());
-        }
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cache_x
-            .as_ref()
-            .expect("backward before forward")
-            .clone();
-        let din = Dims5::of(&x);
-        let dout = self.out_dims(&din);
-        assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
+    /// Direct (gather-loop) backward — the reference kernels for the input
+    /// and weight gradients.
+    fn backward_direct(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        din: &Dims5,
+        dout: &Dims5,
+    ) -> Tensor {
         let (kd, kh, kw) = self.kernel;
         let (sd, sh, sw) = self.stride;
         let (pd, ph, pw) = self.padding;
         let g = grad_out.as_slice();
         let xs = x.as_slice();
-
-        // Bias gradient.
-        {
-            let gb = self.bias.grad.as_mut_slice();
-            for n in 0..dout.n {
-                for oc in 0..dout.c {
-                    let base = (n * dout.c + oc) * dout.vol();
-                    let mut s = 0.0;
-                    for oi in 0..dout.vol() {
-                        s += g[base + oi];
-                    }
-                    gb[oc] += s;
-                }
-            }
-        }
 
         // Input gradient: gx[n,ic,i] = Σ_{oc,k} g[n,oc,i*s+k-p] w[ic,oc,k]
         // — a *forward-conv* access pattern, parallel over (n, ic).
@@ -304,6 +419,36 @@ impl Layer for ConvTranspose3d {
         }
         gx
     }
+}
+
+impl Layer for ConvTranspose3d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        let y = match self.backend {
+            ConvBackend::Direct => self.forward_direct(x, &din, &dout),
+            ConvBackend::Gemm => self.forward_gemm(x, &din, &dout),
+        };
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // `take` instead of clone: backward consumes the cached activation,
+        // so the hot path never copies a full input tensor.
+        let x = self.cache_x.take().expect("backward before forward");
+        let din = Dims5::of(&x);
+        let dout = self.out_dims(&din);
+        assert_eq!(grad_out.dims(), &[dout.n, dout.c, dout.d, dout.h, dout.w]);
+        self.bias_grad(grad_out, &dout);
+        match self.backend {
+            ConvBackend::Direct => self.backward_direct(&x, grad_out, &din, &dout),
+            ConvBackend::Gemm => self.backward_gemm(&x, grad_out, &din, &dout),
+        }
+    }
 
     fn params(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
@@ -393,5 +538,38 @@ mod tests {
     fn gradcheck_strided_padded() {
         let t = ConvTranspose3d::new(2, 1, (1, 3, 3), (1, 2, 2), (0, 1, 1), &mut rng());
         check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_gemm_backend_explicit() {
+        let t = ConvTranspose3d::up2(2, 2, false, &mut rng()).with_backend(ConvBackend::Gemm);
+        check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_direct_backend_explicit() {
+        let t = ConvTranspose3d::up2(2, 2, false, &mut rng()).with_backend(ConvBackend::Direct);
+        check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn gemm_chunked_path_matches_direct_at_64cubed() {
+        // The up2 decoder shape at 64³ output exceeds the chunk budget, so
+        // this exercises the streamed forward and backward GEMM paths.
+        let mut r = rng();
+        let mut direct =
+            ConvTranspose3d::up2(4, 2, false, &mut r).with_backend(ConvBackend::Direct);
+        let mut gemm = direct.clone().with_backend(ConvBackend::Gemm);
+        let x = Tensor::rand_uniform([1, 4, 48, 48, 48], -1.0, 1.0, &mut r);
+        let yd = direct.forward(&x, true);
+        let yg = gemm.forward(&x, true);
+        assert_eq!(yd.dims(), &[1, 2, 96, 96, 96]);
+        assert!(yd.rel_l2_error(&yg) < 1e-12, "{}", yd.rel_l2_error(&yg));
+        let g = Tensor::rand_uniform(yd.dims().to_vec(), -1.0, 1.0, &mut r);
+        let gxd = direct.backward(&g);
+        let gxg = gemm.backward(&g);
+        assert!(gxd.rel_l2_error(&gxg) < 1e-12, "{}", gxd.rel_l2_error(&gxg));
+        assert!(direct.weight.grad.rel_l2_error(&gemm.weight.grad) < 1e-12);
+        assert!(direct.bias.grad.rel_l2_error(&gemm.bias.grad) < 1e-12);
     }
 }

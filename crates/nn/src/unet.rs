@@ -12,6 +12,7 @@ use crate::act::{LeakyReLU, Sigmoid};
 use crate::conv::Conv3d;
 use crate::convt::ConvTranspose3d;
 use crate::layer::{Dims5, Layer};
+use crate::lowering::ConvBackend;
 use crate::norm::BatchNorm;
 use crate::param::Param;
 use crate::pool::MaxPool3d;
@@ -42,6 +43,11 @@ pub struct UNetConfig {
     /// Weight-init RNG seed (replicated across data-parallel workers so all
     /// replicas start identical).
     pub seed: u64,
+    /// Convolution kernel implementation for every conv/transpose-conv
+    /// layer (default [`ConvBackend::Gemm`]; `Direct` keeps the reference
+    /// sliding-window loops for equivalence testing and bisection).
+    #[serde(default)]
+    pub conv_backend: ConvBackend,
 }
 
 impl Default for UNetConfig {
@@ -56,6 +62,7 @@ impl Default for UNetConfig {
             batch_norm: true,
             final_sigmoid: true,
             seed: 0,
+            conv_backend: ConvBackend::default(),
         }
     }
 }
@@ -92,7 +99,7 @@ impl ConvBlock {
     fn new(in_c: usize, out_c: usize, cfg: &UNetConfig, rng: &mut StdRng) -> Self {
         let k = if cfg.two_d { (1, 3, 3) } else { (3, 3, 3) };
         ConvBlock {
-            conv: Conv3d::same(in_c, out_c, k, rng),
+            conv: Conv3d::same(in_c, out_c, k, rng).with_backend(cfg.conv_backend),
             bn: if cfg.batch_norm {
                 Some(BatchNorm::new(out_c))
             } else {
@@ -222,12 +229,10 @@ impl UNet {
         let mut ups = Vec::new();
         let mut merges = Vec::new();
         for i in 0..cfg.depth {
-            ups.push(ConvTranspose3d::up2(
-                cfg.channels(i + 1),
-                cfg.channels(i),
-                cfg.two_d,
-                &mut rng,
-            ));
+            ups.push(
+                ConvTranspose3d::up2(cfg.channels(i + 1), cfg.channels(i), cfg.two_d, &mut rng)
+                    .with_backend(cfg.conv_backend),
+            );
             merges.push(ConvBlock::new(
                 2 * cfg.channels(i),
                 cfg.channels(i),
@@ -242,7 +247,8 @@ impl UNet {
             (1, 1, 1),
             (0, 0, 0),
             &mut rng,
-        );
+        )
+        .with_backend(cfg.conv_backend);
         let sigmoid = if cfg.final_sigmoid {
             Some(Sigmoid::new())
         } else {

@@ -14,6 +14,7 @@
 //!   to rayon above [`PAR_THRESHOLD`] elements so tiny tensors (unit tests,
 //!   coarse multigrid levels) do not pay fork-join overhead.
 
+pub mod matmul;
 mod ops;
 pub mod par;
 mod shape;

@@ -1,0 +1,545 @@
+//! Cache-blocked, register-tiled `f64` matrix multiplication.
+//!
+//! This is the single compute kernel the convolution layers of `mgd-nn`
+//! lower onto (im2col / col2im): `C = op(A) · op(B)` with optional
+//! accumulation into `C`. The design follows the classic GotoBLAS/BLIS
+//! decomposition, scaled to this workspace's shapes (a small-ish left
+//! operand — a weight matrix — times a wide patch matrix):
+//!
+//! - **Packing**: `op(A)` is packed once into column-major micro-panels of
+//!   [`MR`] rows ([`PackedA`], reusable across a whole mini-batch via
+//!   [`gemm_prepacked`]); `op(B)` is packed per `(k-block, column-slab)`
+//!   into row-major micro-panels of [`NR`] columns. Packing makes every
+//!   micro-kernel read sequential regardless of the logical layout, and
+//!   absorbs both transposes and edge-tile zero padding.
+//! - **Register tiling**: the micro-kernel accumulates an `MR × NR` tile in
+//!   local accumulators over a [`KC`]-long stretch of the shared dimension,
+//!   so each loaded element is reused `MR` (or `NR`) times.
+//! - **Parallelism**: column slabs of [`NC`] columns are independent jobs
+//!   dispatched through [`crate::par::par_jobs_with`]; when the shared
+//!   dimension dominates (`k` huge, `m·n` tiny — the conv weight-gradient
+//!   shape), the kernel instead splits `k` into chunks reduced **in chunk
+//!   order**, so results are bitwise deterministic for any thread count.
+//!
+//! Every job writes a disjoint region of `C` with a fixed internal loop
+//! order, and reductions happen in a deterministic order, so a given entry
+//! point is bitwise reproducible run-to-run on any machine.
+
+use crate::par::par_jobs_with;
+
+/// Micro-kernel tile rows (rows of `op(A)` per register tile).
+pub const MR: usize = 6;
+/// Micro-kernel tile columns (columns of `op(B)` per register tile).
+pub const NR: usize = 16;
+/// Cache block along the shared dimension `k` (sized so an `MR`-panel of A
+/// plus an `NR`-panel of B stay resident in L1 while C tiles live in
+/// registers).
+pub const KC: usize = 256;
+/// Columns per parallel job (one packed `KC × NC` B slab ≈ 512 KiB, L2).
+pub const NC: usize = 256;
+
+/// Minimum `k` chunk length of the split-k path.
+const KSPLIT_LEN: usize = 8192;
+/// Largest `m · n` for which the split-k path is considered (above this the
+/// column-slab path already exposes enough parallelism).
+const KSPLIT_MAX_MN: usize = 1 << 16;
+/// Cap on total split-k scratch (elements) across all chunks.
+const KSPLIT_MAX_SCRATCH: usize = 1 << 22;
+
+/// Raw-pointer wrapper so parallel jobs can write provably disjoint regions
+/// of `C` (each job owns a distinct column range or scratch slab).
+struct SendPtr(*mut f64);
+impl SendPtr {
+    #[inline]
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+// SAFETY: jobs only write through disjoint index ranges, guaranteed by the
+// dispatchers below.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// `op(A)` packed into `MR`-row micro-panels, grouped by `KC` block.
+///
+/// Packing is the expensive-once half of the kernel: a conv layer packs its
+/// weight matrix one time per forward/backward call and reuses it for every
+/// sample in the batch through [`gemm_prepacked`].
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    mpanels: usize,
+    data: Vec<f64>,
+}
+
+impl PackedA {
+    /// Rows of `op(A)`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Columns of `op(A)` (the shared dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packed panel of (`kb`-th `KC` block, `mp`-th `MR` panel).
+    #[inline]
+    fn panel(&self, kb: usize, mp: usize, kc_len: usize) -> &[f64] {
+        let base = kb * self.mpanels * KC * MR + mp * kc_len * MR;
+        &self.data[base..base + kc_len * MR]
+    }
+}
+
+/// Element strides `(row_stride, col_stride)` of `op(M)` for a matrix
+/// stored row-major and logically transposed or not.
+#[inline]
+fn op_strides(rows_op: usize, cols_op: usize, trans: bool) -> (usize, usize) {
+    if trans {
+        // Stored as `cols_op × rows_op` row-major.
+        (1, rows_op)
+    } else {
+        let _ = cols_op;
+        (cols_op, 1)
+    }
+}
+
+/// Packs `op(A)` (`m × k`) into [`PackedA`]. `trans_a` means `a` is stored
+/// `k × m` row-major and used transposed.
+pub fn pack_a(a: &[f64], m: usize, k: usize, trans_a: bool) -> PackedA {
+    assert_eq!(a.len(), m * k, "A storage must hold m*k elements");
+    let (ars, acs) = op_strides(m, k, trans_a);
+    pack_a_range(a, m, ars, acs, 0, k)
+}
+
+/// Packs columns `[j0, j0+jn)` of rows `[k0, k0+kc_len)` of `op(B)` into
+/// `NR`-column micro-panels (`bpack[np][kk*NR + nr]`), zero-padding the
+/// ragged last panel.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn pack_b_slab(
+    b: &[f64],
+    brs: usize,
+    bcs: usize,
+    k0: usize,
+    kc_len: usize,
+    j0: usize,
+    jn: usize,
+    bpack: &mut [f64],
+) {
+    let npanels = jn.div_ceil(NR);
+    for np in 0..npanels {
+        let jbase = j0 + np * NR;
+        let nvalid = NR.min(j0 + jn - jbase);
+        let panel = &mut bpack[np * kc_len * NR..(np + 1) * kc_len * NR];
+        if nvalid == NR && bcs == 1 {
+            // Contiguous row fragments: bulk-copy each k row.
+            for kk in 0..kc_len {
+                let src = (k0 + kk) * brs + jbase;
+                panel[kk * NR..kk * NR + NR].copy_from_slice(&b[src..src + NR]);
+            }
+        } else {
+            for kk in 0..kc_len {
+                let row = &mut panel[kk * NR..kk * NR + NR];
+                for (nr, slot) in row.iter_mut().enumerate() {
+                    *slot = if nr < nvalid {
+                        b[(k0 + kk) * brs + (jbase + nr) * bcs]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled micro-kernel: accumulates an `MR × NR` tile over
+/// `kc_len` steps of packed panels.
+#[inline(always)]
+fn microkernel(kc_len: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; NR]; MR]) {
+    // `chunks_exact` hoists all bounds checks out of the hot loop, leaving a
+    // branch-free body of MR broadcasts × NR-wide multiply-adds that the
+    // auto-vectorizer maps onto SIMD registers.
+    let a_steps = apanel[..kc_len * MR].chunks_exact(MR);
+    let b_steps = bpanel[..kc_len * NR].chunks_exact(NR);
+    for (avals, bvals) in a_steps.zip(b_steps) {
+        for mr in 0..MR {
+            let a = avals[mr];
+            let row = &mut acc[mr];
+            for nr in 0..NR {
+                row[nr] += a * bvals[nr];
+            }
+        }
+    }
+}
+
+/// Computes columns `[j0, j1)` of `C (m × n) {=, +=} op(A) · op(B)`
+/// sequentially, with `op(B)` rows offset by `koff` (split-k support).
+///
+/// # Safety
+/// `c` must be valid for `m * n` elements and no other thread may touch
+/// columns `[j0, j1)` concurrently.
+#[allow(clippy::too_many_arguments)]
+unsafe fn compute_cols(
+    pa: &PackedA,
+    b: &[f64],
+    brs: usize,
+    bcs: usize,
+    koff: usize,
+    c: *mut f64,
+    n: usize,
+    j0: usize,
+    j1: usize,
+    accumulate: bool,
+    bpack: &mut Vec<f64>,
+) {
+    let jn = j1 - j0;
+    let kblocks = pa.k.div_ceil(KC);
+    bpack.resize(KC * jn.div_ceil(NR) * NR, 0.0);
+    for kb in 0..kblocks {
+        let k0 = kb * KC;
+        let kc_len = KC.min(pa.k - k0);
+        pack_b_slab(b, brs, bcs, koff + k0, kc_len, j0, jn, bpack);
+        let first = kb == 0 && !accumulate;
+        for mp in 0..pa.mpanels {
+            let i0 = mp * MR;
+            let mvalid = MR.min(pa.m - i0);
+            let apanel = pa.panel(kb, mp, kc_len);
+            for np in 0..jn.div_ceil(NR) {
+                let jbase = j0 + np * NR;
+                let nvalid = NR.min(j1 - jbase);
+                let mut acc = [[0.0f64; NR]; MR];
+                microkernel(kc_len, apanel, &bpack[np * kc_len * NR..], &mut acc);
+                for mr in 0..mvalid {
+                    let row = c.add((i0 + mr) * n + jbase);
+                    for (nr, &v) in acc[mr][..nvalid].iter().enumerate() {
+                        if first {
+                            *row.add(nr) = v;
+                        } else {
+                            *row.add(nr) += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C (m × n) {=, +=} op(A) · op(B)` with `op(A)` already packed.
+///
+/// This is the batch-loop entry point: pack the (shared) weight matrix once
+/// with [`pack_a`], then call this per sample. Column slabs of [`NC`]
+/// columns run as parallel jobs; output is bitwise deterministic for any
+/// thread count.
+pub fn gemm_prepacked(
+    pa: &PackedA,
+    b: &[f64],
+    trans_b: bool,
+    c: &mut [f64],
+    n: usize,
+    accumulate: bool,
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "B storage must hold k*n elements");
+    assert_eq!(c.len(), m * n, "C storage must hold m*n elements");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let (brs, bcs) = op_strides(k, n, trans_b);
+    let jobs = n.div_ceil(NC);
+    let cptr = SendPtr(c.as_mut_ptr());
+    par_jobs_with(jobs, m * k, Vec::<f64>::new, |bpack, job| {
+        let j0 = job * NC;
+        let j1 = (j0 + NC).min(n);
+        // SAFETY: job `job` exclusively owns columns [j0, j1) of C.
+        unsafe {
+            compute_cols(pa, b, brs, bcs, 0, cptr.get(), n, j0, j1, accumulate, bpack);
+        }
+    });
+}
+
+/// `C (m × n) {=, +=} op(A) · op(B)`, all operands row-major `f64` slices.
+///
+/// `trans_a` / `trans_b` mean the slice stores the transpose of the operand
+/// (so `a` is `k × m`, resp. `b` is `n × k`); the transposition is absorbed
+/// while packing. `accumulate = false` overwrites `C`, `true` adds into it.
+///
+/// Shape-adaptive dispatch: the wide/batched shapes of conv forward and
+/// data-gradient passes run the packed column-slab path; the conv
+/// weight-gradient shape (`k` huge, `m·n` small) runs a split-k path whose
+/// partial products are reduced in chunk order — both bitwise deterministic
+/// across runs and thread counts.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    trans_a: bool,
+    b: &[f64],
+    trans_b: bool,
+    c: &mut [f64],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "A storage must hold m*k elements");
+    assert_eq!(b.len(), k * n, "B storage must hold k*n elements");
+    assert_eq!(c.len(), m * n, "C storage must hold m*n elements");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let chunks = k
+        .div_ceil(KSPLIT_LEN)
+        .min(KSPLIT_MAX_SCRATCH / (m * n).max(1));
+    if chunks >= 2 && m * n <= KSPLIT_MAX_MN {
+        gemm_split_k(m, n, k, a, trans_a, b, trans_b, c, accumulate, chunks);
+    } else {
+        let pa = pack_a(a, m, k, trans_a);
+        gemm_prepacked(&pa, b, trans_b, c, n, accumulate);
+    }
+}
+
+/// Split-k evaluation: `chunks` partial `m × n` products computed in
+/// parallel, then reduced **in chunk order** into `C`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_split_k(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    trans_a: bool,
+    b: &[f64],
+    trans_b: bool,
+    c: &mut [f64],
+    accumulate: bool,
+    chunks: usize,
+) {
+    let (ars, acs) = op_strides(m, k, trans_a);
+    let (brs, bcs) = op_strides(k, n, trans_b);
+    let chunk_len = k.div_ceil(chunks);
+    let mn = m * n;
+    let mut partials = vec![0.0f64; chunks * mn];
+    let pptr = SendPtr(partials.as_mut_ptr());
+    par_jobs_with(chunks, mn * chunk_len, Vec::<f64>::new, |bpack, s| {
+        let k0 = s * chunk_len;
+        let k1 = (k0 + chunk_len).min(k);
+        let pa = pack_a_range(a, m, ars, acs, k0, k1);
+        // SAFETY: chunk `s` exclusively owns partials[s*mn .. (s+1)*mn].
+        unsafe {
+            compute_cols(
+                &pa,
+                b,
+                brs,
+                bcs,
+                k0,
+                pptr.get().add(s * mn),
+                n,
+                0,
+                n,
+                false,
+                bpack,
+            );
+        }
+    });
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for s in 0..chunks {
+        let part = &partials[s * mn..(s + 1) * mn];
+        for (dst, &src) in c.iter_mut().zip(part) {
+            *dst += src;
+        }
+    }
+}
+
+/// Packs columns `[k0, k1)` of `op(A)` given explicit element strides.
+fn pack_a_range(a: &[f64], m: usize, ars: usize, acs: usize, k0: usize, k1: usize) -> PackedA {
+    let k = k1 - k0;
+    let mpanels = m.div_ceil(MR).max(1);
+    let kblocks = k.div_ceil(KC);
+    let mut data = vec![0.0; kblocks.max(1) * mpanels * KC * MR];
+    for kb in 0..kblocks {
+        let kc0 = kb * KC;
+        let kc_len = KC.min(k - kc0);
+        let block_base = kb * mpanels * KC * MR;
+        let mut out = block_base;
+        for mp in 0..mpanels {
+            let i0 = mp * MR;
+            for kk in 0..kc_len {
+                let l = k0 + kc0 + kk;
+                for mr in 0..MR {
+                    let i = i0 + mr;
+                    data[out] = if i < m { a[i * ars + l * acs] } else { 0.0 };
+                    out += 1;
+                }
+            }
+        }
+    }
+    PackedA {
+        m,
+        k,
+        mpanels,
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f64],
+        trans_a: bool,
+        b: &[f64],
+        trans_b: bool,
+    ) -> Vec<f64> {
+        let (ars, acs) = op_strides(m, k, trans_a);
+        let (brs, bcs) = op_strides(k, n, trans_b);
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a[i * ars + l * acs] * b[l * brs + j * bcs];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(len: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn check_case(m: usize, n: usize, k: usize, trans_a: bool, trans_b: bool, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let want = naive(m, n, k, &a, trans_a, &b, trans_b);
+        let mut c = vec![0.0; m * n];
+        gemm(m, n, k, &a, trans_a, &b, trans_b, &mut c, false);
+        for i in 0..m * n {
+            assert!(
+                (c[i] - want[i]).abs() <= 1e-11 * want[i].abs().max(1.0),
+                "({m}x{n}x{k}, ta={trans_a}, tb={trans_b})[{i}]: {} vs {}",
+                c[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_shapes() {
+        // Exercises full tiles, ragged edges in every dimension, tiny and
+        // micro-kernel-sized operands.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR, NR, KC),
+            (MR + 1, NR + 3, KC + 5),
+            (3, 7, 2),
+            (8, 300, 40),  // crosses an NC slab boundary
+            (17, 23, 300), // crosses a KC block boundary
+            (2, 2, 513),
+        ] {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+                check_case(m, n, k, ta, tb, (m * 31 + n * 7 + k) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn split_k_path_matches_naive() {
+        // k large enough for >= 2 chunks, m*n small: hits gemm_split_k.
+        check_case(3, 5, 2 * KSPLIT_LEN + 17, false, true, 99);
+    }
+
+    #[test]
+    fn accumulate_adds_into_c() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m, n, k) = (5, 9, 11);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let base = rand_vec(m * n, &mut rng);
+        let mut c = base.clone();
+        gemm(m, n, k, &a, false, &b, false, &mut c, true);
+        let prod = naive(m, n, k, &a, false, &b, false);
+        for i in 0..m * n {
+            assert!((c[i] - (base[i] + prod[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_gemm_and_reuses_across_calls() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, n, k) = (6, 40, 30);
+        let a = rand_vec(m * k, &mut rng);
+        let pa = pack_a(&a, m, k, false);
+        assert_eq!((pa.m(), pa.k()), (m, k));
+        for trial in 0..3 {
+            let b = rand_vec(k * n, &mut rng);
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            gemm_prepacked(&pa, &b, false, &mut c1, n, false);
+            gemm(m, n, k, &a, false, &b, false, &mut c2, false);
+            assert_eq!(c1, c2, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_or_preserves_c() {
+        let mut c = vec![3.0; 4];
+        gemm(2, 2, 0, &[], false, &[], false, &mut c, true);
+        assert_eq!(c, vec![3.0; 4]);
+        gemm(2, 2, 0, &[], false, &[], false, &mut c, false);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn bitwise_deterministic_across_runs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (m, n, k) = (8, 1024, 216);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, n, k, &a, false, &b, false, &mut c1, false);
+        gemm(m, n, k, &a, false, &b, false, &mut c2, false);
+        assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn throughput_probe() {
+        let (m, n, k) = (16, 262144, 432);
+        let a = vec![1.0; m * k];
+        let b = vec![1.0; k * n];
+        let mut c = vec![0.0; m * n];
+        let t = std::time::Instant::now();
+        gemm(m, n, k, &a, false, &b, false, &mut c, false);
+        let dt = t.elapsed().as_secs_f64();
+        let gflops = 2.0 * (m * n * k) as f64 / dt / 1e9;
+        eprintln!("gemm {m}x{n}x{k}: {:.3}s  {gflops:.2} GFLOP/s", dt);
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// In-place elementwise map, parallel for large slices.
 pub fn maybe_par_map_inplace<F: Fn(f64) -> f64 + Sync>(data: &mut [f64], f: &F) {
@@ -82,6 +83,62 @@ pub fn maybe_par_for<F: Fn(usize) + Sync + Send>(n: usize, work_hint: usize, f: 
     }
 }
 
+/// Runs `jobs` coarse-grained tasks on a dynamically scheduled worker pool.
+///
+/// Unlike [`maybe_par_for`] (which hands contiguous index ranges to a fixed
+/// set of threads and therefore only pays off for *many* uniform items),
+/// this spawns up to `min(jobs, cores)` workers that pull job indices from a
+/// shared atomic cursor — the right shape for a handful of heavy,
+/// possibly imbalanced tasks such as GEMM column panels. Falls back to a
+/// sequential loop when `jobs <= 1`, the machine has one core, or
+/// `jobs * work_hint` (an estimate of total element touches) is below
+/// [`PAR_THRESHOLD`].
+///
+/// Which worker runs which job is nondeterministic; callers must make jobs
+/// write disjoint outputs (each with a fixed internal order) so results stay
+/// bitwise deterministic regardless of scheduling.
+pub fn par_jobs<F: Fn(usize) + Sync>(jobs: usize, work_hint: usize, f: F) {
+    par_jobs_with(jobs, work_hint, || (), |(), j| f(j));
+}
+
+/// [`par_jobs`] with per-worker scratch state.
+///
+/// `init` runs once per worker (and once for the sequential fallback); the
+/// resulting state is threaded through every job that worker executes, so
+/// expensive scratch buffers are allocated `O(cores)` times instead of
+/// `O(jobs)` times.
+pub fn par_jobs_with<S, I, F>(jobs: usize, work_hint: usize, init: I, f: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if jobs <= 1 || threads <= 1 || jobs.saturating_mul(work_hint.max(1)) < PAR_THRESHOLD {
+        let mut state = init();
+        for j in 0..jobs {
+            f(&mut state, j);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    if j >= jobs {
+                        break;
+                    }
+                    f(&mut state, j);
+                }
+            });
+        }
+    });
+}
+
 /// Maps `0..n` to values, in parallel when the product with `work_hint` is
 /// large, preserving index order in the output.
 pub fn maybe_par_map_collect<T: Send, F: Fn(usize) -> T + Sync + Send>(
@@ -132,6 +189,37 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn par_jobs_covers_all_indices() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for jobs in [0usize, 1, 3, 17] {
+            let count = AtomicUsize::new(0);
+            par_jobs(jobs, PAR_THRESHOLD, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), jobs);
+        }
+    }
+
+    #[test]
+    fn par_jobs_with_runs_every_job_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 37;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_jobs_with(
+            n,
+            PAR_THRESHOLD,
+            || 0usize,
+            |local, j| {
+                *local += 1;
+                hits[j].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
     }
 
     #[test]

@@ -34,6 +34,11 @@ bench-threads:
 bench-serving:
     cargo bench -p mgd-bench --bench serving
 
+# Direct-vs-GEMM convolution kernel comparison; writes
+# results/BENCH_kernels.json (machine-readable perf trajectory).
+bench-kernels:
+    cargo run --release -p mgd-bench --bin kernel_report
+
 # All benchmarks.
 bench:
     cargo bench --workspace
