@@ -21,12 +21,21 @@ run cargo run --release -p mgd-examples --bin distributed_training -- --threads 
 # mode (small sizes; asserts both backends and the determinism check work).
 run cargo build --release -p mgd-bench --bin kernel_report
 run cargo run --release -p mgd-bench --bin kernel_report -- --quick /tmp/BENCH_kernels_ci.json
+# Spatial smoke: slab-decomposed serving must stay bitwise identical to
+# the serial forward at 2 and 4 ranks (tests + example + report quick mode).
+run cargo test -q -p mgd-integration --test spatial
+run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 2
+run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 4
+run cargo run --release -p mgd-bench --bin spatial_report -- --quick /tmp/BENCH_spatial_ci.json
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then
     run cargo bench -p mgd-bench --bench serving
     # Full kernel comparison, checked in as results/BENCH_kernels.json.
     run cargo run --release -p mgd-bench --bin kernel_report
+    # Full spatial-serving report (192³ megavoxel acceptance), checked in
+    # as results/BENCH_spatial.json.
+    run cargo run --release -p mgd-bench --bin spatial_report
 fi
 
 echo "ci: all green"

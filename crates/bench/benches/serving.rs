@@ -58,6 +58,35 @@ fn bench_serving(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Cache hot path at a serving-scale field. The cache is an ordered LRU
+    // (BTreeMap by last-use stamp): eviction is O(log n) instead of the old
+    // O(capacity) min-scan per insert, and a hit returns the stored
+    // Arc<Tensor> instead of deep-cloning the output — at megavoxel
+    // resolutions the old clone copied ~57 MB per hit, so the hit cost is
+    // now dominated by key quantization alone. This group pins that: the
+    // replay time must scale with the key, not with capacity or output
+    // copies.
+    let mut group = c.benchmark_group("serving_cache_128x128");
+    let mut eng_big = SolverEngine::builder()
+        .resolution([128, 128])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .levels(2)
+        .samples(4)
+        .batch_size(4)
+        .cache_capacity(64)
+        .seed(7)
+        .build()
+        .expect("bench engine");
+    let hot = eng_big.dataset().nu_field(0, &[128, 128]);
+    let _ = eng_big.predict(&hot).expect("warm");
+    group.bench_function("cache_hit_128x128", |b| {
+        b.iter(|| {
+            let u = eng_big.predict(black_box(&hot)).expect("hit");
+            black_box(u.len())
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_serving);

@@ -1,0 +1,206 @@
+//! Machine-readable spatial-serving benchmark: slab-decomposed megavoxel
+//! inference through `Parallelism::SpatialThreads`.
+//!
+//! Verifies the tentpole guarantee (spatial predict bitwise identical to
+//! serial at 2 and 4 ranks, 2D and 3D), then serves a ≥192³ (~7.1 Mvoxel)
+//! domain with bounded per-rank activation memory and writes the results
+//! as JSON so the scaling trajectory is trackable across commits:
+//!
+//! ```text
+//! cargo run --release -p mgd-bench --bin spatial_report              # full
+//! cargo run --release -p mgd-bench --bin spatial_report -- --quick  # CI smoke
+//! cargo run --release -p mgd-bench --bin spatial_report -- out.json
+//! ```
+//!
+//! Default output path: `results/BENCH_spatial.json`. Per-rank activation
+//! numbers come from [`mgd_nn::activation_peak_elems`] — a live-tensor
+//! model of the forward walk (weights and the assembled I/O fields are
+//! excluded on both sides of the comparison).
+
+use mgd_dist::SlabPartition;
+use mgd_nn::{activation_peak_elems, UNetConfig};
+use mgdiffnet::prelude::*;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn engine(res: &[usize], depth: usize, filters: usize, par: Parallelism) -> SolverEngine {
+    let problem = if res.len() == 3 {
+        Problem::poisson_3d(DiffusivityModel::paper())
+    } else {
+        Problem::poisson_2d(DiffusivityModel::paper())
+    };
+    SolverEngine::builder()
+        .resolution(res.to_vec())
+        .problem(problem)
+        .levels(1)
+        .net_depth(depth)
+        .base_filters(filters)
+        .samples(1)
+        .batch_size(1)
+        .seed(7)
+        .cache_capacity(0) // measure forwards, not cache replays
+        .parallelism(par)
+        .build()
+        .expect("bench engine")
+}
+
+/// Serial-vs-spatial bitwise equality on one configuration; returns the
+/// JSON record and panics on any mismatch (this bin doubles as a smoke
+/// gate in CI's `--quick` mode).
+fn equality_case(res: &[usize], depth: usize, p: usize) -> Value {
+    let mut serial = engine(res, depth, 4, Parallelism::Serial);
+    let nu = serial.dataset().nu_field(0, res);
+    let expect = serial.predict(&nu).expect("serial predict");
+    let mut spatial = engine(res, depth, 4, Parallelism::SpatialThreads(p));
+    let got = spatial.predict(&nu).expect("spatial predict");
+    let equal = expect
+        .as_slice()
+        .iter()
+        .zip(got.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(equal, "SpatialThreads({p}) diverged from Serial at {res:?}");
+    println!("  equality {res:?} depth {depth} p={p}: bitwise identical");
+    json!({
+        "resolution": res.to_vec(),
+        "net_depth": depth,
+        "ranks": p,
+        "bitwise_equal": equal,
+    })
+}
+
+/// Serves a 3D domain spatially (and serially when `with_serial`), timing
+/// the forwards and reporting modelled activation peaks per rank.
+fn megavoxel_case(
+    m: usize,
+    depth: usize,
+    filters: usize,
+    ranks: usize,
+    with_serial: bool,
+) -> Value {
+    let res = [m, m, m];
+    let cfg = UNetConfig {
+        depth,
+        base_filters: filters,
+        two_d: false,
+        ..Default::default()
+    };
+    let serial_peak = activation_peak_elems(&cfg, 1, res, 0);
+    let part = SlabPartition::aligned(m, ranks, 1 << depth).expect("aligned partition");
+    let per_rank: Vec<Value> = (0..ranks)
+        .map(|r| {
+            let owned = part.owned_planes(r);
+            let halo_sides = usize::from(r > 0) + usize::from(r + 1 < ranks);
+            let peak = activation_peak_elems(&cfg, 1, [owned.len(), m, m], halo_sides);
+            json!({
+                "rank": r,
+                "slab_planes": owned.len(),
+                "halo_sides": halo_sides,
+                "activation_peak_mb": peak as f64 * 8.0 / MB,
+            })
+        })
+        .collect();
+    let max_rank_mb = per_rank
+        .iter()
+        .map(|v| v["activation_peak_mb"].as_f64().unwrap())
+        .fold(0.0f64, f64::max);
+    let serial_mb = serial_peak as f64 * 8.0 / MB;
+    assert!(
+        max_rank_mb < serial_mb,
+        "per-rank activation peak {max_rank_mb:.1} MB must undercut the serial {serial_mb:.1} MB"
+    );
+
+    let mut spatial = engine(&res, depth, filters, Parallelism::SpatialThreads(ranks));
+    let nu = spatial.dataset().nu_field(0, &res);
+    let t = Instant::now();
+    let u_spatial = spatial.predict(&nu).expect("spatial predict");
+    let spatial_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(u_spatial.as_slice().iter().all(|v| v.is_finite()));
+    println!(
+        "  {m}³ ({:.1} Mvoxel) spatial x{ranks}: {:.0} ms, max per-rank activations {:.0} MB \
+         (serial model: {:.0} MB)",
+        (m * m * m) as f64 / 1e6,
+        spatial_ms,
+        max_rank_mb,
+        serial_mb
+    );
+
+    let serial_ms = if with_serial {
+        let mut serial = engine(&res, depth, filters, Parallelism::Serial);
+        let t = Instant::now();
+        let u_serial = serial.predict(&nu).expect("serial predict");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let equal = u_serial
+            .as_slice()
+            .iter()
+            .zip(u_spatial.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(equal, "megavoxel spatial serve diverged from serial");
+        println!("  {m}³ serial reference: {ms:.0} ms, bitwise identical");
+        Some(ms)
+    } else {
+        None
+    };
+
+    json!({
+        "resolution": res.to_vec(),
+        "voxels": m * m * m,
+        "ranks": ranks,
+        "net": json!({ "depth": depth, "base_filters": filters }),
+        "spatial_forward_ms": spatial_ms,
+        "serial_forward_ms": serial_ms,
+        "serial_peak_activation_mb": serial_mb,
+        "max_rank_activation_mb": max_rank_mb,
+        "per_rank_bounded_below_serial": max_rank_mb < serial_mb,
+        "per_rank": per_rank,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_spatial.json".into());
+
+    println!(
+        "spatial serving report ({}) -> {out_path}",
+        if quick { "quick" } else { "full" }
+    );
+    println!("bitwise equality gate:");
+    let mut equality = vec![
+        equality_case(&[64, 64], 2, 2),
+        equality_case(&[64, 64], 2, 4),
+        equality_case(&[32, 32, 32], 2, 2),
+        equality_case(&[32, 32, 32], 2, 4),
+    ];
+    if !quick {
+        equality.push(equality_case(&[64, 64, 64], 3, 4));
+    }
+
+    println!("megavoxel serving:");
+    let megavoxel = if quick {
+        // CI smoke: the mechanism at a sub-second size, spatial only.
+        megavoxel_case(32, 2, 4, 4, false)
+    } else {
+        // The acceptance domain: 192³ ≈ 7.1 Mvoxel, 4 slab ranks.
+        megavoxel_case(192, 3, 8, 4, true)
+    };
+
+    let report = json!({
+        "bench": "spatial",
+        "mode": if quick { "quick" } else { "full" },
+        "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "equality": equality,
+        "megavoxel": megavoxel,
+    });
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write report");
+    println!("report written to {out_path}");
+}

@@ -18,64 +18,10 @@
 //! owned plane's accumulation complete without partial-sum reconciliation.
 //! Reductions (dot products) sum owned planes only and all-reduce.
 
+use crate::error::{MgdError, MgdResult};
 use mgd_dist::Comm;
+pub use mgd_dist::SlabPartition;
 use mgd_fem::{apply_stiffness_serial, Dirichlet, ElementBasis, Grid};
-
-/// A z-slab partition of a structured grid.
-#[derive(Clone, Debug)]
-pub struct SlabPartition {
-    /// Total nodes along the split (slowest) axis.
-    pub n_split: usize,
-    /// First owned node plane per rank (len p+1; rank r owns planes
-    /// `starts[r]..starts[r+1]`, exclusive).
-    pub starts: Vec<usize>,
-}
-
-impl SlabPartition {
-    /// Splits `n_split` node planes (with `n_split - 1` element layers)
-    /// across `p` ranks as evenly as possible, by element layers.
-    pub fn new(n_split: usize, p: usize) -> Self {
-        assert!(n_split >= 2);
-        assert!(
-            p >= 1 && p < n_split,
-            "need at least one element layer per rank"
-        );
-        let layers = n_split - 1;
-        let mut starts = Vec::with_capacity(p + 1);
-        for r in 0..=p {
-            starts.push(r * layers / p);
-        }
-        // Convert element-layer boundaries to node planes: rank r owns node
-        // planes [starts[r], starts[r+1]) and additionally the closing
-        // plane on the last rank.
-        SlabPartition { n_split, starts }
-    }
-
-    /// Number of ranks.
-    pub fn num_ranks(&self) -> usize {
-        self.starts.len() - 1
-    }
-
-    /// Owned node-plane range of `rank` (the last rank also owns the final
-    /// plane).
-    pub fn owned_planes(&self, rank: usize) -> std::ops::Range<usize> {
-        let lo = self.starts[rank];
-        let hi = if rank + 1 == self.num_ranks() {
-            self.n_split
-        } else {
-            self.starts[rank + 1]
-        };
-        lo..hi
-    }
-
-    /// Element layers assigned to `rank`.
-    pub fn owned_layers(&self, rank: usize) -> std::ops::Range<usize> {
-        self.starts[rank]
-            ..self.starts[rank + 1]
-                .min(self.n_split - 1)
-                .max(self.starts[rank])
-    }
-}
 
 /// Distributed 3D Poisson solver over z-slabs.
 ///
@@ -102,10 +48,15 @@ pub struct DistPoisson<'a, C: Comm> {
 
 impl<'a, C: Comm> DistPoisson<'a, C> {
     /// Builds the local part from global ν and BC data.
-    pub fn new(comm: &'a C, grid: Grid<3>, nu_global: &[f64], bc: &Dirichlet) -> Self {
+    ///
+    /// Over-decomposed configurations (more ranks than element layers)
+    /// surface as a typed [`MgdError::InvalidConfig`] instead of a rank
+    /// panic that would poison the communicator.
+    pub fn new(comm: &'a C, grid: Grid<3>, nu_global: &[f64], bc: &Dirichlet) -> MgdResult<Self> {
         assert_eq!(nu_global.len(), grid.num_nodes());
         let p = comm.size();
-        let part = SlabPartition::new(grid.n[0], p);
+        let part = SlabPartition::new(grid.n[0], p)
+            .map_err(|e| MgdError::InvalidConfig(format!("distributed FEM solve: {e}")))?;
         let rank = comm.rank();
         let owned = part.owned_planes(rank);
         // Extended slab: one element layer of context on each side.
@@ -117,7 +68,7 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
             fixed: bc.fixed[ext_lo * plane..ext_hi * plane].to_vec(),
             values: bc.values[ext_lo * plane..ext_hi * plane].to_vec(),
         };
-        DistPoisson {
+        Ok(DistPoisson {
             comm,
             grid,
             basis: ElementBasis::new(&grid),
@@ -127,7 +78,7 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
             ext_hi,
             bc_ext,
             plane,
-        }
+        })
     }
 
     /// Nodes in the extended (halo-included) slab.
@@ -293,18 +244,20 @@ mod tests {
     use mgd_fem::{solve_cg, CgOptions};
 
     #[test]
-    fn partition_covers_all_planes() {
-        for n in [5usize, 9, 16] {
-            for p in 1..=4.min(n - 1) {
-                let part = SlabPartition::new(n, p);
-                let mut covered = vec![0usize; n];
-                for r in 0..p {
-                    for pl in part.owned_planes(r) {
-                        covered[pl] += 1;
-                    }
-                }
-                assert!(covered.iter().all(|&c| c == 1), "n={n} p={p}: {covered:?}");
-            }
+    fn over_decomposition_is_a_typed_error() {
+        // 3 node planes = 2 element layers cannot feed 3 ranks; the
+        // constructor must report it instead of panicking inside a rank.
+        let grid: Grid<3> = Grid::cube(3);
+        let nu = vec![1.0; grid.num_nodes()];
+        let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
+        let results = launch(3, move |comm| {
+            DistPoisson::new(&comm, grid, &nu, &bc).err().map(|e| {
+                assert!(matches!(e, MgdError::InvalidConfig(_)), "{e:?}");
+                e.to_string()
+            })
+        });
+        for msg in results {
+            assert!(msg.expect("must fail").contains("over-decomposed"));
         }
     }
 
@@ -323,7 +276,7 @@ mod tests {
         let nu = nu_field(&grid);
         let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
         let comm = LocalComm::new();
-        let dist = DistPoisson::new(&comm, grid, &nu, &bc);
+        let dist = DistPoisson::new(&comm, grid, &nu, &bc).expect("valid slab config");
         let (u_dist, _, conv) = dist.solve_cg(1e-10, 5000);
         assert!(conv);
         let basis = ElementBasis::new(&grid);
@@ -373,7 +326,7 @@ mod tests {
             let nu_c = nu.clone();
             let bc_c = bc.clone();
             let slabs = launch(p, move |comm| {
-                let dist = DistPoisson::new(&comm, grid, &nu_c, &bc_c);
+                let dist = DistPoisson::new(&comm, grid, &nu_c, &bc_c).expect("valid slab config");
                 let (owned, iters, conv) = dist.solve_cg(1e-10, 5000);
                 (comm.rank(), owned, iters, conv)
             });
@@ -402,7 +355,7 @@ mod tests {
         let nu = vec![1.0; nn];
         let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
         let results = launch(2, move |comm| {
-            let dist = DistPoisson::new(&comm, grid, &nu, &bc);
+            let dist = DistPoisson::new(&comm, grid, &nu, &bc).expect("valid slab config");
             let n_ext = dist.ext_nodes();
             // Fill owned planes with the rank id, halos with a sentinel.
             let mut u = vec![comm.rank() as f64; n_ext];

@@ -10,9 +10,14 @@
 //! - [`SolverEngine::predict`] — one coefficient field in, one solution
 //!   field (with exact Dirichlet values) out;
 //! - [`SolverEngine::predict_batch`] — N requests rasterized into a single
-//!   NCDHW tensor and answered in **one** forward pass, fronted by an LRU
-//!   cache keyed by quantized coefficient fields so repeated queries never
-//!   touch the network;
+//!   NCDHW tensor and answered in **one** forward pass, fronted by an
+//!   ordered-LRU cache keyed by quantized coefficient fields so repeated
+//!   queries never touch the network (hits return the stored
+//!   `Arc<Tensor>` without copying); under
+//!   [`Parallelism::SpatialThreads`] the forward runs slab-decomposed
+//!   across in-process ranks with halo exchange ([`mgd_nn::spatial`]),
+//!   bounding per-rank activation memory at megavoxel resolutions while
+//!   staying bitwise identical to the serial pass;
 //! - [`SolverEngine::save_weights`] / [`SolverEngine::load_weights`] —
 //!   checkpointing through the [`Model`] trait.
 //!
@@ -39,39 +44,67 @@ use crate::error::{MgdError, MgdResult};
 use crate::loss::FemLoss;
 use crate::mg_trainer::{MgConfig, MgRunLog, MultigridTrainer};
 use crate::trainer::TrainConfig;
-use mgd_dist::{launch_with, LocalComm};
+use mgd_dist::{assemble_planes, carve_planes, launch_with, LocalComm, SlabLayout, SlabPartition};
 use mgd_field::{stack_fields, Dataset, DiffusivityModel, InputEncoding};
 use mgd_nn::{Adam, ConvBackend, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::Tensor;
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-/// How [`SolverEngine::train`] distributes the data-parallel training loop
-/// (paper §3.2).
+/// How a [`SolverEngine`] distributes work across in-process ranks.
 ///
-/// Under `Threads(p)` the engine replicates its model and optimizer onto
-/// `p` in-process ranks ([`mgd_dist::ThreadComm`]), shards every global
-/// mini-batch across them, and averages gradients with the deterministic
-/// ring all-reduce after each backward pass. Because every rank shuffles
-/// with the same seed and the shard union equals the global batch (Eq. 15),
-/// the epoch-loss trajectory matches [`Parallelism::Serial`] at the same
-/// global batch size up to floating-point reduction order — for stat-free
-/// networks (see [`SolverEngineBuilder::batch_norm`]) — and is bitwise
-/// reproducible across runs at a fixed `p` either way.
+/// Under `Threads(p)` — **data parallelism**, paper §3.2 — [`SolverEngine::train`]
+/// replicates its model and optimizer onto `p` in-process ranks
+/// ([`mgd_dist::ThreadComm`]), shards every global mini-batch across them,
+/// and averages gradients with the deterministic ring all-reduce after
+/// each backward pass. Because every rank shuffles with the same seed and
+/// the shard union equals the global batch (Eq. 15), the epoch-loss
+/// trajectory matches [`Parallelism::Serial`] at the same global batch
+/// size up to floating-point reduction order — for stat-free networks
+/// (see [`SolverEngineBuilder::batch_norm`]) — and is bitwise reproducible
+/// across runs at a fixed `p` either way.
+///
+/// Under `SpatialThreads(p)` — **spatial model parallelism**, the paper's
+/// §5 "beyond megavoxels" outlook — the *serving* surface
+/// ([`SolverEngine::predict`] / [`SolverEngine::predict_batch`]) carves
+/// each request into `p` contiguous slabs along the slowest non-unit
+/// spatial axis (z for 3D problems, y for 2D) and runs the U-Net forward
+/// on `p` ranks with one halo plane exchanged before every stencil
+/// convolution ([`mgd_nn::spatial`]). Per-rank activation memory is
+/// ≈ `1/p` of the serial forward's (plus halos), and the assembled output
+/// is **bitwise identical** to `Serial` at any `p`. Slab sizes must be
+/// positive multiples of `2^net_depth` along the split axis — validated
+/// as a typed error at [`SolverEngineBuilder::build`]. Training under
+/// `SpatialThreads` runs serially (spatial decomposition is an inference
+/// feature; combine with a `Threads` training run via weight checkpoints
+/// if both are needed).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Parallelism {
-    /// Single-rank training through [`LocalComm`] (the default).
+    /// Single-rank training and serving through [`LocalComm`] (default).
     #[default]
     Serial,
     /// Data-parallel training over `p` in-process worker threads.
     Threads(usize),
+    /// Slab-decomposed (spatial model-parallel) serving over `p`
+    /// in-process ranks with halo exchange; training stays serial.
+    SpatialThreads(usize),
 }
 
 impl Parallelism {
     /// Number of data-parallel workers this mode trains with.
     pub fn workers(&self) -> usize {
         match *self {
-            Parallelism::Serial => 1,
+            Parallelism::Serial | Parallelism::SpatialThreads(_) => 1,
             Parallelism::Threads(p) => p,
+        }
+    }
+
+    /// Number of spatial (slab) ranks this mode serves with.
+    pub fn spatial_ranks(&self) -> usize {
+        match *self {
+            Parallelism::SpatialThreads(p) => p,
+            _ => 1,
         }
     }
 }
@@ -129,10 +162,26 @@ pub struct ServeStats {
 /// Keys quantize every ν value to ~1e-9 absolute resolution, so bitwise
 /// jitter below solver precision still hits; the full quantized field is the
 /// key (no hash-collision false positives).
+///
+/// The cache is a true ordered LRU: `by_stamp` keeps keys sorted by their
+/// last-use clock stamp, so eviction pops the least recently used entry in
+/// O(log n) instead of the old O(capacity) `min_by_key` scan per insert.
+/// Outputs are stored and returned as [`Arc<Tensor>`] — a hit hands out a
+/// reference-counted pointer instead of deep-cloning the tensor, which at
+/// megavoxel resolutions used to copy ~57 MB per hit on the serving hot
+/// path. Keys are likewise `Arc`-shared between the two maps.
 struct PredictionCache {
     capacity: usize,
-    entries: HashMap<Vec<u128>, (Tensor, u64)>,
+    entries: HashMap<Arc<Vec<u128>>, CacheSlot>,
+    /// Last-use stamp → key. Stamps come from a strictly increasing clock,
+    /// so they are unique and the first entry is always the LRU.
+    by_stamp: BTreeMap<u64, Arc<Vec<u128>>>,
     clock: u64,
+}
+
+struct CacheSlot {
+    out: Arc<Tensor>,
+    stamp: Cell<u64>,
 }
 
 impl PredictionCache {
@@ -140,6 +189,7 @@ impl PredictionCache {
         PredictionCache {
             capacity,
             entries: HashMap::new(),
+            by_stamp: BTreeMap::new(),
             clock: 0,
         }
     }
@@ -170,39 +220,57 @@ impl PredictionCache {
             .collect()
     }
 
-    fn get(&mut self, key: &[u128]) -> Option<Tensor> {
+    fn get(&mut self, key: &Vec<u128>) -> Option<Arc<Tensor>> {
         self.clock += 1;
         let clock = self.clock;
-        self.entries.get_mut(key).map(|(t, stamp)| {
-            *stamp = clock;
-            t.clone()
-        })
+        let (key_arc, slot) = self.entries.get_key_value(key)?;
+        let old = slot.stamp.replace(clock);
+        let key_arc = Arc::clone(key_arc);
+        let out = Arc::clone(&slot.out);
+        self.by_stamp.remove(&old);
+        self.by_stamp.insert(clock, key_arc);
+        Some(out)
     }
 
-    fn insert(&mut self, key: Vec<u128>, value: Tensor) {
+    fn insert(&mut self, key: Vec<u128>, value: Arc<Tensor>) {
         if self.capacity == 0 {
             return;
         }
         self.clock += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            // Evict the least recently used entry.
-            if let Some(lru) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                self.entries.remove(&lru);
+        let clock = self.clock;
+        if let Some(slot) = self.entries.get_mut(&key) {
+            // Refresh an existing entry in place; `by_stamp` hands back the
+            // shared key Arc, so one hash lookup suffices.
+            let old = slot.stamp.replace(clock);
+            slot.out = value;
+            let key_arc = self.by_stamp.remove(&old).expect("stamped entry");
+            self.by_stamp.insert(clock, key_arc);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used entry: the smallest stamp.
+            if let Some((_, lru_key)) = self.by_stamp.pop_first() {
+                self.entries.remove(&*lru_key);
             }
         }
-        self.entries.insert(key, (value, self.clock));
+        let key_arc = Arc::new(key);
+        self.by_stamp.insert(clock, Arc::clone(&key_arc));
+        self.entries.insert(
+            key_arc,
+            CacheSlot {
+                out: value,
+                stamp: Cell::new(clock),
+            },
+        );
     }
 
     fn clear(&mut self) {
         self.entries.clear();
+        self.by_stamp.clear();
     }
 
     fn len(&self) -> usize {
+        debug_assert_eq!(self.entries.len(), self.by_stamp.len());
         self.entries.len()
     }
 }
@@ -550,6 +618,32 @@ impl SolverEngineBuilder {
             Some(o) => o,
             None => Box::new(Adam::new(self.learning_rate)) as Box<dyn Optimizer>,
         };
+        if let Parallelism::SpatialThreads(p) = self.parallelism {
+            if p == 0 {
+                return Err(MgdError::InvalidConfig(
+                    "Parallelism::SpatialThreads needs >= 1 rank (got 0)".into(),
+                ));
+            }
+            let align = model.spatial_align();
+            if align == 0 {
+                return Err(MgdError::InvalidConfig(
+                    "Parallelism::SpatialThreads requires a model that supports \
+                     slab-decomposed inference (the built-in U-Net does); the \
+                     configured model reports no spatial alignment"
+                        .into(),
+                ));
+            }
+            // Over-decomposed or misaligned slab configurations must fail
+            // here as typed errors, not as rank panics that poison the
+            // communicator at the first predict call.
+            SlabPartition::aligned(resolution[0], p, align).map_err(|e| {
+                MgdError::InvalidConfig(format!(
+                    "Parallelism::SpatialThreads({p}) cannot split resolution \
+                     {resolution:?} along its slowest axis: {e} (slab sizes \
+                     must be positive multiples of 2^net_depth = {align})"
+                ))
+            })?;
+        }
         let loss = FemLoss::new(&resolution)?;
         Ok(SolverEngine {
             model,
@@ -564,6 +658,7 @@ impl SolverEngineBuilder {
             cache: PredictionCache::new(self.cache_capacity),
             stats: ServeStats::default(),
             last_run: None,
+            spatial_replicas: Vec::new(),
         })
     }
 }
@@ -582,6 +677,9 @@ pub struct SolverEngine {
     cache: PredictionCache,
     stats: ServeStats,
     last_run: Option<MgRunLog>,
+    /// Per-rank model replicas reused across spatial predict calls
+    /// (empty = stale; rebuilt lazily whenever the weights change).
+    spatial_replicas: Vec<Box<dyn Model>>,
 }
 
 impl std::fmt::Debug for SolverEngine {
@@ -617,10 +715,14 @@ impl SolverEngine {
     pub fn train(&mut self) -> MgdResult<MgRunLog> {
         // Invalidate up front, not after: a run that errors out mid-schedule
         // has still stepped the (serial-mode, in-place) weights, and stale
-        // entries from the pre-training model must not survive it.
+        // entries from the pre-training model must not survive it. The
+        // spatial replicas mirror the weights and go stale with them.
         self.cache.clear();
+        self.spatial_replicas.clear();
         let log = match self.parallelism {
-            Parallelism::Serial => {
+            // Spatial decomposition parallelizes serving; training under it
+            // runs the serial schedule (see the `Parallelism` docs).
+            Parallelism::Serial | Parallelism::SpatialThreads(_) => {
                 let comm = LocalComm::new();
                 self.schedule
                     .run(&mut self.model, &mut self.optimizer, &self.data, &comm)?
@@ -659,23 +761,98 @@ impl SolverEngine {
 
     /// Predicts the solution field for one raw coefficient field ν shaped
     /// like [`Self::resolution`]. Boundary values are imposed exactly.
-    pub fn predict(&mut self, coeff: &Tensor) -> MgdResult<Tensor> {
+    ///
+    /// Outputs are reference-counted: a cache hit returns the stored
+    /// tensor without copying it.
+    pub fn predict(&mut self, coeff: &Tensor) -> MgdResult<Arc<Tensor>> {
         Ok(self
             .predict_batch(std::slice::from_ref(coeff))?
             .pop()
             .expect("one output"))
     }
 
+    /// Runs one batched network forward under the engine's [`Parallelism`]
+    /// mode: serially, or — under
+    /// [`SpatialThreads(p)`](Parallelism::SpatialThreads) — slab-decomposed
+    /// over `p` in-process ranks with halo exchange, each rank holding only
+    /// its slab's activations. The assembled output is bitwise identical
+    /// to the serial forward.
+    fn forward_batch(&mut self, x: &Tensor) -> MgdResult<Tensor> {
+        let p = self.parallelism.spatial_ranks();
+        if p <= 1 {
+            return Ok(self.model.predict(x));
+        }
+        let align = self.model.spatial_align();
+        let part = SlabPartition::aligned(self.resolution[0], p, align.max(1))
+            .map_err(|e| MgdError::InvalidConfig(format!("spatial predict: {e}")))?;
+        let dims = x.dims();
+        let (batch, three_d) = (dims[0], self.problem.rank() == 3);
+        // [B, 1, D, H, W] viewed as [pre, split, post] along z (3D) / y (2D).
+        let layout = if three_d {
+            SlabLayout {
+                pre: batch,
+                split: dims[2],
+                post: dims[3] * dims[4],
+            }
+        } else {
+            SlabLayout {
+                pre: batch,
+                split: dims[3],
+                post: dims[4],
+            }
+        };
+        // Replicas are cloned once and reused across predict calls (their
+        // weights are read-only at inference); weight changes clear them.
+        if self.spatial_replicas.len() != p {
+            self.spatial_replicas = (0..p).map(|_| self.model.clone_model()).collect();
+        }
+        let jobs: Vec<(Box<dyn Model>, Tensor)> = std::mem::take(&mut self.spatial_replicas)
+            .into_iter()
+            .enumerate()
+            .map(|(r, replica)| {
+                let owned = part.owned_planes(r);
+                let data = carve_planes(x.as_slice(), &layout, owned.start, owned.end);
+                let sdims = if three_d {
+                    vec![batch, 1, owned.len(), dims[3], dims[4]]
+                } else {
+                    vec![batch, 1, 1, owned.len(), dims[4]]
+                };
+                (replica, Tensor::from_vec(sdims, data))
+            })
+            .collect();
+        let results = launch_with(jobs, |comm, (mut replica, slab)| {
+            let out = replica.predict_slab(&slab, &comm);
+            (replica, out)
+        });
+        let mut slabs = Vec::with_capacity(p);
+        for (replica, out) in results {
+            self.spatial_replicas.push(replica);
+            slabs.push(
+                out.ok_or_else(|| {
+                    MgdError::InvalidConfig(
+                        "model stopped supporting slab-decomposed inference".into(),
+                    )
+                })?
+                .into_vec(),
+            );
+        }
+        Ok(Tensor::from_vec(
+            dims.to_vec(),
+            assemble_planes(&slabs, layout.pre, layout.post),
+        ))
+    }
+
     /// Predicts solution fields for N coefficient fields in **one** network
     /// forward pass (cache hits excluded). This is the serving hot path:
     /// requests are answered from the LRU cache when an identical (up to
-    /// quantization) field was already solved, and all remaining requests
-    /// are stacked into a single NCDHW batch.
-    pub fn predict_batch(&mut self, coeffs: &[Tensor]) -> MgdResult<Vec<Tensor>> {
+    /// quantization) field was already solved — returning the stored
+    /// `Arc<Tensor>` without copying it — and all remaining requests are
+    /// stacked into a single NCDHW batch.
+    pub fn predict_batch(&mut self, coeffs: &[Tensor]) -> MgdResult<Vec<Arc<Tensor>>> {
         if coeffs.is_empty() {
             return Err(MgdError::Field(mgd_field::FieldError::Empty));
         }
-        for c in coeffs {
+        for (i, c) in coeffs.iter().enumerate() {
             if c.dims() != &self.resolution[..] {
                 return Err(MgdError::ShapeMismatch {
                     expected: self.resolution.clone(),
@@ -693,14 +870,14 @@ impl SolverEngine {
                     .copied()
                     .find(|v| !v.is_finite())
                     .unwrap_or(f64::NAN);
-                return Err(MgdError::NonFinite {
-                    epoch: 0,
-                    loss: bad,
+                return Err(MgdError::NonFiniteInput {
+                    index: i,
+                    value: bad,
                 });
             }
         }
         let keys: Vec<Vec<u128>> = coeffs.iter().map(PredictionCache::key).collect();
-        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(coeffs.len());
+        let mut outputs: Vec<Option<Arc<Tensor>>> = Vec::with_capacity(coeffs.len());
         let mut miss_idx: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             match self.cache.get(key) {
@@ -728,23 +905,23 @@ impl SolverEngine {
                 .map(|&i| self.encoding.encode(&coeffs[i]))
                 .collect();
             let x = stack_fields(&encoded).map_err(MgdError::Field)?;
-            let mut u = self.model.predict(&x);
+            let mut u = self.forward_batch(&x)?;
             self.loss.apply_bc_batch(&mut u);
             self.stats.forward_passes += 1;
             self.stats.predicted_fields += unique.len() as u64;
             let vol: usize = self.resolution.iter().product();
-            let solved: Vec<Tensor> = unique
+            let solved: Vec<Arc<Tensor>> = unique
                 .iter()
                 .enumerate()
                 .map(|(slot, _)| {
-                    Tensor::from_vec(
+                    Arc::new(Tensor::from_vec(
                         self.resolution.clone(),
                         u.as_slice()[slot * vol..(slot + 1) * vol].to_vec(),
-                    )
+                    ))
                 })
                 .collect();
             for (field, &i) in solved.iter().zip(&unique) {
-                self.cache.insert(keys[i].clone(), field.clone());
+                self.cache.insert(keys[i].clone(), Arc::clone(field));
             }
             // Fill every miss (including intra-batch duplicates) from the
             // solved set, not the cache — caching may be disabled.
@@ -753,7 +930,7 @@ impl SolverEngine {
                     .iter()
                     .position(|&u| keys[u] == keys[i])
                     .expect("every miss has a unique representative");
-                outputs[i] = Some(solved[slot].clone());
+                outputs[i] = Some(Arc::clone(&solved[slot]));
             }
         }
         Ok(outputs
@@ -764,7 +941,7 @@ impl SolverEngine {
 
     /// Predicts the solution for one ω parameter vector by rasterizing the
     /// coefficient field at the engine's resolution first.
-    pub fn predict_omega(&mut self, omega: &[f64]) -> MgdResult<Tensor> {
+    pub fn predict_omega(&mut self, omega: &[f64]) -> MgdResult<Arc<Tensor>> {
         let nu = self
             .problem
             .diffusivity()
@@ -796,6 +973,7 @@ impl SolverEngine {
         snap.restore(&mut self.model)
             .map_err(MgdError::Checkpoint)?;
         self.cache.clear();
+        self.spatial_replicas.clear();
         Ok(())
     }
 
@@ -838,6 +1016,7 @@ impl SolverEngine {
     /// code; mutating weights invalidates the cache).
     pub fn model_mut(&mut self) -> &mut dyn Model {
         self.cache.clear();
+        self.spatial_replicas.clear();
         &mut *self.model
     }
 }
@@ -979,12 +1158,27 @@ mod tests {
             let mut bad = engine.dataset().nu_field(0, &[16, 16]);
             *bad.at_mut(&[7, 7]) = poison;
             assert!(
-                matches!(engine.predict(&bad), Err(MgdError::NonFinite { .. })),
+                matches!(
+                    engine.predict(&bad),
+                    Err(MgdError::NonFiniteInput { index: 0, .. })
+                ),
                 "poison {poison} must be rejected"
             );
         }
         assert_eq!(engine.cache_len(), 0, "rejected inputs never get cached");
         assert_eq!(engine.stats().forward_passes, 0);
+        // The input-validation error reports the offending batch slot, not
+        // the bogus "epoch 0" of the training-domain NonFinite variant.
+        let good = engine.dataset().nu_field(0, &[16, 16]);
+        let mut bad = engine.dataset().nu_field(1, &[16, 16]);
+        *bad.at_mut(&[3, 3]) = f64::INFINITY;
+        match engine.predict_batch(&[good, bad]) {
+            Err(MgdError::NonFiniteInput { index, value }) => {
+                assert_eq!(index, 1);
+                assert_eq!(value, f64::INFINITY);
+            }
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
         // Crucially: a NaN field must not cache-hit the all-zero field the
         // old `as i64` cast collapsed it onto.
         let zeros = Tensor::zeros([16, 16]);
@@ -993,13 +1187,45 @@ mod tests {
         *nan_field.at_mut(&[0, 0]) = f64::NAN;
         assert!(matches!(
             engine.predict(&nan_field),
-            Err(MgdError::NonFinite { .. })
+            Err(MgdError::NonFiniteInput { .. })
         ));
         assert_eq!(
             engine.stats().cache_hits,
             0,
             "NaN field must not alias the zero field's entry"
         );
+    }
+
+    #[test]
+    fn cache_keeps_hot_keys_under_eviction_pressure() {
+        // Ordered-LRU regression: a key that is touched between misses must
+        // survive a stream of evictions that churns the rest of the cache.
+        let mut engine = small_builder().cache_capacity(3).build().unwrap();
+        let hot = engine.dataset().nu_field(0, &[16, 16]);
+        let _ = engine.predict(&hot).unwrap();
+        for s in 1..8 {
+            let cold = engine.dataset().nu_field(s, &[16, 16]);
+            let _ = engine.predict(&cold).unwrap(); // churn (evicts LRU colds)
+            let passes = engine.stats().forward_passes;
+            let _ = engine.predict(&hot).unwrap(); // must still be a hit
+            assert_eq!(
+                engine.stats().forward_passes,
+                passes,
+                "hot key evicted after {s} cold inserts"
+            );
+        }
+        assert_eq!(engine.cache_len(), 3);
+        assert_eq!(engine.stats().cache_hits, 7);
+    }
+
+    #[test]
+    fn cache_hits_share_storage_instead_of_cloning() {
+        let mut engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let a = engine.predict(&nu).unwrap();
+        let b = engine.predict(&nu).unwrap();
+        // One allocation serves both the first answer and the cache hit.
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached Arc");
     }
 
     #[test]
@@ -1083,6 +1309,69 @@ mod tests {
         let e = small_builder().parallelism(Parallelism::Threads(3)).build();
         assert!(
             matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("divide")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn spatial_threads_predict_is_bitwise_serial() {
+        let mut serial = small_builder().build().unwrap();
+        let fields: Vec<Tensor> = (0..3)
+            .map(|s| serial.dataset().nu_field(s, &[16, 16]))
+            .collect();
+        let expect = serial.predict_batch(&fields).unwrap();
+        for p in [1usize, 2, 4] {
+            let mut spatial = small_builder()
+                .parallelism(Parallelism::SpatialThreads(p))
+                .build()
+                .unwrap();
+            assert_eq!(spatial.parallelism().spatial_ranks(), p);
+            let got = spatial.predict_batch(&fields).unwrap();
+            for (e, g) in expect.iter().zip(&got) {
+                assert!(
+                    e.as_slice()
+                        .iter()
+                        .zip(g.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "SpatialThreads({p}) diverged from Serial"
+                );
+            }
+            // The spatial engine's cache works on the assembled outputs.
+            let passes = spatial.stats().forward_passes;
+            let _ = spatial.predict(&fields[0]).unwrap();
+            assert_eq!(spatial.stats().forward_passes, passes);
+            // A second forward through the *reused* replicas (fresh field,
+            // cache miss) must stay bitwise identical to serial too.
+            let fresh = spatial.dataset().nu_field(5, &[16, 16]);
+            let e = serial.predict(&fresh).unwrap();
+            let g = spatial.predict(&fresh).unwrap();
+            assert!(
+                e.as_slice()
+                    .iter()
+                    .zip(g.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "replica reuse broke bitwise equality at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_spatial_configs() {
+        let e = small_builder()
+            .parallelism(Parallelism::SpatialThreads(0))
+            .build();
+        assert!(
+            matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("SpatialThreads")),
+            "{e:?}"
+        );
+        // 16 planes / align 4 = 4 slabs at most; 5 ranks over-decompose,
+        // and must fail at build() with a typed error, not poison a
+        // communicator at predict time.
+        let e = small_builder()
+            .parallelism(Parallelism::SpatialThreads(5))
+            .build();
+        assert!(
+            matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("over-decomposed")),
             "{e:?}"
         );
     }

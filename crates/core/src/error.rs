@@ -29,6 +29,16 @@ pub enum MgdError {
         /// The offending loss value.
         loss: f64,
     },
+    /// A serving request contained NaN/±∞ coefficients. Distinct from
+    /// [`MgdError::NonFinite`] (a *training* blow-up): input validation
+    /// reports which request of the batch is poisoned, not a bogus
+    /// "epoch 0".
+    NonFiniteInput {
+        /// Index of the offending field within the submitted batch.
+        index: usize,
+        /// The first non-finite value found in that field.
+        value: f64,
+    },
     /// A data-layer failure (rasterization, batching, sampling).
     Field(FieldError),
     /// Checkpoint or report I/O failed.
@@ -48,6 +58,11 @@ impl std::fmt::Display for MgdError {
                 f,
                 "non-finite loss/gradient at epoch {epoch} (loss {loss}); \
                  lower the learning rate or check the input fields"
+            ),
+            MgdError::NonFiniteInput { index, value } => write!(
+                f,
+                "non-finite input: request {index} of the batch contains \
+                 {value}; coefficient fields must be finite"
             ),
             MgdError::Field(e) => write!(f, "data layer: {e}"),
             MgdError::Io(e) => write!(f, "i/o: {e}"),
@@ -94,6 +109,12 @@ mod tests {
             loss: f64::NAN,
         };
         assert!(e.to_string().contains("epoch 3"));
+        let e = MgdError::NonFiniteInput {
+            index: 5,
+            value: f64::INFINITY,
+        };
+        assert!(e.to_string().contains("request 5"));
+        assert!(!e.to_string().contains("epoch"));
         let e: MgdError = FieldError::Empty.into();
         assert!(matches!(e, MgdError::Field(FieldError::Empty)));
     }

@@ -89,6 +89,19 @@
 //!   identical — the ring all-reduce folds in rank order, so there is no
 //!   scheduling-dependent reduction noise.
 //!
+//! ## Spatial parallelism (megavoxel serving)
+//!
+//! The second `Parallelism` mode decomposes the *domain* instead of the
+//! data: [`Parallelism::SpatialThreads(p)`](engine::Parallelism) serves
+//! every `predict`/`predict_batch` request by carving it into `p` z-slabs
+//! (y-slabs for 2D), running the U-Net forward on `p` in-process ranks
+//! with one halo plane exchanged before each stencil convolution
+//! ([`mgd_nn::spatial`]), and stitching the owned output slabs. Per-rank
+//! activation memory is ≈ `1/p` of the serial forward's and the result is
+//! bitwise identical to `Serial` at any `p`. Slab sizes must be positive
+//! multiples of `2^net_depth` along the split axis; violations are typed
+//! [`MgdError::InvalidConfig`] errors at `build()`.
+//!
 //! ## Migrating from the pre-engine API
 //!
 //! The concrete-type entry points of the seed release map onto the engine

@@ -1,0 +1,494 @@
+//! Z-slab partitioning and tagged halo-plane exchange over a [`Comm`].
+//!
+//! This is the shared spatial-decomposition substrate of the workspace:
+//! the distributed FEM solver (`mgdiffnet::dist_fem`) and the slab-
+//! decomposed U-Net forward (`mgd_nn::spatial`) both partition the slowest
+//! varying spatial axis into `p` contiguous slabs and refresh thin halo
+//! regions at the cuts before every stencil application.
+//!
+//! Fields are viewed through a [`SlabLayout`] as a row-major
+//! `[pre, split, post]` array, where `split` is the partitioned axis:
+//!
+//! - an NCDHW tensor split along depth is `[n·c, d, h·w]`;
+//! - an NCDHW tensor with a unit depth axis (2D problems) split along
+//!   height is `[n·c, h, w]`;
+//! - a nodal FEM field split along z is `[1, nz, ny·nx]`.
+//!
+//! One "plane" is therefore `pre · post` scalars gathered from `pre`
+//! strided chunks of `post` contiguous values. [`carve_planes`] /
+//! [`assemble_planes`] move slabs between the global field and per-rank
+//! storage, and [`exchange_extend`] performs one tagged halo exchange:
+//! every rank sends its boundary planes to its ring neighbours and returns
+//! its slab extended by the received halo planes.
+//!
+//! All constructors are fallible: an over-decomposed or misaligned
+//! partition surfaces as a typed [`PartitionError`] at configuration time
+//! instead of panicking inside a rank (which would poison the communicator
+//! and take every peer down with an opaque `rank panicked`).
+
+use crate::comm::Comm;
+
+/// Why a [`SlabPartition`] could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Fewer indivisible split units (element layers, or aligned plane
+    /// blocks) than ranks: at least one rank would own nothing.
+    OverDecomposed {
+        /// Number of indivisible units along the split axis.
+        units: usize,
+        /// Requested rank count.
+        ranks: usize,
+    },
+    /// The split extent is not a multiple of the required alignment.
+    Misaligned {
+        /// Total planes along the split axis.
+        extent: usize,
+        /// Required slab-size multiple.
+        align: usize,
+    },
+    /// A degenerate request (zero ranks, or too few planes to split).
+    Degenerate {
+        /// Total planes along the split axis.
+        extent: usize,
+        /// Requested rank count.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::OverDecomposed { units, ranks } => write!(
+                f,
+                "over-decomposed slab partition: {units} split unit(s) cannot \
+                 give each of {ranks} ranks at least one"
+            ),
+            PartitionError::Misaligned { extent, align } => write!(
+                f,
+                "misaligned slab partition: extent {extent} is not a \
+                 multiple of the required slab alignment {align}"
+            ),
+            PartitionError::Degenerate { extent, ranks } => write!(
+                f,
+                "degenerate slab partition: extent {extent} across {ranks} rank(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A partition of one spatial axis into `p` contiguous slabs.
+///
+/// `starts` has length `p + 1`; rank `r` owns planes
+/// `starts[r]..starts[r+1]`, and the last rank additionally owns the
+/// closing plane when `starts[p] < n_split` (the FEM node-plane
+/// convention, where `starts` counts *element layers*). Partitions built
+/// with [`SlabPartition::aligned`] satisfy `starts[p] == n_split`, so
+/// [`SlabPartition::owned_planes`] tiles the axis exactly in both cases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlabPartition {
+    /// Total planes along the split (slowest) axis.
+    pub n_split: usize,
+    /// First owned plane per rank (len p+1).
+    pub starts: Vec<usize>,
+}
+
+impl SlabPartition {
+    /// Splits `n_split` node planes (with `n_split - 1` element layers)
+    /// across `p` ranks as evenly as possible, by element layers — the
+    /// distributed-FEM convention where the closing node plane belongs to
+    /// the last rank.
+    pub fn new(n_split: usize, p: usize) -> Result<Self, PartitionError> {
+        if p == 0 || n_split < 2 {
+            return Err(PartitionError::Degenerate {
+                extent: n_split,
+                ranks: p,
+            });
+        }
+        let layers = n_split - 1;
+        if p > layers {
+            return Err(PartitionError::OverDecomposed {
+                units: layers,
+                ranks: p,
+            });
+        }
+        let mut starts = Vec::with_capacity(p + 1);
+        for r in 0..=p {
+            starts.push(r * layers / p);
+        }
+        Ok(SlabPartition { n_split, starts })
+    }
+
+    /// Splits `extent` planes across `p` ranks so every slab size is a
+    /// positive multiple of `align` — the convention of the slab-
+    /// decomposed U-Net forward, where `align = 2^depth` keeps every
+    /// pool/upsample boundary on a slab cut.
+    pub fn aligned(extent: usize, p: usize, align: usize) -> Result<Self, PartitionError> {
+        if p == 0 || extent == 0 || align == 0 {
+            return Err(PartitionError::Degenerate { extent, ranks: p });
+        }
+        if !extent.is_multiple_of(align) {
+            return Err(PartitionError::Misaligned { extent, align });
+        }
+        let blocks = extent / align;
+        if p > blocks {
+            return Err(PartitionError::OverDecomposed {
+                units: blocks,
+                ranks: p,
+            });
+        }
+        let mut starts = Vec::with_capacity(p + 1);
+        for r in 0..=p {
+            starts.push((r * blocks / p) * align);
+        }
+        debug_assert_eq!(starts[p], extent);
+        Ok(SlabPartition {
+            n_split: extent,
+            starts,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Owned plane range of `rank` (the last rank also owns the final
+    /// plane when `starts` counts element layers).
+    pub fn owned_planes(&self, rank: usize) -> std::ops::Range<usize> {
+        let lo = self.starts[rank];
+        let hi = if rank + 1 == self.num_ranks() {
+            self.n_split
+        } else {
+            self.starts[rank + 1]
+        };
+        lo..hi
+    }
+
+    /// Element layers assigned to `rank` (FEM convention: one fewer layer
+    /// than planes along the axis).
+    pub fn owned_layers(&self, rank: usize) -> std::ops::Range<usize> {
+        self.starts[rank]
+            ..self.starts[rank + 1]
+                .min(self.n_split - 1)
+                .max(self.starts[rank])
+    }
+}
+
+/// Row-major `[pre, split, post]` view of a field: `split` is the
+/// partitioned axis, one plane is `pre` strided chunks of `post` scalars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlabLayout {
+    /// Product of the axes slower than the split axis.
+    pub pre: usize,
+    /// Extent of the split axis.
+    pub split: usize,
+    /// Product of the axes faster than the split axis.
+    pub post: usize,
+}
+
+impl SlabLayout {
+    /// Total scalars described by this layout.
+    pub fn len(&self) -> usize {
+        self.pre * self.split * self.post
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The same field with a different split extent (e.g. a carved slab).
+    pub fn with_split(&self, split: usize) -> SlabLayout {
+        SlabLayout { split, ..*self }
+    }
+}
+
+/// Copies planes `[r0, r1)` of `src` (shaped by `layout`) into a fresh
+/// contiguous `[pre, r1 - r0, post]` slab.
+pub fn carve_planes(src: &[f64], layout: &SlabLayout, r0: usize, r1: usize) -> Vec<f64> {
+    assert_eq!(src.len(), layout.len(), "layout/source length mismatch");
+    assert!(r0 <= r1 && r1 <= layout.split, "plane range out of bounds");
+    let count = r1 - r0;
+    let mut out = Vec::with_capacity(layout.pre * count * layout.post);
+    for pre in 0..layout.pre {
+        let base = (pre * layout.split + r0) * layout.post;
+        out.extend_from_slice(&src[base..base + count * layout.post]);
+    }
+    out
+}
+
+/// Scatters a contiguous `[pre, count, post]` slab into planes starting at
+/// `r0` of `dst` (shaped by `layout`). The inverse of [`carve_planes`].
+pub fn place_planes(dst: &mut [f64], layout: &SlabLayout, r0: usize, slab: &[f64]) {
+    assert_eq!(
+        dst.len(),
+        layout.len(),
+        "layout/destination length mismatch"
+    );
+    assert!(
+        slab.len().is_multiple_of((layout.pre * layout.post).max(1)),
+        "slab is not a whole number of planes"
+    );
+    let count = slab.len() / (layout.pre * layout.post);
+    assert!(r0 + count <= layout.split, "slab overflows the split axis");
+    for pre in 0..layout.pre {
+        let base = (pre * layout.split + r0) * layout.post;
+        dst[base..base + count * layout.post]
+            .copy_from_slice(&slab[pre * count * layout.post..(pre + 1) * count * layout.post]);
+    }
+}
+
+/// Stitches rank-ordered owned slabs (each `[pre, own_r, post]`) back into
+/// one `[pre, Σ own_r, post]` field.
+pub fn assemble_planes(slabs: &[Vec<f64>], pre: usize, post: usize) -> Vec<f64> {
+    let plane = pre * post;
+    let total: usize = slabs
+        .iter()
+        .map(|s| {
+            assert!(
+                s.len().is_multiple_of(plane.max(1)),
+                "slab is not a whole number of planes"
+            );
+            s.len() / plane.max(1)
+        })
+        .sum();
+    let layout = SlabLayout {
+        pre,
+        split: total,
+        post,
+    };
+    let mut out = vec![0.0; layout.len()];
+    let mut at = 0usize;
+    for slab in slabs {
+        place_planes(&mut out, &layout, at, slab);
+        at += slab.len() / plane.max(1);
+    }
+    out
+}
+
+/// An owned slab extended by the halo planes received from ring
+/// neighbours: `data` is `[pre, lo + own + hi, post]` with the owned
+/// planes at offset `lo`.
+#[derive(Clone, Debug)]
+pub struct ExtendedSlab {
+    /// Extended slab contents.
+    pub data: Vec<f64>,
+    /// Halo planes below the owned range (0 on rank 0).
+    pub lo: usize,
+    /// Halo planes above the owned range (0 on the last rank).
+    pub hi: usize,
+}
+
+/// One tagged halo exchange: sends this rank's `halo` boundary planes to
+/// each existing ring neighbour (tags `tag` downward, `tag + 1` upward)
+/// and returns the owned slab extended by the neighbours' boundary planes.
+///
+/// `local` is this rank's owned slab viewed as `[pre, own, post]` through
+/// `layout` (`layout.split` = `own`). Every rank must call this with the
+/// same `tag` in the same program order (collective-like discipline);
+/// unbounded channels make the symmetric send-then-receive order safe.
+/// Requires `halo <= own` so each rank can feed its neighbours.
+pub fn exchange_extend<C: Comm + ?Sized>(
+    comm: &C,
+    local: &[f64],
+    layout: &SlabLayout,
+    halo: usize,
+    tag: u64,
+) -> ExtendedSlab {
+    let own = layout.split;
+    assert_eq!(local.len(), layout.len(), "layout/slab length mismatch");
+    assert!(
+        halo <= own,
+        "halo width {halo} exceeds the owned slab extent {own}"
+    );
+    let rank = comm.rank();
+    let p = comm.size();
+    let lo = if rank > 0 { halo } else { 0 };
+    let hi = if rank + 1 < p { halo } else { 0 };
+    if halo == 0 || p == 1 {
+        return ExtendedSlab {
+            data: local.to_vec(),
+            lo: 0,
+            hi: 0,
+        };
+    }
+    // Send boundary planes first (non-blocking), then receive into halos.
+    if rank > 0 {
+        comm.send(rank - 1, tag, carve_planes(local, layout, 0, halo));
+    }
+    if rank + 1 < p {
+        comm.send(
+            rank + 1,
+            tag + 1,
+            carve_planes(local, layout, own - halo, own),
+        );
+    }
+    let ext = layout.with_split(lo + own + hi);
+    let mut data = vec![0.0; ext.len()];
+    place_planes(&mut data, &ext, lo, local);
+    if rank + 1 < p {
+        let from_above = comm.recv(rank + 1, tag);
+        assert_eq!(from_above.len(), layout.pre * halo * layout.post);
+        place_planes(&mut data, &ext, lo + own, &from_above);
+    }
+    if rank > 0 {
+        let from_below = comm.recv(rank - 1, tag + 1);
+        assert_eq!(from_below.len(), layout.pre * halo * layout.post);
+        place_planes(&mut data, &ext, 0, &from_below);
+    }
+    ExtendedSlab { data, lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread_comm::launch;
+
+    #[test]
+    fn fem_partition_covers_all_planes() {
+        for n in [5usize, 9, 16] {
+            for p in 1..=4.min(n - 1) {
+                let part = SlabPartition::new(n, p).unwrap();
+                let mut covered = vec![0usize; n];
+                for r in 0..p {
+                    for pl in part.owned_planes(r) {
+                        covered[pl] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "n={n} p={p}: {covered:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_partition_tiles_with_aligned_slabs() {
+        for (extent, p, align) in [(16usize, 2usize, 4usize), (24, 3, 4), (40, 5, 8), (8, 1, 8)] {
+            let part = SlabPartition::aligned(extent, p, align).unwrap();
+            assert_eq!(part.num_ranks(), p);
+            let mut covered = 0usize;
+            for r in 0..p {
+                let owned = part.owned_planes(r);
+                assert_eq!(owned.start, covered, "slabs must tile contiguously");
+                assert!(!owned.is_empty());
+                assert!(owned.len().is_multiple_of(align), "{owned:?} vs {align}");
+                covered = owned.end;
+            }
+            assert_eq!(covered, extent);
+        }
+    }
+
+    #[test]
+    fn constructors_reject_bad_configs() {
+        assert!(matches!(
+            SlabPartition::new(9, 0),
+            Err(PartitionError::Degenerate { .. })
+        ));
+        assert!(matches!(
+            SlabPartition::new(5, 5),
+            Err(PartitionError::OverDecomposed { units: 4, ranks: 5 })
+        ));
+        assert!(matches!(
+            SlabPartition::aligned(12, 2, 8),
+            Err(PartitionError::Misaligned {
+                extent: 12,
+                align: 8
+            })
+        ));
+        assert!(matches!(
+            SlabPartition::aligned(16, 5, 4),
+            Err(PartitionError::OverDecomposed { units: 4, ranks: 5 })
+        ));
+        let msg = SlabPartition::aligned(16, 5, 4).unwrap_err().to_string();
+        assert!(msg.contains("over-decomposed"), "{msg}");
+    }
+
+    #[test]
+    fn carve_place_assemble_roundtrip() {
+        let layout = SlabLayout {
+            pre: 3,
+            split: 5,
+            post: 4,
+        };
+        let field: Vec<f64> = (0..layout.len()).map(|i| i as f64).collect();
+        let part = SlabPartition::aligned(5, 5, 1).unwrap();
+        let slabs: Vec<Vec<f64>> = (0..5)
+            .map(|r| {
+                let o = part.owned_planes(r);
+                carve_planes(&field, &layout, o.start, o.end)
+            })
+            .collect();
+        let back = assemble_planes(&slabs, layout.pre, layout.post);
+        assert_eq!(back, field);
+        // Uneven carve too.
+        let a = carve_planes(&field, &layout, 0, 2);
+        let b = carve_planes(&field, &layout, 2, 5);
+        assert_eq!(assemble_planes(&[a, b], layout.pre, layout.post), field);
+    }
+
+    #[test]
+    fn exchange_extends_with_neighbour_planes() {
+        // 3 ranks, each owning 2 planes of a [pre=2, 6, post=3] field whose
+        // value encodes the global plane index.
+        let layout = SlabLayout {
+            pre: 2,
+            split: 6,
+            post: 3,
+        };
+        let global: Vec<f64> = (0..layout.len())
+            .map(|i| ((i / layout.post) % layout.split) as f64)
+            .collect();
+        let results = launch(3, |comm| {
+            let r = comm.rank();
+            let own = SlabLayout {
+                pre: 2,
+                split: 2,
+                post: 3,
+            };
+            let local = carve_planes(&global, &layout, 2 * r, 2 * r + 2);
+            let ext = exchange_extend(&comm, &local, &own, 1, 40);
+            (r, ext)
+        });
+        for (r, ext) in results {
+            let (lo, hi) = (ext.lo, ext.hi);
+            assert_eq!(lo, usize::from(r > 0));
+            assert_eq!(hi, usize::from(r < 2));
+            let ext_layout = SlabLayout {
+                pre: 2,
+                split: lo + 2 + hi,
+                post: 3,
+            };
+            // Every plane of the extended slab must carry its global index.
+            for pre in 0..2 {
+                for s in 0..ext_layout.split {
+                    let global_plane = (2 * r + s) as f64 - lo as f64;
+                    let base = (pre * ext_layout.split + s) * 3;
+                    assert!(
+                        ext.data[base..base + 3].iter().all(|&v| v == global_plane),
+                        "rank {r} plane {s}: {:?}",
+                        &ext.data[base..base + 3]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_with_zero_halo_is_identity() {
+        let layout = SlabLayout {
+            pre: 1,
+            split: 3,
+            post: 2,
+        };
+        let results = launch(2, |comm| {
+            let local: Vec<f64> = (0..6).map(|i| (comm.rank() * 10 + i) as f64).collect();
+            let ext = exchange_extend(&comm, &local, &layout, 0, 7);
+            (local, ext)
+        });
+        for (local, ext) in results {
+            assert_eq!(ext.data, local);
+            assert_eq!((ext.lo, ext.hi), (0, 0));
+        }
+    }
+}

@@ -27,13 +27,23 @@
 //!   Algorithm 1, over flat parameter views;
 //! - [`global_minibatches`] / [`local_minibatch`] / [`pad_indices`] — the
 //!   §3.2 sharding rules: pad so the sample count divides evenly, then
-//!   give every rank an equal contiguous shard of each global mini-batch.
+//!   give every rank an equal contiguous shard of each global mini-batch;
+//! - [`halo`] — the shared spatial-decomposition substrate: fallible
+//!   [`SlabPartition`]s of one spatial axis, `[pre, split, post]` slab
+//!   carving/assembly, and the tagged halo-plane [`exchange_extend`] used
+//!   by both the distributed FEM solver and the slab-decomposed U-Net
+//!   forward.
 
 mod comm;
+pub mod halo;
 mod shard;
 mod thread_comm;
 
 pub use comm::{Comm, LocalComm};
+pub use halo::{
+    assemble_planes, carve_planes, exchange_extend, place_planes, ExtendedSlab, PartitionError,
+    SlabLayout, SlabPartition,
+};
 pub use shard::{global_minibatches, local_minibatch, pad_indices};
 pub use thread_comm::{launch, launch_with, ThreadComm};
 

@@ -4,10 +4,11 @@
 
 use crate::layer::{Dims5, Layer, Triple};
 use crate::lowering::{
-    anchor_chunks, bias_grad, col2im_accumulate, col2im_range_accumulate, im2col, im2col_range,
-    ConvBackend, ConvGeom, Scratch, PATCH_CACHE_MAX,
+    anchor_chunks, anchor_chunks_range, bias_grad, col2im_accumulate, col2im_range_accumulate,
+    im2col, im2col_range, ConvBackend, ConvGeom, Scratch, PATCH_CACHE_MAX,
 };
 use crate::param::Param;
+use crate::spatial::SplitAxis;
 use crate::util::{tap_range, SendPtr};
 use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
 use mgd_tensor::par::maybe_par_for;
@@ -251,6 +252,98 @@ impl Conv3d {
         }
         *cached_valid = false;
         gx
+    }
+
+    /// Inference forward restricted to output planes `keep` along `axis`
+    /// — the kernel of the slab-decomposed spatial forward
+    /// ([`crate::spatial`]): the input is a rank's halo-extended slab and
+    /// `keep` selects the owned output planes, so each rank gathers/
+    /// multiplies only the patch columns it owns.
+    ///
+    /// Returns `[n, out_c, keep.len(), oh, ow]` for [`SplitAxis::Depth`]
+    /// and `[n, out_c, 1, keep.len(), ow]` for [`SplitAxis::Height`]
+    /// (which requires a unit output depth axis). Values are bitwise
+    /// identical to the corresponding planes of [`Layer::forward`] on the
+    /// same input: restricting the anchor-row range only drops patch
+    /// columns, and every output element is still produced by one GEMM
+    /// over the full shared dimension in a fixed order. No activation is
+    /// cached (this is a serving-only path).
+    pub fn forward_planes(
+        &mut self,
+        x: &Tensor,
+        keep: std::ops::Range<usize>,
+        axis: SplitAxis,
+    ) -> Tensor {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        let (ar0, ar1, odims) = match axis {
+            SplitAxis::Depth => {
+                assert!(keep.end <= dout.d, "plane range exceeds output depth");
+                (
+                    keep.start * dout.h,
+                    keep.end * dout.h,
+                    [din.n, self.out_c, keep.len(), dout.h, dout.w],
+                )
+            }
+            SplitAxis::Height => {
+                assert_eq!(dout.d, 1, "height split needs a unit depth axis");
+                assert!(keep.end <= dout.h, "plane range exceeds output height");
+                (
+                    keep.start,
+                    keep.end,
+                    [din.n, self.out_c, 1, keep.len(), dout.w],
+                )
+            }
+        };
+        assert!(ar0 < ar1, "empty output plane range");
+        // A range forward never caches patches; invalidate like forward().
+        self.scratch.cached_valid = false;
+        if self.backend == ConvBackend::Direct {
+            // Reference path: full sliding-window pass, then carve the kept
+            // anchor rows (bitwise identical to computing them in place).
+            let full = self.forward_direct(x, &din, &dout);
+            let p_full = dout.vol();
+            let rows = ar1 - ar0;
+            let pout = rows * dout.w;
+            let mut y = Tensor::zeros(odims);
+            let (fs, ys) = (full.as_slice(), y.as_mut_slice());
+            for nc in 0..din.n * self.out_c {
+                let src = &fs[nc * p_full + ar0 * dout.w..nc * p_full + ar1 * dout.w];
+                ys[nc * pout..(nc + 1) * pout].copy_from_slice(src);
+            }
+            return y;
+        }
+        let geom = self.geom(&din, &dout);
+        let kdim = geom.rows();
+        let ow = dout.w;
+        let rows = ar1 - ar0;
+        let pout = rows * ow;
+        let pa = pack_a(self.weight.data.as_slice(), self.out_c, kdim, false);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let mut y = Tensor::zeros(odims);
+        let ys = y.as_mut_slice();
+        let Scratch { col, ctmp, .. } = &mut self.scratch;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * geom.vol()..][..self.in_c * geom.vol()];
+            let yslab = &mut ys[ni * self.out_c * pout..][..self.out_c * pout];
+            for (c0, c1) in anchor_chunks_range(&geom, ar0, ar1) {
+                let cc = (c1 - c0) * ow;
+                col.resize(kdim * cc, 0.0);
+                im2col_range(&geom, xslab, col, c0, c1);
+                ctmp.resize(self.out_c * cc, 0.0);
+                gemm_prepacked(&pa, col, false, ctmp, cc, false);
+                for oc in 0..self.out_c {
+                    let b = bs[oc];
+                    let dst = &mut yslab[oc * pout + (c0 - ar0) * ow..oc * pout + (c1 - ar0) * ow];
+                    for (d, s) in dst.iter_mut().zip(&ctmp[oc * cc..(oc + 1) * cc]) {
+                        *d = b + s;
+                    }
+                }
+            }
+        }
+        y
     }
 
     /// Accumulates the per-channel bias gradient (shared lowering helper).

@@ -28,6 +28,10 @@
 //!   `Box<dyn Optimizer>` are themselves implementations);
 //! - [`optim::Adam`] / [`optim::Sgd`] and flat parameter/gradient views for
 //!   the distributed all-reduce;
+//! - [`spatial`] — slab-decomposed (spatial model-parallel) inference:
+//!   the U-Net forward over per-rank z-slabs with tagged halo-plane
+//!   exchange before every stencil convolution, bitwise identical to the
+//!   serial forward at any rank count;
 //! - [`gradcheck`] — the finite-difference harness every layer is verified
 //!   against;
 //! - [`io`] — serde-based weight checkpointing.
@@ -47,6 +51,7 @@ pub mod norm;
 pub mod optim;
 pub mod param;
 pub mod pool;
+pub mod spatial;
 pub mod unet;
 mod util;
 
@@ -61,4 +66,5 @@ pub use norm::BatchNorm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::MaxPool3d;
+pub use spatial::{activation_peak_elems, predict_slab, SplitAxis};
 pub use unet::{UNet, UNetConfig};

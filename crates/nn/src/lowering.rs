@@ -289,10 +289,24 @@ pub(crate) const CHUNK_ELEMS: usize = 1 << 20;
 /// chunks of roughly [`CHUNK_ELEMS`] patch elements each, returned as an
 /// iterator of `(ar0, ar1)` ranges.
 pub(crate) fn anchor_chunks(g: &ConvGeom) -> impl Iterator<Item = (usize, usize)> {
-    let arows = g.out.0 * g.out.1;
+    anchor_chunks_range(g, 0, g.out.0 * g.out.1)
+}
+
+/// [`anchor_chunks`] restricted to anchor rows `[ar0, ar1)` — the chunking
+/// used by the slab-decomposed spatial forward, where each rank only
+/// computes its owned output rows. Chunk boundaries never change computed
+/// values (each output element is produced by one GEMM over the full
+/// shared dimension), so restricting the range preserves bitwise equality
+/// with the full-grid pass.
+pub(crate) fn anchor_chunks_range(
+    g: &ConvGeom,
+    ar0: usize,
+    ar1: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let rows = ar1 - ar0;
     let per_row = g.rows() * g.out.2;
-    let step = (CHUNK_ELEMS / per_row.max(1)).clamp(1, arows.max(1));
-    (0..arows.div_ceil(step)).map(move |i| (i * step, ((i + 1) * step).min(arows)))
+    let step = (CHUNK_ELEMS / per_row.max(1)).clamp(1, rows.max(1));
+    (0..rows.div_ceil(step)).map(move |i| (ar0 + i * step, (ar0 + (i + 1) * step).min(ar1)))
 }
 
 /// Bias gradient `gb[oc] += Σ_{n,voxel} grad[n, oc, voxel]` shared by

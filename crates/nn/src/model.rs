@@ -10,6 +10,7 @@
 
 use crate::layer::Layer;
 use crate::unet::UNet;
+use mgd_dist::Comm;
 use mgd_tensor::Tensor;
 
 /// A trainable network usable by the MGDiffNet trainers.
@@ -40,6 +41,24 @@ pub trait Model: Layer {
     /// architecture the implementation is one line:
     /// `Box::new(self.clone())`.
     fn clone_model(&self) -> Box<dyn Model>;
+
+    /// Slab-size alignment this model requires along the split axis for
+    /// spatial (slab-decomposed) inference, or `0` when the architecture
+    /// does not support it. The U-Net returns `2^depth` — the
+    /// pool-alignment rule of [`crate::spatial`].
+    fn spatial_align(&self) -> usize {
+        0
+    }
+
+    /// Slab-decomposed inference forward: `slab` is this rank's contiguous
+    /// slab of the input along the split axis, and every rank of `comm`
+    /// calls this collectively. Returns the owned output slab, or `None`
+    /// when the architecture does not support spatial decomposition
+    /// ([`Self::spatial_align`] `== 0`).
+    fn predict_slab(&mut self, slab: &Tensor, comm: &dyn Comm) -> Option<Tensor> {
+        let _ = (slab, comm);
+        None
+    }
 }
 
 impl Model for UNet {
@@ -50,6 +69,14 @@ impl Model for UNet {
 
     fn clone_model(&self) -> Box<dyn Model> {
         Box::new(self.clone())
+    }
+
+    fn spatial_align(&self) -> usize {
+        1 << self.cfg.depth
+    }
+
+    fn predict_slab(&mut self, slab: &Tensor, comm: &dyn Comm) -> Option<Tensor> {
+        Some(crate::spatial::predict_slab(self, slab, comm))
     }
 }
 
@@ -86,6 +113,14 @@ impl Model for Box<dyn Model> {
 
     fn clone_model(&self) -> Box<dyn Model> {
         (**self).clone_model()
+    }
+
+    fn spatial_align(&self) -> usize {
+        (**self).spatial_align()
+    }
+
+    fn predict_slab(&mut self, slab: &Tensor, comm: &dyn Comm) -> Option<Tensor> {
+        (**self).predict_slab(slab, comm)
     }
 }
 

@@ -1,7 +1,15 @@
 //! Batch normalization over NCDHW activations.
+//!
+//! Channels are statistically independent, so both passes parallelize per
+//! channel through [`par_jobs`]: every channel task reads/writes only its
+//! own strided activation slabs and statistic slots, in a fixed internal
+//! order, so results are bitwise deterministic at any thread count — the
+//! same contract as the GEMM convolution kernels.
 
 use crate::layer::{Dims5, Layer};
 use crate::param::Param;
+use crate::util::SendPtr;
+use mgd_tensor::par::par_jobs;
 use mgd_tensor::Tensor;
 
 /// Per-channel batch normalization (statistics over batch × spatial dims),
@@ -52,64 +60,96 @@ impl Layer for BatchNorm {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let dims = Dims5::of(x);
         assert_eq!(dims.c, self.c, "channel mismatch");
-        let m = (dims.n * dims.vol()) as f64;
+        let vol = dims.vol();
+        let (n, c) = (dims.n, self.c);
+        let m = (n * vol) as f64;
         let xs = x.as_slice();
         let mut y = Tensor::zeros(x.shape().clone());
         let gamma = self.gamma.data.as_slice();
         let beta = self.beta.data.as_slice();
+        let eps = self.eps;
 
-        let (mean, var): (Vec<f64>, Vec<f64>) = if train {
-            let mut mean = vec![0.0; self.c];
-            let mut var = vec![0.0; self.c];
-            for c in 0..self.c {
-                let mut s = 0.0;
-                for n in 0..dims.n {
-                    let base = (n * self.c + c) * dims.vol();
-                    for i in 0..dims.vol() {
-                        s += xs[base + i];
-                    }
-                }
-                mean[c] = s / m;
-                let mut v = 0.0;
-                for n in 0..dims.n {
-                    let base = (n * self.c + c) * dims.vol();
-                    for i in 0..dims.vol() {
-                        let d = xs[base + i] - mean[c];
-                        v += d * d;
-                    }
-                }
-                var[c] = v / m;
-                self.running_mean[c] =
-                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
-                self.running_var[c] =
-                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
-            }
-            (mean, var)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
-
-        let inv_std: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut xhat = Tensor::zeros(x.shape().clone());
-        {
-            let xh = xhat.as_mut_slice();
-            let ys = y.as_mut_slice();
-            for n in 0..dims.n {
-                for c in 0..self.c {
-                    let base = (n * self.c + c) * dims.vol();
-                    for i in 0..dims.vol() {
-                        let h = (xs[base + i] - mean[c]) * inv_std[c];
-                        xh[base + i] = h;
-                        ys[base + i] = gamma[c] * h + beta[c];
-                    }
-                }
-            }
-        }
         if train {
+            let momentum = self.momentum;
+            let mut inv_std = vec![0.0; c];
+            let mut xhat = Tensor::zeros(x.shape().clone());
+            {
+                let yp = SendPtr(y.as_mut_slice().as_mut_ptr());
+                let xhp = SendPtr(xhat.as_mut_slice().as_mut_ptr());
+                let isp = SendPtr(inv_std.as_mut_ptr());
+                let rmp = SendPtr(self.running_mean.as_mut_ptr());
+                let rvp = SendPtr(self.running_var.as_mut_ptr());
+                par_jobs(c, 4 * n * vol, |ci| {
+                    // Statistics accumulate in the same (n-major) order as
+                    // the serial sweep, so values are unchanged.
+                    let mut s = 0.0;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * vol;
+                        for i in 0..vol {
+                            s += xs[base + i];
+                        }
+                    }
+                    let mean = s / m;
+                    let mut v = 0.0;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * vol;
+                        for i in 0..vol {
+                            let d = xs[base + i] - mean;
+                            v += d * d;
+                        }
+                    }
+                    let var = v / m;
+                    let is = 1.0 / (var + eps).sqrt();
+                    // SAFETY: channel task `ci` exclusively owns slot ci of
+                    // every per-channel statistic vector.
+                    unsafe {
+                        *isp.get().add(ci) = is;
+                        let rm = rmp.get().add(ci);
+                        *rm = (1.0 - momentum) * *rm + momentum * mean;
+                        let rv = rvp.get().add(ci);
+                        *rv = (1.0 - momentum) * *rv + momentum * var;
+                    }
+                    let (ga, be) = (gamma[ci], beta[ci]);
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * vol;
+                        // SAFETY: the (·, ci) slabs are disjoint per task.
+                        let (xh, yy) = unsafe {
+                            (
+                                std::slice::from_raw_parts_mut(xhp.get().add(base), vol),
+                                std::slice::from_raw_parts_mut(yp.get().add(base), vol),
+                            )
+                        };
+                        for i in 0..vol {
+                            let h = (xs[base + i] - mean) * is;
+                            xh[i] = h;
+                            yy[i] = ga * h + be;
+                        }
+                    }
+                });
+            }
             self.cache = Some(BnCache {
                 xhat,
                 inv_std,
                 dims,
+            });
+        } else {
+            // Inference is a per-channel affine map from the running
+            // statistics; x̂ is never materialized.
+            let rm = &self.running_mean;
+            let rv = &self.running_var;
+            let yp = SendPtr(y.as_mut_slice().as_mut_ptr());
+            par_jobs(c, 2 * n * vol, |ci| {
+                let mean = rm[ci];
+                let is = 1.0 / (rv[ci] + eps).sqrt();
+                let (ga, be) = (gamma[ci], beta[ci]);
+                for ni in 0..n {
+                    let base = (ni * c + ci) * vol;
+                    // SAFETY: the (·, ci) slabs are disjoint per task.
+                    let yy = unsafe { std::slice::from_raw_parts_mut(yp.get().add(base), vol) };
+                    for i in 0..vol {
+                        yy[i] = ga * ((xs[base + i] - mean) * is) + be;
+                    }
+                }
             });
         }
         y
@@ -119,50 +159,51 @@ impl Layer for BatchNorm {
         let cache = self.cache.as_ref().expect("backward before forward");
         let dims = cache.dims;
         assert_eq!(grad_out.dims(), &[dims.n, dims.c, dims.d, dims.h, dims.w]);
-        let m = (dims.n * dims.vol()) as f64;
+        let vol = dims.vol();
+        let (n, c) = (dims.n, self.c);
+        let m = (n * vol) as f64;
         let g = grad_out.as_slice();
         let xh = cache.xhat.as_slice();
+        let inv_std = &cache.inv_std;
         let gamma = self.gamma.data.as_slice();
         let mut gx = Tensor::zeros(grad_out.shape().clone());
 
-        // Standard batch-norm backward:
+        // Standard batch-norm backward, one task per channel:
         // dβ_c = Σ g, dγ_c = Σ g·x̂,
         // dx = γ·inv_std/m · (m·g − Σg − x̂·Σ(g·x̂))
-        let mut sum_g = vec![0.0; self.c];
-        let mut sum_gx = vec![0.0; self.c];
-        for n in 0..dims.n {
-            for c in 0..self.c {
-                let base = (n * self.c + c) * dims.vol();
+        let gxp = SendPtr(gx.as_mut_slice().as_mut_ptr());
+        let gbp = SendPtr(self.beta.grad.as_mut_slice().as_mut_ptr());
+        let ggp = SendPtr(self.gamma.grad.as_mut_slice().as_mut_ptr());
+        par_jobs(c, 3 * n * vol, |ci| {
+            let mut sum_g = 0.0;
+            let mut sum_gx = 0.0;
+            for ni in 0..n {
+                let base = (ni * c + ci) * vol;
                 let mut sg = 0.0;
                 let mut sgx = 0.0;
-                for i in 0..dims.vol() {
+                for i in 0..vol {
                     sg += g[base + i];
                     sgx += g[base + i] * xh[base + i];
                 }
-                sum_g[c] += sg;
-                sum_gx[c] += sgx;
+                sum_g += sg;
+                sum_gx += sgx;
             }
-        }
-        {
-            let gb = self.beta.grad.as_mut_slice();
-            let gg = self.gamma.grad.as_mut_slice();
-            for c in 0..self.c {
-                gb[c] += sum_g[c];
-                gg[c] += sum_gx[c];
+            // SAFETY: each channel task owns exactly slot ci of both
+            // parameter gradients.
+            unsafe {
+                *gbp.get().add(ci) += sum_g;
+                *ggp.get().add(ci) += sum_gx;
             }
-        }
-        {
-            let gxs = gx.as_mut_slice();
-            for n in 0..dims.n {
-                for c in 0..self.c {
-                    let base = (n * self.c + c) * dims.vol();
-                    let k = gamma[c] * cache.inv_std[c] / m;
-                    for i in 0..dims.vol() {
-                        gxs[base + i] = k * (m * g[base + i] - sum_g[c] - xh[base + i] * sum_gx[c]);
-                    }
+            let k = gamma[ci] * inv_std[ci] / m;
+            for ni in 0..n {
+                let base = (ni * c + ci) * vol;
+                // SAFETY: the (·, ci) slabs are disjoint per task.
+                let gxs = unsafe { std::slice::from_raw_parts_mut(gxp.get().add(base), vol) };
+                for i in 0..vol {
+                    gxs[i] = k * (m * g[base + i] - sum_g - xh[base + i] * sum_gx);
                 }
             }
-        }
+        });
         gx
     }
 
@@ -238,6 +279,39 @@ mod tests {
         // x̂ = [-1, 1] (up to eps), y = 2x̂ + 1 = [-1, 3].
         assert!((y[0] + 1.0).abs() < 1e-2);
         assert!((y[1] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn forward_backward_are_bitwise_deterministic() {
+        // The per-channel jobs write disjoint slabs in a fixed order, so
+        // repeated runs must agree bit for bit at any thread count.
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = Tensor::rand_uniform([3, 4, 1, 16, 16], -2.0, 2.0, &mut rng);
+        let g = Tensor::rand_uniform([3, 4, 1, 16, 16], -1.0, 1.0, &mut rng);
+        let run = |train: bool| {
+            let mut bn = BatchNorm::new(4);
+            let y = bn.forward(&x, train);
+            let gx = train.then(|| bn.backward(&g));
+            (y, gx, bn.gamma.grad.clone(), bn.running_mean.clone())
+        };
+        for train in [false, true] {
+            let (y1, gx1, gg1, rm1) = run(train);
+            let (y2, gx2, gg2, rm2) = run(train);
+            assert!(y1
+                .as_slice()
+                .iter()
+                .zip(y2.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(gg1, gg2);
+            assert_eq!(rm1, rm2);
+            if let (Some(a), Some(b)) = (gx1, gx2) {
+                assert!(a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Slab-decomposed (spatial model-parallel) U-Net inference.
+//!
+//! The paper's §5 outlook — "scaling beyond megavoxels to gigavoxels" via
+//! "model-parallel distributed deep learning" — needs the *network*, not
+//! just the FEM solver, to run without any rank ever materializing a
+//! full-resolution activation. This module implements that forward path:
+//! the input field is carved into `p` contiguous slabs along its slowest
+//! non-unit spatial axis (depth for 3D problems, height for 2D), each rank
+//! walks the whole U-Net on its slab, and thin halo planes are exchanged
+//! over a [`Comm`] right before every stencil application.
+//!
+//! ## Halo-width rule
+//!
+//! Only the `same`-padded stencil convolutions couple neighbouring planes
+//! along the split axis, and their reach is exactly the padding `(k-1)/2`
+//! — one plane for the U-Net's 3×3×3 blocks. [`predict_slab`] therefore
+//! exchanges one halo plane per side before each `Conv3d` (encoder,
+//! bottleneck and merge blocks) and computes **only the owned output
+//! planes** through [`Conv3d::forward_planes`], which restricts the
+//! im2col/GEMM lowering to the owned anchor rows. Every owned output
+//! element then sees exactly the operand values the serial pass sees, in
+//! the same accumulation order, so the assembled result is **bitwise
+//! identical** to the serial forward at any rank count. All other layers
+//! are local: `MaxPool3d`/`ConvTranspose3d` with `k = s = 2` never
+//! straddle a cut (see the alignment rule), batch norm at inference is a
+//! per-channel affine map from running statistics, activations are
+//! pointwise, and the 1×1×1 head has zero reach.
+//!
+//! ## Pool-alignment rule
+//!
+//! Slab sizes must be positive multiples of `2^depth` along the split
+//! axis ([`mgd_dist::SlabPartition::aligned`]) so that every factor-2
+//! pool/upsample boundary at every level lands on a slab cut; the slab
+//! then stays a whole number of (even) planes at all `depth + 1` levels
+//! and pooling/upsampling remain rank-local. Violations are caught as
+//! typed errors at engine-build time, and [`predict_slab`] re-asserts
+//! them defensively.
+//!
+//! Per-rank activation memory is ≈ `slab / p + halos` per level (skip
+//! tensors are dropped as soon as the decoder consumes them);
+//! [`activation_peak_elems`] models the live-tensor peak so serving
+//! harnesses can report per-rank footprints against the serial forward.
+
+use crate::conv::Conv3d;
+use crate::layer::{Dims5, Layer};
+use crate::unet::{concat_channels, ConvBlock, UNet, UNetConfig};
+use mgd_dist::{exchange_extend, Comm, SlabLayout};
+use mgd_tensor::Tensor;
+
+/// Which NCDHW axis a spatial decomposition splits.
+///
+/// 3D problems split the depth (z) axis; 2D problems — whose tensors carry
+/// a unit depth axis — split the height axis. Both map onto the same
+/// `[pre, split, post]` plane arithmetic of [`mgd_dist::halo`] and the
+/// same flattened `(o_d, o_h)` anchor-row ranges of the GEMM lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitAxis {
+    /// Split along the depth axis (3D problems).
+    Depth,
+    /// Split along the height axis (2D problems; requires `d == 1`).
+    Height,
+}
+
+impl SplitAxis {
+    /// The `[pre, split, post]` view of an NCDHW tensor split along this
+    /// axis.
+    pub fn layout(&self, d: &Dims5) -> SlabLayout {
+        match self {
+            SplitAxis::Depth => SlabLayout {
+                pre: d.n * d.c,
+                split: d.d,
+                post: d.h * d.w,
+            },
+            SplitAxis::Height => {
+                assert_eq!(d.d, 1, "height split needs a unit depth axis");
+                SlabLayout {
+                    pre: d.n * d.c,
+                    split: d.h,
+                    post: d.w,
+                }
+            }
+        }
+    }
+
+    /// Extent of the split axis in `d`.
+    pub fn extent(&self, d: &Dims5) -> usize {
+        match self {
+            SplitAxis::Depth => d.d,
+            SplitAxis::Height => d.h,
+        }
+    }
+}
+
+impl UNet {
+    /// The axis [`predict_slab`] splits for this architecture.
+    pub fn split_axis(&self) -> SplitAxis {
+        if self.cfg.two_d {
+            SplitAxis::Height
+        } else {
+            SplitAxis::Depth
+        }
+    }
+}
+
+/// Exchanges the conv's halo planes with ring neighbours, then computes
+/// only the owned output planes of a `same` stencil convolution.
+fn halo_conv(
+    conv: &mut Conv3d,
+    x: &Tensor,
+    comm: &dyn Comm,
+    axis: SplitAxis,
+    tag: &mut u64,
+) -> Tensor {
+    let d = Dims5::of(x);
+    let (halo, own) = match axis {
+        SplitAxis::Depth => {
+            assert_eq!(conv.stride.0, 1, "spatial split needs stride 1 along depth");
+            assert_eq!(
+                conv.kernel.0,
+                2 * conv.padding.0 + 1,
+                "spatial split needs a symmetric same-conv along depth"
+            );
+            (conv.padding.0, d.d)
+        }
+        SplitAxis::Height => {
+            assert_eq!(d.d, 1, "height split needs a unit depth axis");
+            assert_eq!(
+                conv.stride.1, 1,
+                "spatial split needs stride 1 along height"
+            );
+            assert_eq!(
+                conv.kernel.1,
+                2 * conv.padding.1 + 1,
+                "spatial split needs a symmetric same-conv along height"
+            );
+            (conv.padding.1, d.h)
+        }
+    };
+    if comm.size() == 1 || halo == 0 {
+        // No neighbours (or no reach): the slab is self-contained.
+        return conv.forward(x, false);
+    }
+    let ext = exchange_extend(comm, x.as_slice(), &axis.layout(&d), halo, *tag);
+    *tag += 2;
+    let (lo, hi) = (ext.lo, ext.hi);
+    let ext_dims = match axis {
+        SplitAxis::Depth => vec![d.n, d.c, lo + d.d + hi, d.h, d.w],
+        SplitAxis::Height => vec![d.n, d.c, 1, lo + d.h + hi, d.w],
+    };
+    let x_ext = Tensor::from_vec(ext_dims, ext.data);
+    conv.forward_planes(&x_ext, lo..lo + own, axis)
+}
+
+/// One Conv → (BatchNorm) → LeakyReLU block with halo exchange before the
+/// stencil. Batch norm runs in inference mode (running statistics — a
+/// rank-local per-channel affine map), so no cross-rank statistics are
+/// needed.
+fn halo_conv_block(
+    block: &mut ConvBlock,
+    x: &Tensor,
+    comm: &dyn Comm,
+    axis: SplitAxis,
+    tag: &mut u64,
+) -> Tensor {
+    let mut h = halo_conv(&mut block.conv, x, comm, axis, tag);
+    if let Some(bn) = &mut block.bn {
+        h = bn.forward(&h, false);
+    }
+    block.act.forward(&h, false)
+}
+
+/// Slab-decomposed inference forward of the U-Net (see the module docs).
+///
+/// `slab` is this rank's contiguous slab of the NCDHW input along
+/// [`UNet::split_axis`]; its split extent must be a positive multiple of
+/// `2^depth` (the pool-alignment rule). Every rank of `comm` must call
+/// this collectively with identically-configured replicas. Returns the
+/// owned slab of the output — stitching the rank-ordered results yields a
+/// field bitwise identical to [`crate::Model::predict`] on the full input.
+pub fn predict_slab(net: &mut UNet, slab: &Tensor, comm: &dyn Comm) -> Tensor {
+    let axis = net.split_axis();
+    let d = Dims5::of(slab);
+    // The slab must survive `depth` poolings on its own: this is exactly
+    // the per-rank pool-alignment rule (engine-validated; re-checked here).
+    net.check_input_dims(&d);
+    let depth = net.cfg.depth;
+    let mut tag = 0u64;
+    let mut h = slab.clone();
+    let mut skips: Vec<Tensor> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        h = halo_conv_block(&mut net.enc[i], &h, comm, axis, &mut tag);
+        skips.push(h.clone());
+        h = net.pools[i].forward(&h, false);
+    }
+    h = halo_conv_block(&mut net.bottleneck, &h, comm, axis, &mut tag);
+    for i in (0..depth).rev() {
+        h = net.ups[i].forward(&h, false);
+        // Consume (not borrow) the skip so its slab is freed immediately —
+        // the decoder's contribution to the per-rank memory bound.
+        let skip = skips.pop().expect("one skip per level");
+        h = concat_channels(&h, &skip);
+        drop(skip);
+        h = halo_conv_block(&mut net.merges[i], &h, comm, axis, &mut tag);
+    }
+    h = net.head.forward(&h, false);
+    if let Some(s) = &mut net.sigmoid {
+        h = s.forward(&h, false);
+    }
+    h
+}
+
+/// Models the peak number of live activation scalars (f64 elements) of
+/// one rank's [`predict_slab`] walk over a `[batch, in_c, …]` slab with
+/// spatial dims `dims` (`[d, h, w]`; use `d = 1` for 2D networks).
+///
+/// `halo_sides` is the number of neighbours exchanging halos with this
+/// rank (0 for a serial/full-field forward, 1 for edge ranks, 2 for
+/// interior ranks). The model counts the tensors the forward holds alive
+/// simultaneously (input, halo-extended copy, conv output, retained
+/// skips) level by level; it is an activation model, not an allocator
+/// trace — weights, GEMM scratch and the assembled I/O fields are
+/// excluded. Multiply by 8 for bytes.
+pub fn activation_peak_elems(
+    cfg: &UNetConfig,
+    batch: usize,
+    dims: [usize; 3],
+    halo_sides: usize,
+) -> usize {
+    let [d0, h0, w0] = dims;
+    assert!(!cfg.two_d || d0 == 1, "2D networks take a unit depth axis");
+    let depth = cfg.depth;
+    // Spatial volume and per-plane (split-axis) volume at level l.
+    let vol = |l: usize| -> usize {
+        if cfg.two_d {
+            (h0 >> l) * (w0 >> l)
+        } else {
+            (d0 >> l) * (h0 >> l) * (w0 >> l)
+        }
+    };
+    let plane = |l: usize| -> usize {
+        if cfg.two_d {
+            w0 >> l
+        } else {
+            (h0 >> l) * (w0 >> l)
+        }
+    };
+    let halo = |c: usize, l: usize| batch * c * halo_sides * plane(l);
+    let t = |c: usize, l: usize| batch * c * vol(l);
+    let ch = |i: usize| cfg.channels(i);
+
+    let mut peak = 0usize;
+    let mut skips = 0usize;
+    let mut live = t(cfg.in_channels, 0);
+    peak = peak.max(live);
+    // One conv block: x + halo-extended x + conv out live together, then
+    // bn/act replace the output (two same-size tensors coexist briefly).
+    macro_rules! block {
+        ($c_in:expr, $c_out:expr, $l:expr) => {{
+            let out = t($c_out, $l);
+            peak = peak.max(skips + 2 * live + halo($c_in, $l) + out);
+            peak = peak.max(skips + 2 * out);
+            live = out;
+        }};
+    }
+    for i in 0..depth {
+        let c_in = if i == 0 { cfg.in_channels } else { ch(i - 1) };
+        block!(c_in, ch(i), i);
+        skips += live; // skip clone retained until the decoder consumes it
+        let pooled = t(ch(i), i + 1);
+        peak = peak.max(skips + live + pooled);
+        live = pooled;
+    }
+    block!(ch(depth - 1), ch(depth), depth);
+    for i in (0..depth).rev() {
+        let up = t(ch(i), i);
+        peak = peak.max(skips + live + up);
+        live = up;
+        let cat = t(2 * ch(i), i);
+        peak = peak.max(skips + live + cat);
+        skips -= t(ch(i), i); // skip freed right after concat
+        live = cat;
+        block!(2 * ch(i), ch(i), i);
+    }
+    let head = t(cfg.out_channels, 0);
+    peak = peak.max(live + 2 * head); // head output + sigmoid output
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use mgd_dist::{carve_planes, SlabPartition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(two_d: bool, depth: usize, seed: u64) -> UNet {
+        UNet::new(UNetConfig {
+            depth,
+            base_filters: 2,
+            two_d,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn spatial_matches_serial(two_d: bool, depth: usize, dims: [usize; 3], p: usize) {
+        let mut reference = net(two_d, depth, 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::rand_uniform(vec![2, 1, dims[0], dims[1], dims[2]], -1.0, 1.0, &mut rng);
+        let serial = reference.predict(&x);
+        let d5 = Dims5::of(&x);
+        let axis = reference.split_axis();
+        let extent = axis.extent(&d5);
+        let part = SlabPartition::aligned(extent, p, 1 << depth).unwrap();
+        let layout = axis.layout(&d5);
+        let jobs: Vec<(UNet, Tensor, std::ops::Range<usize>)> = (0..p)
+            .map(|r| {
+                let owned = part.owned_planes(r);
+                let data = carve_planes(x.as_slice(), &layout, owned.start, owned.end);
+                let sdims = match axis {
+                    SplitAxis::Depth => vec![2, 1, owned.len(), dims[1], dims[2]],
+                    SplitAxis::Height => vec![2, 1, 1, owned.len(), dims[2]],
+                };
+                (net(two_d, depth, 42), Tensor::from_vec(sdims, data), owned)
+            })
+            .collect();
+        let results = mgd_dist::launch_with(jobs, |comm, (mut replica, slab, owned)| {
+            (owned, predict_slab(&mut replica, &slab, &comm))
+        });
+        // Stitch owned output slabs and compare bitwise.
+        let out_layout = axis.layout(&Dims5::of(&serial));
+        for (owned, out) in results {
+            let expect = carve_planes(serial.as_slice(), &out_layout, owned.start, owned.end);
+            assert_eq!(out.as_slice().len(), expect.len());
+            for (i, (a, b)) in out.as_slice().iter().zip(&expect).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "two_d={two_d} depth={depth} p={p} owned={owned:?} elem {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_forward_is_bitwise_serial_2d() {
+        for p in [2usize, 3, 4] {
+            spatial_matches_serial(true, 2, [1, 16, 12], p);
+        }
+    }
+
+    #[test]
+    fn spatial_forward_is_bitwise_serial_3d() {
+        for p in [2usize, 3] {
+            spatial_matches_serial(false, 1, [8, 8, 4], p);
+            spatial_matches_serial(false, 2, [16, 8, 4], p);
+        }
+    }
+
+    #[test]
+    fn single_rank_slab_matches_predict() {
+        let mut a = net(false, 2, 5);
+        let b = net(false, 2, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(vec![1, 1, 8, 8, 8], -1.0, 1.0, &mut rng);
+        let serial = a.predict(&x);
+        let results = mgd_dist::launch_with(vec![b], |comm, mut replica| {
+            predict_slab(&mut replica, &x, &comm)
+        });
+        assert_eq!(serial.as_slice(), results[0].as_slice());
+    }
+
+    #[test]
+    fn model_trait_exposes_spatial_hooks() {
+        let m: Box<dyn Model> = Box::new(net(true, 2, 3));
+        assert_eq!(m.spatial_align(), 4);
+        let x = Tensor::zeros([1, 1, 1, 8, 8]);
+        let y = mgd_dist::launch_with(vec![m], |comm, mut replica| replica.predict_slab(&x, &comm))
+            .pop()
+            .unwrap();
+        assert!(y.is_some());
+    }
+
+    #[test]
+    fn activation_model_scales_down_with_slabs() {
+        let cfg = UNetConfig {
+            depth: 3,
+            base_filters: 16,
+            ..Default::default()
+        };
+        let full = activation_peak_elems(&cfg, 1, [64, 64, 64], 0);
+        let slab = activation_peak_elems(&cfg, 1, [16, 64, 64], 2);
+        assert!(slab < full / 2, "slab {slab} vs full {full}");
+        // The halo contribution is visible but small.
+        let edge = activation_peak_elems(&cfg, 1, [16, 64, 64], 1);
+        assert!(edge <= slab);
+    }
+}

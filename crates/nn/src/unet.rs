@@ -90,9 +90,9 @@ impl UNetConfig {
 /// Conv → (BatchNorm) → LeakyReLU.
 #[derive(Clone, Debug)]
 pub struct ConvBlock {
-    conv: Conv3d,
-    bn: Option<BatchNorm>,
-    act: LeakyReLU,
+    pub(crate) conv: Conv3d,
+    pub(crate) bn: Option<BatchNorm>,
+    pub(crate) act: LeakyReLU,
 }
 
 impl ConvBlock {
@@ -193,15 +193,15 @@ pub fn split_channels(g: &Tensor, c_first: usize) -> (Tensor, Tensor) {
 pub struct UNet {
     /// Architecture parameters.
     pub cfg: UNetConfig,
-    enc: Vec<ConvBlock>,
-    pools: Vec<MaxPool3d>,
-    bottleneck: ConvBlock,
+    pub(crate) enc: Vec<ConvBlock>,
+    pub(crate) pools: Vec<MaxPool3d>,
+    pub(crate) bottleneck: ConvBlock,
     /// `ups[i]` upsamples from level `i+1` channels to level `i`.
-    ups: Vec<ConvTranspose3d>,
+    pub(crate) ups: Vec<ConvTranspose3d>,
     /// `merges[i]` fuses `[up_out ‖ skip]` (2·c_i channels) down to c_i.
-    merges: Vec<ConvBlock>,
-    head: Conv3d,
-    sigmoid: Option<Sigmoid>,
+    pub(crate) merges: Vec<ConvBlock>,
+    pub(crate) head: Conv3d,
+    pub(crate) sigmoid: Option<Sigmoid>,
 }
 
 impl UNet {

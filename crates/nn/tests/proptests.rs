@@ -1,9 +1,11 @@
 //! Property-based tests for the CNN framework.
 
+use mgd_dist::{carve_planes, launch_with, SlabPartition};
+use mgd_nn::layer::Dims5;
 use mgd_nn::unet::{concat_channels, split_channels};
 use mgd_nn::{
-    Adam, Conv3d, ConvBackend, ConvTranspose3d, Layer, MaxPool3d, Optimizer, Param, Sigmoid, UNet,
-    UNetConfig,
+    predict_slab, Adam, Conv3d, ConvBackend, ConvTranspose3d, Layer, MaxPool3d, Optimizer, Param,
+    Sigmoid, SplitAxis, UNet, UNetConfig,
 };
 use mgd_tensor::Tensor;
 use proptest::prelude::*;
@@ -186,6 +188,100 @@ proptest! {
         let yd = direct.forward(&x, false);
         let yg = gemm.forward(&x, false);
         prop_assert!(yd.rel_l2_error(&yg) < 1e-12);
+    }
+
+    /// FEM-convention slab partitions disjointly cover every node plane
+    /// and every element layer for any valid `(n_split, p)`.
+    #[test]
+    fn fem_partition_invariants(p in 1usize..8, extra in 1usize..33) {
+        let n_split = p + extra; // always >= p + 1 layers
+        let part = SlabPartition::new(n_split, p).unwrap();
+        let mut planes = vec![0usize; n_split];
+        let mut layers = vec![0usize; n_split - 1];
+        for r in 0..p {
+            for pl in part.owned_planes(r) {
+                planes[pl] += 1;
+            }
+            for l in part.owned_layers(r) {
+                layers[l] += 1;
+            }
+        }
+        prop_assert!(planes.iter().all(|&c| c == 1), "planes {planes:?}");
+        prop_assert!(layers.iter().all(|&c| c == 1), "layers {layers:?}");
+    }
+
+    /// Aligned slab partitions tile the axis with contiguous, non-empty
+    /// slabs whose sizes are all multiples of the alignment.
+    #[test]
+    fn aligned_partition_invariants(p in 1usize..8, extra in 0usize..9, lg in 0u32..4) {
+        let blocks = p + extra;
+        let align = 1usize << lg;
+        let extent = blocks * align;
+        let part = SlabPartition::aligned(extent, p, align).unwrap();
+        let mut covered = 0usize;
+        for r in 0..p {
+            let owned = part.owned_planes(r);
+            prop_assert_eq!(owned.start, covered, "slabs must tile contiguously");
+            prop_assert!(!owned.is_empty());
+            prop_assert!(owned.len().is_multiple_of(align));
+            covered = owned.end;
+        }
+        prop_assert_eq!(covered, extent);
+        // One more rank than blocks must fail as a typed error.
+        prop_assert!(SlabPartition::aligned(extent, blocks + 1, align).is_err());
+    }
+
+    /// The slab-decomposed spatial forward is bitwise identical to the
+    /// serial forward for random resolutions, depths, dimensionalities and
+    /// rank counts — the core guarantee of `mgd_nn::spatial`.
+    #[test]
+    fn spatial_forward_matches_serial_bitwise(
+        depth in 1usize..3, blocks_extra in 0usize..3, p in 2usize..5,
+        hw in 1usize..3, two_d_bit in 0usize..2, seed in 0u64..1000,
+    ) {
+        let two_d = two_d_bit == 1;
+        let align = 1usize << depth;
+        let extent = (p + blocks_extra) * align;
+        let other = hw * align * 2;
+        let dims = if two_d { [1, extent, other] } else { [extent, other.min(8), 4.max(align)] };
+        let cfg = UNetConfig {
+            depth, base_filters: 2, two_d, seed,
+            ..Default::default()
+        };
+        let mut reference = UNet::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let x = Tensor::rand_uniform(vec![1, 1, dims[0], dims[1], dims[2]], -1.0, 1.0, &mut rng);
+        let serial = reference.forward(&x, false);
+        let d5 = Dims5::of(&x);
+        let axis = reference.split_axis();
+        let part = SlabPartition::aligned(axis.extent(&d5), p, align).unwrap();
+        let layout = axis.layout(&d5);
+        let jobs: Vec<(UNet, Tensor, std::ops::Range<usize>)> = (0..p)
+            .map(|r| {
+                let owned = part.owned_planes(r);
+                let data = carve_planes(x.as_slice(), &layout, owned.start, owned.end);
+                let sdims = match axis {
+                    SplitAxis::Depth => vec![1, 1, owned.len(), dims[1], dims[2]],
+                    SplitAxis::Height => vec![1, 1, 1, owned.len(), dims[2]],
+                };
+                (UNet::new(cfg), Tensor::from_vec(sdims, data), owned)
+            })
+            .collect();
+        let results = launch_with(jobs, |comm, (mut replica, slab, owned)| {
+            (owned, predict_slab(&mut replica, &slab, &comm))
+        });
+        let out_layout = axis.layout(&Dims5::of(&serial));
+        for (owned, out) in results {
+            let expect = carve_planes(serial.as_slice(), &out_layout, owned.start, owned.end);
+            prop_assert_eq!(out.as_slice().len(), expect.len());
+            for (i, (a, b)) in out.as_slice().iter().zip(&expect).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "two_d={} depth={} p={} owned={:?} elem {}: {} vs {}",
+                    two_d, depth, p, owned, i, a, b
+                );
+            }
+        }
     }
 
     /// Gradient accumulation: two backward passes double the parameter

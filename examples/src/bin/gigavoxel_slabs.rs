@@ -37,7 +37,7 @@ fn main() {
 
     // Distributed solve across 3 in-process ranks.
     let p = 3usize;
-    let part = SlabPartition::new(m, p);
+    let part = SlabPartition::new(m, p).expect("valid slab config");
     for r in 0..p {
         let planes = part.owned_planes(r);
         println!(
@@ -49,7 +49,8 @@ fn main() {
     let nu_c = nu.clone();
     let bc_c = bc.clone();
     let slabs = launch(p, move |comm| {
-        let dist = DistPoisson::new(&comm, grid, nu_c.as_slice(), &bc_c);
+        let dist =
+            DistPoisson::new(&comm, grid, nu_c.as_slice(), &bc_c).expect("valid slab config");
         let start = std::time::Instant::now();
         let (owned, iters, converged) = dist.solve_cg(1e-10, 5000);
         (owned, iters, converged, start.elapsed().as_secs_f64())

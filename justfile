@@ -39,6 +39,16 @@ bench-serving:
 bench-kernels:
     cargo run --release -p mgd-bench --bin kernel_report
 
+# Megavoxel serving demo: train coarse, serve 128^3 across slab ranks
+# with halo exchange (Parallelism::SpatialThreads).
+serve-megavoxel:
+    cargo run --release -p mgd-examples --bin megavoxel_serving
+
+# Spatial-serving report (bitwise equality gate + 192^3 megavoxel
+# acceptance run); writes results/BENCH_spatial.json.
+bench-spatial:
+    cargo run --release -p mgd-bench --bin spatial_report
+
 # All benchmarks.
 bench:
     cargo bench --workspace

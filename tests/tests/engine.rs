@@ -102,7 +102,7 @@ fn predict_batch_equals_looped_predict() {
         .map(|s| batched.dataset().nu_field(s, &[16, 16]))
         .collect();
     let ub = batched.predict_batch(&fields).unwrap();
-    let ul: Vec<Tensor> = fields.iter().map(|f| looped.predict(f).unwrap()).collect();
+    let ul: Vec<_> = fields.iter().map(|f| looped.predict(f).unwrap()).collect();
     assert_eq!(batched.stats().forward_passes, 1);
     assert_eq!(looped.stats().forward_passes, 5);
     for (a, b) in ub.iter().zip(&ul) {

@@ -1,0 +1,177 @@
+//! Spatial (slab-decomposed) serving through the `SolverEngine`:
+//! `Parallelism::SpatialThreads(p)` must be **bitwise identical** to
+//! `Serial` on 2D and 3D problems at the acceptance sizes, fail with typed
+//! errors on bad decompositions, and keep the serving cache working on the
+//! assembled outputs.
+
+use mgdiffnet::prelude::*;
+
+fn assert_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn spatial_threads_bitwise_on_2d_128() {
+    // 128² 2D problem, depth-3 U-Net (slab alignment 8 along y).
+    let build = |par: Parallelism| {
+        SolverEngine::builder()
+            .resolution([128, 128])
+            .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+            .levels(1)
+            .net_depth(3)
+            .base_filters(4)
+            .samples(2)
+            .batch_size(2)
+            .seed(11)
+            .parallelism(par)
+            .build()
+            .unwrap()
+    };
+    let mut serial = build(Parallelism::Serial);
+    let fields: Vec<Tensor> = (0..2)
+        .map(|s| serial.dataset().nu_field(s, &[128, 128]))
+        .collect();
+    let expect = serial.predict_batch(&fields).unwrap();
+    for p in [2usize, 4] {
+        let mut spatial = build(Parallelism::SpatialThreads(p));
+        let got = spatial.predict_batch(&fields).unwrap();
+        for (e, g) in expect.iter().zip(&got) {
+            assert_bitwise(e, g, &format!("2D 128² p={p}"));
+        }
+        assert_eq!(spatial.stats().forward_passes, 1);
+    }
+}
+
+#[test]
+fn spatial_threads_bitwise_on_3d_64() {
+    // 64³ 3D problem (262k voxels), depth-2 U-Net (slab alignment 4
+    // along z) — the acceptance configuration of the spatial tentpole.
+    let build = |par: Parallelism| {
+        SolverEngine::builder()
+            .resolution([64, 64, 64])
+            .problem(Problem::poisson_3d(DiffusivityModel::paper()))
+            .levels(1)
+            .net_depth(2)
+            .base_filters(2)
+            .samples(1)
+            .batch_size(1)
+            .seed(23)
+            .parallelism(par)
+            .build()
+            .unwrap()
+    };
+    let mut serial = build(Parallelism::Serial);
+    let nu = serial.dataset().nu_field(0, &[64, 64, 64]);
+    let expect = serial.predict(&nu).unwrap();
+    for p in [2usize, 4] {
+        let mut spatial = build(Parallelism::SpatialThreads(p));
+        let got = spatial.predict(&nu).unwrap();
+        assert_bitwise(&expect, &got, &format!("3D 64³ p={p}"));
+        // Cache replay on the spatial engine: no second forward pass.
+        let passes = spatial.stats().forward_passes;
+        let again = spatial.predict(&nu).unwrap();
+        assert_eq!(spatial.stats().forward_passes, passes);
+        assert_bitwise(&got, &again, "cache replay");
+    }
+}
+
+#[test]
+fn spatial_threads_respects_dirichlet_faces() {
+    let mut engine = SolverEngine::builder()
+        .resolution([32, 32, 32])
+        .problem(Problem::poisson_3d(DiffusivityModel::paper()))
+        .levels(1)
+        .net_depth(2)
+        .base_filters(2)
+        .samples(1)
+        .batch_size(1)
+        .parallelism(Parallelism::SpatialThreads(2))
+        .build()
+        .unwrap();
+    let nu = engine.dataset().nu_field(0, &[32, 32, 32]);
+    let u = engine.predict(&nu).unwrap();
+    for z in 0..32 {
+        for y in 0..32 {
+            assert_eq!(u.at(&[z, y, 0]), 1.0, "exact Dirichlet at x=0");
+            assert_eq!(u.at(&[z, y, 31]), 0.0, "exact Dirichlet at x=1");
+        }
+    }
+}
+
+#[test]
+fn spatial_over_decomposition_is_a_typed_build_error() {
+    // 32 z-planes / alignment 2^3 = 4 slabs at most; 5 ranks must fail at
+    // build() with InvalidConfig, never a rank panic at predict time.
+    let e = SolverEngine::builder()
+        .resolution([32, 32, 32])
+        .problem(Problem::poisson_3d(DiffusivityModel::paper()))
+        .levels(1)
+        .net_depth(3)
+        .samples(1)
+        .batch_size(1)
+        .parallelism(Parallelism::SpatialThreads(5))
+        .build();
+    match e {
+        Err(MgdError::InvalidConfig(msg)) => {
+            assert!(msg.contains("over-decomposed"), "{msg}");
+            assert!(msg.contains("SpatialThreads"), "{msg}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // Zero ranks likewise.
+    let e = SolverEngine::builder()
+        .resolution([16, 16])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .samples(1)
+        .batch_size(1)
+        .parallelism(Parallelism::SpatialThreads(0))
+        .build();
+    assert!(
+        matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("SpatialThreads")),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn spatial_threads_after_training_still_matches_serial() {
+    // Train serially, checkpoint, serve spatially from the restored
+    // weights: the resolution-agnostic network makes the trained weights
+    // valid at any (aligned) serving resolution and rank count.
+    let build = |par: Parallelism| {
+        SolverEngine::builder()
+            .resolution([32, 32])
+            .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+            .levels(2)
+            .net_depth(2)
+            .base_filters(4)
+            .samples(8)
+            .batch_size(4)
+            .max_epochs(3)
+            .fixed_epochs(1)
+            .seed(3)
+            .parallelism(par)
+            .build()
+            .unwrap()
+    };
+    let mut serial = build(Parallelism::Serial);
+    serial.train().unwrap();
+    let dir = std::env::temp_dir().join("mgd_spatial_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("weights.json");
+    serial.save_weights(&path).unwrap();
+
+    let mut spatial = build(Parallelism::SpatialThreads(2));
+    spatial.load_weights(&path).unwrap();
+    let nu = serial.dataset().nu_field(3, &[32, 32]);
+    let expect = serial.predict(&nu).unwrap();
+    let got = spatial.predict(&nu).unwrap();
+    assert_bitwise(&expect, &got, "trained weights, p=2");
+    std::fs::remove_file(&path).ok();
+}
