@@ -27,6 +27,12 @@ run cargo test -q -p mgd-integration --test spatial
 run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 2
 run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 4
 run cargo run --release -p mgd-bench --bin spatial_report -- --quick /tmp/BENCH_spatial_ci.json
+# Serving smoke: concurrent snapshot readers, hot swap, and the
+# micro-batching queue must hold their bitwise guarantees, and the load
+# harness must run end to end at 2 and 4 worker threads.
+run cargo test -q -p mgd-integration --test serving
+run cargo run --release -p mgd-serve --bin serving_loadgen -- --quick --threads 2 /tmp/BENCH_serving_ci.json
+run cargo run --release -p mgd-serve --bin serving_loadgen -- --quick --threads 4 /tmp/BENCH_serving_ci.json
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then
@@ -36,6 +42,9 @@ if [[ "${1:-}" == "bench" ]]; then
     # Full spatial-serving report (192³ megavoxel acceptance), checked in
     # as results/BENCH_spatial.json.
     run cargo run --release -p mgd-bench --bin spatial_report
+    # Full serving load test (micro-batched vs request-at-a-time), checked
+    # in as results/BENCH_serving.json.
+    run cargo run --release -p mgd-serve --bin serving_loadgen
 fi
 
 echo "ci: all green"

@@ -24,7 +24,7 @@ fn engine(cache: usize) -> SolverEngine {
 fn bench_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_32x32");
 
-    let mut eng = engine(0);
+    let eng = engine(0);
     let fields: Vec<Tensor> = (0..BATCH)
         .map(|s| eng.dataset().nu_field(s, &[32, 32]))
         .collect();
@@ -36,7 +36,7 @@ fn bench_serving(c: &mut Criterion) {
         })
     });
 
-    let mut eng_loop = engine(0);
+    let eng_loop = engine(0);
     group.bench_function(format!("looped_predict_{BATCH}"), |b| {
         b.iter(|| {
             let mut n = 0;
@@ -48,7 +48,7 @@ fn bench_serving(c: &mut Criterion) {
         })
     });
 
-    let mut eng_cached = engine(BATCH);
+    let eng_cached = engine(BATCH);
     let _ = eng_cached.predict_batch(&fields).expect("warm the cache");
     group.bench_function(format!("cached_predict_batch_{BATCH}"), |b| {
         b.iter(|| {
@@ -68,7 +68,7 @@ fn bench_serving(c: &mut Criterion) {
     // replay time must scale with the key, not with capacity or output
     // copies.
     let mut group = c.benchmark_group("serving_cache_128x128");
-    let mut eng_big = SolverEngine::builder()
+    let eng_big = SolverEngine::builder()
         .resolution([128, 128])
         .problem(Problem::poisson_2d(DiffusivityModel::paper()))
         .levels(2)

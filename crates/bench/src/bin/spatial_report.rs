@@ -50,10 +50,10 @@ fn engine(res: &[usize], depth: usize, filters: usize, par: Parallelism) -> Solv
 /// JSON record and panics on any mismatch (this bin doubles as a smoke
 /// gate in CI's `--quick` mode).
 fn equality_case(res: &[usize], depth: usize, p: usize) -> Value {
-    let mut serial = engine(res, depth, 4, Parallelism::Serial);
+    let serial = engine(res, depth, 4, Parallelism::Serial);
     let nu = serial.dataset().nu_field(0, res);
     let expect = serial.predict(&nu).expect("serial predict");
-    let mut spatial = engine(res, depth, 4, Parallelism::SpatialThreads(p));
+    let spatial = engine(res, depth, 4, Parallelism::SpatialThreads(p));
     let got = spatial.predict(&nu).expect("spatial predict");
     let equal = expect
         .as_slice()
@@ -111,7 +111,7 @@ fn megavoxel_case(
         "per-rank activation peak {max_rank_mb:.1} MB must undercut the serial {serial_mb:.1} MB"
     );
 
-    let mut spatial = engine(&res, depth, filters, Parallelism::SpatialThreads(ranks));
+    let spatial = engine(&res, depth, filters, Parallelism::SpatialThreads(ranks));
     let nu = spatial.dataset().nu_field(0, &res);
     let t = Instant::now();
     let u_spatial = spatial.predict(&nu).expect("spatial predict");
@@ -127,7 +127,7 @@ fn megavoxel_case(
     );
 
     let serial_ms = if with_serial {
-        let mut serial = engine(&res, depth, filters, Parallelism::Serial);
+        let serial = engine(&res, depth, filters, Parallelism::Serial);
         let t = Instant::now();
         let u_serial = serial.predict(&nu).expect("serial predict");
         let ms = t.elapsed().as_secs_f64() * 1e3;

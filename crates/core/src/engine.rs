@@ -8,16 +8,25 @@
 //!
 //! - [`SolverEngine::train`] — runs the configured multigrid schedule;
 //! - [`SolverEngine::predict`] — one coefficient field in, one solution
-//!   field (with exact Dirichlet values) out;
+//!   field (with exact Dirichlet values) out, **`&self`**: the whole
+//!   read path is shared-reference, so serving never needs exclusive
+//!   access to the engine;
 //! - [`SolverEngine::predict_batch`] — N requests rasterized into a single
-//!   NCDHW tensor and answered in **one** forward pass, fronted by an
-//!   ordered-LRU cache keyed by quantized coefficient fields so repeated
-//!   queries never touch the network (hits return the stored
-//!   `Arc<Tensor>` without copying); under
+//!   NCDHW tensor and answered in **one** forward pass, fronted by the
+//!   sharded LRU [`PredictionCache`](crate::serve::PredictionCache) keyed
+//!   by quantized coefficient fields so repeated queries never touch the
+//!   network (hits return the stored `Arc<Tensor>` without copying); under
 //!   [`Parallelism::SpatialThreads`] the forward runs slab-decomposed
 //!   across in-process ranks with halo exchange ([`mgd_nn::spatial`]),
 //!   bounding per-rank activation memory at megavoxel resolutions while
 //!   staying bitwise identical to the serial pass;
+//! - [`SolverEngine::predict_request`] / [`SolverEngine::predict_requests`]
+//!   — the typed request surface ([`InferenceRequest`]): raw coefficient
+//!   fields and ω parameter vectors flow through one front door;
+//! - [`SolverEngine::snapshot`] / [`SolverEngine::serve_cell`] — the
+//!   concurrent serving surface: an immutable [`EngineSnapshot`] any number
+//!   of threads predict on simultaneously, hot-swapped atomically whenever
+//!   the weights change (see [`crate::serve`] for the lifecycle);
 //! - [`SolverEngine::save_weights`] / [`SolverEngine::load_weights`] —
 //!   checkpointing through the [`Model`] trait.
 //!
@@ -43,14 +52,19 @@ use crate::cycle::CycleKind;
 use crate::error::{MgdError, MgdResult};
 use crate::loss::FemLoss;
 use crate::mg_trainer::{MgConfig, MgRunLog, MultigridTrainer};
+use crate::serve::{
+    EngineSnapshot, InferenceRequest, ServeOptions, SharedServeStats, SnapshotCell, SnapshotConfig,
+};
 use crate::trainer::TrainConfig;
-use mgd_dist::{assemble_planes, carve_planes, launch_with, LocalComm, SlabLayout, SlabPartition};
-use mgd_field::{stack_fields, Dataset, DiffusivityModel, InputEncoding};
+use mgd_dist::{launch_with, LocalComm, SlabPartition};
+use mgd_field::{Dataset, DiffusivityModel, InputEncoding};
 use mgd_nn::{Adam, ConvBackend, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::Tensor;
-use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+pub use crate::serve::{CacheShardStats, ServeStats};
 
 /// How a [`SolverEngine`] distributes work across in-process ranks.
 ///
@@ -145,136 +159,6 @@ impl Problem {
     }
 }
 
-/// Serving statistics of a [`SolverEngine`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Batched forward passes executed (a `predict_batch` call contributes
-    /// at most one, regardless of batch size).
-    pub forward_passes: u64,
-    /// Individual fields answered from the network.
-    pub predicted_fields: u64,
-    /// Individual fields answered from the cache.
-    pub cache_hits: u64,
-}
-
-/// A small LRU cache keyed by quantized coefficient fields.
-///
-/// Keys quantize every ν value to ~1e-9 absolute resolution, so bitwise
-/// jitter below solver precision still hits; the full quantized field is the
-/// key (no hash-collision false positives).
-///
-/// The cache is a true ordered LRU: `by_stamp` keeps keys sorted by their
-/// last-use clock stamp, so eviction pops the least recently used entry in
-/// O(log n) instead of the old O(capacity) `min_by_key` scan per insert.
-/// Outputs are stored and returned as [`Arc<Tensor>`] — a hit hands out a
-/// reference-counted pointer instead of deep-cloning the tensor, which at
-/// megavoxel resolutions used to copy ~57 MB per hit on the serving hot
-/// path. Keys are likewise `Arc`-shared between the two maps.
-struct PredictionCache {
-    capacity: usize,
-    entries: HashMap<Arc<Vec<u128>>, CacheSlot>,
-    /// Last-use stamp → key. Stamps come from a strictly increasing clock,
-    /// so they are unique and the first entry is always the LRU.
-    by_stamp: BTreeMap<u64, Arc<Vec<u128>>>,
-    clock: u64,
-}
-
-struct CacheSlot {
-    out: Arc<Tensor>,
-    stamp: Cell<u64>,
-}
-
-impl PredictionCache {
-    fn new(capacity: usize) -> Self {
-        PredictionCache {
-            capacity,
-            entries: HashMap::new(),
-            by_stamp: BTreeMap::new(),
-            clock: 0,
-        }
-    }
-
-    /// Quantizes a (finite — callers reject NaN/∞ first) field into a key.
-    ///
-    /// The quantization stays in the float domain: `round(v·1e9)` is an
-    /// exact integer-valued f64 whose bit pattern is the key element.
-    /// An earlier `as i64` cast saturated everything ≥ ~9.2e9 to `i64::MAX`
-    /// (distinct huge coefficients collided onto one entry) and collapsed
-    /// NaN to 0 (a NaN field cache-hit an all-zero field). Adding `0.0`
-    /// normalizes `-0.0` to `+0.0` so sub-resolution jitter around zero
-    /// still maps to one key. When `v·1e9` itself overflows f64
-    /// (|v| ≳ 1.8e299) the raw bit pattern is used instead, tagged into a
-    /// disjoint keyspace so it can never alias a quantized value.
-    fn key(field: &Tensor) -> Vec<u128> {
-        field
-            .as_slice()
-            .iter()
-            .map(|&v| {
-                let q = (v * 1e9).round() + 0.0;
-                if q.is_finite() {
-                    u128::from(q.to_bits())
-                } else {
-                    (1u128 << 64) | u128::from(v.to_bits())
-                }
-            })
-            .collect()
-    }
-
-    fn get(&mut self, key: &Vec<u128>) -> Option<Arc<Tensor>> {
-        self.clock += 1;
-        let clock = self.clock;
-        let (key_arc, slot) = self.entries.get_key_value(key)?;
-        let old = slot.stamp.replace(clock);
-        let key_arc = Arc::clone(key_arc);
-        let out = Arc::clone(&slot.out);
-        self.by_stamp.remove(&old);
-        self.by_stamp.insert(clock, key_arc);
-        Some(out)
-    }
-
-    fn insert(&mut self, key: Vec<u128>, value: Arc<Tensor>) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.clock += 1;
-        let clock = self.clock;
-        if let Some(slot) = self.entries.get_mut(&key) {
-            // Refresh an existing entry in place; `by_stamp` hands back the
-            // shared key Arc, so one hash lookup suffices.
-            let old = slot.stamp.replace(clock);
-            slot.out = value;
-            let key_arc = self.by_stamp.remove(&old).expect("stamped entry");
-            self.by_stamp.insert(clock, key_arc);
-            return;
-        }
-        if self.entries.len() >= self.capacity {
-            // Evict the least recently used entry: the smallest stamp.
-            if let Some((_, lru_key)) = self.by_stamp.pop_first() {
-                self.entries.remove(&*lru_key);
-            }
-        }
-        let key_arc = Arc::new(key);
-        self.by_stamp.insert(clock, Arc::clone(&key_arc));
-        self.entries.insert(
-            key_arc,
-            CacheSlot {
-                out: value,
-                stamp: Cell::new(clock),
-            },
-        );
-    }
-
-    fn clear(&mut self) {
-        self.entries.clear();
-        self.by_stamp.clear();
-    }
-
-    fn len(&self) -> usize {
-        debug_assert_eq!(self.entries.len(), self.by_stamp.len());
-        self.entries.len()
-    }
-}
-
 /// Builder for [`SolverEngine`]; see the module docs for the shape of the
 /// fluent API. Every setter is infallible — all validation happens in
 /// [`SolverEngineBuilder::build`], which reports the *first* violated
@@ -296,7 +180,7 @@ pub struct SolverEngineBuilder {
     batch_norm: bool,
     conv_backend: ConvBackend,
     seed: u64,
-    cache_capacity: usize,
+    serve: ServeOptions,
     parallelism: Parallelism,
     model: Option<Box<dyn Model>>,
     optimizer: Option<Box<dyn Optimizer>>,
@@ -322,7 +206,7 @@ impl Default for SolverEngineBuilder {
             batch_norm: true,
             conv_backend: ConvBackend::default(),
             seed: 0,
-            cache_capacity: 64,
+            serve: ServeOptions::default(),
             parallelism: Parallelism::Serial,
             model: None,
             optimizer: None,
@@ -463,8 +347,45 @@ impl SolverEngineBuilder {
     /// Capacity of the serving-side prediction cache; 0 disables caching
     /// (default 64 entries).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity;
+        self.serve.cache_capacity = capacity;
         self
+    }
+
+    /// Shard count of the serving-side prediction cache; 0 (the default)
+    /// picks [`crate::serve::PredictionCache::auto_shards`] from the
+    /// capacity. More shards reduce lock contention between concurrent
+    /// predictions at the cost of per-shard (rather than global) LRU order.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.serve.cache_shards = shards;
+        self
+    }
+
+    /// Admission-control depth of the `mgd_serve` micro-batching queue
+    /// (default 256): requests beyond this many waiting are rejected with
+    /// [`MgdError::QueueFull`] instead of growing latency without bound.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.serve.queue_depth = depth;
+        self
+    }
+
+    /// Largest micro-batch the serving queue coalesces into one forward
+    /// pass (default 8).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.serve.max_batch = max_batch;
+        self
+    }
+
+    /// How long the serving queue waits for more requests to coalesce after
+    /// the first arrival (default 2 ms; zero dispatches immediately).
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.serve.batch_window = window;
+        self
+    }
+
+    /// [`Self::batch_window`] in microseconds, for callers without a
+    /// `Duration` at hand.
+    pub fn batch_window_micros(self, micros: u64) -> Self {
+        self.batch_window(Duration::from_micros(micros))
     }
 
     /// How training distributes across workers (default
@@ -591,6 +512,16 @@ impl SolverEngineBuilder {
                 "Parallelism::Threads needs >= 1 worker (got 0)".into(),
             ));
         }
+        if self.serve.queue_depth == 0 {
+            return Err(MgdError::InvalidConfig(
+                "queue_depth must be >= 1 (got 0)".into(),
+            ));
+        }
+        if self.serve.max_batch == 0 {
+            return Err(MgdError::InvalidConfig(
+                "max_batch must be >= 1 (got 0)".into(),
+            ));
+        }
         let mut train = self.train;
         train.seed = self.seed;
         train.validate(self.parallelism.workers())?;
@@ -644,7 +575,21 @@ impl SolverEngineBuilder {
                 ))
             })?;
         }
-        let loss = FemLoss::new(&resolution)?;
+        let loss = Arc::new(FemLoss::new(&resolution)?);
+        let stats = Arc::new(SharedServeStats::default());
+        let snapshot = EngineSnapshot::build(SnapshotConfig {
+            version: 0,
+            model: &*model,
+            spatial_ranks: self.parallelism.spatial_ranks(),
+            resolution: resolution.clone(),
+            three_d: problem.rank() == 3,
+            encoding: self.encoding,
+            diffusivity: problem.diffusivity().clone(),
+            loss: Arc::clone(&loss),
+            cache_capacity: self.serve.cache_capacity,
+            cache_shards: self.serve.cache_shards,
+            stats: Arc::clone(&stats),
+        });
         Ok(SolverEngine {
             model,
             optimizer,
@@ -655,15 +600,24 @@ impl SolverEngineBuilder {
             schedule,
             loss,
             parallelism: self.parallelism,
-            cache: PredictionCache::new(self.cache_capacity),
-            stats: ServeStats::default(),
+            serve: self.serve,
+            stats,
+            cell: Arc::new(SnapshotCell::new(Arc::new(snapshot))),
+            version: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
             last_run: None,
-            spatial_replicas: Vec::new(),
         })
     }
 }
 
 /// A trained (or trainable) neural PDE solver with a serving surface.
+///
+/// Training mutates weights in place (`&mut self`); the whole serving
+/// surface reads through an immutable [`EngineSnapshot`] and takes `&self`.
+/// The engine republishes a fresh snapshot through its [`SnapshotCell`]
+/// after every weight change, so external serving threads holding the cell
+/// (see [`Self::serve_cell`]) atomically pick up retrained weights without
+/// ever blocking on — or being blocked by — the trainer.
 pub struct SolverEngine {
     model: Box<dyn Model>,
     optimizer: Box<dyn Optimizer>,
@@ -672,14 +626,20 @@ pub struct SolverEngine {
     problem: Problem,
     encoding: InputEncoding,
     schedule: MultigridTrainer,
-    loss: FemLoss,
+    loss: Arc<FemLoss>,
     parallelism: Parallelism,
-    cache: PredictionCache,
-    stats: ServeStats,
+    serve: ServeOptions,
+    /// Engine-lifetime serving counters, shared with every snapshot
+    /// generation (a republish never loses counts).
+    stats: Arc<SharedServeStats>,
+    /// The publication point serving threads load snapshots from.
+    cell: Arc<SnapshotCell>,
+    /// Version of the most recently published snapshot.
+    version: AtomicU64,
+    /// Set by [`Self::model_mut`]: the published snapshot may be stale and
+    /// must be rebuilt before the next predict.
+    dirty: AtomicBool,
     last_run: Option<MgRunLog>,
-    /// Per-rank model replicas reused across spatial predict calls
-    /// (empty = stale; rebuilt lazily whenever the weights change).
-    spatial_replicas: Vec<Box<dyn Model>>,
 }
 
 impl std::fmt::Debug for SolverEngine {
@@ -690,8 +650,8 @@ impl std::fmt::Debug for SolverEngine {
             .field("parallelism", &self.parallelism)
             .field("encoding", &self.encoding)
             .field("samples", &self.data.len())
-            .field("cache_len", &self.cache.len())
-            .field("stats", &self.stats)
+            .field("cache_len", &self.cell.load().cache_len())
+            .field("stats", &self.stats.snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -703,8 +663,15 @@ impl SolverEngine {
     }
 
     /// Runs the configured multigrid training schedule under the engine's
-    /// [`Parallelism`] mode. Invalidates the prediction cache (the weights
-    /// changed).
+    /// [`Parallelism`] mode, then publishes a fresh [`EngineSnapshot`]
+    /// (with an empty prediction cache — the weights changed).
+    ///
+    /// The snapshot is republished even when the run errors out
+    /// mid-schedule: a failed run has still stepped the (serial-mode,
+    /// in-place) weights, and stale cached predictions from the
+    /// pre-training model must not survive it. Serving threads holding the
+    /// old snapshot finish their in-flight requests on the old weights and
+    /// pick up the new ones on their next [`SnapshotCell::load`].
     ///
     /// Under [`Parallelism::Threads(p)`](Parallelism::Threads) the engine
     /// replicates its model/optimizer onto `p` in-process ranks, trains
@@ -713,12 +680,17 @@ impl SolverEngine {
     /// phase), and keeps rank 0's model, optimizer state and run log — all
     /// ranks hold bitwise-identical replicas when the schedule finishes.
     pub fn train(&mut self) -> MgdResult<MgRunLog> {
-        // Invalidate up front, not after: a run that errors out mid-schedule
-        // has still stepped the (serial-mode, in-place) weights, and stale
-        // entries from the pre-training model must not survive it. The
-        // spatial replicas mirror the weights and go stale with them.
-        self.cache.clear();
-        self.spatial_replicas.clear();
+        let result = self.train_inner();
+        // Republish unconditionally — success or error, the weights may
+        // have moved. This supersedes any pending `model_mut` dirtiness.
+        self.dirty.store(false, Ordering::Release);
+        self.republish();
+        let log = result?;
+        self.last_run = Some(log.clone());
+        Ok(log)
+    }
+
+    fn train_inner(&mut self) -> MgdResult<MgRunLog> {
         let log = match self.parallelism {
             // Spatial decomposition parallelizes serving; training under it
             // runs the serial schedule (see the `Parallelism` docs).
@@ -755,198 +727,117 @@ impl SolverEngine {
                 log
             }
         };
-        self.last_run = Some(log.clone());
         Ok(log)
+    }
+
+    /// Builds a snapshot of the current weights/config and publishes it,
+    /// bumping the version.
+    fn republish(&self) {
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = EngineSnapshot::build(SnapshotConfig {
+            version,
+            model: &*self.model,
+            spatial_ranks: self.parallelism.spatial_ranks(),
+            resolution: self.resolution.clone(),
+            three_d: self.problem.rank() == 3,
+            encoding: self.encoding,
+            diffusivity: self.problem.diffusivity().clone(),
+            loss: Arc::clone(&self.loss),
+            cache_capacity: self.serve.cache_capacity,
+            cache_shards: self.serve.cache_shards,
+            stats: Arc::clone(&self.stats),
+        });
+        self.cell.store(Arc::new(snapshot));
+    }
+
+    /// The currently published [`EngineSnapshot`], republishing first if a
+    /// [`Self::model_mut`] borrow left the published one stale.
+    ///
+    /// The returned `Arc` is self-contained: it keeps serving (and keeps
+    /// its weights alive) even after the engine trains again or is dropped.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        if self.dirty.swap(false, Ordering::AcqRel) {
+            self.republish();
+        }
+        self.cell.load()
+    }
+
+    /// The engine's [`SnapshotCell`] — hand this to serving threads (or a
+    /// `mgd_serve::ServeQueue`): they `load()` the current snapshot per
+    /// request and atomically observe every republish, with no further
+    /// coupling to the engine.
+    pub fn serve_cell(&self) -> Arc<SnapshotCell> {
+        // Flush any pending `model_mut` staleness so the cell's current
+        // snapshot reflects the weights as of this call.
+        let _ = self.snapshot();
+        Arc::clone(&self.cell)
+    }
+
+    /// The serving configuration (queue depth, batch window, cache shape)
+    /// this engine was built with.
+    pub fn serve_options(&self) -> ServeOptions {
+        self.serve
     }
 
     /// Predicts the solution field for one raw coefficient field ν shaped
     /// like [`Self::resolution`]. Boundary values are imposed exactly.
     ///
-    /// Outputs are reference-counted: a cache hit returns the stored
-    /// tensor without copying it.
-    pub fn predict(&mut self, coeff: &Tensor) -> MgdResult<Arc<Tensor>> {
-        Ok(self
-            .predict_batch(std::slice::from_ref(coeff))?
-            .pop()
-            .expect("one output"))
-    }
-
-    /// Runs one batched network forward under the engine's [`Parallelism`]
-    /// mode: serially, or — under
-    /// [`SpatialThreads(p)`](Parallelism::SpatialThreads) — slab-decomposed
-    /// over `p` in-process ranks with halo exchange, each rank holding only
-    /// its slab's activations. The assembled output is bitwise identical
-    /// to the serial forward.
-    fn forward_batch(&mut self, x: &Tensor) -> MgdResult<Tensor> {
-        let p = self.parallelism.spatial_ranks();
-        if p <= 1 {
-            return Ok(self.model.predict(x));
-        }
-        let align = self.model.spatial_align();
-        let part = SlabPartition::aligned(self.resolution[0], p, align.max(1))
-            .map_err(|e| MgdError::InvalidConfig(format!("spatial predict: {e}")))?;
-        let dims = x.dims();
-        let (batch, three_d) = (dims[0], self.problem.rank() == 3);
-        // [B, 1, D, H, W] viewed as [pre, split, post] along z (3D) / y (2D).
-        let layout = if three_d {
-            SlabLayout {
-                pre: batch,
-                split: dims[2],
-                post: dims[3] * dims[4],
-            }
-        } else {
-            SlabLayout {
-                pre: batch,
-                split: dims[3],
-                post: dims[4],
-            }
-        };
-        // Replicas are cloned once and reused across predict calls (their
-        // weights are read-only at inference); weight changes clear them.
-        if self.spatial_replicas.len() != p {
-            self.spatial_replicas = (0..p).map(|_| self.model.clone_model()).collect();
-        }
-        let jobs: Vec<(Box<dyn Model>, Tensor)> = std::mem::take(&mut self.spatial_replicas)
-            .into_iter()
-            .enumerate()
-            .map(|(r, replica)| {
-                let owned = part.owned_planes(r);
-                let data = carve_planes(x.as_slice(), &layout, owned.start, owned.end);
-                let sdims = if three_d {
-                    vec![batch, 1, owned.len(), dims[3], dims[4]]
-                } else {
-                    vec![batch, 1, 1, owned.len(), dims[4]]
-                };
-                (replica, Tensor::from_vec(sdims, data))
-            })
-            .collect();
-        let results = launch_with(jobs, |comm, (mut replica, slab)| {
-            let out = replica.predict_slab(&slab, &comm);
-            (replica, out)
-        });
-        let mut slabs = Vec::with_capacity(p);
-        for (replica, out) in results {
-            self.spatial_replicas.push(replica);
-            slabs.push(
-                out.ok_or_else(|| {
-                    MgdError::InvalidConfig(
-                        "model stopped supporting slab-decomposed inference".into(),
-                    )
-                })?
-                .into_vec(),
-            );
-        }
-        Ok(Tensor::from_vec(
-            dims.to_vec(),
-            assemble_planes(&slabs, layout.pre, layout.post),
-        ))
+    /// Takes `&self`: prediction never mutates the engine. Outputs are
+    /// reference-counted: a cache hit returns the stored tensor without
+    /// copying it.
+    pub fn predict(&self, coeff: &Tensor) -> MgdResult<Arc<Tensor>> {
+        self.snapshot().predict(coeff)
     }
 
     /// Predicts solution fields for N coefficient fields in **one** network
     /// forward pass (cache hits excluded). This is the serving hot path:
-    /// requests are answered from the LRU cache when an identical (up to
-    /// quantization) field was already solved — returning the stored
+    /// requests are answered from the sharded LRU cache when an identical
+    /// (up to quantization) field was already solved — returning the stored
     /// `Arc<Tensor>` without copying it — and all remaining requests are
     /// stacked into a single NCDHW batch.
-    pub fn predict_batch(&mut self, coeffs: &[Tensor]) -> MgdResult<Vec<Arc<Tensor>>> {
-        if coeffs.is_empty() {
-            return Err(MgdError::Field(mgd_field::FieldError::Empty));
-        }
-        for (i, c) in coeffs.iter().enumerate() {
-            if c.dims() != &self.resolution[..] {
-                return Err(MgdError::ShapeMismatch {
-                    expected: self.resolution.clone(),
-                    got: c.dims().to_vec(),
-                });
-            }
-            // Reject NaN/∞ *before* keying: quantization cannot represent
-            // them faithfully (a NaN coefficient must never alias a valid
-            // field's cache entry), and the network would only propagate
-            // the poison anyway.
-            if c.has_non_finite() {
-                let bad = c
-                    .as_slice()
-                    .iter()
-                    .copied()
-                    .find(|v| !v.is_finite())
-                    .unwrap_or(f64::NAN);
-                return Err(MgdError::NonFiniteInput {
-                    index: i,
-                    value: bad,
-                });
-            }
-        }
-        let keys: Vec<Vec<u128>> = coeffs.iter().map(PredictionCache::key).collect();
-        let mut outputs: Vec<Option<Arc<Tensor>>> = Vec::with_capacity(coeffs.len());
-        let mut miss_idx: Vec<usize> = Vec::new();
-        for (i, key) in keys.iter().enumerate() {
-            match self.cache.get(key) {
-                Some(hit) => {
-                    self.stats.cache_hits += 1;
-                    outputs.push(Some(hit));
-                }
-                None => {
-                    outputs.push(None);
-                    miss_idx.push(i);
-                }
-            }
-        }
-        if !miss_idx.is_empty() {
-            // Deduplicate identical fields inside the batch: solve each
-            // distinct coefficient field once.
-            let mut unique: Vec<usize> = Vec::new();
-            for &i in &miss_idx {
-                if !unique.iter().any(|&u| keys[u] == keys[i]) {
-                    unique.push(i);
-                }
-            }
-            let encoded: Vec<Tensor> = unique
-                .iter()
-                .map(|&i| self.encoding.encode(&coeffs[i]))
-                .collect();
-            let x = stack_fields(&encoded).map_err(MgdError::Field)?;
-            let mut u = self.forward_batch(&x)?;
-            self.loss.apply_bc_batch(&mut u);
-            self.stats.forward_passes += 1;
-            self.stats.predicted_fields += unique.len() as u64;
-            let vol: usize = self.resolution.iter().product();
-            let solved: Vec<Arc<Tensor>> = unique
-                .iter()
-                .enumerate()
-                .map(|(slot, _)| {
-                    Arc::new(Tensor::from_vec(
-                        self.resolution.clone(),
-                        u.as_slice()[slot * vol..(slot + 1) * vol].to_vec(),
-                    ))
-                })
-                .collect();
-            for (field, &i) in solved.iter().zip(&unique) {
-                self.cache.insert(keys[i].clone(), Arc::clone(field));
-            }
-            // Fill every miss (including intra-batch duplicates) from the
-            // solved set, not the cache — caching may be disabled.
-            for &i in &miss_idx {
-                let slot = unique
-                    .iter()
-                    .position(|&u| keys[u] == keys[i])
-                    .expect("every miss has a unique representative");
-                outputs[i] = Some(Arc::clone(&solved[slot]));
-            }
-        }
-        Ok(outputs
-            .into_iter()
-            .map(|o| o.expect("all slots filled"))
-            .collect())
+    pub fn predict_batch(&self, coeffs: &[Tensor]) -> MgdResult<Vec<Arc<Tensor>>> {
+        self.snapshot().predict_batch(coeffs)
     }
 
-    /// Predicts the solution for one ω parameter vector by rasterizing the
-    /// coefficient field at the engine's resolution first.
-    pub fn predict_omega(&mut self, omega: &[f64]) -> MgdResult<Arc<Tensor>> {
-        let nu = self
-            .problem
-            .diffusivity()
-            .rasterize(omega, &self.resolution);
-        self.predict(&nu)
+    /// Predicts the solution for one ω parameter vector, rasterizing the
+    /// coefficient field at the engine's resolution server-side. Results
+    /// are cached under the ω bits, so a repeat query skips rasterization
+    /// too.
+    pub fn predict_omega(&self, omega: &[f64]) -> MgdResult<Arc<Tensor>> {
+        self.predict_request(&InferenceRequest::Omega(omega.to_vec()))
+    }
+
+    /// Predicts the solution for one typed [`InferenceRequest`].
+    pub fn predict_request(&self, req: &InferenceRequest) -> MgdResult<Arc<Tensor>> {
+        self.snapshot().predict_request(req)
+    }
+
+    /// Predicts solutions for N typed [`InferenceRequest`]s in one forward
+    /// pass (cache hits excluded) — coefficient-field and ω requests mix
+    /// freely in one batch.
+    pub fn predict_requests(&self, reqs: &[InferenceRequest]) -> MgdResult<Vec<Arc<Tensor>>> {
+        self.snapshot().predict_requests(reqs)
+    }
+
+    /// Deprecated alias of [`Self::predict`], kept for the `&mut` serving
+    /// API migration (see the README's "Serving" section).
+    #[deprecated(note = "predict takes &self now; call predict() directly")]
+    pub fn predict_mut(&mut self, coeff: &Tensor) -> MgdResult<Arc<Tensor>> {
+        self.predict(coeff)
+    }
+
+    /// Deprecated alias of [`Self::predict_batch`], kept for the `&mut`
+    /// serving API migration (see the README's "Serving" section).
+    #[deprecated(note = "predict_batch takes &self now; call predict_batch() directly")]
+    pub fn predict_batch_mut(&mut self, coeffs: &[Tensor]) -> MgdResult<Vec<Arc<Tensor>>> {
+        self.predict_batch(coeffs)
+    }
+
+    /// Deprecated alias of [`Self::predict_omega`], kept for the `&mut`
+    /// serving API migration (see the README's "Serving" section).
+    #[deprecated(note = "predict_omega takes &self now; call predict_omega() directly")]
+    pub fn predict_omega_mut(&mut self, omega: &[f64]) -> MgdResult<Arc<Tensor>> {
+        self.predict_omega(omega)
     }
 
     /// §4.3-style comparison of the engine's prediction against a fresh FEM
@@ -967,13 +858,14 @@ impl SolverEngine {
     }
 
     /// Loads weights saved by [`Self::save_weights`] into the engine's
-    /// model (which must be structurally identical). Invalidates the cache.
+    /// model (which must be structurally identical), then publishes a fresh
+    /// snapshot (with an empty prediction cache) carrying the new weights.
     pub fn load_weights<P: AsRef<std::path::Path>>(&mut self, path: P) -> MgdResult<()> {
         let snap = WeightSnapshot::load(path)?;
         snap.restore(&mut self.model)
             .map_err(MgdError::Checkpoint)?;
-        self.cache.clear();
-        self.spatial_replicas.clear();
+        self.dirty.store(false, Ordering::Release);
+        self.republish();
         Ok(())
     }
 
@@ -997,14 +889,21 @@ impl SolverEngine {
         &self.data
     }
 
-    /// Serving statistics so far.
+    /// Serving statistics so far (engine-lifetime: they accumulate across
+    /// snapshot republishes).
     pub fn stats(&self) -> ServeStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    /// Entries currently held by the prediction cache.
+    /// Entries currently held by the current snapshot's prediction cache.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.snapshot().cache_len()
+    }
+
+    /// Per-shard hit/miss/eviction statistics of the current snapshot's
+    /// prediction cache.
+    pub fn cache_shard_stats(&self) -> Vec<CacheShardStats> {
+        self.snapshot().shard_stats()
     }
 
     /// The log of the last completed [`Self::train`] call.
@@ -1013,10 +912,11 @@ impl SolverEngine {
     }
 
     /// Mutable access to the underlying model (escape hatch for research
-    /// code; mutating weights invalidates the cache).
+    /// code). Marks the published snapshot stale: the next predict (or
+    /// [`Self::snapshot`] / [`Self::serve_cell`] call) republishes a fresh
+    /// one — with an empty prediction cache — from the mutated weights.
     pub fn model_mut(&mut self) -> &mut dyn Model {
-        self.cache.clear();
-        self.spatial_replicas.clear();
+        self.dirty.store(true, Ordering::Release);
         &mut *self.model
     }
 }
@@ -1073,7 +973,7 @@ mod tests {
 
     #[test]
     fn predict_imposes_bcs_and_caches() {
-        let mut engine = small_builder().build().unwrap();
+        let engine = small_builder().build().unwrap();
         let nu = engine.dataset().nu_field(0, &[16, 16]);
         let u = engine.predict(&nu).unwrap();
         assert_eq!(u.dims(), &[16, 16]);
@@ -1091,7 +991,7 @@ mod tests {
 
     #[test]
     fn predict_batch_is_one_forward_pass() {
-        let mut engine = small_builder().build().unwrap();
+        let engine = small_builder().build().unwrap();
         let fields: Vec<Tensor> = (0..6)
             .map(|s| engine.dataset().nu_field(s, &[16, 16]))
             .collect();
@@ -1103,7 +1003,7 @@ mod tests {
 
     #[test]
     fn predict_batch_deduplicates_identical_requests() {
-        let mut engine = small_builder().build().unwrap();
+        let engine = small_builder().build().unwrap();
         let nu = engine.dataset().nu_field(0, &[16, 16]);
         let out = engine.predict_batch(&[nu.clone(), nu.clone(), nu]).unwrap();
         assert_eq!(out.len(), 3);
@@ -1115,7 +1015,7 @@ mod tests {
 
     #[test]
     fn predict_rejects_wrong_shape() {
-        let mut engine = small_builder().build().unwrap();
+        let engine = small_builder().build().unwrap();
         let bad = Tensor::ones([8, 8]);
         assert!(matches!(
             engine.predict(&bad),
@@ -1125,7 +1025,7 @@ mod tests {
 
     #[test]
     fn cache_disabled_still_correct() {
-        let mut engine = small_builder().cache_capacity(0).build().unwrap();
+        let engine = small_builder().cache_capacity(0).build().unwrap();
         let nu = engine.dataset().nu_field(0, &[16, 16]);
         let a = engine.predict(&nu).unwrap();
         let b = engine.predict(&nu).unwrap();
@@ -1136,7 +1036,7 @@ mod tests {
 
     #[test]
     fn cache_evicts_least_recently_used() {
-        let mut engine = small_builder().cache_capacity(2).build().unwrap();
+        let engine = small_builder().cache_capacity(2).build().unwrap();
         let f: Vec<Tensor> = (0..3)
             .map(|s| engine.dataset().nu_field(s, &[16, 16]))
             .collect();
@@ -1153,7 +1053,7 @@ mod tests {
 
     #[test]
     fn predict_rejects_non_finite_inputs() {
-        let mut engine = small_builder().build().unwrap();
+        let engine = small_builder().build().unwrap();
         for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let mut bad = engine.dataset().nu_field(0, &[16, 16]);
             *bad.at_mut(&[7, 7]) = poison;
@@ -1200,7 +1100,7 @@ mod tests {
     fn cache_keeps_hot_keys_under_eviction_pressure() {
         // Ordered-LRU regression: a key that is touched between misses must
         // survive a stream of evictions that churns the rest of the cache.
-        let mut engine = small_builder().cache_capacity(3).build().unwrap();
+        let engine = small_builder().cache_capacity(3).build().unwrap();
         let hot = engine.dataset().nu_field(0, &[16, 16]);
         let _ = engine.predict(&hot).unwrap();
         for s in 1..8 {
@@ -1220,7 +1120,7 @@ mod tests {
 
     #[test]
     fn cache_hits_share_storage_instead_of_cloning() {
-        let mut engine = small_builder().build().unwrap();
+        let engine = small_builder().build().unwrap();
         let nu = engine.dataset().nu_field(0, &[16, 16]);
         let a = engine.predict(&nu).unwrap();
         let b = engine.predict(&nu).unwrap();
@@ -1229,44 +1129,10 @@ mod tests {
     }
 
     #[test]
-    fn cache_key_does_not_saturate_on_huge_values() {
-        // The old `(v * 1e9).round() as i64` saturated every value beyond
-        // ~9.2e9 to i64::MAX, so distinct huge coefficient fields collided
-        // onto one cache entry. The float-domain key keeps them apart.
-        let a = Tensor::from_vec([2, 2], vec![1.0e10, 1.0, 1.0, 1.0]);
-        let b = Tensor::from_vec([2, 2], vec![2.0e10, 1.0, 1.0, 1.0]);
-        assert_ne!(
-            PredictionCache::key(&a),
-            PredictionCache::key(&b),
-            "values past the old i64 saturation point must keep distinct keys"
-        );
-        // Sub-resolution jitter still lands on the same key (the cache's
-        // reason to exist), including across the ±0.0 boundary.
-        let c = Tensor::from_vec([2, 2], vec![1.0e10, 1.0 + 1e-12, 1.0, 1.0]);
-        assert_eq!(PredictionCache::key(&a), PredictionCache::key(&c));
-        let z_pos = Tensor::from_vec([1, 2], vec![0.0, 1.0]);
-        let z_neg = Tensor::from_vec([1, 2], vec![-1e-12, 1.0]);
-        assert_eq!(PredictionCache::key(&z_pos), PredictionCache::key(&z_neg));
-        // Even past f64's own v*1e9 overflow point (~1.8e299) distinct
-        // values keep distinct keys, and the tagged fallback keyspace
-        // cannot alias a quantized value with the same bit pattern.
-        let h1 = Tensor::from_vec([1, 2], vec![1.0e300, 1.0]);
-        let h2 = Tensor::from_vec([1, 2], vec![2.0e300, 1.0]);
-        assert_ne!(PredictionCache::key(&h1), PredictionCache::key(&h2));
-        let overflow = Tensor::from_vec([1, 1], vec![1.0e300]);
-        let quantized_twin = Tensor::from_vec([1, 1], vec![1.0e300 / 1e9]);
-        assert_ne!(
-            PredictionCache::key(&overflow),
-            PredictionCache::key(&quantized_twin),
-            "tagged fallback must not alias round(v*1e9) of a smaller value"
-        );
-    }
-
-    #[test]
     fn conv_backend_knob_is_equivalent_and_serves() {
         // Same seed, different kernels: predictions must agree to f64
         // round-off, and the Direct engine must train/serve end to end.
-        let mut gemm_engine = small_builder().build().unwrap();
+        let gemm_engine = small_builder().build().unwrap();
         let mut direct_engine = small_builder()
             .conv_backend(ConvBackend::Direct)
             .build()
@@ -1315,13 +1181,13 @@ mod tests {
 
     #[test]
     fn spatial_threads_predict_is_bitwise_serial() {
-        let mut serial = small_builder().build().unwrap();
+        let serial = small_builder().build().unwrap();
         let fields: Vec<Tensor> = (0..3)
             .map(|s| serial.dataset().nu_field(s, &[16, 16]))
             .collect();
         let expect = serial.predict_batch(&fields).unwrap();
         for p in [1usize, 2, 4] {
-            let mut spatial = small_builder()
+            let spatial = small_builder()
                 .parallelism(Parallelism::SpatialThreads(p))
                 .build()
                 .unwrap();
@@ -1390,8 +1256,151 @@ mod tests {
     }
 
     #[test]
-    fn predict_omega_matches_manual_rasterization() {
+    fn predict_is_shared_reference_and_snapshot_outlives_engine() {
+        // The redesigned read path: no `mut` anywhere near serving.
+        let engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let u = engine.predict(&nu).unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.version(), 0);
+        assert!(snap.is_lock_free(), "the built-in U-Net shares read-only");
+        drop(engine);
+        // The snapshot is self-contained: it serves after the engine died.
+        let u2 = snap.predict(&nu).unwrap();
+        assert!(u
+            .as_slice()
+            .iter()
+            .zip(u2.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn snapshot_hot_swap_on_weight_changes() {
+        let mut engine = small_builder().max_epochs(1).build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let old_snap = engine.snapshot();
+        let before = old_snap.predict(&nu).unwrap();
+        engine.train().unwrap();
+        // The engine republished; a fresh load sees new weights...
+        let new_snap = engine.snapshot();
+        assert!(new_snap.version() > old_snap.version());
+        let after = new_snap.predict(&nu).unwrap();
+        assert!(before.rel_l2_error(&after) > 0.0, "weights changed");
+        // ...while the old snapshot still answers with the *old* weights
+        // (in-flight readers are never torn mid-request).
+        let before2 = old_snap.predict(&nu).unwrap();
+        assert!(before
+            .as_slice()
+            .iter()
+            .zip(before2.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn model_mut_marks_snapshot_stale() {
         let mut engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let _ = engine.predict(&nu).unwrap();
+        assert_eq!(engine.cache_len(), 1);
+        let v0 = engine.snapshot().version();
+        let _ = engine.model_mut(); // weights may now change
+                                    // The next snapshot access republishes: higher version, fresh cache.
+        assert!(engine.snapshot().version() > v0);
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn typed_requests_mix_in_one_forward_pass() {
+        let engine = small_builder().build().unwrap();
+        let omega = engine.dataset().omegas[1].clone();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let out = engine
+            .predict_requests(&[InferenceRequest::coeff(nu), InferenceRequest::omega(omega)])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(engine.stats().forward_passes, 1);
+        assert_eq!(engine.stats().predicted_fields, 2);
+        // Repeat ω request: cached under the ω bits, no rasterization or
+        // forward pass.
+        let omega = engine.dataset().omegas[1].clone();
+        let again = engine
+            .predict_request(&InferenceRequest::omega(omega))
+            .unwrap();
+        assert!(Arc::ptr_eq(&again, &out[1]));
+        assert_eq!(engine.stats().forward_passes, 1);
+    }
+
+    #[test]
+    fn omega_requests_validate_length_and_finiteness() {
+        let engine = small_builder().build().unwrap();
+        let modes = engine.problem().diffusivity().num_modes();
+        let e = engine.predict_omega(&vec![0.1; modes + 1]);
+        assert!(
+            matches!(
+                e,
+                Err(MgdError::Field(mgd_field::FieldError::OmegaDimMismatch { got, expected }))
+                    if got == modes + 1 && expected == modes
+            ),
+            "wrong-length omega must be a typed error"
+        );
+        let mut bad = vec![0.1; modes];
+        bad[2] = f64::NAN;
+        assert!(matches!(
+            engine.predict_omega(&bad),
+            Err(MgdError::NonFiniteInput { index: 0, .. })
+        ));
+        assert_eq!(engine.stats().forward_passes, 0);
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn deprecated_mut_shims_still_serve() {
+        #![allow(deprecated)]
+        let mut engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let a = engine.predict_mut(&nu).unwrap();
+        let b = engine.predict_batch_mut(std::slice::from_ref(&nu)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b[0]));
+        let omega = engine.dataset().omegas[0].clone();
+        assert!(engine.predict_omega_mut(&omega).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_serve_knobs() {
+        let e = small_builder().queue_depth(0).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("queue_depth")));
+        let e = small_builder().max_batch(0).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("max_batch")));
+        // The remaining serve knobs round-trip.
+        let engine = small_builder()
+            .queue_depth(7)
+            .max_batch(3)
+            .batch_window_micros(500)
+            .cache_shards(2)
+            .build()
+            .unwrap();
+        let opts = engine.serve_options();
+        assert_eq!(opts.queue_depth, 7);
+        assert_eq!(opts.max_batch, 3);
+        assert_eq!(opts.batch_window, Duration::from_micros(500));
+        assert_eq!(opts.cache_shards, 2);
+    }
+
+    #[test]
+    fn serve_cell_tracks_republishes() {
+        let mut engine = small_builder().max_epochs(1).build().unwrap();
+        let cell = engine.serve_cell();
+        let v0 = cell.load().version();
+        engine.train().unwrap();
+        assert!(
+            cell.load().version() > v0,
+            "external cell holders must observe the hot swap"
+        );
+    }
+
+    #[test]
+    fn predict_omega_matches_manual_rasterization() {
+        let engine = small_builder().build().unwrap();
         let omega = engine.dataset().omegas[0].clone();
         let via_omega = engine.predict_omega(&omega).unwrap();
         let nu = engine.dataset().nu_field(0, &[16, 16]);

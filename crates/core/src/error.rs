@@ -39,6 +39,17 @@ pub enum MgdError {
         /// The first non-finite value found in that field.
         value: f64,
     },
+    /// The serving queue is at its admission-control depth
+    /// (`SolverEngineBuilder::queue_depth`); the request was rejected
+    /// *before* queuing rather than growing latency without bound. Retry
+    /// with backoff, or raise the depth / add serving capacity.
+    QueueFull {
+        /// The configured queue depth the request bounced off.
+        depth: usize,
+    },
+    /// The serving queue was shut down before (or while) this request was
+    /// waiting; the request was not (fully) processed.
+    ServeShutdown,
     /// A data-layer failure (rasterization, batching, sampling).
     Field(FieldError),
     /// Checkpoint or report I/O failed.
@@ -64,6 +75,14 @@ impl std::fmt::Display for MgdError {
                 "non-finite input: request {index} of the batch contains \
                  {value}; coefficient fields must be finite"
             ),
+            MgdError::QueueFull { depth } => write!(
+                f,
+                "serving queue full: {depth} requests already waiting \
+                 (admission control); retry with backoff or raise queue_depth"
+            ),
+            MgdError::ServeShutdown => {
+                write!(f, "serving queue shut down before the request completed")
+            }
             MgdError::Field(e) => write!(f, "data layer: {e}"),
             MgdError::Io(e) => write!(f, "i/o: {e}"),
             MgdError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
@@ -117,6 +136,11 @@ mod tests {
         assert!(!e.to_string().contains("epoch"));
         let e: MgdError = FieldError::Empty.into();
         assert!(matches!(e, MgdError::Field(FieldError::Empty)));
+        let e = MgdError::QueueFull { depth: 256 };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("queue"));
+        let e = MgdError::ServeShutdown;
+        assert!(e.to_string().contains("shut down"));
     }
 
     #[test]

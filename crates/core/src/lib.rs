@@ -128,6 +128,7 @@ pub mod engine;
 pub mod error;
 pub mod loss;
 pub mod mg_trainer;
+pub mod serve;
 pub mod stopper;
 pub mod trainer;
 
@@ -138,6 +139,10 @@ pub use engine::{Parallelism, Problem, ServeStats, SolverEngine, SolverEngineBui
 pub use error::{MgdError, MgdResult};
 pub use loss::FemLoss;
 pub use mg_trainer::{MgConfig, MgRunLog, MultigridTrainer, PhaseLog};
+pub use serve::{
+    CacheKey, CacheShardStats, EngineSnapshot, InferenceRequest, PredictionCache, ServeOptions,
+    SharedServeStats, SnapshotCell,
+};
 pub use stopper::EarlyStopping;
 pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};
 
@@ -149,10 +154,11 @@ pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};
 /// exported for distributed runs and research loops.
 pub mod prelude {
     pub use crate::{
-        compare_with_fem, predict_field, schedule, Budget, CycleKind, EarlyStopping, EpochStats,
-        FemLoss, FieldComparison, MgConfig, MgRunLog, MgdError, MgdResult, MultigridTrainer,
-        Parallelism, Phase, PhaseLog, Problem, ServeStats, SolverEngine, SolverEngineBuilder,
-        TrainConfig, TrainLog, Trainer,
+        compare_with_fem, predict_field, schedule, Budget, CycleKind, EarlyStopping,
+        EngineSnapshot, EpochStats, FemLoss, FieldComparison, InferenceRequest, MgConfig, MgRunLog,
+        MgdError, MgdResult, MultigridTrainer, Parallelism, Phase, PhaseLog, Problem, ServeOptions,
+        ServeStats, SnapshotCell, SolverEngine, SolverEngineBuilder, TrainConfig, TrainLog,
+        Trainer,
     };
     pub use mgd_dist::{launch, Comm, LocalComm, ThreadComm};
     pub use mgd_field::{

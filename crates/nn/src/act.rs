@@ -20,6 +20,13 @@ impl LeakyReLU {
             cache_x: None,
         }
     }
+
+    /// Shared-state inference forward (`&self`): the pure pointwise map,
+    /// bitwise identical to `forward(x, false)`.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let a = self.alpha;
+        x.map(|v| if v > 0.0 { v } else { a * v })
+    }
 }
 
 impl Layer for LeakyReLU {
@@ -27,8 +34,7 @@ impl Layer for LeakyReLU {
         if train {
             self.cache_x = Some(x.clone());
         }
-        let a = self.alpha;
-        x.map(|v| if v > 0.0 { v } else { a * v })
+        self.infer(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -64,11 +70,17 @@ impl Sigmoid {
     pub fn new() -> Self {
         Sigmoid { cache_y: None }
     }
+
+    /// Shared-state inference forward (`&self`): the pure pointwise map,
+    /// bitwise identical to `forward(x, false)`.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
 }
 
 impl Layer for Sigmoid {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = self.infer(x);
         if train {
             self.cache_y = Some(y.clone());
         }

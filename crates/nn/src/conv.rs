@@ -10,6 +10,7 @@ use crate::lowering::{
 use crate::param::Param;
 use crate::spatial::SplitAxis;
 use crate::util::{tap_range, SendPtr};
+use crate::workspace::Workspace;
 use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
 use mgd_tensor::par::maybe_par_for;
 use mgd_tensor::Tensor;
@@ -252,6 +253,51 @@ impl Conv3d {
         }
         *cached_valid = false;
         gx
+    }
+
+    /// Shared-state inference forward: bitwise identical to
+    /// `forward(x, false)`, but `&self` — all transient buffers live in the
+    /// caller's [`Workspace`], so one set of weights behind an `Arc` can
+    /// serve any number of concurrent callers.
+    ///
+    /// The Gemm path runs the same streamed gather → GEMM chunk loop as the
+    /// inference branch of [`Layer::forward`] (inference never caches
+    /// patches), so values match that path bit for bit.
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        if self.backend == ConvBackend::Direct {
+            return self.forward_direct(x, &din, &dout);
+        }
+        let geom = self.geom(&din, &dout);
+        let (kdim, p) = (geom.rows(), geom.cols());
+        let ow = dout.w;
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let pa = pack_a(self.weight.data.as_slice(), self.out_c, kdim, false);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let ys = y.as_mut_slice();
+        let Workspace { col, ctmp, .. } = ws;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * geom.vol()..][..self.in_c * geom.vol()];
+            let yslab = &mut ys[ni * self.out_c * p..][..self.out_c * p];
+            for (ar0, ar1) in anchor_chunks(&geom) {
+                let cc = (ar1 - ar0) * ow;
+                col.resize(kdim * cc, 0.0);
+                im2col_range(&geom, xslab, col, ar0, ar1);
+                ctmp.resize(self.out_c * cc, 0.0);
+                gemm_prepacked(&pa, col, false, ctmp, cc, false);
+                for oc in 0..self.out_c {
+                    let b = bs[oc];
+                    let dst = &mut yslab[oc * p + ar0 * ow..oc * p + ar1 * ow];
+                    for (d, s) in dst.iter_mut().zip(&ctmp[oc * cc..(oc + 1) * cc]) {
+                        *d = b + s;
+                    }
+                }
+            }
+        }
+        y
     }
 
     /// Inference forward restricted to output planes `keep` along `axis`
@@ -750,6 +796,26 @@ mod tests {
         let gx_ref = reference.backward(&g);
         assert!(gx.rel_l2_error(&gx_ref) < 1e-12);
         assert!(conv.weight.grad.rel_l2_error(&reference.weight.grad) < 1e-12);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise_both_backends() {
+        // 20³ per channel stays under the chunk budget while 64³ (covered by
+        // the chunked-path test above) exceeds it; both route through the
+        // same streamed loop the infer path replicates.
+        let mut r = rng();
+        for backend in [ConvBackend::Gemm, ConvBackend::Direct] {
+            let mut c = Conv3d::same(2, 3, (3, 3, 3), &mut r).with_backend(backend);
+            let x = Tensor::rand_uniform([2, 2, 20, 20, 20], -1.0, 1.0, &mut r);
+            let y = c.forward(&x, false);
+            let mut ws = crate::workspace::Workspace::new();
+            let yi = c.infer(&x, &mut ws);
+            assert!(y
+                .as_slice()
+                .iter()
+                .zip(yi.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

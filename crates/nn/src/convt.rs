@@ -6,6 +6,7 @@ use crate::lowering::{
 };
 use crate::param::Param;
 use crate::util::SendPtr;
+use crate::workspace::Workspace;
 use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
 use mgd_tensor::par::maybe_par_for;
 use mgd_tensor::Tensor;
@@ -231,6 +232,47 @@ impl ConvTranspose3d {
             }
         }
         gx
+    }
+
+    /// Shared-state inference forward: bitwise identical to
+    /// `forward(x, false)`, but `&self` — transient buffers live in the
+    /// caller's [`Workspace`] so shared weights serve concurrent callers.
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        if self.backend == ConvBackend::Direct {
+            return self.forward_direct(x, &din, &dout);
+        }
+        let geom = self.geom(&din, &dout);
+        let (kdim, p) = (geom.rows(), geom.cols());
+        let ow = din.w;
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let pa = pack_a(self.weight.data.as_slice(), kdim, self.in_c, true);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let outvol = geom.vol();
+        let ys = y.as_mut_slice();
+        let Workspace { col, tmp, .. } = ws;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * p..][..self.in_c * p];
+            let yslab = &mut ys[ni * self.out_c * outvol..][..self.out_c * outvol];
+            for (oc, row) in yslab.chunks_exact_mut(outvol).enumerate() {
+                row.fill(bs[oc]);
+            }
+            for (ar0, ar1) in anchor_chunks(&geom) {
+                let cc = (ar1 - ar0) * ow;
+                tmp.resize(self.in_c * cc, 0.0);
+                for ic in 0..self.in_c {
+                    tmp[ic * cc..(ic + 1) * cc]
+                        .copy_from_slice(&xslab[ic * p + ar0 * ow..ic * p + ar1 * ow]);
+                }
+                col.resize(kdim * cc, 0.0);
+                gemm_prepacked(&pa, tmp, false, col, cc, false);
+                col2im_range_accumulate(&geom, col, yslab, ar0, ar1);
+            }
+        }
+        y
     }
 
     /// Accumulates the per-channel bias gradient (shared lowering helper).
@@ -550,6 +592,23 @@ mod tests {
     fn gradcheck_direct_backend_explicit() {
         let t = ConvTranspose3d::up2(2, 2, false, &mut rng()).with_backend(ConvBackend::Direct);
         check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise_both_backends() {
+        let mut r = rng();
+        for backend in [ConvBackend::Gemm, ConvBackend::Direct] {
+            let mut t = ConvTranspose3d::up2(3, 2, false, &mut r).with_backend(backend);
+            let x = Tensor::rand_uniform([2, 3, 5, 6, 7], -1.0, 1.0, &mut r);
+            let y = t.forward(&x, false);
+            let mut ws = crate::workspace::Workspace::new();
+            let yi = t.infer(&x, &mut ws);
+            assert!(y
+                .as_slice()
+                .iter()
+                .zip(yi.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //!   the U-Net forward over per-rank z-slabs with tagged halo-plane
 //!   exchange before every stencil convolution, bitwise identical to the
 //!   serial forward at any rank count;
+//! - [`workspace::Workspace`] + the `&self` `infer` methods on every layer,
+//!   [`unet::UNet::infer`] and the [`model::InferModel`] trait — the
+//!   lock-free serving path: all transient buffers live in a caller-owned
+//!   workspace, so one model behind an `Arc` answers concurrent predictions
+//!   bitwise identically to the exclusive `forward(x, false)` path;
 //! - [`gradcheck`] — the finite-difference harness every layer is verified
 //!   against;
 //! - [`io`] — serde-based weight checkpointing.
@@ -54,6 +59,7 @@ pub mod pool;
 pub mod spatial;
 pub mod unet;
 mod util;
+pub mod workspace;
 
 pub use act::{LeakyReLU, Sigmoid};
 pub use conv::Conv3d;
@@ -61,10 +67,11 @@ pub use convt::ConvTranspose3d;
 pub use io::{Checkpoint, WeightSnapshot};
 pub use layer::Layer;
 pub use lowering::ConvBackend;
-pub use model::Model;
+pub use model::{InferModel, Model};
 pub use norm::BatchNorm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::MaxPool3d;
 pub use spatial::{activation_peak_elems, predict_slab, SplitAxis};
 pub use unet::{UNet, UNetConfig};
+pub use workspace::Workspace;

@@ -10,8 +10,29 @@
 
 use crate::layer::Layer;
 use crate::unet::UNet;
+use crate::workspace::Workspace;
 use mgd_dist::Comm;
 use mgd_tensor::Tensor;
+use std::sync::Arc;
+
+/// A read-only, thread-shareable view of a trained model.
+///
+/// This is the serving-side counterpart of [`Model`]: `infer` takes `&self`
+/// and keeps every transient buffer in the caller's [`Workspace`], so one
+/// `Arc<dyn InferModel>` can answer predictions from any number of threads
+/// simultaneously — the contract the `EngineSnapshot` hot-swap publishing
+/// in `mgdiffnet` is built on. Implementations must be bitwise identical to
+/// the exclusive `forward(x, false)` path of the same weights.
+pub trait InferModel: Send + Sync {
+    /// Inference forward pass with caller-owned scratch.
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor;
+}
+
+impl InferModel for UNet {
+    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        UNet::infer(self, x, ws)
+    }
+}
 
 /// A trainable network usable by the MGDiffNet trainers.
 ///
@@ -59,6 +80,15 @@ pub trait Model: Layer {
         let _ = (slab, comm);
         None
     }
+
+    /// Exports a read-only, thread-shareable copy of this model's current
+    /// weights for concurrent serving, or `None` when the architecture has
+    /// no `&self` inference path (such models are still servable, but each
+    /// call serializes on an exclusive replica). The copy is a deep
+    /// snapshot: later training steps on `self` do not affect it.
+    fn share(&self) -> Option<Arc<dyn InferModel>> {
+        None
+    }
 }
 
 impl Model for UNet {
@@ -77,6 +107,10 @@ impl Model for UNet {
 
     fn predict_slab(&mut self, slab: &Tensor, comm: &dyn Comm) -> Option<Tensor> {
         Some(crate::spatial::predict_slab(self, slab, comm))
+    }
+
+    fn share(&self) -> Option<Arc<dyn InferModel>> {
+        Some(Arc::new(self.clone()))
     }
 }
 
@@ -121,6 +155,10 @@ impl Model for Box<dyn Model> {
 
     fn predict_slab(&mut self, slab: &Tensor, comm: &dyn Comm) -> Option<Tensor> {
         (**self).predict_slab(slab, comm)
+    }
+
+    fn share(&self) -> Option<Arc<dyn InferModel>> {
+        (**self).share()
     }
 }
 

@@ -54,6 +54,41 @@ impl BatchNorm {
             cache: None,
         }
     }
+
+    /// Shared-state inference forward: the per-channel affine map from the
+    /// running statistics. `&self` — it reads weights and running stats
+    /// only, so concurrent callers can share one layer. `forward(x, false)`
+    /// delegates here, so the two are bitwise identical by construction.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let dims = Dims5::of(x);
+        assert_eq!(dims.c, self.c, "channel mismatch");
+        let vol = dims.vol();
+        let (n, c) = (dims.n, self.c);
+        let xs = x.as_slice();
+        let mut y = Tensor::zeros(x.shape().clone());
+        let gamma = self.gamma.data.as_slice();
+        let beta = self.beta.data.as_slice();
+        let eps = self.eps;
+        // Inference is a per-channel affine map from the running
+        // statistics; x̂ is never materialized.
+        let rm = &self.running_mean;
+        let rv = &self.running_var;
+        let yp = SendPtr(y.as_mut_slice().as_mut_ptr());
+        par_jobs(c, 2 * n * vol, |ci| {
+            let mean = rm[ci];
+            let is = 1.0 / (rv[ci] + eps).sqrt();
+            let (ga, be) = (gamma[ci], beta[ci]);
+            for ni in 0..n {
+                let base = (ni * c + ci) * vol;
+                // SAFETY: the (·, ci) slabs are disjoint per task.
+                let yy = unsafe { std::slice::from_raw_parts_mut(yp.get().add(base), vol) };
+                for i in 0..vol {
+                    yy[i] = ga * ((xs[base + i] - mean) * is) + be;
+                }
+            }
+        });
+        y
+    }
 }
 
 impl Layer for BatchNorm {
@@ -133,24 +168,7 @@ impl Layer for BatchNorm {
                 dims,
             });
         } else {
-            // Inference is a per-channel affine map from the running
-            // statistics; x̂ is never materialized.
-            let rm = &self.running_mean;
-            let rv = &self.running_var;
-            let yp = SendPtr(y.as_mut_slice().as_mut_ptr());
-            par_jobs(c, 2 * n * vol, |ci| {
-                let mean = rm[ci];
-                let is = 1.0 / (rv[ci] + eps).sqrt();
-                let (ga, be) = (gamma[ci], beta[ci]);
-                for ni in 0..n {
-                    let base = (ni * c + ci) * vol;
-                    // SAFETY: the (·, ci) slabs are disjoint per task.
-                    let yy = unsafe { std::slice::from_raw_parts_mut(yp.get().add(base), vol) };
-                    for i in 0..vol {
-                        yy[i] = ga * ((xs[base + i] - mean) * is) + be;
-                    }
-                }
-            });
+            return self.infer(x);
         }
         y
     }

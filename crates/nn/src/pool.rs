@@ -35,6 +35,57 @@ impl MaxPool3d {
     pub fn down2(two_d: bool) -> Self {
         MaxPool3d::new(if two_d { (1, 2, 2) } else { (2, 2, 2) })
     }
+
+    /// Shared-state inference forward: the same window maxima as
+    /// `forward(x, false)` (identical comparison order, so bitwise
+    /// identical values) without the argmax bookkeeping — `&self`, safe to
+    /// call from concurrent readers of a shared layer.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let din = Dims5::of(x);
+        let (wd, wh, ww) = self.window;
+        assert!(
+            din.d.is_multiple_of(wd) && din.h.is_multiple_of(wh) && din.w.is_multiple_of(ww),
+            "input {:?} not divisible by pool window {:?}",
+            x.dims(),
+            self.window
+        );
+        let dout = Dims5 {
+            n: din.n,
+            c: din.c,
+            d: din.d / wd,
+            h: din.h / wh,
+            w: din.w / ww,
+        };
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        let mut oi = 0usize;
+        for n in 0..dout.n {
+            for c in 0..dout.c {
+                for od in 0..dout.d {
+                    for oh in 0..dout.h {
+                        for ow in 0..dout.w {
+                            let mut best = f64::NEG_INFINITY;
+                            for kd in 0..wd {
+                                for kh in 0..wh {
+                                    for kw in 0..ww {
+                                        let ii =
+                                            din.at(n, c, od * wd + kd, oh * wh + kh, ow * ww + kw);
+                                        if xs[ii] > best {
+                                            best = xs[ii];
+                                        }
+                                    }
+                                }
+                            }
+                            ys[oi] = best;
+                            oi += 1;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
 }
 
 impl Layer for MaxPool3d {

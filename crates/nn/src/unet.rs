@@ -16,6 +16,7 @@ use crate::lowering::ConvBackend;
 use crate::norm::BatchNorm;
 use crate::param::Param;
 use crate::pool::MaxPool3d;
+use crate::workspace::Workspace;
 use mgd_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,6 +108,16 @@ impl ConvBlock {
             },
             act: LeakyReLU::new(cfg.leaky_slope),
         }
+    }
+
+    /// Shared-state inference forward through conv → (bn) → act, bitwise
+    /// identical to `forward(x, false)`.
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut h = self.conv.infer(x, ws);
+        if let Some(bn) = &self.bn {
+            h = bn.infer(&h);
+        }
+        self.act.infer(&h)
     }
 }
 
@@ -293,6 +304,34 @@ impl UNet {
     /// Inference convenience (no caching).
     pub fn predict(&mut self, x: &Tensor) -> Tensor {
         self.forward(x, false)
+    }
+
+    /// Shared-state inference forward: the full U-Net traversal of
+    /// [`Layer::forward`] with `train = false`, but `&self` — every layer's
+    /// transient buffers live in the caller's [`Workspace`], so one network
+    /// behind an `Arc` serves any number of concurrent callers with
+    /// bitwise-identical results to the exclusive path.
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.check_input_dims(&Dims5::of(x));
+        let depth = self.cfg.depth;
+        let mut skips: Vec<Tensor> = Vec::with_capacity(depth);
+        let mut h = x.clone();
+        for i in 0..depth {
+            h = self.enc[i].infer(&h, ws);
+            skips.push(h.clone());
+            h = self.pools[i].infer(&h);
+        }
+        h = self.bottleneck.infer(&h, ws);
+        for i in (0..depth).rev() {
+            h = self.ups[i].infer(&h, ws);
+            h = concat_channels(&h, &skips[i]);
+            h = self.merges[i].infer(&h, ws);
+        }
+        h = self.head.infer(&h, ws);
+        if let Some(s) = &self.sigmoid {
+            h = s.infer(&h);
+        }
+        h
     }
 
     /// Builds the depth+1 network of the paper's architectural-adaptation
@@ -525,6 +564,88 @@ mod tests {
         let (a2, b2) = split_channels(&cat, 3);
         assert_eq!(a2, a);
         assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        // Train a few steps first so batch-norm running stats are
+        // non-trivial, then compare the exclusive and shared-state paths.
+        let mut net = UNet::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..3 {
+            let x = Tensor::rand_uniform([2, 1, 1, 8, 8], -1.0, 1.0, &mut rng);
+            let _ = net.forward(&x, true);
+        }
+        let x = Tensor::rand_uniform([2, 1, 1, 16, 16], -2.0, 2.0, &mut rng);
+        let y = net.forward(&x, false);
+        let mut ws = Workspace::new();
+        let yi = net.infer(&x, &mut ws);
+        assert!(y
+            .as_slice()
+            .iter()
+            .zip(yi.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Workspace reuse across calls (and resolutions) stays identical.
+        let x2 = Tensor::rand_uniform([1, 1, 1, 8, 8], -2.0, 2.0, &mut rng);
+        let y2 = net.forward(&x2, false);
+        let yi2 = net.infer(&x2, &mut ws);
+        assert!(y2
+            .as_slice()
+            .iter()
+            .zip(yi2.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise_3d_direct() {
+        let cfg = UNetConfig {
+            depth: 2,
+            base_filters: 2,
+            two_d: false,
+            seed: 13,
+            conv_backend: ConvBackend::Direct,
+            ..Default::default()
+        };
+        let mut net = UNet::new(cfg);
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = Tensor::rand_uniform([1, 1, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, false);
+        let yi = net.infer(&x, &mut Workspace::new());
+        assert!(y
+            .as_slice()
+            .iter()
+            .zip(yi.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn shared_model_serves_concurrent_threads() {
+        use crate::model::Model;
+        // share() exports an Arc'd read-only view; four threads predict the
+        // same input simultaneously with no &mut anywhere and must agree
+        // bitwise with the exclusive serial path.
+        let mut net = UNet::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Tensor::rand_uniform([1, 1, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let expect = net.forward(&x, false);
+        let shared = net.share().expect("UNet supports shared inference");
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shared = &shared;
+                    let x = &x;
+                    s.spawn(move || shared.infer(x, &mut Workspace::new()))
+                })
+                .collect();
+            for h in handles {
+                let y = h.join().expect("reader thread panicked");
+                assert!(y
+                    .as_slice()
+                    .iter()
+                    .zip(expect.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        });
     }
 
     #[test]

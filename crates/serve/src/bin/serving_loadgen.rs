@@ -1,0 +1,193 @@
+//! Serving load harness: micro-batched vs request-at-a-time at equal cores.
+//!
+//! Trains a small surrogate, then offers the same open-loop Poisson
+//! request schedule to two queue configurations per worker count:
+//!
+//! - **request-at-a-time** — `max_batch = 1`, the pre-redesign dispatch
+//!   (one forward pass per request);
+//! - **micro-batched** — the engine's configured `max_batch` /
+//!   `batch_window`, coalescing whatever is waiting into one forward pass.
+//!
+//! Both run with prediction caching disabled so the comparison measures
+//! compute dispatch, not cache luck. The offered rate is calibrated to
+//! ~1.5× a single worker's request-at-a-time capacity, which keeps the
+//! baseline saturated and gives coalescing something to coalesce.
+//!
+//! ```text
+//! cargo run --release -p mgd-serve --bin serving_loadgen            # full
+//! cargo run --release -p mgd-serve --bin serving_loadgen -- --quick
+//! cargo run --release -p mgd-serve --bin serving_loadgen -- --quick --threads 2
+//! cargo run --release -p mgd-serve --bin serving_loadgen -- out.json
+//! ```
+//!
+//! Default output path: `results/BENCH_serving.json`.
+
+use mgd_serve::loadgen::{poisson_arrivals, run_open_loop, RunReport};
+use mgd_serve::InferenceRequest;
+use mgdiffnet::prelude::*;
+use serde_json::{json, Value};
+use std::time::{Duration, Instant};
+
+struct Config {
+    quick: bool,
+    /// Worker counts to test; each count runs baseline + micro-batched.
+    thread_counts: Vec<usize>,
+    out_path: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        quick: false,
+        thread_counts: vec![2, 4],
+        out_path: "results/BENCH_serving.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+                assert!(n >= 1, "--threads needs a positive integer");
+                cfg.thread_counts = vec![n];
+            }
+            other => cfg.out_path = other.to_string(),
+        }
+    }
+    cfg
+}
+
+fn report_json(r: &RunReport) -> Value {
+    json!({
+        "offered": r.offered,
+        "completed": r.completed,
+        "rejected": r.rejected,
+        "failed": r.failed,
+        "throughput_rps": r.throughput_rps,
+        "wall_seconds": r.wall_seconds,
+        "mean_batch": r.mean_batch,
+        "max_batch": r.max_batch,
+        "latency_ms": json!({
+            "p50": r.latency.p50_ms,
+            "p95": r.latency.p95_ms,
+            "p99": r.latency.p99_ms,
+            "mean": r.latency.mean_ms,
+            "max": r.latency.max_ms,
+        }),
+    })
+}
+
+fn main() -> Result<(), MgdError> {
+    let cfg = parse_args();
+    let n_requests = if cfg.quick { 60 } else { 400 };
+
+    // Small 2D surrogate; caching off so every request costs a forward.
+    // 16² with max_batch 4 is where single-core batching pays best: the
+    // batched col buffer still fits in cache while the per-forward fixed
+    // costs (GEMM weight packing, buffer setup, queue dispatch) amortize.
+    let mut engine = SolverEngine::builder()
+        .resolution([16, 16])
+        .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+        .levels(2)
+        .samples(32)
+        .batch_size(8)
+        .max_epochs(if cfg.quick { 1 } else { 3 })
+        .seed(7)
+        .cache_capacity(0)
+        .max_batch(4)
+        .queue_depth(4096) // measure latency, not shed load
+        .build()?;
+    engine.train()?;
+
+    // Distinct pre-rasterized coefficient fields (no cache, but distinct
+    // inputs also keep the workload honest if caching is ever re-enabled).
+    let requests: Vec<InferenceRequest> = (0..32)
+        .map(|s| InferenceRequest::coeff(engine.dataset().nu_field(s, engine.resolution())))
+        .collect();
+
+    // Calibrate one worker's request-at-a-time capacity, then offer 1.5×.
+    let snap = engine.snapshot();
+    let calib_start = Instant::now();
+    let calib_n = if cfg.quick { 10 } else { 30 };
+    for req in requests.iter().cycle().take(calib_n) {
+        snap.predict_request(req)?;
+    }
+    let service_s = calib_start.elapsed().as_secs_f64() / calib_n as f64;
+    let rate_hz = 1.5 / service_s;
+    eprintln!(
+        "calibrated service time {:.2} ms/request -> offering {:.0} req/s",
+        service_s * 1e3,
+        rate_hz
+    );
+
+    let arrivals = poisson_arrivals(n_requests, rate_hz, 2024);
+    let horizon = *arrivals.last().unwrap();
+    let mut runs = Vec::new();
+    for &workers in &cfg.thread_counts {
+        let mut baseline_opts = engine.serve_options();
+        baseline_opts.max_batch = 1;
+        baseline_opts.batch_window = Duration::ZERO;
+        let micro_opts = engine.serve_options();
+
+        eprintln!(
+            "[{workers} workers] offering {n_requests} requests over {:.1}s ...",
+            horizon.as_secs_f64()
+        );
+        let baseline = run_open_loop(
+            engine.serve_cell(),
+            baseline_opts,
+            workers,
+            &requests,
+            &arrivals,
+        );
+        let micro = run_open_loop(
+            engine.serve_cell(),
+            micro_opts,
+            workers,
+            &requests,
+            &arrivals,
+        );
+        eprintln!(
+            "  request-at-a-time: {:6.1} req/s  p50 {:7.1} ms  p99 {:7.1} ms",
+            baseline.throughput_rps, baseline.latency.p50_ms, baseline.latency.p99_ms
+        );
+        eprintln!(
+            "  micro-batched:     {:6.1} req/s  p50 {:7.1} ms  p99 {:7.1} ms  (mean batch {:.1})",
+            micro.throughput_rps, micro.latency.p50_ms, micro.latency.p99_ms, micro.mean_batch
+        );
+        runs.push(json!({
+            "workers": workers,
+            "request_at_a_time": report_json(&baseline),
+            "micro_batched": report_json(&micro),
+            "throughput_speedup": micro.throughput_rps / baseline.throughput_rps,
+            "p99_speedup": baseline.latency.p99_ms / micro.latency.p99_ms,
+        }));
+    }
+
+    let report = json!({
+        "bench": "serving",
+        "quick": cfg.quick,
+        "resolution": [16, 16],
+        "requests_offered": n_requests,
+        "calibrated_service_ms": service_s * 1e3,
+        "offered_rate_hz": rate_hz,
+        "serve_options": json!({
+            "max_batch": engine.serve_options().max_batch,
+            "batch_window_us": engine.serve_options().batch_window.as_micros() as u64,
+            "queue_depth": engine.serve_options().queue_depth,
+        }),
+        "runs": runs,
+    });
+    if let Some(dir) = std::path::Path::new(&cfg.out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let rendered = serde_json::to_string_pretty(&report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&cfg.out_path, rendered)?;
+    eprintln!("wrote {}", cfg.out_path);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `mgd_serve` — the concurrent serving front end for MGDiffNet.
+//!
+//! The engine crate publishes an immutable, `Sync` [`EngineSnapshot`]
+//! through a [`SnapshotCell`]; this crate adds the machinery that turns
+//! that snapshot into a service:
+//!
+//! - [`queue::ServeQueue`] — an admission-controlled request queue whose
+//!   worker threads coalesce concurrent requests into dynamic micro-batches
+//!   (size/deadline policy) and answer each one through a [`Ticket`];
+//! - [`loadgen`] — an open-loop Poisson load harness (and the
+//!   `serving_loadgen` binary built from it) that measures p50/p95/p99
+//!   latency and throughput of micro-batched vs request-at-a-time serving
+//!   at equal core counts.
+//!
+//! # Snapshot lifecycle and hot swap
+//!
+//! ```no_run
+//! use mgdiffnet::prelude::*;
+//! use mgd_serve::ServeQueue;
+//!
+//! let mut engine = SolverEngine::builder()
+//!     .resolution([32, 32])
+//!     .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+//!     .build()?;
+//! engine.train()?;
+//!
+//! // The queue holds the engine's SnapshotCell, not the engine itself:
+//! // the engine can keep training while the queue serves.
+//! let queue = ServeQueue::for_engine(&engine, /*workers=*/ 2);
+//!
+//! // Submit from any number of threads; results arrive via tickets.
+//! let nu = engine.dataset().nu_field(0, engine.resolution());
+//! let ticket = queue.submit(InferenceRequest::coeff(nu))?;
+//!
+//! // Retraining republishes the cell atomically — the next micro-batch
+//! // picks up the new weights, in-flight batches finish on the old ones.
+//! engine.train()?;
+//!
+//! let solution = ticket.wait()?;
+//! # let _ = solution;
+//! # Ok::<(), MgdError>(())
+//! ```
+//!
+//! # Backpressure
+//!
+//! `queue_depth` bounds the number of waiting requests. When the bound is
+//! hit, [`ServeQueue::submit`] returns [`MgdError::QueueFull`]
+//! *immediately* — the caller sheds load or backs off instead of growing an
+//! unbounded latency tail. After shutdown begins, submissions get
+//! [`MgdError::ServeShutdown`]; requests accepted before shutdown are
+//! drained and answered.
+//!
+//! [`MgdError::QueueFull`]: mgdiffnet::MgdError::QueueFull
+//! [`MgdError::ServeShutdown`]: mgdiffnet::MgdError::ServeShutdown
+
+pub mod loadgen;
+pub mod queue;
+
+pub use queue::{ServeQueue, ServeQueueStats, Ticket};
+
+// The snapshot types live in the engine crate (the builder constructs
+// them); re-export the serving surface so `mgd_serve` is self-sufficient.
+pub use mgdiffnet::{
+    CacheShardStats, EngineSnapshot, InferenceRequest, ServeOptions, ServeStats, SnapshotCell,
+};

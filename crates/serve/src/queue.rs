@@ -1,0 +1,514 @@
+//! [`ServeQueue`]: dynamic micro-batching over an Arc-snapshot model.
+//!
+//! Callers submit [`InferenceRequest`]s from any number of threads; worker
+//! threads coalesce whatever is waiting into micro-batches (up to
+//! `max_batch`, waiting at most `batch_window` after the first arrival) and
+//! feed each batch to the snapshot's one-forward-pass
+//! [`predict_requests`](mgdiffnet::EngineSnapshot::predict_requests). Under
+//! load this amortizes the per-forward fixed costs (GEMM weight packing,
+//! buffer setup) across requests — the load harness
+//! (`serving_loadgen`) shows the win over request-at-a-time dispatch at
+//! equal cores. Under light load the deadline half of the policy bounds
+//! the latency a lone request pays for batching to `batch_window`.
+//!
+//! Admission control is strict: at most `queue_depth` requests wait at any
+//! time, and the `queue_depth + 1`-th submitter gets a typed
+//! [`MgdError::QueueFull`] *immediately* instead of an unbounded latency
+//! tail. Results are delivered through [`Ticket`]s, so submission never
+//! blocks on inference.
+//!
+//! The queue holds an [`Arc<SnapshotCell>`], not an engine: it loads the
+//! *currently published* snapshot per batch, so a retrain hot-swap
+//! ([`SolverEngine::train`](mgdiffnet::SolverEngine::train) republishing
+//! through the cell) is picked up on the very next batch with no queue
+//! restart, while in-flight batches finish on the snapshot they started
+//! with.
+
+use mgd_tensor::Tensor;
+use mgdiffnet::{
+    EngineSnapshot, InferenceRequest, MgdError, MgdResult, ServeOptions, SnapshotCell, SolverEngine,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A queued request waiting for its batch.
+struct Pending {
+    req: InferenceRequest,
+    tx: mpsc::SyncSender<(MgdResult<Arc<Tensor>>, Instant)>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// Monotonic counters of a [`ServeQueue`] (all atomic — safe to read from
+/// any thread while the queue serves).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// Point-in-time statistics of a [`ServeQueue`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeQueueStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests bounced by admission control ([`MgdError::QueueFull`]).
+    pub rejected: u64,
+    /// Requests answered (successfully or with a per-request error).
+    pub served: u64,
+    /// Micro-batches dispatched to the snapshot.
+    pub batches: u64,
+    /// Largest micro-batch dispatched so far.
+    pub max_batch: u64,
+    /// Mean requests per dispatched batch (1.0 = no coalescing happened).
+    pub mean_batch: f64,
+}
+
+struct Shared {
+    cell: Arc<SnapshotCell>,
+    opts: ServeOptions,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    counters: Counters,
+}
+
+/// A claim on one submitted request's future result.
+///
+/// Dropping the ticket abandons the result (the request is still served —
+/// its output is simply discarded).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<(MgdResult<Arc<Tensor>>, Instant)>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered.
+    pub fn wait(self) -> MgdResult<Arc<Tensor>> {
+        self.wait_timed().0
+    }
+
+    /// Blocks until the request is answered, also returning the instant the
+    /// worker completed it — measured at the server, so open-loop load
+    /// harnesses can compute true per-request latency even when they
+    /// collect tickets out of completion order.
+    pub fn wait_timed(self) -> (MgdResult<Arc<Tensor>>, Instant) {
+        match self.rx.recv() {
+            Ok(out) => out,
+            // The worker dropped the sender without answering: the queue
+            // was torn down around this request.
+            Err(_) => (Err(MgdError::ServeShutdown), Instant::now()),
+        }
+    }
+}
+
+/// The concurrent serving front end: admission-controlled request queue +
+/// micro-batching worker threads over a hot-swappable [`SnapshotCell`].
+///
+/// See the [module docs](self) for the batching policy. Construction is
+/// two-phase — [`ServeQueue::new`] (no workers yet) then
+/// [`ServeQueue::spawn_workers`] — or one-shot via [`ServeQueue::start`] /
+/// [`ServeQueue::for_engine`]. Dropping the queue shuts it down gracefully:
+/// already-accepted requests are drained and answered, further submissions
+/// get [`MgdError::ServeShutdown`].
+pub struct ServeQueue {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeQueue {
+    /// Creates a queue over `cell` with no worker threads yet: submissions
+    /// are accepted (up to `queue_depth`) but nothing is served until
+    /// [`Self::spawn_workers`] runs. Useful for deterministic tests and for
+    /// pre-loading a queue before opening the floodgates.
+    pub fn new(cell: Arc<SnapshotCell>, opts: ServeOptions) -> Self {
+        ServeQueue {
+            shared: Arc::new(Shared {
+                cell,
+                opts,
+                state: Mutex::new(QueueState {
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+                counters: Counters::default(),
+            }),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Creates the queue and spawns `workers` (at least 1) worker threads.
+    pub fn start(cell: Arc<SnapshotCell>, opts: ServeOptions, workers: usize) -> Self {
+        let mut q = Self::new(cell, opts);
+        q.spawn_workers(workers.max(1));
+        q
+    }
+
+    /// Starts a queue serving `engine`'s current snapshot cell with the
+    /// engine's configured [`ServeOptions`].
+    pub fn for_engine(engine: &SolverEngine, workers: usize) -> Self {
+        Self::start(engine.serve_cell(), engine.serve_options(), workers)
+    }
+
+    /// Adds `n` worker threads to the queue.
+    pub fn spawn_workers(&mut self, n: usize) {
+        for i in 0..n {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("mgd-serve-{}", self.workers.len() + i))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn serve worker");
+            self.workers.push(handle);
+        }
+    }
+
+    /// Number of worker threads currently serving.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Requests currently waiting (not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("queue poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Submits a request without blocking on inference.
+    ///
+    /// Returns [`MgdError::QueueFull`] when `queue_depth` requests are
+    /// already waiting (admission control — the caller should back off) and
+    /// [`MgdError::ServeShutdown`] after shutdown began. Otherwise the
+    /// request is queued and the returned [`Ticket`] resolves to its
+    /// result.
+    pub fn submit(&self, req: InferenceRequest) -> MgdResult<Ticket> {
+        let mut st = self.shared.state.lock().expect("queue poisoned");
+        if st.shutdown {
+            return Err(MgdError::ServeShutdown);
+        }
+        if st.queue.len() >= self.shared.opts.queue_depth {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(MgdError::QueueFull {
+                depth: self.shared.opts.queue_depth,
+            });
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        st.queue.push_back(Pending { req, tx });
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and blocks for the result (convenience for callers that
+    /// don't pipeline).
+    pub fn predict(&self, req: InferenceRequest) -> MgdResult<Arc<Tensor>> {
+        self.submit(req)?.wait()
+    }
+
+    /// The queue's counters so far.
+    pub fn stats(&self) -> ServeQueueStats {
+        let c = &self.shared.counters;
+        let batches = c.batches.load(Ordering::Relaxed);
+        let served = c.served.load(Ordering::Relaxed);
+        ServeQueueStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            served,
+            batches,
+            max_batch: c.max_batch.load(Ordering::Relaxed),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                served as f64 / batches as f64
+            },
+        }
+    }
+
+    /// The snapshot a batch dispatched right now would run on.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// Shuts the queue down: already-accepted requests are drained and
+    /// answered, new submissions get [`MgdError::ServeShutdown`], and all
+    /// worker threads are joined. Dropping the queue does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("queue poisoned");
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeQueue {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ServeQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeQueue")
+            .field("workers", &self.workers.len())
+            .field("opts", &self.shared.opts)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One worker: claim a seed request, coalesce up to `max_batch` /
+/// `batch_window`, dispatch, deliver.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut st = shared.state.lock().expect("queue poisoned");
+        // Sleep until there is a seed request (or shutdown with an empty
+        // queue — accepted requests are drained before exiting).
+        loop {
+            if let Some(seed) = st.queue.pop_front() {
+                break collect_batch(shared, st, seed);
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.cv.wait(st).expect("queue poisoned");
+        }
+    }
+}
+
+/// With `seed` claimed, waits up to `batch_window` for the batch to fill,
+/// then dispatches it (lock released during inference).
+fn collect_batch(shared: &Shared, mut st: std::sync::MutexGuard<'_, QueueState>, seed: Pending) {
+    let opts = &shared.opts;
+    let deadline = Instant::now() + opts.batch_window;
+    let mut batch = vec![seed];
+    while batch.len() < opts.max_batch {
+        if let Some(p) = st.queue.pop_front() {
+            batch.push(p);
+            continue;
+        }
+        if st.shutdown {
+            break; // drain mode: don't wait for arrivals that can't come
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shared
+            .cv
+            .wait_timeout(st, deadline - now)
+            .expect("queue poisoned");
+        st = guard;
+        if timeout.timed_out() && st.queue.is_empty() {
+            break;
+        }
+    }
+    drop(st);
+
+    // Load the *currently published* snapshot: a hot-swapped retrain is
+    // picked up here, batch by batch.
+    let snap = shared.cell.load();
+    let (reqs, txs): (Vec<InferenceRequest>, Vec<_>) =
+        batch.into_iter().map(|p| (p.req, p.tx)).unzip();
+    let n = reqs.len() as u64;
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared.counters.served.fetch_add(n, Ordering::Relaxed);
+    shared.counters.max_batch.fetch_max(n, Ordering::Relaxed);
+    match snap.predict_requests(&reqs) {
+        Ok(outs) => {
+            let done = Instant::now();
+            for (tx, out) in txs.iter().zip(outs) {
+                // A dropped ticket is not an error — the result is simply
+                // discarded.
+                let _ = tx.send((Ok(out), done));
+            }
+        }
+        Err(_) => {
+            // One bad request fails the whole batched call, and MgdError
+            // is not Clone — re-run per request so every caller gets its
+            // own typed verdict and healthy requests still succeed (their
+            // answers come from the cache the batch attempt warmed, or a
+            // per-request forward).
+            for (tx, req) in txs.iter().zip(&reqs) {
+                let res = snap.predict_request(req);
+                let _ = tx.send((res, Instant::now()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgd_field::DiffusivityModel;
+    use mgdiffnet::{Problem, SolverEngine};
+    use std::time::Duration;
+
+    fn engine() -> SolverEngine {
+        SolverEngine::builder()
+            .resolution([16, 16])
+            .problem(Problem::poisson_2d(DiffusivityModel::paper()))
+            .levels(2)
+            .samples(8)
+            .batch_size(4)
+            .seed(3)
+            .batch_window(Duration::from_millis(20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn queue_results_match_direct_predict_bitwise() {
+        let engine = engine();
+        let queue = ServeQueue::for_engine(&engine, 2);
+        let fields: Vec<Tensor> = (0..6)
+            .map(|s| engine.dataset().nu_field(s, &[16, 16]))
+            .collect();
+        let tickets: Vec<Ticket> = fields
+            .iter()
+            .map(|f| queue.submit(InferenceRequest::coeff(f.clone())).unwrap())
+            .collect();
+        for (ticket, field) in tickets.into_iter().zip(&fields) {
+            let batched = ticket.wait().unwrap();
+            let direct = engine.predict(field).unwrap();
+            assert!(
+                batched
+                    .as_slice()
+                    .iter()
+                    .zip(direct.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "micro-batched result differs from per-request predict"
+            );
+        }
+        assert_eq!(queue.stats().served, 6);
+    }
+
+    #[test]
+    fn preloaded_queue_coalesces_deterministically() {
+        let engine = engine();
+        // No workers yet: 16 requests pile up, then one worker drains them
+        // in exactly ceil(16 / max_batch=8) = 2 micro-batches.
+        let mut queue = ServeQueue::new(engine.serve_cell(), engine.serve_options());
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| queue.submit(InferenceRequest::coeff(nu.clone())).unwrap())
+            .collect();
+        assert_eq!(queue.len(), 16);
+        queue.spawn_workers(1);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.served, 16);
+        assert_eq!(stats.batches, 2, "16 queued requests / max_batch 8");
+        assert_eq!(stats.max_batch, 8);
+        assert!((stats.mean_batch - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admission_control_rejects_above_queue_depth() {
+        let engine = engine();
+        let mut opts = engine.serve_options();
+        opts.queue_depth = 3;
+        // No workers: nothing drains, so the bound is exact.
+        let queue = ServeQueue::new(engine.serve_cell(), opts);
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| queue.submit(InferenceRequest::coeff(nu.clone())).unwrap())
+            .collect();
+        let overflow = queue.submit(InferenceRequest::coeff(nu.clone()));
+        assert!(
+            matches!(overflow, Err(MgdError::QueueFull { depth: 3 })),
+            "{overflow:?}"
+        );
+        assert_eq!(queue.stats().rejected, 1);
+        // Tear the queue down with requests still waiting: every pending
+        // ticket resolves to ServeShutdown instead of hanging. (Accepted
+        // requests are only drained when workers exist to drain them.)
+        drop(queue);
+        for t in tickets {
+            assert!(matches!(t.wait(), Err(MgdError::ServeShutdown)));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let engine = engine();
+        let queue = ServeQueue::for_engine(&engine, 2);
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| queue.submit(InferenceRequest::coeff(nu.clone())).unwrap())
+            .collect();
+        queue.shutdown(); // joins workers; accepted requests still answered
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted request dropped at shutdown");
+        }
+    }
+
+    #[test]
+    fn per_request_errors_do_not_poison_the_batch() {
+        let engine = engine();
+        // One worker + preloaded queue forces the good and bad requests
+        // into the SAME micro-batch.
+        let mut queue = ServeQueue::new(engine.serve_cell(), engine.serve_options());
+        let good = engine.dataset().nu_field(0, &[16, 16]);
+        let bad = Tensor::full([16, 16], f64::NAN);
+        let t_good = queue.submit(InferenceRequest::coeff(good.clone())).unwrap();
+        let t_bad = queue.submit(InferenceRequest::coeff(bad)).unwrap();
+        let t_omega_bad = queue
+            .submit(InferenceRequest::omega(vec![0.0; 1])) // wrong length
+            .unwrap();
+        queue.spawn_workers(1);
+        let direct = engine.predict(&good).unwrap();
+        let got = t_good.wait().unwrap();
+        assert!(got
+            .as_slice()
+            .iter()
+            .zip(direct.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(matches!(t_bad.wait(), Err(MgdError::NonFiniteInput { .. })));
+        assert!(matches!(t_omega_bad.wait(), Err(MgdError::Field(_))));
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let engine = engine();
+        let mut queue = ServeQueue::for_engine(&engine, 1);
+        queue.shutdown_inner();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        assert!(matches!(
+            queue.submit(InferenceRequest::coeff(nu)),
+            Err(MgdError::ServeShutdown)
+        ));
+    }
+}

@@ -47,10 +47,10 @@ fn build(res: &[usize], depth: usize, filters: usize, par: Parallelism) -> Solve
 
 /// Serial-vs-spatial bitwise check on one small configuration.
 fn assert_bitwise_equal(res: &[usize], depth: usize, ranks: usize) {
-    let mut serial = build(res, depth, 2, Parallelism::Serial);
+    let serial = build(res, depth, 2, Parallelism::Serial);
     let nu = serial.dataset().nu_field(0, res);
     let expect = serial.predict(&nu).expect("serial predict");
-    let mut spatial = build(res, depth, 2, Parallelism::SpatialThreads(ranks));
+    let spatial = build(res, depth, 2, Parallelism::SpatialThreads(ranks));
     let got = spatial.predict(&nu).expect("spatial predict");
     assert!(
         expect

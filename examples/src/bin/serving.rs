@@ -1,10 +1,15 @@
 //! Serving demo: train a Half-V surrogate through `SolverEngine::builder()`
 //! and answer a batch of 8 coefficient-field requests in ONE forward pass,
-//! then show the LRU cache absorbing repeated traffic.
+//! show the LRU cache absorbing repeated traffic, then serve the same
+//! model concurrently — 4 threads sharing one immutable snapshot, and a
+//! `mgd_serve::ServeQueue` coalescing concurrent submissions into
+//! micro-batches.
 //!
 //! `cargo run --release -p mgd-examples --bin serving`
 
+use mgd_serve::ServeQueue;
 use mgdiffnet::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> Result<(), MgdError> {
@@ -59,6 +64,44 @@ fn main() -> Result<(), MgdError> {
         "cached replay : 8 fields in {cached:.4}s ({} cache hits so far)",
         engine.stats().cache_hits
     );
+
+    // Concurrent serving: predictions are `&self` on an immutable
+    // snapshot, so one Arc serves any number of threads with no lock.
+    let snap = engine.snapshot();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let snap = Arc::clone(&snap);
+                let requests = &requests;
+                scope.spawn(move || snap.predict(&requests[2 * t]).map(|u| u.len()))
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .expect("reader thread")
+                .expect("concurrent predict");
+        }
+    });
+    println!(
+        "\nconcurrent    : 4 threads served from one snapshot (version {})",
+        snap.version()
+    );
+
+    // Micro-batching front end: concurrent submissions coalesce into one
+    // forward pass per batch; ω requests rasterize (and cache) server-side.
+    let queue = ServeQueue::for_engine(&engine, 2);
+    let tickets: Vec<_> = (0..8)
+        .map(|s| queue.submit(InferenceRequest::omega(engine.dataset().omegas[s].clone())))
+        .collect::<Result<_, _>>()?;
+    for t in tickets {
+        t.wait()?;
+    }
+    let qs = queue.stats();
+    println!(
+        "queued        : {} ω requests in {} micro-batch(es), mean batch {:.1}",
+        qs.served, qs.batches, qs.mean_batch
+    );
+    drop(queue);
 
     // Compare one served field against a fresh FEM solve.
     let cmp = engine.compare_sample(1)?;

@@ -34,6 +34,12 @@ bench-threads:
 bench-serving:
     cargo bench -p mgd-bench --bench serving
 
+# Serving load test: open-loop Poisson arrivals against the mgd_serve
+# micro-batching queue, micro-batched vs request-at-a-time at equal
+# worker counts; writes results/BENCH_serving.json.
+serve-bench:
+    cargo run --release -p mgd-serve --bin serving_loadgen
+
 # Direct-vs-GEMM convolution kernel comparison; writes
 # results/BENCH_kernels.json (machine-readable perf trajectory).
 bench-kernels:

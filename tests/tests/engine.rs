@@ -96,8 +96,8 @@ fn engine_trains_and_serves_batch_of_8_in_one_pass() {
 fn predict_batch_equals_looped_predict() {
     // Two identically-built engines (caching disabled so every request hits
     // the network): batching must not change any answer.
-    let mut batched = builder_16().cache_capacity(0).build().unwrap();
-    let mut looped = builder_16().cache_capacity(0).build().unwrap();
+    let batched = builder_16().cache_capacity(0).build().unwrap();
+    let looped = builder_16().cache_capacity(0).build().unwrap();
     let fields: Vec<Tensor> = (0..5)
         .map(|s| batched.dataset().nu_field(s, &[16, 16]))
         .collect();
@@ -113,7 +113,7 @@ fn predict_batch_equals_looped_predict() {
         );
     }
     // And the cached path returns the same fields again.
-    let mut cached = builder_16().build().unwrap();
+    let cached = builder_16().build().unwrap();
     let first = cached.predict_batch(&fields).unwrap();
     let second = cached.predict_batch(&fields).unwrap();
     assert_eq!(first, second);

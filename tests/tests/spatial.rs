@@ -34,13 +34,13 @@ fn spatial_threads_bitwise_on_2d_128() {
             .build()
             .unwrap()
     };
-    let mut serial = build(Parallelism::Serial);
+    let serial = build(Parallelism::Serial);
     let fields: Vec<Tensor> = (0..2)
         .map(|s| serial.dataset().nu_field(s, &[128, 128]))
         .collect();
     let expect = serial.predict_batch(&fields).unwrap();
     for p in [2usize, 4] {
-        let mut spatial = build(Parallelism::SpatialThreads(p));
+        let spatial = build(Parallelism::SpatialThreads(p));
         let got = spatial.predict_batch(&fields).unwrap();
         for (e, g) in expect.iter().zip(&got) {
             assert_bitwise(e, g, &format!("2D 128² p={p}"));
@@ -67,11 +67,11 @@ fn spatial_threads_bitwise_on_3d_64() {
             .build()
             .unwrap()
     };
-    let mut serial = build(Parallelism::Serial);
+    let serial = build(Parallelism::Serial);
     let nu = serial.dataset().nu_field(0, &[64, 64, 64]);
     let expect = serial.predict(&nu).unwrap();
     for p in [2usize, 4] {
-        let mut spatial = build(Parallelism::SpatialThreads(p));
+        let spatial = build(Parallelism::SpatialThreads(p));
         let got = spatial.predict(&nu).unwrap();
         assert_bitwise(&expect, &got, &format!("3D 64³ p={p}"));
         // Cache replay on the spatial engine: no second forward pass.
@@ -84,7 +84,7 @@ fn spatial_threads_bitwise_on_3d_64() {
 
 #[test]
 fn spatial_threads_respects_dirichlet_faces() {
-    let mut engine = SolverEngine::builder()
+    let engine = SolverEngine::builder()
         .resolution([32, 32, 32])
         .problem(Problem::poisson_3d(DiffusivityModel::paper()))
         .levels(1)
