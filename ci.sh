@@ -33,6 +33,11 @@ run cargo run --release -p mgd-bench --bin spatial_report -- --quick /tmp/BENCH_
 run cargo test -q -p mgd-integration --test serving
 run cargo run --release -p mgd-serve --bin serving_loadgen -- --quick --threads 2 /tmp/BENCH_serving_ci.json
 run cargo run --release -p mgd-serve --bin serving_loadgen -- --quick --threads 4 /tmp/BENCH_serving_ci.json
+# Hybrid smoke: certified solving — every strategy must reach tolerance
+# under the certified driver (including the NaN-sabotage fallback tests),
+# and the wall-clock-to-tolerance report must run in quick mode.
+run cargo test -q -p mgd-hybrid
+run cargo run --release -p mgd-bench --bin certified_report -- --quick /tmp/BENCH_certified_ci.json
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then
@@ -45,6 +50,10 @@ if [[ "${1:-}" == "bench" ]]; then
     # Full serving load test (micro-batched vs request-at-a-time), checked
     # in as results/BENCH_serving.json.
     run cargo run --release -p mgd-serve --bin serving_loadgen
+    # Full certified-solving report (trains the 64^2 surrogate, asserts a
+    # hybrid strategy strictly beats pure multigrid to tolerance), checked
+    # in as results/BENCH_certified.json.
+    run cargo run --release -p mgd-bench --bin certified_report
 fi
 
 echo "ci: all green"

@@ -61,7 +61,8 @@ fn bench_fem(c: &mut Criterion) {
                     tol: 1e-8,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("65^2 nests");
             let (u, stats) = s.solve(None, None);
             assert!(stats.converged);
             std::hint::black_box(u)

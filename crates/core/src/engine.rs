@@ -58,6 +58,7 @@ use crate::serve::{
 use crate::trainer::TrainConfig;
 use mgd_dist::{launch_with, LocalComm, SlabPartition};
 use mgd_field::{Dataset, DiffusivityModel, InputEncoding};
+use mgd_hybrid::{CertifiedSolution, StallPolicy, StrategyKind};
 use mgd_nn::{Adam, ConvBackend, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -182,6 +183,9 @@ pub struct SolverEngineBuilder {
     seed: u64,
     serve: ServeOptions,
     parallelism: Parallelism,
+    hybrid_strategy: StrategyKind,
+    certify_tol: f64,
+    stall: StallPolicy,
     model: Option<Box<dyn Model>>,
     optimizer: Option<Box<dyn Optimizer>>,
     dataset: Option<Dataset>,
@@ -208,6 +212,9 @@ impl Default for SolverEngineBuilder {
             seed: 0,
             serve: ServeOptions::default(),
             parallelism: Parallelism::Serial,
+            hybrid_strategy: StrategyKind::InitialGuess,
+            certify_tol: 1e-8,
+            stall: StallPolicy::default(),
             model: None,
             optimizer: None,
             dataset: None,
@@ -388,6 +395,31 @@ impl SolverEngineBuilder {
         self.batch_window(Duration::from_micros(micros))
     }
 
+    /// Learned strategy [`SolverEngine::solve_certified`] starts from
+    /// (default [`StrategyKind::InitialGuess`]). The certified driver may
+    /// still demote to pure multigrid at runtime; this knob only picks the
+    /// first stage attempted.
+    pub fn hybrid_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.hybrid_strategy = strategy;
+        self
+    }
+
+    /// Default relative residual tolerance for certified solves submitted
+    /// without an explicit one, e.g. through the serving queue (default
+    /// 1e-8). Must be finite and positive.
+    pub fn certify_tol(mut self, tol: f64) -> Self {
+        self.certify_tol = tol;
+        self
+    }
+
+    /// Stall detector of the certified driver: demote the active strategy
+    /// when the best residual fails to shrink by a factor `rho` over
+    /// `window` outer steps (default `rho = 0.9`, `window = 4`).
+    pub fn stall_policy(mut self, stall: StallPolicy) -> Self {
+        self.stall = stall;
+        self
+    }
+
     /// How training distributes across workers (default
     /// [`Parallelism::Serial`]).
     ///
@@ -522,6 +554,23 @@ impl SolverEngineBuilder {
                 "max_batch must be >= 1 (got 0)".into(),
             ));
         }
+        if !(self.certify_tol.is_finite() && self.certify_tol > 0.0) {
+            return Err(MgdError::InvalidConfig(format!(
+                "certify_tol must be finite and positive (got {})",
+                self.certify_tol
+            )));
+        }
+        if !(self.stall.rho > 0.0 && self.stall.rho < 1.0) {
+            return Err(MgdError::InvalidConfig(format!(
+                "stall_policy.rho must lie in (0, 1) (got {})",
+                self.stall.rho
+            )));
+        }
+        if self.stall.window == 0 {
+            return Err(MgdError::InvalidConfig(
+                "stall_policy.window must be >= 1 (got 0)".into(),
+            ));
+        }
         let mut train = self.train;
         train.seed = self.seed;
         train.validate(self.parallelism.workers())?;
@@ -589,6 +638,9 @@ impl SolverEngineBuilder {
             cache_capacity: self.serve.cache_capacity,
             cache_shards: self.serve.cache_shards,
             stats: Arc::clone(&stats),
+            hybrid_strategy: self.hybrid_strategy,
+            certify_tol: self.certify_tol,
+            stall: self.stall,
         });
         Ok(SolverEngine {
             model,
@@ -601,6 +653,9 @@ impl SolverEngineBuilder {
             loss,
             parallelism: self.parallelism,
             serve: self.serve,
+            hybrid_strategy: self.hybrid_strategy,
+            certify_tol: self.certify_tol,
+            stall: self.stall,
             stats,
             cell: Arc::new(SnapshotCell::new(Arc::new(snapshot))),
             version: AtomicU64::new(0),
@@ -629,6 +684,9 @@ pub struct SolverEngine {
     loss: Arc<FemLoss>,
     parallelism: Parallelism,
     serve: ServeOptions,
+    hybrid_strategy: StrategyKind,
+    certify_tol: f64,
+    stall: StallPolicy,
     /// Engine-lifetime serving counters, shared with every snapshot
     /// generation (a republish never loses counts).
     stats: Arc<SharedServeStats>,
@@ -746,6 +804,9 @@ impl SolverEngine {
             cache_capacity: self.serve.cache_capacity,
             cache_shards: self.serve.cache_shards,
             stats: Arc::clone(&self.stats),
+            hybrid_strategy: self.hybrid_strategy,
+            certify_tol: self.certify_tol,
+            stall: self.stall,
         });
         self.cell.store(Arc::new(snapshot));
     }
@@ -819,25 +880,23 @@ impl SolverEngine {
         self.snapshot().predict_requests(reqs)
     }
 
-    /// Deprecated alias of [`Self::predict`], kept for the `&mut` serving
-    /// API migration (see the README's "Serving" section).
-    #[deprecated(note = "predict takes &self now; call predict() directly")]
-    pub fn predict_mut(&mut self, coeff: &Tensor) -> MgdResult<Arc<Tensor>> {
-        self.predict(coeff)
-    }
-
-    /// Deprecated alias of [`Self::predict_batch`], kept for the `&mut`
-    /// serving API migration (see the README's "Serving" section).
-    #[deprecated(note = "predict_batch takes &self now; call predict_batch() directly")]
-    pub fn predict_batch_mut(&mut self, coeffs: &[Tensor]) -> MgdResult<Vec<Arc<Tensor>>> {
-        self.predict_batch(coeffs)
-    }
-
-    /// Deprecated alias of [`Self::predict_omega`], kept for the `&mut`
-    /// serving API migration (see the README's "Serving" section).
-    #[deprecated(note = "predict_omega takes &self now; call predict_omega() directly")]
-    pub fn predict_omega_mut(&mut self, omega: &[f64]) -> MgdResult<Arc<Tensor>> {
-        self.predict_omega(omega)
+    /// Solves one request to a **certified** relative residual tolerance:
+    /// the learned surrogate runs inside an iterative solve whose progress
+    /// is measured by the true FEM residual, with automatic demotion to
+    /// pure multigrid whenever the learned component stalls or emits
+    /// non-finite values (see [`mgd_hybrid`] and the engine's
+    /// [`SolverEngineBuilder::hybrid_strategy`] /
+    /// [`SolverEngineBuilder::stall_policy`] knobs).
+    ///
+    /// Always terminates; the returned [`CertifiedSolution`] carries the
+    /// residual norm recomputed from scratch on the returned field. Takes
+    /// `&self` like the whole serving surface.
+    pub fn solve_certified(
+        &self,
+        req: &InferenceRequest,
+        tol: f64,
+    ) -> MgdResult<CertifiedSolution> {
+        self.snapshot().solve_certified(req, tol)
     }
 
     /// §4.3-style comparison of the engine's prediction against a fresh FEM
@@ -1354,18 +1413,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_mut_shims_still_serve() {
-        #![allow(deprecated)]
-        let mut engine = small_builder().build().unwrap();
-        let nu = engine.dataset().nu_field(0, &[16, 16]);
-        let a = engine.predict_mut(&nu).unwrap();
-        let b = engine.predict_batch_mut(std::slice::from_ref(&nu)).unwrap();
-        assert!(Arc::ptr_eq(&a, &b[0]));
-        let omega = engine.dataset().omegas[0].clone();
-        assert!(engine.predict_omega_mut(&omega).is_ok());
-    }
-
-    #[test]
     fn builder_rejects_zero_serve_knobs() {
         let e = small_builder().queue_depth(0).build();
         assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("queue_depth")));
@@ -1406,6 +1453,89 @@ mod tests {
         let nu = engine.dataset().nu_field(0, &[16, 16]);
         let via_field = engine.predict(&nu).unwrap();
         assert_eq!(via_omega, via_field);
+    }
+
+    #[test]
+    fn builder_rejects_bad_certify_knobs() {
+        let e = small_builder().certify_tol(0.0).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("certify_tol")));
+        let e = small_builder().certify_tol(f64::NAN).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("certify_tol")));
+        let e = small_builder()
+            .stall_policy(StallPolicy {
+                rho: 1.5,
+                window: 4,
+            })
+            .build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("rho")));
+        let e = small_builder()
+            .stall_policy(StallPolicy {
+                rho: 0.9,
+                window: 0,
+            })
+            .build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("window")));
+    }
+
+    #[test]
+    fn solve_certified_reaches_tolerance() {
+        let engine = small_builder().build().unwrap();
+        let tol = 1e-8;
+        for kind in [
+            StrategyKind::PureMultigrid,
+            StrategyKind::InitialGuess,
+            StrategyKind::CgPolish,
+        ] {
+            let engine = small_builder().hybrid_strategy(kind).build().unwrap();
+            let req = InferenceRequest::omega(engine.dataset().omegas[1].clone());
+            let sol = engine.solve_certified(&req, tol).unwrap();
+            assert!(sol.converged, "{kind:?}: {:?}", sol.residual_history);
+            assert!(sol.rel_residual <= tol);
+            assert!(sol.u.iter().all(|x| x.is_finite()));
+        }
+        // Coefficient-field requests flow through the same front door.
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        let sol = engine
+            .solve_certified(&InferenceRequest::coeff(nu), tol)
+            .unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.u.len(), 16 * 16);
+    }
+
+    #[test]
+    fn solve_certified_rejects_bad_requests() {
+        let engine = small_builder().build().unwrap();
+        let req = InferenceRequest::coeff(Tensor::ones([8, 8]));
+        assert!(matches!(
+            engine.solve_certified(&req, 1e-8),
+            Err(MgdError::ShapeMismatch { .. })
+        ));
+        let req = InferenceRequest::omega(engine.dataset().omegas[0].clone());
+        assert!(matches!(
+            engine.solve_certified(&req, -1.0),
+            Err(MgdError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sabotaged_network_demotes_and_still_certifies() {
+        let mut engine = small_builder()
+            .hybrid_strategy(StrategyKind::InitialGuess)
+            .build()
+            .unwrap();
+        // Poison every weight: inference now emits NaN everywhere, as after
+        // a training blow-up.
+        for p in engine.model_mut().params() {
+            p.data.fill(f64::NAN);
+        }
+        let req = InferenceRequest::omega(engine.dataset().omegas[1].clone());
+        let tol = 1e-8;
+        let sol = engine.solve_certified(&req, tol).unwrap();
+        assert!(sol.fell_back, "NaN predictions must demote");
+        assert!(sol.converged, "fallback must still hit tol");
+        assert!(sol.rel_residual <= tol);
+        assert!(sol.u.iter().all(|x| x.is_finite()));
+        assert_eq!(sol.strategy_used, "pure-multigrid");
     }
 
     #[test]

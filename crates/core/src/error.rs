@@ -106,6 +106,18 @@ impl From<FieldError> for MgdError {
     }
 }
 
+impl From<mgd_fem::FemError> for MgdError {
+    fn from(e: mgd_fem::FemError) -> Self {
+        MgdError::InvalidConfig(e.to_string())
+    }
+}
+
+impl From<mgd_hybrid::HybridError> for MgdError {
+    fn from(e: mgd_hybrid::HybridError) -> Self {
+        MgdError::InvalidConfig(e.to_string())
+    }
+}
+
 impl From<std::io::Error> for MgdError {
     fn from(e: std::io::Error) -> Self {
         MgdError::Io(e)

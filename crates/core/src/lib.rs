@@ -146,6 +146,11 @@ pub use serve::{
 pub use stopper::EarlyStopping;
 pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};
 
+// Certified solving: the learned surrogate inside a residual-certified
+// iteration (`SolverEngine::solve_certified`). Re-exported so engine users
+// configure strategies and read certificates without naming `mgd_hybrid`.
+pub use mgd_hybrid::{CertifiedSolution, CertifyOptions, HybridError, StallPolicy, StrategyKind};
+
 /// One-stop imports for examples and harnesses.
 ///
 /// The engine facade ([`SolverEngine`], [`Problem`], [`MgdError`]) is the
@@ -154,11 +159,11 @@ pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};
 /// exported for distributed runs and research loops.
 pub mod prelude {
     pub use crate::{
-        compare_with_fem, predict_field, schedule, Budget, CycleKind, EarlyStopping,
-        EngineSnapshot, EpochStats, FemLoss, FieldComparison, InferenceRequest, MgConfig, MgRunLog,
-        MgdError, MgdResult, MultigridTrainer, Parallelism, Phase, PhaseLog, Problem, ServeOptions,
-        ServeStats, SnapshotCell, SolverEngine, SolverEngineBuilder, TrainConfig, TrainLog,
-        Trainer,
+        compare_with_fem, predict_field, schedule, Budget, CertifiedSolution, CycleKind,
+        EarlyStopping, EngineSnapshot, EpochStats, FemLoss, FieldComparison, InferenceRequest,
+        MgConfig, MgRunLog, MgdError, MgdResult, MultigridTrainer, Parallelism, Phase, PhaseLog,
+        Problem, ServeOptions, ServeStats, SnapshotCell, SolverEngine, SolverEngineBuilder,
+        StallPolicy, StrategyKind, TrainConfig, TrainLog, Trainer,
     };
     pub use mgd_dist::{launch, Comm, LocalComm, ThreadComm};
     pub use mgd_field::{

@@ -34,7 +34,12 @@
 use crate::error::{MgdError, MgdResult};
 use crate::loss::FemLoss;
 use mgd_dist::{assemble_planes, carve_planes, launch_with, SlabLayout, SlabPartition};
+use mgd_fem::hierarchy::HierarchyOptions;
 use mgd_field::{stack_fields, DiffusivityModel, FieldError, InputEncoding};
+use mgd_hybrid::{
+    solve_certified, CertifiedSolution, CertifyOptions, ErasedHierarchy, ErasedSystem, StallPolicy,
+    StrategyKind, Surrogate,
+};
 use mgd_nn::{InferModel, Model, Workspace};
 use mgd_tensor::Tensor;
 use std::cell::RefCell;
@@ -528,6 +533,9 @@ pub struct EngineSnapshot {
     spatial: Option<SpatialServe>,
     cache: PredictionCache,
     stats: Arc<SharedServeStats>,
+    hybrid_strategy: StrategyKind,
+    certify_tol: f64,
+    stall: StallPolicy,
 }
 
 impl std::fmt::Debug for EngineSnapshot {
@@ -545,6 +553,28 @@ impl std::fmt::Debug for EngineSnapshot {
     }
 }
 
+/// [`Surrogate`] view of a snapshot: network inference as a solver
+/// component. Guesses are served through [`EngineSnapshot::predict`] (so
+/// they hit the prediction cache) and only at the snapshot's native
+/// resolution — the hybrid hierarchy's coarse levels are odd-sized
+/// (`(n+1)/2` nodes per axis), which the U-Net's pooling stages cannot
+/// process, so coarse-level requests report unavailable and the certified
+/// driver demotes gracefully.
+struct SnapshotSurrogate<'a> {
+    snap: &'a EngineSnapshot,
+}
+
+impl Surrogate for SnapshotSurrogate<'_> {
+    fn guess(&self, dims: &[usize], nu: &[f64]) -> Option<Vec<f64>> {
+        if dims != &self.snap.resolution[..] {
+            return None;
+        }
+        let coeff = Tensor::from_vec(dims.to_vec(), nu.to_vec());
+        let u = self.snap.predict(&coeff).ok()?;
+        Some(u.as_slice().to_vec())
+    }
+}
+
 /// Everything the engine hands over when it publishes a snapshot.
 pub(crate) struct SnapshotConfig<'a> {
     pub version: u64,
@@ -558,6 +588,9 @@ pub(crate) struct SnapshotConfig<'a> {
     pub cache_capacity: usize,
     pub cache_shards: usize,
     pub stats: Arc<SharedServeStats>,
+    pub hybrid_strategy: StrategyKind,
+    pub certify_tol: f64,
+    pub stall: StallPolicy,
 }
 
 impl EngineSnapshot {
@@ -589,6 +622,9 @@ impl EngineSnapshot {
                 Arc::clone(&cfg.stats),
             ),
             stats: cfg.stats,
+            hybrid_strategy: cfg.hybrid_strategy,
+            certify_tol: cfg.certify_tol,
+            stall: cfg.stall,
         }
     }
 
@@ -655,6 +691,69 @@ impl EngineSnapshot {
     pub fn predict_requests(&self, reqs: &[InferenceRequest]) -> MgdResult<Vec<Arc<Tensor>>> {
         let views: Vec<ReqView<'_>> = reqs.iter().map(InferenceRequest::view).collect();
         self.predict_views(&views)
+    }
+
+    /// The learned strategy certified solves on this snapshot start from.
+    pub fn hybrid_strategy(&self) -> StrategyKind {
+        self.hybrid_strategy
+    }
+
+    /// The default certified-solve tolerance this snapshot was built with
+    /// (used by serving paths that carry no explicit tolerance).
+    pub fn certify_tol(&self) -> f64 {
+        self.certify_tol
+    }
+
+    /// Solves one request to a **certified** relative residual tolerance.
+    ///
+    /// Unlike [`Self::predict`] — one forward pass, no error bound — this
+    /// assembles the true FEM operator `K(ν)` for the request's
+    /// coefficient field and runs the configured `mgd_hybrid` strategy
+    /// (network inference seeding or correcting an MG-PCG iteration) under
+    /// the certified driver: the true residual `‖rhs − K u‖` is recomputed
+    /// from scratch after every outer step, and the solve demotes to pure
+    /// FEM multigrid whenever the learned component stalls, is unavailable,
+    /// or emits non-finite values. The returned [`CertifiedSolution`]
+    /// always carries the recomputed residual norm of the returned field.
+    ///
+    /// Callable concurrently from any number of threads, like the whole
+    /// snapshot surface. Network predictions made inside the solve go
+    /// through [`Self::predict`] and therefore hit the prediction cache.
+    pub fn solve_certified(
+        &self,
+        req: &InferenceRequest,
+        tol: f64,
+    ) -> MgdResult<CertifiedSolution> {
+        if !(tol.is_finite() && tol > 0.0) {
+            return Err(MgdError::InvalidConfig(format!(
+                "certified-solve tol must be finite and positive (got {tol})"
+            )));
+        }
+        self.validate(0, &req.view())?;
+        let nu: Vec<f64> = match req {
+            InferenceRequest::Coeff(c) => c.as_slice().to_vec(),
+            InferenceRequest::Omega(o) => self
+                .diffusivity
+                .rasterize(o, &self.resolution)
+                .as_slice()
+                .to_vec(),
+        };
+        let sys = ErasedSystem::poisson(&self.resolution, &nu)?;
+        let hier = ErasedHierarchy::build(&sys, HierarchyOptions::default())?;
+        let surrogate = SnapshotSurrogate { snap: self };
+        let opts = CertifyOptions {
+            tol,
+            stall: self.stall,
+            ..Default::default()
+        };
+        Ok(solve_certified(
+            &sys,
+            &hier,
+            &surrogate,
+            self.hybrid_strategy,
+            None,
+            &opts,
+        ))
     }
 
     /// Validates one request view; `i` is its batch slot for error

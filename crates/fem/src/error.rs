@@ -1,0 +1,45 @@
+//! Typed errors for fallible FEM construction paths.
+
+use std::fmt;
+
+/// Errors raised by FEM solvers and hierarchy builders.
+///
+/// Kept dependency-free so higher layers (`mgdiffnet`) can map them onto
+/// their own error taxonomy (`MgdError::InvalidConfig`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FemError {
+    /// The grid cannot be coarsened into a multigrid hierarchy.
+    NotCoarsenable {
+        /// Nodes per axis of the offending grid.
+        n: Vec<usize>,
+        /// What the builder required (human-readable).
+        requirement: &'static str,
+    },
+    /// An input slice length does not match the grid's node count.
+    SizeMismatch {
+        /// Which input was mis-sized.
+        what: &'static str,
+        /// Expected length (grid node count).
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FemError::NotCoarsenable { n, requirement } => write!(
+                f,
+                "grid {n:?} does not admit multigrid coarsening ({requirement})"
+            ),
+            FemError::SizeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has length {got}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for FemError {}

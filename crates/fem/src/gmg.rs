@@ -11,11 +11,12 @@
 //! `2^k`-node grids used by the network are solved with CG instead
 //! (see [`crate::solver`]).
 
-use crate::basis::ElementBasis;
 use crate::bc::Dirichlet;
 use crate::cg::{solve_cg_rhs, CgOptions};
+use crate::error::FemError;
 use crate::grid::Grid;
-use crate::operator::{apply_stiffness, load_vector, stiffness_diag};
+use crate::operator::load_vector;
+use crate::system::PoissonSystem;
 
 /// GMG options.
 #[derive(Clone, Copy, Debug)]
@@ -63,29 +64,14 @@ pub struct GmgStats {
     pub converged: bool,
 }
 
-struct Level<const D: usize> {
-    grid: Grid<D>,
-    basis: ElementBasis<D>,
-    nu: Vec<f64>,
-    /// Masked inverse diagonal (zero at fixed nodes).
-    diag_inv: Vec<f64>,
-    /// Fixed-node mask (homogeneous on coarse levels).
-    fixed: Vec<bool>,
-}
-
-impl<const D: usize> Level<D> {
-    fn zero_fixed(&self, v: &mut [f64]) {
-        for i in 0..v.len() {
-            if self.fixed[i] {
-                v[i] = 0.0;
-            }
-        }
-    }
-}
-
 /// A geometric multigrid solver bound to one (grid, ν, BC) triple.
+///
+/// Each level is a full [`PoissonSystem`] (coarse levels carry a
+/// homogeneous-value Dirichlet mask), so the residual / apply / smoothing
+/// entry points are the same ones exposed to hybrid solvers.
+#[derive(Debug)]
 pub struct GmgSolver<const D: usize> {
-    levels: Vec<Level<D>>,
+    levels: Vec<PoissonSystem<D>>,
     bc: Dirichlet,
     opts: GmgOptions,
 }
@@ -97,39 +83,39 @@ pub fn coarsenable(n: usize) -> bool {
 
 impl<const D: usize> GmgSolver<D> {
     /// Builds the level hierarchy. Every axis must satisfy `n = 2^j + 1`
-    /// deep enough to reach `opts.coarse_n` (asserted).
-    pub fn new(grid: Grid<D>, nu: &[f64], bc: Dirichlet, opts: GmgOptions) -> Self {
-        assert_eq!(nu.len(), grid.num_nodes());
-        assert_eq!(bc.fixed.len(), grid.num_nodes());
-        let mut levels = Vec::new();
+    /// (vertex-centered coarsening) unless the grid is already at or below
+    /// `opts.coarse_n` per axis; otherwise a typed
+    /// [`FemError::NotCoarsenable`] is returned. Mis-sized `nu` / `bc`
+    /// inputs yield [`FemError::SizeMismatch`].
+    pub fn new(
+        grid: Grid<D>,
+        nu: &[f64],
+        bc: Dirichlet,
+        opts: GmgOptions,
+    ) -> Result<Self, FemError> {
+        let mut levels: Vec<PoissonSystem<D>> = Vec::new();
         let mut g = grid;
         let mut nu_l = nu.to_vec();
-        let mut fixed_l = bc.fixed.clone();
+        let mut bc_l = bc.clone();
         loop {
-            let basis = ElementBasis::new(&g);
-            let mut diag = vec![0.0; g.num_nodes()];
-            stiffness_diag(&g, &basis, &nu_l, &mut diag);
-            let diag_inv: Vec<f64> = diag
-                .iter()
-                .zip(&fixed_l)
-                .map(|(&d, &fx)| if fx || d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
-                .collect();
             let coarser =
                 g.n.iter()
                     .all(|&m| coarsenable(m) && (m - 1) / 2 + 1 >= opts.coarse_n.min(3));
-            let stop = g.n.iter().any(|&m| m <= opts.coarse_n) || !coarser;
-            levels.push(Level {
-                grid: g,
-                basis,
-                nu: nu_l.clone(),
-                diag_inv,
-                fixed: fixed_l.clone(),
-            });
+            let already_coarse = g.n.iter().any(|&m| m <= opts.coarse_n);
+            if levels.is_empty() && !coarser && !already_coarse {
+                return Err(FemError::NotCoarsenable {
+                    n: g.n.to_vec(),
+                    requirement: "vertex-centered coarsening needs 2^j + 1 nodes per axis",
+                });
+            }
+            let stop = already_coarse || !coarser;
+            levels.push(PoissonSystem::new(g, nu_l.clone(), bc_l.clone())?);
             if stop {
                 break;
             }
             // Coarsen: n -> (n-1)/2 + 1 per axis; ν by injection; mask by
-            // injection (faces align across levels).
+            // injection (faces align across levels). Coarse levels solve
+            // error equations, so their Dirichlet values are homogeneous.
             let mut cn = [0usize; D];
             for d in 0..D {
                 cn[d] = (g.n[d] - 1) / 2 + 1;
@@ -143,15 +129,18 @@ impl<const D: usize> GmgSolver<D> {
                 for d in 0..D {
                     fm[d] = cm[d] * 2;
                 }
-                let fi = levels.last().unwrap().grid.node(fm);
+                let fi = g.node(fm);
                 cnu[ci] = nu_l[fi];
-                cfix[ci] = fixed_l[fi];
+                cfix[ci] = bc_l.fixed[fi];
             }
             g = cg;
             nu_l = cnu;
-            fixed_l = cfix;
+            bc_l = Dirichlet {
+                values: vec![0.0; cfix.len()],
+                fixed: cfix,
+            };
         }
-        GmgSolver { levels, bc, opts }
+        Ok(GmgSolver { levels, bc, opts })
     }
 
     /// Number of levels in the hierarchy.
@@ -160,17 +149,7 @@ impl<const D: usize> GmgSolver<D> {
     }
 
     fn smooth(&self, l: usize, u: &mut [f64], b: &[f64], sweeps: usize) {
-        let lv = &self.levels[l];
-        let nn = lv.grid.num_nodes();
-        let mut r = vec![0.0; nn];
-        for _ in 0..sweeps {
-            r.iter_mut().for_each(|x| *x = 0.0);
-            apply_stiffness(&lv.grid, &lv.basis, &lv.nu, u, &mut r);
-            for i in 0..nn {
-                let res = b[i] - r[i];
-                u[i] += self.opts.omega * lv.diag_inv[i] * res;
-            }
-        }
+        self.levels[l].jacobi_smooth(u, b, self.opts.omega, sweeps);
     }
 
     /// Residual restriction `r_c = Pᵀ r` — the transpose of multilinear
@@ -187,7 +166,7 @@ impl<const D: usize> GmgSolver<D> {
         let cg = &cgl.grid;
         let mut out = vec![0.0; cg.num_nodes()];
         for ci in 0..cg.num_nodes() {
-            if cgl.fixed[ci] {
+            if cgl.bc.fixed[ci] {
                 continue;
             }
             let cm = cg.node_multi(ci);
@@ -243,7 +222,7 @@ impl<const D: usize> GmgSolver<D> {
         let cg = &self.levels[fine_l + 1].grid;
         let mut out = vec![0.0; fg.num_nodes()];
         for fi in 0..fg.num_nodes() {
-            if fgl.fixed[fi] {
+            if fgl.bc.fixed[fi] {
                 continue;
             }
             let fm = fg.node_multi(fi);
@@ -274,16 +253,13 @@ impl<const D: usize> GmgSolver<D> {
     fn v_cycle(&self, l: usize, u: &mut [f64], b: &[f64]) {
         let lv = &self.levels[l];
         if l + 1 == self.levels.len() {
-            // Coarsest level: tight CG solve with homogeneous mask.
-            let fixed = Dirichlet {
-                fixed: lv.fixed.clone(),
-                values: vec![0.0; lv.fixed.len()],
-            };
+            // Coarsest level: tight CG solve. Only the mask of the level's
+            // BC is used (coarse levels are homogeneous by construction).
             let (sol, _) = solve_cg_rhs(
                 &lv.grid,
                 &lv.basis,
                 &lv.nu,
-                &fixed,
+                &lv.bc,
                 b,
                 u,
                 CgOptions {
@@ -296,14 +272,10 @@ impl<const D: usize> GmgSolver<D> {
         }
         self.smooth(l, u, b, self.opts.pre_smooth);
         // γ coarse-grid corrections per visit (γ=1 V-cycle, γ=2 W-cycle).
-        let nn = lv.grid.num_nodes();
+        let nn = lv.num_nodes();
         for _ in 0..self.opts.gamma.max(1) {
             let mut r = vec![0.0; nn];
-            apply_stiffness(&lv.grid, &lv.basis, &lv.nu, u, &mut r);
-            for i in 0..nn {
-                r[i] = b[i] - r[i];
-            }
-            lv.zero_fixed(&mut r);
+            lv.residual_into(u, b, &mut r);
             let rc = self.restrict(l, &r);
             let mut ec = vec![0.0; self.levels[l + 1].grid.num_nodes()];
             self.v_cycle(l + 1, &mut ec, &rc);
@@ -319,7 +291,7 @@ impl<const D: usize> GmgSolver<D> {
     /// returning the solution and per-cycle residual history.
     pub fn solve(&self, f: Option<&[f64]>, u0: Option<&[f64]>) -> (Vec<f64>, GmgStats) {
         let lv = &self.levels[0];
-        let nn = lv.grid.num_nodes();
+        let nn = lv.num_nodes();
         let mut u = match u0 {
             Some(v) => v.to_vec(),
             None => vec![0.0; nn],
@@ -331,13 +303,8 @@ impl<const D: usize> GmgSolver<D> {
         }
         let residual = |u: &[f64]| -> Vec<f64> {
             let mut r = vec![0.0; nn];
-            apply_stiffness(&lv.grid, &lv.basis, &lv.nu, u, &mut r);
-            for i in 0..nn {
-                r[i] = rhs[i] - r[i];
-            }
-            let mut rm = r;
-            lv.zero_fixed(&mut rm);
-            rm
+            lv.residual_into(u, &rhs, &mut r);
+            r
         };
         let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
         let r0 = norm(&residual(&u));
@@ -371,6 +338,7 @@ impl<const D: usize> GmgSolver<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::basis::ElementBasis;
     use crate::cg::solve_cg;
 
     fn nu_var(g: &Grid<2>) -> Vec<f64> {
@@ -391,7 +359,8 @@ mod tests {
             &vec![1.0; nn],
             Dirichlet::x_faces(&g, 1.0, 0.0),
             GmgOptions::default(),
-        );
+        )
+        .unwrap();
         // 33 -> 17 -> 9 -> 5 = 4 levels
         assert_eq!(s.num_levels(), 4);
     }
@@ -402,7 +371,7 @@ mod tests {
         let nn = g.num_nodes();
         let nu = vec![1.0; nn];
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
-        let s = GmgSolver::new(g, &nu, bc, GmgOptions::default());
+        let s = GmgSolver::new(g, &nu, bc, GmgOptions::default()).unwrap();
         let (u, stats) = s.solve(None, None);
         assert!(stats.converged, "{stats:?}");
         for i in 0..nn {
@@ -417,7 +386,7 @@ mod tests {
         let b = ElementBasis::new(&g);
         let nu = nu_var(&g);
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
-        let s = GmgSolver::new(g, &nu, bc.clone(), GmgOptions::default());
+        let s = GmgSolver::new(g, &nu, bc.clone(), GmgOptions::default()).unwrap();
         let (u_mg, st) = s.solve(None, None);
         assert!(st.converged);
         let (u_cg, st2) = solve_cg(
@@ -457,7 +426,8 @@ mod tests {
                     tol: 1e-8,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             let (_, stats) = s.solve(None, None);
             assert!(stats.converged, "m={m}");
             stats.cycles
@@ -475,7 +445,7 @@ mod tests {
         let g: Grid<2> = Grid::cube(33);
         let nu = nu_var(&g);
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
-        let s = GmgSolver::new(g, &nu, bc, GmgOptions::default());
+        let s = GmgSolver::new(g, &nu, bc, GmgOptions::default()).unwrap();
         let (_, stats) = s.solve(None, None);
         for w in stats.residual_history.windows(2) {
             assert!(w[1] <= w[0] * 1.01, "residual grew: {w:?}");
@@ -499,7 +469,8 @@ mod tests {
                     tol: 1e-9,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             let (u, stats) = s.solve(None, None);
             assert!(stats.converged, "gamma={gamma}");
             (u, stats.cycles)
@@ -517,6 +488,41 @@ mod tests {
     }
 
     #[test]
+    fn non_coarsenable_grid_is_a_typed_error() {
+        let g: Grid<2> = Grid::cube(16); // 2^k nodes never nest
+        let nn = g.num_nodes();
+        let err = GmgSolver::new(
+            g,
+            &vec![1.0; nn],
+            Dirichlet::x_faces(&g, 1.0, 0.0),
+            GmgOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FemError::NotCoarsenable { .. }), "{err}");
+    }
+
+    #[test]
+    fn tiny_grid_is_fine_without_coarsening() {
+        // At or below coarse_n the "hierarchy" is a single direct-CG level.
+        let g: Grid<2> = Grid::cube(4);
+        let nn = g.num_nodes();
+        let s = GmgSolver::new(
+            g,
+            &vec![1.0; nn],
+            Dirichlet::x_faces(&g, 1.0, 0.0),
+            GmgOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.num_levels(), 1);
+        let (u, stats) = s.solve(None, None);
+        assert!(stats.converged);
+        for i in 0..nn {
+            let c = g.node_coords(i);
+            assert!((u[i] - (1.0 - c[0])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
     fn three_d_solve() {
         let g: Grid<3> = Grid::cube(17);
         let nn = g.num_nodes();
@@ -527,7 +533,7 @@ mod tests {
             })
             .collect();
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
-        let s = GmgSolver::new(g, &nu, bc.clone(), GmgOptions::default());
+        let s = GmgSolver::new(g, &nu, bc.clone(), GmgOptions::default()).unwrap();
         let (u_mg, st) = s.solve(None, None);
         assert!(st.converged, "{:?}", st.residual_history);
         let b = ElementBasis::new(&g);

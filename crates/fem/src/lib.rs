@@ -23,17 +23,25 @@ pub mod basis;
 pub mod bc;
 pub mod cg;
 pub mod color;
+pub mod error;
 pub mod gmg;
 pub mod grid;
+pub mod hierarchy;
 pub mod operator;
+pub mod pcg;
 pub mod solver;
+pub mod system;
 
 pub use basis::ElementBasis;
 pub use bc::Dirichlet;
 pub use cg::{solve_cg, CgOptions, CgStats};
+pub use error::FemError;
 pub use gmg::{GmgOptions, GmgSolver, GmgStats};
 pub use grid::Grid;
+pub use hierarchy::{GridHierarchy, HierarchyOptions};
 pub use operator::{
     apply_stiffness, apply_stiffness_serial, energy, energy_grad, load_vector, stiffness_diag,
 };
+pub use pcg::{JacobiPrecond, LinearOp, PcgStep, PcgWorkspace, Precond};
 pub use solver::{solve_poisson, Method, SolveReport};
+pub use system::PoissonSystem;

@@ -77,7 +77,8 @@ pub fn solve_poisson<const D: usize>(
                     tol,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("grid passed the coarsenability check above");
             let (u, stats) = solver.solve(f, None);
             SolveReport {
                 u,

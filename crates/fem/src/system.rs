@@ -1,0 +1,167 @@
+//! A Poisson system bound to one `(grid, ν, BC)` triple.
+//!
+//! [`PoissonSystem`] packages the residual / operator-application /
+//! smoothing entry points that were previously private to
+//! [`crate::gmg::GmgSolver`], so hybrid solvers can drive the same FEM
+//! kernels outside a canned `solve` loop: compute true residuals after
+//! arbitrary (e.g. learned) updates, run ad-hoc smoothing sweeps, or feed
+//! a pluggable-preconditioner CG ([`crate::pcg`]).
+
+use crate::basis::ElementBasis;
+use crate::bc::Dirichlet;
+use crate::error::FemError;
+use crate::grid::Grid;
+use crate::operator::{apply_stiffness, stiffness_diag};
+
+/// The discrete operator `K(ν)` with its Dirichlet mask — the reusable
+/// core of every solver in this crate.
+pub struct PoissonSystem<const D: usize> {
+    /// Structured grid the system is discretized on.
+    pub grid: Grid<D>,
+    /// Element basis (quadrature-tabulated shape gradients).
+    pub basis: ElementBasis<D>,
+    /// Nodal diffusivity field ν.
+    pub nu: Vec<f64>,
+    /// Dirichlet boundary condition (mask + prescribed values).
+    pub bc: Dirichlet,
+    /// Masked inverse stiffness diagonal (zero at fixed nodes).
+    diag_inv: Vec<f64>,
+}
+
+impl<const D: usize> std::fmt::Debug for PoissonSystem<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoissonSystem")
+            .field("n", &self.grid.n)
+            .finish()
+    }
+}
+
+impl<const D: usize> PoissonSystem<D> {
+    /// Builds the system, validating slice lengths against the grid.
+    pub fn new(grid: Grid<D>, nu: Vec<f64>, bc: Dirichlet) -> Result<Self, FemError> {
+        let nn = grid.num_nodes();
+        if nu.len() != nn {
+            return Err(FemError::SizeMismatch {
+                what: "nu",
+                expected: nn,
+                got: nu.len(),
+            });
+        }
+        if bc.fixed.len() != nn {
+            return Err(FemError::SizeMismatch {
+                what: "bc.fixed",
+                expected: nn,
+                got: bc.fixed.len(),
+            });
+        }
+        let basis = ElementBasis::new(&grid);
+        let mut diag = vec![0.0; nn];
+        stiffness_diag(&grid, &basis, &nu, &mut diag);
+        let diag_inv: Vec<f64> = diag
+            .iter()
+            .zip(&bc.fixed)
+            .map(|(&d, &fx)| if fx || d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
+            .collect();
+        Ok(PoissonSystem {
+            grid,
+            basis,
+            nu,
+            bc,
+            diag_inv,
+        })
+    }
+
+    /// Nodes in the system (vector length).
+    pub fn num_nodes(&self) -> usize {
+        self.grid.num_nodes()
+    }
+
+    /// Masked inverse diagonal of `K` (zero at fixed nodes) — the Jacobi
+    /// preconditioner / smoother coefficients.
+    pub fn diag_inv(&self) -> &[f64] {
+        &self.diag_inv
+    }
+
+    /// `out = K u` (overwrites `out`; rows of fixed nodes included).
+    pub fn apply(&self, u: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        apply_stiffness(&self.grid, &self.basis, &self.nu, u, out);
+    }
+
+    /// Zeroes fixed entries of `v`.
+    pub fn mask(&self, v: &mut [f64]) {
+        self.bc.zero_fixed(v);
+    }
+
+    /// Writes the prescribed Dirichlet values into `u`.
+    pub fn impose_bc(&self, u: &mut [f64]) {
+        self.bc.apply(u);
+    }
+
+    /// `r = mask(rhs − K u)` — the true interior residual.
+    pub fn residual_into(&self, u: &[f64], rhs: &[f64], r: &mut [f64]) {
+        self.apply(u, r);
+        for (ri, &bi) in r.iter_mut().zip(rhs) {
+            *ri = bi - *ri;
+        }
+        self.mask(r);
+    }
+
+    /// ‖mask(rhs − K u)‖₂, recomputed from scratch (no recurrences).
+    pub fn residual_norm(&self, u: &[f64], rhs: &[f64]) -> f64 {
+        let mut r = vec![0.0; self.num_nodes()];
+        self.residual_into(u, rhs, &mut r);
+        r.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// `sweeps` damped-Jacobi sweeps on `K u = b` with relaxation `omega`.
+    pub fn jacobi_smooth(&self, u: &mut [f64], b: &[f64], omega: f64, sweeps: usize) {
+        let nn = self.num_nodes();
+        let mut r = vec![0.0; nn];
+        for _ in 0..sweeps {
+            self.apply(u, &mut r);
+            for i in 0..nn {
+                u[i] += omega * self.diag_inv[i] * (b[i] - r[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_mis_sized_inputs() {
+        let g: Grid<2> = Grid::cube(9);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let err = PoissonSystem::new(g, vec![1.0; 3], bc).unwrap_err();
+        assert!(matches!(err, FemError::SizeMismatch { what: "nu", .. }));
+    }
+
+    #[test]
+    fn residual_vanishes_on_exact_solution() {
+        // u = 1 − x is the exact FE solution for ν = 1 with x-face BC.
+        let g: Grid<2> = Grid::cube(9);
+        let nn = g.num_nodes();
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let sys = PoissonSystem::new(g, vec![1.0; nn], bc).unwrap();
+        let u: Vec<f64> = (0..nn).map(|i| 1.0 - g.node_coords(i)[0]).collect();
+        let rhs = vec![0.0; nn];
+        assert!(sys.residual_norm(&u, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_smoothing_reduces_residual() {
+        let g: Grid<2> = Grid::cube(9);
+        let nn = g.num_nodes();
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let sys = PoissonSystem::new(g, vec![1.0; nn], bc).unwrap();
+        let mut u = vec![0.0; nn];
+        sys.impose_bc(&mut u);
+        let rhs = vec![0.0; nn];
+        let r0 = sys.residual_norm(&u, &rhs);
+        sys.jacobi_smooth(&mut u, &rhs, 0.7, 10);
+        assert!(sys.residual_norm(&u, &rhs) < r0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dimension-erased Poisson systems and multigrid hierarchies.
+//!
+//! The engine side of the project works with runtime-shaped fields
+//! (`dims: &[usize]`, 2D or 3D) while `mgd-fem` is generic over
+//! `const D: usize`. [`ErasedSystem`] / [`ErasedHierarchy`] bridge the
+//! two with the same convention as the training loss: 2D dims are
+//! `[ny, nx]`, 3D dims are `[nz, ny, nx]`, and the paper's boundary
+//! condition (`u = 1` on the `x = 0` face, `u = 0` on `x = 1`) is
+//! imposed through `Dirichlet::x_faces`.
+
+use mgd_fem::bc::Dirichlet;
+use mgd_fem::error::FemError;
+use mgd_fem::grid::Grid;
+use mgd_fem::hierarchy::{GridHierarchy, HierarchyOptions};
+use mgd_fem::pcg::{JacobiPrecond, LinearOp, Precond};
+use mgd_fem::system::PoissonSystem;
+use std::fmt;
+
+/// Errors raised by hybrid solver construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HybridError {
+    /// Unsupported or inconsistent input shapes.
+    InvalidInput(String),
+    /// A FEM-layer construction failure.
+    Fem(FemError),
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::InvalidInput(m) => write!(f, "invalid hybrid solver input: {m}"),
+            HybridError::Fem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+impl From<FemError> for HybridError {
+    fn from(e: FemError) -> Self {
+        HybridError::Fem(e)
+    }
+}
+
+/// A Poisson system over runtime-shaped (2D or 3D) grids.
+#[derive(Debug)]
+pub enum ErasedSystem {
+    /// `dims = [ny, nx]`.
+    D2(PoissonSystem<2>),
+    /// `dims = [nz, ny, nx]`.
+    D3(PoissonSystem<3>),
+}
+
+impl ErasedSystem {
+    /// Builds the paper's BVP (`−∇·(ν∇u) = 0`, `u = 1` at `x = 0`,
+    /// `u = 0` at `x = 1`) on a grid of the given dims.
+    pub fn poisson(dims: &[usize], nu: &[f64]) -> Result<Self, HybridError> {
+        match dims {
+            [ny, nx] => {
+                let grid: Grid<2> = Grid::new([*ny, *nx]);
+                let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
+                Ok(ErasedSystem::D2(PoissonSystem::new(grid, nu.to_vec(), bc)?))
+            }
+            [nz, ny, nx] => {
+                let grid: Grid<3> = Grid::new([*nz, *ny, *nx]);
+                let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
+                Ok(ErasedSystem::D3(PoissonSystem::new(grid, nu.to_vec(), bc)?))
+            }
+            other => Err(HybridError::InvalidInput(format!(
+                "expected 2 or 3 spatial dims, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Nodes in the system.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            ErasedSystem::D2(s) => s.num_nodes(),
+            ErasedSystem::D3(s) => s.num_nodes(),
+        }
+    }
+
+    /// Nodes per axis.
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            ErasedSystem::D2(s) => s.grid.n.to_vec(),
+            ErasedSystem::D3(s) => s.grid.n.to_vec(),
+        }
+    }
+
+    /// ν on the finest grid.
+    pub fn nu(&self) -> &[f64] {
+        match self {
+            ErasedSystem::D2(s) => &s.nu,
+            ErasedSystem::D3(s) => &s.nu,
+        }
+    }
+
+    /// Writes prescribed Dirichlet values into `u`.
+    pub fn impose_bc(&self, u: &mut [f64]) {
+        match self {
+            ErasedSystem::D2(s) => s.impose_bc(u),
+            ErasedSystem::D3(s) => s.impose_bc(u),
+        }
+    }
+
+    /// `r = mask(rhs − K u)`.
+    pub fn residual_into(&self, u: &[f64], rhs: &[f64], r: &mut [f64]) {
+        match self {
+            ErasedSystem::D2(s) => s.residual_into(u, rhs, r),
+            ErasedSystem::D3(s) => s.residual_into(u, rhs, r),
+        }
+    }
+
+    /// True residual norm ‖mask(rhs − K u)‖₂, recomputed from scratch.
+    pub fn residual_norm(&self, u: &[f64], rhs: &[f64]) -> f64 {
+        match self {
+            ErasedSystem::D2(s) => s.residual_norm(u, rhs),
+            ErasedSystem::D3(s) => s.residual_norm(u, rhs),
+        }
+    }
+
+    /// The Jacobi preconditioner of this system.
+    pub fn jacobi(&self) -> JacobiPrecond {
+        match self {
+            ErasedSystem::D2(s) => JacobiPrecond::of(s),
+            ErasedSystem::D3(s) => JacobiPrecond::of(s),
+        }
+    }
+}
+
+impl LinearOp for ErasedSystem {
+    fn len(&self) -> usize {
+        self.num_nodes()
+    }
+    fn apply(&self, u: &[f64], out: &mut [f64]) {
+        match self {
+            ErasedSystem::D2(s) => s.apply(u, out),
+            ErasedSystem::D3(s) => s.apply(u, out),
+        }
+    }
+    fn mask(&self, v: &mut [f64]) {
+        match self {
+            ErasedSystem::D2(s) => s.mask(v),
+            ErasedSystem::D3(s) => s.mask(v),
+        }
+    }
+}
+
+/// A dimension-erased [`GridHierarchy`].
+pub enum ErasedHierarchy {
+    /// 2D hierarchy.
+    D2(GridHierarchy<2>),
+    /// 3D hierarchy.
+    D3(GridHierarchy<3>),
+}
+
+impl ErasedHierarchy {
+    /// Builds the V-cycle hierarchy matching `sys`.
+    pub fn build(sys: &ErasedSystem, opts: HierarchyOptions) -> Result<Self, HybridError> {
+        Ok(match sys {
+            ErasedSystem::D2(s) => {
+                ErasedHierarchy::D2(GridHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
+            }
+            ErasedSystem::D3(s) => {
+                ErasedHierarchy::D3(GridHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
+            }
+        })
+    }
+
+    /// Number of levels (level 0 is the finest).
+    pub fn num_levels(&self) -> usize {
+        match self {
+            ErasedHierarchy::D2(h) => h.num_levels(),
+            ErasedHierarchy::D3(h) => h.num_levels(),
+        }
+    }
+
+    /// Nodes per axis at level `l`.
+    pub fn dims_at(&self, l: usize) -> Vec<usize> {
+        match self {
+            ErasedHierarchy::D2(h) => h.dims_at(l).to_vec(),
+            ErasedHierarchy::D3(h) => h.dims_at(l).to_vec(),
+        }
+    }
+
+    /// ν sampled down to level `l`.
+    pub fn nu_at(&self, l: usize) -> &[f64] {
+        match self {
+            ErasedHierarchy::D2(h) => h.nu_at(l),
+            ErasedHierarchy::D3(h) => h.nu_at(l),
+        }
+    }
+
+    /// Multilinear sample of a finest-level field at level `l` nodes.
+    pub fn sample_to_level(&self, l: usize, finest: &[f64]) -> Vec<f64> {
+        match self {
+            ErasedHierarchy::D2(h) => h.sample_to_level(l, finest),
+            ErasedHierarchy::D3(h) => h.sample_to_level(l, finest),
+        }
+    }
+
+    /// Prolongs a level-`l` field up to the finest level (masked).
+    pub fn prolong_to_finest(&self, l: usize, field: &[f64]) -> Vec<f64> {
+        match self {
+            ErasedHierarchy::D2(h) => h.prolong_to_finest(l, field),
+            ErasedHierarchy::D3(h) => h.prolong_to_finest(l, field),
+        }
+    }
+}
+
+impl Precond for ErasedHierarchy {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            ErasedHierarchy::D2(h) => h.apply(r, z),
+            ErasedHierarchy::D3(h) => h.apply(r, z),
+        }
+    }
+}

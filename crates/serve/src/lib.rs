@@ -56,10 +56,11 @@
 pub mod loadgen;
 pub mod queue;
 
-pub use queue::{ServeQueue, ServeQueueStats, Ticket};
+pub use queue::{CertifiedTicket, ServeQueue, ServeQueueStats, Ticket};
 
 // The snapshot types live in the engine crate (the builder constructs
 // them); re-export the serving surface so `mgd_serve` is self-sufficient.
 pub use mgdiffnet::{
-    CacheShardStats, EngineSnapshot, InferenceRequest, ServeOptions, ServeStats, SnapshotCell,
+    CacheShardStats, CertifiedSolution, EngineSnapshot, InferenceRequest, ServeOptions, ServeStats,
+    SnapshotCell, StrategyKind,
 };

@@ -26,7 +26,8 @@
 
 use mgd_tensor::Tensor;
 use mgdiffnet::{
-    EngineSnapshot, InferenceRequest, MgdError, MgdResult, ServeOptions, SnapshotCell, SolverEngine,
+    CertifiedSolution, EngineSnapshot, InferenceRequest, MgdError, MgdResult, ServeOptions,
+    SnapshotCell, SolverEngine,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,8 +41,22 @@ struct Pending {
     tx: mpsc::SyncSender<(MgdResult<Arc<Tensor>>, Instant)>,
 }
 
+/// A queued certified-solve request (see [`ServeQueue::submit_certified`]).
+struct CertifiedPending {
+    req: InferenceRequest,
+    tx: mpsc::SyncSender<(MgdResult<CertifiedSolution>, Instant)>,
+}
+
+/// One unit of queued work. Predictions coalesce into micro-batches;
+/// certified solves are iterative FEM jobs with no batching win, so each
+/// dispatches as its own unit.
+enum Job {
+    Predict(Pending),
+    Certified(CertifiedPending),
+}
+
 struct QueueState {
-    queue: VecDeque<Pending>,
+    queue: VecDeque<Job>,
     shutdown: bool,
 }
 
@@ -105,6 +120,29 @@ impl Ticket {
             Ok(out) => out,
             // The worker dropped the sender without answering: the queue
             // was torn down around this request.
+            Err(_) => (Err(MgdError::ServeShutdown), Instant::now()),
+        }
+    }
+}
+
+/// A claim on one submitted certified-solve request's future
+/// [`CertifiedSolution`]. Dropping the ticket abandons the result.
+#[derive(Debug)]
+pub struct CertifiedTicket {
+    rx: mpsc::Receiver<(MgdResult<CertifiedSolution>, Instant)>,
+}
+
+impl CertifiedTicket {
+    /// Blocks until the certified solve finishes.
+    pub fn wait(self) -> MgdResult<CertifiedSolution> {
+        self.wait_timed().0
+    }
+
+    /// Blocks until the solve finishes, also returning the server-side
+    /// completion instant.
+    pub fn wait_timed(self) -> (MgdResult<CertifiedSolution>, Instant) {
+        match self.rx.recv() {
+            Ok(out) => out,
             Err(_) => (Err(MgdError::ServeShutdown), Instant::now()),
         }
     }
@@ -212,7 +250,7 @@ impl ServeQueue {
             });
         }
         let (tx, rx) = mpsc::sync_channel(1);
-        st.queue.push_back(Pending { req, tx });
+        st.queue.push_back(Job::Predict(Pending { req, tx }));
         self.shared
             .counters
             .submitted
@@ -222,10 +260,50 @@ impl ServeQueue {
         Ok(Ticket { rx })
     }
 
+    /// Submits a **certified-solve** request: instead of one network
+    /// forward pass, the request is answered by
+    /// [`EngineSnapshot::solve_certified`] — the learned surrogate inside
+    /// an iterative FEM solve, demoted to pure multigrid if it misbehaves —
+    /// at the snapshot's configured tolerance
+    /// (`SolverEngineBuilder::certify_tol`). Certified jobs share the
+    /// queue's admission control with predictions but dispatch one per
+    /// worker (an iterative solve gains nothing from micro-batching, and
+    /// batching behind one would wreck prediction latency).
+    pub fn submit_certified(&self, req: InferenceRequest) -> MgdResult<CertifiedTicket> {
+        let mut st = self.shared.state.lock().expect("queue poisoned");
+        if st.shutdown {
+            return Err(MgdError::ServeShutdown);
+        }
+        if st.queue.len() >= self.shared.opts.queue_depth {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(MgdError::QueueFull {
+                depth: self.shared.opts.queue_depth,
+            });
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        st.queue
+            .push_back(Job::Certified(CertifiedPending { req, tx }));
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.cv.notify_one();
+        Ok(CertifiedTicket { rx })
+    }
+
     /// Submits and blocks for the result (convenience for callers that
     /// don't pipeline).
     pub fn predict(&self, req: InferenceRequest) -> MgdResult<Arc<Tensor>> {
         self.submit(req)?.wait()
+    }
+
+    /// Submits a certified-solve request and blocks for its certificate.
+    pub fn solve_certified(&self, req: InferenceRequest) -> MgdResult<CertifiedSolution> {
+        self.submit_certified(req)?.wait()
     }
 
     /// The queue's counters so far.
@@ -296,7 +374,10 @@ fn worker_loop(shared: &Shared) {
         // queue — accepted requests are drained before exiting).
         loop {
             if let Some(seed) = st.queue.pop_front() {
-                break collect_batch(shared, st, seed);
+                match seed {
+                    Job::Predict(seed) => break collect_batch(shared, st, seed),
+                    Job::Certified(job) => break run_certified(shared, st, job),
+                }
             }
             if st.shutdown {
                 return;
@@ -306,16 +387,40 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Dispatches one claimed certified-solve job (lock released during the
+/// solve — predictions keep flowing through the other workers meanwhile).
+fn run_certified(
+    shared: &Shared,
+    st: std::sync::MutexGuard<'_, QueueState>,
+    job: CertifiedPending,
+) {
+    drop(st);
+    let snap = shared.cell.load();
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+    shared.counters.max_batch.fetch_max(1, Ordering::Relaxed);
+    let res = snap.solve_certified(&job.req, snap.certify_tol());
+    let _ = job.tx.send((res, Instant::now()));
+}
+
 /// With `seed` claimed, waits up to `batch_window` for the batch to fill,
-/// then dispatches it (lock released during inference).
+/// then dispatches it (lock released during inference). Only predictions
+/// coalesce; a certified job at the queue head ends collection so the next
+/// worker pass claims it whole.
 fn collect_batch(shared: &Shared, mut st: std::sync::MutexGuard<'_, QueueState>, seed: Pending) {
     let opts = &shared.opts;
     let deadline = Instant::now() + opts.batch_window;
     let mut batch = vec![seed];
     while batch.len() < opts.max_batch {
-        if let Some(p) = st.queue.pop_front() {
-            batch.push(p);
+        if matches!(st.queue.front(), Some(Job::Predict(_))) {
+            match st.queue.pop_front() {
+                Some(Job::Predict(p)) => batch.push(p),
+                _ => unreachable!("front was a predict job"),
+            }
             continue;
+        }
+        if matches!(st.queue.front(), Some(Job::Certified(_))) {
+            break; // leave the solve for a dedicated dispatch
         }
         if st.shutdown {
             break; // drain mode: don't wait for arrivals that can't come
@@ -498,6 +603,29 @@ mod tests {
             .all(|(a, b)| a.to_bits() == b.to_bits()));
         assert!(matches!(t_bad.wait(), Err(MgdError::NonFiniteInput { .. })));
         assert!(matches!(t_omega_bad.wait(), Err(MgdError::Field(_))));
+    }
+
+    #[test]
+    fn certified_requests_flow_through_the_queue() {
+        let engine = engine();
+        // Preload a mixed workload — predictions and a certified solve in
+        // one queue — then let a single worker drain it.
+        let mut queue = ServeQueue::new(engine.serve_cell(), engine.serve_options());
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        let t_pred = queue.submit(InferenceRequest::coeff(nu.clone())).unwrap();
+        let t_cert = queue
+            .submit_certified(InferenceRequest::coeff(nu.clone()))
+            .unwrap();
+        let t_pred2 = queue.submit(InferenceRequest::coeff(nu)).unwrap();
+        queue.spawn_workers(1);
+        assert!(t_pred.wait().is_ok());
+        let sol = t_cert.wait().unwrap();
+        assert!(sol.converged, "{:?}", sol.residual_history);
+        assert!(sol.rel_residual <= engine.snapshot().certify_tol());
+        assert!(t_pred2.wait().is_ok());
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.served, 3);
     }
 
     #[test]

@@ -55,6 +55,12 @@ serve-megavoxel:
 bench-spatial:
     cargo run --release -p mgd-bench --bin spatial_report
 
+# Certified-solving report: wall-clock-to-tolerance for pure multigrid vs
+# each hybrid strategy vs raw inference (trains the 64^2 surrogate first);
+# writes results/BENCH_certified.json.
+bench-certified:
+    cargo run --release -p mgd-bench --bin certified_report
+
 # All benchmarks.
 bench:
     cargo bench --workspace
