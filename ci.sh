@@ -38,6 +38,11 @@ run cargo run --release -p mgd-serve --bin serving_loadgen -- --quick --threads 
 # and the wall-clock-to-tolerance report must run in quick mode.
 run cargo test -q -p mgd-hybrid
 run cargo run --release -p mgd-bench --bin certified_report -- --quick /tmp/BENCH_certified_ci.json
+# Precision smoke: the f32 serving forward must stay inside Element::
+# EQUIV_TOL of f64, the f32 GEMM must actually be faster, and the
+# mixed-precision certified solve must reach the same f64 tolerance
+# (the report bin asserts all three gates in quick mode).
+run cargo run --release -p mgd-bench --bin precision_report -- --quick /tmp/BENCH_precision_ci.json
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then
@@ -54,6 +59,9 @@ if [[ "${1:-}" == "bench" ]]; then
     # hybrid strategy strictly beats pure multigrid to tolerance), checked
     # in as results/BENCH_certified.json.
     run cargo run --release -p mgd-bench --bin certified_report
+    # Full precision report (f32 GEMM/forward speedups, mixed-precision
+    # certified solves), checked in as results/BENCH_precision.json.
+    run cargo run --release -p mgd-bench --bin precision_report
 fi
 
 echo "ci: all green"

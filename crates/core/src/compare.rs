@@ -77,7 +77,7 @@ pub fn compare_with_fem<M: Model + ?Sized>(
         Some(u_nn.as_slice()),
         mgd_fem::CgOptions {
             tol: 0.0,
-            abs_tol: stats.residual.max(1e-300),
+            abs_tol: stats.residual.max(mgd_tensor::F64_DIV_GUARD),
             max_iter: 50_000,
         },
     );

@@ -183,7 +183,13 @@ impl<'a, C: Comm> DistPoisson<'a, C> {
         let minv: Vec<f64> = diag
             .iter()
             .zip(&self.bc_ext.fixed)
-            .map(|(&d, &fx)| if fx || d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
+            .map(|(&d, &fx)| {
+                if fx || d.abs() < mgd_tensor::F64_DIV_GUARD {
+                    0.0
+                } else {
+                    1.0 / d
+                }
+            })
             .collect();
 
         let r0 = self.dot(&r, &r).sqrt();

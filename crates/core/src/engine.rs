@@ -60,7 +60,7 @@ use mgd_dist::{launch_with, LocalComm, SlabPartition};
 use mgd_field::{Dataset, DiffusivityModel, InputEncoding};
 use mgd_hybrid::{CertifiedSolution, StallPolicy, StrategyKind};
 use mgd_nn::{Adam, ConvBackend, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
-use mgd_tensor::Tensor;
+use mgd_tensor::{Precision, Tensor};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -186,6 +186,7 @@ pub struct SolverEngineBuilder {
     hybrid_strategy: StrategyKind,
     certify_tol: f64,
     stall: StallPolicy,
+    precision: Precision,
     model: Option<Box<dyn Model>>,
     optimizer: Option<Box<dyn Optimizer>>,
     dataset: Option<Dataset>,
@@ -215,6 +216,7 @@ impl Default for SolverEngineBuilder {
             hybrid_strategy: StrategyKind::InitialGuess,
             certify_tol: 1e-8,
             stall: StallPolicy::default(),
+            precision: Precision::F64,
             model: None,
             optimizer: None,
             dataset: None,
@@ -420,6 +422,31 @@ impl SolverEngineBuilder {
         self
     }
 
+    /// Numeric policy of the serving surface (default [`Precision::F64`]).
+    ///
+    /// - [`Precision::F64`]: everything runs in f64 — bitwise identical to
+    ///   engines built before this knob existed.
+    /// - [`Precision::F32`]: `predict*` forwards run through the f32 SIMD
+    ///   kernels ([`mgd_nn::Model::share_f32`]) with one input demotion and
+    ///   one (exact) output promotion per batch; cached predictions are
+    ///   stored at f32 (lossless, half the residency). Training and
+    ///   certified solves stay f64.
+    /// - [`Precision::Mixed`]: `F32` serving *plus* certified solves
+    ///   precondition with the f32 V-cycle
+    ///   ([`mgd_fem::MixedHierarchy`]). The outer PCG, the coarsest-level
+    ///   solve, and every residual certificate remain f64, so certified
+    ///   tolerances (down to ~1e-10 relative) are still met — iterative
+    ///   refinement, not wholesale demotion.
+    ///
+    /// `F32`/`Mixed` require a model with an f32 inference view (the
+    /// built-in U-Net has one) and are rejected when combined with
+    /// [`Parallelism::SpatialThreads`], whose slab-decomposed forward is
+    /// f64-only.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// How training distributes across workers (default
     /// [`Parallelism::Serial`]).
     ///
@@ -598,6 +625,23 @@ impl SolverEngineBuilder {
             Some(o) => o,
             None => Box::new(Adam::new(self.learning_rate)) as Box<dyn Optimizer>,
         };
+        if self.precision != Precision::F64 {
+            if model.share_f32().is_none() {
+                return Err(MgdError::InvalidConfig(format!(
+                    "precision {} requires a model with an f32 inference view \
+                     (Model::share_f32); the configured model reports none",
+                    self.precision
+                )));
+            }
+            if matches!(self.parallelism, Parallelism::SpatialThreads(_)) {
+                return Err(MgdError::InvalidConfig(format!(
+                    "precision {} is incompatible with \
+                     Parallelism::SpatialThreads: the slab-decomposed \
+                     forward runs f64-only",
+                    self.precision
+                )));
+            }
+        }
         if let Parallelism::SpatialThreads(p) = self.parallelism {
             if p == 0 {
                 return Err(MgdError::InvalidConfig(
@@ -641,6 +685,7 @@ impl SolverEngineBuilder {
             hybrid_strategy: self.hybrid_strategy,
             certify_tol: self.certify_tol,
             stall: self.stall,
+            precision: self.precision,
         });
         Ok(SolverEngine {
             model,
@@ -656,6 +701,7 @@ impl SolverEngineBuilder {
             hybrid_strategy: self.hybrid_strategy,
             certify_tol: self.certify_tol,
             stall: self.stall,
+            precision: self.precision,
             stats,
             cell: Arc::new(SnapshotCell::new(Arc::new(snapshot))),
             version: AtomicU64::new(0),
@@ -687,6 +733,7 @@ pub struct SolverEngine {
     hybrid_strategy: StrategyKind,
     certify_tol: f64,
     stall: StallPolicy,
+    precision: Precision,
     /// Engine-lifetime serving counters, shared with every snapshot
     /// generation (a republish never loses counts).
     stats: Arc<SharedServeStats>,
@@ -807,6 +854,7 @@ impl SolverEngine {
             hybrid_strategy: self.hybrid_strategy,
             certify_tol: self.certify_tol,
             stall: self.stall,
+            precision: self.precision,
         });
         self.cell.store(Arc::new(snapshot));
     }
@@ -952,6 +1000,11 @@ impl SolverEngine {
     /// snapshot republishes).
     pub fn stats(&self) -> ServeStats {
         self.stats.snapshot()
+    }
+
+    /// The numeric policy the engine serves at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Entries currently held by the current snapshot's prediction cache.
@@ -1515,6 +1568,109 @@ mod tests {
             engine.solve_certified(&req, -1.0),
             Err(MgdError::InvalidConfig(_))
         ));
+    }
+
+    /// Nudges every weight by a deterministic, *not*-f32-representable
+    /// amount so the f32 and f64 forward paths must actually diverge (a
+    /// freshly initialized U-Net outputs exactly sigmoid(0) = 0.5, which
+    /// both precisions represent bitwise).
+    fn perturb_weights(engine: &mut SolverEngine) {
+        let mut i = 0u64;
+        for p in engine.model_mut().params() {
+            for v in p.data.as_mut_slice() {
+                i += 1;
+                *v += 0.01 * (((i * 2654435761) % 97) as f64 / 97.0 - 0.5) + 1e-3 / 3.0;
+            }
+        }
+    }
+
+    #[test]
+    fn f32_precision_serves_within_tolerance_and_pools_workspaces() {
+        let mut engine64 = small_builder().build().unwrap();
+        let mut engine32 = small_builder().precision(Precision::F32).build().unwrap();
+        perturb_weights(&mut engine64);
+        perturb_weights(&mut engine32);
+        assert_eq!(engine32.precision(), Precision::F32);
+        assert!(engine32.snapshot().is_lock_free());
+        let nu = engine64.dataset().nu_field(0, &[16, 16]);
+        let u_f64 = engine64.predict(&nu).unwrap();
+        let u_f32 = engine32.predict(&nu).unwrap();
+        let worst = u_f64
+            .as_slice()
+            .iter()
+            .zip(u_f32.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        // The same weights through the f32 kernels: small relative error,
+        // nowhere near f64-path identity but far below solver tolerances.
+        assert!(worst < 1e-3, "f32 forward drifted {worst}");
+        assert!(worst > 0.0, "suspiciously exact — did the f32 path run?");
+        // First forward allocates its workspace, repeats reuse it.
+        let s = engine32.stats();
+        assert_eq!(s.workspace_pool_misses, 1);
+        assert_eq!(s.workspace_pool_hits, 0);
+        let nu1 = engine32.dataset().nu_field(1, &[16, 16]);
+        engine32.predict(&nu1).unwrap();
+        let s = engine32.stats();
+        assert_eq!(s.workspace_pool_misses, 1);
+        assert_eq!(s.workspace_pool_hits, 1);
+        // Cache hits replay the f32-stored entry losslessly.
+        let again = engine32.predict(&nu).unwrap();
+        assert_eq!(again.as_slice(), u_f32.as_slice());
+        assert!(engine32.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn f64_precision_keeps_pool_counters_live_too() {
+        let engine = small_builder().build().unwrap();
+        let nu = engine.dataset().nu_field(0, &[16, 16]);
+        engine.predict(&nu).unwrap();
+        let s = engine.stats();
+        assert_eq!(s.workspace_pool_misses + s.workspace_pool_hits, 1);
+    }
+
+    #[test]
+    fn mixed_precision_certified_solve_meets_tolerance() {
+        let tol = 1e-8;
+        let engine = small_builder()
+            .precision(Precision::Mixed)
+            .hybrid_strategy(StrategyKind::PureMultigrid)
+            .build()
+            .unwrap();
+        let req = InferenceRequest::omega(engine.dataset().omegas[1].clone());
+        let sol = engine.solve_certified(&req, tol).unwrap();
+        assert!(sol.converged, "{:?}", sol.residual_history);
+        assert!(sol.rel_residual <= tol);
+        // Same answer as the f64-preconditioned solve (the preconditioner
+        // only steers convergence; the certificate pins the solution).
+        let engine64 = small_builder()
+            .hybrid_strategy(StrategyKind::PureMultigrid)
+            .build()
+            .unwrap();
+        let sol64 = engine64.solve_certified(&req, tol).unwrap();
+        let norm: f64 = sol64.u.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let diff: f64 = sol
+            .u
+            .iter()
+            .zip(&sol64.u)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff / norm < 1e-6, "mixed solution drifted {}", diff / norm);
+    }
+
+    #[test]
+    fn reduced_precision_rejects_spatial_parallelism() {
+        for p in [Precision::F32, Precision::Mixed] {
+            let e = small_builder()
+                .precision(p)
+                .parallelism(Parallelism::SpatialThreads(2))
+                .build();
+            assert!(
+                matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("SpatialThreads")),
+                "{p} + SpatialThreads must be rejected at build()"
+            );
+        }
     }
 
     #[test]

@@ -139,9 +139,10 @@ pub use engine::{Parallelism, Problem, ServeStats, SolverEngine, SolverEngineBui
 pub use error::{MgdError, MgdResult};
 pub use loss::FemLoss;
 pub use mg_trainer::{MgConfig, MgRunLog, MultigridTrainer, PhaseLog};
+pub use mgd_tensor::Precision;
 pub use serve::{
-    CacheKey, CacheShardStats, EngineSnapshot, InferenceRequest, PredictionCache, ServeOptions,
-    SharedServeStats, SnapshotCell,
+    CacheKey, CacheShardStats, CachedField, EngineSnapshot, InferenceRequest, PredictionCache,
+    ServeOptions, SharedServeStats, SnapshotCell,
 };
 pub use stopper::EarlyStopping;
 pub use trainer::{EpochStats, TrainConfig, TrainLog, Trainer};

@@ -41,8 +41,7 @@ use mgd_hybrid::{
     StrategyKind, Surrogate,
 };
 use mgd_nn::{InferModel, Model, Workspace};
-use mgd_tensor::Tensor;
-use std::cell::RefCell;
+use mgd_tensor::{Element, Precision, Tensor};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -199,6 +198,8 @@ pub struct SharedServeStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    workspace_pool_hits: AtomicU64,
+    workspace_pool_misses: AtomicU64,
 }
 
 impl SharedServeStats {
@@ -210,6 +211,8 @@ impl SharedServeStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            workspace_pool_hits: self.workspace_pool_hits.load(Ordering::Relaxed),
+            workspace_pool_misses: self.workspace_pool_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,6 +232,11 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Entries evicted to make room.
     pub cache_evictions: u64,
+    /// Forward passes that reused a pooled inference workspace.
+    pub workspace_pool_hits: u64,
+    /// Forward passes that had to allocate a fresh workspace (the pool was
+    /// empty — cold start or more concurrent predictions than ever before).
+    pub workspace_pool_misses: u64,
 }
 
 /// Point-in-time statistics of one cache shard.
@@ -246,13 +254,47 @@ pub struct CacheShardStats {
     pub capacity: usize,
 }
 
+/// A cached prediction, stored at the precision the snapshot serves at.
+///
+/// Under [`Precision::F64`] entries are the f64 outputs themselves (shared,
+/// never copied). Under `F32`/`Mixed` the forward pass ran in f32, so the
+/// f64 output is exactly representable in f32 (boundary values 0/1
+/// included) — storing the f32 image halves cache residency at megavoxel
+/// resolutions with **zero** rounding loss. Promotion back to f64
+/// allocates on hit, which is still far cheaper than a forward pass.
+#[derive(Clone, Debug)]
+pub enum CachedField {
+    /// Full-precision entry (the `Precision::F64` serving path).
+    F64(Arc<Tensor>),
+    /// Half-residency entry (the `Precision::F32`/`Mixed` serving paths).
+    F32(Arc<Tensor<f32>>),
+}
+
+impl CachedField {
+    /// The cached prediction as an f64 tensor (shared for `F64` entries,
+    /// promoted — one allocation — for `F32` entries).
+    pub fn to_f64(&self) -> Arc<Tensor> {
+        match self {
+            CachedField::F64(t) => Arc::clone(t),
+            CachedField::F32(t) => Arc::new(t.cast::<f64>()),
+        }
+    }
+}
+
+impl From<Arc<Tensor>> for CachedField {
+    fn from(t: Arc<Tensor>) -> Self {
+        CachedField::F64(t)
+    }
+}
+
 /// One ordered-LRU shard core (exclusive behind its shard mutex).
 ///
 /// `by_stamp` keeps keys sorted by their last-use clock stamp, so eviction
 /// pops the least recently used entry in O(log n). Outputs are stored and
-/// returned as [`Arc<Tensor>`] — a hit hands out a reference-counted
-/// pointer instead of deep-cloning the tensor, which at megavoxel
-/// resolutions used to copy ~57 MB per hit on the serving hot path.
+/// returned as [`CachedField`]s holding `Arc`s — a hit hands out a
+/// reference-counted pointer instead of deep-cloning the tensor, which at
+/// megavoxel resolutions used to copy ~57 MB per hit on the serving hot
+/// path.
 struct LruCore {
     capacity: usize,
     entries: HashMap<Arc<CacheKey>, CacheSlot>,
@@ -263,7 +305,7 @@ struct LruCore {
 }
 
 struct CacheSlot {
-    out: Arc<Tensor>,
+    out: CachedField,
     stamp: u64,
 }
 
@@ -277,13 +319,13 @@ impl LruCore {
         }
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<Arc<Tensor>> {
+    fn get(&mut self, key: &CacheKey) -> Option<CachedField> {
         self.clock += 1;
         let clock = self.clock;
         let (key_arc, slot) = self.entries.get_key_value(key)?;
         let old = slot.stamp;
         let key_arc = Arc::clone(key_arc);
-        let out = Arc::clone(&slot.out);
+        let out = slot.out.clone();
         self.by_stamp.remove(&old);
         self.by_stamp.insert(clock, Arc::clone(&key_arc));
         self.entries.get_mut(&key_arc).expect("slot exists").stamp = clock;
@@ -292,7 +334,7 @@ impl LruCore {
 
     /// Inserts (or refreshes) an entry; returns whether an eviction
     /// happened.
-    fn insert(&mut self, key: CacheKey, value: Arc<Tensor>) -> bool {
+    fn insert(&mut self, key: CacheKey, value: CachedField) -> bool {
         if self.capacity == 0 {
             return false;
         }
@@ -395,7 +437,7 @@ impl PredictionCache {
 
     /// Looks up a key, refreshing its LRU position and counting the
     /// hit/miss on both the shard and the shared stats.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Tensor>> {
+    pub fn get(&self, key: &CacheKey) -> Option<CachedField> {
         let shard = self.shard_of(key);
         let out = shard.lru.lock().expect("cache shard poisoned").get(key);
         match &out {
@@ -412,7 +454,8 @@ impl PredictionCache {
     }
 
     /// Inserts (or refreshes) an entry, counting any eviction it causes.
-    pub fn insert(&self, key: CacheKey, value: Arc<Tensor>) {
+    pub fn insert(&self, key: CacheKey, value: impl Into<CachedField>) {
+        let value = value.into();
         let shard = self.shard_of(&key);
         let evicted = shard
             .lru
@@ -493,6 +536,11 @@ enum SnapshotModel {
     /// A `Sync` read-only view ([`Model::share`]) — predictions run truly
     /// lock-free and concurrently.
     Shared(Arc<dyn InferModel>),
+    /// A `Sync` f32 view ([`Model::share_f32`]) — the `Precision::F32` /
+    /// `Precision::Mixed` serving path: inputs are demoted once at the
+    /// batch boundary, the whole forward runs through the f32 SIMD
+    /// kernels, and the output is promoted back to f64 (exactly).
+    SharedF32(Arc<dyn InferModel<f32>>),
     /// Fallback for injected architectures without a `&self` inference
     /// path: an exclusive replica; concurrent predictions serialize on its
     /// mutex but still need no `&mut` engine.
@@ -508,10 +556,49 @@ struct SpatialServe {
     replicas: Mutex<Vec<Box<dyn Model>>>,
 }
 
-thread_local! {
-    /// Per-thread inference scratch, reused across predictions so steady-
-    /// state serving does not reallocate patch buffers on every request.
-    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+/// A snapshot-owned pool of inference workspaces.
+///
+/// Replaces the old `thread_local!` scratch: per-thread storage pinned one
+/// workspace (potentially tens of MB of patch buffers at megavoxel
+/// resolutions) to *every* thread that ever predicted, for as long as the
+/// thread lived — short-lived serving threads leaked warm buffers, and the
+/// engine had no way to observe or bound the residency. Pooling ties the
+/// scratch to the snapshot instead: `acquire` pops a warm workspace (or
+/// allocates on first use), `release` returns it, and the pool dies with
+/// the snapshot. Steady-state occupancy equals the peak number of
+/// *concurrent* forward passes, not the historical thread count, and the
+/// hit/miss counters in [`ServeStats`] make reuse observable.
+struct WorkspacePool<E: Element = f64> {
+    slots: Mutex<Vec<Workspace<E>>>,
+}
+
+impl<E: Element> WorkspacePool<E> {
+    fn new() -> Self {
+        WorkspacePool {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled workspace, or allocates a fresh one if every pooled
+    /// workspace is currently in use (counted on `stats`).
+    fn acquire(&self, stats: &SharedServeStats) -> Workspace<E> {
+        let pooled = self.slots.lock().expect("workspace pool poisoned").pop();
+        match pooled {
+            Some(ws) => {
+                stats.workspace_pool_hits.fetch_add(1, Ordering::Relaxed);
+                ws
+            }
+            None => {
+                stats.workspace_pool_misses.fetch_add(1, Ordering::Relaxed);
+                Workspace::new()
+            }
+        }
+    }
+
+    /// Returns a workspace (with its warm buffers) to the pool.
+    fn release(&self, ws: Workspace<E>) {
+        self.slots.lock().expect("workspace pool poisoned").push(ws);
+    }
 }
 
 /// An immutable, Arc-published view of a trained engine: everything a
@@ -536,6 +623,9 @@ pub struct EngineSnapshot {
     hybrid_strategy: StrategyKind,
     certify_tol: f64,
     stall: StallPolicy,
+    precision: Precision,
+    ws_pool: WorkspacePool,
+    ws_pool32: WorkspacePool<f32>,
 }
 
 impl std::fmt::Debug for EngineSnapshot {
@@ -545,8 +635,12 @@ impl std::fmt::Debug for EngineSnapshot {
             .field("resolution", &self.resolution)
             .field(
                 "shared_model",
-                &matches!(self.model, SnapshotModel::Shared(_)),
+                &matches!(
+                    self.model,
+                    SnapshotModel::Shared(_) | SnapshotModel::SharedF32(_)
+                ),
             )
+            .field("precision", &self.precision)
             .field("spatial_ranks", &self.spatial.as_ref().map(|s| s.ranks))
             .field("cache_len", &self.cache.len())
             .finish_non_exhaustive()
@@ -591,14 +685,22 @@ pub(crate) struct SnapshotConfig<'a> {
     pub hybrid_strategy: StrategyKind,
     pub certify_tol: f64,
     pub stall: StallPolicy,
+    pub precision: Precision,
 }
 
 impl EngineSnapshot {
     pub(crate) fn build(cfg: SnapshotConfig<'_>) -> EngineSnapshot {
-        let model = match cfg.model.share() {
-            Some(shared) => SnapshotModel::Shared(shared),
-            None => SnapshotModel::Exclusive(Mutex::new(cfg.model.clone_model())),
-        };
+        // F32/Mixed serving wants the f32 weight view; builder validation
+        // guarantees it exists, but a missing view degrades to the f64
+        // paths rather than panicking (republish after a weight swap).
+        let model = match cfg.precision {
+            Precision::F32 | Precision::Mixed => {
+                cfg.model.share_f32().map(SnapshotModel::SharedF32)
+            }
+            Precision::F64 => None,
+        }
+        .or_else(|| cfg.model.share().map(SnapshotModel::Shared))
+        .unwrap_or_else(|| SnapshotModel::Exclusive(Mutex::new(cfg.model.clone_model())));
         let spatial = (cfg.spatial_ranks > 1).then(|| SpatialServe {
             ranks: cfg.spatial_ranks,
             replicas: Mutex::new(
@@ -625,6 +727,9 @@ impl EngineSnapshot {
             hybrid_strategy: cfg.hybrid_strategy,
             certify_tol: cfg.certify_tol,
             stall: cfg.stall,
+            precision: cfg.precision,
+            ws_pool: WorkspacePool::new(),
+            ws_pool32: WorkspacePool::new(),
         }
     }
 
@@ -642,7 +747,16 @@ impl EngineSnapshot {
     /// Whether predictions on this snapshot run lock-free (a shared
     /// [`InferModel`] view) or serialize on an exclusive replica.
     pub fn is_lock_free(&self) -> bool {
-        self.spatial.is_none() && matches!(self.model, SnapshotModel::Shared(_))
+        self.spatial.is_none()
+            && matches!(
+                self.model,
+                SnapshotModel::Shared(_) | SnapshotModel::SharedF32(_)
+            )
+    }
+
+    /// The numeric policy this snapshot serves at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Entries currently held by this snapshot's cache.
@@ -739,7 +853,11 @@ impl EngineSnapshot {
                 .to_vec(),
         };
         let sys = ErasedSystem::poisson(&self.resolution, &nu)?;
-        let hier = ErasedHierarchy::build(&sys, HierarchyOptions::default())?;
+        let hier = ErasedHierarchy::build_with_precision(
+            &sys,
+            HierarchyOptions::default(),
+            self.precision,
+        )?;
         let surrogate = SnapshotSurrogate { snap: self };
         let opts = CertifyOptions {
             tol,
@@ -816,7 +934,7 @@ impl EngineSnapshot {
         let mut miss_idx: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             match self.cache.get(key) {
-                Some(hit) => outputs.push(Some(hit)),
+                Some(hit) => outputs.push(Some(hit.to_f64())),
                 None => {
                     outputs.push(None);
                     miss_idx.push(i);
@@ -860,7 +978,15 @@ impl EngineSnapshot {
                 })
                 .collect();
             for (field, &i) in solved.iter().zip(&unique) {
-                self.cache.insert(keys[i].clone(), Arc::clone(field));
+                let value = match self.precision {
+                    Precision::F64 => CachedField::F64(Arc::clone(field)),
+                    // The output came through an f32 forward, so the f32
+                    // image is lossless and halves the entry's residency.
+                    Precision::F32 | Precision::Mixed => {
+                        CachedField::F32(Arc::new(field.cast::<f32>()))
+                    }
+                };
+                self.cache.insert(keys[i].clone(), value);
             }
             // Fill every miss (including intra-batch duplicates) from the
             // solved set, not the cache — caching may be disabled.
@@ -886,7 +1012,22 @@ impl EngineSnapshot {
             return self.forward_spatial(x, sp);
         }
         match &self.model {
-            SnapshotModel::Shared(m) => Ok(WORKSPACE.with(|ws| m.infer(x, &mut ws.borrow_mut()))),
+            SnapshotModel::Shared(m) => {
+                let mut ws = self.ws_pool.acquire(&self.stats);
+                let out = m.infer(x, &mut ws);
+                self.ws_pool.release(ws);
+                Ok(out)
+            }
+            SnapshotModel::SharedF32(m) => {
+                // One demotion at the batch boundary, one (exact) promotion
+                // on the way out — everything in between runs the f32 SIMD
+                // microkernels.
+                let x32 = x.cast::<f32>();
+                let mut ws = self.ws_pool32.acquire(&self.stats);
+                let out = m.infer(&x32, &mut ws);
+                self.ws_pool32.release(ws);
+                Ok(out.cast::<f64>())
+            }
             SnapshotModel::Exclusive(m) => Ok(m.lock().expect("model replica poisoned").predict(x)),
         }
     }

@@ -106,7 +106,13 @@ pub fn solve_cg_rhs<const D: usize>(
     stiffness_diag(grid, basis, nu, &mut diag);
     let minv: Vec<f64> = diag
         .iter()
-        .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
+        .map(|&d| {
+            if d.abs() > mgd_tensor::F64_DIV_GUARD {
+                1.0 / d
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();

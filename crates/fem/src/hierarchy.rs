@@ -58,7 +58,7 @@ impl Default for HierarchyOptions {
 
 /// Per-node 1D interpolation: `(j, w0, w1)` means the target node takes
 /// `w0 · source[j] + w1 · source[j+1]` along this axis.
-type AxisTable = Vec<(usize, f64, f64)>;
+pub(crate) type AxisTable = Vec<(usize, f64, f64)>;
 
 /// Weights for interpolating an `n_source`-node axis at the node
 /// coordinates of an `n_target`-node axis (both spanning the same span).
@@ -77,14 +77,14 @@ fn sample_axis(n_target: usize, n_source: usize) -> AxisTable {
 /// A multigrid hierarchy over arbitrary (≥ 2 nodes per axis) grids.
 /// Level 0 is the finest.
 pub struct GridHierarchy<const D: usize> {
-    levels: Vec<PoissonSystem<D>>,
+    pub(crate) levels: Vec<PoissonSystem<D>>,
     /// `c2f[l][d]` interpolates level `l+1` (coarse) values at the node
     /// coordinates of level `l` (fine) along axis `d`.
-    c2f: Vec<Vec<AxisTable>>,
+    pub(crate) c2f: Vec<Vec<AxisTable>>,
     /// `f2c[l][d]` samples level `l` (fine) values at the node
     /// coordinates of level `l+1` (coarse) along axis `d`.
     f2c: Vec<Vec<AxisTable>>,
-    opts: HierarchyOptions,
+    pub(crate) opts: HierarchyOptions,
 }
 
 impl<const D: usize> GridHierarchy<D> {

@@ -27,6 +27,7 @@ pub mod error;
 pub mod gmg;
 pub mod grid;
 pub mod hierarchy;
+pub mod mixed;
 pub mod operator;
 pub mod pcg;
 pub mod solver;
@@ -39,6 +40,7 @@ pub use error::FemError;
 pub use gmg::{GmgOptions, GmgSolver, GmgStats};
 pub use grid::Grid;
 pub use hierarchy::{GridHierarchy, HierarchyOptions};
+pub use mixed::MixedHierarchy;
 pub use operator::{
     apply_stiffness, apply_stiffness_serial, energy, energy_grad, load_vector, stiffness_diag,
 };

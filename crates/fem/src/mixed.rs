@@ -1,0 +1,519 @@
+//! Mixed-precision multigrid: an `f32` V-cycle under an `f64` outer
+//! iteration.
+//!
+//! The V-cycle is a *preconditioner*, not the answer: the outer PCG (and
+//! the certified driver above it) recomputes true residuals in `f64`, so
+//! the preconditioner's arithmetic precision affects only the convergence
+//! *rate*, never the correctness of the final certificate. That makes the
+//! smoother/residual/transfer work — the bulk of every V-cycle — safe to
+//! run in `f32`: half the memory traffic per sweep, twice the SIMD lanes,
+//! while the parts that carry accuracy obligations stay in `f64`:
+//!
+//! - the **coarsest-level solve** (a tight CG whose tolerance is far below
+//!   `f32` resolution);
+//! - the **outer Krylov iteration** consuming this preconditioner;
+//! - every **residual certificate** (`PoissonSystem::residual_norm` /
+//!   `mgd_hybrid`'s certify loop).
+//!
+//! This is classical iterative refinement: the low-precision solve
+//! produces a correction `z ≈ K⁻¹ r`; the high-precision outer loop
+//! measures what the correction actually achieved and iterates on the
+//! exact residual. Accuracy beyond `f32` (e.g. the default `1e-8`
+//! certified tolerance) is reached because each refinement step only needs
+//! the *correction* to low relative accuracy.
+//!
+//! [`MixedHierarchy`] demotes each level of a [`GridHierarchy`] once at
+//! construction — stencil inputs (ν, basis tables, inverse diagonals,
+//! transfer weights) are assembled in `f64` and rounded to `f32` a single
+//! time, so per-cycle work touches only `f32` data. Its [`Precond`] impl
+//! scales the incoming residual by its max-norm before demotion (guarding
+//! against underflow once the outer residual drops toward `1e-30`) and
+//! promotes the correction back afterwards.
+
+use crate::bc::Dirichlet;
+use crate::cg::{solve_cg_rhs, CgOptions};
+use crate::error::FemError;
+use crate::grid::Grid;
+use crate::hierarchy::{GridHierarchy, HierarchyOptions};
+use crate::pcg::Precond;
+use mgd_tensor::F64_DIV_GUARD;
+
+/// Per-node 1D interpolation weights demoted to `f32`.
+type AxisTable32 = Vec<(usize, f32, f32)>;
+
+/// Maximum local nodes (2^D for D ≤ 3), mirroring `crate::operator`.
+const MAX_NL: usize = 8;
+
+/// One level's `f32` stencil data, demoted once from the `f64` system.
+struct Level32 {
+    /// Nodal diffusivity.
+    nu: Vec<f32>,
+    /// Masked inverse stiffness diagonal (zero at fixed nodes).
+    diag_inv: Vec<f32>,
+    /// Shape values `val[q * nl + l]`.
+    val: Vec<f32>,
+    /// Physical shape gradients `grad[(q * nl + l) * D + c]`.
+    grad: Vec<f32>,
+    /// Quadrature weight × volume scale.
+    w_detj: f32,
+}
+
+/// An `f32` replica of a [`GridHierarchy`]'s smoothing/transfer data,
+/// usable as an `f64` [`Precond`] via one single-precision V-cycle per
+/// application (the coarsest level still solves in `f64`).
+pub struct MixedHierarchy<const D: usize> {
+    hier: GridHierarchy<D>,
+    levels32: Vec<Level32>,
+    /// `c2f32[l][d]`: demoted prolongation weights of level `l+1 → l`.
+    c2f32: Vec<Vec<AxisTable32>>,
+}
+
+impl<const D: usize> MixedHierarchy<D> {
+    /// Demotes an existing hierarchy's per-level stencils to `f32`.
+    pub fn new(hier: GridHierarchy<D>) -> Self {
+        let levels32 = hier
+            .levels
+            .iter()
+            .map(|sys| Level32 {
+                nu: sys.nu.iter().map(|&v| v as f32).collect(),
+                diag_inv: sys.diag_inv().iter().map(|&v| v as f32).collect(),
+                val: sys.basis.val.iter().map(|&v| v as f32).collect(),
+                grad: sys.basis.grad.iter().map(|&v| v as f32).collect(),
+                w_detj: sys.basis.w_detj as f32,
+            })
+            .collect();
+        let c2f32 = hier
+            .c2f
+            .iter()
+            .map(|tables| {
+                tables
+                    .iter()
+                    .map(|t| {
+                        t.iter()
+                            .map(|&(j, w0, w1)| (j, w0 as f32, w1 as f32))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        MixedHierarchy {
+            hier,
+            levels32,
+            c2f32,
+        }
+    }
+
+    /// Builds the `f64` hierarchy and demotes it in one step.
+    pub fn build(
+        grid: Grid<D>,
+        nu: &[f64],
+        bc: &Dirichlet,
+        opts: HierarchyOptions,
+    ) -> Result<Self, FemError> {
+        Ok(MixedHierarchy::new(GridHierarchy::build(
+            grid, nu, bc, opts,
+        )?))
+    }
+
+    /// The underlying `f64` hierarchy (levels, transfers, full-precision
+    /// V-cycle) — everything except the preconditioner application.
+    pub fn inner(&self) -> &GridHierarchy<D> {
+        &self.hier
+    }
+
+    /// Zeroes Dirichlet-fixed entries of a level-`l` `f32` field.
+    fn mask32(&self, l: usize, v: &mut [f32]) {
+        for (vi, &fx) in v.iter_mut().zip(&self.hier.levels[l].bc.fixed) {
+            if fx {
+                *vi = 0.0;
+            }
+        }
+    }
+
+    /// `out = K(ν) u` at level `l`, entirely in `f32` (sequential: the
+    /// mixed path targets per-core throughput; cross-core parallelism
+    /// comes from serving many solves concurrently).
+    fn apply32(&self, l: usize, u: &[f32], out: &mut [f32]) {
+        let sys = &self.hier.levels[l];
+        let lv = &self.levels32[l];
+        let grid = &sys.grid;
+        let nl = sys.basis.nl;
+        let nq = sys.basis.nq;
+        let strides = grid.strides();
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for e in 0..grid.num_elements() {
+            let el = grid.element_multi(e);
+            let base = grid.element_base(el);
+            let mut nu_l = [0.0f32; MAX_NL];
+            let mut u_l = [0.0f32; MAX_NL];
+            let mut acc = [0.0f32; MAX_NL];
+            for i in 0..nl {
+                let gi = base + grid.local_offset(&strides, i);
+                nu_l[i] = lv.nu[gi];
+                u_l[i] = u[gi];
+            }
+            for q in 0..nq {
+                let vrow = &lv.val[q * nl..(q + 1) * nl];
+                let mut nu_q = 0.0f32;
+                let mut gu = [0.0f32; D];
+                for i in 0..nl {
+                    nu_q += vrow[i] * nu_l[i];
+                    let grow = &lv.grad[(q * nl + i) * D..(q * nl + i + 1) * D];
+                    for c in 0..D {
+                        gu[c] += grow[c] * u_l[i];
+                    }
+                }
+                let s = lv.w_detj * nu_q;
+                for i in 0..nl {
+                    let grow = &lv.grad[(q * nl + i) * D..(q * nl + i + 1) * D];
+                    let mut dot = 0.0f32;
+                    for c in 0..D {
+                        dot += gu[c] * grow[c];
+                    }
+                    acc[i] += s * dot;
+                }
+            }
+            for i in 0..nl {
+                out[base + grid.local_offset(&strides, i)] += acc[i];
+            }
+        }
+    }
+
+    /// `sweeps` damped-Jacobi sweeps on `K u = b` at level `l`.
+    fn jacobi_smooth32(&self, l: usize, u: &mut [f32], b: &[f32], sweeps: usize) {
+        let omega = self.hier.opts.omega as f32;
+        let diag_inv = &self.levels32[l].diag_inv;
+        let nn = u.len();
+        let mut r = vec![0.0f32; nn];
+        for _ in 0..sweeps {
+            self.apply32(l, u, &mut r);
+            for i in 0..nn {
+                u[i] += omega * diag_inv[i] * (b[i] - r[i]);
+            }
+        }
+    }
+
+    /// `r = mask(b − K u)` at level `l`.
+    fn residual32(&self, l: usize, u: &[f32], b: &[f32], r: &mut [f32]) {
+        self.apply32(l, u, r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        self.mask32(l, r);
+    }
+
+    /// Transpose-scatter of a level-`l` residual to level `l+1` (the exact
+    /// `f32` transpose of [`Self::prolong32`]), masked on the coarse level.
+    fn restrict32(&self, l: usize, fine: &[f32]) -> Vec<f32> {
+        let fg = &self.hier.levels[l].grid;
+        let cg = &self.hier.levels[l + 1].grid;
+        let tables = &self.c2f32[l];
+        let mut out = vec![0.0f32; cg.num_nodes()];
+        for fi in 0..fg.num_nodes() {
+            let v = fine[fi];
+            if v == 0.0 {
+                continue;
+            }
+            let fm = fg.node_multi(fi);
+            for corner in 0..(1usize << D) {
+                let mut w = 1.0f32;
+                let mut cm = [0usize; D];
+                for d in 0..D {
+                    let (j, w0, w1) = tables[d][fm[d]];
+                    let hi = (corner >> d) & 1;
+                    w *= if hi == 1 { w1 } else { w0 };
+                    cm[d] = j + hi;
+                }
+                if w != 0.0 {
+                    out[cg.node(cm)] += w * v;
+                }
+            }
+        }
+        self.mask32(l + 1, &mut out);
+        out
+    }
+
+    /// Interpolates a level-`l+1` correction at level-`l` nodes, masked on
+    /// the fine level.
+    fn prolong32(&self, l: usize, coarse: &[f32]) -> Vec<f32> {
+        let fg = &self.hier.levels[l].grid;
+        let cg = &self.hier.levels[l + 1].grid;
+        let tables = &self.c2f32[l];
+        let mut out = vec![0.0f32; fg.num_nodes()];
+        for (ti, o) in out.iter_mut().enumerate() {
+            let tm = fg.node_multi(ti);
+            let mut acc = 0.0f32;
+            for corner in 0..(1usize << D) {
+                let mut w = 1.0f32;
+                let mut sm = [0usize; D];
+                for d in 0..D {
+                    let (j, w0, w1) = tables[d][tm[d]];
+                    let hi = (corner >> d) & 1;
+                    w *= if hi == 1 { w1 } else { w0 };
+                    sm[d] = j + hi;
+                }
+                if w != 0.0 {
+                    acc += w * coarse[cg.node(sm)];
+                }
+            }
+            *o = acc;
+        }
+        self.mask32(l, &mut out);
+        out
+    }
+
+    /// One single-precision V-cycle on `K e = b` at level `l`; `u` is
+    /// updated in place. The coarsest level promotes to `f64` and runs the
+    /// same tight CG as the full-precision hierarchy.
+    pub fn v_cycle32(&self, l: usize, u: &mut [f32], b: &[f32]) {
+        let sys = &self.hier.levels[l];
+        if l + 1 == self.hier.levels.len() {
+            let b64: Vec<f64> = b.iter().map(|&v| f64::from(v)).collect();
+            let u64: Vec<f64> = u.iter().map(|&v| f64::from(v)).collect();
+            let (sol, _) = solve_cg_rhs(
+                &sys.grid,
+                &sys.basis,
+                &sys.nu,
+                &sys.bc,
+                &b64,
+                &u64,
+                CgOptions {
+                    tol: self.hier.opts.coarse_tol,
+                    ..Default::default()
+                },
+            );
+            for (ui, &si) in u.iter_mut().zip(&sol) {
+                *ui = si as f32;
+            }
+            self.mask32(l, u);
+            return;
+        }
+        self.jacobi_smooth32(l, u, b, self.hier.opts.pre_smooth);
+        let mut r = vec![0.0f32; sys.num_nodes()];
+        self.residual32(l, u, b, &mut r);
+        let rc = self.restrict32(l, &r);
+        let mut ec = vec![0.0f32; self.hier.levels[l + 1].num_nodes()];
+        self.v_cycle32(l + 1, &mut ec, &rc);
+        let ef = self.prolong32(l, &ec);
+        for (ui, ei) in u.iter_mut().zip(&ef) {
+            *ui += ei;
+        }
+        self.jacobi_smooth32(l, u, b, self.hier.opts.post_smooth);
+    }
+}
+
+impl<const D: usize> Precond for MixedHierarchy<D> {
+    /// `z ≈ K⁻¹ r` via one `f32` V-cycle from a zero initial error.
+    ///
+    /// The residual is scaled by its max-norm before demotion so that tiny
+    /// late-iteration residuals (far below `f32`'s normal range once the
+    /// outer solve closes in on `1e-12` absolute) neither underflow nor
+    /// lose their leading digits; the correction is rescaled on promotion.
+    /// The resulting operator is SPD up to `f32` rounding — the outer CG's
+    /// breakdown detection and the certified driver's true-residual
+    /// restarts absorb the perturbation.
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let scale = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        if scale <= F64_DIV_GUARD || !scale.is_finite() {
+            z.iter_mut().for_each(|x| *x = 0.0);
+            return;
+        }
+        let inv = 1.0 / scale;
+        let r32: Vec<f32> = r.iter().map(|&v| (v * inv) as f32).collect();
+        let mut e32 = vec![0.0f32; r.len()];
+        self.v_cycle32(0, &mut e32, &r32);
+        for (zi, &ei) in z.iter_mut().zip(&e32) {
+            *zi = scale * f64::from(ei);
+        }
+        self.hier.levels[0].mask(z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::{PcgStep, PcgWorkspace};
+    use crate::system::PoissonSystem;
+
+    fn nu_var<const D: usize>(g: &Grid<D>) -> Vec<f64> {
+        (0..g.num_nodes())
+            .map(|i| {
+                let c = g.node_coords(i);
+                let mut s = 1.0;
+                for (k, &x) in c.iter().enumerate() {
+                    s *= ((k + 2) as f64 * x).sin().mul_add(0.4, 1.0);
+                }
+                s.abs() + 0.3
+            })
+            .collect()
+    }
+
+    fn pair2d(m: usize) -> (GridHierarchy<2>, MixedHierarchy<2>) {
+        let g: Grid<2> = Grid::cube(m);
+        let nu = nu_var(&g);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let h64 = GridHierarchy::build(g, &nu, &bc, HierarchyOptions::default()).unwrap();
+        let h32 = MixedHierarchy::build(g, &nu, &bc, HierarchyOptions::default()).unwrap();
+        (h64, h32)
+    }
+
+    /// Residual norm after `u += M⁻¹ r` from a zero iterate with imposed
+    /// BCs — the one-application contraction of preconditioner `M`.
+    fn one_shot_residual(sys: &PoissonSystem<2>, pre: &dyn Precond) -> (f64, f64) {
+        let nn = sys.num_nodes();
+        let rhs = vec![0.0; nn];
+        let mut u = vec![0.0; nn];
+        sys.impose_bc(&mut u);
+        let r0 = sys.residual_norm(&u, &rhs);
+        let mut r = vec![0.0; nn];
+        sys.residual_into(&u, &rhs, &mut r);
+        let mut z = vec![0.0; nn];
+        pre.apply(&r, &mut z);
+        for (ui, zi) in u.iter_mut().zip(&z) {
+            *ui += zi;
+        }
+        (r0, sys.residual_norm(&u, &rhs))
+    }
+
+    #[test]
+    fn f32_vcycle_contracts_like_f64() {
+        // Satellite: the demoted V-cycle must contract the residual at a
+        // rate comparable to the f64 V-cycle — f32 rounding perturbs the
+        // smoother, it must not defeat it.
+        let (h64, h32) = pair2d(64);
+        let sys = h64.finest();
+        let (r0, r64) = one_shot_residual(sys, &h64);
+        let (_, r32) = one_shot_residual(sys, &h32);
+        let rho64 = r64 / r0;
+        let rho32 = r32 / r0;
+        assert!(rho64 < 0.5, "f64 V-cycle failed to contract: {rho64}");
+        assert!(rho32 < 0.5, "f32 V-cycle failed to contract: {rho32}");
+        assert!(
+            rho32 <= rho64 * 2.0 + 1e-6,
+            "f32 contraction {rho32} far worse than f64 {rho64}"
+        );
+    }
+
+    #[test]
+    fn mixed_pcg_reaches_beyond_f32_accuracy() {
+        // Iterative refinement: the f32 preconditioner inside an f64 PCG
+        // must converge to tolerances far below f32 resolution.
+        let (h64, h32) = pair2d(64);
+        let sys = h64.finest();
+        let nn = sys.num_nodes();
+        let rhs = vec![0.0; nn];
+        let mut u = vec![0.0; nn];
+        sys.impose_bc(&mut u);
+        let r0 = sys.residual_norm(&u, &rhs);
+        let mut ws = PcgWorkspace::start(sys, &h32, &u, &rhs);
+        let mut iters = 0;
+        for _ in 0..80 {
+            iters += 1;
+            match ws.step(sys, &h32, &mut u) {
+                PcgStep::Advanced(rn) if rn <= 1e-11 * r0 => break,
+                PcgStep::Advanced(_) => {}
+                PcgStep::Breakdown => {
+                    // f32 rounding can perturb SPD-ness; restart on the
+                    // true residual like the certified driver does.
+                    ws.restart(sys, &h32, &u, &rhs);
+                }
+            }
+        }
+        let rel = sys.residual_norm(&u, &rhs) / r0;
+        assert!(
+            rel <= 1e-10,
+            "mixed PCG stuck at rel residual {rel} after {iters} iters"
+        );
+        assert!(iters <= 60, "mixed PCG took {iters} iterations");
+    }
+
+    #[test]
+    fn mixed_matches_f64_solution() {
+        let (h64, h32) = pair2d(32);
+        let sys = h64.finest();
+        let nn = sys.num_nodes();
+        let rhs = vec![0.0; nn];
+        let solve = |pre: &dyn Precond| {
+            let mut u = vec![0.0; nn];
+            sys.impose_bc(&mut u);
+            let r0 = sys.residual_norm(&u, &rhs);
+            let mut ws = PcgWorkspace::start(sys, pre, &u, &rhs);
+            for _ in 0..60 {
+                match ws.step(sys, pre, &mut u) {
+                    PcgStep::Advanced(rn) if rn <= 1e-12 * r0 => break,
+                    PcgStep::Advanced(_) => {}
+                    PcgStep::Breakdown => ws.restart(sys, pre, &u, &rhs),
+                }
+            }
+            u
+        };
+        let u64v = solve(&h64);
+        let u32v = solve(&h32);
+        let norm: f64 = u64v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let diff: f64 = u64v
+            .iter()
+            .zip(&u32v)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            diff / norm < 1e-9,
+            "mixed and f64 solutions diverge: rel {}",
+            diff / norm
+        );
+    }
+
+    #[test]
+    fn mixed_pcg_converges_in_3d() {
+        let g: Grid<3> = Grid::cube(16);
+        let nu = nu_var(&g);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let h32 = MixedHierarchy::build(g, &nu, &bc, HierarchyOptions::default()).unwrap();
+        let sys = h32.inner().finest();
+        let nn = sys.num_nodes();
+        let rhs = vec![0.0; nn];
+        let mut u = vec![0.0; nn];
+        sys.impose_bc(&mut u);
+        let r0 = sys.residual_norm(&u, &rhs);
+        let mut ws = PcgWorkspace::start(sys, &h32, &u, &rhs);
+        for _ in 0..60 {
+            match ws.step(sys, &h32, &mut u) {
+                PcgStep::Advanced(rn) if rn <= 1e-10 * r0 => break,
+                PcgStep::Advanced(_) => {}
+                PcgStep::Breakdown => ws.restart(sys, &h32, &u, &rhs),
+            }
+        }
+        assert!(sys.residual_norm(&u, &rhs) / r0 <= 1e-9);
+    }
+
+    #[test]
+    fn tiny_residuals_do_not_underflow() {
+        // Late-iteration residuals can sit near 1e-25 absolute; max-norm
+        // scaling must keep the f32 cycle in its normal range.
+        let (h64, h32) = pair2d(16);
+        let sys = h64.finest();
+        let nn = sys.num_nodes();
+        let mut r = vec![0.0; nn];
+        sys.residual_into(
+            &{
+                let mut u = vec![0.0; nn];
+                sys.impose_bc(&mut u);
+                u
+            },
+            &vec![0.0; nn],
+            &mut r,
+        );
+        for ri in r.iter_mut() {
+            *ri *= 1e-25;
+        }
+        let mut z = vec![0.0; nn];
+        Precond::apply(&h32, &r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+        let zmax = z.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(zmax > 0.0, "scaled application lost the correction");
+        // And an all-zero residual yields an all-zero correction.
+        let zero = vec![0.0; nn];
+        Precond::apply(&h32, &zero, &mut z);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+}

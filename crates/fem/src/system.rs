@@ -60,7 +60,13 @@ impl<const D: usize> PoissonSystem<D> {
         let diag_inv: Vec<f64> = diag
             .iter()
             .zip(&bc.fixed)
-            .map(|(&d, &fx)| if fx || d.abs() < 1e-300 { 0.0 } else { 1.0 / d })
+            .map(|(&d, &fx)| {
+                if fx || d.abs() < mgd_tensor::F64_DIV_GUARD {
+                    0.0
+                } else {
+                    1.0 / d
+                }
+            })
             .collect();
         Ok(PoissonSystem {
             grid,

@@ -231,6 +231,97 @@ mod tests {
     }
 
     #[test]
+    fn mixed_hierarchy_certifies_to_f64_tolerance() {
+        // The f32 V-cycle is only a preconditioner: the certificate is an
+        // f64 true residual, so Precision::Mixed must still hit the same
+        // 1e-8 relative target as the full-f64 hierarchy.
+        let dims = [64usize, 64];
+        let nu = nu_field(&dims);
+        let sys = ErasedSystem::poisson(&dims, &nu).unwrap();
+        let hier = ErasedHierarchy::build_with_precision(
+            &sys,
+            HierarchyOptions::default(),
+            mgd_tensor::Precision::Mixed,
+        )
+        .unwrap();
+        let opts = CertifyOptions::default();
+        let sol = solve_certified(
+            &sys,
+            &hier,
+            &NoSurrogate,
+            StrategyKind::PureMultigrid,
+            None,
+            &opts,
+        );
+        assert!(sol.converged, "{:?}", sol.residual_history);
+        assert!(sol.rel_residual <= opts.tol);
+        // The certificate is a from-scratch f64 residual of the returned u.
+        let rhs = vec![0.0; sys.num_nodes()];
+        let check = sys.residual_norm(&sol.u, &rhs);
+        assert!((check - sol.residual_norm).abs() <= 1e-12 * (1.0 + check));
+        // And the answer agrees with the all-f64 hierarchy's solve.
+        let hier64 = ErasedHierarchy::build(&sys, HierarchyOptions::default()).unwrap();
+        let sol64 = solve_certified(
+            &sys,
+            &hier64,
+            &NoSurrogate,
+            StrategyKind::PureMultigrid,
+            None,
+            &opts,
+        );
+        let norm: f64 = sol64.u.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let diff: f64 = sol
+            .u
+            .iter()
+            .zip(&sol64.u)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff / norm < 1e-6, "mixed diverges: rel {}", diff / norm);
+    }
+
+    #[test]
+    fn mixed_hierarchy_drives_learned_strategies_in_3d() {
+        let dims = [16usize, 16, 16];
+        let nu = nu_field(&dims);
+        let sys = ErasedSystem::poisson(&dims, &nu).unwrap();
+        let hier = ErasedHierarchy::build_with_precision(
+            &sys,
+            HierarchyOptions::default(),
+            mgd_tensor::Precision::Mixed,
+        )
+        .unwrap();
+        let opts = CertifyOptions::default();
+        for kind in [
+            StrategyKind::InitialGuess,
+            StrategyKind::CoarseCorrector { level: 1 },
+        ] {
+            let sol = solve_certified(&sys, &hier, &profile_surrogate, kind, None, &opts);
+            assert!(sol.converged, "{kind:?}");
+            assert!(sol.rel_residual <= opts.tol, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn f64_and_f32_precisions_build_plain_hierarchies() {
+        let dims = [16usize, 16];
+        let nu = nu_field(&dims);
+        let sys = ErasedSystem::poisson(&dims, &nu).unwrap();
+        for p in [mgd_tensor::Precision::F64, mgd_tensor::Precision::F32] {
+            let h = ErasedHierarchy::build_with_precision(&sys, HierarchyOptions::default(), p)
+                .unwrap();
+            assert!(matches!(h, ErasedHierarchy::D2(_)), "{p}");
+        }
+        let h = ErasedHierarchy::build_with_precision(
+            &sys,
+            HierarchyOptions::default(),
+            mgd_tensor::Precision::Mixed,
+        )
+        .unwrap();
+        assert!(matches!(h, ErasedHierarchy::D2Mixed(_)));
+    }
+
+    #[test]
     fn three_d_certified_solve() {
         let (sys, hier) = setup(&[16, 16, 16]);
         let opts = CertifyOptions::default();

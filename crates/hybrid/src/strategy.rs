@@ -295,7 +295,7 @@ impl HybridStrategy for CoarseCorrectorStage {
         ctx.sys.apply(&d, &mut kd);
         ctx.sys.mask(&mut kd);
         let dkd = dot(&d, &kd);
-        if dkd > 1e-300 && dkd.is_finite() {
+        if dkd > mgd_tensor::F64_DIV_GUARD && dkd.is_finite() {
             let mut r = vec![0.0; nn];
             ctx.sys.residual_into(ctx.u, ctx.rhs, &mut r);
             let alpha = dot(&r, &d) / dkd;

@@ -12,8 +12,10 @@ use mgd_fem::bc::Dirichlet;
 use mgd_fem::error::FemError;
 use mgd_fem::grid::Grid;
 use mgd_fem::hierarchy::{GridHierarchy, HierarchyOptions};
+use mgd_fem::mixed::MixedHierarchy;
 use mgd_fem::pcg::{JacobiPrecond, LinearOp, Precond};
 use mgd_fem::system::PoissonSystem;
+use mgd_tensor::Precision;
 use std::fmt;
 
 /// Errors raised by hybrid solver construction.
@@ -147,22 +149,48 @@ impl LinearOp for ErasedSystem {
     }
 }
 
-/// A dimension-erased [`GridHierarchy`].
+/// A dimension-erased [`GridHierarchy`], optionally carrying the
+/// mixed-precision ([`MixedHierarchy`]) V-cycle as its preconditioner.
 pub enum ErasedHierarchy {
     /// 2D hierarchy.
     D2(GridHierarchy<2>),
     /// 3D hierarchy.
     D3(GridHierarchy<3>),
+    /// 2D hierarchy with an f32 V-cycle (f64 coarsest solve).
+    D2Mixed(MixedHierarchy<2>),
+    /// 3D hierarchy with an f32 V-cycle (f64 coarsest solve).
+    D3Mixed(MixedHierarchy<3>),
 }
 
 impl ErasedHierarchy {
-    /// Builds the V-cycle hierarchy matching `sys`.
+    /// Builds the V-cycle hierarchy matching `sys` (full f64 cycle).
     pub fn build(sys: &ErasedSystem, opts: HierarchyOptions) -> Result<Self, HybridError> {
-        Ok(match sys {
-            ErasedSystem::D2(s) => {
+        Self::build_with_precision(sys, opts, Precision::F64)
+    }
+
+    /// Builds the hierarchy with a precision policy. [`Precision::Mixed`]
+    /// selects the f32 V-cycle preconditioner (setup and coarsest solve
+    /// stay f64); the outer PCG and all residual certificates remain f64
+    /// regardless, so solution accuracy is unaffected — only convergence
+    /// rate can differ. `F64` and `F32` both build the plain f64 cycle:
+    /// `F32` is a serving-side (forward-pass) policy and does not touch
+    /// the certified solver.
+    pub fn build_with_precision(
+        sys: &ErasedSystem,
+        opts: HierarchyOptions,
+        precision: Precision,
+    ) -> Result<Self, HybridError> {
+        Ok(match (sys, precision) {
+            (ErasedSystem::D2(s), Precision::Mixed) => {
+                ErasedHierarchy::D2Mixed(MixedHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
+            }
+            (ErasedSystem::D3(s), Precision::Mixed) => {
+                ErasedHierarchy::D3Mixed(MixedHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
+            }
+            (ErasedSystem::D2(s), _) => {
                 ErasedHierarchy::D2(GridHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
             }
-            ErasedSystem::D3(s) => {
+            (ErasedSystem::D3(s), _) => {
                 ErasedHierarchy::D3(GridHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
             }
         })
@@ -173,6 +201,8 @@ impl ErasedHierarchy {
         match self {
             ErasedHierarchy::D2(h) => h.num_levels(),
             ErasedHierarchy::D3(h) => h.num_levels(),
+            ErasedHierarchy::D2Mixed(h) => h.inner().num_levels(),
+            ErasedHierarchy::D3Mixed(h) => h.inner().num_levels(),
         }
     }
 
@@ -181,6 +211,8 @@ impl ErasedHierarchy {
         match self {
             ErasedHierarchy::D2(h) => h.dims_at(l).to_vec(),
             ErasedHierarchy::D3(h) => h.dims_at(l).to_vec(),
+            ErasedHierarchy::D2Mixed(h) => h.inner().dims_at(l).to_vec(),
+            ErasedHierarchy::D3Mixed(h) => h.inner().dims_at(l).to_vec(),
         }
     }
 
@@ -189,6 +221,8 @@ impl ErasedHierarchy {
         match self {
             ErasedHierarchy::D2(h) => h.nu_at(l),
             ErasedHierarchy::D3(h) => h.nu_at(l),
+            ErasedHierarchy::D2Mixed(h) => h.inner().nu_at(l),
+            ErasedHierarchy::D3Mixed(h) => h.inner().nu_at(l),
         }
     }
 
@@ -197,6 +231,8 @@ impl ErasedHierarchy {
         match self {
             ErasedHierarchy::D2(h) => h.sample_to_level(l, finest),
             ErasedHierarchy::D3(h) => h.sample_to_level(l, finest),
+            ErasedHierarchy::D2Mixed(h) => h.inner().sample_to_level(l, finest),
+            ErasedHierarchy::D3Mixed(h) => h.inner().sample_to_level(l, finest),
         }
     }
 
@@ -205,6 +241,8 @@ impl ErasedHierarchy {
         match self {
             ErasedHierarchy::D2(h) => h.prolong_to_finest(l, field),
             ErasedHierarchy::D3(h) => h.prolong_to_finest(l, field),
+            ErasedHierarchy::D2Mixed(h) => h.inner().prolong_to_finest(l, field),
+            ErasedHierarchy::D3Mixed(h) => h.inner().prolong_to_finest(l, field),
         }
     }
 }
@@ -214,6 +252,8 @@ impl Precond for ErasedHierarchy {
         match self {
             ErasedHierarchy::D2(h) => h.apply(r, z),
             ErasedHierarchy::D3(h) => h.apply(r, z),
+            ErasedHierarchy::D2Mixed(h) => h.apply(r, z),
+            ErasedHierarchy::D3Mixed(h) => h.apply(r, z),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Pointwise activation layers.
 
 use crate::layer::Layer;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, Tensor};
 
 /// LeakyReLU: `y = x` for `x > 0`, `y = αx` otherwise (paper §4.1 uses
 /// LeakyReLU on all intermediate layers).
@@ -22,10 +22,11 @@ impl LeakyReLU {
     }
 
     /// Shared-state inference forward (`&self`): the pure pointwise map,
-    /// bitwise identical to `forward(x, false)`.
-    pub fn infer(&self, x: &Tensor) -> Tensor {
-        let a = self.alpha;
-        x.map(|v| if v > 0.0 { v } else { a * v })
+    /// bitwise identical to `forward(x, false)` for `f64` inputs (the slope
+    /// converts through [`Element::from_f64`], the identity for `f64`).
+    pub fn infer<E: Element>(&self, x: &Tensor<E>) -> Tensor<E> {
+        let a = E::from_f64(self.alpha);
+        x.map(|v| if v > E::ZERO { v } else { a * v })
     }
 }
 
@@ -72,9 +73,9 @@ impl Sigmoid {
     }
 
     /// Shared-state inference forward (`&self`): the pure pointwise map,
-    /// bitwise identical to `forward(x, false)`.
-    pub fn infer(&self, x: &Tensor) -> Tensor {
-        x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    /// bitwise identical to `forward(x, false)` for `f64` inputs.
+    pub fn infer<E: Element>(&self, x: &Tensor<E>) -> Tensor<E> {
+        x.map(|v| E::ONE / (E::ONE + (-v).exp()))
     }
 }
 
@@ -107,7 +108,7 @@ impl Layer for Sigmoid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::check_layer_gradient;
+    use crate::gradcheck::{check_layer_gradient, FD_EPS, FD_TOL};
 
     #[test]
     fn leaky_relu_values() {
@@ -131,12 +132,12 @@ mod tests {
     fn leaky_relu_gradcheck() {
         let l = LeakyReLU::new(0.07);
         // Offset inputs away from the kink for clean finite differences.
-        check_layer_gradient(Box::new(l), &[2, 3, 1, 4, 4], 0.35, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(l), &[2, 3, 1, 4, 4], 0.35, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn sigmoid_gradcheck() {
         let l = Sigmoid::new();
-        check_layer_gradient(Box::new(l), &[2, 2, 2, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(l), &[2, 2, 2, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 }

@@ -13,7 +13,7 @@ use crate::util::{tap_range, SendPtr};
 use crate::workspace::Workspace;
 use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
 use mgd_tensor::par::maybe_par_for;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, GemmElement, Tensor};
 use rand::Rng;
 
 /// A 3D convolution `y = W ⊛ x + b` over NCDHW tensors.
@@ -28,7 +28,7 @@ use rand::Rng;
 /// `dX = col2im(Wᵀ·dY)`, `dW += dY·im2col(X)ᵀ` — sharing the packed weight
 /// panels across the batch.
 #[derive(Clone, Debug)]
-pub struct Conv3d {
+pub struct Conv3d<E: Element = f64> {
     /// Input channels.
     pub in_c: usize,
     /// Output channels.
@@ -40,13 +40,15 @@ pub struct Conv3d {
     /// Zero-padding (pd, ph, pw).
     pub padding: Triple,
     /// Filter weights.
-    pub weight: Param,
+    pub weight: Param<E>,
     /// Per-output-channel bias.
-    pub bias: Param,
+    pub bias: Param<E>,
     /// Kernel implementation to run.
     pub backend: ConvBackend,
+    /// Cached training activation — training is `f64`-only, so this stays
+    /// concrete (always empty in non-`f64` instantiations).
     cache_x: Option<Tensor>,
-    scratch: Scratch,
+    scratch: Scratch<E>,
 }
 
 impl Conv3d {
@@ -75,12 +77,6 @@ impl Conv3d {
         }
     }
 
-    /// Selects the kernel implementation (builder-style).
-    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
-        self.backend = backend;
-        self
-    }
-
     /// Stride-1 "same" convolution (odd kernels only).
     pub fn same<R: Rng>(in_c: usize, out_c: usize, kernel: Triple, rng: &mut R) -> Self {
         let (kd, kh, kw) = kernel;
@@ -97,6 +93,14 @@ impl Conv3d {
             rng,
         )
     }
+}
+
+impl<E: Element> Conv3d<E> {
+    /// Selects the kernel implementation (builder-style).
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 
     /// Output spatial dims for the given input dims.
     pub fn out_dims(&self, din: &Dims5) -> Dims5 {
@@ -112,9 +116,7 @@ impl Conv3d {
             w: o(din.w, self.kernel.2, self.stride.2, self.padding.2),
         }
     }
-}
 
-impl Conv3d {
     /// Lowering geometry over the *input* grid of one sample.
     fn geom(&self, din: &Dims5, dout: &Dims5) -> ConvGeom {
         ConvGeom {
@@ -127,6 +129,25 @@ impl Conv3d {
         }
     }
 
+    /// Converts the layer weights to another element type (through `f64`);
+    /// the copy starts with empty scratch and no cached activation.
+    pub fn cast_as<T: Element>(&self) -> Conv3d<T> {
+        Conv3d {
+            in_c: self.in_c,
+            out_c: self.out_c,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            weight: self.weight.cast_as(),
+            bias: self.bias.cast_as(),
+            backend: self.backend,
+            cache_x: None,
+            scratch: Scratch::default(),
+        }
+    }
+}
+
+impl Conv3d {
     /// GEMM forward: per sample, `Y_n = W · im2col(X_n)` (+ bias), sharing
     /// the packed weight panels across the batch.
     ///
@@ -255,51 +276,6 @@ impl Conv3d {
         gx
     }
 
-    /// Shared-state inference forward: bitwise identical to
-    /// `forward(x, false)`, but `&self` — all transient buffers live in the
-    /// caller's [`Workspace`], so one set of weights behind an `Arc` can
-    /// serve any number of concurrent callers.
-    ///
-    /// The Gemm path runs the same streamed gather → GEMM chunk loop as the
-    /// inference branch of [`Layer::forward`] (inference never caches
-    /// patches), so values match that path bit for bit.
-    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        let din = Dims5::of(x);
-        assert_eq!(din.c, self.in_c, "channel mismatch");
-        let dout = self.out_dims(&din);
-        if self.backend == ConvBackend::Direct {
-            return self.forward_direct(x, &din, &dout);
-        }
-        let geom = self.geom(&din, &dout);
-        let (kdim, p) = (geom.rows(), geom.cols());
-        let ow = dout.w;
-        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
-        let pa = pack_a(self.weight.data.as_slice(), self.out_c, kdim, false);
-        let xs = x.as_slice();
-        let bs = self.bias.data.as_slice();
-        let ys = y.as_mut_slice();
-        let Workspace { col, ctmp, .. } = ws;
-        for ni in 0..din.n {
-            let xslab = &xs[ni * self.in_c * geom.vol()..][..self.in_c * geom.vol()];
-            let yslab = &mut ys[ni * self.out_c * p..][..self.out_c * p];
-            for (ar0, ar1) in anchor_chunks(&geom) {
-                let cc = (ar1 - ar0) * ow;
-                col.resize(kdim * cc, 0.0);
-                im2col_range(&geom, xslab, col, ar0, ar1);
-                ctmp.resize(self.out_c * cc, 0.0);
-                gemm_prepacked(&pa, col, false, ctmp, cc, false);
-                for oc in 0..self.out_c {
-                    let b = bs[oc];
-                    let dst = &mut yslab[oc * p + ar0 * ow..oc * p + ar1 * ow];
-                    for (d, s) in dst.iter_mut().zip(&ctmp[oc * cc..(oc + 1) * cc]) {
-                        *d = b + s;
-                    }
-                }
-            }
-        }
-        y
-    }
-
     /// Inference forward restricted to output planes `keep` along `axis`
     /// — the kernel of the slab-decomposed spatial forward
     /// ([`crate::spatial`]): the input is a rank's halo-extended slab and
@@ -403,63 +379,6 @@ impl Conv3d {
         );
     }
 
-    /// Direct (sliding-window) forward — the reference kernel.
-    fn forward_direct(&self, x: &Tensor, din: &Dims5, dout: &Dims5) -> Tensor {
-        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
-        let (kd, kh, kw) = self.kernel;
-        let (sd, sh, sw) = self.stride;
-        let (pd, ph, pw) = self.padding;
-        let xs = x.as_slice();
-        let ws = self.weight.data.as_slice();
-        let bs = self.bias.data.as_slice();
-        let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
-        let out_block = dout.vol();
-        maybe_par_for(
-            dout.n * dout.c,
-            out_block * self.in_c * kd * kh * kw,
-            |nc| {
-                let n = nc / dout.c;
-                let oc = nc % dout.c;
-                // SAFETY: each (n, oc) task owns a disjoint output block.
-                let yblock = unsafe {
-                    std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
-                };
-                let b = bs[oc];
-                let mut oi = 0usize;
-                for od in 0..dout.d {
-                    let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
-                    for oh in 0..dout.h {
-                        let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
-                        for ow in 0..dout.w {
-                            let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
-                            let mut acc = b;
-                            for ic in 0..self.in_c {
-                                let xbase = (n * self.in_c + ic) * din.vol();
-                                let wbase = (oc * self.in_c + ic) * kd * kh * kw;
-                                for kdi in kd_lo..kd_hi {
-                                    let id = od * sd + kdi - pd;
-                                    for khi in kh_lo..kh_hi {
-                                        let ih = oh * sh + khi - ph;
-                                        let xrow = xbase
-                                            + (id * din.h + ih) * din.w
-                                            + (ow * sw + kw_lo - pw);
-                                        let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
-                                        for t in 0..(kw_hi - kw_lo) {
-                                            acc += xs[xrow + t] * ws[wrow + t];
-                                        }
-                                    }
-                                }
-                            }
-                            yblock[oi] = acc;
-                            oi += 1;
-                        }
-                    }
-                }
-            },
-        );
-        y
-    }
-
     /// Direct (sliding-window) backward — the reference kernels for the
     /// weight and input gradients.
     fn backward_direct(
@@ -523,7 +442,7 @@ impl Conv3d {
         // Input gradient: scatter form, parallel over (n, ic)… but each
         // (n, ·) task needs all oc; parallelize over n and write the full
         // per-sample block.
-        let mut gx = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
+        let mut gx: Tensor = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
         {
             let ws = self.weight.data.as_slice();
             let sample_block = din.c * din.vol();
@@ -571,6 +490,113 @@ impl Conv3d {
             });
         }
         gx
+    }
+}
+
+impl<E: Element> Conv3d<E> {
+    /// Direct (sliding-window) forward — the reference kernel, generic over
+    /// the element type (identical operation order for every `E`).
+    fn forward_direct(&self, x: &Tensor<E>, din: &Dims5, dout: &Dims5) -> Tensor<E> {
+        let mut y: Tensor<E> = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let (kd, kh, kw) = self.kernel;
+        let (sd, sh, sw) = self.stride;
+        let (pd, ph, pw) = self.padding;
+        let xs = x.as_slice();
+        let ws = self.weight.data.as_slice();
+        let bs = self.bias.data.as_slice();
+        let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
+        let out_block = dout.vol();
+        maybe_par_for(
+            dout.n * dout.c,
+            out_block * self.in_c * kd * kh * kw,
+            |nc| {
+                let n = nc / dout.c;
+                let oc = nc % dout.c;
+                // SAFETY: each (n, oc) task owns a disjoint output block.
+                let yblock = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
+                };
+                let b = bs[oc];
+                let mut oi = 0usize;
+                for od in 0..dout.d {
+                    let (kd_lo, kd_hi) = tap_range(od, sd, pd, kd, din.d);
+                    for oh in 0..dout.h {
+                        let (kh_lo, kh_hi) = tap_range(oh, sh, ph, kh, din.h);
+                        for ow in 0..dout.w {
+                            let (kw_lo, kw_hi) = tap_range(ow, sw, pw, kw, din.w);
+                            let mut acc = b;
+                            for ic in 0..self.in_c {
+                                let xbase = (n * self.in_c + ic) * din.vol();
+                                let wbase = (oc * self.in_c + ic) * kd * kh * kw;
+                                for kdi in kd_lo..kd_hi {
+                                    let id = od * sd + kdi - pd;
+                                    for khi in kh_lo..kh_hi {
+                                        let ih = oh * sh + khi - ph;
+                                        let xrow = xbase
+                                            + (id * din.h + ih) * din.w
+                                            + (ow * sw + kw_lo - pw);
+                                        let wrow = wbase + (kdi * kh + khi) * kw + kw_lo;
+                                        for t in 0..(kw_hi - kw_lo) {
+                                            acc += xs[xrow + t] * ws[wrow + t];
+                                        }
+                                    }
+                                }
+                            }
+                            yblock[oi] = acc;
+                            oi += 1;
+                        }
+                    }
+                }
+            },
+        );
+        y
+    }
+}
+
+impl<E: GemmElement> Conv3d<E> {
+    /// Shared-state inference forward: bitwise identical to
+    /// `forward(x, false)` at the default `f64` element, but `&self` — all
+    /// transient buffers live in the caller's [`Workspace`], so one set of
+    /// weights behind an `Arc` can serve any number of concurrent callers.
+    ///
+    /// The Gemm path runs the same streamed gather → GEMM chunk loop as the
+    /// inference branch of [`Layer::forward`] (inference never caches
+    /// patches), so values match that path bit for bit.
+    pub fn infer(&self, x: &Tensor<E>, ws: &mut Workspace<E>) -> Tensor<E> {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        if self.backend == ConvBackend::Direct {
+            return self.forward_direct(x, &din, &dout);
+        }
+        let geom = self.geom(&din, &dout);
+        let (kdim, p) = (geom.rows(), geom.cols());
+        let ow = dout.w;
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let pa = pack_a(self.weight.data.as_slice(), self.out_c, kdim, false);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let ys = y.as_mut_slice();
+        let Workspace { col, ctmp, .. } = ws;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * geom.vol()..][..self.in_c * geom.vol()];
+            let yslab = &mut ys[ni * self.out_c * p..][..self.out_c * p];
+            for (ar0, ar1) in anchor_chunks(&geom) {
+                let cc = (ar1 - ar0) * ow;
+                col.resize(kdim * cc, E::ZERO);
+                im2col_range(&geom, xslab, col, ar0, ar1);
+                ctmp.resize(self.out_c * cc, E::ZERO);
+                gemm_prepacked(&pa, col, false, ctmp, cc, false);
+                for oc in 0..self.out_c {
+                    let b = bs[oc];
+                    let dst = &mut yslab[oc * p + ar0 * ow..oc * p + ar1 * ow];
+                    for (d, s) in dst.iter_mut().zip(&ctmp[oc * cc..(oc + 1) * cc]) {
+                        *d = b + *s;
+                    }
+                }
+            }
+        }
+        y
     }
 }
 
@@ -623,7 +649,7 @@ impl Layer for Conv3d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::check_layer_gradient;
+    use crate::gradcheck::{check_layer_gradient, FD_EPS, FD_TOL};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -717,25 +743,25 @@ mod tests {
     #[test]
     fn gradcheck_same_2d_kernel() {
         let c = Conv3d::same(2, 3, (1, 3, 3), &mut rng());
-        check_layer_gradient(Box::new(c), &[2, 2, 1, 5, 5], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(c), &[2, 2, 1, 5, 5], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_3d_kernel() {
         let c = Conv3d::same(1, 2, (3, 3, 3), &mut rng());
-        check_layer_gradient(Box::new(c), &[1, 1, 4, 4, 4], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(c), &[1, 1, 4, 4, 4], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_strided() {
         let c = Conv3d::new(2, 2, (1, 3, 3), (1, 2, 2), (0, 1, 1), &mut rng());
-        check_layer_gradient(Box::new(c), &[1, 2, 1, 6, 6], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(c), &[1, 2, 1, 6, 6], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_1x1() {
         let c = Conv3d::new(3, 2, (1, 1, 1), (1, 1, 1), (0, 0, 0), &mut rng());
-        check_layer_gradient(Box::new(c), &[2, 3, 1, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(c), &[2, 3, 1, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
@@ -743,13 +769,13 @@ mod tests {
         // The default backend is Gemm, but pin it explicitly so this keeps
         // covering the lowering even if the default ever changes.
         let c = Conv3d::same(2, 3, (3, 3, 3), &mut rng()).with_backend(ConvBackend::Gemm);
-        check_layer_gradient(Box::new(c), &[1, 2, 4, 4, 4], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(c), &[1, 2, 4, 4, 4], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_direct_backend_explicit() {
         let c = Conv3d::same(2, 3, (3, 3, 3), &mut rng()).with_backend(ConvBackend::Direct);
-        check_layer_gradient(Box::new(c), &[1, 2, 4, 4, 4], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(c), &[1, 2, 4, 4, 4], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::util::SendPtr;
 use crate::workspace::Workspace;
 use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
 use mgd_tensor::par::maybe_par_for;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, GemmElement, Tensor};
 use rand::Rng;
 
 /// A 3D transpose convolution — the upsampling path of the U-Net decoder.
@@ -25,7 +25,7 @@ use rand::Rng;
 /// **output** grid: `Y = col2im(Vᵀ·X) + b`, `dX = V·im2col(dY)`,
 /// `dV += X·im2col(dY)ᵀ`.
 #[derive(Clone, Debug)]
-pub struct ConvTranspose3d {
+pub struct ConvTranspose3d<E: Element = f64> {
     /// Input channels.
     pub in_c: usize,
     /// Output channels.
@@ -38,13 +38,15 @@ pub struct ConvTranspose3d {
     /// grows it.
     pub padding: Triple,
     /// Filter weights.
-    pub weight: Param,
+    pub weight: Param<E>,
     /// Per-output-channel bias.
-    pub bias: Param,
+    pub bias: Param<E>,
     /// Kernel implementation to run.
     pub backend: ConvBackend,
+    /// Cached training activation — training is `f64`-only, so this stays
+    /// concrete (always empty in non-`f64` instantiations).
     cache_x: Option<Tensor>,
-    scratch: Scratch,
+    scratch: Scratch<E>,
 }
 
 impl ConvTranspose3d {
@@ -73,12 +75,6 @@ impl ConvTranspose3d {
         }
     }
 
-    /// Selects the kernel implementation (builder-style).
-    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
-        self.backend = backend;
-        self
-    }
-
     /// The factor-2 upsampler (`k = s = 2`); `two_d` keeps depth unscaled.
     pub fn up2<R: Rng>(in_c: usize, out_c: usize, two_d: bool, rng: &mut R) -> Self {
         let (k, s) = if two_d {
@@ -87,6 +83,14 @@ impl ConvTranspose3d {
             ((2, 2, 2), (2, 2, 2))
         };
         ConvTranspose3d::new(in_c, out_c, k, s, (0, 0, 0), rng)
+    }
+}
+
+impl<E: Element> ConvTranspose3d<E> {
+    /// Selects the kernel implementation (builder-style).
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Output spatial dims: `o = (i-1)*s - 2p + k`.
@@ -103,6 +107,135 @@ impl ConvTranspose3d {
             h: o(din.h, self.kernel.1, self.stride.1, self.padding.1),
             w: o(din.w, self.kernel.2, self.stride.2, self.padding.2),
         }
+    }
+
+    /// Lowering geometry over the *output* grid of one sample (the adjoint
+    /// of a convolution gathering from that grid, anchored at this layer's
+    /// input positions).
+    fn geom(&self, din: &Dims5, dout: &Dims5) -> ConvGeom {
+        ConvGeom {
+            c: self.out_c,
+            dims: (dout.d, dout.h, dout.w),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            out: (din.d, din.h, din.w),
+        }
+    }
+
+    /// Converts the layer weights to another element type (through `f64`);
+    /// the copy starts with empty scratch and no cached activation.
+    pub fn cast_as<T: Element>(&self) -> ConvTranspose3d<T> {
+        ConvTranspose3d {
+            in_c: self.in_c,
+            out_c: self.out_c,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            weight: self.weight.cast_as(),
+            bias: self.bias.cast_as(),
+            backend: self.backend,
+            cache_x: None,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Direct (scatter-loop) forward — the reference kernel, generic over
+    /// the element type (identical operation order for every `E`).
+    fn forward_direct(&self, x: &Tensor<E>, din: &Dims5, dout: &Dims5) -> Tensor<E> {
+        let mut y: Tensor<E> = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let (kd, kh, kw) = self.kernel;
+        let (sd, sh, sw) = self.stride;
+        let (pd, ph, pw) = self.padding;
+        let xs = x.as_slice();
+        let ws = self.weight.data.as_slice();
+        let bs = self.bias.data.as_slice();
+        let out_block = dout.vol();
+        let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
+        maybe_par_for(
+            dout.n * dout.c,
+            out_block * self.in_c * kd * kh * kw,
+            |nc| {
+                let n = nc / dout.c;
+                let oc = nc % dout.c;
+                // SAFETY: each (n, oc) task owns a disjoint output block.
+                let yblock = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
+                };
+                let b = bs[oc];
+                let mut oi = 0usize;
+                for od in 0..dout.d {
+                    for oh in 0..dout.h {
+                        for ow in 0..dout.w {
+                            let mut acc = b;
+                            contributions(od, sd, pd, kd, din.d, |id, kdi| {
+                                contributions(oh, sh, ph, kh, din.h, |ih, khi| {
+                                    contributions(ow, sw, pw, kw, din.w, |iw, kwi| {
+                                        for ic in 0..self.in_c {
+                                            let xv = xs[(n * self.in_c + ic) * din.vol()
+                                                + (id * din.h + ih) * din.w
+                                                + iw];
+                                            let wv =
+                                                ws[((ic * self.out_c + oc) * kd + kdi) * kh * kw
+                                                    + khi * kw
+                                                    + kwi];
+                                            acc += xv * wv;
+                                        }
+                                    });
+                                });
+                            });
+                            yblock[oi] = acc;
+                            oi += 1;
+                        }
+                    }
+                }
+            },
+        );
+        y
+    }
+}
+
+impl<E: GemmElement> ConvTranspose3d<E> {
+    /// Shared-state inference forward: bitwise identical to
+    /// `forward(x, false)` at the default `f64` element, but `&self` —
+    /// transient buffers live in the caller's [`Workspace`] so shared
+    /// weights serve concurrent callers.
+    pub fn infer(&self, x: &Tensor<E>, ws: &mut Workspace<E>) -> Tensor<E> {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        if self.backend == ConvBackend::Direct {
+            return self.forward_direct(x, &din, &dout);
+        }
+        let geom = self.geom(&din, &dout);
+        let (kdim, p) = (geom.rows(), geom.cols());
+        let ow = din.w;
+        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
+        let pa = pack_a(self.weight.data.as_slice(), kdim, self.in_c, true);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let outvol = geom.vol();
+        let ys = y.as_mut_slice();
+        let Workspace { col, tmp, .. } = ws;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * p..][..self.in_c * p];
+            let yslab = &mut ys[ni * self.out_c * outvol..][..self.out_c * outvol];
+            for (oc, row) in yslab.chunks_exact_mut(outvol).enumerate() {
+                row.fill(bs[oc]);
+            }
+            for (ar0, ar1) in anchor_chunks(&geom) {
+                let cc = (ar1 - ar0) * ow;
+                tmp.resize(self.in_c * cc, E::ZERO);
+                for ic in 0..self.in_c {
+                    tmp[ic * cc..(ic + 1) * cc]
+                        .copy_from_slice(&xslab[ic * p + ar0 * ow..ic * p + ar1 * ow]);
+                }
+                col.resize(kdim * cc, E::ZERO);
+                gemm_prepacked(&pa, tmp, false, col, cc, false);
+                col2im_range_accumulate(&geom, col, yslab, ar0, ar1);
+            }
+        }
+        y
     }
 }
 
@@ -132,20 +265,6 @@ fn contributions(
 }
 
 impl ConvTranspose3d {
-    /// Lowering geometry over the *output* grid of one sample (the adjoint
-    /// of a convolution gathering from that grid, anchored at this layer's
-    /// input positions).
-    fn geom(&self, din: &Dims5, dout: &Dims5) -> ConvGeom {
-        ConvGeom {
-            c: self.out_c,
-            dims: (dout.d, dout.h, dout.w),
-            kernel: self.kernel,
-            stride: self.stride,
-            padding: self.padding,
-            out: (din.d, din.h, din.w),
-        }
-    }
-
     /// GEMM forward: per sample, `Y_n = col2im(Vᵀ · X_n) + b`, sharing the
     /// packed `Vᵀ` panels across the batch and streaming cache-resident
     /// patch chunks at megavoxel grids.
@@ -234,47 +353,6 @@ impl ConvTranspose3d {
         gx
     }
 
-    /// Shared-state inference forward: bitwise identical to
-    /// `forward(x, false)`, but `&self` — transient buffers live in the
-    /// caller's [`Workspace`] so shared weights serve concurrent callers.
-    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        let din = Dims5::of(x);
-        assert_eq!(din.c, self.in_c, "channel mismatch");
-        let dout = self.out_dims(&din);
-        if self.backend == ConvBackend::Direct {
-            return self.forward_direct(x, &din, &dout);
-        }
-        let geom = self.geom(&din, &dout);
-        let (kdim, p) = (geom.rows(), geom.cols());
-        let ow = din.w;
-        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
-        let pa = pack_a(self.weight.data.as_slice(), kdim, self.in_c, true);
-        let xs = x.as_slice();
-        let bs = self.bias.data.as_slice();
-        let outvol = geom.vol();
-        let ys = y.as_mut_slice();
-        let Workspace { col, tmp, .. } = ws;
-        for ni in 0..din.n {
-            let xslab = &xs[ni * self.in_c * p..][..self.in_c * p];
-            let yslab = &mut ys[ni * self.out_c * outvol..][..self.out_c * outvol];
-            for (oc, row) in yslab.chunks_exact_mut(outvol).enumerate() {
-                row.fill(bs[oc]);
-            }
-            for (ar0, ar1) in anchor_chunks(&geom) {
-                let cc = (ar1 - ar0) * ow;
-                tmp.resize(self.in_c * cc, 0.0);
-                for ic in 0..self.in_c {
-                    tmp[ic * cc..(ic + 1) * cc]
-                        .copy_from_slice(&xslab[ic * p + ar0 * ow..ic * p + ar1 * ow]);
-                }
-                col.resize(kdim * cc, 0.0);
-                gemm_prepacked(&pa, tmp, false, col, cc, false);
-                col2im_range_accumulate(&geom, col, yslab, ar0, ar1);
-            }
-        }
-        y
-    }
-
     /// Accumulates the per-channel bias gradient (shared lowering helper).
     fn bias_grad(&mut self, grad_out: &Tensor, dout: &Dims5) {
         bias_grad(
@@ -284,59 +362,6 @@ impl ConvTranspose3d {
             dout.vol(),
             self.bias.grad.as_mut_slice(),
         );
-    }
-
-    /// Direct (scatter-loop) forward — the reference kernel.
-    fn forward_direct(&self, x: &Tensor, din: &Dims5, dout: &Dims5) -> Tensor {
-        let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
-        let (kd, kh, kw) = self.kernel;
-        let (sd, sh, sw) = self.stride;
-        let (pd, ph, pw) = self.padding;
-        let xs = x.as_slice();
-        let ws = self.weight.data.as_slice();
-        let bs = self.bias.data.as_slice();
-        let out_block = dout.vol();
-        let ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
-        maybe_par_for(
-            dout.n * dout.c,
-            out_block * self.in_c * kd * kh * kw,
-            |nc| {
-                let n = nc / dout.c;
-                let oc = nc % dout.c;
-                // SAFETY: each (n, oc) task owns a disjoint output block.
-                let yblock = unsafe {
-                    std::slice::from_raw_parts_mut(ptr.get().add(nc * out_block), out_block)
-                };
-                let b = bs[oc];
-                let mut oi = 0usize;
-                for od in 0..dout.d {
-                    for oh in 0..dout.h {
-                        for ow in 0..dout.w {
-                            let mut acc = b;
-                            contributions(od, sd, pd, kd, din.d, |id, kdi| {
-                                contributions(oh, sh, ph, kh, din.h, |ih, khi| {
-                                    contributions(ow, sw, pw, kw, din.w, |iw, kwi| {
-                                        for ic in 0..self.in_c {
-                                            let xv = xs[(n * self.in_c + ic) * din.vol()
-                                                + (id * din.h + ih) * din.w
-                                                + iw];
-                                            let wv =
-                                                ws[((ic * self.out_c + oc) * kd + kdi) * kh * kw
-                                                    + khi * kw
-                                                    + kwi];
-                                            acc += xv * wv;
-                                        }
-                                    });
-                                });
-                            });
-                            yblock[oi] = acc;
-                            oi += 1;
-                        }
-                    }
-                }
-            },
-        );
-        y
     }
 
     /// Direct (gather-loop) backward — the reference kernels for the input
@@ -356,7 +381,7 @@ impl ConvTranspose3d {
 
         // Input gradient: gx[n,ic,i] = Σ_{oc,k} g[n,oc,i*s+k-p] w[ic,oc,k]
         // — a *forward-conv* access pattern, parallel over (n, ic).
-        let mut gx = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
+        let mut gx: Tensor = Tensor::zeros([din.n, din.c, din.d, din.h, din.w]);
         {
             let ws = self.weight.data.as_slice();
             let in_block = din.vol();
@@ -507,7 +532,7 @@ impl Layer for ConvTranspose3d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::check_layer_gradient;
+    use crate::gradcheck::{check_layer_gradient, FD_EPS, FD_TOL};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -567,31 +592,31 @@ mod tests {
     #[test]
     fn gradcheck_up2() {
         let t = ConvTranspose3d::up2(2, 2, true, &mut rng());
-        check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_3d_k3_s1() {
         let t = ConvTranspose3d::new(1, 2, (3, 3, 3), (1, 1, 1), (1, 1, 1), &mut rng());
-        check_layer_gradient(Box::new(t), &[1, 1, 3, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(t), &[1, 1, 3, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_strided_padded() {
         let t = ConvTranspose3d::new(2, 1, (1, 3, 3), (1, 2, 2), (0, 1, 1), &mut rng());
-        check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(t), &[1, 2, 1, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_gemm_backend_explicit() {
         let t = ConvTranspose3d::up2(2, 2, false, &mut rng()).with_backend(ConvBackend::Gemm);
-        check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]
     fn gradcheck_direct_backend_explicit() {
         let t = ConvTranspose3d::up2(2, 2, false, &mut rng()).with_backend(ConvBackend::Direct);
-        check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(t), &[1, 2, 3, 3, 3], 0.0, FD_EPS, FD_TOL);
     }
 
     #[test]

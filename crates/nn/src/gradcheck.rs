@@ -12,6 +12,23 @@ use mgd_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Central-difference step for smooth, well-conditioned layers.
+pub const FD_EPS: f64 = 1e-6;
+/// Acceptance tolerance paired with [`FD_EPS`].
+pub const FD_TOL: f64 = 1e-6;
+/// Smaller step for piecewise-linear layers (max-pool): keeps both probes
+/// on the same linear piece so the central difference stays exact.
+pub const FD_EPS_FINE: f64 = 1e-7;
+/// Tolerance for layers whose forward mixes batch statistics into every
+/// output (batch norm) — the probe loss couples all entries, amplifying
+/// round-off in the finite difference.
+pub const FD_TOL_STAT: f64 = 1e-5;
+/// Step for deep composite networks, where per-layer truncation error
+/// accumulates and a larger step keeps the difference above round-off.
+pub const FD_EPS_COARSE: f64 = 1e-5;
+/// Tolerance paired with [`FD_EPS_COARSE`].
+pub const FD_TOL_COARSE: f64 = 1e-4;
+
 /// Deterministic probe weights for the scalar loss.
 fn probe(shape: &[usize], seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -121,6 +138,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "input grad")]
     fn harness_detects_wrong_backward() {
-        check_layer_gradient(Box::new(BrokenScale), &[1, 1, 1, 2, 2], 0.0, 1e-6, 1e-6);
+        check_layer_gradient(Box::new(BrokenScale), &[1, 1, 1, 2, 2], 0.0, FD_EPS, FD_TOL);
     }
 }

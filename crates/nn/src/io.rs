@@ -23,6 +23,13 @@ use std::path::Path;
 pub struct WeightSnapshot {
     /// Model identifier at capture time (restore sanity check).
     pub model_name: String,
+    /// Element type the weights were captured at (`"f64"` for master
+    /// weights; empty in pre-tag snapshots, normalized to `"f64"` by
+    /// [`WeightSnapshot::precision`]). Values are stored as `f64` either
+    /// way, so restoring converts implicitly; the tag records how much
+    /// precision the numbers actually carry.
+    #[serde(default)]
+    pub precision: String,
     /// Flat parameter tensors in `params()` order (shape, data).
     pub tensors: Vec<(Vec<usize>, Vec<f64>)>,
     /// Persistent buffers in `buffers()` order.
@@ -30,7 +37,8 @@ pub struct WeightSnapshot {
 }
 
 impl WeightSnapshot {
-    /// Captures the weights of any model.
+    /// Captures the weights of any model (always at `f64` master
+    /// precision — training never runs in `f32`).
     pub fn capture<M: Model + ?Sized>(net: &mut M) -> Self {
         let model_name = net.name();
         let tensors = net
@@ -41,8 +49,19 @@ impl WeightSnapshot {
         let buffers = net.buffers().iter().map(|b| b.to_vec()).collect();
         WeightSnapshot {
             model_name,
+            precision: String::from("f64"),
             tensors,
             buffers,
+        }
+    }
+
+    /// Capture-time element type, with pre-tag snapshots (empty field)
+    /// reading as `"f64"`.
+    pub fn precision(&self) -> &str {
+        if self.precision.is_empty() {
+            "f64"
+        } else {
+            &self.precision
         }
     }
 

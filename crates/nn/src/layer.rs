@@ -1,7 +1,7 @@
 //! The layer abstraction shared by all network components.
 
 use crate::param::Param;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, Tensor};
 
 /// A differentiable network component with cached-activation backprop.
 ///
@@ -59,7 +59,7 @@ pub struct Dims5 {
 
 impl Dims5 {
     /// Extracts NCDHW dims, panicking on non-rank-5 tensors.
-    pub fn of(t: &Tensor) -> Self {
+    pub fn of<E: Element>(t: &Tensor<E>) -> Self {
         match *t.dims() {
             [n, c, d, h, w] => Dims5 { n, c, d, h, w },
             _ => panic!("expected NCDHW tensor, got shape {}", t.shape()),
@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn dims5_roundtrip() {
-        let t = Tensor::zeros([2, 3, 4, 5, 6]);
+        let t: Tensor = Tensor::zeros([2, 3, 4, 5, 6]);
         let d = Dims5::of(&t);
         assert_eq!((d.n, d.c, d.d, d.h, d.w), (2, 3, 4, 5, 6));
         assert_eq!(d.vol(), 120);
@@ -94,6 +94,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "NCDHW")]
     fn dims5_wrong_rank_panics() {
-        let _ = Dims5::of(&Tensor::zeros([2, 3]));
+        let _ = Dims5::of(&Tensor::<f64>::zeros([2, 3]));
     }
 }

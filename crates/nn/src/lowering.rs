@@ -26,6 +26,7 @@
 use crate::layer::Triple;
 use crate::util::SendPtr;
 use mgd_tensor::par::par_jobs;
+use mgd_tensor::Element;
 use serde::{Deserialize, Serialize};
 
 /// Which kernel implementation a convolution layer runs.
@@ -110,7 +111,7 @@ fn anchor_range(
 
 /// Gathers `src` (one sample, `c × dims` row-major) into the patch matrix
 /// `col` (`rows() × cols()` row-major). Out-of-grid taps become zeros.
-pub(crate) fn im2col(g: &ConvGeom, src: &[f64], col: &mut [f64]) {
+pub(crate) fn im2col<E: Element>(g: &ConvGeom, src: &[E], col: &mut [E]) {
     im2col_range(g, src, col, 0, g.out.0 * g.out.1);
 }
 
@@ -119,7 +120,13 @@ pub(crate) fn im2col(g: &ConvGeom, src: &[f64], col: &mut [f64]) {
 /// patch matrix. Chunking along this axis keeps the patch matrix
 /// cache-resident at megavoxel grids, where materializing all of it would
 /// turn the GEMM lowering memory-bound.
-pub(crate) fn im2col_range(g: &ConvGeom, src: &[f64], col: &mut [f64], ar0: usize, ar1: usize) {
+pub(crate) fn im2col_range<E: Element>(
+    g: &ConvGeom,
+    src: &[E],
+    col: &mut [E],
+    ar0: usize,
+    ar1: usize,
+) {
     let rows = g.rows();
     let cols = (ar1 - ar0) * g.out.2;
     assert_eq!(src.len(), g.c * g.vol());
@@ -145,14 +152,14 @@ pub(crate) fn im2col_range(g: &ConvGeom, src: &[f64], col: &mut [f64], ar0: usiz
         for a in ar0..ar1 {
             let (o_d, o_h) = (a / oh, a % oh);
             if o_d < dlo || o_d >= dhi || o_h < hlo || o_h >= hhi {
-                dst[idx..idx + ow].fill(0.0);
+                dst[idx..idx + ow].fill(E::ZERO);
                 idx += ow;
                 continue;
             }
             let id = o_d * sd + kdi - pd;
             let ih = o_h * sh + khi - ph;
             let srow = (id * dh + ih) * dw;
-            dst[idx..idx + wlo].fill(0.0);
+            dst[idx..idx + wlo].fill(E::ZERO);
             if whi > wlo {
                 let iw0 = wlo * sw + kwi - pw;
                 if sw == 1 {
@@ -164,7 +171,7 @@ pub(crate) fn im2col_range(g: &ConvGeom, src: &[f64], col: &mut [f64], ar0: usiz
                     }
                 }
             }
-            dst[idx + whi..idx + ow].fill(0.0);
+            dst[idx + whi..idx + ow].fill(E::ZERO);
             idx += ow;
         }
     });
@@ -176,7 +183,7 @@ pub(crate) fn im2col_range(g: &ConvGeom, src: &[f64], col: &mut [f64], ar0: usiz
 /// This is the exact adjoint of [`im2col`]; rows map to the same
 /// `(channel, tap)` pairs, so tasks parallelize over channels (each channel
 /// owns a disjoint `dst` slab).
-pub(crate) fn col2im_accumulate(g: &ConvGeom, col: &[f64], dst: &mut [f64]) {
+pub(crate) fn col2im_accumulate<E: Element>(g: &ConvGeom, col: &[E], dst: &mut [E]) {
     col2im_range_accumulate(g, col, dst, 0, g.out.0 * g.out.1);
 }
 
@@ -184,10 +191,10 @@ pub(crate) fn col2im_accumulate(g: &ConvGeom, col: &[f64], dst: &mut [f64]) {
 /// flattened `(o_d, o_h)` space. Successive chunks scatter onto overlapping
 /// window footprints, so chunks must be processed sequentially (tasks
 /// inside one chunk still parallelize over channels).
-pub(crate) fn col2im_range_accumulate(
+pub(crate) fn col2im_range_accumulate<E: Element>(
     g: &ConvGeom,
-    col: &[f64],
-    dst: &mut [f64],
+    col: &[E],
+    dst: &mut [E],
     ar0: usize,
     ar1: usize,
 ) {
@@ -250,24 +257,24 @@ pub(crate) fn col2im_range_accumulate(
 /// (data-parallel workers, [`crate::unet::UNet::deepened`]) must not drag
 /// megabytes of transient buffers through the copy.
 #[derive(Debug, Default)]
-pub(crate) struct Scratch {
+pub(crate) struct Scratch<E: Element = f64> {
     /// Patch matrix of the chunk currently being processed.
-    pub col: Vec<f64>,
+    pub col: Vec<E>,
     /// Second patch buffer (data-gradient product target in backward).
-    pub col2: Vec<f64>,
+    pub col2: Vec<E>,
     /// Contiguous copy of a strided row-chunk operand (gradient or input
     /// columns of one chunk).
-    pub tmp: Vec<f64>,
+    pub tmp: Vec<E>,
     /// GEMM output chunk before being scattered into the strided result.
-    pub ctmp: Vec<f64>,
+    pub ctmp: Vec<E>,
     /// Patch matrices of the whole last forward batch, cached for the
     /// weight-gradient GEMM when within [`PATCH_CACHE_MAX`].
-    pub cached: Vec<f64>,
+    pub cached: Vec<E>,
     /// Whether `cached` holds the last training forward's patch matrices.
     pub cached_valid: bool,
 }
 
-impl Clone for Scratch {
+impl<E: Element> Clone for Scratch<E> {
     fn clone(&self) -> Self {
         Scratch::default()
     }

@@ -12,24 +12,33 @@ use crate::layer::Layer;
 use crate::unet::UNet;
 use crate::workspace::Workspace;
 use mgd_dist::Comm;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, Tensor};
 use std::sync::Arc;
 
-/// A read-only, thread-shareable view of a trained model.
+/// A read-only, thread-shareable view of a trained model, generic over the
+/// inference element type (default `f64`).
 ///
 /// This is the serving-side counterpart of [`Model`]: `infer` takes `&self`
 /// and keeps every transient buffer in the caller's [`Workspace`], so one
 /// `Arc<dyn InferModel>` can answer predictions from any number of threads
 /// simultaneously — the contract the `EngineSnapshot` hot-swap publishing
-/// in `mgdiffnet` is built on. Implementations must be bitwise identical to
-/// the exclusive `forward(x, false)` path of the same weights.
-pub trait InferModel: Send + Sync {
+/// in `mgdiffnet` is built on. `f64` implementations must be bitwise
+/// identical to the exclusive `forward(x, false)` path of the same weights;
+/// an `InferModel<f32>` view runs the same kernels at single precision
+/// (one rounding away from the `f64` masters, half the memory traffic).
+pub trait InferModel<E: Element = f64>: Send + Sync {
     /// Inference forward pass with caller-owned scratch.
-    fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor;
+    fn infer(&self, x: &Tensor<E>, ws: &mut Workspace<E>) -> Tensor<E>;
 }
 
 impl InferModel for UNet {
     fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        UNet::infer(self, x, ws)
+    }
+}
+
+impl InferModel<f32> for UNet<f32> {
+    fn infer(&self, x: &Tensor<f32>, ws: &mut Workspace<f32>) -> Tensor<f32> {
         UNet::infer(self, x, ws)
     }
 }
@@ -89,6 +98,16 @@ pub trait Model: Layer {
     fn share(&self) -> Option<Arc<dyn InferModel>> {
         None
     }
+
+    /// Exports a **single-precision** read-only serving view: the current
+    /// `f64` master weights converted once to `f32`, or `None` when the
+    /// architecture has no `f32` inference path. Serving through this view
+    /// halves weight/activation memory traffic; outputs differ from the
+    /// `f64` path by accumulated rounding only (see the `Element`
+    /// equivalence tolerances).
+    fn share_f32(&self) -> Option<Arc<dyn InferModel<f32>>> {
+        None
+    }
 }
 
 impl Model for UNet {
@@ -111,6 +130,10 @@ impl Model for UNet {
 
     fn share(&self) -> Option<Arc<dyn InferModel>> {
         Some(Arc::new(self.clone()))
+    }
+
+    fn share_f32(&self) -> Option<Arc<dyn InferModel<f32>>> {
+        Some(Arc::new(self.to_f32()))
     }
 }
 
@@ -159,6 +182,10 @@ impl Model for Box<dyn Model> {
 
     fn share(&self) -> Option<Arc<dyn InferModel>> {
         (**self).share()
+    }
+
+    fn share_f32(&self) -> Option<Arc<dyn InferModel<f32>>> {
+        (**self).share_f32()
     }
 }
 

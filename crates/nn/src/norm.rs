@@ -10,18 +10,24 @@ use crate::layer::{Dims5, Layer};
 use crate::param::Param;
 use crate::util::SendPtr;
 use mgd_tensor::par::par_jobs;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, Tensor};
 
 /// Per-channel batch normalization (statistics over batch × spatial dims),
 /// as used after every convolution block in the paper's U-Net (§4.1).
+///
+/// Only the affine weights γ/β follow the element type `E`; running
+/// statistics stay `f64` in every instantiation (they are accumulated in
+/// `f64` during training and only read at inference), so an `f32` copy of
+/// the layer normalizes with exactly the statistics its `f64` master
+/// learned.
 #[derive(Clone, Debug)]
-pub struct BatchNorm {
+pub struct BatchNorm<E: Element = f64> {
     /// Channel count.
     pub c: usize,
     /// Scale γ.
-    pub gamma: Param,
+    pub gamma: Param<E>,
     /// Shift β.
-    pub beta: Param,
+    pub beta: Param<E>,
     /// Running mean (inference).
     pub running_mean: Vec<f64>,
     /// Running variance (inference).
@@ -49,23 +55,28 @@ impl BatchNorm {
             beta: Param::zeros([c]),
             running_mean: vec![0.0; c],
             running_var: vec![1.0; c],
-            eps: 1e-5,
+            eps: <f64 as Element>::BN_EPS,
             momentum: 0.1,
             cache: None,
         }
     }
+}
 
+impl<E: Element> BatchNorm<E> {
     /// Shared-state inference forward: the per-channel affine map from the
     /// running statistics. `&self` — it reads weights and running stats
     /// only, so concurrent callers can share one layer. `forward(x, false)`
-    /// delegates here, so the two are bitwise identical by construction.
-    pub fn infer(&self, x: &Tensor) -> Tensor {
+    /// delegates here, so the two are bitwise identical by construction
+    /// (the per-channel mean and inverse std are computed in `f64` from the
+    /// running statistics and converted once per channel, which is the
+    /// identity for `E = f64`).
+    pub fn infer(&self, x: &Tensor<E>) -> Tensor<E> {
         let dims = Dims5::of(x);
         assert_eq!(dims.c, self.c, "channel mismatch");
         let vol = dims.vol();
         let (n, c) = (dims.n, self.c);
         let xs = x.as_slice();
-        let mut y = Tensor::zeros(x.shape().clone());
+        let mut y: Tensor<E> = Tensor::zeros(x.shape().clone());
         let gamma = self.gamma.data.as_slice();
         let beta = self.beta.data.as_slice();
         let eps = self.eps;
@@ -75,8 +86,8 @@ impl BatchNorm {
         let rv = &self.running_var;
         let yp = SendPtr(y.as_mut_slice().as_mut_ptr());
         par_jobs(c, 2 * n * vol, |ci| {
-            let mean = rm[ci];
-            let is = 1.0 / (rv[ci] + eps).sqrt();
+            let mean = E::from_f64(rm[ci]);
+            let is = E::from_f64(1.0 / (rv[ci] + eps).sqrt());
             let (ga, be) = (gamma[ci], beta[ci]);
             for ni in 0..n {
                 let base = (ni * c + ci) * vol;
@@ -89,6 +100,21 @@ impl BatchNorm {
         });
         y
     }
+
+    /// Converts the layer to another element type: γ/β cast through `f64`,
+    /// running statistics (already `f64`) copied verbatim.
+    pub fn cast_as<T: Element>(&self) -> BatchNorm<T> {
+        BatchNorm {
+            c: self.c,
+            gamma: self.gamma.cast_as(),
+            beta: self.beta.cast_as(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            eps: self.eps,
+            momentum: self.momentum,
+            cache: None,
+        }
+    }
 }
 
 impl Layer for BatchNorm {
@@ -99,7 +125,7 @@ impl Layer for BatchNorm {
         let (n, c) = (dims.n, self.c);
         let m = (n * vol) as f64;
         let xs = x.as_slice();
-        let mut y = Tensor::zeros(x.shape().clone());
+        let mut y: Tensor = Tensor::zeros(x.shape().clone());
         let gamma = self.gamma.data.as_slice();
         let beta = self.beta.data.as_slice();
         let eps = self.eps;
@@ -107,7 +133,7 @@ impl Layer for BatchNorm {
         if train {
             let momentum = self.momentum;
             let mut inv_std = vec![0.0; c];
-            let mut xhat = Tensor::zeros(x.shape().clone());
+            let mut xhat: Tensor = Tensor::zeros(x.shape().clone());
             {
                 let yp = SendPtr(y.as_mut_slice().as_mut_ptr());
                 let xhp = SendPtr(xhat.as_mut_slice().as_mut_ptr());
@@ -184,7 +210,7 @@ impl Layer for BatchNorm {
         let xh = cache.xhat.as_slice();
         let inv_std = &cache.inv_std;
         let gamma = self.gamma.data.as_slice();
-        let mut gx = Tensor::zeros(grad_out.shape().clone());
+        let mut gx: Tensor = Tensor::zeros(grad_out.shape().clone());
 
         // Standard batch-norm backward, one task per channel:
         // dβ_c = Σ g, dγ_c = Σ g·x̂,
@@ -241,7 +267,7 @@ impl Layer for BatchNorm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::check_layer_gradient;
+    use crate::gradcheck::{check_layer_gradient, FD_EPS, FD_TOL_STAT};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -335,12 +361,12 @@ mod tests {
     #[test]
     fn gradcheck() {
         let bn = BatchNorm::new(3);
-        check_layer_gradient(Box::new(bn), &[4, 3, 1, 3, 3], 0.5, 1e-6, 1e-5);
+        check_layer_gradient(Box::new(bn), &[4, 3, 1, 3, 3], 0.5, FD_EPS, FD_TOL_STAT);
     }
 
     #[test]
     fn gradcheck_3d() {
         let bn = BatchNorm::new(2);
-        check_layer_gradient(Box::new(bn), &[2, 2, 2, 3, 3], -0.2, 1e-6, 1e-5);
+        check_layer_gradient(Box::new(bn), &[2, 2, 2, 3, 3], -0.2, FD_EPS, FD_TOL_STAT);
     }
 }

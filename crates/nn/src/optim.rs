@@ -1,7 +1,7 @@
 //! Stochastic optimizers (Adam, SGD) over [`Param`] lists.
 
 use crate::param::Param;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, Tensor};
 
 /// Zeroes every gradient accumulator (called between optimizer steps).
 pub fn zero_grads(params: &mut [&mut Param]) {
@@ -78,13 +78,14 @@ pub struct Adam {
 }
 
 impl Adam {
-    /// Adam with the conventional β = (0.9, 0.999), ε = 1e-8.
+    /// Adam with the conventional β = (0.9, 0.999) and the shared
+    /// [`Element::ADAM_EPS`] denominator floor (1e-8).
     pub fn new(lr: f64) -> Self {
         Adam {
             lr,
             beta1: 0.9,
             beta2: 0.999,
-            eps: 1e-8,
+            eps: <f64 as Element>::ADAM_EPS,
             t: 0,
             m: Vec::new(),
             v: Vec::new(),

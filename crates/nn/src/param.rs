@@ -1,19 +1,45 @@
 //! Learnable parameters and initialization.
 
-use mgd_tensor::{Shape, Tensor};
+use mgd_tensor::{Element, Shape, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A learnable tensor paired with its gradient accumulator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct Param {
+///
+/// Training always instantiates this at the default `f64`; the `f32`
+/// instantiation only carries converted copies of master weights for the
+/// single-precision serving path (its `grad` stays empty of purpose there).
+#[derive(Clone, Debug)]
+pub struct Param<E: Element = f64> {
     /// Current value.
-    pub data: Tensor,
+    pub data: Tensor<E>,
     /// Accumulated gradient (same shape as `data`).
-    pub grad: Tensor,
+    pub grad: Tensor<E>,
 }
 
-impl Param {
+impl<E: Element> Serialize for Param<E> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("data"), self.data.serialize_value()),
+            (String::from("grad"), self.grad.serialize_value()),
+        ])
+    }
+}
+
+impl<E: Element> Deserialize for Param<E> {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}` in Param")))
+        };
+        Ok(Param {
+            data: Tensor::deserialize_value(field("data")?)?,
+            grad: Tensor::deserialize_value(field("grad")?)?,
+        })
+    }
+}
+
+impl<E: Element> Param<E> {
     /// Zero-initialized parameter.
     pub fn zeros<S: Into<Shape> + Clone>(shape: S) -> Self {
         Param {
@@ -23,17 +49,9 @@ impl Param {
     }
 
     /// Parameter with the given value and a zero gradient.
-    pub fn new(data: Tensor) -> Self {
+    pub fn new(data: Tensor<E>) -> Self {
         let grad = Tensor::zeros(data.shape().clone());
         Param { data, grad }
-    }
-
-    /// Kaiming-uniform initialization for a convolution weight with
-    /// `fan_in` inputs per output (gain for leaky-ReLU networks).
-    pub fn kaiming<S: Into<Shape>, R: Rng>(shape: S, fan_in: usize, rng: &mut R) -> Self {
-        let bound = (6.0 / fan_in.max(1) as f64).sqrt();
-        let data = Tensor::rand_uniform(shape, -bound, bound, rng);
-        Param::new(data)
     }
 
     /// Number of scalar weights.
@@ -48,7 +66,24 @@ impl Param {
 
     /// Clears the gradient accumulator.
     pub fn zero_grad(&mut self) {
-        self.grad.fill(0.0);
+        self.grad.fill(E::ZERO);
+    }
+
+    /// Converts the parameter value to another element type (through `f64`);
+    /// the gradient accumulator of the copy starts at zero.
+    pub fn cast_as<T: Element>(&self) -> Param<T> {
+        Param::new(self.data.cast())
+    }
+}
+
+impl Param {
+    /// Kaiming-uniform initialization for a convolution weight with
+    /// `fan_in` inputs per output (gain for leaky-ReLU networks).
+    /// Initialization draws stay in `f64` master precision.
+    pub fn kaiming<S: Into<Shape>, R: Rng>(shape: S, fan_in: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+        let data = Tensor::rand_uniform(shape, -bound, bound, rng);
+        Param::new(data)
     }
 }
 
@@ -128,7 +163,7 @@ mod tests {
 
     #[test]
     fn zero_grad() {
-        let mut p = Param::new(Tensor::ones([4]));
+        let mut p: Param = Param::new(Tensor::ones([4]));
         p.grad = Tensor::ones([4]);
         p.zero_grad();
         assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));

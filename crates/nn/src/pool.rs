@@ -1,7 +1,7 @@
 //! Max-pooling with cached argmax indices.
 
 use crate::layer::{Dims5, Layer, Triple};
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, Tensor};
 
 /// Max pooling with window == stride (the factor-of-two downsampling of the
 /// paper's fully convolutional constraint §3.1.2; 2D problems pool with a
@@ -40,7 +40,7 @@ impl MaxPool3d {
     /// `forward(x, false)` (identical comparison order, so bitwise
     /// identical values) without the argmax bookkeeping — `&self`, safe to
     /// call from concurrent readers of a shared layer.
-    pub fn infer(&self, x: &Tensor) -> Tensor {
+    pub fn infer<E: Element>(&self, x: &Tensor<E>) -> Tensor<E> {
         let din = Dims5::of(x);
         let (wd, wh, ww) = self.window;
         assert!(
@@ -65,7 +65,7 @@ impl MaxPool3d {
                 for od in 0..dout.d {
                     for oh in 0..dout.h {
                         for ow in 0..dout.w {
-                            let mut best = f64::NEG_INFINITY;
+                            let mut best = E::from_f64(f64::NEG_INFINITY);
                             for kd in 0..wd {
                                 for kh in 0..wh {
                                     for kw in 0..ww {
@@ -169,7 +169,7 @@ impl Layer for MaxPool3d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::check_layer_gradient;
+    use crate::gradcheck::{check_layer_gradient, FD_EPS_FINE, FD_TOL_STAT};
 
     #[test]
     fn forward_picks_maxima() {
@@ -216,6 +216,6 @@ mod tests {
     fn gradcheck() {
         // Random inputs rarely tie, so max-pool is differentiable a.e.
         let p = MaxPool3d::new((1, 2, 2));
-        check_layer_gradient(Box::new(p), &[2, 2, 1, 4, 4], 0.0, 1e-7, 1e-5);
+        check_layer_gradient(Box::new(p), &[2, 2, 1, 4, 4], 0.0, FD_EPS_FINE, FD_TOL_STAT);
     }
 }

@@ -17,7 +17,7 @@ use crate::norm::BatchNorm;
 use crate::param::Param;
 use crate::pool::MaxPool3d;
 use crate::workspace::Workspace;
-use mgd_tensor::Tensor;
+use mgd_tensor::{Element, GemmElement, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -89,10 +89,13 @@ impl UNetConfig {
 }
 
 /// Conv → (BatchNorm) → LeakyReLU.
+///
+/// Generic over the inference element type; training always instantiates
+/// the default `f64`.
 #[derive(Clone, Debug)]
-pub struct ConvBlock {
-    pub(crate) conv: Conv3d,
-    pub(crate) bn: Option<BatchNorm>,
+pub struct ConvBlock<E: Element = f64> {
+    pub(crate) conv: Conv3d<E>,
+    pub(crate) bn: Option<BatchNorm<E>>,
     pub(crate) act: LeakyReLU,
 }
 
@@ -109,10 +112,24 @@ impl ConvBlock {
             act: LeakyReLU::new(cfg.leaky_slope),
         }
     }
+}
 
+impl<E: Element> ConvBlock<E> {
+    /// Converts every layer's weights to another element type (through
+    /// `f64`); the copy carries no training state.
+    pub fn cast_as<T: Element>(&self) -> ConvBlock<T> {
+        ConvBlock {
+            conv: self.conv.cast_as(),
+            bn: self.bn.as_ref().map(|b| b.cast_as()),
+            act: self.act.clone(),
+        }
+    }
+}
+
+impl<E: GemmElement> ConvBlock<E> {
     /// Shared-state inference forward through conv → (bn) → act, bitwise
-    /// identical to `forward(x, false)`.
-    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+    /// identical to `forward(x, false)` at the default `f64`.
+    pub fn infer(&self, x: &Tensor<E>, ws: &mut Workspace<E>) -> Tensor<E> {
         let mut h = self.conv.infer(x, ws);
         if let Some(bn) = &self.bn {
             h = bn.infer(&h);
@@ -159,7 +176,7 @@ impl Layer for ConvBlock {
 }
 
 /// Concatenates two NCDHW tensors along the channel axis.
-pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+pub fn concat_channels<E: Element>(a: &Tensor<E>, b: &Tensor<E>) -> Tensor<E> {
     let da = Dims5::of(a);
     let db = Dims5::of(b);
     assert_eq!(
@@ -167,7 +184,7 @@ pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
         (db.n, db.d, db.h, db.w),
         "spatial/batch mismatch"
     );
-    let mut out = Tensor::zeros([da.n, da.c + db.c, da.d, da.h, da.w]);
+    let mut out: Tensor<E> = Tensor::zeros([da.n, da.c + db.c, da.d, da.h, da.w]);
     let vol = da.vol();
     let (asl, bsl, osl) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
     for n in 0..da.n {
@@ -181,13 +198,13 @@ pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Splits a channel-concatenated gradient back into its two halves.
-pub fn split_channels(g: &Tensor, c_first: usize) -> (Tensor, Tensor) {
+pub fn split_channels<E: Element>(g: &Tensor<E>, c_first: usize) -> (Tensor<E>, Tensor<E>) {
     let d = Dims5::of(g);
     assert!(c_first < d.c);
     let c_second = d.c - c_first;
     let vol = d.vol();
-    let mut a = Tensor::zeros([d.n, c_first, d.d, d.h, d.w]);
-    let mut b = Tensor::zeros([d.n, c_second, d.d, d.h, d.w]);
+    let mut a: Tensor<E> = Tensor::zeros([d.n, c_first, d.d, d.h, d.w]);
+    let mut b: Tensor<E> = Tensor::zeros([d.n, c_second, d.d, d.h, d.w]);
     let gs = g.as_slice();
     for n in 0..d.n {
         let g_base = n * d.c * vol;
@@ -199,19 +216,34 @@ pub fn split_channels(g: &Tensor, c_first: usize) -> (Tensor, Tensor) {
     (a, b)
 }
 
+/// Per-sample spatial volume (voxels) above which a batched [`UNet::infer`]
+/// runs sample-by-sample instead of carrying the whole batch through every
+/// layer. Batched activations are `n×` larger than per-sample ones, so above
+/// ~16² per sample a batch-8 forward evicts its own working set between
+/// layers and *loses* to request-at-a-time (ROADMAP item 3); chunking the
+/// batch keeps every intermediate cache-resident. Per-sample values are
+/// bitwise identical either way — every inference op treats batch samples
+/// independently.
+const BATCH_CHUNK_VOL: usize = 256;
+
 /// The MGDiffNet U-Net.
+///
+/// Generic over the inference element type `E`: training, checkpointing and
+/// the exclusive [`Layer`] surface always run at the default `f64` (master
+/// weights), while [`UNet::to_f32`] derives a single-precision replica whose
+/// [`UNet::infer`] path halves memory traffic on the serving fast path.
 #[derive(Clone, Debug)]
-pub struct UNet {
+pub struct UNet<E: Element = f64> {
     /// Architecture parameters.
     pub cfg: UNetConfig,
-    pub(crate) enc: Vec<ConvBlock>,
+    pub(crate) enc: Vec<ConvBlock<E>>,
     pub(crate) pools: Vec<MaxPool3d>,
-    pub(crate) bottleneck: ConvBlock,
+    pub(crate) bottleneck: ConvBlock<E>,
     /// `ups[i]` upsamples from level `i+1` channels to level `i`.
-    pub(crate) ups: Vec<ConvTranspose3d>,
+    pub(crate) ups: Vec<ConvTranspose3d<E>>,
     /// `merges[i]` fuses `[up_out ‖ skip]` (2·c_i channels) down to c_i.
-    pub(crate) merges: Vec<ConvBlock>,
-    pub(crate) head: Conv3d,
+    pub(crate) merges: Vec<ConvBlock<E>>,
+    pub(crate) head: Conv3d<E>,
     pub(crate) sigmoid: Option<Sigmoid>,
 }
 
@@ -277,6 +309,32 @@ impl UNet {
         }
     }
 
+    /// Single-precision serving replica: every weight converted to `f32`
+    /// (one rounding from the `f64` masters), batch-norm running statistics
+    /// kept in `f64` and folded per channel at inference. The replica
+    /// carries no training state — it exists for [`UNet::infer`], where it
+    /// halves weight and activation memory traffic.
+    pub fn to_f32(&self) -> UNet<f32> {
+        self.cast_as()
+    }
+}
+
+impl<E: Element> UNet<E> {
+    /// Converts every layer's weights to another element type (through
+    /// `f64`). See [`UNet::to_f32`].
+    pub fn cast_as<T: Element>(&self) -> UNet<T> {
+        UNet {
+            cfg: self.cfg,
+            enc: self.enc.iter().map(|b| b.cast_as()).collect(),
+            pools: self.pools.clone(),
+            bottleneck: self.bottleneck.cast_as(),
+            ups: self.ups.iter().map(|u| u.cast_as()).collect(),
+            merges: self.merges.iter().map(|m| m.cast_as()).collect(),
+            head: self.head.cast_as(),
+            sigmoid: self.sigmoid.clone(),
+        }
+    }
+
     /// Validates that an input resolution survives `depth` poolings.
     pub fn check_input_dims(&self, dims: &Dims5) {
         let div = 1usize << self.cfg.depth;
@@ -300,21 +358,45 @@ impl UNet {
             dims.w
         );
     }
+}
 
-    /// Inference convenience (no caching).
-    pub fn predict(&mut self, x: &Tensor) -> Tensor {
-        self.forward(x, false)
-    }
-
+impl<E: GemmElement> UNet<E> {
     /// Shared-state inference forward: the full U-Net traversal of
     /// [`Layer::forward`] with `train = false`, but `&self` — every layer's
     /// transient buffers live in the caller's [`Workspace`], so one network
     /// behind an `Arc` serves any number of concurrent callers with
-    /// bitwise-identical results to the exclusive path.
-    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        self.check_input_dims(&Dims5::of(x));
+    /// bitwise-identical results to the exclusive path (at the default
+    /// `f64`).
+    ///
+    /// Batches above [`BATCH_CHUNK_VOL`] voxels per sample run
+    /// sample-by-sample so intermediate activations stay cache-resident;
+    /// per-sample outputs are bitwise identical to the all-at-once pass.
+    pub fn infer(&self, x: &Tensor<E>, ws: &mut Workspace<E>) -> Tensor<E> {
+        let din = Dims5::of(x);
+        self.check_input_dims(&din);
+        if din.n > 1 && din.vol() > BATCH_CHUNK_VOL {
+            let in_vol = din.c * din.vol();
+            let out_vol = self.cfg.out_channels * din.vol();
+            let mut y: Tensor<E> =
+                Tensor::zeros([din.n, self.cfg.out_channels, din.d, din.h, din.w]);
+            let xs = x.as_slice();
+            for ni in 0..din.n {
+                let sample = Tensor::from_vec(
+                    vec![1, din.c, din.d, din.h, din.w],
+                    xs[ni * in_vol..(ni + 1) * in_vol].to_vec(),
+                );
+                let out = self.infer_one(&sample, ws);
+                y.as_mut_slice()[ni * out_vol..(ni + 1) * out_vol].copy_from_slice(out.as_slice());
+            }
+            return y;
+        }
+        self.infer_one(x, ws)
+    }
+
+    /// One unchunked traversal (any batch size).
+    fn infer_one(&self, x: &Tensor<E>, ws: &mut Workspace<E>) -> Tensor<E> {
         let depth = self.cfg.depth;
-        let mut skips: Vec<Tensor> = Vec::with_capacity(depth);
+        let mut skips: Vec<Tensor<E>> = Vec::with_capacity(depth);
         let mut h = x.clone();
         for i in 0..depth {
             h = self.enc[i].infer(&h, ws);
@@ -332,6 +414,13 @@ impl UNet {
             h = s.infer(&h);
         }
         h
+    }
+}
+
+impl UNet {
+    /// Inference convenience (no caching).
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, false)
     }
 
     /// Builds the depth+1 network of the paper's architectural-adaptation
@@ -452,7 +541,7 @@ impl Layer for UNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gradcheck::check_layer_gradient;
+    use crate::gradcheck::{check_layer_gradient, FD_EPS_COARSE, FD_TOL_COARSE};
 
     fn small_cfg() -> UNetConfig {
         UNetConfig {
@@ -597,6 +686,93 @@ mod tests {
     }
 
     #[test]
+    fn infer_batch_chunking_matches_forward_bitwise() {
+        // 32×32 per sample exceeds BATCH_CHUNK_VOL, so a batch-3 infer runs
+        // sample-by-sample; values must stay bitwise equal to the all-at-
+        // once exclusive forward.
+        let mut net = UNet::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..2 {
+            let x = Tensor::rand_uniform([2, 1, 1, 8, 8], -1.0, 1.0, &mut rng);
+            let _ = net.forward(&x, true);
+        }
+        let x = Tensor::rand_uniform([3, 1, 1, 32, 32], -2.0, 2.0, &mut rng);
+        const { assert!(32 * 32 > BATCH_CHUNK_VOL, "test must exercise the chunker") };
+        let y = net.forward(&x, false);
+        let yi = net.infer(&x, &mut Workspace::new());
+        assert_eq!(y.dims(), yi.dims());
+        assert!(y
+            .as_slice()
+            .iter()
+            .zip(yi.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn f32_infer_matches_f64_within_tol() {
+        use mgd_tensor::Element;
+        // Train a few steps so batch-norm running stats are non-trivial,
+        // then compare the f32 replica against the f64 master path.
+        let mut net = UNet::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..3 {
+            let x = Tensor::rand_uniform([2, 1, 1, 8, 8], -1.0, 1.0, &mut rng);
+            let _ = net.forward(&x, true);
+        }
+        let net32 = net.to_f32();
+        let x = Tensor::rand_uniform([2, 1, 1, 16, 16], -2.0, 2.0, &mut rng);
+        let y64 = net.infer(&x, &mut Workspace::new());
+        let y32 = net32.infer(&x.cast::<f32>(), &mut Workspace::<f32>::new());
+        let err = y64.rel_l2_error(&y32.cast::<f64>());
+        assert!(
+            err < <f32 as Element>::EQUIV_TOL,
+            "f32 infer drifted {err} from f64"
+        );
+    }
+
+    #[test]
+    fn f32_infer_is_bitwise_deterministic() {
+        // Repeat runs — fresh workspace, reused workspace, and concurrent
+        // shared readers — must produce identical f32 bit patterns.
+        let mut net = UNet::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(43);
+        let _ = net.forward(
+            &Tensor::rand_uniform([2, 1, 1, 8, 8], -1.0, 1.0, &mut rng),
+            true,
+        );
+        let net32 = net.to_f32();
+        let x = Tensor::rand_uniform([1, 1, 1, 16, 16], -1.0, 1.0, &mut rng).cast::<f32>();
+        let mut ws = Workspace::<f32>::new();
+        let y1 = net32.infer(&x, &mut ws);
+        let y2 = net32.infer(&x, &mut ws);
+        let y3 = net32.infer(&x, &mut Workspace::<f32>::new());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let net32 = &net32;
+                    let x = &x;
+                    s.spawn(move || net32.infer(x, &mut Workspace::<f32>::new()))
+                })
+                .collect();
+            for h in handles {
+                let y = h.join().expect("reader thread panicked");
+                assert!(y
+                    .as_slice()
+                    .iter()
+                    .zip(y1.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        });
+        for other in [&y2, &y3] {
+            assert!(y1
+                .as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
     fn infer_matches_forward_bitwise_3d_direct() {
         let cfg = UNetConfig {
             depth: 2,
@@ -660,7 +836,13 @@ mod tests {
             ..Default::default()
         };
         let net = UNet::new(cfg);
-        check_layer_gradient(Box::new(net), &[1, 1, 1, 8, 8], 0.0, 1e-5, 1e-4);
+        check_layer_gradient(
+            Box::new(net),
+            &[1, 1, 1, 8, 8],
+            0.0,
+            FD_EPS_COARSE,
+            FD_TOL_COARSE,
+        );
     }
 
     #[test]
@@ -673,6 +855,12 @@ mod tests {
             ..Default::default()
         };
         let net = UNet::new(cfg);
-        check_layer_gradient(Box::new(net), &[2, 1, 1, 4, 4], 0.0, 1e-5, 1e-4);
+        check_layer_gradient(
+            Box::new(net),
+            &[2, 1, 1, 4, 4],
+            0.0,
+            FD_EPS_COARSE,
+            FD_TOL_COARSE,
+        );
     }
 }

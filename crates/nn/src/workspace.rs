@@ -32,23 +32,28 @@
 //! assert_eq!(y.dims(), &[1, 1, 1, 4, 4]);
 //! ```
 
+use mgd_tensor::Element;
+
 /// Reusable scratch buffers for the lock-free `&self` inference path.
 ///
 /// One `Workspace` belongs to one call chain at a time (it is `&mut`
 /// through the whole forward); creating one is free — buffers start empty
 /// and grow to the largest chunk the network needs, then stay warm for the
-/// next request served by the same thread.
+/// next request served by the same thread. The element type matches the
+/// model it serves: `Workspace` (= `Workspace<f64>`) for the default
+/// double-precision path, `Workspace<f32>` for the single-precision
+/// serving fast path (half the scratch bytes per chunk).
 #[derive(Debug, Default)]
-pub struct Workspace {
+pub struct Workspace<E: Element = f64> {
     /// Patch-matrix chunk (im2col gather target / col2im source).
-    pub(crate) col: Vec<f64>,
+    pub(crate) col: Vec<E>,
     /// GEMM output chunk before it is scattered into the strided result.
-    pub(crate) ctmp: Vec<f64>,
+    pub(crate) ctmp: Vec<E>,
     /// Contiguous copy of a strided row-chunk operand.
-    pub(crate) tmp: Vec<f64>,
+    pub(crate) tmp: Vec<E>,
 }
 
-impl Workspace {
+impl<E: Element> Workspace<E> {
     /// Creates an empty workspace (buffers grow on first use).
     pub fn new() -> Self {
         Workspace::default()

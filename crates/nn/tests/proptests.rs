@@ -284,6 +284,72 @@ proptest! {
         }
     }
 
+    /// The f32 convolution inference path tracks the f64 master path to
+    /// the single-precision equivalence tolerance across random shapes.
+    #[test]
+    fn conv_f32_infer_matches_f64(
+        cin in 1usize..4, cout in 1usize..4,
+        h in 4usize..12, w in 4usize..12, seed in 0u64..200,
+    ) {
+        use mgd_nn::Workspace;
+        use mgd_tensor::Element;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = Conv3d::same(cin, cout, (1, 3, 3), &mut rng);
+        let conv32 = conv.cast_as::<f32>();
+        let x = Tensor::rand_uniform([2, cin, 1, h, w], -1.0, 1.0, &mut rng);
+        let y64 = conv.infer(&x, &mut Workspace::new());
+        let y32 = conv32.infer(&x.cast::<f32>(), &mut Workspace::<f32>::new());
+        let err = y64.rel_l2_error(&y32.cast::<f64>());
+        prop_assert!(err < <f32 as Element>::EQUIV_TOL, "conv f32 drift {err}");
+    }
+
+    /// The f32 transpose-convolution (decoder) inference path tracks f64
+    /// to the same tolerance.
+    #[test]
+    fn convt_f32_infer_matches_f64(
+        cin in 1usize..4, cout in 1usize..4,
+        h in 3usize..8, w in 3usize..8, seed in 0u64..200,
+    ) {
+        use mgd_nn::Workspace;
+        use mgd_tensor::Element;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = ConvTranspose3d::up2(cin, cout, true, &mut rng);
+        let t32 = t.cast_as::<f32>();
+        let x = Tensor::rand_uniform([1, cin, 1, h, w], -1.0, 1.0, &mut rng);
+        let y64 = t.infer(&x, &mut Workspace::new());
+        let y32 = t32.infer(&x.cast::<f32>(), &mut Workspace::<f32>::new());
+        let err = y64.rel_l2_error(&y32.cast::<f64>());
+        prop_assert!(err < <f32 as Element>::EQUIV_TOL, "convt f32 drift {err}");
+    }
+
+    /// A whole f32 U-Net replica (random seeds, both conv backends) tracks
+    /// the f64 master network within the f32 equivalence tolerance, and
+    /// repeat runs are bitwise deterministic.
+    #[test]
+    fn unet_f32_matches_f64(seed in 0u64..30, gemm_bit in 0usize..2) {
+        use mgd_nn::Workspace;
+        use mgd_tensor::Element;
+        let cfg = UNetConfig {
+            two_d: true, depth: 2, base_filters: 2, seed,
+            conv_backend: if gemm_bit == 1 { ConvBackend::Gemm } else { ConvBackend::Direct },
+            ..Default::default()
+        };
+        let mut net = UNet::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF32);
+        let _ = net.forward(&Tensor::rand_uniform([2, 1, 1, 8, 8], -1.0, 1.0, &mut rng), true);
+        let net32 = net.to_f32();
+        let x = Tensor::rand_uniform([1, 1, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let y64 = net.infer(&x, &mut Workspace::new());
+        let x32 = x.cast::<f32>();
+        let y32 = net32.infer(&x32, &mut Workspace::<f32>::new());
+        let err = y64.rel_l2_error(&y32.cast::<f64>());
+        prop_assert!(err < <f32 as Element>::EQUIV_TOL, "unet f32 drift {err}");
+        let again = net32.infer(&x32, &mut Workspace::<f32>::new());
+        for (a, b) in y32.as_slice().iter().zip(again.as_slice()) {
+            prop_assert!(a.to_bits() == b.to_bits(), "f32 repeat run not bitwise equal");
+        }
+    }
+
     /// Gradient accumulation: two backward passes double the parameter
     /// gradient (callers rely on accumulate-then-zero semantics).
     #[test]

@@ -1,0 +1,414 @@
+//! The element-type abstraction behind generic tensors and kernels.
+//!
+//! Everything in this workspace computed in `f64` until the precision
+//! refactor; [`Element`] is the seam that lets the same tensor, GEMM,
+//! network-inference and multigrid-smoother code run in `f32` (2× SIMD
+//! lanes, half the working set) while training and certification stay in
+//! `f64`. The contract is deliberately small:
+//!
+//! - **Conversion** through `f64` ([`Element::from_f64`] /
+//!   [`Element::to_f64`]). Reductions (sums, dots, norms) accumulate in
+//!   `f64` regardless of the storage element, so `f32` tensors still report
+//!   `f64`-quality statistics and the `f64` instantiation is bit-for-bit
+//!   the pre-refactor code.
+//! - **Named epsilons** that used to be scattered literals: the BatchNorm
+//!   variance floor ([`Element::BN_EPS`]), the Adam denominator guard
+//!   ([`Element::ADAM_EPS`]), and the documented equivalence tolerance of
+//!   this element against an `f64` reference ([`Element::EQUIV_TOL`]).
+//! - **Determinism hooks**: [`Element::bits`] exposes the raw IEEE pattern
+//!   so bitwise-reproducibility tests work for any element.
+//!
+//! [`GemmElement`] layers the blocked-GEMM tuning knobs (`MR×NR` register
+//! tile, `KC`/`NC` cache blocks) and the register-tiled micro-kernel on
+//! top, because the optimal tile is precision-dependent: `f32` doubles the
+//! lanes per vector register, so its tile is twice as wide.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Division/curvature guard for `f64` solver code: denominators smaller in
+/// magnitude than this are treated as zero (inverse-diagonal masking in the
+/// FEM systems, line-search curvature and norm-ratio guards). Hoisted from
+/// scattered `1e-300` literals.
+pub const F64_DIV_GUARD: f64 = 1e-300;
+
+/// Numeric-precision mode of an engine, snapshot, or solver path.
+///
+/// This is the user-facing knob the element-generic kernels hide behind:
+///
+/// - [`Precision::F64`] — every path runs in `f64`, bitwise identical to
+///   the pre-refactor code. The default.
+/// - [`Precision::F32`] — *serving* forward passes run single precision
+///   (f32 weights, activations and cached predictions: half the memory
+///   traffic, twice the SIMD lanes). Training, certified solving and every
+///   residual certificate stay `f64`.
+/// - [`Precision::Mixed`] — `F32` serving **plus** the mixed-precision
+///   multigrid preconditioner for certified solves: V-cycle smoothing,
+///   residuals and transfers in `f32`, outer PCG / coarsest solve /
+///   certification in `f64` (iterative refinement). Certificates are still
+///   machine-checked in `f64`, so `certify_tol` down to ~1e-12 remains
+///   reachable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full double precision everywhere (the reference behavior).
+    #[default]
+    F64,
+    /// Single-precision serving fast path; solves and training stay `f64`.
+    F32,
+    /// `F32` serving plus the `f32`-V-cycle / `f64`-refinement solver path.
+    Mixed,
+}
+
+impl Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Mixed => "mixed",
+        })
+    }
+}
+
+/// A scalar element type tensors and kernels can be generic over.
+///
+/// Implemented for `f64` (the master/training/certification precision) and
+/// `f32` (the SIMD fast path). All mixed-precision logic converts through
+/// `f64`; see the module docs for the accumulate-in-`f64` convention.
+pub trait Element:
+    Copy
+    + Clone
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Serialize
+    + Deserialize
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon (distance from 1.0 to the next representable value).
+    const EPSILON: Self;
+    /// Lowercase type name, used as the precision tag in weight snapshots
+    /// and bench reports (`"f64"` / `"f32"`).
+    const NAME: &'static str;
+    /// BatchNorm variance floor: added to the batch variance before the
+    /// square root so normalization never divides by ~0.
+    const BN_EPS: Self;
+    /// Adam second-moment denominator guard.
+    const ADAM_EPS: Self;
+    /// Documented relative-L2 tolerance of this element's compute paths
+    /// against an `f64` reference (the bound the equivalence test suite
+    /// asserts). Identically-zero rounding gap for `f64` itself is covered
+    /// by a tiny non-zero allowance so tests can share one code path.
+    const EQUIV_TOL: f64;
+
+    /// Rounds an `f64` into this element.
+    fn from_f64(v: f64) -> Self;
+    /// Widens this element to `f64` (exact for both implementations).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// NaN-propagating-free maximum (IEEE `maxNum`, like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// NaN-propagating-free minimum.
+    fn min(self, other: Self) -> Self;
+    /// Fused/contracted `self * a + b` (allowed to round once or twice,
+    /// matching `f64::mul_add` availability).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// False for NaN and ±∞.
+    fn is_finite(self) -> bool;
+    /// Raw IEEE bit pattern, zero-extended to 64 bits (for bitwise
+    /// determinism assertions).
+    fn bits(self) -> u64;
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const NAME: &'static str = "f64";
+    const BN_EPS: Self = 1e-5;
+    const ADAM_EPS: Self = 1e-8;
+    const EQUIV_TOL: f64 = 1e-12;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn bits(self) -> u64 {
+        self.to_bits()
+    }
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const NAME: &'static str = "f32";
+    const BN_EPS: Self = 1e-5;
+    const ADAM_EPS: Self = 1e-8;
+    // One part in ~10^4: conv/U-Net forwards measured ~1e-6..1e-5 relative
+    // to f64; the bound leaves headroom for deep stacks and 64^3 domains.
+    const EQUIV_TOL: f64 = 1e-4;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline(always)]
+    fn bits(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+}
+
+/// An [`Element`] with blocked-GEMM tuning parameters and a register-tiled
+/// micro-kernel.
+///
+/// The tile geometry is chosen per precision for the same register budget:
+/// with 32 SIMD registers of width `W` lanes, an `MR × NR` tile needs
+/// `MR · NR / W` accumulator registers plus a broadcast and `NR / W` loads.
+/// `f64` uses `6 × 16` (12 accumulators at 8 lanes); `f32` doubles the tile
+/// width to `6 × 32` (still 12 accumulators at 16 lanes), doubling the
+/// FLOPs per loaded byte along with the lane count.
+pub trait GemmElement: Element {
+    /// Micro-kernel tile rows (rows of `op(A)` per register tile).
+    const MR: usize;
+    /// Micro-kernel tile columns (columns of `op(B)` per register tile).
+    const NR: usize;
+    /// Cache block along the shared dimension `k` (an `MR`-panel of A plus
+    /// an `NR`-panel of B sized to stay L1-resident).
+    const KC: usize;
+    /// Columns per parallel job (one packed `KC × NC` B slab sized for L2).
+    const NC: usize;
+
+    /// Computes a full `MR × NR` register tile over `kc_len` packed steps:
+    /// `acc[mr * NR + nr] = Σ_k apanel[k*MR + mr] * bpanel[k*NR + nr]`.
+    ///
+    /// `acc` (length `MR * NR`, row-major) is fully overwritten. Each
+    /// implementation accumulates in a fixed-size local array with a fixed
+    /// loop order, so results are bitwise deterministic.
+    fn microkernel(kc_len: usize, apanel: &[Self], bpanel: &[Self], acc: &mut [Self]);
+}
+
+/// Expands to a monomorphic micro-kernel body; keeping the accumulator as a
+/// `[[E; NR]; MR]` local (not a slice) is what lets the auto-vectorizer map
+/// the tile onto SIMD registers.
+macro_rules! microkernel_body {
+    ($e:ty, $mr:expr, $nr:expr, $kc_len:ident, $apanel:ident, $bpanel:ident, $acc:ident) => {{
+        const MR: usize = $mr;
+        const NR: usize = $nr;
+        let mut tile = [[<$e as Element>::ZERO; NR]; MR];
+        // `chunks_exact` hoists all bounds checks out of the hot loop,
+        // leaving a branch-free body of MR broadcasts × NR-wide
+        // multiply-adds.
+        let a_steps = $apanel[..$kc_len * MR].chunks_exact(MR);
+        let b_steps = $bpanel[..$kc_len * NR].chunks_exact(NR);
+        for (avals, bvals) in a_steps.zip(b_steps) {
+            for mr in 0..MR {
+                let a = avals[mr];
+                let row = &mut tile[mr];
+                for nr in 0..NR {
+                    row[nr] += a * bvals[nr];
+                }
+            }
+        }
+        for mr in 0..MR {
+            $acc[mr * NR..mr * NR + NR].copy_from_slice(&tile[mr]);
+        }
+    }};
+}
+
+impl GemmElement for f64 {
+    const MR: usize = 6;
+    const NR: usize = 16;
+    const KC: usize = 256;
+    const NC: usize = 256;
+
+    #[inline(always)]
+    fn microkernel(kc_len: usize, apanel: &[Self], bpanel: &[Self], acc: &mut [Self]) {
+        microkernel_body!(f64, 6, 16, kc_len, apanel, bpanel, acc);
+    }
+}
+
+impl GemmElement for f32 {
+    // Twice the tile width of f64: same 12 accumulator registers on an
+    // AVX-512 machine (6 rows × 32 cols / 16 lanes), but a KC×NR B panel
+    // is still 32 KiB — L1-resident. NC doubles so a packed B slab stays
+    // the same 512 KiB in bytes.
+    const MR: usize = 6;
+    const NR: usize = 32;
+    const KC: usize = 256;
+    const NC: usize = 512;
+
+    // `inline(never)`, unlike the f64 kernel: whether LLVM vectorizes the
+    // `mul_add` loop turns out to depend on the surrounding inlining
+    // context — fused into `compute_cols` inside an rlib it has been seen
+    // to lower to *scalar* FMA (~3× slower end to end through a
+    // `share_f32()` vtable) while the same source vectorized fine when
+    // monomorphized in a leaf crate. Compiling the kernel as a standalone
+    // function makes its codegen context-independent; the call costs ~100k
+    // flops of work, so the overhead is noise.
+    #[inline(never)]
+    fn microkernel(kc_len: usize, apanel: &[Self], bpanel: &[Self], acc: &mut [Self]) {
+        // LLVM refuses to contract `acc += a * b` into FMA for f32 (and the
+        // separate mul/add form also vectorizes poorly here — measured ~4
+        // GFLOP/s vs ~94 with explicit FMA on an AVX-512 host). Spell the
+        // fused form out when the target has hardware FMA; without it,
+        // `f32::mul_add` would lower to a libm call per lane, so fall back
+        // to the contractible form instead. Either branch is chosen at
+        // compile time, so results stay bitwise deterministic per build.
+        if cfg!(target_feature = "fma") {
+            const MR: usize = 6;
+            const NR: usize = 32;
+            let mut tile = [[0.0f32; NR]; MR];
+            let a_steps = apanel[..kc_len * MR].chunks_exact(MR);
+            let b_steps = bpanel[..kc_len * NR].chunks_exact(NR);
+            for (avals, bvals) in a_steps.zip(b_steps) {
+                for mr in 0..MR {
+                    let a = avals[mr];
+                    let row = &mut tile[mr];
+                    for nr in 0..NR {
+                        row[nr] = a.mul_add(bvals[nr], row[nr]);
+                    }
+                }
+            }
+            for mr in 0..MR {
+                acc[mr * NR..mr * NR + NR].copy_from_slice(&tile[mr]);
+            }
+        } else {
+            microkernel_body!(f32, 6, 32, kc_len, apanel, bpanel, acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(f64::from_f64(1.5), 1.5);
+        assert_eq!(f32::from_f64(1.5), 1.5f32);
+        assert_eq!(Element::to_f64(0.25f32), 0.25);
+        assert_eq!(<f64 as Element>::NAME, "f64");
+        assert_eq!(<f32 as Element>::NAME, "f32");
+    }
+
+    #[test]
+    fn bits_distinguish_signed_zero() {
+        assert_ne!(Element::bits(0.0f32), Element::bits(-0.0f32));
+        assert_ne!(Element::bits(0.0f64), Element::bits(-0.0f64));
+        assert_eq!(Element::bits(1.0f32), u64::from(1.0f32.to_bits()));
+    }
+
+    #[test]
+    fn microkernel_matches_naive_dot() {
+        fn check<E: GemmElement>() {
+            let kc = 7;
+            let apanel: Vec<E> = (0..kc * E::MR)
+                .map(|i| E::from_f64((i % 5) as f64 - 2.0))
+                .collect();
+            let bpanel: Vec<E> = (0..kc * E::NR)
+                .map(|i| E::from_f64((i % 3) as f64 * 0.5))
+                .collect();
+            let mut acc = vec![E::from_f64(99.0); E::MR * E::NR];
+            E::microkernel(kc, &apanel, &bpanel, &mut acc);
+            for mr in 0..E::MR {
+                for nr in 0..E::NR {
+                    let mut want = E::ZERO;
+                    for k in 0..kc {
+                        want += apanel[k * E::MR + mr] * bpanel[k * E::NR + nr];
+                    }
+                    assert_eq!(acc[mr * E::NR + nr], want, "{} ({mr},{nr})", E::NAME);
+                }
+            }
+        }
+        check::<f64>();
+        check::<f32>();
+    }
+}

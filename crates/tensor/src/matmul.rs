@@ -1,4 +1,5 @@
-//! Cache-blocked, register-tiled `f64` matrix multiplication.
+//! Cache-blocked, register-tiled matrix multiplication, generic over the
+//! element type.
 //!
 //! This is the single compute kernel the convolution layers of `mgd-nn`
 //! lower onto (im2col / col2im): `C = op(A) · op(B)` with optional
@@ -7,36 +8,44 @@
 //! operand — a weight matrix — times a wide patch matrix):
 //!
 //! - **Packing**: `op(A)` is packed once into column-major micro-panels of
-//!   [`MR`] rows ([`PackedA`], reusable across a whole mini-batch via
+//!   `E::MR` rows ([`PackedA`], reusable across a whole mini-batch via
 //!   [`gemm_prepacked`]); `op(B)` is packed per `(k-block, column-slab)`
-//!   into row-major micro-panels of [`NR`] columns. Packing makes every
+//!   into row-major micro-panels of `E::NR` columns. Packing makes every
 //!   micro-kernel read sequential regardless of the logical layout, and
 //!   absorbs both transposes and edge-tile zero padding.
 //! - **Register tiling**: the micro-kernel accumulates an `MR × NR` tile in
-//!   local accumulators over a [`KC`]-long stretch of the shared dimension,
-//!   so each loaded element is reused `MR` (or `NR`) times.
-//! - **Parallelism**: column slabs of [`NC`] columns are independent jobs
+//!   local accumulators over an `E::KC`-long stretch of the shared
+//!   dimension, so each loaded element is reused `MR` (or `NR`) times. The
+//!   tile geometry is per-precision ([`GemmElement`]): `f32` runs a tile
+//!   twice as wide as `f64` for the same register budget, which is where
+//!   its ~2× GEMM ceiling comes from.
+//! - **Parallelism**: column slabs of `E::NC` columns are independent jobs
 //!   dispatched through [`crate::par::par_jobs_with`]; when the shared
 //!   dimension dominates (`k` huge, `m·n` tiny — the conv weight-gradient
 //!   shape), the kernel instead splits `k` into chunks reduced **in chunk
 //!   order**, so results are bitwise deterministic for any thread count.
+//!   The split-k reduction normally accumulates in `E`; [`gemm_opts`] with
+//!   [`SplitKAcc::Wide`] reduces the `f32` partial products in `f64`
+//!   instead (a no-op for `f64`), trading one widening pass for immunity to
+//!   catastrophic cancellation across chunks.
 //!
 //! Every job writes a disjoint region of `C` with a fixed internal loop
 //! order, and reductions happen in a deterministic order, so a given entry
-//! point is bitwise reproducible run-to-run on any machine.
+//! point is bitwise reproducible run-to-run on any machine. The `f64`
+//! instantiation performs the identical floating-point operation sequence
+//! as the pre-generic kernel.
 
+use crate::element::GemmElement;
 use crate::par::par_jobs_with;
 
-/// Micro-kernel tile rows (rows of `op(A)` per register tile).
-pub const MR: usize = 6;
-/// Micro-kernel tile columns (columns of `op(B)` per register tile).
-pub const NR: usize = 16;
-/// Cache block along the shared dimension `k` (sized so an `MR`-panel of A
-/// plus an `NR`-panel of B stay resident in L1 while C tiles live in
-/// registers).
-pub const KC: usize = 256;
-/// Columns per parallel job (one packed `KC × NC` B slab ≈ 512 KiB, L2).
-pub const NC: usize = 256;
+/// Micro-kernel tile rows of the `f64` instantiation.
+pub const MR: usize = <f64 as GemmElement>::MR;
+/// Micro-kernel tile columns of the `f64` instantiation.
+pub const NR: usize = <f64 as GemmElement>::NR;
+/// `k` cache block of the `f64` instantiation.
+pub const KC: usize = <f64 as GemmElement>::KC;
+/// Columns per parallel job of the `f64` instantiation.
+pub const NC: usize = <f64 as GemmElement>::NC;
 
 /// Minimum `k` chunk length of the split-k path.
 const KSPLIT_LEN: usize = 8192;
@@ -46,33 +55,45 @@ const KSPLIT_MAX_MN: usize = 1 << 16;
 /// Cap on total split-k scratch (elements) across all chunks.
 const KSPLIT_MAX_SCRATCH: usize = 1 << 22;
 
+/// How the split-k path reduces its per-chunk partial products.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SplitKAcc {
+    /// Reduce in the element type itself (the default; for `f64` this is
+    /// the only behavior there is).
+    #[default]
+    Native,
+    /// Widen each partial to `f64` and reduce there, rounding back to `E`
+    /// once at the end. Only changes results for `f32`.
+    Wide,
+}
+
 /// Raw-pointer wrapper so parallel jobs can write provably disjoint regions
 /// of `C` (each job owns a distinct column range or scratch slab).
-struct SendPtr(*mut f64);
-impl SendPtr {
+struct SendPtr<E>(*mut E);
+impl<E> SendPtr<E> {
     #[inline]
-    fn get(&self) -> *mut f64 {
+    fn get(&self) -> *mut E {
         self.0
     }
 }
 // SAFETY: jobs only write through disjoint index ranges, guaranteed by the
 // dispatchers below.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+unsafe impl<E> Send for SendPtr<E> {}
+unsafe impl<E> Sync for SendPtr<E> {}
 
-/// `op(A)` packed into `MR`-row micro-panels, grouped by `KC` block.
+/// `op(A)` packed into `E::MR`-row micro-panels, grouped by `E::KC` block.
 ///
 /// Packing is the expensive-once half of the kernel: a conv layer packs its
 /// weight matrix one time per forward/backward call and reuses it for every
 /// sample in the batch through [`gemm_prepacked`].
-pub struct PackedA {
+pub struct PackedA<E: GemmElement = f64> {
     m: usize,
     k: usize,
     mpanels: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl PackedA {
+impl<E: GemmElement> PackedA<E> {
     /// Rows of `op(A)`.
     pub fn m(&self) -> usize {
         self.m
@@ -85,9 +106,9 @@ impl PackedA {
 
     /// Packed panel of (`kb`-th `KC` block, `mp`-th `MR` panel).
     #[inline]
-    fn panel(&self, kb: usize, mp: usize, kc_len: usize) -> &[f64] {
-        let base = kb * self.mpanels * KC * MR + mp * kc_len * MR;
-        &self.data[base..base + kc_len * MR]
+    fn panel(&self, kb: usize, mp: usize, kc_len: usize) -> &[E] {
+        let base = kb * self.mpanels * E::KC * E::MR + mp * kc_len * E::MR;
+        &self.data[base..base + kc_len * E::MR]
     }
 }
 
@@ -106,7 +127,7 @@ fn op_strides(rows_op: usize, cols_op: usize, trans: bool) -> (usize, usize) {
 
 /// Packs `op(A)` (`m × k`) into [`PackedA`]. `trans_a` means `a` is stored
 /// `k × m` row-major and used transposed.
-pub fn pack_a(a: &[f64], m: usize, k: usize, trans_a: bool) -> PackedA {
+pub fn pack_a<E: GemmElement>(a: &[E], m: usize, k: usize, trans_a: bool) -> PackedA<E> {
     assert_eq!(a.len(), m * k, "A storage must hold m*k elements");
     let (ars, acs) = op_strides(m, k, trans_a);
     pack_a_range(a, m, ars, acs, 0, k)
@@ -117,57 +138,38 @@ pub fn pack_a(a: &[f64], m: usize, k: usize, trans_a: bool) -> PackedA {
 /// ragged last panel.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn pack_b_slab(
-    b: &[f64],
+fn pack_b_slab<E: GemmElement>(
+    b: &[E],
     brs: usize,
     bcs: usize,
     k0: usize,
     kc_len: usize,
     j0: usize,
     jn: usize,
-    bpack: &mut [f64],
+    bpack: &mut [E],
 ) {
-    let npanels = jn.div_ceil(NR);
+    let nr = E::NR;
+    let npanels = jn.div_ceil(nr);
     for np in 0..npanels {
-        let jbase = j0 + np * NR;
-        let nvalid = NR.min(j0 + jn - jbase);
-        let panel = &mut bpack[np * kc_len * NR..(np + 1) * kc_len * NR];
-        if nvalid == NR && bcs == 1 {
+        let jbase = j0 + np * nr;
+        let nvalid = nr.min(j0 + jn - jbase);
+        let panel = &mut bpack[np * kc_len * nr..(np + 1) * kc_len * nr];
+        if nvalid == nr && bcs == 1 {
             // Contiguous row fragments: bulk-copy each k row.
             for kk in 0..kc_len {
                 let src = (k0 + kk) * brs + jbase;
-                panel[kk * NR..kk * NR + NR].copy_from_slice(&b[src..src + NR]);
+                panel[kk * nr..kk * nr + nr].copy_from_slice(&b[src..src + nr]);
             }
         } else {
             for kk in 0..kc_len {
-                let row = &mut panel[kk * NR..kk * NR + NR];
-                for (nr, slot) in row.iter_mut().enumerate() {
-                    *slot = if nr < nvalid {
-                        b[(k0 + kk) * brs + (jbase + nr) * bcs]
+                let row = &mut panel[kk * nr..kk * nr + nr];
+                for (col, slot) in row.iter_mut().enumerate() {
+                    *slot = if col < nvalid {
+                        b[(k0 + kk) * brs + (jbase + col) * bcs]
                     } else {
-                        0.0
+                        E::ZERO
                     };
                 }
-            }
-        }
-    }
-}
-
-/// The register-tiled micro-kernel: accumulates an `MR × NR` tile over
-/// `kc_len` steps of packed panels.
-#[inline(always)]
-fn microkernel(kc_len: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; NR]; MR]) {
-    // `chunks_exact` hoists all bounds checks out of the hot loop, leaving a
-    // branch-free body of MR broadcasts × NR-wide multiply-adds that the
-    // auto-vectorizer maps onto SIMD registers.
-    let a_steps = apanel[..kc_len * MR].chunks_exact(MR);
-    let b_steps = bpanel[..kc_len * NR].chunks_exact(NR);
-    for (avals, bvals) in a_steps.zip(b_steps) {
-        for mr in 0..MR {
-            let a = avals[mr];
-            let row = &mut acc[mr];
-            for nr in 0..NR {
-                row[nr] += a * bvals[nr];
             }
         }
     }
@@ -180,43 +182,44 @@ fn microkernel(kc_len: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; N
 /// `c` must be valid for `m * n` elements and no other thread may touch
 /// columns `[j0, j1)` concurrently.
 #[allow(clippy::too_many_arguments)]
-unsafe fn compute_cols(
-    pa: &PackedA,
-    b: &[f64],
+unsafe fn compute_cols<E: GemmElement>(
+    pa: &PackedA<E>,
+    b: &[E],
     brs: usize,
     bcs: usize,
     koff: usize,
-    c: *mut f64,
+    c: *mut E,
     n: usize,
     j0: usize,
     j1: usize,
     accumulate: bool,
-    bpack: &mut Vec<f64>,
+    bpack: &mut Vec<E>,
 ) {
+    let (mr_t, nr_t, kc_t) = (E::MR, E::NR, E::KC);
     let jn = j1 - j0;
-    let kblocks = pa.k.div_ceil(KC);
-    bpack.resize(KC * jn.div_ceil(NR) * NR, 0.0);
+    let kblocks = pa.k.div_ceil(kc_t);
+    bpack.resize(kc_t * jn.div_ceil(nr_t) * nr_t, E::ZERO);
+    let mut acc = vec![E::ZERO; mr_t * nr_t];
     for kb in 0..kblocks {
-        let k0 = kb * KC;
-        let kc_len = KC.min(pa.k - k0);
+        let k0 = kb * kc_t;
+        let kc_len = kc_t.min(pa.k - k0);
         pack_b_slab(b, brs, bcs, koff + k0, kc_len, j0, jn, bpack);
         let first = kb == 0 && !accumulate;
         for mp in 0..pa.mpanels {
-            let i0 = mp * MR;
-            let mvalid = MR.min(pa.m - i0);
+            let i0 = mp * mr_t;
+            let mvalid = mr_t.min(pa.m - i0);
             let apanel = pa.panel(kb, mp, kc_len);
-            for np in 0..jn.div_ceil(NR) {
-                let jbase = j0 + np * NR;
-                let nvalid = NR.min(j1 - jbase);
-                let mut acc = [[0.0f64; NR]; MR];
-                microkernel(kc_len, apanel, &bpack[np * kc_len * NR..], &mut acc);
+            for np in 0..jn.div_ceil(nr_t) {
+                let jbase = j0 + np * nr_t;
+                let nvalid = nr_t.min(j1 - jbase);
+                E::microkernel(kc_len, apanel, &bpack[np * kc_len * nr_t..], &mut acc);
                 for mr in 0..mvalid {
                     let row = c.add((i0 + mr) * n + jbase);
-                    for (nr, &v) in acc[mr][..nvalid].iter().enumerate() {
+                    for (col, &v) in acc[mr * nr_t..mr * nr_t + nvalid].iter().enumerate() {
                         if first {
-                            *row.add(nr) = v;
+                            *row.add(col) = v;
                         } else {
-                            *row.add(nr) += v;
+                            *row.add(col) += v;
                         }
                     }
                 }
@@ -228,14 +231,14 @@ unsafe fn compute_cols(
 /// `C (m × n) {=, +=} op(A) · op(B)` with `op(A)` already packed.
 ///
 /// This is the batch-loop entry point: pack the (shared) weight matrix once
-/// with [`pack_a`], then call this per sample. Column slabs of [`NC`]
+/// with [`pack_a`], then call this per sample. Column slabs of `E::NC`
 /// columns run as parallel jobs; output is bitwise deterministic for any
 /// thread count.
-pub fn gemm_prepacked(
-    pa: &PackedA,
-    b: &[f64],
+pub fn gemm_prepacked<E: GemmElement>(
+    pa: &PackedA<E>,
+    b: &[E],
     trans_b: bool,
-    c: &mut [f64],
+    c: &mut [E],
     n: usize,
     accumulate: bool,
 ) {
@@ -247,16 +250,16 @@ pub fn gemm_prepacked(
     }
     if k == 0 {
         if !accumulate {
-            c.fill(0.0);
+            c.fill(E::ZERO);
         }
         return;
     }
     let (brs, bcs) = op_strides(k, n, trans_b);
-    let jobs = n.div_ceil(NC);
+    let jobs = n.div_ceil(E::NC);
     let cptr = SendPtr(c.as_mut_ptr());
-    par_jobs_with(jobs, m * k, Vec::<f64>::new, |bpack, job| {
-        let j0 = job * NC;
-        let j1 = (j0 + NC).min(n);
+    par_jobs_with(jobs, m * k, Vec::<E>::new, |bpack, job| {
+        let j0 = job * E::NC;
+        let j1 = (j0 + E::NC).min(n);
         // SAFETY: job `job` exclusively owns columns [j0, j1) of C.
         unsafe {
             compute_cols(pa, b, brs, bcs, 0, cptr.get(), n, j0, j1, accumulate, bpack);
@@ -264,7 +267,8 @@ pub fn gemm_prepacked(
     });
 }
 
-/// `C (m × n) {=, +=} op(A) · op(B)`, all operands row-major `f64` slices.
+/// `C (m × n) {=, +=} op(A) · op(B)`, all operands row-major slices of one
+/// element type.
 ///
 /// `trans_a` / `trans_b` mean the slice stores the transpose of the operand
 /// (so `a` is `k × m`, resp. `b` is `n × k`); the transposition is absorbed
@@ -276,16 +280,45 @@ pub fn gemm_prepacked(
 /// partial products are reduced in chunk order — both bitwise deterministic
 /// across runs and thread counts.
 #[allow(clippy::too_many_arguments)]
-pub fn gemm(
+pub fn gemm<E: GemmElement>(
     m: usize,
     n: usize,
     k: usize,
-    a: &[f64],
+    a: &[E],
     trans_a: bool,
-    b: &[f64],
+    b: &[E],
     trans_b: bool,
-    c: &mut [f64],
+    c: &mut [E],
     accumulate: bool,
+) {
+    gemm_opts(
+        m,
+        n,
+        k,
+        a,
+        trans_a,
+        b,
+        trans_b,
+        c,
+        accumulate,
+        SplitKAcc::Native,
+    );
+}
+
+/// [`gemm`] with an explicit split-k accumulation policy (the `f64`-
+/// accumulate knob for `f32` weight-gradient GEMMs).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_opts<E: GemmElement>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[E],
+    trans_a: bool,
+    b: &[E],
+    trans_b: bool,
+    c: &mut [E],
+    accumulate: bool,
+    split_k_acc: SplitKAcc,
 ) {
     assert_eq!(a.len(), m * k, "A storage must hold m*k elements");
     assert_eq!(b.len(), k * n, "B storage must hold k*n elements");
@@ -295,7 +328,7 @@ pub fn gemm(
     }
     if k == 0 {
         if !accumulate {
-            c.fill(0.0);
+            c.fill(E::ZERO);
         }
         return;
     }
@@ -303,7 +336,19 @@ pub fn gemm(
         .div_ceil(KSPLIT_LEN)
         .min(KSPLIT_MAX_SCRATCH / (m * n).max(1));
     if chunks >= 2 && m * n <= KSPLIT_MAX_MN {
-        gemm_split_k(m, n, k, a, trans_a, b, trans_b, c, accumulate, chunks);
+        gemm_split_k(
+            m,
+            n,
+            k,
+            a,
+            trans_a,
+            b,
+            trans_b,
+            c,
+            accumulate,
+            chunks,
+            split_k_acc,
+        );
     } else {
         let pa = pack_a(a, m, k, trans_a);
         gemm_prepacked(&pa, b, trans_b, c, n, accumulate);
@@ -313,25 +358,26 @@ pub fn gemm(
 /// Split-k evaluation: `chunks` partial `m × n` products computed in
 /// parallel, then reduced **in chunk order** into `C`.
 #[allow(clippy::too_many_arguments)]
-fn gemm_split_k(
+fn gemm_split_k<E: GemmElement>(
     m: usize,
     n: usize,
     k: usize,
-    a: &[f64],
+    a: &[E],
     trans_a: bool,
-    b: &[f64],
+    b: &[E],
     trans_b: bool,
-    c: &mut [f64],
+    c: &mut [E],
     accumulate: bool,
     chunks: usize,
+    split_k_acc: SplitKAcc,
 ) {
     let (ars, acs) = op_strides(m, k, trans_a);
     let (brs, bcs) = op_strides(k, n, trans_b);
     let chunk_len = k.div_ceil(chunks);
     let mn = m * n;
-    let mut partials = vec![0.0f64; chunks * mn];
+    let mut partials = vec![E::ZERO; chunks * mn];
     let pptr = SendPtr(partials.as_mut_ptr());
-    par_jobs_with(chunks, mn * chunk_len, Vec::<f64>::new, |bpack, s| {
+    par_jobs_with(chunks, mn * chunk_len, Vec::<E>::new, |bpack, s| {
         let k0 = s * chunk_len;
         let k1 = (k0 + chunk_len).min(k);
         let pa = pack_a_range(a, m, ars, acs, k0, k1);
@@ -352,8 +398,26 @@ fn gemm_split_k(
             );
         }
     });
+    if split_k_acc == SplitKAcc::Wide && E::NAME != "f64" {
+        // Widened reduction: chunk order preserved, one rounding at the end.
+        let mut wide: Vec<f64> = if accumulate {
+            c.iter().map(|x| x.to_f64()).collect()
+        } else {
+            vec![0.0; mn]
+        };
+        for s in 0..chunks {
+            let part = &partials[s * mn..(s + 1) * mn];
+            for (dst, &src) in wide.iter_mut().zip(part) {
+                *dst += src.to_f64();
+            }
+        }
+        for (dst, &src) in c.iter_mut().zip(&wide) {
+            *dst = E::from_f64(src);
+        }
+        return;
+    }
     if !accumulate {
-        c.fill(0.0);
+        c.fill(E::ZERO);
     }
     for s in 0..chunks {
         let part = &partials[s * mn..(s + 1) * mn];
@@ -364,23 +428,31 @@ fn gemm_split_k(
 }
 
 /// Packs columns `[k0, k1)` of `op(A)` given explicit element strides.
-fn pack_a_range(a: &[f64], m: usize, ars: usize, acs: usize, k0: usize, k1: usize) -> PackedA {
+fn pack_a_range<E: GemmElement>(
+    a: &[E],
+    m: usize,
+    ars: usize,
+    acs: usize,
+    k0: usize,
+    k1: usize,
+) -> PackedA<E> {
+    let (mr_t, kc_t) = (E::MR, E::KC);
     let k = k1 - k0;
-    let mpanels = m.div_ceil(MR).max(1);
-    let kblocks = k.div_ceil(KC);
-    let mut data = vec![0.0; kblocks.max(1) * mpanels * KC * MR];
+    let mpanels = m.div_ceil(mr_t).max(1);
+    let kblocks = k.div_ceil(kc_t);
+    let mut data = vec![E::ZERO; kblocks.max(1) * mpanels * kc_t * mr_t];
     for kb in 0..kblocks {
-        let kc0 = kb * KC;
-        let kc_len = KC.min(k - kc0);
-        let block_base = kb * mpanels * KC * MR;
+        let kc0 = kb * kc_t;
+        let kc_len = kc_t.min(k - kc0);
+        let block_base = kb * mpanels * kc_t * mr_t;
         let mut out = block_base;
         for mp in 0..mpanels {
-            let i0 = mp * MR;
+            let i0 = mp * mr_t;
             for kk in 0..kc_len {
                 let l = k0 + kc0 + kk;
-                for mr in 0..MR {
+                for mr in 0..mr_t {
                     let i = i0 + mr;
-                    data[out] = if i < m { a[i * ars + l * acs] } else { 0.0 };
+                    data[out] = if i < m { a[i * ars + l * acs] } else { E::ZERO };
                     out += 1;
                 }
             }
@@ -400,21 +472,21 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn naive(
+    fn naive<E: GemmElement>(
         m: usize,
         n: usize,
         k: usize,
-        a: &[f64],
+        a: &[E],
         trans_a: bool,
-        b: &[f64],
+        b: &[E],
         trans_b: bool,
-    ) -> Vec<f64> {
+    ) -> Vec<E> {
         let (ars, acs) = op_strides(m, k, trans_a);
         let (brs, bcs) = op_strides(k, n, trans_b);
-        let mut c = vec![0.0; m * n];
+        let mut c = vec![E::ZERO; m * n];
         for i in 0..m {
             for j in 0..n {
-                let mut s = 0.0;
+                let mut s = E::ZERO;
                 for l in 0..k {
                     s += a[i * ars + l * acs] * b[l * brs + j * bcs];
                 }
@@ -424,23 +496,33 @@ mod tests {
         c
     }
 
-    fn rand_vec(len: usize, rng: &mut StdRng) -> Vec<f64> {
-        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    fn rand_vec<E: GemmElement>(len: usize, rng: &mut StdRng) -> Vec<E> {
+        (0..len)
+            .map(|_| E::from_f64(rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
-    fn check_case(m: usize, n: usize, k: usize, trans_a: bool, trans_b: bool, seed: u64) {
+    fn check_case<E: GemmElement>(
+        m: usize,
+        n: usize,
+        k: usize,
+        trans_a: bool,
+        trans_b: bool,
+        seed: u64,
+        tol: f64,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = rand_vec(m * k, &mut rng);
-        let b = rand_vec(k * n, &mut rng);
+        let a: Vec<E> = rand_vec(m * k, &mut rng);
+        let b: Vec<E> = rand_vec(k * n, &mut rng);
         let want = naive(m, n, k, &a, trans_a, &b, trans_b);
-        let mut c = vec![0.0; m * n];
+        let mut c = vec![E::ZERO; m * n];
         gemm(m, n, k, &a, trans_a, &b, trans_b, &mut c, false);
         for i in 0..m * n {
+            let (ci, wi) = (c[i].to_f64(), want[i].to_f64());
             assert!(
-                (c[i] - want[i]).abs() <= 1e-11 * want[i].abs().max(1.0),
-                "({m}x{n}x{k}, ta={trans_a}, tb={trans_b})[{i}]: {} vs {}",
-                c[i],
-                want[i]
+                (ci - wi).abs() <= tol * wi.abs().max(1.0),
+                "{} ({m}x{n}x{k}, ta={trans_a}, tb={trans_b})[{i}]: {ci} vs {wi}",
+                E::NAME
             );
         }
     }
@@ -448,18 +530,22 @@ mod tests {
     #[test]
     fn matches_naive_across_shapes() {
         // Exercises full tiles, ragged edges in every dimension, tiny and
-        // micro-kernel-sized operands.
+        // micro-kernel-sized operands — for both element types (the f32
+        // tile is wider, so its edge cases sit at different shapes).
         for &(m, n, k) in &[
             (1, 1, 1),
             (MR, NR, KC),
             (MR + 1, NR + 3, KC + 5),
+            (6, 32 + 5, KC + 5), // ragged edge of the f32 tile
             (3, 7, 2),
-            (8, 300, 40),  // crosses an NC slab boundary
+            (8, 600, 40),  // crosses an NC slab boundary for both tiles
             (17, 23, 300), // crosses a KC block boundary
             (2, 2, 513),
         ] {
             for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
-                check_case(m, n, k, ta, tb, (m * 31 + n * 7 + k) as u64);
+                let seed = (m * 31 + n * 7 + k) as u64;
+                check_case::<f64>(m, n, k, ta, tb, seed, 1e-11);
+                check_case::<f32>(m, n, k, ta, tb, seed, 1e-4);
             }
         }
     }
@@ -467,16 +553,62 @@ mod tests {
     #[test]
     fn split_k_path_matches_naive() {
         // k large enough for >= 2 chunks, m*n small: hits gemm_split_k.
-        check_case(3, 5, 2 * KSPLIT_LEN + 17, false, true, 99);
+        check_case::<f64>(3, 5, 2 * KSPLIT_LEN + 17, false, true, 99, 1e-11);
+        check_case::<f32>(3, 5, 2 * KSPLIT_LEN + 17, false, true, 99, 1e-3);
+    }
+
+    #[test]
+    fn split_k_wide_accumulate_is_at_least_as_accurate() {
+        let (m, n, k) = (2, 3, 2 * KSPLIT_LEN + 5);
+        let mut rng = StdRng::seed_from_u64(41);
+        let a: Vec<f32> = rand_vec(m * k, &mut rng);
+        let b: Vec<f32> = rand_vec(k * n, &mut rng);
+        let a64: Vec<f64> = a.iter().map(|&x| f64::from(x)).collect();
+        let b64: Vec<f64> = b.iter().map(|&x| f64::from(x)).collect();
+        let want = naive(m, n, k, &a64, false, &b64, false);
+        let mut native = vec![0.0f32; m * n];
+        let mut wide = vec![0.0f32; m * n];
+        gemm_opts(
+            m,
+            n,
+            k,
+            &a,
+            false,
+            &b,
+            false,
+            &mut native,
+            false,
+            SplitKAcc::Native,
+        );
+        gemm_opts(
+            m,
+            n,
+            k,
+            &a,
+            false,
+            &b,
+            false,
+            &mut wide,
+            false,
+            SplitKAcc::Wide,
+        );
+        let err = |c: &[f32]| -> f64 {
+            c.iter()
+                .zip(&want)
+                .map(|(&x, &w)| (f64::from(x) - w).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(err(&wide) <= err(&native) + 1e-12);
+        assert!(err(&wide) < 1e-3);
     }
 
     #[test]
     fn accumulate_adds_into_c() {
         let mut rng = StdRng::seed_from_u64(5);
         let (m, n, k) = (5, 9, 11);
-        let a = rand_vec(m * k, &mut rng);
-        let b = rand_vec(k * n, &mut rng);
-        let base = rand_vec(m * n, &mut rng);
+        let a: Vec<f64> = rand_vec(m * k, &mut rng);
+        let b: Vec<f64> = rand_vec(k * n, &mut rng);
+        let base: Vec<f64> = rand_vec(m * n, &mut rng);
         let mut c = base.clone();
         gemm(m, n, k, &a, false, &b, false, &mut c, true);
         let prod = naive(m, n, k, &a, false, &b, false);
@@ -489,11 +621,11 @@ mod tests {
     fn prepacked_matches_gemm_and_reuses_across_calls() {
         let mut rng = StdRng::seed_from_u64(8);
         let (m, n, k) = (6, 40, 30);
-        let a = rand_vec(m * k, &mut rng);
+        let a: Vec<f64> = rand_vec(m * k, &mut rng);
         let pa = pack_a(&a, m, k, false);
         assert_eq!((pa.m(), pa.k()), (m, k));
         for trial in 0..3 {
-            let b = rand_vec(k * n, &mut rng);
+            let b: Vec<f64> = rand_vec(k * n, &mut rng);
             let mut c1 = vec![0.0; m * n];
             let mut c2 = vec![0.0; m * n];
             gemm_prepacked(&pa, &b, false, &mut c1, n, false);
@@ -504,7 +636,7 @@ mod tests {
 
     #[test]
     fn zero_k_zeroes_or_preserves_c() {
-        let mut c = vec![3.0; 4];
+        let mut c = vec![3.0f64; 4];
         gemm(2, 2, 0, &[], false, &[], false, &mut c, true);
         assert_eq!(c, vec![3.0; 4]);
         gemm(2, 2, 0, &[], false, &[], false, &mut c, false);
@@ -513,15 +645,38 @@ mod tests {
 
     #[test]
     fn bitwise_deterministic_across_runs() {
-        let mut rng = StdRng::seed_from_u64(13);
-        let (m, n, k) = (8, 1024, 216);
-        let a = rand_vec(m * k, &mut rng);
-        let b = rand_vec(k * n, &mut rng);
-        let mut c1 = vec![0.0; m * n];
-        let mut c2 = vec![0.0; m * n];
-        gemm(m, n, k, &a, false, &b, false, &mut c1, false);
-        gemm(m, n, k, &a, false, &b, false, &mut c2, false);
-        assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+        fn check<E: GemmElement>() {
+            let mut rng = StdRng::seed_from_u64(13);
+            let (m, n, k) = (8, 1024, 216);
+            let a: Vec<E> = rand_vec(m * k, &mut rng);
+            let b: Vec<E> = rand_vec(k * n, &mut rng);
+            let mut c1 = vec![E::ZERO; m * n];
+            let mut c2 = vec![E::ZERO; m * n];
+            gemm(m, n, k, &a, false, &b, false, &mut c1, false);
+            gemm(m, n, k, &a, false, &b, false, &mut c2, false);
+            assert!(
+                c1.iter().zip(&c2).all(|(x, y)| x.bits() == y.bits()),
+                "{} gemm not reproducible",
+                E::NAME
+            );
+        }
+        check::<f64>();
+        check::<f32>();
+    }
+
+    #[test]
+    fn f32_split_k_bitwise_deterministic() {
+        let (m, n, k) = (3, 4, 2 * KSPLIT_LEN + 7);
+        let mut rng = StdRng::seed_from_u64(29);
+        let a: Vec<f32> = rand_vec(m * k, &mut rng);
+        let b: Vec<f32> = rand_vec(k * n, &mut rng);
+        for acc in [SplitKAcc::Native, SplitKAcc::Wide] {
+            let mut c1 = vec![0.0f32; m * n];
+            let mut c2 = vec![0.0f32; m * n];
+            gemm_opts(m, n, k, &a, false, &b, false, &mut c1, false, acc);
+            gemm_opts(m, n, k, &a, false, &b, false, &mut c2, false, acc);
+            assert!(c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
     }
 }
 
@@ -529,17 +684,25 @@ mod tests {
 mod perf_probe {
     use super::*;
 
-    #[test]
-    #[ignore]
-    fn throughput_probe() {
-        let (m, n, k) = (16, 262144, 432);
-        let a = vec![1.0; m * k];
-        let b = vec![1.0; k * n];
-        let mut c = vec![0.0; m * n];
+    fn probe<E: GemmElement>(m: usize, n: usize, k: usize) {
+        let a = vec![E::ONE; m * k];
+        let b = vec![E::ONE; k * n];
+        let mut c = vec![E::ZERO; m * n];
         let t = std::time::Instant::now();
         gemm(m, n, k, &a, false, &b, false, &mut c, false);
         let dt = t.elapsed().as_secs_f64();
         let gflops = 2.0 * (m * n * k) as f64 / dt / 1e9;
-        eprintln!("gemm {m}x{n}x{k}: {:.3}s  {gflops:.2} GFLOP/s", dt);
+        eprintln!(
+            "gemm[{}] {m}x{n}x{k}: {dt:.3}s  {gflops:.2} GFLOP/s",
+            E::NAME
+        );
+    }
+
+    #[test]
+    #[ignore]
+    fn throughput_probe() {
+        let (m, n, k) = (16, 262144, 432);
+        probe::<f64>(m, n, k);
+        probe::<f32>(m, n, k);
     }
 }

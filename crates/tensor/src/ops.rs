@@ -1,40 +1,46 @@
 //! Elementwise and reduction operations on [`Tensor`].
+//!
+//! Elementwise ops run in the storage element type `E`; reductions (`sum`,
+//! `dot`, norms) widen each term to `f64` and accumulate there, so an `f32`
+//! tensor still reports `f64`-quality statistics and the `f64`
+//! instantiation is exactly the pre-generic code.
 
+use crate::element::{Element, F64_DIV_GUARD};
 use crate::par::{maybe_par_dot, maybe_par_sum, maybe_par_zip_inplace, maybe_par_zip_map};
 use crate::Tensor;
 
-impl Tensor {
+impl<E: Element> Tensor<E> {
     /// `self += other` (same shape).
-    pub fn add_assign(&mut self, other: &Tensor) {
+    pub fn add_assign(&mut self, other: &Tensor<E>) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
         maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x + y);
     }
 
     /// `self -= other` (same shape).
-    pub fn sub_assign(&mut self, other: &Tensor) {
+    pub fn sub_assign(&mut self, other: &Tensor<E>) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
         maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x - y);
     }
 
     /// Hadamard product in place.
-    pub fn mul_assign(&mut self, other: &Tensor) {
+    pub fn mul_assign(&mut self, other: &Tensor<E>) {
         assert_eq!(self.shape(), other.shape(), "mul_assign shape mismatch");
         maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x * y);
     }
 
     /// `self *= s`.
-    pub fn scale(&mut self, s: f64) {
+    pub fn scale(&mut self, s: E) {
         self.map_inplace(|x| x * s);
     }
 
     /// `self += alpha * other` (BLAS axpy).
-    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+    pub fn axpy(&mut self, alpha: E, other: &Tensor<E>) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
         maybe_par_zip_inplace(self.as_mut_slice(), other.as_slice(), &|x, y| x + alpha * y);
     }
 
     /// Elementwise sum into a fresh tensor.
-    pub fn add(&self, other: &Tensor) -> Tensor {
+    pub fn add(&self, other: &Tensor<E>) -> Tensor<E> {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
         let mut out = Tensor::zeros(self.shape().clone());
         maybe_par_zip_map(
@@ -47,7 +53,7 @@ impl Tensor {
     }
 
     /// Elementwise difference into a fresh tensor.
-    pub fn sub(&self, other: &Tensor) -> Tensor {
+    pub fn sub(&self, other: &Tensor<E>) -> Tensor<E> {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
         let mut out = Tensor::zeros(self.shape().clone());
         maybe_par_zip_map(
@@ -59,7 +65,7 @@ impl Tensor {
         out
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (accumulated in `f64`).
     pub fn sum(&self) -> f64 {
         maybe_par_sum(self.as_slice())
     }
@@ -73,11 +79,11 @@ impl Tensor {
         }
     }
 
-    /// Maximum element (NaN-propagating max of an empty tensor is -inf).
+    /// Maximum element (as `f64`; -inf for an empty tensor).
     pub fn max(&self) -> f64 {
         self.as_slice()
             .iter()
-            .copied()
+            .map(|x| x.to_f64())
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -85,12 +91,12 @@ impl Tensor {
     pub fn min(&self) -> f64 {
         self.as_slice()
             .iter()
-            .copied()
+            .map(|x| x.to_f64())
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Euclidean inner product.
-    pub fn dot(&self, other: &Tensor) -> f64 {
+    /// Euclidean inner product (accumulated in `f64`).
+    pub fn dot(&self, other: &Tensor<E>) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
         maybe_par_dot(self.as_slice(), other.as_slice())
     }
@@ -102,15 +108,17 @@ impl Tensor {
 
     /// Max-norm.
     pub fn norm_inf(&self) -> f64 {
-        self.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+        self.as_slice()
+            .iter()
+            .fold(0.0f64, |m, x| m.max(x.to_f64().abs()))
     }
 
     /// Relative L2 error `|self - other| / |other|` (or absolute when
     /// `other` is numerically zero).
-    pub fn rel_l2_error(&self, other: &Tensor) -> f64 {
+    pub fn rel_l2_error(&self, other: &Tensor<E>) -> f64 {
         let diff = self.sub(other).norm2();
         let denom = other.norm2();
-        if denom > 1e-300 {
+        if denom > F64_DIV_GUARD {
             diff / denom
         } else {
             diff
@@ -167,6 +175,18 @@ mod tests {
         assert!(a.rel_l2_error(&a) < 1e-15);
         let e = a.rel_l2_error(&b);
         assert!((e - (8.0f64).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_reductions_accumulate_in_f64() {
+        let a: Tensor<f32> = Tensor::from_vec([3], vec![3.0, -1.0, 2.0]);
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -1.0);
+        assert!((a.norm2() - 14.0f64.sqrt()).abs() < 1e-6);
+        let mut b = a.clone();
+        b.axpy(2.0f32, &a);
+        assert_eq!(b.as_slice(), &[9.0f32, -3.0, 6.0]);
     }
 
     #[test]

@@ -3,13 +3,23 @@
 //! Every kernel here has a sequential fast path below
 //! [`crate::PAR_THRESHOLD`] elements: coarse multigrid levels and unit tests
 //! operate on tensors where rayon's fork-join overhead would dominate.
+//!
+//! Elementwise helpers are generic over any `Copy` item; the reductions
+//! ([`maybe_par_sum`], [`maybe_par_dot`]) take any [`Element`] and
+//! accumulate in `f64` (an identity widening for `f64` itself, so the
+//! historical behavior is unchanged).
 
+use crate::element::Element;
 use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// In-place elementwise map, parallel for large slices.
-pub fn maybe_par_map_inplace<F: Fn(f64) -> f64 + Sync>(data: &mut [f64], f: &F) {
+pub fn maybe_par_map_inplace<T, F>(data: &mut [T], f: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T) -> T + Sync,
+{
     if data.len() >= PAR_THRESHOLD {
         data.par_iter_mut().for_each(|x| *x = f(*x));
     } else {
@@ -18,12 +28,11 @@ pub fn maybe_par_map_inplace<F: Fn(f64) -> f64 + Sync>(data: &mut [f64], f: &F) 
 }
 
 /// Elementwise binary op `out[i] = f(a[i], b[i])`, parallel for large slices.
-pub fn maybe_par_zip_map<F: Fn(f64, f64) -> f64 + Sync>(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
-    f: &F,
-) {
+pub fn maybe_par_zip_map<T, F>(a: &[T], b: &[T], out: &mut [T], f: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), out.len());
     if a.len() >= PAR_THRESHOLD {
@@ -38,7 +47,11 @@ pub fn maybe_par_zip_map<F: Fn(f64, f64) -> f64 + Sync>(
 }
 
 /// In-place binary op `a[i] = f(a[i], b[i])`, parallel for large slices.
-pub fn maybe_par_zip_inplace<F: Fn(f64, f64) -> f64 + Sync>(a: &mut [f64], b: &[f64], f: &F) {
+pub fn maybe_par_zip_inplace<T, F>(a: &mut [T], b: &[T], f: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
     assert_eq!(a.len(), b.len());
     if a.len() >= PAR_THRESHOLD {
         a.par_iter_mut()
@@ -51,22 +64,29 @@ pub fn maybe_par_zip_inplace<F: Fn(f64, f64) -> f64 + Sync>(a: &mut [f64], b: &[
     }
 }
 
-/// Parallel sum with a deterministic sequential fallback.
-pub fn maybe_par_sum(data: &[f64]) -> f64 {
+/// Parallel sum accumulated in `f64`, with a deterministic sequential
+/// fallback.
+pub fn maybe_par_sum<E: Element>(data: &[E]) -> f64 {
     if data.len() >= PAR_THRESHOLD {
-        data.par_iter().sum()
+        data.par_iter().map(|x| x.to_f64()).sum()
     } else {
-        data.iter().sum()
+        data.iter().map(|x| x.to_f64()).sum()
     }
 }
 
-/// Parallel dot product with a sequential fallback.
-pub fn maybe_par_dot(a: &[f64], b: &[f64]) -> f64 {
+/// Parallel dot product accumulated in `f64`, with a sequential fallback.
+pub fn maybe_par_dot<E: Element>(a: &[E], b: &[E]) -> f64 {
     assert_eq!(a.len(), b.len());
     if a.len() >= PAR_THRESHOLD {
-        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum()
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x.to_f64() * y.to_f64())
+            .sum()
     } else {
-        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x.to_f64() * y.to_f64())
+            .sum()
     }
 }
 
@@ -178,6 +198,16 @@ mod tests {
         assert!((maybe_par_sum(&a) - serial).abs() < 1e-9);
         let dot_serial: f64 = a.iter().map(|x| x * x).sum();
         assert!((maybe_par_dot(&a, &a) - dot_serial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f32_reductions_widen_to_f64() {
+        let n = PAR_THRESHOLD + 5;
+        let a: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let want: f64 = a.iter().map(|&x| f64::from(x)).sum();
+        assert_eq!(maybe_par_sum(&a), want);
+        let want_dot: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        assert_eq!(maybe_par_dot(&a, &a), want_dot);
     }
 
     #[test]

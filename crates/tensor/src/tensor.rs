@@ -1,34 +1,70 @@
-//! The owned dense tensor type.
+//! The owned dense tensor type, generic over its element.
 
+use crate::element::Element;
 use crate::par::maybe_par_map_inplace;
 use crate::Shape;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A dense, contiguous, row-major `f64` tensor.
+/// A dense, contiguous, row-major tensor of [`Element`]s (default `f64`).
 ///
 /// Network activations use the NCDHW convention `(batch, channel, depth,
 /// height, width)`; scalar fields on structured grids use `(depth, height,
 /// width)` (3D) or `(height, width)` (2D) with `x` on the fastest axis.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct Tensor {
+///
+/// The element type `E` is `f64` for training, master weights and
+/// certification, `f32` for the SIMD serving fast path; [`Tensor::cast`]
+/// converts between them. Reductions ([`Tensor::sum`] and friends in the
+/// ops module) accumulate in `f64` for every element type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor<E: Element = f64> {
     shape: Shape,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Tensor {
+// Written by hand (the derive shim rejects generic types) to produce the
+// exact `{"shape": ..., "data": [...]}` object layout the previous derived
+// impl emitted, so existing weight files keep loading.
+impl<E: Element> Serialize for Tensor<E> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("shape"), self.shape.serialize_value()),
+            (String::from("data"), self.data.serialize_value()),
+        ])
+    }
+}
+
+impl<E: Element> Deserialize for Tensor<E> {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}` in Tensor")))
+        };
+        let shape = Shape::deserialize_value(field("shape")?)?;
+        let data = Vec::<E>::deserialize_value(field("data")?)?;
+        if shape.len() != data.len() {
+            return Err(serde::Error::msg(format!(
+                "Tensor shape {shape} does not match data length {}",
+                data.len()
+            )));
+        }
+        Ok(Tensor { shape, data })
+    }
+}
+
+impl<E: Element> Tensor<E> {
     /// Zero-filled tensor of the given shape.
     pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
         let shape = shape.into();
         let n = shape.len();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: vec![E::ZERO; n],
         }
     }
 
     /// Tensor filled with `v`.
-    pub fn full<S: Into<Shape>>(shape: S, v: f64) -> Self {
+    pub fn full<S: Into<Shape>>(shape: S, v: E) -> Self {
         let shape = shape.into();
         let n = shape.len();
         Tensor {
@@ -39,11 +75,11 @@ impl Tensor {
 
     /// Tensor of ones.
     pub fn ones<S: Into<Shape>>(shape: S) -> Self {
-        Self::full(shape, 1.0)
+        Self::full(shape, E::ONE)
     }
 
     /// Builds a tensor from raw data; `data.len()` must equal the shape volume.
-    pub fn from_vec<S: Into<Shape>>(shape: S, data: Vec<f64>) -> Self {
+    pub fn from_vec<S: Into<Shape>>(shape: S, data: Vec<E>) -> Self {
         let shape = shape.into();
         assert_eq!(
             shape.len(),
@@ -54,6 +90,99 @@ impl Tensor {
         Tensor { shape, data }
     }
 
+    /// Shape accessor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.shape.0
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice.
+    pub fn as_slice(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Raw mutable data slice.
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<E> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, idx: &[usize]) -> E {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut E {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the storage under a new shape of equal volume.
+    pub fn reshape<S: Into<Shape>>(mut self, shape: S) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "reshape to {shape} changes volume"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: E) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Applies `f` elementwise in place (parallel above the size threshold).
+    pub fn map_inplace<F: Fn(E) -> E + Sync>(&mut self, f: F) {
+        maybe_par_map_inplace(&mut self.data, &f);
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map<F: Fn(E) -> E + Sync>(&self, f: F) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Converts every element through `f64` into another element type.
+    ///
+    /// `f64 → f32` rounds to nearest; `f32 → f64` is exact. Same-type casts
+    /// are a plain copy.
+    pub fn cast<T: Element>(&self) -> Tensor<T> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| T::from_f64(x.to_f64())).collect(),
+        }
+    }
+}
+
+impl Tensor<f64> {
     /// Tensor with entries drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform<S: Into<Shape>, R: Rng>(shape: S, lo: f64, hi: f64, rng: &mut R) -> Self {
         let shape = shape.into();
@@ -79,97 +208,17 @@ impl Tensor {
         }
         Tensor { shape, data }
     }
-
-    /// Shape accessor.
-    pub fn shape(&self) -> &Shape {
-        &self.shape
-    }
-
-    /// Extents as a slice.
-    pub fn dims(&self) -> &[usize] {
-        &self.shape.0
-    }
-
-    /// Total number of elements.
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// True when the tensor holds no elements.
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
-    /// Raw data slice.
-    pub fn as_slice(&self) -> &[f64] {
-        &self.data
-    }
-
-    /// Raw mutable data slice.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
-    }
-
-    /// Consumes the tensor, returning its storage.
-    pub fn into_vec(self) -> Vec<f64> {
-        self.data
-    }
-
-    /// Element at a multi-index.
-    pub fn at(&self, idx: &[usize]) -> f64 {
-        self.data[self.shape.offset(idx)]
-    }
-
-    /// Mutable element at a multi-index.
-    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
-        let off = self.shape.offset(idx);
-        &mut self.data[off]
-    }
-
-    /// Reinterprets the storage under a new shape of equal volume.
-    pub fn reshape<S: Into<Shape>>(mut self, shape: S) -> Self {
-        let shape = shape.into();
-        assert_eq!(
-            shape.len(),
-            self.data.len(),
-            "reshape to {shape} changes volume"
-        );
-        self.shape = shape;
-        self
-    }
-
-    /// Sets every element to `v`.
-    pub fn fill(&mut self, v: f64) {
-        self.data.iter_mut().for_each(|x| *x = v);
-    }
-
-    /// Applies `f` elementwise in place (parallel above the size threshold).
-    pub fn map_inplace<F: Fn(f64) -> f64 + Sync>(&mut self, f: F) {
-        maybe_par_map_inplace(&mut self.data, &f);
-    }
-
-    /// Returns a new tensor with `f` applied elementwise.
-    pub fn map<F: Fn(f64) -> f64 + Sync>(&self, f: F) -> Self {
-        let mut out = self.clone();
-        out.map_inplace(f);
-        out
-    }
-
-    /// True if any element is NaN or infinite.
-    pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
-    }
 }
 
-impl std::ops::Index<usize> for Tensor {
-    type Output = f64;
-    fn index(&self, i: usize) -> &f64 {
+impl<E: Element> std::ops::Index<usize> for Tensor<E> {
+    type Output = E;
+    fn index(&self, i: usize) -> &E {
         &self.data[i]
     }
 }
 
-impl std::ops::IndexMut<usize> for Tensor {
-    fn index_mut(&mut self, i: usize) -> &mut f64 {
+impl<E: Element> std::ops::IndexMut<usize> for Tensor<E> {
+    fn index_mut(&mut self, i: usize) -> &mut E {
         &mut self.data[i]
     }
 }
@@ -237,5 +286,57 @@ mod tests {
         assert!(!t.has_non_finite());
         t[1] = f64::NAN;
         assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn f32_tensor_basic_ops() {
+        let mut t: Tensor<f32> = Tensor::zeros([2, 2]);
+        *t.at_mut(&[0, 1]) = 2.5;
+        assert_eq!(t.at(&[0, 1]), 2.5f32);
+        t.fill(1.0);
+        assert_eq!(t.as_slice(), &[1.0f32; 4]);
+    }
+
+    #[test]
+    fn cast_roundtrips_f32_exactly() {
+        let t = Tensor::from_vec([3], vec![1.5, -0.25, 1024.0]);
+        let small: Tensor<f32> = t.cast();
+        let back: Tensor<f64> = small.cast();
+        assert_eq!(t, back);
+        assert_eq!(small.shape(), t.shape());
+    }
+
+    #[test]
+    fn serde_layout_matches_derived_shape() {
+        let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let v = t.serialize_value();
+        assert!(v.get("shape").is_some());
+        assert_eq!(
+            v.get("data").and_then(|d| d.as_array()).map(|a| a.len()),
+            Some(4)
+        );
+        let back = Tensor::<f64>::deserialize_value(&v).unwrap();
+        assert_eq!(back, t);
+        // And an f32 tensor round-trips through the same layout.
+        let s: Tensor<f32> = t.cast();
+        let sv = s.serialize_value();
+        let sback = Tensor::<f32>::deserialize_value(&sv).unwrap();
+        assert_eq!(sback, s);
+        // Cross-precision load: an f64-written tensor loads as f32.
+        let widened = Tensor::<f32>::deserialize_value(&v).unwrap();
+        assert_eq!(widened, s);
+    }
+
+    #[test]
+    fn serde_rejects_mismatched_lengths() {
+        use serde::Value;
+        let v = Value::Map(vec![
+            (
+                String::from("shape"),
+                Value::Seq(vec![Value::U64(2), Value::U64(2)]),
+            ),
+            (String::from("data"), Value::Seq(vec![Value::F64(1.0)])),
+        ]);
+        assert!(Tensor::<f64>::deserialize_value(&v).is_err());
     }
 }

@@ -61,6 +61,11 @@ bench-spatial:
 bench-certified:
     cargo run --release -p mgd-bench --bin certified_report
 
+# Precision report: f32 vs f64 GEMM/U-Net-forward/certified-solve, the
+# f32 fast path end to end; writes results/BENCH_precision.json.
+bench-precision:
+    cargo run --release -p mgd-bench --bin precision_report
+
 # All benchmarks.
 bench:
     cargo bench --workspace
