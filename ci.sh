@@ -22,10 +22,13 @@ run cargo run --release -p mgd-examples --bin distributed_training -- --threads 
 run cargo build --release -p mgd-bench --bin kernel_report
 run cargo run --release -p mgd-bench --bin kernel_report -- --quick /tmp/BENCH_kernels_ci.json
 # Spatial smoke: slab-decomposed serving must stay bitwise identical to
-# the serial forward at 2 and 4 ranks (tests + example + report quick mode).
+# the serial forward at 2 and 4 ranks — with halo/compute overlap on and
+# off, through the out-of-core streaming (skip-spill) mode, and at f32 to
+# tolerance (tests + example + report quick mode).
 run cargo test -q -p mgd-integration --test spatial
 run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 2
 run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 4
+run cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --stream --ranks 2
 run cargo run --release -p mgd-bench --bin spatial_report -- --quick /tmp/BENCH_spatial_ci.json
 # Serving smoke: concurrent snapshot readers, hot swap, and the
 # micro-batching queue must hold their bitwise guarantees, and the load

@@ -59,8 +59,9 @@ use crate::trainer::TrainConfig;
 use mgd_dist::{launch_with, LocalComm, SlabPartition};
 use mgd_field::{Dataset, DiffusivityModel, InputEncoding};
 use mgd_hybrid::{CertifiedSolution, StallPolicy, StrategyKind};
-use mgd_nn::{Adam, ConvBackend, Model, Optimizer, UNet, UNetConfig, WeightSnapshot};
+use mgd_nn::{Adam, ConvBackend, Model, Optimizer, SlabOpts, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::{Precision, Tensor};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -104,6 +105,12 @@ pub enum Parallelism {
     /// Slab-decomposed (spatial model-parallel) serving over `p`
     /// in-process ranks with halo exchange; training stays serial.
     SpatialThreads(usize),
+    /// The 2D process grid `Grid(d, p)`: data-parallel training over `d`
+    /// workers (exactly [`Parallelism::Threads(d)`](Parallelism::Threads))
+    /// composed with slab-decomposed serving over `p` ranks per lane —
+    /// batched predictions split across `d` concurrent slab forwards, each
+    /// carving its chunk into `p` slabs.
+    Grid(usize, usize),
 }
 
 impl Parallelism {
@@ -112,13 +119,23 @@ impl Parallelism {
         match *self {
             Parallelism::Serial | Parallelism::SpatialThreads(_) => 1,
             Parallelism::Threads(p) => p,
+            Parallelism::Grid(d, _) => d,
         }
     }
 
     /// Number of spatial (slab) ranks this mode serves with.
     pub fn spatial_ranks(&self) -> usize {
         match *self {
-            Parallelism::SpatialThreads(p) => p,
+            Parallelism::SpatialThreads(p) | Parallelism::Grid(_, p) => p,
+            _ => 1,
+        }
+    }
+
+    /// Number of concurrent slab-serving lanes (batch splits) this mode
+    /// serves with — the data axis of [`Parallelism::Grid`].
+    pub fn serve_lanes(&self) -> usize {
+        match *self {
+            Parallelism::Grid(d, _) => d,
             _ => 1,
         }
     }
@@ -183,6 +200,8 @@ pub struct SolverEngineBuilder {
     seed: u64,
     serve: ServeOptions,
     parallelism: Parallelism,
+    spatial_overlap: bool,
+    spatial_spill_dir: Option<PathBuf>,
     hybrid_strategy: StrategyKind,
     certify_tol: f64,
     stall: StallPolicy,
@@ -213,6 +232,8 @@ impl Default for SolverEngineBuilder {
             seed: 0,
             serve: ServeOptions::default(),
             parallelism: Parallelism::Serial,
+            spatial_overlap: true,
+            spatial_spill_dir: None,
             hybrid_strategy: StrategyKind::InitialGuess,
             certify_tol: 1e-8,
             stall: StallPolicy::default(),
@@ -462,6 +483,24 @@ impl SolverEngineBuilder {
         self
     }
 
+    /// Whether the slab-decomposed forward overlaps halo exchange with
+    /// interior compute (default `true`; `false` restores the classic
+    /// extend-then-restrict exchange). Results are identical either way.
+    pub fn spatial_overlap(mut self, overlap: bool) -> Self {
+        self.spatial_overlap = overlap;
+        self
+    }
+
+    /// Enables out-of-core slab streaming: encoder skip activations spill
+    /// to scratch files in `dir` and stream back at the decoder, capping
+    /// per-rank resident memory near the largest single-level working set
+    /// — how a rank serves domains whose full activation ladder exceeds
+    /// RAM. Results are bit-exact; only latency and residency change.
+    pub fn spatial_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spatial_spill_dir = Some(dir.into());
+        self
+    }
+
     /// Injects a custom model instead of the default U-Net. The model must
     /// accept NCDHW inputs at every hierarchy resolution.
     pub fn model(mut self, model: Box<dyn Model>) -> Self {
@@ -571,6 +610,14 @@ impl SolverEngineBuilder {
                 "Parallelism::Threads needs >= 1 worker (got 0)".into(),
             ));
         }
+        if let Parallelism::Grid(d, p) = self.parallelism {
+            if d == 0 || p == 0 {
+                return Err(MgdError::InvalidConfig(format!(
+                    "Parallelism::Grid needs >= 1 worker on each axis \
+                     (got {d} x {p})"
+                )));
+            }
+        }
         if self.serve.queue_depth == 0 {
             return Err(MgdError::InvalidConfig(
                 "queue_depth must be >= 1 (got 0)".into(),
@@ -633,16 +680,21 @@ impl SolverEngineBuilder {
                     self.precision
                 )));
             }
-            if matches!(self.parallelism, Parallelism::SpatialThreads(_)) {
+            if self.parallelism.spatial_ranks() > 1 && model.share_slab_f32().is_none() {
                 return Err(MgdError::InvalidConfig(format!(
-                    "precision {} is incompatible with \
-                     Parallelism::SpatialThreads: the slab-decomposed \
-                     forward runs f64-only",
+                    "precision {} with spatial parallelism requires a model \
+                     with an f32 slab-inference view (Model::share_slab_f32); \
+                     the configured model reports none",
                     self.precision
                 )));
             }
         }
-        if let Parallelism::SpatialThreads(p) = self.parallelism {
+        let spatial_p = match self.parallelism {
+            Parallelism::SpatialThreads(p) => Some(p),
+            Parallelism::Grid(_, p) => Some(p),
+            _ => None,
+        };
+        if let Some(p) = spatial_p {
             if p == 0 {
                 return Err(MgdError::InvalidConfig(
                     "Parallelism::SpatialThreads needs >= 1 rank (got 0)".into(),
@@ -670,10 +722,16 @@ impl SolverEngineBuilder {
         }
         let loss = Arc::new(FemLoss::new(&resolution)?);
         let stats = Arc::new(SharedServeStats::default());
+        let spatial_opts = SlabOpts {
+            overlap: self.spatial_overlap,
+            spill_dir: self.spatial_spill_dir.clone(),
+        };
         let snapshot = EngineSnapshot::build(SnapshotConfig {
             version: 0,
             model: &*model,
             spatial_ranks: self.parallelism.spatial_ranks(),
+            spatial_lanes: self.parallelism.serve_lanes(),
+            spatial_opts: spatial_opts.clone(),
             resolution: resolution.clone(),
             three_d: problem.rank() == 3,
             encoding: self.encoding,
@@ -697,6 +755,7 @@ impl SolverEngineBuilder {
             schedule,
             loss,
             parallelism: self.parallelism,
+            spatial_opts,
             serve: self.serve,
             hybrid_strategy: self.hybrid_strategy,
             certify_tol: self.certify_tol,
@@ -729,6 +788,7 @@ pub struct SolverEngine {
     schedule: MultigridTrainer,
     loss: Arc<FemLoss>,
     parallelism: Parallelism,
+    spatial_opts: SlabOpts,
     serve: ServeOptions,
     hybrid_strategy: StrategyKind,
     certify_tol: f64,
@@ -799,12 +859,12 @@ impl SolverEngine {
         let log = match self.parallelism {
             // Spatial decomposition parallelizes serving; training under it
             // runs the serial schedule (see the `Parallelism` docs).
-            Parallelism::Serial | Parallelism::SpatialThreads(_) => {
+            Parallelism::Serial | Parallelism::SpatialThreads(_) | Parallelism::Grid(1, _) => {
                 let comm = LocalComm::new();
                 self.schedule
                     .run(&mut self.model, &mut self.optimizer, &self.data, &comm)?
             }
-            Parallelism::Threads(p) => {
+            Parallelism::Threads(p) | Parallelism::Grid(p, _) => {
                 let replicas: Vec<(Box<dyn Model>, Box<dyn Optimizer>)> = (0..p)
                     .map(|_| (self.model.clone_model(), self.optimizer.clone_optimizer()))
                     .collect();
@@ -843,6 +903,8 @@ impl SolverEngine {
             version,
             model: &*self.model,
             spatial_ranks: self.parallelism.spatial_ranks(),
+            spatial_lanes: self.parallelism.serve_lanes(),
+            spatial_opts: self.spatial_opts.clone(),
             resolution: self.resolution.clone(),
             three_d: self.problem.rank() == 3,
             encoding: self.encoding,
@@ -1660,16 +1722,36 @@ mod tests {
     }
 
     #[test]
-    fn reduced_precision_rejects_spatial_parallelism() {
-        for p in [Precision::F32, Precision::Mixed] {
-            let e = small_builder()
-                .precision(p)
+    fn reduced_precision_spatial_matches_serial_f32() {
+        // f32 slab serving must agree with the *serial* f32 path to
+        // rounding tolerance (both run the same kernels; only the halo
+        // decomposition differs) — the slab forward is no longer f64-only.
+        let serial32 = small_builder().precision(Precision::F32).build().unwrap();
+        let fields: Vec<Tensor> = (0..2)
+            .map(|s| serial32.dataset().nu_field(s, &[16, 16]))
+            .collect();
+        let expect = serial32.predict_batch(&fields).unwrap();
+        for prec in [Precision::F32, Precision::Mixed] {
+            let spatial = small_builder()
+                .precision(prec)
                 .parallelism(Parallelism::SpatialThreads(2))
-                .build();
-            assert!(
-                matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("SpatialThreads")),
-                "{p} + SpatialThreads must be rejected at build()"
-            );
+                .build()
+                .unwrap();
+            let got = spatial.predict_batch(&fields).unwrap();
+            for (e, g) in expect.iter().zip(&got) {
+                let scale: f64 = e
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.abs())
+                    .fold(0.0f64, f64::max)
+                    .max(1.0);
+                for (a, b) in e.as_slice().iter().zip(g.as_slice()) {
+                    assert!(
+                        (a - b).abs() / scale < 1e-5,
+                        "{prec} spatial drifted from serial f32: {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 

@@ -33,14 +33,17 @@
 
 use crate::error::{MgdError, MgdResult};
 use crate::loss::FemLoss;
-use mgd_dist::{assemble_planes, carve_planes, launch_with, SlabLayout, SlabPartition};
+use mgd_dist::{
+    assemble_planes, carve_planes, launch_with, Comm, SlabLayout, SlabPartition, SlabPool,
+    ThreadComm,
+};
 use mgd_fem::hierarchy::HierarchyOptions;
 use mgd_field::{stack_fields, DiffusivityModel, FieldError, InputEncoding};
 use mgd_hybrid::{
     solve_certified, CertifiedSolution, CertifyOptions, ErasedHierarchy, ErasedSystem, StallPolicy,
     StrategyKind, Surrogate,
 };
-use mgd_nn::{InferModel, Model, Workspace};
+use mgd_nn::{InferModel, Model, SlabModel, SlabOpts, Workspace};
 use mgd_tensor::{Element, Precision, Tensor};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -200,6 +203,8 @@ pub struct SharedServeStats {
     cache_evictions: AtomicU64,
     workspace_pool_hits: AtomicU64,
     workspace_pool_misses: AtomicU64,
+    slab_pool_hits: AtomicU64,
+    slab_pool_misses: AtomicU64,
 }
 
 impl SharedServeStats {
@@ -213,6 +218,8 @@ impl SharedServeStats {
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             workspace_pool_hits: self.workspace_pool_hits.load(Ordering::Relaxed),
             workspace_pool_misses: self.workspace_pool_misses.load(Ordering::Relaxed),
+            slab_pool_hits: self.slab_pool_hits.load(Ordering::Relaxed),
+            slab_pool_misses: self.slab_pool_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -237,6 +244,13 @@ pub struct ServeStats {
     /// Forward passes that had to allocate a fresh workspace (the pool was
     /// empty — cold start or more concurrent predictions than ever before).
     pub workspace_pool_misses: u64,
+    /// Spatial forwards that reused a persistent rank pool (no thread
+    /// spawns, warm per-rank workspaces, prepacked weight panels).
+    pub slab_pool_hits: u64,
+    /// Spatial forwards that had to spawn a fresh rank pool (only more
+    /// concurrent spatial predictions than ever before — one pool is
+    /// spawned eagerly when the snapshot is published).
+    pub slab_pool_misses: u64,
 }
 
 /// Point-in-time statistics of one cache shard.
@@ -547,13 +561,82 @@ enum SnapshotModel {
     Exclusive(Mutex<Box<dyn Model>>),
 }
 
+/// Per-rank persistent state inside a slab pool: warm inference
+/// workspaces that survive across requests (and across layers within a
+/// request), at both serving precisions.
+#[derive(Default)]
+struct RankState {
+    ws: Workspace,
+    ws32: Workspace<f32>,
+}
+
+/// The shared slab-inference weights of a spatial snapshot, at the
+/// precision the snapshot serves at.
+enum SlabWeights {
+    F64(Arc<dyn SlabModel>),
+    F32(Arc<dyn SlabModel<f32>>),
+}
+
+impl SlabWeights {
+    fn spatial_align(&self) -> usize {
+        match self {
+            SlabWeights::F64(m) => m.spatial_align(),
+            SlabWeights::F32(m) => m.spatial_align(),
+        }
+    }
+}
+
 /// Slab-decomposed serving state of a snapshot (spatial parallelism).
+///
+/// The fast path shares one prepacked [`SlabModel`] across all ranks of a
+/// persistent [`SlabPool`] — no per-request thread spawns, no per-rank
+/// model replicas, no request-wide mutex (concurrent spatial predictions
+/// each acquire their own pool, `WorkspacePool`-style). Architectures
+/// without a `&self` slab path fall back to mutex-guarded exclusive
+/// replicas driven through `launch_with`.
 struct SpatialServe {
     ranks: usize,
-    /// Per-rank replicas reused across calls; the halo-exchange forward
-    /// needs `&mut` models, so spatial predictions serialize here (they
-    /// occupy all ranks anyway).
+    /// Data-parallel serving lanes (`Parallelism::Grid(d, p)` composes
+    /// `d` lanes × `p` slab ranks): batches split across this many
+    /// concurrent slab forwards.
+    lanes: usize,
+    opts: SlabOpts,
+    /// Shared prepacked weights; `None` for injected architectures
+    /// without [`Model::share_slab`].
+    weights: Option<SlabWeights>,
+    /// Persistent rank pools, one per concurrent spatial forward
+    /// (acquire/release like the workspace pool). Empty on the fallback
+    /// path.
+    pools: Mutex<Vec<SlabPool<RankState>>>,
+    /// Fallback replicas (exclusive `predict_slab`); empty on the fast
+    /// path.
     replicas: Mutex<Vec<Box<dyn Model>>>,
+}
+
+impl SpatialServe {
+    fn new_pool(&self) -> SlabPool<RankState> {
+        SlabPool::new((0..self.ranks).map(|_| RankState::default()).collect())
+    }
+
+    /// Pops a persistent rank pool, or spawns a fresh one if every pool is
+    /// currently serving (counted on `stats`).
+    fn acquire_pool(&self, stats: &SharedServeStats) -> SlabPool<RankState> {
+        let pooled = self.pools.lock().expect("slab pools poisoned").pop();
+        match pooled {
+            Some(p) => {
+                stats.slab_pool_hits.fetch_add(1, Ordering::Relaxed);
+                p
+            }
+            None => {
+                stats.slab_pool_misses.fetch_add(1, Ordering::Relaxed);
+                self.new_pool()
+            }
+        }
+    }
+
+    fn release_pool(&self, pool: SlabPool<RankState>) {
+        self.pools.lock().expect("slab pools poisoned").push(pool);
+    }
 }
 
 /// A snapshot-owned pool of inference workspaces.
@@ -674,6 +757,8 @@ pub(crate) struct SnapshotConfig<'a> {
     pub version: u64,
     pub model: &'a dyn Model,
     pub spatial_ranks: usize,
+    pub spatial_lanes: usize,
+    pub spatial_opts: SlabOpts,
     pub resolution: Vec<usize>,
     pub three_d: bool,
     pub encoding: InputEncoding,
@@ -701,13 +786,39 @@ impl EngineSnapshot {
         }
         .or_else(|| cfg.model.share().map(SnapshotModel::Shared))
         .unwrap_or_else(|| SnapshotModel::Exclusive(Mutex::new(cfg.model.clone_model())));
-        let spatial = (cfg.spatial_ranks > 1).then(|| SpatialServe {
-            ranks: cfg.spatial_ranks,
-            replicas: Mutex::new(
+        let spatial = (cfg.spatial_ranks > 1).then(|| {
+            // F32/Mixed serving prefers the f32 slab view (satisfying the
+            // precision policy end to end); a model exposing neither slab
+            // view degrades to exclusive replicas.
+            let weights = match cfg.precision {
+                Precision::F32 | Precision::Mixed => {
+                    cfg.model.share_slab_f32().map(SlabWeights::F32)
+                }
+                Precision::F64 => None,
+            }
+            .or_else(|| cfg.model.share_slab().map(SlabWeights::F64));
+            let replicas = if weights.is_none() {
                 (0..cfg.spatial_ranks)
                     .map(|_| cfg.model.clone_model())
-                    .collect(),
-            ),
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let sp = SpatialServe {
+                ranks: cfg.spatial_ranks,
+                lanes: cfg.spatial_lanes.max(1),
+                opts: cfg.spatial_opts.clone(),
+                weights,
+                pools: Mutex::new(Vec::new()),
+                replicas: Mutex::new(replicas),
+            };
+            if sp.weights.is_some() {
+                // Spawn the persistent rank fleet once at publish time so
+                // the first predict is already a pool hit.
+                let pool = sp.new_pool();
+                sp.pools.lock().expect("slab pools poisoned").push(pool);
+            }
+            sp
         });
         EngineSnapshot {
             version: cfg.version,
@@ -1033,8 +1144,114 @@ impl EngineSnapshot {
     }
 
     /// Slab-decomposed forward over `sp.ranks` in-process ranks with halo
-    /// exchange; bitwise identical to the serial forward.
+    /// exchange; bitwise identical (f64) / rounding-equivalent (f32) to
+    /// the serial forward at the same precision. Batches larger than one
+    /// split across `sp.lanes` concurrent slab forwards
+    /// (`Parallelism::Grid`), each lane acquiring its own persistent rank
+    /// pool.
     fn forward_spatial(&self, x: &Tensor, sp: &SpatialServe) -> MgdResult<Tensor> {
+        if sp.weights.is_none() {
+            return self.forward_spatial_replicas(x, sp);
+        }
+        let dims = x.dims();
+        let batch = dims[0];
+        let lanes = sp.lanes.min(batch).max(1);
+        if lanes <= 1 {
+            return self.forward_spatial_lane(x, sp);
+        }
+        // Grid mode: contiguous batch chunks, one concurrent lane each.
+        let sample_vol: usize = dims[1..].iter().product();
+        let xs = x.as_slice();
+        let (base, rem) = (batch / lanes, batch % lanes);
+        let mut chunks: Vec<Tensor> = Vec::with_capacity(lanes);
+        let mut start = 0usize;
+        for lane in 0..lanes {
+            let n = base + usize::from(lane < rem);
+            let mut cdims = dims.to_vec();
+            cdims[0] = n;
+            chunks.push(Tensor::from_vec(
+                cdims,
+                xs[start * sample_vol..(start + n) * sample_vol].to_vec(),
+            ));
+            start += n;
+        }
+        let outs: Vec<MgdResult<Tensor>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| s.spawn(move || self.forward_spatial_lane(chunk, sp)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("spatial lane panicked"))
+                .collect()
+        });
+        let mut data: Vec<f64> = Vec::with_capacity(batch * sample_vol);
+        for out in outs {
+            data.extend_from_slice(out?.as_slice());
+        }
+        Ok(Tensor::from_vec(dims.to_vec(), data))
+    }
+
+    /// One slab forward through a persistent rank pool and the shared
+    /// prepacked weights.
+    fn forward_spatial_lane(&self, x: &Tensor, sp: &SpatialServe) -> MgdResult<Tensor> {
+        let weights = sp.weights.as_ref().expect("fast path needs shared weights");
+        let p = sp.ranks;
+        let align = weights.spatial_align().max(1);
+        let part = SlabPartition::aligned(self.resolution[0], p, align)
+            .map_err(|e| MgdError::InvalidConfig(format!("spatial predict: {e}")))?;
+        let dims = x.dims().to_vec();
+        let batch = dims[0];
+        // [B, 1, D, H, W] viewed as [pre, split, post] along z (3D) / y (2D).
+        let layout = if self.three_d {
+            SlabLayout {
+                pre: batch,
+                split: dims[2],
+                post: dims[3] * dims[4],
+            }
+        } else {
+            SlabLayout {
+                pre: batch,
+                split: dims[3],
+                post: dims[4],
+            }
+        };
+        let three_d = self.three_d;
+        let opts = sp.opts.clone();
+        let mut pool = sp.acquire_pool(&self.stats);
+        let out = match weights {
+            SlabWeights::F64(m) => {
+                let m = Arc::clone(m);
+                let x = Arc::new(x.clone());
+                let (part, dims2) = (part.clone(), dims.clone());
+                let slabs = pool.run(move |comm: &ThreadComm, state: &mut RankState| {
+                    let slab = carve_rank_slab(&x, &part, &layout, &dims2, three_d, comm.rank());
+                    m.infer_slab(&slab, comm, &mut state.ws, &opts).into_vec()
+                });
+                Tensor::from_vec(dims, assemble_planes(&slabs, layout.pre, layout.post))
+            }
+            SlabWeights::F32(m) => {
+                // One demotion at the batch boundary, one promotion on the
+                // way out — the slabs themselves run the f32 kernels.
+                let m = Arc::clone(m);
+                let x32 = Arc::new(x.cast::<f32>());
+                let (part, dims2) = (part.clone(), dims.clone());
+                let slabs = pool.run(move |comm: &ThreadComm, state: &mut RankState| {
+                    let slab = carve_rank_slab(&x32, &part, &layout, &dims2, three_d, comm.rank());
+                    m.infer_slab(&slab, comm, &mut state.ws32, &opts).into_vec()
+                });
+                Tensor::<f32>::from_vec(dims, assemble_planes(&slabs, layout.pre, layout.post))
+                    .cast::<f64>()
+            }
+        };
+        sp.release_pool(pool);
+        Ok(out)
+    }
+
+    /// Fallback spatial forward for injected architectures without a
+    /// `&self` slab path: mutex-guarded exclusive replicas, fresh ranks
+    /// per request.
+    fn forward_spatial_replicas(&self, x: &Tensor, sp: &SpatialServe) -> MgdResult<Tensor> {
         let mut replicas = sp.replicas.lock().expect("spatial replicas poisoned");
         let p = sp.ranks;
         let align = replicas[0].spatial_align();
@@ -1042,7 +1259,6 @@ impl EngineSnapshot {
             .map_err(|e| MgdError::InvalidConfig(format!("spatial predict: {e}")))?;
         let dims = x.dims();
         let batch = dims[0];
-        // [B, 1, D, H, W] viewed as [pre, split, post] along z (3D) / y (2D).
         let layout = if self.three_d {
             SlabLayout {
                 pre: batch,
@@ -1091,6 +1307,25 @@ impl EngineSnapshot {
             assemble_planes(&slabs, layout.pre, layout.post),
         ))
     }
+}
+
+/// Carves rank `r`'s owned slab of the (shared) full input field.
+fn carve_rank_slab<E: Element>(
+    x: &Tensor<E>,
+    part: &SlabPartition,
+    layout: &SlabLayout,
+    dims: &[usize],
+    three_d: bool,
+    r: usize,
+) -> Tensor<E> {
+    let owned = part.owned_planes(r);
+    let data = carve_planes(x.as_slice(), layout, owned.start, owned.end);
+    let sdims = if three_d {
+        vec![dims[0], 1, owned.len(), dims[3], dims[4]]
+    } else {
+        vec![dims[0], 1, 1, owned.len(), dims[4]]
+    };
+    Tensor::from_vec(sdims, data)
 }
 
 /// The ArcSwap-style publication point connecting the training side to the

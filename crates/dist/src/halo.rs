@@ -28,6 +28,70 @@
 
 use crate::comm::Comm;
 
+/// A scalar that can ride the `f64` wire format of [`Comm`] messages.
+///
+/// `f64` maps one-to-one; `f32` bit-packs two values per wire word, so an
+/// f32 halo exchange moves **half the bytes** of the f64 exchange — the
+/// mechanism behind reduced-precision slab serving. Pack/unpack round-trips
+/// are bit-exact (no value ever passes through a float conversion).
+pub trait HaloElement: Copy + Default + Send + Sync + 'static {
+    /// Packs values into `f64` wire words.
+    fn pack_wire(vals: &[Self]) -> Vec<f64>;
+    /// Unpacks exactly `len` values from `wire`.
+    fn unpack_wire(wire: &[f64], len: usize) -> Vec<Self>;
+    /// Number of `f64` wire words that `len` packed values occupy —
+    /// lets streaming consumers size bounded I/O buffers without
+    /// materializing a whole packed payload.
+    fn wire_words(len: usize) -> usize;
+}
+
+impl HaloElement for f64 {
+    fn pack_wire(vals: &[f64]) -> Vec<f64> {
+        vals.to_vec()
+    }
+
+    fn unpack_wire(wire: &[f64], len: usize) -> Vec<f64> {
+        assert_eq!(wire.len(), len, "f64 wire length mismatch");
+        wire.to_vec()
+    }
+
+    fn wire_words(len: usize) -> usize {
+        len
+    }
+}
+
+impl HaloElement for f32 {
+    fn pack_wire(vals: &[f32]) -> Vec<f64> {
+        // Two f32 bit patterns per wire word (high half first); a ragged
+        // tail leaves the low half zero. Bit-level, so NaN payloads and
+        // signed zeros survive unchanged.
+        vals.chunks(2)
+            .map(|pair| {
+                let hi = (pair[0].to_bits() as u64) << 32;
+                let lo = pair.get(1).map_or(0, |v| v.to_bits() as u64);
+                f64::from_bits(hi | lo)
+            })
+            .collect()
+    }
+
+    fn unpack_wire(wire: &[f64], len: usize) -> Vec<f32> {
+        assert_eq!(wire.len(), len.div_ceil(2), "f32 wire length mismatch");
+        let mut out = Vec::with_capacity(len);
+        for (i, w) in wire.iter().enumerate() {
+            let bits = w.to_bits();
+            out.push(f32::from_bits((bits >> 32) as u32));
+            if 2 * i + 1 < len {
+                out.push(f32::from_bits(bits as u32));
+            }
+        }
+        out
+    }
+
+    fn wire_words(len: usize) -> usize {
+        len.div_ceil(2)
+    }
+}
+
 /// Why a [`SlabPartition`] could not be built.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PartitionError {
@@ -207,7 +271,7 @@ impl SlabLayout {
 
 /// Copies planes `[r0, r1)` of `src` (shaped by `layout`) into a fresh
 /// contiguous `[pre, r1 - r0, post]` slab.
-pub fn carve_planes(src: &[f64], layout: &SlabLayout, r0: usize, r1: usize) -> Vec<f64> {
+pub fn carve_planes<T: Copy>(src: &[T], layout: &SlabLayout, r0: usize, r1: usize) -> Vec<T> {
     assert_eq!(src.len(), layout.len(), "layout/source length mismatch");
     assert!(r0 <= r1 && r1 <= layout.split, "plane range out of bounds");
     let count = r1 - r0;
@@ -221,7 +285,7 @@ pub fn carve_planes(src: &[f64], layout: &SlabLayout, r0: usize, r1: usize) -> V
 
 /// Scatters a contiguous `[pre, count, post]` slab into planes starting at
 /// `r0` of `dst` (shaped by `layout`). The inverse of [`carve_planes`].
-pub fn place_planes(dst: &mut [f64], layout: &SlabLayout, r0: usize, slab: &[f64]) {
+pub fn place_planes<T: Copy>(dst: &mut [T], layout: &SlabLayout, r0: usize, slab: &[T]) {
     assert_eq!(
         dst.len(),
         layout.len(),
@@ -242,7 +306,7 @@ pub fn place_planes(dst: &mut [f64], layout: &SlabLayout, r0: usize, slab: &[f64
 
 /// Stitches rank-ordered owned slabs (each `[pre, own_r, post]`) back into
 /// one `[pre, Σ own_r, post]` field.
-pub fn assemble_planes(slabs: &[Vec<f64>], pre: usize, post: usize) -> Vec<f64> {
+pub fn assemble_planes<T: Copy + Default>(slabs: &[Vec<T>], pre: usize, post: usize) -> Vec<T> {
     let plane = pre * post;
     let total: usize = slabs
         .iter()
@@ -259,7 +323,7 @@ pub fn assemble_planes(slabs: &[Vec<f64>], pre: usize, post: usize) -> Vec<f64> 
         split: total,
         post,
     };
-    let mut out = vec![0.0; layout.len()];
+    let mut out = vec![T::default(); layout.len()];
     let mut at = 0usize;
     for slab in slabs {
         place_planes(&mut out, &layout, at, slab);
@@ -272,13 +336,95 @@ pub fn assemble_planes(slabs: &[Vec<f64>], pre: usize, post: usize) -> Vec<f64> 
 /// neighbours: `data` is `[pre, lo + own + hi, post]` with the owned
 /// planes at offset `lo`.
 #[derive(Clone, Debug)]
-pub struct ExtendedSlab {
+pub struct ExtendedSlab<T = f64> {
     /// Extended slab contents.
-    pub data: Vec<f64>,
+    pub data: Vec<T>,
     /// Halo planes below the owned range (0 on rank 0).
     pub lo: usize,
     /// Halo planes above the owned range (0 on the last rank).
     pub hi: usize,
+}
+
+/// An in-flight halo exchange: the boundary planes have been posted to the
+/// ring neighbours, the matching receives have not happened yet.
+///
+/// This is the overlap hook of the slab forward — between
+/// [`exchange_post`] and [`PendingHalo::finish`] the caller is free to do
+/// arbitrary local work (e.g. compute the interior output rows that depend
+/// only on owned planes) while the neighbour planes are in flight.
+#[derive(Debug)]
+pub struct PendingHalo {
+    /// Halo planes expected below the owned range (0 on rank 0).
+    pub lo: usize,
+    /// Halo planes expected above the owned range (0 on the last rank).
+    pub hi: usize,
+    /// Scalars per halo block (`pre · halo · post`).
+    elems: usize,
+    tag: u64,
+}
+
+impl PendingHalo {
+    /// Blocks until both neighbour halo blocks have arrived and returns
+    /// `(from_below, from_above)` — each a contiguous `[pre, halo, post]`
+    /// slab, `None` on the respective domain edge.
+    pub fn finish<T: HaloElement, C: Comm + ?Sized>(
+        self,
+        comm: &C,
+    ) -> (Option<Vec<T>>, Option<Vec<T>>) {
+        let rank = comm.rank();
+        let above = (self.hi > 0).then(|| {
+            let wire = comm.recv(rank + 1, self.tag);
+            T::unpack_wire(&wire, self.elems)
+        });
+        let below = (self.lo > 0).then(|| {
+            let wire = comm.recv(rank - 1, self.tag + 1);
+            T::unpack_wire(&wire, self.elems)
+        });
+        (below, above)
+    }
+}
+
+/// Posts this rank's `halo` boundary planes to each existing ring
+/// neighbour (tags `tag` downward, `tag + 1` upward) without blocking,
+/// returning the [`PendingHalo`] whose `finish` collects the neighbours'
+/// planes. Requires `halo <= own` so each rank can feed its neighbours.
+pub fn exchange_post<T: HaloElement, C: Comm + ?Sized>(
+    comm: &C,
+    local: &[T],
+    layout: &SlabLayout,
+    halo: usize,
+    tag: u64,
+) -> PendingHalo {
+    let own = layout.split;
+    assert_eq!(local.len(), layout.len(), "layout/slab length mismatch");
+    assert!(
+        halo <= own,
+        "halo width {halo} exceeds the owned slab extent {own}"
+    );
+    let rank = comm.rank();
+    let p = comm.size();
+    if halo == 0 || p == 1 {
+        return PendingHalo {
+            lo: 0,
+            hi: 0,
+            elems: 0,
+            tag,
+        };
+    }
+    if rank > 0 {
+        let planes = carve_planes(local, layout, 0, halo);
+        comm.send(rank - 1, tag, T::pack_wire(&planes));
+    }
+    if rank + 1 < p {
+        let planes = carve_planes(local, layout, own - halo, own);
+        comm.send(rank + 1, tag + 1, T::pack_wire(&planes));
+    }
+    PendingHalo {
+        lo: if rank > 0 { halo } else { 0 },
+        hi: if rank + 1 < p { halo } else { 0 },
+        elems: layout.pre * halo * layout.post,
+        tag,
+    }
 }
 
 /// One tagged halo exchange: sends this rank's `halo` boundary planes to
@@ -289,54 +435,35 @@ pub struct ExtendedSlab {
 /// `layout` (`layout.split` = `own`). Every rank must call this with the
 /// same `tag` in the same program order (collective-like discipline);
 /// unbounded channels make the symmetric send-then-receive order safe.
-/// Requires `halo <= own` so each rank can feed its neighbours.
-pub fn exchange_extend<C: Comm + ?Sized>(
+/// Requires `halo <= own` so each rank can feed its neighbours. The
+/// post-then-finish halves ([`exchange_post`], [`PendingHalo::finish`])
+/// allow local compute to overlap the in-flight planes.
+pub fn exchange_extend<T: HaloElement, C: Comm + ?Sized>(
     comm: &C,
-    local: &[f64],
+    local: &[T],
     layout: &SlabLayout,
     halo: usize,
     tag: u64,
-) -> ExtendedSlab {
+) -> ExtendedSlab<T> {
     let own = layout.split;
-    assert_eq!(local.len(), layout.len(), "layout/slab length mismatch");
-    assert!(
-        halo <= own,
-        "halo width {halo} exceeds the owned slab extent {own}"
-    );
-    let rank = comm.rank();
-    let p = comm.size();
-    let lo = if rank > 0 { halo } else { 0 };
-    let hi = if rank + 1 < p { halo } else { 0 };
-    if halo == 0 || p == 1 {
+    let pending = exchange_post(comm, local, layout, halo, tag);
+    let (lo, hi) = (pending.lo, pending.hi);
+    if lo == 0 && hi == 0 {
         return ExtendedSlab {
             data: local.to_vec(),
             lo: 0,
             hi: 0,
         };
     }
-    // Send boundary planes first (non-blocking), then receive into halos.
-    if rank > 0 {
-        comm.send(rank - 1, tag, carve_planes(local, layout, 0, halo));
-    }
-    if rank + 1 < p {
-        comm.send(
-            rank + 1,
-            tag + 1,
-            carve_planes(local, layout, own - halo, own),
-        );
-    }
     let ext = layout.with_split(lo + own + hi);
-    let mut data = vec![0.0; ext.len()];
+    let mut data = vec![T::default(); ext.len()];
     place_planes(&mut data, &ext, lo, local);
-    if rank + 1 < p {
-        let from_above = comm.recv(rank + 1, tag);
-        assert_eq!(from_above.len(), layout.pre * halo * layout.post);
-        place_planes(&mut data, &ext, lo + own, &from_above);
+    let (from_below, from_above) = pending.finish::<T, C>(comm);
+    if let Some(above) = from_above {
+        place_planes(&mut data, &ext, lo + own, &above);
     }
-    if rank > 0 {
-        let from_below = comm.recv(rank - 1, tag + 1);
-        assert_eq!(from_below.len(), layout.pre * halo * layout.post);
-        place_planes(&mut data, &ext, 0, &from_below);
+    if let Some(below) = from_below {
+        place_planes(&mut data, &ext, 0, &below);
     }
     ExtendedSlab { data, lo, hi }
 }

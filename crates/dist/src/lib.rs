@@ -32,18 +32,25 @@
 //!   [`SlabPartition`]s of one spatial axis, `[pre, split, post]` slab
 //!   carving/assembly, and the tagged halo-plane [`exchange_extend`] used
 //!   by both the distributed FEM solver and the slab-decomposed U-Net
-//!   forward.
+//!   forward (with a posted/finished split — [`exchange_post`] /
+//!   [`PendingHalo`] — so local compute can overlap in-flight planes);
+//! - [`SlabPool`] — a persistent rank pool (long-lived worker threads,
+//!   each owning one rank plus per-rank state) that dispatches one
+//!   closure per rank per request, amortizing thread spawns across the
+//!   many `predict` calls of a serving workload.
 
 mod comm;
 pub mod halo;
+mod pool;
 mod shard;
 mod thread_comm;
 
 pub use comm::{Comm, LocalComm};
 pub use halo::{
-    assemble_planes, carve_planes, exchange_extend, place_planes, ExtendedSlab, PartitionError,
-    SlabLayout, SlabPartition,
+    assemble_planes, carve_planes, exchange_extend, exchange_post, place_planes, ExtendedSlab,
+    HaloElement, PartitionError, PendingHalo, SlabLayout, SlabPartition,
 };
+pub use pool::{total_rank_spawns, SlabPool};
 pub use shard::{global_minibatches, local_minibatch, pad_indices};
 pub use thread_comm::{launch, launch_with, ThreadComm};
 

@@ -98,6 +98,14 @@ impl ThreadComm {
             .collect()
     }
 
+    /// Flags the communicator as poisoned so peer ranks blocked in
+    /// collectives or `recv` unwind instead of deadlocking. Used by the
+    /// persistent [`crate::SlabPool`], whose workers catch job panics
+    /// instead of unwinding through a `PanicGuard`.
+    pub(crate) fn poison(&self) {
+        self.shared.poison();
+    }
+
     fn post(&self, to: usize, tag: u64, data: Vec<f64>) {
         let mut mail = self.shared.lock_mail();
         mail.entry((self.rank, to, tag))
@@ -328,6 +336,7 @@ where
             .zip(payloads)
             .map(|(comm, payload)| {
                 let guard_shared = Arc::clone(&shared);
+                crate::pool::note_rank_spawn();
                 s.spawn(move || {
                     let _guard = PanicGuard(guard_shared);
                     f(comm, payload)

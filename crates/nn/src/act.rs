@@ -28,6 +28,15 @@ impl LeakyReLU {
         let a = E::from_f64(self.alpha);
         x.map(|v| if v > E::ZERO { v } else { a * v })
     }
+
+    /// In-place variant of [`Self::infer`] — same per-element map, no
+    /// allocation.
+    pub fn infer_inplace<E: Element>(&self, x: &mut Tensor<E>) {
+        let a = E::from_f64(self.alpha);
+        for v in x.as_mut_slice().iter_mut() {
+            *v = if *v > E::ZERO { *v } else { a * *v };
+        }
+    }
 }
 
 impl Layer for LeakyReLU {

@@ -11,10 +11,27 @@ use crate::param::Param;
 use crate::spatial::SplitAxis;
 use crate::util::{tap_range, SendPtr};
 use crate::workspace::Workspace;
-use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a};
+use mgd_tensor::matmul::{gemm, gemm_prepacked, pack_a, PackedA};
 use mgd_tensor::par::maybe_par_for;
 use mgd_tensor::{Element, GemmElement, Tensor};
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of weight-panel packs built by [`Conv3d::prepack`].
+static PREPACK_BUILDS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of inference calls that reused prepacked panels
+/// instead of re-packing the weight matrix.
+static PREPACK_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns `(builds, reuses)` for prepacked conv weight panels — tests and
+/// benches use the deltas to assert that a model snapshot packs each layer
+/// once and then serves every slab/request from the cached panels.
+pub fn prepack_stats() -> (u64, u64) {
+    (
+        PREPACK_BUILDS.load(Ordering::Relaxed),
+        PREPACK_REUSES.load(Ordering::Relaxed),
+    )
+}
 
 /// A 3D convolution `y = W ⊛ x + b` over NCDHW tensors.
 ///
@@ -49,6 +66,10 @@ pub struct Conv3d<E: Element = f64> {
     /// concrete (always empty in non-`f64` instantiations).
     cache_x: Option<Tensor>,
     scratch: Scratch<E>,
+    /// Weight panels packed once by [`Conv3d::prepack`] and reused by every
+    /// inference call until the weights can change again (any training
+    /// forward or `params()` borrow invalidates them).
+    prepacked: Option<PackedA<E>>,
 }
 
 impl Conv3d {
@@ -74,6 +95,7 @@ impl Conv3d {
             backend: ConvBackend::default(),
             cache_x: None,
             scratch: Scratch::default(),
+            prepacked: None,
         }
     }
 
@@ -143,6 +165,7 @@ impl<E: Element> Conv3d<E> {
             backend: self.backend,
             cache_x: None,
             scratch: Scratch::default(),
+            prepacked: None,
         }
     }
 }
@@ -296,76 +319,10 @@ impl Conv3d {
         keep: std::ops::Range<usize>,
         axis: SplitAxis,
     ) -> Tensor {
-        let din = Dims5::of(x);
-        assert_eq!(din.c, self.in_c, "channel mismatch");
-        let dout = self.out_dims(&din);
-        let (ar0, ar1, odims) = match axis {
-            SplitAxis::Depth => {
-                assert!(keep.end <= dout.d, "plane range exceeds output depth");
-                (
-                    keep.start * dout.h,
-                    keep.end * dout.h,
-                    [din.n, self.out_c, keep.len(), dout.h, dout.w],
-                )
-            }
-            SplitAxis::Height => {
-                assert_eq!(dout.d, 1, "height split needs a unit depth axis");
-                assert!(keep.end <= dout.h, "plane range exceeds output height");
-                (
-                    keep.start,
-                    keep.end,
-                    [din.n, self.out_c, 1, keep.len(), dout.w],
-                )
-            }
-        };
-        assert!(ar0 < ar1, "empty output plane range");
         // A range forward never caches patches; invalidate like forward().
         self.scratch.cached_valid = false;
-        if self.backend == ConvBackend::Direct {
-            // Reference path: full sliding-window pass, then carve the kept
-            // anchor rows (bitwise identical to computing them in place).
-            let full = self.forward_direct(x, &din, &dout);
-            let p_full = dout.vol();
-            let rows = ar1 - ar0;
-            let pout = rows * dout.w;
-            let mut y = Tensor::zeros(odims);
-            let (fs, ys) = (full.as_slice(), y.as_mut_slice());
-            for nc in 0..din.n * self.out_c {
-                let src = &fs[nc * p_full + ar0 * dout.w..nc * p_full + ar1 * dout.w];
-                ys[nc * pout..(nc + 1) * pout].copy_from_slice(src);
-            }
-            return y;
-        }
-        let geom = self.geom(&din, &dout);
-        let kdim = geom.rows();
-        let ow = dout.w;
-        let rows = ar1 - ar0;
-        let pout = rows * ow;
-        let pa = pack_a(self.weight.data.as_slice(), self.out_c, kdim, false);
-        let xs = x.as_slice();
-        let bs = self.bias.data.as_slice();
-        let mut y = Tensor::zeros(odims);
-        let ys = y.as_mut_slice();
-        let Scratch { col, ctmp, .. } = &mut self.scratch;
-        for ni in 0..din.n {
-            let xslab = &xs[ni * self.in_c * geom.vol()..][..self.in_c * geom.vol()];
-            let yslab = &mut ys[ni * self.out_c * pout..][..self.out_c * pout];
-            for (c0, c1) in anchor_chunks_range(&geom, ar0, ar1) {
-                let cc = (c1 - c0) * ow;
-                col.resize(kdim * cc, 0.0);
-                im2col_range(&geom, xslab, col, c0, c1);
-                ctmp.resize(self.out_c * cc, 0.0);
-                gemm_prepacked(&pa, col, false, ctmp, cc, false);
-                for oc in 0..self.out_c {
-                    let b = bs[oc];
-                    let dst = &mut yslab[oc * pout + (c0 - ar0) * ow..oc * pout + (c1 - ar0) * ow];
-                    for (d, s) in dst.iter_mut().zip(&ctmp[oc * cc..(oc + 1) * cc]) {
-                        *d = b + s;
-                    }
-                }
-            }
-        }
-        y
+        let mut ws = Workspace::new();
+        self.infer_planes(x, keep, axis, &mut ws)
     }
 
     /// Accumulates the per-channel bias gradient (shared lowering helper).
@@ -554,6 +511,31 @@ impl<E: Element> Conv3d<E> {
 }
 
 impl<E: GemmElement> Conv3d<E> {
+    /// Packs the weight matrix into GEMM micro-panels once, so every
+    /// subsequent [`Conv3d::infer`] / [`Conv3d::infer_planes_into`] call
+    /// skips the pack — the "prepack once per snapshot, reuse across
+    /// slabs, layers, and requests" half of the serving fast path. The
+    /// panels are a pure function of the weight bytes, so cached and
+    /// fresh packs produce bitwise-identical results.
+    pub fn prepack(&mut self) {
+        let (kd, kh, kw) = self.kernel;
+        let kdim = self.in_c * kd * kh * kw;
+        self.prepacked = Some(pack_a(self.weight.data.as_slice(), self.out_c, kdim, false));
+        PREPACK_BUILDS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Borrows the prepacked panels if present (counting the reuse), else
+    /// packs into `local` for this call only.
+    fn packed<'a>(&'a self, kdim: usize, local: &'a mut Option<PackedA<E>>) -> &'a PackedA<E> {
+        match &self.prepacked {
+            Some(pa) => {
+                PREPACK_REUSES.fetch_add(1, Ordering::Relaxed);
+                pa
+            }
+            None => local.insert(pack_a(self.weight.data.as_slice(), self.out_c, kdim, false)),
+        }
+    }
+
     /// Shared-state inference forward: bitwise identical to
     /// `forward(x, false)` at the default `f64` element, but `&self` — all
     /// transient buffers live in the caller's [`Workspace`], so one set of
@@ -573,7 +555,8 @@ impl<E: GemmElement> Conv3d<E> {
         let (kdim, p) = (geom.rows(), geom.cols());
         let ow = dout.w;
         let mut y = Tensor::zeros([dout.n, dout.c, dout.d, dout.h, dout.w]);
-        let pa = pack_a(self.weight.data.as_slice(), self.out_c, kdim, false);
+        let mut local = None;
+        let pa = self.packed(kdim, &mut local);
         let xs = x.as_slice();
         let bs = self.bias.data.as_slice();
         let ys = y.as_mut_slice();
@@ -586,7 +569,7 @@ impl<E: GemmElement> Conv3d<E> {
                 col.resize(kdim * cc, E::ZERO);
                 im2col_range(&geom, xslab, col, ar0, ar1);
                 ctmp.resize(self.out_c * cc, E::ZERO);
-                gemm_prepacked(&pa, col, false, ctmp, cc, false);
+                gemm_prepacked(pa, col, false, ctmp, cc, false);
                 for oc in 0..self.out_c {
                     let b = bs[oc];
                     let dst = &mut yslab[oc * p + ar0 * ow..oc * p + ar1 * ow];
@@ -597,6 +580,124 @@ impl<E: GemmElement> Conv3d<E> {
             }
         }
         y
+    }
+
+    /// [`Conv3d::infer_planes_into`] with a freshly allocated output of
+    /// exactly `keep.len()` planes. Panics on an empty `keep`.
+    pub fn infer_planes(
+        &self,
+        x: &Tensor<E>,
+        keep: std::ops::Range<usize>,
+        axis: SplitAxis,
+        ws: &mut Workspace<E>,
+    ) -> Tensor<E> {
+        assert!(keep.start < keep.end, "empty output plane range");
+        let din = Dims5::of(x);
+        let dout = self.out_dims(&din);
+        let odims = match axis {
+            SplitAxis::Depth => [din.n, self.out_c, keep.len(), dout.h, dout.w],
+            SplitAxis::Height => [din.n, self.out_c, 1, keep.len(), dout.w],
+        };
+        let mut y = Tensor::zeros(odims);
+        self.infer_planes_into(x, keep, axis, &mut y, 0, ws);
+        y
+    }
+
+    /// Inference forward restricted to output planes `keep` along `axis`,
+    /// written into `dst` starting at plane `dst_plane0` — the kernel of
+    /// the slab-decomposed spatial forward ([`crate::spatial`]).
+    ///
+    /// `dst` is `[n, out_c, P, oh, ow]` for [`SplitAxis::Depth`] (any
+    /// `P ≥ dst_plane0 + keep.len()`) and `[n, out_c, 1, P, ow]` for
+    /// [`SplitAxis::Height`] (which requires a unit output depth axis).
+    /// Writing disjoint `keep` bands of the same `dst` in any order
+    /// yields bitwise-identical planes to one full [`Conv3d::infer`] on
+    /// the union input: restricting the anchor-row range only drops patch
+    /// columns, and every output element is still produced by one GEMM
+    /// over the full shared dimension in a fixed order — this is what
+    /// makes the interior/boundary split of the overlapped halo exchange
+    /// exact. An empty `keep` is a no-op. No activation is cached (this
+    /// is a serving-only path).
+    pub fn infer_planes_into(
+        &self,
+        x: &Tensor<E>,
+        keep: std::ops::Range<usize>,
+        axis: SplitAxis,
+        dst: &mut Tensor<E>,
+        dst_plane0: usize,
+        ws: &mut Workspace<E>,
+    ) {
+        let din = Dims5::of(x);
+        assert_eq!(din.c, self.in_c, "channel mismatch");
+        let dout = self.out_dims(&din);
+        let ddst = Dims5::of(dst);
+        assert_eq!(ddst.n, din.n, "dst batch mismatch");
+        assert_eq!(ddst.c, self.out_c, "dst channel mismatch");
+        assert_eq!(ddst.w, dout.w, "dst width mismatch");
+        let (ar0, ar1, plane_rows) = match axis {
+            SplitAxis::Depth => {
+                assert!(keep.end <= dout.d, "plane range exceeds output depth");
+                assert_eq!(ddst.h, dout.h, "dst height mismatch");
+                (keep.start * dout.h, keep.end * dout.h, dout.h)
+            }
+            SplitAxis::Height => {
+                assert_eq!(dout.d, 1, "height split needs a unit depth axis");
+                assert!(keep.end <= dout.h, "plane range exceeds output height");
+                assert_eq!(ddst.d, 1, "dst depth mismatch");
+                (keep.start, keep.end, 1)
+            }
+        };
+        if ar0 >= ar1 {
+            return;
+        }
+        let ow = dout.w;
+        let dst_row0 = dst_plane0 * plane_rows;
+        let dst_rows = ddst.d * ddst.h;
+        assert!(
+            dst_row0 + (ar1 - ar0) <= dst_rows,
+            "dst plane range out of bounds"
+        );
+        let pvol = ddst.vol();
+        let ys = dst.as_mut_slice();
+        if self.backend == ConvBackend::Direct {
+            // Reference path: full sliding-window pass, then carve the kept
+            // anchor rows (bitwise identical to computing them in place).
+            let full = self.forward_direct(x, &din, &dout);
+            let p_full = dout.vol();
+            let fs = full.as_slice();
+            for nc in 0..din.n * self.out_c {
+                let src = &fs[nc * p_full + ar0 * ow..nc * p_full + ar1 * ow];
+                ys[nc * pvol + dst_row0 * ow..][..src.len()].copy_from_slice(src);
+            }
+            return;
+        }
+        let geom = self.geom(&din, &dout);
+        let kdim = geom.rows();
+        let mut local = None;
+        let pa = self.packed(kdim, &mut local);
+        let xs = x.as_slice();
+        let bs = self.bias.data.as_slice();
+        let Workspace { col, ctmp, .. } = ws;
+        for ni in 0..din.n {
+            let xslab = &xs[ni * self.in_c * geom.vol()..][..self.in_c * geom.vol()];
+            let yslab = &mut ys[ni * self.out_c * pvol..][..self.out_c * pvol];
+            for (c0, c1) in anchor_chunks_range(&geom, ar0, ar1) {
+                let cc = (c1 - c0) * ow;
+                col.resize(kdim * cc, E::ZERO);
+                im2col_range(&geom, xslab, col, c0, c1);
+                ctmp.resize(self.out_c * cc, E::ZERO);
+                gemm_prepacked(pa, col, false, ctmp, cc, false);
+                for oc in 0..self.out_c {
+                    let b = bs[oc];
+                    let row0 = dst_row0 + (c0 - ar0);
+                    let row1 = dst_row0 + (c1 - ar0);
+                    let dstband = &mut yslab[oc * pvol + row0 * ow..oc * pvol + row1 * ow];
+                    for (d, s) in dstband.iter_mut().zip(&ctmp[oc * cc..(oc + 1) * cc]) {
+                        *d = b + *s;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -610,6 +711,11 @@ impl Layer for Conv3d {
         // a backend switch between forwards could leave a stale cache that
         // a later Gemm backward would consume.
         self.scratch.cached_valid = false;
+        if train {
+            // Training implies an upcoming weight update; stale panels
+            // would silently serve old weights.
+            self.prepacked = None;
+        }
         let y = match self.backend {
             ConvBackend::Direct => self.forward_direct(x, &din, &dout),
             ConvBackend::Gemm => self.forward_gemm(x, &din, &dout, train),
@@ -635,6 +741,8 @@ impl Layer for Conv3d {
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
+        // Handing out &mut weights invalidates any prepacked panels.
+        self.prepacked = None;
         vec![&mut self.weight, &mut self.bias]
     }
 

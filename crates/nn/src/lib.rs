@@ -62,16 +62,19 @@ mod util;
 pub mod workspace;
 
 pub use act::{LeakyReLU, Sigmoid};
-pub use conv::Conv3d;
+pub use conv::{prepack_stats, Conv3d};
 pub use convt::ConvTranspose3d;
 pub use io::{Checkpoint, WeightSnapshot};
 pub use layer::Layer;
 pub use lowering::ConvBackend;
-pub use model::{InferModel, Model};
+pub use model::{InferModel, Model, SlabModel};
 pub use norm::BatchNorm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::MaxPool3d;
-pub use spatial::{activation_peak_elems, predict_slab, SplitAxis};
+pub use spatial::{
+    activation_peak_elems, activation_peak_elems_opts, infer_slab, measured_peak_elems,
+    predict_slab, reset_measured_peak, SlabOpts, SplitAxis,
+};
 pub use unet::{UNet, UNetConfig};
 pub use workspace::Workspace;

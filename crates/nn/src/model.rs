@@ -9,6 +9,7 @@
 //! runtime while the trainers stay statically generic.
 
 use crate::layer::Layer;
+use crate::spatial::SlabOpts;
 use crate::unet::UNet;
 use crate::workspace::Workspace;
 use mgd_dist::Comm;
@@ -40,6 +41,63 @@ impl InferModel for UNet {
 impl InferModel<f32> for UNet<f32> {
     fn infer(&self, x: &Tensor<f32>, ws: &mut Workspace<f32>) -> Tensor<f32> {
         UNet::infer(self, x, ws)
+    }
+}
+
+/// A read-only, thread-shareable view of a model for **slab-decomposed**
+/// serving, generic over the inference element type.
+///
+/// The spatial counterpart of [`InferModel`]: `infer_slab` takes `&self`
+/// and caller-owned scratch, so one `Arc<dyn SlabModel>` can be shared by
+/// every rank of a persistent pool — no per-request replicas, no mutex.
+/// Obtained from [`Model::share_slab`] / [`Model::share_slab_f32`], which
+/// also prepack the stencil GEMM panels once so every slab, layer, and
+/// request reuses them.
+pub trait SlabModel<E: Element = f64>: Send + Sync {
+    /// Slab-size alignment along the split axis (the pool-alignment rule);
+    /// never zero for a type implementing this trait.
+    fn spatial_align(&self) -> usize;
+
+    /// Slab-decomposed inference forward (collective across `comm`); see
+    /// [`crate::spatial::infer_slab`].
+    fn infer_slab(
+        &self,
+        slab: &Tensor<E>,
+        comm: &dyn Comm,
+        ws: &mut Workspace<E>,
+        opts: &SlabOpts,
+    ) -> Tensor<E>;
+}
+
+impl SlabModel for UNet {
+    fn spatial_align(&self) -> usize {
+        1 << self.cfg.depth
+    }
+
+    fn infer_slab(
+        &self,
+        slab: &Tensor,
+        comm: &dyn Comm,
+        ws: &mut Workspace,
+        opts: &SlabOpts,
+    ) -> Tensor {
+        crate::spatial::infer_slab(self, slab, comm, ws, opts)
+    }
+}
+
+impl SlabModel<f32> for UNet<f32> {
+    fn spatial_align(&self) -> usize {
+        1 << self.cfg.depth
+    }
+
+    fn infer_slab(
+        &self,
+        slab: &Tensor<f32>,
+        comm: &dyn Comm,
+        ws: &mut Workspace<f32>,
+        opts: &SlabOpts,
+    ) -> Tensor<f32> {
+        crate::spatial::infer_slab(self, slab, comm, ws, opts)
     }
 }
 
@@ -108,6 +166,19 @@ pub trait Model: Layer {
     fn share_f32(&self) -> Option<Arc<dyn InferModel<f32>>> {
         None
     }
+
+    /// Exports a read-only, thread-shareable **slab-inference** snapshot
+    /// (deep copy with GEMM weight panels prepacked), or `None` when the
+    /// architecture does not support spatial decomposition.
+    fn share_slab(&self) -> Option<Arc<dyn SlabModel>> {
+        None
+    }
+
+    /// Single-precision counterpart of [`Self::share_slab`]: the `f64`
+    /// masters converted once to `f32` and prepacked.
+    fn share_slab_f32(&self) -> Option<Arc<dyn SlabModel<f32>>> {
+        None
+    }
 }
 
 impl Model for UNet {
@@ -134,6 +205,18 @@ impl Model for UNet {
 
     fn share_f32(&self) -> Option<Arc<dyn InferModel<f32>>> {
         Some(Arc::new(self.to_f32()))
+    }
+
+    fn share_slab(&self) -> Option<Arc<dyn SlabModel>> {
+        let mut snap = self.clone();
+        snap.prepack();
+        Some(Arc::new(snap))
+    }
+
+    fn share_slab_f32(&self) -> Option<Arc<dyn SlabModel<f32>>> {
+        let mut snap = self.to_f32();
+        snap.prepack();
+        Some(Arc::new(snap))
     }
 }
 
@@ -186,6 +269,14 @@ impl Model for Box<dyn Model> {
 
     fn share_f32(&self) -> Option<Arc<dyn InferModel<f32>>> {
         (**self).share_f32()
+    }
+
+    fn share_slab(&self) -> Option<Arc<dyn SlabModel>> {
+        (**self).share_slab()
+    }
+
+    fn share_slab_f32(&self) -> Option<Arc<dyn SlabModel<f32>>> {
+        (**self).share_slab_f32()
     }
 }
 

@@ -101,6 +101,41 @@ impl<E: Element> BatchNorm<E> {
         y
     }
 
+    /// Fused in-place inference + LeakyReLU: `x ← leaky(bn(x))` in one
+    /// memory walk. The per-element arithmetic is the exact sequence of
+    /// [`Self::infer`] followed by the LeakyReLU map — `γ·((x−μ)·σ⁻¹)+β`,
+    /// then the negative-slope select — so the result is bitwise identical
+    /// to the two-tensor pipeline while allocating nothing. The slab
+    /// serving path uses this to skip two activation-sized allocations
+    /// (and their extra read/write passes) per conv block.
+    pub fn infer_leaky_inplace(&self, x: &mut Tensor<E>, alpha: f64) {
+        let dims = Dims5::of(x);
+        assert_eq!(dims.c, self.c, "channel mismatch");
+        let vol = dims.vol();
+        let (n, c) = (dims.n, self.c);
+        let gamma = self.gamma.data.as_slice();
+        let beta = self.beta.data.as_slice();
+        let eps = self.eps;
+        let rm = &self.running_mean;
+        let rv = &self.running_var;
+        let a = E::from_f64(alpha);
+        let xp = SendPtr(x.as_mut_slice().as_mut_ptr());
+        par_jobs(c, 2 * n * vol, |ci| {
+            let mean = E::from_f64(rm[ci]);
+            let is = E::from_f64(1.0 / (rv[ci] + eps).sqrt());
+            let (ga, be) = (gamma[ci], beta[ci]);
+            for ni in 0..n {
+                let base = (ni * c + ci) * vol;
+                // SAFETY: the (·, ci) slabs are disjoint per task.
+                let xx = unsafe { std::slice::from_raw_parts_mut(xp.get().add(base), vol) };
+                for v in xx.iter_mut() {
+                    let y = ga * ((*v - mean) * is) + be;
+                    *v = if y > E::ZERO { y } else { a * y };
+                }
+            }
+        });
+    }
+
     /// Converts the layer to another element type: γ/β cast through `f64`,
     /// running statistics (already `f64`) copied verbatim.
     pub fn cast_as<T: Element>(&self) -> BatchNorm<T> {

@@ -136,6 +136,18 @@ impl<E: GemmElement> ConvBlock<E> {
         }
         self.act.infer(&h)
     }
+
+    /// Applies this block's post-conv stages (batch norm and LeakyReLU) to
+    /// `h` in place: one fused memory walk, bitwise identical to
+    /// `bn.infer` followed by `act.infer`, with zero allocations. The
+    /// slab-serving path uses this so each block touches exactly one
+    /// output tensor.
+    pub fn finish_inplace(&self, h: &mut Tensor<E>) {
+        match &self.bn {
+            Some(bn) => bn.infer_leaky_inplace(h, self.act.alpha),
+            None => self.act.infer_inplace(h),
+        }
+    }
 }
 
 impl Layer for ConvBlock {
@@ -361,6 +373,22 @@ impl<E: Element> UNet<E> {
 }
 
 impl<E: GemmElement> UNet<E> {
+    /// Prepacks the GEMM weight panels of every stencil convolution
+    /// (encoder, bottleneck, merge blocks, and the head) so subsequent
+    /// `&self` inference calls reuse them instead of repacking per call
+    /// — see [`Conv3d::prepack`](crate::conv::Conv3d::prepack). Call once
+    /// on a serving snapshot; training invalidates the panels.
+    pub fn prepack(&mut self) {
+        for block in &mut self.enc {
+            block.conv.prepack();
+        }
+        self.bottleneck.conv.prepack();
+        for block in &mut self.merges {
+            block.conv.prepack();
+        }
+        self.head.prepack();
+    }
+
     /// Shared-state inference forward: the full U-Net traversal of
     /// [`Layer::forward`] with `train = false`, but `&self` — every layer's
     /// transient buffers live in the caller's [`Workspace`], so one network
@@ -558,6 +586,41 @@ mod tests {
         let mut net = UNet::new(small_cfg());
         let y = net.forward(&Tensor::zeros([2, 1, 1, 8, 8]), false);
         assert_eq!(y.dims(), &[2, 1, 1, 8, 8]);
+    }
+
+    /// The fused in-place bn+act pass must be bitwise the two-tensor
+    /// pipeline, in both the bn and the bn-less arm — including negative
+    /// values that take the leaky slope.
+    #[test]
+    fn finish_inplace_is_bitwise_the_layer_pipeline() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for batch_norm in [true, false] {
+            let cfg = UNetConfig {
+                batch_norm,
+                ..small_cfg()
+            };
+            let mut net = UNet::new(cfg);
+            // Non-trivial running stats so the affine map actually scales.
+            net.forward(
+                &Tensor::rand_uniform([2, 1, 1, 8, 8], -2.0, 2.0, &mut rng),
+                true,
+            );
+            let block = &net.enc[0];
+            let h = Tensor::rand_uniform([2, 2, 1, 4, 4], -3.0, 3.0, &mut rng);
+            let mut fused = h.clone();
+            block.finish_inplace(&mut fused);
+            let mut expect = h;
+            if let Some(bn) = &block.bn {
+                expect = bn.infer(&expect);
+            }
+            expect = block.act.infer(&expect);
+            let same = fused
+                .as_slice()
+                .iter()
+                .zip(expect.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "fused pass diverged (batch_norm = {batch_norm})");
+        }
     }
 
     #[test]

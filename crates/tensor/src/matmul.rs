@@ -86,11 +86,29 @@ unsafe impl<E> Sync for SendPtr<E> {}
 /// Packing is the expensive-once half of the kernel: a conv layer packs its
 /// weight matrix one time per forward/backward call and reuses it for every
 /// sample in the batch through [`gemm_prepacked`].
-pub struct PackedA<E: GemmElement = f64> {
+///
+/// Reuse contract: the panels depend only on `A`'s bytes and shape, so a
+/// `PackedA` may be cached for as long as the source matrix is unchanged
+/// and shared across calls, threads, and requests — [`gemm_prepacked`]
+/// takes `&PackedA` and never mutates it. Inference engines exploit this
+/// by packing each conv's weight matrix once per model snapshot (it is
+/// `Clone`, so casting a model clones its panels too).
+#[derive(Clone)]
+pub struct PackedA<E = f64> {
     m: usize,
     k: usize,
     mpanels: usize,
     data: Vec<E>,
+}
+
+impl<E> std::fmt::Debug for PackedA<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedA")
+            .field("m", &self.m)
+            .field("k", &self.k)
+            .field("mpanels", &self.mpanels)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<E: GemmElement> PackedA<E> {

@@ -14,6 +14,7 @@
 //! cargo run --release -p mgd-examples --bin megavoxel_serving              # 128³ demo
 //! cargo run --release -p mgd-examples --bin megavoxel_serving -- --ranks 2
 //! cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --ranks 4   # CI smoke
+//! cargo run --release -p mgd-examples --bin megavoxel_serving -- --quick --stream    # spill smoke
 //! ```
 
 use mgd_nn::{activation_peak_elems, UNetConfig};
@@ -63,10 +64,56 @@ fn assert_bitwise_equal(res: &[usize], depth: usize, ranks: usize) {
     println!("  {res:?} x{ranks} ranks: bitwise identical to serial");
 }
 
-fn quick(ranks: usize) {
-    println!("spatial serving smoke at {ranks} ranks:");
-    assert_bitwise_equal(&[32, 32], 2, ranks);
-    assert_bitwise_equal(&[16, 16, 16], 2, ranks);
+/// Serial-vs-streamed (out-of-core slab) bitwise check: the same forward
+/// with per-rank skip tensors spilled to a scratch directory.
+fn assert_streamed_equal(res: &[usize], depth: usize, ranks: usize) {
+    let serial = build(res, depth, 2, Parallelism::Serial);
+    let nu = serial.dataset().nu_field(0, res);
+    let expect = serial.predict(&nu).expect("serial predict");
+    let dir = std::env::temp_dir().join("mgd_megavoxel_serving_stream");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let problem = if res.len() == 3 {
+        Problem::poisson_3d(DiffusivityModel::paper())
+    } else {
+        Problem::poisson_2d(DiffusivityModel::paper())
+    };
+    let streamed = SolverEngine::builder()
+        .resolution(res.to_vec())
+        .problem(problem)
+        .levels(1)
+        .net_depth(depth)
+        .base_filters(2)
+        .samples(2)
+        .batch_size(2)
+        .max_epochs(2)
+        .fixed_epochs(1)
+        .seed(17)
+        .spatial_spill_dir(&dir)
+        .parallelism(Parallelism::SpatialThreads(ranks))
+        .build()
+        .expect("streamed engine");
+    let got = streamed.predict(&nu).expect("streamed predict");
+    assert!(
+        expect
+            .as_slice()
+            .iter()
+            .zip(got.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "streamed SpatialThreads({ranks}) diverged from Serial at {res:?}"
+    );
+    println!("  {res:?} x{ranks} ranks (skip spill to scratch): bitwise identical to serial");
+}
+
+fn quick(ranks: usize, stream: bool) {
+    if stream {
+        println!("out-of-core streaming smoke at {ranks} ranks:");
+        assert_streamed_equal(&[32, 32], 2, ranks);
+        assert_streamed_equal(&[16, 16, 16], 2, ranks);
+    } else {
+        println!("spatial serving smoke at {ranks} ranks:");
+        assert_bitwise_equal(&[32, 32], 2, ranks);
+        assert_bitwise_equal(&[16, 16, 16], 2, ranks);
+    }
     println!("quick mode passed");
 }
 
@@ -79,7 +126,7 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(4);
     if args.iter().any(|a| a == "--quick") {
-        quick(ranks);
+        quick(ranks, args.iter().any(|a| a == "--stream"));
         return;
     }
 
