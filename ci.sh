@@ -46,6 +46,10 @@ run cargo run --release -p mgd-bench --bin certified_report -- --quick /tmp/BENC
 # mixed-precision certified solve must reach the same f64 tolerance
 # (the report bin asserts all three gates in quick mode).
 run cargo run --release -p mgd-bench --bin precision_report -- --quick /tmp/BENCH_precision_ci.json
+# Operator-zoo smoke: Poisson dispatch bitwise-identity, identity-tensor
+# reduction, SPD validation, stiffness symmetry, plus one tiny anisotropic
+# train → compare-vs-FEM → certified solve with a recomputed certificate.
+run cargo run --release -p mgd-bench --bin operator_report -- --quick /tmp/BENCH_operators_ci.json
 run cargo bench --no-run --workspace
 
 if [[ "${1:-}" == "bench" ]]; then
@@ -65,6 +69,9 @@ if [[ "${1:-}" == "bench" ]]; then
     # Full precision report (f32 GEMM/forward speedups, mixed-precision
     # certified solves), checked in as results/BENCH_precision.json.
     run cargo run --release -p mgd-bench --bin precision_report
+    # Full operator-zoo report (trains one surrogate per operator, fields
+    # vs FEM + certified solves), checked in as results/BENCH_operators.json.
+    run cargo run --release -p mgd-bench --bin operator_report
 fi
 
 echo "ci: all green"

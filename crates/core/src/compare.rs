@@ -40,14 +40,26 @@ pub fn predict_field<M: Model + ?Sized>(
     sample: usize,
     dims: &[usize],
 ) -> MgdResult<Tensor> {
+    let loss = FemLoss::new(dims)?;
+    predict_field_with_loss(net, data, sample, dims, &loss)
+}
+
+/// [`predict_field`] against an explicit loss (operator/boundary/forcing) —
+/// the loss decides which BCs are imposed on the raw network output.
+pub fn predict_field_with_loss<M: Model + ?Sized>(
+    net: &mut M,
+    data: &Dataset,
+    sample: usize,
+    dims: &[usize],
+    loss: &FemLoss,
+) -> MgdResult<Tensor> {
     let x = data.try_batch_inputs(&[sample], dims)?;
     let mut u = net.forward(&x, false);
-    let loss = FemLoss::new(dims)?;
     loss.apply_bc_batch(&mut u);
     Ok(Tensor::from_vec(dims.to_vec(), u.into_vec()))
 }
 
-/// Full §4.3-style comparison for one sample.
+/// Full §4.3-style comparison for one sample (paper default physics).
 pub fn compare_with_fem<M: Model + ?Sized>(
     net: &mut M,
     data: &Dataset,
@@ -55,6 +67,21 @@ pub fn compare_with_fem<M: Model + ?Sized>(
     dims: &[usize],
 ) -> MgdResult<FieldComparison> {
     let loss = FemLoss::new(dims)?;
+    compare_with_fem_loss(net, data, sample, dims, &loss)
+}
+
+/// [`compare_with_fem`] against an explicit loss: the FEM ground truth, the
+/// energies, and the warm-start study all use the loss's operator (e.g.
+/// anisotropic tensor diffusion), boundary data, and forcing. The dataset
+/// must produce coefficient blocks matching the operator (`Dataset::
+/// with_anisotropy` for tensor operators).
+pub fn compare_with_fem_loss<M: Model + ?Sized>(
+    net: &mut M,
+    data: &Dataset,
+    sample: usize,
+    dims: &[usize],
+    loss: &FemLoss,
+) -> MgdResult<FieldComparison> {
     let x = data.try_batch_inputs(&[sample], dims)?;
 
     let t0 = Instant::now();
@@ -162,6 +189,35 @@ mod tests {
         assert!(c.fem_iterations > 0);
         assert!(c.fem_seconds > 0.0);
         assert_eq!(c.omega.len(), 4);
+    }
+
+    #[test]
+    fn anisotropic_comparison_runs_end_to_end() {
+        use crate::loss::LossSpec;
+        use mgd_fem::PdeOperator;
+        use mgd_field::Anisotropy;
+        let dims = [16usize, 16];
+        let data = Dataset::sobol(4, DiffusivityModel::paper(), InputEncoding::LogNu)
+            .with_anisotropy(Anisotropy::new(4.0, 0.5).unwrap())
+            .unwrap();
+        let mut net = UNet::new(UNetConfig {
+            depth: 2,
+            base_filters: 4,
+            two_d: true,
+            in_channels: 3,
+            seed: 8,
+            ..Default::default()
+        });
+        let spec = LossSpec {
+            op: PdeOperator::AnisoDiffusion,
+            ..LossSpec::default()
+        };
+        let loss = FemLoss::with_spec(&dims, &spec).unwrap();
+        let c = compare_with_fem_loss(&mut net, &data, 1, &dims, &loss).unwrap();
+        assert!(c.rel_l2.is_finite() && c.rel_l2 > 0.0);
+        // FEM energy is the attainable minimum for *this* operator too.
+        assert!(c.energy_nn >= c.energy_fem - 1e-9);
+        assert!(c.fem_iterations > 0);
     }
 
     #[test]

@@ -47,17 +47,18 @@
 //! # Ok::<(), MgdError>(())
 //! ```
 
-use crate::compare::{compare_with_fem, FieldComparison};
+use crate::compare::{compare_with_fem_loss, FieldComparison};
 use crate::cycle::CycleKind;
 use crate::error::{MgdError, MgdResult};
-use crate::loss::FemLoss;
+use crate::loss::{FemLoss, LossSpec};
 use crate::mg_trainer::{MgConfig, MgRunLog, MultigridTrainer};
 use crate::serve::{
     EngineSnapshot, InferenceRequest, ServeOptions, SharedServeStats, SnapshotCell, SnapshotConfig,
 };
 use crate::trainer::TrainConfig;
 use mgd_dist::{launch_with, LocalComm, SlabPartition};
-use mgd_field::{Dataset, DiffusivityModel, InputEncoding};
+use mgd_fem::{BoundarySpec, PdeOperator};
+use mgd_field::{Anisotropy, Dataset, DiffusivityModel, InputEncoding};
 use mgd_hybrid::{CertifiedSolution, StallPolicy, StrategyKind};
 use mgd_nn::{Adam, ConvBackend, Model, Optimizer, SlabOpts, UNet, UNetConfig, WeightSnapshot};
 use mgd_tensor::{Precision, Tensor};
@@ -141,13 +142,26 @@ impl Parallelism {
     }
 }
 
-/// The PDE family an engine solves.
+/// The PDE family an engine solves — the "operator zoo" entry point.
+///
+/// `Poisson*` variants train a surrogate for the paper's isotropic
+/// generalized Poisson operator `−∇·(ν∇u)`; `Anisotropic*` variants wrap
+/// the same parametric scalar family in an SPD tensor field
+/// `−∇·(T(x)∇u)` built from an [`Anisotropy`] (strong/weak ratio +
+/// in-plane rotation), with coefficient blocks carried component-major
+/// (`[ncomp, spatial...]`) through the dataset, the network input, and
+/// the serving surface.
 #[derive(Clone, Debug)]
 pub enum Problem {
     /// 2D generalized Poisson with the paper's parametric diffusivity.
     Poisson2d(DiffusivityModel),
     /// 3D generalized Poisson.
     Poisson3d(DiffusivityModel),
+    /// 2D anisotropic tensor-coefficient diffusion: the scalar family
+    /// rotated into an SPD tensor field.
+    Anisotropic2d(DiffusivityModel, Anisotropy),
+    /// 3D anisotropic tensor diffusion (extruded in-plane rotation).
+    Anisotropic3d(DiffusivityModel, Anisotropy),
 }
 
 impl Problem {
@@ -161,19 +175,54 @@ impl Problem {
         Problem::Poisson3d(model)
     }
 
+    /// 2D anisotropic diffusion over the given scalar family and
+    /// anisotropy (ratio/rotation).
+    pub fn anisotropic_2d(model: DiffusivityModel, aniso: Anisotropy) -> Self {
+        Problem::Anisotropic2d(model, aniso)
+    }
+
+    /// 3D anisotropic diffusion (in-plane rotation, extruded z-axis).
+    pub fn anisotropic_3d(model: DiffusivityModel, aniso: Anisotropy) -> Self {
+        Problem::Anisotropic3d(model, aniso)
+    }
+
     /// Spatial rank of the problem (2 or 3).
     pub fn rank(&self) -> usize {
         match self {
-            Problem::Poisson2d(_) => 2,
-            Problem::Poisson3d(_) => 3,
+            Problem::Poisson2d(_) | Problem::Anisotropic2d(..) => 2,
+            Problem::Poisson3d(_) | Problem::Anisotropic3d(..) => 3,
         }
     }
 
     /// The diffusivity family.
     pub fn diffusivity(&self) -> &DiffusivityModel {
         match self {
-            Problem::Poisson2d(m) | Problem::Poisson3d(m) => m,
+            Problem::Poisson2d(m)
+            | Problem::Poisson3d(m)
+            | Problem::Anisotropic2d(m, _)
+            | Problem::Anisotropic3d(m, _) => m,
         }
+    }
+
+    /// The PDE operator this problem discretizes with.
+    pub fn op(&self) -> PdeOperator {
+        match self {
+            Problem::Poisson2d(_) | Problem::Poisson3d(_) => PdeOperator::Poisson,
+            Problem::Anisotropic2d(..) | Problem::Anisotropic3d(..) => PdeOperator::AnisoDiffusion,
+        }
+    }
+
+    /// The anisotropy wrapped around the scalar family, if any.
+    pub fn anisotropy(&self) -> Option<Anisotropy> {
+        match self {
+            Problem::Poisson2d(_) | Problem::Poisson3d(_) => None,
+            Problem::Anisotropic2d(_, a) | Problem::Anisotropic3d(_, a) => Some(*a),
+        }
+    }
+
+    /// Coefficient components per node (1 scalar, `d(d+1)/2` tensor).
+    pub fn ncomp(&self) -> usize {
+        self.op().ncomp(self.rank())
     }
 }
 
@@ -184,6 +233,8 @@ impl Problem {
 pub struct SolverEngineBuilder {
     resolution: Option<Vec<usize>>,
     problem: Option<Problem>,
+    boundary: BoundarySpec,
+    forcing: Option<Tensor>,
     cycle: CycleKind,
     levels: usize,
     fixed_epochs: usize,
@@ -216,6 +267,8 @@ impl Default for SolverEngineBuilder {
         SolverEngineBuilder {
             resolution: None,
             problem: None,
+            boundary: BoundarySpec::default(),
+            forcing: None,
             cycle: CycleKind::HalfV,
             levels: 2,
             fixed_epochs: 3,
@@ -255,6 +308,22 @@ impl SolverEngineBuilder {
     /// The PDE family to solve (required).
     pub fn problem(mut self, problem: Problem) -> Self {
         self.problem = Some(problem);
+        self
+    }
+
+    /// Declarative Dirichlet boundary data (default: the paper's
+    /// `u(x=0) = 1`, `u(x=1) = 0` with homogeneous Neumann elsewhere).
+    /// Values must be finite — validated at [`Self::build`].
+    pub fn boundary(mut self, boundary: BoundarySpec) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Optional nodal forcing `f` (the PDE's right-hand side). Its rank
+    /// must match the resolution's; it is resampled multilinearly onto
+    /// every hierarchy level. Validated at [`Self::build`].
+    pub fn forcing(mut self, forcing: Tensor) -> Self {
+        self.forcing = Some(forcing);
         self
     }
 
@@ -587,6 +656,19 @@ impl SolverEngineBuilder {
                         problem.diffusivity().num_modes()
                     )));
                 }
+                // The dataset's coefficient blocks must match the
+                // problem's operator: a scalar dataset cannot feed a
+                // tensor operator (and vice versa), and the anisotropy
+                // parameters themselves must agree — the loss assembles
+                // the operator straight from those blocks.
+                if d.aniso != problem.anisotropy() {
+                    return Err(MgdError::InvalidConfig(format!(
+                        "dataset anisotropy {:?} does not match the problem's {:?} \
+                         (build the dataset with Dataset::with_anisotropy)",
+                        d.aniso,
+                        problem.anisotropy()
+                    )));
+                }
                 d
             }
             None => {
@@ -595,7 +677,11 @@ impl SolverEngineBuilder {
                         "samples must be >= 1 (got 0)".into(),
                     ));
                 }
-                Dataset::sobol(self.samples, problem.diffusivity().clone(), self.encoding)
+                let d = Dataset::sobol(self.samples, problem.diffusivity().clone(), self.encoding);
+                match problem.anisotropy() {
+                    None => d,
+                    Some(a) => d.with_anisotropy(a).map_err(MgdError::Field)?,
+                }
             }
         };
         if self.train.batch_size > data.len() {
@@ -655,11 +741,24 @@ impl SolverEngineBuilder {
             adapt: self.adapt,
             cycles: self.cycles,
         };
-        let schedule = MultigridTrainer::new(mg, train, resolution.clone())?;
+        // The physics spec every layer shares: the trainer's loss at each
+        // hierarchy level, the engine's serving loss, and (via its
+        // fingerprint) the prediction-cache keys. Boundary and forcing are
+        // validated here through FemLoss::with_spec — the first violated
+        // constraint reports as a typed error at build time.
+        let spec = LossSpec {
+            op: problem.op(),
+            boundary: self.boundary,
+            forcing: self.forcing.clone(),
+        };
+        let schedule = MultigridTrainer::with_spec(mg, train, resolution.clone(), spec.clone())?;
         let model = match self.model {
             Some(m) => m,
             None => Box::new(UNet::new(UNetConfig {
                 two_d: problem.rank() == 2,
+                // Tensor operators feed component-major coefficient
+                // planes; the first encoder block widens to match.
+                in_channels: problem.ncomp(),
                 depth: self.net_depth,
                 base_filters: self.base_filters,
                 batch_norm: self.batch_norm,
@@ -720,7 +819,7 @@ impl SolverEngineBuilder {
                 ))
             })?;
         }
-        let loss = Arc::new(FemLoss::new(&resolution)?);
+        let loss = Arc::new(FemLoss::with_spec(&resolution, &spec)?);
         let stats = Arc::new(SharedServeStats::default());
         let spatial_opts = SlabOpts {
             overlap: self.spatial_overlap,
@@ -736,6 +835,7 @@ impl SolverEngineBuilder {
             three_d: problem.rank() == 3,
             encoding: self.encoding,
             diffusivity: problem.diffusivity().clone(),
+            aniso: problem.anisotropy(),
             loss: Arc::clone(&loss),
             cache_capacity: self.serve.cache_capacity,
             cache_shards: self.serve.cache_shards,
@@ -909,6 +1009,7 @@ impl SolverEngine {
             three_d: self.problem.rank() == 3,
             encoding: self.encoding,
             diffusivity: self.problem.diffusivity().clone(),
+            aniso: self.problem.anisotropy(),
             loss: Arc::clone(&self.loss),
             cache_capacity: self.serve.cache_capacity,
             cache_shards: self.serve.cache_shards,
@@ -1010,13 +1111,16 @@ impl SolverEngine {
     }
 
     /// §4.3-style comparison of the engine's prediction against a fresh FEM
-    /// solve for dataset sample `sample`.
+    /// solve for dataset sample `sample` — ground truth, energies, and the
+    /// warm-start study all use the engine's operator/boundary/forcing.
     pub fn compare_sample(&mut self, sample: usize) -> MgdResult<FieldComparison> {
-        compare_with_fem(
+        let loss = Arc::clone(&self.loss);
+        compare_with_fem_loss(
             &mut self.model,
             &self.data,
             sample,
             &self.resolution.clone(),
+            &loss,
         )
     }
 
@@ -1774,6 +1878,138 @@ mod tests {
         assert!(sol.rel_residual <= tol);
         assert!(sol.u.iter().all(|x| x.is_finite()));
         assert_eq!(sol.strategy_used, "pure-multigrid");
+    }
+
+    fn aniso_builder() -> SolverEngineBuilder {
+        SolverEngine::builder()
+            .resolution([16, 16])
+            .problem(Problem::anisotropic_2d(
+                DiffusivityModel::paper(),
+                Anisotropy::new(4.0, 0.5).unwrap(),
+            ))
+            .levels(2)
+            .samples(8)
+            .batch_size(4)
+            .max_epochs(4)
+            .fixed_epochs(1)
+            .seed(3)
+    }
+
+    #[test]
+    fn anisotropic_engine_trains_serves_and_certifies() {
+        let mut engine = aniso_builder().build().unwrap();
+        // The default dataset picked up the problem's anisotropy, so its
+        // coefficient blocks are component-major tensor planes.
+        assert_eq!(engine.dataset().ncomp(2), 3);
+        assert_eq!(engine.problem().ncomp(), 3);
+        let log = engine.train().unwrap();
+        assert!(log.final_loss.is_finite());
+        // Serving accepts [3, 16, 16] tensor-coefficient requests...
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        assert_eq!(nu.dims(), &[3, 16, 16]);
+        let u = engine.predict(&nu).unwrap();
+        assert_eq!(u.dims(), &[16, 16]);
+        // ...with the paper's x-face boundary data imposed exactly.
+        for j in 0..16 {
+            assert_eq!(u.at(&[j, 0]), 1.0);
+            assert_eq!(u.at(&[j, 15]), 0.0);
+        }
+        // ...and rejects the scalar shape the Poisson engine would take.
+        let bad = engine.predict(&Tensor::ones([16, 16]));
+        assert!(matches!(bad, Err(MgdError::ShapeMismatch { expected, .. })
+            if expected == vec![3, 16, 16]));
+        // ω requests rasterize + tensorize server-side and agree with the
+        // explicit tensor field bitwise.
+        let via_omega = engine
+            .predict_omega(&engine.dataset().omegas[1].clone())
+            .unwrap();
+        assert_eq!(u.as_slice(), via_omega.as_slice());
+        // Certified solves assemble the anisotropic operator: the returned
+        // certificate is a machine-checked residual bound on K(T)u = F.
+        let tol = 1e-8;
+        let sol = engine
+            .solve_certified(&InferenceRequest::coeff(nu), tol)
+            .unwrap();
+        assert!(sol.converged, "{:?}", sol.residual_history);
+        assert!(sol.rel_residual <= tol);
+        assert!(sol.u.iter().all(|x| x.is_finite()));
+        // And the §4.3 comparison runs against the anisotropic FEM truth.
+        let c = engine.compare_sample(1).unwrap();
+        assert!(c.rel_l2.is_finite());
+        assert!(c.energy_nn >= c.energy_fem - 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_dataset_anisotropy() {
+        // A scalar dataset cannot feed a tensor operator...
+        let scalar = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu);
+        let e = aniso_builder().dataset(scalar).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("anisotropy")));
+        // ...and an anisotropic dataset cannot feed the Poisson operator.
+        let tensor = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu)
+            .with_anisotropy(Anisotropy::new(4.0, 0.5).unwrap())
+            .unwrap();
+        let e = small_builder().dataset(tensor).build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("anisotropy")));
+    }
+
+    #[test]
+    fn boundary_and_forcing_knobs_thread_through() {
+        // All-faces Dirichlet + a forcing term: the predicted field pins
+        // every boundary node, and the certified solve measures its
+        // residual against the assembled load vector F ≠ 0.
+        let engine = small_builder()
+            .boundary(BoundarySpec::AllFaces { value: 0.0 })
+            .forcing(Tensor::full([16, 16], 1.0))
+            .build()
+            .unwrap();
+        let nu = engine.dataset().nu_field(1, &[16, 16]);
+        let u = engine.predict(&nu).unwrap();
+        for i in 0..16 {
+            assert_eq!(u.at(&[0, i]), 0.0);
+            assert_eq!(u.at(&[15, i]), 0.0);
+            assert_eq!(u.at(&[i, 0]), 0.0);
+            assert_eq!(u.at(&[i, 15]), 0.0);
+        }
+        let tol = 1e-8;
+        let sol = engine
+            .solve_certified(&InferenceRequest::coeff(nu), tol)
+            .unwrap();
+        assert!(sol.converged);
+        assert!(sol.rel_residual <= tol);
+        // With homogeneous Dirichlet walls and f = 1, the solution bulges
+        // positive in the interior — zero only if the rhs were dropped.
+        let mid = sol.u[8 * 16 + 8];
+        assert!(mid > 1e-6, "forcing was lost: interior value {mid}");
+        // Bad boundary data is a typed build error.
+        let e = small_builder()
+            .boundary(BoundarySpec::AllFaces { value: f64::NAN })
+            .build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(_))));
+        // Mis-ranked forcing is too.
+        let e = small_builder()
+            .forcing(Tensor::full([4, 4, 4], 1.0))
+            .build();
+        assert!(matches!(e, Err(MgdError::InvalidConfig(ref m)) if m.contains("forcing")));
+    }
+
+    #[test]
+    fn physics_changes_do_not_alias_cache_entries() {
+        // Same ω queried through engines with different physics must miss
+        // each other's keyspace — verified indirectly: the two snapshots'
+        // losses fingerprint differently, which CacheKey folds in.
+        let poisson = small_builder().build().unwrap();
+        let forced = small_builder()
+            .forcing(Tensor::full([16, 16], 1.0))
+            .build()
+            .unwrap();
+        let aniso = aniso_builder().build().unwrap();
+        let fp0 = poisson.snapshot().loss_fingerprint();
+        let fp1 = forced.snapshot().loss_fingerprint();
+        let fp2 = aniso.snapshot().loss_fingerprint();
+        assert_ne!(fp0, fp1);
+        assert_ne!(fp0, fp2);
+        assert_ne!(fp1, fp2);
     }
 
     #[test]

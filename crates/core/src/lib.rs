@@ -132,13 +132,18 @@ pub mod serve;
 pub mod stopper;
 pub mod trainer;
 
-pub use compare::{compare_with_fem, predict_field, FieldComparison};
+pub use compare::{
+    compare_with_fem, compare_with_fem_loss, predict_field, predict_field_with_loss,
+    FieldComparison,
+};
 pub use cycle::{level_sequence, schedule, Budget, CycleKind, Phase};
 pub use dist_fem::{DistPoisson, SlabPartition};
 pub use engine::{Parallelism, Problem, ServeStats, SolverEngine, SolverEngineBuilder};
 pub use error::{MgdError, MgdResult};
-pub use loss::FemLoss;
+pub use loss::{FemLoss, LossSpec};
 pub use mg_trainer::{MgConfig, MgRunLog, MultigridTrainer, PhaseLog};
+pub use mgd_fem::{BoundarySpec, PdeOperator};
+pub use mgd_field::Anisotropy;
 pub use mgd_tensor::Precision;
 pub use serve::{
     CacheKey, CacheShardStats, CachedField, EngineSnapshot, InferenceRequest, PredictionCache,
@@ -160,11 +165,12 @@ pub use mgd_hybrid::{CertifiedSolution, CertifyOptions, HybridError, StallPolicy
 /// exported for distributed runs and research loops.
 pub mod prelude {
     pub use crate::{
-        compare_with_fem, predict_field, schedule, Budget, CertifiedSolution, CycleKind,
-        EarlyStopping, EngineSnapshot, EpochStats, FemLoss, FieldComparison, InferenceRequest,
-        MgConfig, MgRunLog, MgdError, MgdResult, MultigridTrainer, Parallelism, Phase, PhaseLog,
-        Problem, ServeOptions, ServeStats, SnapshotCell, SolverEngine, SolverEngineBuilder,
-        StallPolicy, StrategyKind, TrainConfig, TrainLog, Trainer,
+        compare_with_fem, predict_field, schedule, Anisotropy, BoundarySpec, Budget,
+        CertifiedSolution, CycleKind, EarlyStopping, EngineSnapshot, EpochStats, FemLoss,
+        FieldComparison, InferenceRequest, LossSpec, MgConfig, MgRunLog, MgdError, MgdResult,
+        MultigridTrainer, Parallelism, PdeOperator, Phase, PhaseLog, Problem, ServeOptions,
+        ServeStats, SnapshotCell, SolverEngine, SolverEngineBuilder, StallPolicy, StrategyKind,
+        TrainConfig, TrainLog, Trainer,
     };
     pub use mgd_dist::{launch, Comm, LocalComm, ThreadComm};
     pub use mgd_field::{

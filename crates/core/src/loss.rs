@@ -6,32 +6,114 @@
 //! interior values; boundary nodes are overwritten (χ-masking), so no
 //! boundary penalty weight exists to tune — one of the paper's stated
 //! advantages over penalty-based PINNs.
+//!
+//! The loss is generic over the PDE via [`mgd_fem::PdeOperator`]: the same
+//! χ-masked energy descent trains surrogates for scalar Poisson and for
+//! anisotropic tensor-coefficient diffusion
+//! (`J(u) = Σ_q w·detJ [½ ∇u·(T∇u) − f·u]`), with declarative boundaries
+//! ([`mgd_fem::BoundarySpec`]) and an optional nodal forcing term. All of
+//! that is bundled in [`LossSpec`]; [`FemLoss::new`] keeps the paper's
+//! default (Poisson, x-face BC, no forcing) bitwise-identical to the
+//! pre-operator-zoo implementation.
 
 use crate::error::{MgdError, MgdResult};
-use mgd_fem::{energy_grad, solve_cg, CgOptions, CgStats, Dirichlet, ElementBasis, Grid};
+use mgd_fem::{
+    solve_cg_op, BoundarySpec, CgOptions, CgStats, Dirichlet, ElementBasis, Grid, PdeOperator,
+};
+use mgd_field::transfer::resample;
 use mgd_tensor::par::maybe_par_map_collect;
 use mgd_tensor::Tensor;
 
-/// Dimension-erased FEM energy loss bound to one grid resolution.
-pub enum FemLoss {
-    /// 2D problems (unit depth axis in tensors).
+/// Everything that defines the physics of a [`FemLoss`], independent of
+/// grid resolution: the operator, the boundary data, and an optional
+/// forcing field.
+///
+/// `forcing` is a nodal field at *any* resolution; building a loss at a
+/// given grid resamples it multilinearly, so one spec serves every level
+/// of a multigrid training hierarchy.
+#[derive(Clone, Debug, Default)]
+pub struct LossSpec {
+    /// Which PDE the energy discretizes.
+    pub op: PdeOperator,
+    /// Declarative Dirichlet boundary data.
+    pub boundary: BoundarySpec,
+    /// Optional nodal forcing `f` (adds `−∫ f·u` to the energy). `None`
+    /// reproduces the paper's homogeneous problem.
+    pub forcing: Option<Tensor>,
+}
+
+impl LossSpec {
+    /// The paper's default: scalar Poisson, `u(x=0)=1, u(x=1)=0`, no
+    /// forcing.
+    pub fn poisson() -> Self {
+        LossSpec::default()
+    }
+
+    /// Stable code for cache-key derivation: folds the operator identity,
+    /// the boundary data, and the forcing *content* so two specs that
+    /// solve different physics can never alias in a prediction cache.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.op.fingerprint() ^ 0xcbf2_9ce4_8422_2325u64;
+        h = h.wrapping_mul(PRIME);
+        h ^= self.boundary.fingerprint();
+        h = h.wrapping_mul(PRIME);
+        if let Some(f) = &self.forcing {
+            for d in f.dims() {
+                h ^= *d as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            for v in f.as_slice() {
+                // `+ 0.0` folds -0.0 onto +0.0 like the serving layer does.
+                h ^= (*v + 0.0).to_bits();
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+}
+
+/// Dimension-erased grid + basis pair. The operator dispatch lives in
+/// [`PdeOperator`]; this enum only erases the const-generic rank.
+enum Geom {
     D2 {
-        /// The nodal grid.
         grid: Grid<2>,
-        /// Precomputed element basis tables.
         basis: ElementBasis<2>,
-        /// The paper's x-face Dirichlet data.
-        bc: Dirichlet,
     },
-    /// 3D problems.
     D3 {
-        /// The nodal grid.
         grid: Grid<3>,
-        /// Precomputed element basis tables.
         basis: ElementBasis<3>,
-        /// The paper's x-face Dirichlet data.
-        bc: Dirichlet,
     },
+}
+
+/// Runs `$body` with `$grid`/`$basis` bound at the concrete rank. Every
+/// loss method is written once; the operator match lives in `PdeOperator`,
+/// so adding an operator touches no code here.
+macro_rules! with_geom {
+    ($self:expr, |$grid:ident, $basis:ident| $body:expr) => {
+        match &$self.geom {
+            Geom::D2 {
+                grid: $grid,
+                basis: $basis,
+            } => $body,
+            Geom::D3 {
+                grid: $grid,
+                basis: $basis,
+            } => $body,
+        }
+    };
+}
+
+/// FEM energy loss bound to one grid resolution and one [`LossSpec`].
+pub struct FemLoss {
+    geom: Geom,
+    op: PdeOperator,
+    boundary: BoundarySpec,
+    bc: Dirichlet,
+    forcing: Option<Vec<f64>>,
+    /// [`LossSpec::fingerprint`] of the spec this loss was built from —
+    /// the physics tag serving caches fold into every key.
+    fp: u64,
 }
 
 impl FemLoss {
@@ -41,44 +123,123 @@ impl FemLoss {
     /// Returns [`MgdError::InvalidConfig`] for a rank other than 2/3 or any
     /// dimension below the 2-node minimum a grid needs.
     pub fn new(dims: &[usize]) -> MgdResult<Self> {
+        Self::with_spec(dims, &LossSpec::default())
+    }
+
+    /// Builds the loss for `dims` with explicit physics. The forcing field
+    /// (if any) is resampled onto `dims` multilinearly; its rank must match.
+    pub fn with_spec(dims: &[usize], spec: &LossSpec) -> MgdResult<Self> {
         if let Some(&d) = dims.iter().find(|&&d| d < 2) {
             return Err(MgdError::InvalidConfig(format!(
                 "grid dims {dims:?}: every dimension needs >= 2 nodes (got {d})"
             )));
         }
-        match dims {
+        spec.boundary.validate()?;
+        let geom = match dims {
             [ny, nx] => {
                 let grid: Grid<2> = Grid::new([*ny, *nx]);
                 let basis = ElementBasis::new(&grid);
-                let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-                Ok(FemLoss::D2 { grid, basis, bc })
+                Geom::D2 { grid, basis }
             }
             [nz, ny, nx] => {
                 let grid: Grid<3> = Grid::new([*nz, *ny, *nx]);
                 let basis = ElementBasis::new(&grid);
-                let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-                Ok(FemLoss::D3 { grid, basis, bc })
+                Geom::D3 { grid, basis }
             }
-            _ => Err(MgdError::InvalidConfig(format!(
-                "FemLoss expects 2 or 3 spatial dims, got {dims:?}"
-            ))),
-        }
+            _ => {
+                return Err(MgdError::InvalidConfig(format!(
+                    "FemLoss expects 2 or 3 spatial dims, got {dims:?}"
+                )))
+            }
+        };
+        let bc = match &geom {
+            Geom::D2 { grid, .. } => spec.boundary.build(grid),
+            Geom::D3 { grid, .. } => spec.boundary.build(grid),
+        };
+        let forcing = match &spec.forcing {
+            None => None,
+            Some(f) => {
+                if f.dims().len() != dims.len() {
+                    return Err(MgdError::InvalidConfig(format!(
+                        "forcing rank {:?} does not match grid dims {dims:?}",
+                        f.dims()
+                    )));
+                }
+                if let Some(&bad) = f.as_slice().iter().find(|v| !v.is_finite()) {
+                    return Err(MgdError::InvalidConfig(format!(
+                        "forcing field contains non-finite value {bad}"
+                    )));
+                }
+                // Only resample when resolutions differ, so a forcing field
+                // given at the loss resolution is used byte-for-byte.
+                let v = if f.dims() == dims {
+                    f.as_slice().to_vec()
+                } else {
+                    resample(f, dims).as_slice().to_vec()
+                };
+                Some(v)
+            }
+        };
+        Ok(FemLoss {
+            geom,
+            op: spec.op,
+            boundary: spec.boundary,
+            bc,
+            forcing,
+            fp: spec.fingerprint(),
+        })
     }
 
     /// Spatial node count.
     pub fn num_nodes(&self) -> usize {
-        match self {
-            FemLoss::D2 { grid, .. } => grid.num_nodes(),
-            FemLoss::D3 { grid, .. } => grid.num_nodes(),
+        with_geom!(self, |grid, _basis| grid.num_nodes())
+    }
+
+    /// Spatial rank (2 or 3).
+    pub fn rank(&self) -> usize {
+        match &self.geom {
+            Geom::D2 { .. } => 2,
+            Geom::D3 { .. } => 3,
         }
+    }
+
+    /// The PDE operator this loss discretizes.
+    pub fn op(&self) -> PdeOperator {
+        self.op
+    }
+
+    /// Coefficient components per node (1 scalar, `d(d+1)/2` tensor).
+    pub fn ncomp(&self) -> usize {
+        self.op.ncomp(self.rank())
+    }
+
+    /// Expected per-sample coefficient length (`ncomp × num_nodes`).
+    pub fn coeff_len(&self) -> usize {
+        self.ncomp() * self.num_nodes()
+    }
+
+    /// The declarative boundary spec this loss built its Dirichlet data
+    /// from (what certified solves re-discretize with).
+    pub fn boundary_spec(&self) -> BoundarySpec {
+        self.boundary
+    }
+
+    /// Deterministic fingerprint of the physics (operator ⊕ boundary ⊕
+    /// forcing) this loss encodes — equal specs at any resolution share it.
+    /// Serving caches fold it into every key so identical coefficient
+    /// fields under different physics never alias.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// The Dirichlet data.
     pub fn bc(&self) -> &Dirichlet {
-        match self {
-            FemLoss::D2 { bc, .. } => bc,
-            FemLoss::D3 { bc, .. } => bc,
-        }
+        &self.bc
+    }
+
+    /// The nodal forcing at this resolution, if the spec carries one.
+    pub fn forcing(&self) -> Option<&[f64]> {
+        self.forcing.as_deref()
     }
 
     /// Imposes the boundary values on every sample of an NCDHW batch
@@ -90,40 +251,38 @@ impl FemLoss {
         let vol = self.num_nodes();
         let b = u.dims()[0];
         debug_assert_eq!(u.len(), b * vol, "batch tensor volume mismatch");
-        let bc = self.bc();
         for s in 0..b {
-            bc.apply(&mut u.as_mut_slice()[s * vol..(s + 1) * vol]);
+            self.bc.apply(&mut u.as_mut_slice()[s * vol..(s + 1) * vol]);
         }
     }
 
     /// Energy and gradient for one nodal field (boundary entries of the
-    /// gradient are masked to zero).
+    /// gradient are masked to zero). `nu` is the operator's coefficient
+    /// block (`coeff_len` values, component-major for tensor operators).
     pub fn energy_grad_single(&self, nu: &[f64], u: &[f64], grad: &mut [f64]) -> f64 {
-        match self {
-            FemLoss::D2 { grid, basis, bc } => {
-                let j = energy_grad(grid, basis, nu, u, None, grad);
-                bc.zero_fixed(grad);
-                j
-            }
-            FemLoss::D3 { grid, basis, bc } => {
-                let j = energy_grad(grid, basis, nu, u, None, grad);
-                bc.zero_fixed(grad);
-                j
-            }
-        }
+        let j = with_geom!(self, |grid, basis| self.op.energy_grad(
+            grid,
+            basis,
+            nu,
+            u,
+            self.forcing.as_deref(),
+            grad
+        ));
+        self.bc.zero_fixed(grad);
+        j
     }
 
     /// Mean energy over a batch and its gradient w.r.t. the (BC-imposed)
     /// network output, shaped like `u`.
     ///
-    /// `nu` holds one spatial tensor per sample; `u` is the NCDHW batch
+    /// `nu` holds one coefficient block per sample; `u` is the NCDHW batch
     /// *after* [`Self::apply_bc_batch`]. The returned gradient is zero on
     /// Dirichlet nodes, which is exactly the chain rule through the masking
     /// (`∂u/∂y = χ_int`).
     pub fn energy_grad_batch(&self, nu: &[Tensor], u: &Tensor) -> (f64, Tensor) {
         let vol = self.num_nodes();
         let b = u.dims()[0];
-        debug_assert_eq!(nu.len(), b, "need one ν field per sample");
+        debug_assert_eq!(nu.len(), b, "need one coefficient block per sample");
         debug_assert_eq!(u.len(), b * vol, "batch tensor volume mismatch");
         let us = u.as_slice();
         // Per-sample results computed independently (parallel over samples),
@@ -152,27 +311,20 @@ impl FemLoss {
         let vol = self.num_nodes();
         let b = u.dims()[0];
         let us = u.as_slice();
-        let js: Vec<f64> = maybe_par_map_collect(b, vol * 8, |s| match self {
-            FemLoss::D2 { grid, basis, .. } => mgd_fem::energy(
+        let js: Vec<f64> = maybe_par_map_collect(b, vol * 8, |s| {
+            with_geom!(self, |grid, basis| self.op.energy(
                 grid,
                 basis,
                 nu[s].as_slice(),
                 &us[s * vol..(s + 1) * vol],
-                None,
-            ),
-            FemLoss::D3 { grid, basis, .. } => mgd_fem::energy(
-                grid,
-                basis,
-                nu[s].as_slice(),
-                &us[s * vol..(s + 1) * vol],
-                None,
-            ),
+                self.forcing.as_deref(),
+            ))
         });
         js.iter().sum::<f64>() / b as f64
     }
 
-    /// Reference FEM solution for one ν field on this grid (CG; optional
-    /// warm start, e.g. the network prediction per §3.1.2).
+    /// Reference FEM solution for one coefficient block on this grid (CG;
+    /// optional warm start, e.g. the network prediction per §3.1.2).
     pub fn fem_solve(&self, nu: &[f64], warm: Option<&[f64]>, tol: f64) -> (Vec<f64>, CgStats) {
         self.fem_solve_with(
             nu,
@@ -195,10 +347,16 @@ impl FemLoss {
         warm: Option<&[f64]>,
         opts: CgOptions,
     ) -> (Vec<f64>, CgStats) {
-        match self {
-            FemLoss::D2 { grid, basis, bc } => solve_cg(grid, basis, nu, bc, None, warm, opts),
-            FemLoss::D3 { grid, basis, bc } => solve_cg(grid, basis, nu, bc, None, warm, opts),
-        }
+        with_geom!(self, |grid, basis| solve_cg_op(
+            grid,
+            basis,
+            self.op,
+            nu,
+            &self.bc,
+            self.forcing.as_deref(),
+            warm,
+            opts,
+        ))
     }
 }
 
@@ -310,5 +468,181 @@ mod tests {
         let (j, grad) = loss.energy_grad_batch(&nu, &u);
         assert!(j.is_finite());
         assert_eq!(grad.dims(), u.dims());
+    }
+
+    #[test]
+    fn default_spec_is_bitwise_identical_to_new() {
+        let dims = [6usize, 9];
+        let a = FemLoss::new(&dims).unwrap();
+        let b = FemLoss::with_spec(&dims, &LossSpec::poisson()).unwrap();
+        let nu = vec![Tensor::rand_uniform(
+            [6, 9],
+            0.5,
+            2.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11),
+        )];
+        let mut u = Tensor::rand_uniform(
+            [1, 1, 1, 6, 9],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(12),
+        );
+        a.apply_bc_batch(&mut u);
+        let (ja, ga) = a.energy_grad_batch(&nu, &u);
+        let (jb, gb) = b.energy_grad_batch(&nu, &u);
+        assert_eq!(ja.to_bits(), jb.to_bits());
+        for (x, y) in ga.as_slice().iter().zip(gb.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn anisotropic_spec_gradcheck() {
+        // Tensor-coefficient loss: ∇J from the operator kernel must match
+        // central finite differences of the energy.
+        let dims = [5usize, 6];
+        let spec = LossSpec {
+            op: PdeOperator::AnisoDiffusion,
+            ..LossSpec::default()
+        };
+        let loss = FemLoss::with_spec(&dims, &spec).unwrap();
+        let vol = loss.num_nodes();
+        assert_eq!(loss.ncomp(), 3);
+        assert_eq!(loss.coeff_len(), 3 * vol);
+        // SPD tensor field: diag-dominant with a small off-diagonal.
+        let mut coeff = vec![0.0; 3 * vol];
+        for i in 0..vol {
+            coeff[i] = 2.0 + 0.1 * (i % 5) as f64;
+            coeff[vol + i] = 1.0 + 0.05 * (i % 3) as f64;
+            coeff[2 * vol + i] = 0.2;
+        }
+        let nu = vec![Tensor::from_vec([3 * vol], coeff)];
+        let mut u = Tensor::rand_uniform(
+            [1, 1, 1, 5, 6],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(21),
+        );
+        loss.apply_bc_batch(&mut u);
+        let (_, grad) = loss.energy_grad_batch(&nu, &u);
+        let eps = 1e-6;
+        let vals = u.as_slice().to_vec();
+        for i in (0..vol).step_by(7) {
+            let mut up = Tensor::from_vec(u.shape().clone(), vals.clone());
+            up.as_mut_slice()[i] += eps;
+            let mut um = Tensor::from_vec(u.shape().clone(), vals.clone());
+            um.as_mut_slice()[i] -= eps;
+            let fd = (loss.energy_batch(&nu, &up) - loss.energy_batch(&nu, &um)) / (2.0 * eps);
+            let g = grad.as_slice()[i];
+            // Dirichlet nodes carry a masked (zero) gradient; skip them.
+            if g == 0.0 && fd.abs() > 1e-9 {
+                continue;
+            }
+            assert!((g - fd).abs() < 1e-7, "node {i}: {g} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn forcing_shifts_the_minimizer() {
+        // With f > 0 the solve of K u = F differs from the homogeneous one,
+        // and a coarse forcing field resamples onto the loss grid.
+        let dims = [8usize, 8];
+        let spec = LossSpec {
+            forcing: Some(Tensor::full([4, 4], 1.0)),
+            ..LossSpec::default()
+        };
+        let loss = FemLoss::with_spec(&dims, &spec).unwrap();
+        assert_eq!(loss.forcing().unwrap().len(), 64);
+        let nu = vec![1.0; 64];
+        let (uf, sf) = loss.fem_solve(&nu, None, 1e-10);
+        assert!(sf.converged);
+        let homog = FemLoss::new(&dims).unwrap();
+        let (u0, s0) = homog.fem_solve(&nu, None, 1e-10);
+        assert!(s0.converged);
+        let diff: f64 = uf
+            .iter()
+            .zip(&u0)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff > 1e-3, "forcing should move the solution ({diff})");
+    }
+
+    #[test]
+    fn with_spec_rejects_bad_configs() {
+        // Mis-ranked forcing.
+        let spec = LossSpec {
+            forcing: Some(Tensor::full([4, 4, 4], 1.0)),
+            ..LossSpec::default()
+        };
+        assert!(matches!(
+            FemLoss::with_spec(&[8, 8], &spec),
+            Err(MgdError::InvalidConfig(_))
+        ));
+        // Non-finite forcing.
+        let spec = LossSpec {
+            forcing: Some(Tensor::full([4, 4], f64::NAN)),
+            ..LossSpec::default()
+        };
+        assert!(FemLoss::with_spec(&[8, 8], &spec).is_err());
+        // Non-finite boundary value.
+        let spec = LossSpec {
+            boundary: BoundarySpec::AllFaces { value: f64::NAN },
+            ..LossSpec::default()
+        };
+        assert!(FemLoss::with_spec(&[8, 8], &spec).is_err());
+        // Original dim validation is intact.
+        assert!(FemLoss::new(&[1, 8]).is_err());
+        assert!(FemLoss::new(&[8]).is_err());
+    }
+
+    #[test]
+    fn all_faces_boundary_builds_and_masks() {
+        let spec = LossSpec {
+            boundary: BoundarySpec::AllFaces { value: 0.0 },
+            ..LossSpec::default()
+        };
+        let loss = FemLoss::with_spec(&[4, 4], &spec).unwrap();
+        let mut u = Tensor::full([1, 1, 1, 4, 4], 0.7);
+        loss.apply_bc_batch(&mut u);
+        for j in 0..4 {
+            for i in 0..4 {
+                let on_boundary = j == 0 || j == 3 || i == 0 || i == 3;
+                let v = u.at(&[0, 0, 0, j, i]);
+                if on_boundary {
+                    assert_eq!(v, 0.0);
+                } else {
+                    assert_eq!(v, 0.7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_fingerprints_distinguish_physics() {
+        let base = LossSpec::poisson();
+        let aniso = LossSpec {
+            op: PdeOperator::AnisoDiffusion,
+            ..LossSpec::default()
+        };
+        let forced = LossSpec {
+            forcing: Some(Tensor::full([4, 4], 1.0)),
+            ..LossSpec::default()
+        };
+        let allf = LossSpec {
+            boundary: BoundarySpec::AllFaces { value: 0.0 },
+            ..LossSpec::default()
+        };
+        let fps = [
+            base.fingerprint(),
+            aniso.fingerprint(),
+            forced.fingerprint(),
+            allf.fingerprint(),
+        ];
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "specs {i} and {j} alias");
+            }
+        }
+        assert_eq!(base.fingerprint(), LossSpec::default().fingerprint());
     }
 }

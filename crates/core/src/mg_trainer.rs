@@ -8,6 +8,7 @@
 
 use crate::cycle::{schedule, Budget, CycleKind, Phase};
 use crate::error::{MgdError, MgdResult};
+use crate::loss::LossSpec;
 use crate::trainer::{TrainConfig, Trainer};
 use mgd_dist::Comm;
 use mgd_field::Dataset;
@@ -119,13 +120,28 @@ pub struct MultigridTrainer {
     pub train: TrainConfig,
     /// Finest-level spatial dims.
     pub finest_dims: Vec<usize>,
+    /// Physics trained at every level (operator, boundary, forcing). The
+    /// forcing field is resampled per level by [`crate::loss::FemLoss`].
+    pub spec: LossSpec,
 }
 
 impl MultigridTrainer {
-    /// Creates a runner; `finest_dims` must survive halving `levels - 1`
-    /// times so every level still feeds the network. Violations are typed
+    /// Creates a runner with the paper's default physics (scalar Poisson);
+    /// `finest_dims` must survive halving `levels - 1` times so every level
+    /// still feeds the network. Violations are typed
     /// [`MgdError::InvalidConfig`]s.
     pub fn new(mg: MgConfig, train: TrainConfig, finest_dims: Vec<usize>) -> MgdResult<Self> {
+        Self::with_spec(mg, train, finest_dims, LossSpec::default())
+    }
+
+    /// [`Self::new`] with explicit physics, trained identically at every
+    /// hierarchy level.
+    pub fn with_spec(
+        mg: MgConfig,
+        train: TrainConfig,
+        finest_dims: Vec<usize>,
+        spec: LossSpec,
+    ) -> MgdResult<Self> {
         if mg.levels == 0 {
             return Err(MgdError::InvalidConfig(
                 "levels must be >= 1 (got 0)".into(),
@@ -154,6 +170,7 @@ impl MultigridTrainer {
             mg,
             train,
             finest_dims,
+            spec,
         })
     }
 
@@ -208,7 +225,8 @@ impl MultigridTrainer {
             }
             finest_seen = finest_seen.min(ph.level);
             let dims = self.dims_at_level(ph.level);
-            let mut trainer = Trainer::new(net, opt, data, comm, dims.clone(), self.train)?;
+            let mut trainer =
+                Trainer::with_spec(net, opt, data, comm, dims.clone(), self.train, &self.spec)?;
             trainer.global_epoch = global_epoch;
             trainer.sync_initial_params();
             let tl = match ph.budget {

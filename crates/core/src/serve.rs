@@ -38,7 +38,9 @@ use mgd_dist::{
     ThreadComm,
 };
 use mgd_fem::hierarchy::HierarchyOptions;
-use mgd_field::{stack_fields, DiffusivityModel, FieldError, InputEncoding};
+use mgd_field::{
+    stack_fields_with, tensorize, Anisotropy, DiffusivityModel, FieldError, InputEncoding,
+};
 use mgd_hybrid::{
     solve_certified, CertifiedSolution, CertifyOptions, ErasedHierarchy, ErasedSystem, StallPolicy,
     StrategyKind, Surrogate,
@@ -93,13 +95,27 @@ enum ReqView<'a> {
 
 /// Cache key of one inference request.
 ///
-/// `Coeff` keys quantize every ν value to ~1e-9 absolute resolution, so
+/// Every key carries the snapshot's *physics fingerprint*
+/// ([`crate::loss::FemLoss::fingerprint`]: operator ⊕ boundary ⊕ forcing)
+/// alongside the request payload, so identical coefficient fields queried
+/// under different operators or boundary data can never alias one cache
+/// entry — even if a cache outlives a physics change.
+///
+/// `Coeff` bodies quantize every ν value to ~1e-9 absolute resolution, so
 /// bitwise jitter below solver precision still hits; the full quantized
-/// field is the key (no hash-collision false positives). `Omega` keys are
+/// field is the key (no hash-collision false positives). `Omega` bodies are
 /// the (finite, `-0.0`-normalized) parameter bits — ω requests are cached
 /// without rasterizing first.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub enum CacheKey {
+pub struct CacheKey {
+    /// Physics fingerprint of the snapshot that minted the key.
+    physics: u64,
+    body: KeyBody,
+}
+
+/// Request payload of a [`CacheKey`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum KeyBody {
     /// Quantized coefficient field.
     Coeff(Vec<u128>),
     /// Bit patterns of the ω vector.
@@ -107,7 +123,8 @@ pub enum CacheKey {
 }
 
 impl CacheKey {
-    /// Keys a (finite — callers reject NaN/∞ first) coefficient field.
+    /// Keys a (finite — callers reject NaN/∞ first) coefficient field
+    /// under the given physics fingerprint.
     ///
     /// The quantization stays in the float domain: `round(v·1e9)` is an
     /// exact integer-valued f64 whose bit pattern is the key element.
@@ -118,41 +135,47 @@ impl CacheKey {
     /// still maps to one key. When `v·1e9` itself overflows f64
     /// (|v| ≳ 1.8e299) the raw bit pattern is used instead, tagged into a
     /// disjoint keyspace so it can never alias a quantized value.
-    pub fn coeff(field: &Tensor) -> CacheKey {
-        CacheKey::Coeff(
-            field
-                .as_slice()
-                .iter()
-                .map(|&v| {
-                    let q = (v * 1e9).round() + 0.0;
-                    if q.is_finite() {
-                        u128::from(q.to_bits())
-                    } else {
-                        (1u128 << 64) | u128::from(v.to_bits())
-                    }
-                })
-                .collect(),
-        )
-    }
-
-    /// Keys a (finite) ω parameter vector by exact bit pattern
-    /// (`-0.0`-normalized).
-    pub fn omega(omega: &[f64]) -> CacheKey {
-        CacheKey::Omega(omega.iter().map(|&v| (v + 0.0).to_bits()).collect())
-    }
-
-    fn of(req: &ReqView<'_>) -> CacheKey {
-        match req {
-            ReqView::Coeff(t) => CacheKey::coeff(t),
-            ReqView::Omega(o) => CacheKey::omega(o),
+    pub fn coeff(field: &Tensor, physics: u64) -> CacheKey {
+        CacheKey {
+            physics,
+            body: KeyBody::Coeff(
+                field
+                    .as_slice()
+                    .iter()
+                    .map(|&v| {
+                        let q = (v * 1e9).round() + 0.0;
+                        if q.is_finite() {
+                            u128::from(q.to_bits())
+                        } else {
+                            (1u128 << 64) | u128::from(v.to_bits())
+                        }
+                    })
+                    .collect(),
+            ),
         }
     }
 
-    /// Deterministic shard index in `0..shards` (FNV-1a over the key
-    /// bytes, with a variant tag so a Coeff key can never collide with an
-    /// Omega key of the same bytes). Deterministic — independent of
-    /// process, run, and the std `HashMap` hasher — so shard placement is
-    /// reproducible and testable.
+    /// Keys a (finite) ω parameter vector by exact bit pattern
+    /// (`-0.0`-normalized) under the given physics fingerprint.
+    pub fn omega(omega: &[f64], physics: u64) -> CacheKey {
+        CacheKey {
+            physics,
+            body: KeyBody::Omega(omega.iter().map(|&v| (v + 0.0).to_bits()).collect()),
+        }
+    }
+
+    fn of(req: &ReqView<'_>, physics: u64) -> CacheKey {
+        match req {
+            ReqView::Coeff(t) => CacheKey::coeff(t, physics),
+            ReqView::Omega(o) => CacheKey::omega(o, physics),
+        }
+    }
+
+    /// Deterministic shard index in `0..shards` (FNV-1a over the physics
+    /// fingerprint and the key bytes, with a variant tag so a Coeff key can
+    /// never collide with an Omega key of the same bytes). Deterministic —
+    /// independent of process, run, and the std `HashMap` hasher — so shard
+    /// placement is reproducible and testable.
     pub fn shard(&self, shards: usize) -> usize {
         if shards <= 1 {
             return 0;
@@ -164,15 +187,15 @@ impl CacheKey {
                 .iter()
                 .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
         }
-        let mut h = OFFSET;
-        match self {
-            CacheKey::Coeff(q) => {
+        let mut h = eat(OFFSET, &self.physics.to_le_bytes());
+        match &self.body {
+            KeyBody::Coeff(q) => {
                 h = eat(h, &[0]);
                 for v in q {
                     h = eat(h, &v.to_le_bytes());
                 }
             }
-            CacheKey::Omega(q) => {
+            KeyBody::Omega(q) => {
                 h = eat(h, &[1]);
                 for v in q {
                     h = eat(h, &v.to_le_bytes());
@@ -695,9 +718,16 @@ impl<E: Element> WorkspacePool<E> {
 pub struct EngineSnapshot {
     version: u64,
     resolution: Vec<usize>,
+    /// Expected dims of a `Coeff` request: `resolution` for scalar
+    /// operators, `[ncomp, resolution...]` (component-major tensor planes)
+    /// for tensor operators.
+    coeff_dims: Vec<usize>,
     three_d: bool,
     encoding: InputEncoding,
     diffusivity: DiffusivityModel,
+    /// Scalar→tensor expansion ω requests rasterize through when the
+    /// physics is anisotropic.
+    aniso: Option<Anisotropy>,
     loss: Arc<FemLoss>,
     model: SnapshotModel,
     spatial: Option<SpatialServe>,
@@ -746,7 +776,14 @@ impl Surrogate for SnapshotSurrogate<'_> {
         if dims != &self.snap.resolution[..] {
             return None;
         }
-        let coeff = Tensor::from_vec(dims.to_vec(), nu.to_vec());
+        // The hybrid system hands over the operator's full coefficient
+        // block (`ncomp · vol` values, component-major) — exactly the
+        // `coeff_dims` shape the predict surface validates against.
+        let vol: usize = dims.iter().product();
+        if nu.len() != self.snap.loss.ncomp() * vol {
+            return None;
+        }
+        let coeff = Tensor::from_vec(self.snap.coeff_dims.clone(), nu.to_vec());
         let u = self.snap.predict(&coeff).ok()?;
         Some(u.as_slice().to_vec())
     }
@@ -763,6 +800,7 @@ pub(crate) struct SnapshotConfig<'a> {
     pub three_d: bool,
     pub encoding: InputEncoding,
     pub diffusivity: DiffusivityModel,
+    pub aniso: Option<Anisotropy>,
     pub loss: Arc<FemLoss>,
     pub cache_capacity: usize,
     pub cache_shards: usize,
@@ -820,12 +858,23 @@ impl EngineSnapshot {
             }
             sp
         });
+        let ncomp = cfg.loss.ncomp();
+        let coeff_dims = if ncomp == 1 {
+            cfg.resolution.clone()
+        } else {
+            let mut d = Vec::with_capacity(cfg.resolution.len() + 1);
+            d.push(ncomp);
+            d.extend_from_slice(&cfg.resolution);
+            d
+        };
         EngineSnapshot {
             version: cfg.version,
             resolution: cfg.resolution,
+            coeff_dims,
             three_d: cfg.three_d,
             encoding: cfg.encoding,
             diffusivity: cfg.diffusivity,
+            aniso: cfg.aniso,
             loss: cfg.loss,
             model,
             spatial,
@@ -853,6 +902,30 @@ impl EngineSnapshot {
     /// The spatial resolution predictions are shaped as.
     pub fn resolution(&self) -> &[usize] {
         &self.resolution
+    }
+
+    /// Expected dims of a coefficient-field request: the spatial
+    /// resolution for scalar operators, `[ncomp, spatial...]`
+    /// (component-major symmetric tensor planes) for tensor operators.
+    pub fn coeff_dims(&self) -> &[usize] {
+        &self.coeff_dims
+    }
+
+    /// Fingerprint of the physics (operator ⊕ boundary ⊕ forcing) this
+    /// snapshot serves — folded into every prediction-cache key.
+    pub fn loss_fingerprint(&self) -> u64 {
+        self.loss.fingerprint()
+    }
+
+    /// Rasterizes one ω vector at the serving resolution, expanding
+    /// scalars to component-major tensor planes when the snapshot's
+    /// physics is anisotropic.
+    fn rasterize(&self, omega: &[f64]) -> Tensor {
+        let scalar = self.diffusivity.rasterize(omega, &self.resolution);
+        match self.aniso {
+            None => scalar,
+            Some(a) => tensorize(&scalar, a, &self.resolution),
+        }
     }
 
     /// Whether predictions on this snapshot run lock-free (a shared
@@ -957,13 +1030,21 @@ impl EngineSnapshot {
         self.validate(0, &req.view())?;
         let nu: Vec<f64> = match req {
             InferenceRequest::Coeff(c) => c.as_slice().to_vec(),
-            InferenceRequest::Omega(o) => self
-                .diffusivity
-                .rasterize(o, &self.resolution)
-                .as_slice()
-                .to_vec(),
+            InferenceRequest::Omega(o) => self.rasterize(o).as_slice().to_vec(),
         };
-        let sys = ErasedSystem::poisson(&self.resolution, &nu)?;
+        // Assemble the operator the snapshot was trained for — certified
+        // residuals are measured against the *same* physics (operator,
+        // boundary data, forcing) the loss discretizes.
+        let sys = ErasedSystem::with_operator(
+            &self.resolution,
+            self.loss.op(),
+            &nu,
+            &self.loss.boundary_spec(),
+        )?;
+        let rhs = match self.loss.forcing() {
+            None => None,
+            Some(f) => Some(sys.load_vector(f)?),
+        };
         let hier = ErasedHierarchy::build_with_precision(
             &sys,
             HierarchyOptions::default(),
@@ -980,7 +1061,7 @@ impl EngineSnapshot {
             &hier,
             &surrogate,
             self.hybrid_strategy,
-            None,
+            rhs.as_deref(),
             &opts,
         ))
     }
@@ -990,9 +1071,9 @@ impl EngineSnapshot {
     fn validate(&self, i: usize, req: &ReqView<'_>) -> MgdResult<()> {
         match req {
             ReqView::Coeff(c) => {
-                if c.dims() != &self.resolution[..] {
+                if c.dims() != &self.coeff_dims[..] {
                     return Err(MgdError::ShapeMismatch {
-                        expected: self.resolution.clone(),
+                        expected: self.coeff_dims.clone(),
                         got: c.dims().to_vec(),
                     });
                 }
@@ -1040,7 +1121,8 @@ impl EngineSnapshot {
         for (i, req) in reqs.iter().enumerate() {
             self.validate(i, req)?;
         }
-        let keys: Vec<CacheKey> = reqs.iter().map(CacheKey::of).collect();
+        let physics = self.loss.fingerprint();
+        let keys: Vec<CacheKey> = reqs.iter().map(|r| CacheKey::of(r, physics)).collect();
         let mut outputs: Vec<Option<Arc<Tensor>>> = Vec::with_capacity(reqs.len());
         let mut miss_idx: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
@@ -1061,16 +1143,15 @@ impl EngineSnapshot {
                     unique.push(i);
                 }
             }
+            let ncomp = self.loss.ncomp();
             let encoded: Vec<Tensor> = unique
                 .iter()
                 .map(|&i| match &reqs[i] {
-                    ReqView::Coeff(c) => self.encoding.encode(c),
-                    ReqView::Omega(o) => self
-                        .encoding
-                        .encode(&self.diffusivity.rasterize(o, &self.resolution)),
+                    ReqView::Coeff(c) => self.encoding.encode_coeff(c, ncomp),
+                    ReqView::Omega(o) => self.encoding.encode_coeff(&self.rasterize(o), ncomp),
                 })
                 .collect();
-            let x = stack_fields(&encoded).map_err(MgdError::Field)?;
+            let x = stack_fields_with(&encoded, self.resolution.len()).map_err(MgdError::Field)?;
             let mut u = self.forward(&x)?;
             self.loss.apply_bc_batch(&mut u);
             self.stats.forward_passes.fetch_add(1, Ordering::Relaxed);
@@ -1185,11 +1266,14 @@ impl EngineSnapshot {
                 .map(|h| h.join().expect("spatial lane panicked"))
                 .collect()
         });
-        let mut data: Vec<f64> = Vec::with_capacity(batch * sample_vol);
+        let mut out_dims = dims.to_vec();
+        out_dims[1] = 1; // single-channel network output
+        let mut data: Vec<f64> =
+            Vec::with_capacity(batch * out_dims[2..].iter().product::<usize>());
         for out in outs {
             data.extend_from_slice(out?.as_slice());
         }
-        Ok(Tensor::from_vec(dims.to_vec(), data))
+        Ok(Tensor::from_vec(out_dims, data))
     }
 
     /// One slab forward through a persistent rank pool and the shared
@@ -1202,20 +1286,26 @@ impl EngineSnapshot {
             .map_err(|e| MgdError::InvalidConfig(format!("spatial predict: {e}")))?;
         let dims = x.dims().to_vec();
         let batch = dims[0];
-        // [B, 1, D, H, W] viewed as [pre, split, post] along z (3D) / y (2D).
+        // [B, C, D, H, W] viewed as [pre, split, post] along z (3D) /
+        // y (2D); the coefficient channels (C > 1 for tensor operators)
+        // sit slower than the split axis, so they fold into `pre`.
         let layout = if self.three_d {
             SlabLayout {
-                pre: batch,
+                pre: batch * dims[1],
                 split: dims[2],
                 post: dims[3] * dims[4],
             }
         } else {
             SlabLayout {
-                pre: batch,
+                pre: batch * dims[1],
                 split: dims[3],
                 post: dims[4],
             }
         };
+        // The network output is single-channel regardless of how many
+        // coefficient components went in.
+        let mut out_dims = dims.clone();
+        out_dims[1] = 1;
         let three_d = self.three_d;
         let opts = sp.opts.clone();
         let mut pool = sp.acquire_pool(&self.stats);
@@ -1228,7 +1318,7 @@ impl EngineSnapshot {
                     let slab = carve_rank_slab(&x, &part, &layout, &dims2, three_d, comm.rank());
                     m.infer_slab(&slab, comm, &mut state.ws, &opts).into_vec()
                 });
-                Tensor::from_vec(dims, assemble_planes(&slabs, layout.pre, layout.post))
+                Tensor::from_vec(out_dims, assemble_planes(&slabs, batch, layout.post))
             }
             SlabWeights::F32(m) => {
                 // One demotion at the batch boundary, one promotion on the
@@ -1240,7 +1330,7 @@ impl EngineSnapshot {
                     let slab = carve_rank_slab(&x32, &part, &layout, &dims2, three_d, comm.rank());
                     m.infer_slab(&slab, comm, &mut state.ws32, &opts).into_vec()
                 });
-                Tensor::<f32>::from_vec(dims, assemble_planes(&slabs, layout.pre, layout.post))
+                Tensor::<f32>::from_vec(out_dims, assemble_planes(&slabs, batch, layout.post))
                     .cast::<f64>()
             }
         };
@@ -1261,13 +1351,13 @@ impl EngineSnapshot {
         let batch = dims[0];
         let layout = if self.three_d {
             SlabLayout {
-                pre: batch,
+                pre: batch * dims[1],
                 split: dims[2],
                 post: dims[3] * dims[4],
             }
         } else {
             SlabLayout {
-                pre: batch,
+                pre: batch * dims[1],
                 split: dims[3],
                 post: dims[4],
             }
@@ -1279,9 +1369,9 @@ impl EngineSnapshot {
                 let owned = part.owned_planes(r);
                 let data = carve_planes(x.as_slice(), &layout, owned.start, owned.end);
                 let sdims = if self.three_d {
-                    vec![batch, 1, owned.len(), dims[3], dims[4]]
+                    vec![batch, dims[1], owned.len(), dims[3], dims[4]]
                 } else {
-                    vec![batch, 1, 1, owned.len(), dims[4]]
+                    vec![batch, dims[1], 1, owned.len(), dims[4]]
                 };
                 (replica, Tensor::from_vec(sdims, data))
             })
@@ -1302,9 +1392,11 @@ impl EngineSnapshot {
                 .into_vec(),
             );
         }
+        let mut out_dims = dims.to_vec();
+        out_dims[1] = 1; // single-channel network output
         Ok(Tensor::from_vec(
-            dims.to_vec(),
-            assemble_planes(&slabs, layout.pre, layout.post),
+            out_dims,
+            assemble_planes(&slabs, batch, layout.post),
         ))
     }
 }
@@ -1321,9 +1413,9 @@ fn carve_rank_slab<E: Element>(
     let owned = part.owned_planes(r);
     let data = carve_planes(x.as_slice(), layout, owned.start, owned.end);
     let sdims = if three_d {
-        vec![dims[0], 1, owned.len(), dims[3], dims[4]]
+        vec![dims[0], dims[1], owned.len(), dims[3], dims[4]]
     } else {
-        vec![dims[0], 1, 1, owned.len(), dims[4]]
+        vec![dims[0], dims[1], 1, owned.len(), dims[4]]
     };
     Tensor::from_vec(sdims, data)
 }
@@ -1377,7 +1469,7 @@ mod tests {
     }
 
     fn key_of(v: f64) -> CacheKey {
-        CacheKey::coeff(&Tensor::full([2, 2], v))
+        CacheKey::coeff(&Tensor::full([2, 2], v), 0)
     }
 
     #[test]
@@ -1388,39 +1480,90 @@ mod tests {
         let a = Tensor::from_vec([2, 2], vec![1.0e10, 1.0, 1.0, 1.0]);
         let b = Tensor::from_vec([2, 2], vec![2.0e10, 1.0, 1.0, 1.0]);
         assert_ne!(
-            CacheKey::coeff(&a),
-            CacheKey::coeff(&b),
+            CacheKey::coeff(&a, 0),
+            CacheKey::coeff(&b, 0),
             "values past the old i64 saturation point must keep distinct keys"
         );
         // Sub-resolution jitter still lands on the same key (the cache's
         // reason to exist), including across the ±0.0 boundary.
         let c = Tensor::from_vec([2, 2], vec![1.0e10, 1.0 + 1e-12, 1.0, 1.0]);
-        assert_eq!(CacheKey::coeff(&a), CacheKey::coeff(&c));
+        assert_eq!(CacheKey::coeff(&a, 0), CacheKey::coeff(&c, 0));
         let z_pos = Tensor::from_vec([1, 2], vec![0.0, 1.0]);
         let z_neg = Tensor::from_vec([1, 2], vec![-1e-12, 1.0]);
-        assert_eq!(CacheKey::coeff(&z_pos), CacheKey::coeff(&z_neg));
+        assert_eq!(CacheKey::coeff(&z_pos, 0), CacheKey::coeff(&z_neg, 0));
         // Even past f64's own v*1e9 overflow point (~1.8e299) distinct
         // values keep distinct keys, and the tagged fallback keyspace
         // cannot alias a quantized value with the same bit pattern.
         let h1 = Tensor::from_vec([1, 2], vec![1.0e300, 1.0]);
         let h2 = Tensor::from_vec([1, 2], vec![2.0e300, 1.0]);
-        assert_ne!(CacheKey::coeff(&h1), CacheKey::coeff(&h2));
+        assert_ne!(CacheKey::coeff(&h1, 0), CacheKey::coeff(&h2, 0));
         let overflow = Tensor::from_vec([1, 1], vec![1.0e300]);
         let quantized_twin = Tensor::from_vec([1, 1], vec![1.0e300 / 1e9]);
         assert_ne!(
-            CacheKey::coeff(&overflow),
-            CacheKey::coeff(&quantized_twin),
+            CacheKey::coeff(&overflow, 0),
+            CacheKey::coeff(&quantized_twin, 0),
             "tagged fallback must not alias round(v*1e9) of a smaller value"
         );
     }
 
     #[test]
     fn omega_keys_normalize_negative_zero_and_stay_typed() {
-        assert_eq!(CacheKey::omega(&[0.0, 1.0]), CacheKey::omega(&[-0.0, 1.0]));
-        assert_ne!(CacheKey::omega(&[1.0]), CacheKey::omega(&[2.0]));
+        assert_eq!(
+            CacheKey::omega(&[0.0, 1.0], 0),
+            CacheKey::omega(&[-0.0, 1.0], 0)
+        );
+        assert_ne!(CacheKey::omega(&[1.0], 0), CacheKey::omega(&[2.0], 0));
         // An Omega key can never alias a Coeff key (different variants).
         let t = Tensor::from_vec([1, 1], vec![1.0]);
-        assert_ne!(CacheKey::coeff(&t), CacheKey::omega(&[1.0]));
+        assert_ne!(CacheKey::coeff(&t, 0), CacheKey::omega(&[1.0], 0));
+    }
+
+    #[test]
+    fn physics_fingerprint_keeps_identical_fields_apart() {
+        use crate::loss::LossSpec;
+        use mgd_fem::PdeOperator;
+        // The same coefficient payload under different physics must mint
+        // different keys — the satellite guarantee that a cache can never
+        // serve a Poisson solution to an anisotropic query (or a query
+        // under different boundary data).
+        let poisson = FemLoss::new(&[8, 8]).unwrap();
+        let aniso = FemLoss::with_spec(
+            &[8, 8],
+            &LossSpec {
+                op: PdeOperator::AnisoDiffusion,
+                ..LossSpec::default()
+            },
+        )
+        .unwrap();
+        let all_faces = FemLoss::with_spec(
+            &[8, 8],
+            &LossSpec {
+                boundary: mgd_fem::BoundarySpec::AllFaces { value: 0.0 },
+                ..LossSpec::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(poisson.fingerprint(), aniso.fingerprint());
+        assert_ne!(poisson.fingerprint(), all_faces.fingerprint());
+        let t = Tensor::full([2, 2], 1.5);
+        assert_ne!(
+            CacheKey::coeff(&t, poisson.fingerprint()),
+            CacheKey::coeff(&t, aniso.fingerprint())
+        );
+        assert_ne!(
+            CacheKey::coeff(&t, poisson.fingerprint()),
+            CacheKey::coeff(&t, all_faces.fingerprint())
+        );
+        assert_ne!(
+            CacheKey::omega(&[1.0], poisson.fingerprint()),
+            CacheKey::omega(&[1.0], aniso.fingerprint())
+        );
+        // Same physics → same key (the fingerprint is deterministic).
+        let poisson2 = FemLoss::new(&[8, 8]).unwrap();
+        assert_eq!(
+            CacheKey::coeff(&t, poisson.fingerprint()),
+            CacheKey::coeff(&t, poisson2.fingerprint())
+        );
     }
 
     #[test]

@@ -127,11 +127,34 @@ impl<'a, M: Model, O: Optimizer, C: Comm> Trainer<'a, M, O, C> {
         dims: Vec<usize>,
         cfg: TrainConfig,
     ) -> MgdResult<Self> {
+        Self::with_spec(
+            net,
+            opt,
+            data,
+            comm,
+            dims,
+            cfg,
+            &crate::loss::LossSpec::default(),
+        )
+    }
+
+    /// [`Self::new`] with explicit physics (operator, boundary, forcing).
+    /// Algorithm 1 is unchanged: only the energy evaluated per mini-batch
+    /// differs, so every operator trains through the same loop.
+    pub fn with_spec(
+        net: &'a mut M,
+        opt: &'a mut O,
+        data: &'a Dataset,
+        comm: &'a C,
+        dims: Vec<usize>,
+        cfg: TrainConfig,
+        spec: &crate::loss::LossSpec,
+    ) -> MgdResult<Self> {
         cfg.validate(comm.size())?;
         if data.is_empty() {
             return Err(MgdError::Field(mgd_field::FieldError::Empty));
         }
-        let loss = FemLoss::new(&dims)?;
+        let loss = FemLoss::with_spec(&dims, spec)?;
         Ok(Trainer {
             net,
             opt,
@@ -342,6 +365,44 @@ mod tests {
         assert!(
             gap1 < 0.5 * gap0,
             "network should close >=50% of the energy gap: {gap0} -> {gap1} (fem {fem_energy})"
+        );
+    }
+
+    #[test]
+    fn anisotropic_spec_trains_through_same_loop() {
+        use crate::loss::LossSpec;
+        use mgd_field::Anisotropy;
+        let mut net = UNet::new(UNetConfig {
+            depth: 2,
+            base_filters: 4,
+            two_d: true,
+            in_channels: 3,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut opt = Adam::new(3e-3);
+        let data = Dataset::sobol(8, DiffusivityModel::paper(), InputEncoding::LogNu)
+            .with_anisotropy(Anisotropy::new(4.0, 0.5).unwrap())
+            .unwrap();
+        let comm = LocalComm::new();
+        let cfg = TrainConfig {
+            batch_size: 4,
+            max_epochs: 20,
+            ..Default::default()
+        };
+        let spec = LossSpec {
+            op: mgd_fem::PdeOperator::AnisoDiffusion,
+            ..LossSpec::default()
+        };
+        let mut tr =
+            Trainer::with_spec(&mut net, &mut opt, &data, &comm, vec![16, 16], cfg, &spec).unwrap();
+        let log = tr.train_fixed(20).unwrap();
+        let first = log.epochs.first().unwrap().loss;
+        assert!(log.final_loss.is_finite());
+        assert!(
+            log.final_loss < first,
+            "aniso energy must descend: {first} -> {}",
+            log.final_loss
         );
     }
 

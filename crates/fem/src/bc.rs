@@ -6,7 +6,93 @@
 //! prescribed values; solvers and the training loss use it to (a) apply
 //! values and (b) zero residual/gradient entries on fixed nodes.
 
+use crate::error::FemError;
 use crate::grid::Grid;
+
+/// Declarative boundary specification, materialized into a [`Dirichlet`]
+/// mask per grid.
+///
+/// Where [`Dirichlet`] is a *materialized* per-node mask tied to one grid
+/// resolution, `BoundarySpec` is the resolution-independent description a
+/// `Problem` carries: the multigrid hierarchy and the serving engine
+/// re-materialize it on every level/snapshot via [`BoundarySpec::build`].
+/// The default is the paper's BC (Eq. 7–9): `u = 1` on the `x = 0` face,
+/// `u = 0` on `x = 1`, homogeneous Neumann elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BoundarySpec {
+    /// Dirichlet on the two `x`-faces, Neumann elsewhere
+    /// ([`Dirichlet::x_faces`]).
+    XFaces {
+        /// Prescribed value on the `x = 0` face.
+        left: f64,
+        /// Prescribed value on the `x = 1` face.
+        right: f64,
+    },
+    /// Constant Dirichlet on *every* boundary face
+    /// ([`Dirichlet::all_faces`]).
+    AllFaces {
+        /// Prescribed value on all boundary nodes.
+        value: f64,
+    },
+}
+
+impl Default for BoundarySpec {
+    fn default() -> Self {
+        BoundarySpec::XFaces {
+            left: 1.0,
+            right: 0.0,
+        }
+    }
+}
+
+impl BoundarySpec {
+    /// Rejects non-finite prescribed values.
+    pub fn validate(&self) -> Result<(), FemError> {
+        let finite = match self {
+            BoundarySpec::XFaces { left, right } => left.is_finite() && right.is_finite(),
+            BoundarySpec::AllFaces { value } => value.is_finite(),
+        };
+        if finite {
+            Ok(())
+        } else {
+            Err(FemError::BadBoundary {
+                reason: "prescribed boundary values must be finite",
+            })
+        }
+    }
+
+    /// Materializes the spec into a per-node [`Dirichlet`] mask on `grid`.
+    pub fn build<const D: usize>(&self, grid: &Grid<D>) -> Dirichlet {
+        match *self {
+            BoundarySpec::XFaces { left, right } => Dirichlet::x_faces(grid, left, right),
+            BoundarySpec::AllFaces { value } => Dirichlet::all_faces(grid, |_| value),
+        }
+    }
+
+    /// Stable code folded into cache keys so coefficient fields under
+    /// different boundary conditions can never alias.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        };
+        match *self {
+            BoundarySpec::XFaces { left, right } => {
+                mix(1);
+                mix((left + 0.0).to_bits());
+                mix((right + 0.0).to_bits());
+            }
+            BoundarySpec::AllFaces { value } => {
+                mix(2);
+                mix((value + 0.0).to_bits());
+            }
+        }
+        h
+    }
+}
 
 /// A set of Dirichlet-constrained nodes with prescribed values.
 #[derive(Clone, Debug, PartialEq)]
@@ -128,6 +214,36 @@ mod tests {
         let mut v = vec![1.0; 6];
         bc.zero_fixed(&mut v);
         assert_eq!(v, vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn spec_builds_matching_masks_and_validates() {
+        let g: Grid<2> = Grid::cube(4);
+        let spec = BoundarySpec::default();
+        assert_eq!(spec.build(&g), Dirichlet::x_faces(&g, 1.0, 0.0));
+        let all = BoundarySpec::AllFaces { value: 2.5 };
+        assert_eq!(all.build(&g), Dirichlet::all_faces(&g, |_| 2.5));
+        assert!(spec.validate().is_ok());
+        assert!(BoundarySpec::XFaces {
+            left: f64::NAN,
+            right: 0.0
+        }
+        .validate()
+        .is_err());
+        // Fingerprints separate variants and values; -0.0 folds onto +0.0.
+        assert_ne!(spec.fingerprint(), all.fingerprint());
+        assert_ne!(
+            spec.fingerprint(),
+            BoundarySpec::XFaces {
+                left: 1.0,
+                right: 0.5
+            }
+            .fingerprint()
+        );
+        assert_eq!(
+            BoundarySpec::AllFaces { value: 0.0 }.fingerprint(),
+            BoundarySpec::AllFaces { value: -0.0 }.fingerprint()
+        );
     }
 
     #[test]

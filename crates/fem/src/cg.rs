@@ -7,7 +7,8 @@
 use crate::basis::ElementBasis;
 use crate::bc::Dirichlet;
 use crate::grid::Grid;
-use crate::operator::{apply_stiffness, load_vector, stiffness_diag};
+use crate::operator::load_vector;
+use crate::pde::PdeOperator;
 
 /// CG solver options.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +58,22 @@ pub fn solve_cg<const D: usize>(
     u0: Option<&[f64]>,
     opts: CgOptions,
 ) -> (Vec<f64>, CgStats) {
+    solve_cg_op(grid, basis, PdeOperator::Poisson, nu, bc, f, u0, opts)
+}
+
+/// [`solve_cg`] over an arbitrary [`PdeOperator`]. The `Poisson` arm runs
+/// the identical kernels, so `solve_cg` delegating here is bitwise-neutral.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_cg_op<const D: usize>(
+    grid: &Grid<D>,
+    basis: &ElementBasis<D>,
+    op: PdeOperator,
+    nu: &[f64],
+    bc: &Dirichlet,
+    f: Option<&[f64]>,
+    u0: Option<&[f64]>,
+    opts: CgOptions,
+) -> (Vec<f64>, CgStats) {
     let nn = grid.num_nodes();
     let mut u = match u0 {
         Some(v) => {
@@ -72,7 +89,7 @@ pub fn solve_cg<const D: usize>(
     if let Some(ff) = f {
         load_vector(grid, basis, ff, &mut rhs);
     }
-    solve_cg_rhs(grid, basis, nu, bc, &rhs, &u, opts)
+    solve_cg_rhs_op(grid, basis, op, nu, bc, &rhs, &u, opts)
 }
 
 /// CG with an explicit assembled right-hand side and initial iterate
@@ -88,6 +105,21 @@ pub fn solve_cg_rhs<const D: usize>(
     u0: &[f64],
     opts: CgOptions,
 ) -> (Vec<f64>, CgStats) {
+    solve_cg_rhs_op(grid, basis, PdeOperator::Poisson, nu, bc, rhs, u0, opts)
+}
+
+/// [`solve_cg_rhs`] over an arbitrary [`PdeOperator`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_cg_rhs_op<const D: usize>(
+    grid: &Grid<D>,
+    basis: &ElementBasis<D>,
+    op: PdeOperator,
+    nu: &[f64],
+    bc: &Dirichlet,
+    rhs: &[f64],
+    u0: &[f64],
+    opts: CgOptions,
+) -> (Vec<f64>, CgStats) {
     let nn = grid.num_nodes();
     assert_eq!(rhs.len(), nn);
     assert_eq!(u0.len(), nn);
@@ -95,7 +127,7 @@ pub fn solve_cg_rhs<const D: usize>(
 
     // r = mask(F - K u)
     let mut r = vec![0.0; nn];
-    apply_stiffness(grid, basis, nu, &u, &mut r);
+    op.apply_stiffness(grid, basis, nu, &u, &mut r);
     for i in 0..nn {
         r[i] = rhs[i] - r[i];
     }
@@ -103,7 +135,7 @@ pub fn solve_cg_rhs<const D: usize>(
 
     // Jacobi preconditioner from the stiffness diagonal.
     let mut diag = vec![0.0; nn];
-    stiffness_diag(grid, basis, nu, &mut diag);
+    op.stiffness_diag(grid, basis, nu, &mut diag);
     let minv: Vec<f64> = diag
         .iter()
         .map(|&d| {
@@ -135,7 +167,7 @@ pub fn solve_cg_rhs<const D: usize>(
 
     for it in 0..opts.max_iter {
         ap.iter_mut().for_each(|x| *x = 0.0);
-        apply_stiffness(grid, basis, nu, &p, &mut ap);
+        op.apply_stiffness(grid, basis, nu, &p, &mut ap);
         bc.zero_fixed(&mut ap);
         let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
         if pap <= 0.0 {

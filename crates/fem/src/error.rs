@@ -24,6 +24,17 @@ pub enum FemError {
         /// Actual length supplied.
         got: usize,
     },
+    /// A coefficient tensor failed the symmetric-positive-definite check
+    /// (or contained non-finite entries) at one node.
+    NotSpd {
+        /// Index of the first offending node.
+        node: usize,
+    },
+    /// A boundary specification carried non-finite prescribed values.
+    BadBoundary {
+        /// What was wrong (human-readable).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for FemError {
@@ -38,6 +49,14 @@ impl fmt::Display for FemError {
                 expected,
                 got,
             } => write!(f, "{what} has length {got}, expected {expected}"),
+            FemError::NotSpd { node } => write!(
+                f,
+                "coefficient tensor at node {node} is not symmetric positive definite \
+                 (or not finite)"
+            ),
+            FemError::BadBoundary { reason } => {
+                write!(f, "invalid boundary specification: {reason}")
+            }
         }
     }
 }

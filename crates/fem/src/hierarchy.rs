@@ -19,10 +19,11 @@
 //! the (non-nested, approximate) coarse corrections being accurate.
 
 use crate::bc::Dirichlet;
-use crate::cg::{solve_cg_rhs, CgOptions};
+use crate::cg::{solve_cg_rhs_op, CgOptions};
 use crate::error::FemError;
 use crate::grid::Grid;
 use crate::pcg::Precond;
+use crate::pde::PdeOperator;
 use crate::system::PoissonSystem;
 
 /// Hierarchy construction and V-cycle options.
@@ -99,12 +100,28 @@ impl<const D: usize> GridHierarchy<D> {
         bc: &Dirichlet,
         opts: HierarchyOptions,
     ) -> Result<Self, FemError> {
+        Self::build_with_operator(grid, PdeOperator::Poisson, nu, bc, opts)
+    }
+
+    /// [`build`](Self::build) for an arbitrary [`PdeOperator`]: coarse
+    /// coefficient blocks are rediscretized by multilinearly sampling every
+    /// component of the fine block. Per-node convex combinations of SPD
+    /// tensors are SPD, so coarse anisotropic operators stay valid; at one
+    /// component this reduces bitwise to the scalar path.
+    pub fn build_with_operator(
+        grid: Grid<D>,
+        op: PdeOperator,
+        nu: &[f64],
+        bc: &Dirichlet,
+        opts: HierarchyOptions,
+    ) -> Result<Self, FemError> {
         if grid.n.iter().any(|&m| m < 2) {
             return Err(FemError::NotCoarsenable {
                 n: grid.n.to_vec(),
                 requirement: "every axis needs at least 2 nodes",
             });
         }
+        let ncomp = op.ncomp(D);
         let mut levels = Vec::new();
         let mut c2f = Vec::new();
         let mut f2c = Vec::new();
@@ -114,7 +131,7 @@ impl<const D: usize> GridHierarchy<D> {
         loop {
             let stop = levels.len() + 1 >= opts.max_levels
                 || g.n.iter().any(|&m| m <= opts.coarse_n.max(2));
-            let sys = PoissonSystem::new(g, nu_l.clone(), bc_l.clone())?;
+            let sys = PoissonSystem::with_operator(g, op, nu_l.clone(), bc_l.clone())?;
             levels.push(sys);
             if stop {
                 break;
@@ -127,13 +144,15 @@ impl<const D: usize> GridHierarchy<D> {
             let cg: Grid<D> = Grid::new(cn);
             let down: Vec<AxisTable> = (0..D).map(|d| sample_axis(cn[d], g.n[d])).collect();
             let up: Vec<AxisTable> = (0..D).map(|d| sample_axis(g.n[d], cn[d])).collect();
-            // Sample ν and the fixed mask onto the coarse grid.
+            // Sample each coefficient component and the fixed mask onto the
+            // coarse grid.
+            let fnn = g.num_nodes();
             let cnn = cg.num_nodes();
-            let mut cnu = vec![0.0; cnn];
+            let mut cnu = vec![0.0; ncomp * cnn];
             let mut cfix = vec![false; cnn];
             for ci in 0..cnn {
                 let cm = cg.node_multi(ci);
-                let mut acc = 0.0;
+                let mut acc = [0.0; crate::pde::MAX_NCOMP];
                 let mut all_fixed = true;
                 for corner in 0..(1usize << D) {
                     let mut w = 1.0;
@@ -148,10 +167,14 @@ impl<const D: usize> GridHierarchy<D> {
                         continue;
                     }
                     let fi = g.node(fm);
-                    acc += w * nu_l[fi];
+                    for (c, a) in acc.iter_mut().enumerate().take(ncomp) {
+                        *a += w * nu_l[c * fnn + fi];
+                    }
                     all_fixed &= bc_l.fixed[fi];
                 }
-                cnu[ci] = acc;
+                for (c, a) in acc.iter().enumerate().take(ncomp) {
+                    cnu[c * cnn + ci] = *a;
+                }
                 cfix[ci] = all_fixed;
             }
             c2f.push(up);
@@ -308,9 +331,10 @@ impl<const D: usize> GridHierarchy<D> {
         if l + 1 == self.levels.len() {
             // Coarsest: tight CG (only the mask of `bc` is used here, so
             // the finest level's inhomogeneous values are irrelevant).
-            let (sol, _) = solve_cg_rhs(
+            let (sol, _) = solve_cg_rhs_op(
                 &sys.grid,
                 &sys.basis,
+                sys.op,
                 &sys.nu,
                 &sys.bc,
                 b,
@@ -463,6 +487,82 @@ mod tests {
             }
         }
         assert!(sys.residual_norm(&u, &rhs) / r0 <= 1e-9);
+    }
+
+    #[test]
+    fn anisotropic_hierarchy_preconditions_pcg() {
+        // Rotated diag(s, s/ratio) tensor field; the rediscretized coarse
+        // tensors must stay SPD (convex combinations) and the V-cycle must
+        // still precondition CG to fast convergence.
+        let g: Grid<2> = Grid::cube(32);
+        let nn = g.num_nodes();
+        let mut t = vec![0.0; 3 * nn];
+        let (sn, cs) = 0.5f64.sin_cos();
+        for i in 0..nn {
+            let c = g.node_coords(i);
+            let s = 1.0 + 0.4 * (3.0 * c[0]).sin() * (2.0 * c[1]).cos() + 0.5;
+            let a = s;
+            let b = s / 6.0;
+            t[i] = a * cs * cs + b * sn * sn;
+            t[nn + i] = a * sn * sn + b * cs * cs;
+            t[2 * nn + i] = (a - b) * cs * sn;
+        }
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let h = GridHierarchy::build_with_operator(
+            g,
+            PdeOperator::AnisoDiffusion,
+            &t,
+            &bc,
+            HierarchyOptions::default(),
+        )
+        .unwrap();
+        // Every level re-validated SPD at construction (with_operator).
+        assert!(h.num_levels() >= 3);
+        let sys = h.finest();
+        let rhs = vec![0.0; nn];
+        let mut u = vec![0.0; nn];
+        sys.impose_bc(&mut u);
+        let r0 = sys.residual_norm(&u, &rhs);
+        let mut ws = PcgWorkspace::start(sys, &h, &u, &rhs);
+        let mut iters = 0;
+        for _ in 0..80 {
+            iters += 1;
+            match ws.step(sys, &h, &mut u) {
+                PcgStep::Advanced(rn) if rn <= 1e-10 * r0 => break,
+                PcgStep::Advanced(_) => {}
+                PcgStep::Breakdown => panic!("breakdown"),
+            }
+        }
+        let rel = sys.residual_norm(&u, &rhs) / r0;
+        assert!(rel <= 1e-9, "rel residual {rel} after {iters} iters");
+    }
+
+    #[test]
+    fn scalar_build_is_bitwise_identical_through_operator_path() {
+        // build() delegates to build_with_operator(Poisson) — coarse ν and
+        // every level's diag must match the historical path exactly.
+        let h = hier2d(24);
+        for l in 0..h.num_levels() {
+            assert_eq!(h.nu_at(l).len(), h.level(l).num_nodes());
+        }
+        let g: Grid<2> = Grid::cube(24);
+        let nu = nu_var(&g);
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let h2 = GridHierarchy::build_with_operator(
+            g,
+            PdeOperator::Poisson,
+            &nu,
+            &bc,
+            HierarchyOptions::default(),
+        )
+        .unwrap();
+        for l in 0..h.num_levels() {
+            assert!(h
+                .nu_at(l)
+                .iter()
+                .zip(h2.nu_at(l))
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

@@ -30,12 +30,13 @@ pub mod hierarchy;
 pub mod mixed;
 pub mod operator;
 pub mod pcg;
+pub mod pde;
 pub mod solver;
 pub mod system;
 
 pub use basis::ElementBasis;
-pub use bc::Dirichlet;
-pub use cg::{solve_cg, CgOptions, CgStats};
+pub use bc::{BoundarySpec, Dirichlet};
+pub use cg::{solve_cg, solve_cg_op, solve_cg_rhs_op, CgOptions, CgStats};
 pub use error::FemError;
 pub use gmg::{GmgOptions, GmgSolver, GmgStats};
 pub use grid::Grid;
@@ -45,5 +46,6 @@ pub use operator::{
     apply_stiffness, apply_stiffness_serial, energy, energy_grad, load_vector, stiffness_diag,
 };
 pub use pcg::{JacobiPrecond, LinearOp, PcgStep, PcgWorkspace, Precond};
+pub use pde::{sym_index, PdeOperator, MAX_NCOMP};
 pub use solver::{solve_poisson, Method, SolveReport};
-pub use system::PoissonSystem;
+pub use system::{FemSystem, PoissonSystem};

@@ -31,11 +31,12 @@
 //! promotes the correction back afterwards.
 
 use crate::bc::Dirichlet;
-use crate::cg::{solve_cg_rhs, CgOptions};
+use crate::cg::{solve_cg_rhs_op, CgOptions};
 use crate::error::FemError;
 use crate::grid::Grid;
 use crate::hierarchy::{GridHierarchy, HierarchyOptions};
 use crate::pcg::Precond;
+use crate::pde::{sym_index, PdeOperator, MAX_NCOMP};
 use mgd_tensor::F64_DIV_GUARD;
 
 /// Per-node 1D interpolation weights demoted to `f32`.
@@ -46,7 +47,7 @@ const MAX_NL: usize = 8;
 
 /// One level's `f32` stencil data, demoted once from the `f64` system.
 struct Level32 {
-    /// Nodal diffusivity.
+    /// Nodal coefficient block (component-major; scalar ν for Poisson).
     nu: Vec<f32>,
     /// Masked inverse stiffness diagonal (zero at fixed nodes).
     diag_inv: Vec<f32>,
@@ -115,6 +116,19 @@ impl<const D: usize> MixedHierarchy<D> {
         )?))
     }
 
+    /// [`build`](Self::build) for an arbitrary [`PdeOperator`].
+    pub fn build_with_operator(
+        grid: Grid<D>,
+        op: PdeOperator,
+        nu: &[f64],
+        bc: &Dirichlet,
+        opts: HierarchyOptions,
+    ) -> Result<Self, FemError> {
+        Ok(MixedHierarchy::new(GridHierarchy::build_with_operator(
+            grid, op, nu, bc, opts,
+        )?))
+    }
+
     /// The underlying `f64` hierarchy (levels, transfers, full-precision
     /// V-cycle) — everything except the preconditioner application.
     pub fn inner(&self) -> &GridHierarchy<D> {
@@ -132,8 +146,18 @@ impl<const D: usize> MixedHierarchy<D> {
 
     /// `out = K(ν) u` at level `l`, entirely in `f32` (sequential: the
     /// mixed path targets per-core throughput; cross-core parallelism
-    /// comes from serving many solves concurrently).
+    /// comes from serving many solves concurrently). Dispatches on the
+    /// level's [`PdeOperator`]; the `Poisson` arm is the historical kernel
+    /// untouched.
     fn apply32(&self, l: usize, u: &[f32], out: &mut [f32]) {
+        let sys = &self.hier.levels[l];
+        match sys.op {
+            PdeOperator::Poisson => self.apply32_scalar(l, u, out),
+            PdeOperator::AnisoDiffusion => self.apply32_tensor(l, u, out),
+        }
+    }
+
+    fn apply32_scalar(&self, l: usize, u: &[f32], out: &mut [f32]) {
         let sys = &self.hier.levels[l];
         let lv = &self.levels32[l];
         let grid = &sys.grid;
@@ -171,6 +195,65 @@ impl<const D: usize> MixedHierarchy<D> {
                         dot += gu[c] * grow[c];
                     }
                     acc[i] += s * dot;
+                }
+            }
+            for i in 0..nl {
+                out[base + grid.local_offset(&strides, i)] += acc[i];
+            }
+        }
+    }
+
+    /// Tensor-coefficient variant: `lv.nu` holds `ncomp` component-major
+    /// planes demoted from the rediscretized coarse tensors.
+    fn apply32_tensor(&self, l: usize, u: &[f32], out: &mut [f32]) {
+        let sys = &self.hier.levels[l];
+        let lv = &self.levels32[l];
+        let grid = &sys.grid;
+        let nl = sys.basis.nl;
+        let nq = sys.basis.nq;
+        let nn = grid.num_nodes();
+        let nc = sys.op.ncomp(D);
+        let strides = grid.strides();
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for e in 0..grid.num_elements() {
+            let el = grid.element_multi(e);
+            let base = grid.element_base(el);
+            let mut t_l = [[0.0f32; MAX_NL]; MAX_NCOMP];
+            let mut u_l = [0.0f32; MAX_NL];
+            let mut acc = [0.0f32; MAX_NL];
+            for i in 0..nl {
+                let gi = base + grid.local_offset(&strides, i);
+                for (c, plane) in t_l.iter_mut().enumerate().take(nc) {
+                    plane[i] = lv.nu[c * nn + gi];
+                }
+                u_l[i] = u[gi];
+            }
+            for q in 0..nq {
+                let vrow = &lv.val[q * nl..(q + 1) * nl];
+                let mut t_q = [0.0f32; MAX_NCOMP];
+                let mut gu = [0.0f32; D];
+                for i in 0..nl {
+                    for (c, plane) in t_l.iter().enumerate().take(nc) {
+                        t_q[c] += vrow[i] * plane[i];
+                    }
+                    let grow = &lv.grad[(q * nl + i) * D..(q * nl + i + 1) * D];
+                    for c in 0..D {
+                        gu[c] += grow[c] * u_l[i];
+                    }
+                }
+                let mut flux = [0.0f32; D];
+                for (a, fx) in flux.iter_mut().enumerate() {
+                    for b in 0..D {
+                        *fx += t_q[sym_index(D, a, b)] * gu[b];
+                    }
+                }
+                for i in 0..nl {
+                    let grow = &lv.grad[(q * nl + i) * D..(q * nl + i + 1) * D];
+                    let mut dot = 0.0f32;
+                    for c in 0..D {
+                        dot += flux[c] * grow[c];
+                    }
+                    acc[i] += lv.w_detj * dot;
                 }
             }
             for i in 0..nl {
@@ -270,9 +353,10 @@ impl<const D: usize> MixedHierarchy<D> {
         if l + 1 == self.hier.levels.len() {
             let b64: Vec<f64> = b.iter().map(|&v| f64::from(v)).collect();
             let u64: Vec<f64> = u.iter().map(|&v| f64::from(v)).collect();
-            let (sol, _) = solve_cg_rhs(
+            let (sol, _) = solve_cg_rhs_op(
                 &sys.grid,
                 &sys.basis,
+                sys.op,
                 &sys.nu,
                 &sys.bc,
                 &b64,
@@ -477,6 +561,46 @@ mod tests {
         let r0 = sys.residual_norm(&u, &rhs);
         let mut ws = PcgWorkspace::start(sys, &h32, &u, &rhs);
         for _ in 0..60 {
+            match ws.step(sys, &h32, &mut u) {
+                PcgStep::Advanced(rn) if rn <= 1e-10 * r0 => break,
+                PcgStep::Advanced(_) => {}
+                PcgStep::Breakdown => ws.restart(sys, &h32, &u, &rhs),
+            }
+        }
+        assert!(sys.residual_norm(&u, &rhs) / r0 <= 1e-9);
+    }
+
+    #[test]
+    fn mixed_pcg_converges_on_anisotropic_operator() {
+        let g: Grid<2> = Grid::cube(32);
+        let nn = g.num_nodes();
+        let mut t = vec![0.0; 3 * nn];
+        let (sn, cs) = 0.8f64.sin_cos();
+        for i in 0..nn {
+            let c = g.node_coords(i);
+            let s = 1.0 + 0.4 * (2.0 * c[0] + c[1]).sin() + 0.5;
+            let a = s;
+            let b = s / 5.0;
+            t[i] = a * cs * cs + b * sn * sn;
+            t[nn + i] = a * sn * sn + b * cs * cs;
+            t[2 * nn + i] = (a - b) * cs * sn;
+        }
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let h32 = MixedHierarchy::build_with_operator(
+            g,
+            PdeOperator::AnisoDiffusion,
+            &t,
+            &bc,
+            HierarchyOptions::default(),
+        )
+        .unwrap();
+        let sys = h32.inner().finest();
+        let rhs = vec![0.0; nn];
+        let mut u = vec![0.0; nn];
+        sys.impose_bc(&mut u);
+        let r0 = sys.residual_norm(&u, &rhs);
+        let mut ws = PcgWorkspace::start(sys, &h32, &u, &rhs);
+        for _ in 0..80 {
             match ws.step(sys, &h32, &mut u) {
                 PcgStep::Advanced(rn) if rn <= 1e-10 * r0 => break,
                 PcgStep::Advanced(_) => {}

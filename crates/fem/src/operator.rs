@@ -11,6 +11,14 @@
 //! input for the network loss and (b) the residual for the linear solvers.
 //! All loops are matrix-free and parallelized with the element coloring of
 //! [`crate::color`].
+//!
+//! **Length validation** happens at construction boundaries
+//! ([`crate::system::FemSystem`], the `solve_cg*` entry points, the
+//! hierarchy builders) as typed [`crate::error::FemError`]s; the kernels
+//! here only `debug_assert!` read-side lengths. Output slices that are
+//! scattered into through [`SyncSlice`] keep hard `assert_eq!`s — those
+//! writes are unchecked raw-pointer adds in release mode, so the length
+//! check is load-bearing for memory safety, not a validation convenience.
 
 use crate::basis::ElementBasis;
 use crate::color::{for_each_element_colored, SyncSlice};
@@ -18,11 +26,11 @@ use crate::grid::Grid;
 use rayon::prelude::*;
 
 /// Maximum local nodes (2^D for D ≤ 3).
-const MAX_NL: usize = 8;
+pub(crate) const MAX_NL: usize = 8;
 
 /// Per-element scratch gathered from global arrays.
 #[inline]
-fn gather<const D: usize>(
+pub(crate) fn gather<const D: usize>(
     grid: &Grid<D>,
     strides: &[usize; D],
     base: usize,
@@ -47,10 +55,10 @@ pub fn energy<const D: usize>(
     f: Option<&[f64]>,
 ) -> f64 {
     let nn = grid.num_nodes();
-    assert_eq!(nu.len(), nn, "nu length");
-    assert_eq!(u.len(), nn, "u length");
+    debug_assert_eq!(nu.len(), nn, "nu length");
+    debug_assert_eq!(u.len(), nn, "u length");
     if let Some(ff) = f {
-        assert_eq!(ff.len(), nn, "f length");
+        debug_assert_eq!(ff.len(), nn, "f length");
     }
     let strides = grid.strides();
     let nl = basis.nl;
@@ -110,7 +118,7 @@ pub fn energy_grad<const D: usize>(
     grad: &mut [f64],
 ) -> f64 {
     let nn = grid.num_nodes();
-    assert_eq!(grad.len(), nn, "grad length");
+    debug_assert_eq!(grad.len(), nn, "grad length");
     grad.iter_mut().for_each(|g| *g = 0.0);
     let j = energy(grid, basis, nu, u, f);
     apply_stiffness(grid, basis, nu, u, grad);
@@ -135,8 +143,9 @@ pub fn apply_stiffness<const D: usize>(
     out: &mut [f64],
 ) {
     let nn = grid.num_nodes();
-    assert_eq!(nu.len(), nn);
-    assert_eq!(u.len(), nn);
+    debug_assert_eq!(nu.len(), nn);
+    debug_assert_eq!(u.len(), nn);
+    // Hard assert: `out` is written through unchecked raw-pointer adds.
     assert_eq!(out.len(), nn);
     let strides = grid.strides();
     let nl = basis.nl;
@@ -187,9 +196,9 @@ pub fn apply_stiffness_serial<const D: usize>(
     out: &mut [f64],
 ) {
     let nn = grid.num_nodes();
-    assert_eq!(nu.len(), nn);
-    assert_eq!(u.len(), nn);
-    assert_eq!(out.len(), nn);
+    debug_assert_eq!(nu.len(), nn);
+    debug_assert_eq!(u.len(), nn);
+    debug_assert_eq!(out.len(), nn);
     let strides = grid.strides();
     let nl = basis.nl;
     for e in 0..grid.num_elements() {
@@ -232,7 +241,8 @@ pub fn stiffness_diag<const D: usize>(
     out: &mut [f64],
 ) {
     let nn = grid.num_nodes();
-    assert_eq!(nu.len(), nn);
+    debug_assert_eq!(nu.len(), nn);
+    // Hard assert: `out` is written through unchecked raw-pointer adds.
     assert_eq!(out.len(), nn);
     let strides = grid.strides();
     let nl = basis.nl;
@@ -274,7 +284,8 @@ pub fn load_vector<const D: usize>(
     out: &mut [f64],
 ) {
     let nn = grid.num_nodes();
-    assert_eq!(f.len(), nn);
+    debug_assert_eq!(f.len(), nn);
+    // Hard assert: `out` is written through unchecked raw-pointer adds.
     assert_eq!(out.len(), nn);
     let strides = grid.strides();
     let nl = basis.nl;

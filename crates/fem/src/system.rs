@@ -1,26 +1,31 @@
-//! A Poisson system bound to one `(grid, ν, BC)` triple.
+//! A discrete variational system bound to one `(grid, operator, coeff, BC)`
+//! tuple.
 //!
-//! [`PoissonSystem`] packages the residual / operator-application /
-//! smoothing entry points that were previously private to
-//! [`crate::gmg::GmgSolver`], so hybrid solvers can drive the same FEM
-//! kernels outside a canned `solve` loop: compute true residuals after
-//! arbitrary (e.g. learned) updates, run ad-hoc smoothing sweeps, or feed
-//! a pluggable-preconditioner CG ([`crate::pcg`]).
+//! [`FemSystem`] packages the residual / operator-application / smoothing
+//! entry points that were previously private to [`crate::gmg::GmgSolver`],
+//! so hybrid solvers can drive the same FEM kernels outside a canned
+//! `solve` loop: compute true residuals after arbitrary (e.g. learned)
+//! updates, run ad-hoc smoothing sweeps, or feed a pluggable-preconditioner
+//! CG ([`crate::pcg`]). The operator is pluggable ([`PdeOperator`]); the
+//! historical name [`PoissonSystem`] survives as an alias for the default
+//! scalar-ν build.
 
 use crate::basis::ElementBasis;
 use crate::bc::Dirichlet;
 use crate::error::FemError;
 use crate::grid::Grid;
-use crate::operator::{apply_stiffness, stiffness_diag};
+use crate::pde::PdeOperator;
 
 /// The discrete operator `K(ν)` with its Dirichlet mask — the reusable
 /// core of every solver in this crate.
-pub struct PoissonSystem<const D: usize> {
+pub struct FemSystem<const D: usize> {
     /// Structured grid the system is discretized on.
     pub grid: Grid<D>,
     /// Element basis (quadrature-tabulated shape gradients).
     pub basis: ElementBasis<D>,
-    /// Nodal diffusivity field ν.
+    /// The variational operator being discretized.
+    pub op: PdeOperator,
+    /// Nodal coefficient block (component-major; scalar ν for Poisson).
     pub nu: Vec<f64>,
     /// Dirichlet boundary condition (mask + prescribed values).
     pub bc: Dirichlet,
@@ -28,25 +33,35 @@ pub struct PoissonSystem<const D: usize> {
     diag_inv: Vec<f64>,
 }
 
-impl<const D: usize> std::fmt::Debug for PoissonSystem<D> {
+/// Historical name for the scalar-coefficient build of [`FemSystem`].
+pub type PoissonSystem<const D: usize> = FemSystem<D>;
+
+impl<const D: usize> std::fmt::Debug for FemSystem<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PoissonSystem")
+        f.debug_struct("FemSystem")
+            .field("op", &self.op.name())
             .field("n", &self.grid.n)
             .finish()
     }
 }
 
-impl<const D: usize> PoissonSystem<D> {
-    /// Builds the system, validating slice lengths against the grid.
+impl<const D: usize> FemSystem<D> {
+    /// Builds the scalar-ν Poisson system, validating slice lengths
+    /// against the grid.
     pub fn new(grid: Grid<D>, nu: Vec<f64>, bc: Dirichlet) -> Result<Self, FemError> {
+        Self::with_operator(grid, PdeOperator::Poisson, nu, bc)
+    }
+
+    /// Builds a system for an arbitrary [`PdeOperator`], validating the
+    /// coefficient block (length + SPD for tensor operators) and BC mask.
+    pub fn with_operator(
+        grid: Grid<D>,
+        op: PdeOperator,
+        nu: Vec<f64>,
+        bc: Dirichlet,
+    ) -> Result<Self, FemError> {
         let nn = grid.num_nodes();
-        if nu.len() != nn {
-            return Err(FemError::SizeMismatch {
-                what: "nu",
-                expected: nn,
-                got: nu.len(),
-            });
-        }
+        op.validate_coeff(&grid, &nu)?;
         if bc.fixed.len() != nn {
             return Err(FemError::SizeMismatch {
                 what: "bc.fixed",
@@ -56,7 +71,7 @@ impl<const D: usize> PoissonSystem<D> {
         }
         let basis = ElementBasis::new(&grid);
         let mut diag = vec![0.0; nn];
-        stiffness_diag(&grid, &basis, &nu, &mut diag);
+        op.stiffness_diag(&grid, &basis, &nu, &mut diag);
         let diag_inv: Vec<f64> = diag
             .iter()
             .zip(&bc.fixed)
@@ -68,9 +83,10 @@ impl<const D: usize> PoissonSystem<D> {
                 }
             })
             .collect();
-        Ok(PoissonSystem {
+        Ok(FemSystem {
             grid,
             basis,
+            op,
             nu,
             bc,
             diag_inv,
@@ -91,7 +107,8 @@ impl<const D: usize> PoissonSystem<D> {
     /// `out = K u` (overwrites `out`; rows of fixed nodes included).
     pub fn apply(&self, u: &[f64], out: &mut [f64]) {
         out.iter_mut().for_each(|x| *x = 0.0);
-        apply_stiffness(&self.grid, &self.basis, &self.nu, u, out);
+        self.op
+            .apply_stiffness(&self.grid, &self.basis, &self.nu, u, out);
     }
 
     /// Zeroes fixed entries of `v`.
@@ -146,12 +163,41 @@ mod tests {
     }
 
     #[test]
+    fn rejects_indefinite_tensor_coefficients() {
+        let g: Grid<2> = Grid::cube(5);
+        let nn = g.num_nodes();
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let mut t = vec![1.0; 3 * nn];
+        t[2 * nn..].iter_mut().for_each(|v| *v = 3.0); // off-diag > diag
+        let err = FemSystem::with_operator(g, PdeOperator::AnisoDiffusion, t, bc).unwrap_err();
+        assert!(matches!(err, FemError::NotSpd { node: 0 }));
+    }
+
+    #[test]
     fn residual_vanishes_on_exact_solution() {
         // u = 1 − x is the exact FE solution for ν = 1 with x-face BC.
         let g: Grid<2> = Grid::cube(9);
         let nn = g.num_nodes();
         let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
         let sys = PoissonSystem::new(g, vec![1.0; nn], bc).unwrap();
+        let u: Vec<f64> = (0..nn).map(|i| 1.0 - g.node_coords(i)[0]).collect();
+        let rhs = vec![0.0; nn];
+        assert!(sys.residual_norm(&u, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn anisotropic_residual_vanishes_on_linear_profile() {
+        // u = 1 − x stays exact for a constant *diagonal* tensor: the flux
+        // T∇u = (−T_xx, 0) is constant and tangential fluxes vanish, so the
+        // homogeneous-Neumann y-faces stay consistent. (An off-diagonal
+        // T_xy would push flux through the y-faces and change the solution.)
+        let g: Grid<2> = Grid::cube(9);
+        let nn = g.num_nodes();
+        let bc = Dirichlet::x_faces(&g, 1.0, 0.0);
+        let mut t = vec![0.0; 3 * nn];
+        t[..nn].iter_mut().for_each(|v| *v = 2.0);
+        t[nn..2 * nn].iter_mut().for_each(|v| *v = 0.5);
+        let sys = FemSystem::with_operator(g, PdeOperator::AnisoDiffusion, t, bc).unwrap();
         let u: Vec<f64> = (0..nn).map(|i| 1.0 - g.node_coords(i)[0]).collect();
         let rhs = vec![0.0; nn];
         assert!(sys.residual_norm(&u, &rhs) < 1e-12);

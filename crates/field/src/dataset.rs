@@ -5,6 +5,7 @@
 //! 256³). Fields are rasterized on demand at whatever multigrid level is
 //! being trained, which is what makes the multigrid hierarchy cheap.
 
+use crate::aniso::Anisotropy;
 use crate::diffusivity::DiffusivityModel;
 use crate::sobol::Sobol;
 use crate::OMEGA_RANGE;
@@ -45,6 +46,11 @@ pub enum FieldError {
     },
     /// An empty batch or dataset where at least one element is required.
     Empty,
+    /// Anisotropy knobs that cannot yield an SPD tensor field.
+    InvalidAnisotropy {
+        /// What was wrong (human-readable).
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for FieldError {
@@ -69,6 +75,9 @@ impl std::fmt::Display for FieldError {
                 )
             }
             FieldError::Empty => write!(f, "empty batch/dataset"),
+            FieldError::InvalidAnisotropy { reason } => {
+                write!(f, "invalid anisotropy: {reason}")
+            }
         }
     }
 }
@@ -80,10 +89,30 @@ impl std::error::Error for FieldError {}
 /// the batched-inference entry point: N requests become one tensor pass.
 pub fn stack_fields(fields: &[Tensor]) -> Result<Tensor, FieldError> {
     let first = fields.first().ok_or(FieldError::Empty)?;
+    let rank = first.dims().len();
+    if rank != 2 && rank != 3 {
+        return Err(FieldError::BadRank { got: rank });
+    }
+    stack_fields_with(fields, rank)
+}
+
+/// [`stack_fields`] with an explicit spatial rank, resolving the
+/// channel/depth ambiguity of rank-3 per-sample tensors: with
+/// `spatial_rank == 2` a `[C, ny, nx]` field stacks to `[B, C, 1, ny, nx]`
+/// (multi-channel 2D, e.g. tensor coefficients); with `spatial_rank == 3`
+/// the same shape is read as `[nz, ny, nx]` single-channel 3D. Rank-4
+/// fields are always `[C, nz, ny, nx]`.
+pub fn stack_fields_with(fields: &[Tensor], spatial_rank: usize) -> Result<Tensor, FieldError> {
+    let first = fields.first().ok_or(FieldError::Empty)?;
     let dims = first.dims().to_vec();
-    let mut out = match dims[..] {
-        [ny, nx] => Tensor::zeros([fields.len(), 1, 1, ny, nx]),
-        [nz, ny, nx] => Tensor::zeros([fields.len(), 1, nz, ny, nx]),
+    if spatial_rank != 2 && spatial_rank != 3 {
+        return Err(FieldError::BadRank { got: spatial_rank });
+    }
+    let mut out = match (spatial_rank, &dims[..]) {
+        (2, [ny, nx]) => Tensor::zeros([fields.len(), 1, 1, *ny, *nx]),
+        (2, [c, ny, nx]) => Tensor::zeros([fields.len(), *c, 1, *ny, *nx]),
+        (3, [nz, ny, nx]) => Tensor::zeros([fields.len(), 1, *nz, *ny, *nx]),
+        (3, [c, nz, ny, nx]) => Tensor::zeros([fields.len(), *c, *nz, *ny, *nx]),
         _ => return Err(FieldError::BadRank { got: dims.len() }),
     };
     let vol: usize = dims.iter().product();
@@ -125,6 +154,28 @@ impl InputEncoding {
             }
         }
     }
+
+    /// Encodes a coefficient block with `ncomp` channels. One channel
+    /// delegates to [`encode`](Self::encode) (bitwise-identical scalar
+    /// path); multi-channel `LogNu` uses `asinh` per entry instead of `ln`
+    /// because tensor off-diagonals are zero or negative where `ln` is
+    /// undefined, while `asinh` is log-like for large magnitudes and
+    /// smooth through zero.
+    pub fn encode_coeff(&self, coeff: &Tensor, ncomp: usize) -> Tensor {
+        if ncomp <= 1 {
+            return self.encode(coeff);
+        }
+        match self {
+            InputEncoding::RawNu => coeff.clone(),
+            InputEncoding::LogNu => {
+                let mut out = coeff.clone();
+                for v in out.as_mut_slice() {
+                    *v = v.asinh();
+                }
+                out
+            }
+        }
+    }
 }
 
 /// A set of PDE-parameter samples with on-demand rasterization.
@@ -136,6 +187,11 @@ pub struct Dataset {
     pub model: DiffusivityModel,
     /// Input encoding for network consumption.
     pub encoding: InputEncoding,
+    /// Optional anisotropy: when set, coefficient fields are symmetric
+    /// tensors derived from the scalar KL field (absent in serialized
+    /// datasets from before the operator zoo — defaults to `None`).
+    #[serde(default)]
+    pub aniso: Option<Anisotropy>,
 }
 
 impl Dataset {
@@ -147,6 +203,7 @@ impl Dataset {
             omegas,
             model,
             encoding,
+            aniso: None,
         }
     }
 
@@ -163,6 +220,24 @@ impl Dataset {
             omegas,
             model,
             encoding,
+            aniso: None,
+        }
+    }
+
+    /// Attaches anisotropy knobs (validated), turning every coefficient
+    /// field into a symmetric tensor field.
+    pub fn with_anisotropy(mut self, aniso: Anisotropy) -> Result<Self, FieldError> {
+        aniso.validate()?;
+        self.aniso = Some(aniso);
+        Ok(self)
+    }
+
+    /// Coefficient components per node for `rank` spatial dims (1 for the
+    /// scalar model, `rank(rank+1)/2` with anisotropy attached).
+    pub fn ncomp(&self, rank: usize) -> usize {
+        match self.aniso {
+            Some(_) => Anisotropy::ncomp(rank),
+            None => 1,
         }
     }
 
@@ -201,8 +276,14 @@ impl Dataset {
     }
 
     /// Rasterizes the input field for one sample on nodal `dims`
-    /// (`[ny, nx]` or `[nz, ny, nx]`).
+    /// (`[ny, nx]` or `[nz, ny, nx]`). With anisotropy attached the result
+    /// gains a leading channel axis (`[C, spatial...]`) and multi-channel
+    /// encoding ([`InputEncoding::encode_coeff`]).
     pub fn input_field(&self, sample: usize, dims: &[usize]) -> Tensor {
+        if self.aniso.is_some() {
+            let nu = self.nu_field(sample, dims);
+            return self.encoding.encode_coeff(&nu, self.ncomp(dims.len()));
+        }
         let om = &self.omegas[sample];
         match self.encoding {
             InputEncoding::LogNu => self.model.rasterize_log(om, dims),
@@ -210,10 +291,16 @@ impl Dataset {
         }
     }
 
-    /// Rasterizes the *coefficient* field ν (always raw) used by the FEM
-    /// energy loss, independent of the network input encoding.
+    /// Rasterizes the *coefficient* field (always raw) used by the FEM
+    /// energy loss, independent of the network input encoding: `[spatial]`
+    /// scalar ν, or component-major `[C, spatial...]` tensor components
+    /// when anisotropy is attached.
     pub fn nu_field(&self, sample: usize, dims: &[usize]) -> Tensor {
-        self.model.rasterize(&self.omegas[sample], dims)
+        let scalar = self.model.rasterize(&self.omegas[sample], dims);
+        match self.aniso {
+            None => scalar,
+            Some(a) => tensorize(&scalar, a, dims),
+        }
     }
 
     /// Rasterizes a batch of samples into an NCDHW tensor `[B, 1, (nz,) ny, nx]`.
@@ -226,15 +313,26 @@ impl Dataset {
             .expect("batch rasterization")
     }
 
-    /// Fallible batch rasterization (the trainer/serving hot path).
+    /// Fallible batch rasterization (the trainer/serving hot path). The
+    /// channel axis is [`Self::ncomp`] wide: `[B, C, (nz,) ny, nx]`.
     pub fn try_batch_inputs(
         &self,
         samples: &[usize],
         dims: &[usize],
     ) -> Result<Tensor, FieldError> {
         self.check_samples(samples)?;
-        let vol: usize = dims.iter().product();
         let b = samples.len();
+        if dims.len() != 2 && dims.len() != 3 {
+            return Err(FieldError::BadRank { got: dims.len() });
+        }
+        if self.aniso.is_some() {
+            let vol: usize = dims.iter().product::<usize>() * self.ncomp(dims.len());
+            let fields = mgd_tensor::par::maybe_par_map_collect(b, vol, |i| {
+                self.input_field(samples[i], dims)
+            });
+            return stack_fields_with(&fields, dims.len());
+        }
+        let vol: usize = dims.iter().product();
         let mut out = match dims.len() {
             2 => Tensor::zeros([b, 1, 1, dims[0], dims[1]]),
             3 => Tensor::zeros([b, 1, dims[0], dims[1], dims[2]]),
@@ -295,6 +393,15 @@ impl Dataset {
         if dims.len() != 2 && dims.len() != 3 {
             return Err(FieldError::BadRank { got: dims.len() });
         }
+        if let Some(a) = self.aniso {
+            let nc = self.ncomp(dims.len());
+            let vol: usize = dims.iter().product::<usize>() * nc;
+            let fields = mgd_tensor::par::maybe_par_map_collect(omegas.len(), vol, |i| {
+                let scalar = self.model.rasterize(&omegas[i], dims);
+                self.encoding.encode_coeff(&tensorize(&scalar, a, dims), nc)
+            });
+            return stack_fields_with(&fields, dims.len());
+        }
         let vol: usize = dims.iter().product();
         let fields =
             mgd_tensor::par::maybe_par_map_collect(omegas.len(), vol, |i| match self.encoding {
@@ -318,6 +425,27 @@ impl Dataset {
         }
         Ok(())
     }
+}
+
+/// Expands a scalar field `[spatial...]` into component-major symmetric
+/// tensor planes `[C, spatial...]` under the given anisotropy.
+pub fn tensorize(scalar: &Tensor, a: Anisotropy, dims: &[usize]) -> Tensor {
+    let rank = dims.len();
+    let nc = Anisotropy::ncomp(rank);
+    let vol: usize = dims.iter().product();
+    let mut shape = Vec::with_capacity(rank + 1);
+    shape.push(nc);
+    shape.extend_from_slice(dims);
+    let mut out = Tensor::zeros(shape);
+    let data = out.as_mut_slice();
+    let mut t = [0.0; 6];
+    for (i, &s) in scalar.as_slice().iter().enumerate() {
+        a.tensor_components(s, rank, &mut t);
+        for (c, &tc) in t.iter().enumerate().take(nc) {
+            data[c * vol + i] = tc;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -432,6 +560,73 @@ mod tests {
             Err(FieldError::BadRank { got: 1 })
         ));
         assert!(d.try_batch_inputs(&[0, 1], &[8, 8]).is_ok());
+    }
+
+    #[test]
+    fn aniso_fields_gain_channel_axis() {
+        let d = ds(3)
+            .with_anisotropy(Anisotropy::new(4.0, 0.5).unwrap())
+            .unwrap();
+        assert_eq!(d.ncomp(2), 3);
+        assert_eq!(d.ncomp(3), 6);
+        let nu = d.nu_field(0, &[8, 8]);
+        assert_eq!(nu.dims(), &[3, 8, 8]);
+        let inp = d.input_field(0, &[8, 8]);
+        assert_eq!(inp.dims(), &[3, 8, 8]);
+        let b = d.try_batch_inputs(&[0, 1], &[8, 8]).unwrap();
+        assert_eq!(b.dims(), &[2, 3, 1, 8, 8]);
+        let b3 = d.try_batch_inputs(&[0], &[4, 8, 8]).unwrap();
+        assert_eq!(b3.dims(), &[1, 6, 4, 8, 8]);
+        let rb = d.rasterize_batch(&d.omegas[..2], &[8, 8]).unwrap();
+        assert_eq!(rb, b);
+    }
+
+    #[test]
+    fn aniso_components_match_scalar_rotation() {
+        let a = Anisotropy::new(3.0, 0.4).unwrap();
+        let d = ds(1).with_anisotropy(a).unwrap();
+        let scalar = d.model.rasterize(&d.omegas[0], &[8, 8]);
+        let nu = d.nu_field(0, &[8, 8]);
+        let vol = 64;
+        let mut t = [0.0; 3];
+        for i in (0..vol).step_by(7) {
+            a.tensor_components(scalar[i], 2, &mut t);
+            for c in 0..3 {
+                assert_eq!(nu.as_slice()[c * vol + i].to_bits(), t[c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_channel_lognu_uses_asinh() {
+        let d = ds(1)
+            .with_anisotropy(Anisotropy::new(2.0, 0.3).unwrap())
+            .unwrap();
+        let nu = d.nu_field(0, &[8, 8]);
+        let inp = d.input_field(0, &[8, 8]);
+        for i in 0..nu.len() {
+            assert!((inp.as_slice()[i] - nu.as_slice()[i].asinh()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_defaults_aniso_to_none() {
+        let d = ds(2);
+        let json = serde_json::to_string(&d).unwrap();
+        // A pre-operator-zoo dataset has no `aniso` key; deserializing one
+        // must still work (backward compatibility).
+        assert!(json.contains("\"aniso\""));
+        let stripped = json
+            .replace(",\"aniso\":null", "")
+            .replace("\"aniso\":null,", "");
+        let back: Dataset = serde_json::from_str(&stripped).unwrap();
+        assert!(back.aniso.is_none());
+        let with = d
+            .with_anisotropy(Anisotropy::new(5.0, 1.2).unwrap())
+            .unwrap();
+        let json2 = serde_json::to_string(&with).unwrap();
+        let back2: Dataset = serde_json::from_str(&json2).unwrap();
+        assert_eq!(back2.aniso, with.aniso);
     }
 
     #[test]

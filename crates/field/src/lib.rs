@@ -14,12 +14,14 @@
 //!   rasterization into NCDHW tensors, and padding for worker divisibility
 //!   (paper §3.2: augment so `Ns` divides evenly among `p` workers).
 
+pub mod aniso;
 pub mod dataset;
 pub mod diffusivity;
 pub mod sobol;
 pub mod transfer;
 pub mod vtk;
 
-pub use dataset::{stack_fields, Dataset, FieldError, InputEncoding};
+pub use aniso::Anisotropy;
+pub use dataset::{stack_fields, stack_fields_with, tensorize, Dataset, FieldError, InputEncoding};
 pub use diffusivity::{DiffusivityModel, ThreeDMode, OMEGA_RANGE, PAPER_MODES};
 pub use sobol::Sobol;

@@ -8,12 +8,14 @@
 //! condition (`u = 1` on the `x = 0` face, `u = 0` on `x = 1`) is
 //! imposed through `Dirichlet::x_faces`.
 
-use mgd_fem::bc::Dirichlet;
+use mgd_fem::bc::BoundarySpec;
 use mgd_fem::error::FemError;
 use mgd_fem::grid::Grid;
 use mgd_fem::hierarchy::{GridHierarchy, HierarchyOptions};
 use mgd_fem::mixed::MixedHierarchy;
+use mgd_fem::operator::load_vector;
 use mgd_fem::pcg::{JacobiPrecond, LinearOp, Precond};
+use mgd_fem::pde::PdeOperator;
 use mgd_fem::system::PoissonSystem;
 use mgd_tensor::Precision;
 use std::fmt;
@@ -57,21 +59,70 @@ impl ErasedSystem {
     /// Builds the paper's BVP (`−∇·(ν∇u) = 0`, `u = 1` at `x = 0`,
     /// `u = 0` at `x = 1`) on a grid of the given dims.
     pub fn poisson(dims: &[usize], nu: &[f64]) -> Result<Self, HybridError> {
+        Self::with_operator(dims, PdeOperator::Poisson, nu, &BoundarySpec::default())
+    }
+
+    /// Builds a system for an arbitrary operator and boundary spec. The
+    /// coefficient block is component-major (`ncomp · Π dims` values);
+    /// tensor operators are SPD-validated node-by-node.
+    pub fn with_operator(
+        dims: &[usize],
+        op: PdeOperator,
+        coeff: &[f64],
+        boundary: &BoundarySpec,
+    ) -> Result<Self, HybridError> {
+        boundary.validate()?;
         match dims {
             [ny, nx] => {
                 let grid: Grid<2> = Grid::new([*ny, *nx]);
-                let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-                Ok(ErasedSystem::D2(PoissonSystem::new(grid, nu.to_vec(), bc)?))
+                let bc = boundary.build(&grid);
+                Ok(ErasedSystem::D2(PoissonSystem::with_operator(
+                    grid,
+                    op,
+                    coeff.to_vec(),
+                    bc,
+                )?))
             }
             [nz, ny, nx] => {
                 let grid: Grid<3> = Grid::new([*nz, *ny, *nx]);
-                let bc = Dirichlet::x_faces(&grid, 1.0, 0.0);
-                Ok(ErasedSystem::D3(PoissonSystem::new(grid, nu.to_vec(), bc)?))
+                let bc = boundary.build(&grid);
+                Ok(ErasedSystem::D3(PoissonSystem::with_operator(
+                    grid,
+                    op,
+                    coeff.to_vec(),
+                    bc,
+                )?))
             }
             other => Err(HybridError::InvalidInput(format!(
                 "expected 2 or 3 spatial dims, got {other:?}"
             ))),
         }
+    }
+
+    /// The variational operator this system discretizes.
+    pub fn op(&self) -> PdeOperator {
+        match self {
+            ErasedSystem::D2(s) => s.op,
+            ErasedSystem::D3(s) => s.op,
+        }
+    }
+
+    /// Assembles the load vector `F` for a nodal forcing `f` (the rhs that
+    /// [`crate::solve_certified`] certifies against).
+    pub fn load_vector(&self, f: &[f64]) -> Result<Vec<f64>, HybridError> {
+        let nn = self.num_nodes();
+        if f.len() != nn {
+            return Err(HybridError::InvalidInput(format!(
+                "forcing has length {}, expected {nn}",
+                f.len()
+            )));
+        }
+        let mut rhs = vec![0.0; nn];
+        match self {
+            ErasedSystem::D2(s) => load_vector(&s.grid, &s.basis, f, &mut rhs),
+            ErasedSystem::D3(s) => load_vector(&s.grid, &s.basis, f, &mut rhs),
+        }
+        Ok(rhs)
     }
 
     /// Nodes in the system.
@@ -181,18 +232,18 @@ impl ErasedHierarchy {
         precision: Precision,
     ) -> Result<Self, HybridError> {
         Ok(match (sys, precision) {
-            (ErasedSystem::D2(s), Precision::Mixed) => {
-                ErasedHierarchy::D2Mixed(MixedHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
-            }
-            (ErasedSystem::D3(s), Precision::Mixed) => {
-                ErasedHierarchy::D3Mixed(MixedHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
-            }
-            (ErasedSystem::D2(s), _) => {
-                ErasedHierarchy::D2(GridHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
-            }
-            (ErasedSystem::D3(s), _) => {
-                ErasedHierarchy::D3(GridHierarchy::build(s.grid, &s.nu, &s.bc, opts)?)
-            }
+            (ErasedSystem::D2(s), Precision::Mixed) => ErasedHierarchy::D2Mixed(
+                MixedHierarchy::build_with_operator(s.grid, s.op, &s.nu, &s.bc, opts)?,
+            ),
+            (ErasedSystem::D3(s), Precision::Mixed) => ErasedHierarchy::D3Mixed(
+                MixedHierarchy::build_with_operator(s.grid, s.op, &s.nu, &s.bc, opts)?,
+            ),
+            (ErasedSystem::D2(s), _) => ErasedHierarchy::D2(GridHierarchy::build_with_operator(
+                s.grid, s.op, &s.nu, &s.bc, opts,
+            )?),
+            (ErasedSystem::D3(s), _) => ErasedHierarchy::D3(GridHierarchy::build_with_operator(
+                s.grid, s.op, &s.nu, &s.bc, opts,
+            )?),
         })
     }
 

@@ -1,30 +1,52 @@
-//! Thermal transport in a two-phase composite — the paper's §5 lists
-//! "thermal transport in composites" as a deployment target.
+//! Thermal transport in a fiber-reinforced composite — the paper's §5
+//! lists "thermal transport in composites" as a deployment target, and
+//! fibers make the conductivity *anisotropic*: heat flows easily along a
+//! fiber and poorly across it, so the coefficient is a symmetric SPD
+//! tensor per node, not a scalar.
 //!
-//! Unlike the other examples this one bypasses `Dataset` and plugs a
-//! *custom* coefficient-field generator (random circular inclusions in a
-//! matrix) directly into the lower-level API: `FemLoss` + `UNet` + `Adam`.
-//! That is the integration path a downstream user with their own
-//! microstructure data would take.
+//! This example drives the operator zoo end to end on that physics:
+//!
+//! 1. train a surrogate on the anisotropic parametric problem
+//!    (`Problem::anisotropic_2d` — the KL-expansion field rotated into a
+//!    tensor), hot left face, cold right face;
+//! 2. check it against FEM ground truth through `compare_sample`;
+//! 3. *serve* a hand-built fiber-composite microstructure — a custom
+//!    `[3, res, res]` tensor field the engine has never seen (the
+//!    integration path a downstream user with their own microstructure
+//!    data would take); and
+//! 4. call `solve_certified` on that microstructure: the surrogate's
+//!    prediction warm-starts a multigrid solve that terminates with a
+//!    machine-checked residual certificate on the anisotropic operator.
 //!
 //! `cargo run --release -p mgd-examples --bin thermal_composite`
 
 use mgd_examples::ascii_heatmap;
-use mgd_nn::optim::zero_grads;
 use mgd_tensor::Tensor;
 use mgdiffnet::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Conductivity map: matrix κ=1 with circular inclusions of κ=`kappa_inc`.
-fn composite_field(res: usize, n_inclusions: usize, kappa_inc: f64, rng: &mut StdRng) -> Tensor {
-    let mut nu = Tensor::ones([res, res]);
-    let centers: Vec<(f64, f64, f64)> = (0..n_inclusions)
+const TOL: f64 = 1e-8;
+
+/// Fiber-composite conductivity: isotropic matrix (κ = 1, i.e. T = I)
+/// with elliptical fiber bundles, each conducting `kappa_par` along its
+/// axis and 1 across it — `T = R(α) diag(κ_par, 1) R(α)ᵀ` inside the
+/// fiber. Component-major `[T_xx, T_yy, T_xy]`, SPD at every node.
+fn fiber_composite(res: usize, n_fibers: usize, kappa_par: f64, rng: &mut StdRng) -> Tensor {
+    let mut t = Tensor::zeros([3, res, res]);
+    let vol = res * res;
+    // Matrix: identity tensor everywhere.
+    for i in 0..vol {
+        t.as_mut_slice()[i] = 1.0; // T_xx
+        t.as_mut_slice()[vol + i] = 1.0; // T_yy
+    }
+    let fibers: Vec<(f64, f64, f64, f64)> = (0..n_fibers)
         .map(|_| {
             (
-                rng.gen_range(0.1..0.9),
-                rng.gen_range(0.1..0.9),
-                rng.gen_range(0.05..0.15),
+                rng.gen_range(0.15..0.85),                // center x
+                rng.gen_range(0.15..0.85),                // center y
+                rng.gen_range(0.08..0.2),                 // half-length
+                rng.gen_range(0.0..std::f64::consts::PI), // axis angle
             )
         })
         .collect();
@@ -32,92 +54,101 @@ fn composite_field(res: usize, n_inclusions: usize, kappa_inc: f64, rng: &mut St
         for i in 0..res {
             let x = i as f64 / (res - 1) as f64;
             let y = j as f64 / (res - 1) as f64;
-            if centers
-                .iter()
-                .any(|&(cx, cy, r)| (x - cx).powi(2) + (y - cy).powi(2) < r * r)
-            {
-                *nu.at_mut(&[j, i]) = kappa_inc;
+            for &(cx, cy, len, alpha) in &fibers {
+                let (sn, cs) = alpha.sin_cos();
+                // Coordinates along/across the fiber axis.
+                let para = (x - cx) * cs + (y - cy) * sn;
+                let perp = -(x - cx) * sn + (y - cy) * cs;
+                if (para / len).powi(2) + (perp / 0.04).powi(2) < 1.0 {
+                    let idx = j * res + i;
+                    let (a, b) = (kappa_par, 1.0);
+                    t.as_mut_slice()[idx] = a * cs * cs + b * sn * sn;
+                    t.as_mut_slice()[vol + idx] = a * sn * sn + b * cs * cs;
+                    t.as_mut_slice()[2 * vol + idx] = (a - b) * cs * sn;
+                }
             }
         }
     }
-    nu
+    t
 }
 
 fn main() {
     let res = 32usize;
-    let dims = vec![res, res];
-    println!("two-phase composite heat conduction at {res}x{res}");
-    println!("matrix kappa = 1, inclusions kappa = 10; hot left face, cold right face\n");
+    println!("fiber-composite heat conduction at {res}x{res} (anisotropic tensor operator)");
+    println!("matrix T = I; fibers conduct kappa = 10 along their axis; hot left, cold right\n");
 
-    // Generate a training set of microstructures.
-    let mut rng = StdRng::seed_from_u64(11);
-    let fields: Vec<Tensor> = (0..12)
-        .map(|_| composite_field(res, 4, 10.0, &mut rng))
-        .collect();
-
-    let mut net = UNet::new(UNetConfig {
-        two_d: true,
-        depth: 2,
-        base_filters: 8,
-        seed: 5,
-        ..Default::default()
-    });
-    let mut opt = Adam::new(3e-3);
-    let loss = FemLoss::new(&dims).unwrap();
-    let batch = 4usize;
-    let vol = res * res;
-
-    // Hand-rolled Algorithm 1 over the custom fields: the network input is
-    // log κ (matching the library's default encoding).
-    println!("training ...");
-    for epoch in 0..40 {
-        let mut epoch_loss = 0.0;
-        let mut steps = 0;
-        for chunk in fields.chunks(batch) {
-            let b = chunk.len();
-            let mut x = Tensor::zeros([b, 1, 1, res, res]);
-            for (s, f) in chunk.iter().enumerate() {
-                for i in 0..vol {
-                    x.as_mut_slice()[s * vol + i] = f[i].ln();
-                }
-            }
-            let mut u = net.forward(&x, true);
-            loss.apply_bc_batch(&mut u);
-            let (j, grad) = loss.energy_grad_batch(chunk, &u);
-            let _ = net.backward(&grad);
-            let mut params = net.params();
-            opt.step(&mut params);
-            zero_grads(&mut params);
-            epoch_loss += j;
-            steps += 1;
-        }
-        if epoch % 10 == 0 || epoch == 39 {
-            println!(
-                "  epoch {epoch:>3}: energy loss {:.5}",
-                epoch_loss / steps as f64
-            );
-        }
-    }
-
-    // Evaluate on an unseen microstructure.
-    let test = composite_field(res, 4, 10.0, &mut rng);
-    let mut x = Tensor::zeros([1, 1, 1, res, res]);
-    for i in 0..vol {
-        x.as_mut_slice()[i] = test[i].ln();
-    }
-    let mut u = net.forward(&x, false);
-    loss.apply_bc_batch(&mut u);
-    let (u_fem, stats) = loss.fem_solve(test.as_slice(), None, 1e-10);
-    assert!(stats.converged);
-    let pred = Tensor::from_vec([res, res], u.as_slice().to_vec());
-    let fem = Tensor::from_vec([res, res], u_fem);
+    // 1. Train the anisotropic surrogate on the parametric dataset.
+    let mut engine = SolverEngine::builder()
+        .resolution([res, res])
+        .problem(Problem::anisotropic_2d(
+            DiffusivityModel::paper(),
+            Anisotropy::new(8.0, 0.6).expect("valid anisotropy"),
+        ))
+        .levels(2)
+        .net_depth(2)
+        .base_filters(8)
+        .samples(16)
+        .batch_size(4)
+        .max_epochs(40)
+        .fixed_epochs(1)
+        .seed(11)
+        .certify_tol(TOL)
+        .build()
+        .expect("engine");
     println!(
-        "\nunseen microstructure: rel L2 vs FEM = {:.4}",
-        pred.rel_l2_error(&fem)
+        "training on {} parametric tensor fields ({} coefficient channels) ...",
+        engine.dataset().len(),
+        engine.problem().ncomp()
+    );
+    let log = engine.train().expect("training");
+    println!("  final energy loss {:.5}\n", log.final_loss);
+
+    // 2. FEM ground truth on a held-in parametric sample.
+    let cmp = engine.compare_sample(1).expect("FEM comparison");
+    println!(
+        "vs FEM (parametric sample): rel L2 {:.4}, energy {:.5} (FEM minimum {:.5})",
+        cmp.rel_l2, cmp.energy_nn, cmp.energy_fem
     );
     println!(
-        "\nconductivity map (inclusions dark):\n{}",
-        ascii_heatmap(&test.map(|v| -v), res)
+        "warm-starting CG from the prediction: {} iters (cold start {})\n",
+        cmp.warm_start_iterations, cmp.fem_iterations
+    );
+
+    // 3. Serve a custom microstructure the engine has never seen.
+    let mut rng = StdRng::seed_from_u64(11);
+    let composite = fiber_composite(res, 5, 10.0, &mut rng);
+    let pred = engine
+        .predict(&composite)
+        .expect("serving a custom SPD tensor field");
+
+    // 4. Certified solve on the same microstructure: prediction-warm-started
+    // multigrid with a recomputed residual certificate.
+    let sol = engine
+        .solve_certified(&InferenceRequest::coeff(composite.clone()), TOL)
+        .expect("certified solve");
+    assert!(sol.converged, "certified solve must converge");
+    assert!(sol.rel_residual <= TOL, "certificate must meet tolerance");
+    println!(
+        "certified solve on the composite: {} outer iterations, rel residual {:.2e} (tol {TOL:.0e}), via {}",
+        sol.iterations, sol.rel_residual, sol.strategy_used
+    );
+    let certified = Tensor::from_vec([res, res], sol.u.clone());
+    println!(
+        "prediction vs certified field: rel L2 {:.4}\n",
+        pred.rel_l2_error(&certified)
+    );
+
+    // Fiber map: in-fiber nodes have T_xx + T_yy > 2.
+    let vol = res * res;
+    let fiber_map = Tensor::from_vec(
+        [res, res],
+        (0..vol)
+            .map(|i| -(composite[i] + composite[vol + i]))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "fiber map (fibers dark):\n{}",
+        ascii_heatmap(&fiber_map, res)
     );
     println!(
         "predicted temperature field:\n{}",

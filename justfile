@@ -66,6 +66,12 @@ bench-certified:
 bench-precision:
     cargo run --release -p mgd-bench --bin precision_report
 
+# Operator-zoo report: equivalence/SPD gates, then per-operator fields vs
+# FEM and certified solves with recomputed residual certificates; writes
+# results/BENCH_operators.json.
+bench-operators:
+    cargo run --release -p mgd-bench --bin operator_report
+
 # All benchmarks.
 bench:
     cargo bench --workspace

@@ -198,6 +198,44 @@ fn engine_threads_training_is_bitwise_deterministic() {
 }
 
 #[test]
+fn anisotropic_threads_training_is_bitwise_deterministic() {
+    // Operator-zoo acceptance: the tensor-coefficient operator must keep
+    // the same run-to-run bitwise guarantee as Poisson — the element loop
+    // over coefficient channels is fixed-order, so nothing about the
+    // reduction schedule depends on the operator.
+    let aniso = Anisotropy::new(4.0, 0.5).unwrap();
+    let build = || {
+        SolverEngine::builder()
+            .resolution([16, 16])
+            .problem(Problem::anisotropic_2d(DiffusivityModel::paper(), aniso))
+            .levels(2)
+            .fixed_epochs(2)
+            .samples(8)
+            .batch_size(4)
+            .max_epochs(4)
+            .batch_norm(false)
+            .seed(11)
+            .parallelism(Parallelism::Threads(2))
+            .build()
+            .unwrap()
+    };
+    let run1 = build().train().unwrap();
+    let run2 = build().train().unwrap();
+    let t1 = trajectory(&run1);
+    let t2 = trajectory(&run2);
+    assert_eq!(t1.len(), t2.len());
+    assert!(!t1.is_empty());
+    for (e, (a, b)) in t1.iter().zip(&t2).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "aniso epoch {e}: {a} != {b} across repeated runs"
+        );
+    }
+    assert_eq!(run1.final_loss.to_bits(), run2.final_loss.to_bits());
+}
+
+#[test]
 fn padded_dataset_divides_cleanly() {
     let mut data = Dataset::sobol(10, DiffusivityModel::paper(), InputEncoding::LogNu);
     data.pad_to_multiple(4);

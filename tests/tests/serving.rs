@@ -207,22 +207,39 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
     #[test]
-    fn shard_is_in_range_and_deterministic(omega in omega_strategy(), shards in 1usize..16) {
-        let key = CacheKey::omega(&omega);
+    fn shard_is_in_range_and_deterministic(
+        omega in omega_strategy(), shards in 1usize..16, physics in 0u64..u64::MAX
+    ) {
+        let key = CacheKey::omega(&omega, physics);
         let s = key.shard(shards);
         prop_assert!(s < shards);
         prop_assert_eq!(s, key.shard(shards));
         // Rebuilding the key from equal inputs lands on the same shard.
-        prop_assert_eq!(s, CacheKey::omega(&omega.clone()).shard(shards));
+        prop_assert_eq!(s, CacheKey::omega(&omega.clone(), physics).shard(shards));
     }
 
     #[test]
-    fn coeff_and_omega_keys_never_collide_across_type(omega in omega_strategy()) {
+    fn coeff_and_omega_keys_never_collide_across_type(
+        omega in omega_strategy(), physics in 0u64..u64::MAX
+    ) {
         // The same raw numbers as a coefficient field vs a parameter vector
         // are different requests and must key differently.
         let n = omega.len();
-        let coeff_key = CacheKey::coeff(&Tensor::from_vec([n], omega.clone()));
-        prop_assert_ne!(coeff_key, CacheKey::omega(&omega));
+        let coeff_key = CacheKey::coeff(&Tensor::from_vec([n], omega.clone()), physics);
+        prop_assert_ne!(coeff_key, CacheKey::omega(&omega, physics));
+    }
+
+    #[test]
+    fn physics_fingerprints_partition_the_keyspace(
+        omega in omega_strategy(), a in 0u64..u64::MAX, delta in 1u64..u64::MAX
+    ) {
+        // The same request payload under different physics (operator /
+        // boundary / forcing fingerprints) must never share a key.
+        let b = a.wrapping_add(delta); // delta in [1, 2^64-1): b != a always
+        prop_assert_ne!(CacheKey::omega(&omega, a), CacheKey::omega(&omega, b));
+        let n = omega.len();
+        let field = Tensor::from_vec([n], omega.clone());
+        prop_assert_ne!(CacheKey::coeff(&field, a), CacheKey::coeff(&field, b));
     }
 
     #[test]
@@ -233,10 +250,10 @@ proptest! {
             .iter()
             .map(|&v| if v == 0.0 { -v } else { v })
             .collect();
-        prop_assert_eq!(CacheKey::omega(&omega), CacheKey::omega(&flipped));
+        prop_assert_eq!(CacheKey::omega(&omega, 0), CacheKey::omega(&flipped, 0));
         prop_assert_eq!(
-            CacheKey::omega(&omega).shard(shards),
-            CacheKey::omega(&flipped).shard(shards)
+            CacheKey::omega(&omega, 0).shard(shards),
+            CacheKey::omega(&flipped, 0).shard(shards)
         );
     }
 
@@ -246,7 +263,7 @@ proptest! {
         // the xor-fold finalizer exists precisely because raw FNV-1a low
         // bits collapsed this to one shard.
         let keys: Vec<CacheKey> = (0..64)
-            .map(|i| CacheKey::omega(&[seed as f64 + i as f64 * 0.125]))
+            .map(|i| CacheKey::omega(&[seed as f64 + i as f64 * 0.125], 0))
             .collect();
         let mut hit = [false; 8];
         for k in &keys {

@@ -84,6 +84,43 @@ fn spatial_threads_bitwise_on_3d_64() {
 }
 
 #[test]
+fn spatial_threads_bitwise_on_anisotropic_2d() {
+    // The operator-zoo acceptance: slab-decomposed serving of the
+    // anisotropic tensor-coefficient problem (3-channel input) must stay
+    // bitwise identical to Serial — halo exchange and panel packing are
+    // coefficient-channel agnostic.
+    let aniso = Anisotropy::new(4.0, 0.5).unwrap();
+    let build = |par: Parallelism| {
+        SolverEngine::builder()
+            .resolution([64, 64])
+            .problem(Problem::anisotropic_2d(DiffusivityModel::paper(), aniso))
+            .levels(1)
+            .net_depth(2)
+            .base_filters(4)
+            .samples(2)
+            .batch_size(2)
+            .seed(29)
+            .parallelism(par)
+            .build()
+            .unwrap()
+    };
+    let serial = build(Parallelism::Serial);
+    let fields: Vec<Tensor> = (0..2)
+        .map(|s| serial.dataset().nu_field(s, &[64, 64]))
+        .collect();
+    assert_eq!(fields[0].dims(), &[3, 64, 64], "tensor coefficient blocks");
+    let expect = serial.predict_batch(&fields).unwrap();
+    for p in [2usize, 4] {
+        let spatial = build(Parallelism::SpatialThreads(p));
+        let got = spatial.predict_batch(&fields).unwrap();
+        for (e, g) in expect.iter().zip(&got) {
+            assert_bitwise(e, g, &format!("aniso 2D 64² p={p}"));
+        }
+        assert_eq!(spatial.stats().forward_passes, 1);
+    }
+}
+
+#[test]
 fn spatial_threads_respects_dirichlet_faces() {
     let engine = SolverEngine::builder()
         .resolution([32, 32, 32])
